@@ -1,0 +1,41 @@
+//! # saq-baselines — comparison protocols for the median problem
+//!
+//! The paper's §1 positions its algorithms against four families of prior
+//! and concurrent work; this crate implements a faithful representative
+//! of each so experiment E7 can reproduce the comparisons:
+//!
+//! * [`naive`] — TAG's "holistic" answer: ship every value to the root
+//!   (`Θ(N log X̄)` bits near the root) and sort locally;
+//! * [`gk_tree`] — Greenwald–Khanna-style one-pass aggregation of
+//!   mergeable quantile summaries \[4\]: polylog bits per node, answers
+//!   *all* quantiles, but more bits than the paper's targeted binary
+//!   search;
+//! * [`sampling`] — Nath-et-al-style ODI uniform sampling \[10\]:
+//!   bottom-k synopses, `Θ(k log N)` bits, rank error `Θ(N/√k)`;
+//! * [`gossip`] — Kempe–Dobra–Gehrke push-sum \[6\] driving the same
+//!   value-domain binary search as Fig. 1, with every count estimated by
+//!   gossip instead of a tree wave.
+//!
+//! All runners report a common [`BaselineOutcome`] so the harness can
+//! tabulate cost and accuracy side by side.
+
+pub mod gk_tree;
+pub mod gossip;
+pub mod naive;
+pub mod sampling;
+
+use saq_netsim::stats::NetStats;
+
+/// Cost/accuracy summary shared by every baseline runner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineOutcome {
+    /// The median estimate.
+    pub value: u64,
+    /// Max over nodes of transmitted + received bits (the paper's
+    /// individual communication complexity).
+    pub max_node_bits: u64,
+    /// Mean per-node bits.
+    pub mean_node_bits: f64,
+    /// Full per-node statistics for deeper analysis.
+    pub stats: NetStats,
+}

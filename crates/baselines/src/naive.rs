@@ -1,0 +1,90 @@
+//! The naive collect-everything median.
+//!
+//! TAG classifies MEDIAN as *holistic*: "aggregates that require linear
+//! space and communication" — because its in-network strategy is to ship
+//! the entire multiset to the root. This runner does exactly that through
+//! [`AggregationNetwork::collect_values`] and sorts at the root. It is
+//! the baseline the paper's Fig. 1 algorithm beats by an exponential
+//! factor in per-node bits (near the root).
+
+use crate::BaselineOutcome;
+use saq_core::model::reference_median;
+use saq_core::net::AggregationNetwork;
+use saq_core::QueryError;
+
+/// The collect-and-sort median runner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveMedian;
+
+impl NaiveMedian {
+    /// Creates a runner.
+    pub fn new() -> Self {
+        NaiveMedian
+    }
+
+    /// Collects all values at the root and returns the exact median.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::EmptyInput`] on an empty multiset; protocol errors
+    /// are propagated.
+    pub fn run<N: AggregationNetwork>(&self, net: &mut N) -> Result<BaselineOutcome, QueryError> {
+        let values = net.collect_values()?;
+        let value = reference_median(&values).ok_or(QueryError::EmptyInput)?;
+        let stats = net
+            .net_stats()
+            .cloned()
+            .unwrap_or_else(|| saq_netsim::stats::NetStats::new(net.num_nodes(), Default::default()));
+        Ok(BaselineOutcome {
+            value,
+            max_node_bits: stats.max_node_bits(),
+            mean_node_bits: stats.mean_node_bits(),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_core::local::LocalNetwork;
+    use saq_core::simnet::SimNetworkBuilder;
+    use saq_netsim::topology::Topology;
+
+    #[test]
+    fn local_median_exact() {
+        let mut net = LocalNetwork::new(vec![9, 1, 5, 3, 7], 10).unwrap();
+        let out = NaiveMedian::new().run(&mut net).unwrap();
+        assert_eq!(out.value, 5);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let mut net = LocalNetwork::new(vec![], 10).unwrap();
+        assert!(matches!(
+            NaiveMedian::new().run(&mut net),
+            Err(QueryError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn simulated_cost_is_linear_near_root() {
+        // On a line, the node next to the root must forward every value:
+        // ~N * width bits.
+        let n = 32usize;
+        let topo = Topology::line(n).unwrap();
+        let items: Vec<u64> = (0..n as u64).collect();
+        let mut net = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, 64)
+            .unwrap();
+        let out = NaiveMedian::new().run(&mut net).unwrap();
+        assert_eq!(out.value, 15);
+        // Linear envelope: at least N/2 values of 7 bits crossed the
+        // penultimate hop.
+        assert!(
+            out.max_node_bits as usize > n * 6,
+            "expected linear cost, got {} bits",
+            out.max_node_bits
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion benchmarks over the experiment-table generators.
+//!
+//! The cheap, deterministic experiments (E1, E3, E6, E8, E11) are timed
+//! end to end at quick scale — `cargo bench` therefore exercises the full
+//! reproduction pipeline. The sketch-heavy experiments are represented by
+//! their core operations in `median_queries` (E4/E5/E7) and `sketch_ops`
+//! (E2/E9), keeping total bench time sane; their full tables come from
+//! `cargo run --release -p saq-bench --bin run_all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saq_bench::experiments::*;
+use saq_bench::Scale;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment_tables_quick");
+    g.sample_size(10);
+    g.bench_function("e1_primitives", |b| {
+        b.iter(|| black_box(e1_primitives::run(Scale::Quick)))
+    });
+    g.bench_function("e3_median_det", |b| {
+        b.iter(|| black_box(e3_median_det::run(Scale::Quick)))
+    });
+    g.bench_function("e6_distinct", |b| {
+        b.iter(|| black_box(e6_distinct::run(Scale::Quick)))
+    });
+    g.bench_function("e8_single_hop", |b| {
+        b.iter(|| black_box(e8_single_hop::run(Scale::Quick)))
+    });
+    g.bench_function("e11_ablations", |b| {
+        b.iter(|| black_box(e11_ablations::run(Scale::Quick)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! End-to-end wall time of each median protocol on one fixed deployment
+//! (a 16×16 grid): the operational counterpart of experiment E7's bit
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use saq_baselines::gk_tree::GkTreeMedian;
+use saq_baselines::naive::NaiveMedian;
+use saq_baselines::sampling::SamplingMedian;
+use saq_core::simnet::SimNetworkBuilder;
+use saq_core::{ApxCountConfig, ApxMedian, ApxMedian2, Median};
+use saq_netsim::sim::SimConfig;
+use saq_netsim::topology::Topology;
+use std::hint::black_box;
+
+const SIDE: usize = 16;
+
+fn deployment() -> (Topology, Vec<u64>, u64) {
+    let topo = Topology::grid(SIDE, SIDE).expect("grid");
+    let n = SIDE * SIDE;
+    let items: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 65536).collect();
+    (topo, items, 65536)
+}
+
+fn reduced_apx() -> ApxCountConfig {
+    ApxCountConfig {
+        rep_search: 2.0,
+        rep_count: 1.0,
+        ..ApxCountConfig::default().with_b(4)
+    }
+}
+
+fn bench_median_protocols(c: &mut Criterion) {
+    let (topo, items, xbar) = deployment();
+    let mut g = c.benchmark_group("median_e2e_256");
+    g.sample_size(10);
+
+    g.bench_function("fig1_deterministic", |b| {
+        b.iter_batched(
+            || {
+                SimNetworkBuilder::new()
+                    .build_one_per_node(&topo, &items, xbar)
+                    .expect("net")
+            },
+            |mut net| black_box(Median::new().run(&mut net).expect("median")),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("naive_collect", |b| {
+        b.iter_batched(
+            || {
+                SimNetworkBuilder::new()
+                    .build_one_per_node(&topo, &items, xbar)
+                    .expect("net")
+            },
+            |mut net| black_box(NaiveMedian::new().run(&mut net).expect("naive")),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("apx_median_fig2", |b| {
+        b.iter_batched(
+            || {
+                SimNetworkBuilder::new()
+                    .apx_config(reduced_apx())
+                    .build_one_per_node(&topo, &items, xbar)
+                    .expect("net")
+            },
+            |mut net| {
+                black_box(
+                    ApxMedian::new(0.25)
+                        .expect("eps")
+                        .run(&mut net)
+                        .expect("apx"),
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("apx_median2_fig4", |b| {
+        b.iter_batched(
+            || {
+                SimNetworkBuilder::new()
+                    .apx_config(reduced_apx())
+                    .build_one_per_node(&topo, &items, xbar)
+                    .expect("net")
+            },
+            |mut net| {
+                black_box(
+                    ApxMedian2::new(0.1, 0.25)
+                        .expect("params")
+                        .run(&mut net)
+                        .expect("apx2"),
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("gk_tree", |b| {
+        let per_node: Vec<Vec<u64>> = items.iter().map(|&v| vec![v]).collect();
+        b.iter(|| {
+            black_box(
+                GkTreeMedian::new(24)
+                    .run(&topo, SimConfig::default(), per_node.clone(), xbar)
+                    .expect("gk"),
+            )
+        });
+    });
+
+    g.bench_function("sampling_bottomk", |b| {
+        let per_node: Vec<Vec<u64>> = items.iter().map(|&v| vec![v]).collect();
+        b.iter(|| {
+            black_box(
+                SamplingMedian::new(32, 1)
+                    .run(&topo, SimConfig::default(), per_node.clone(), xbar)
+                    .expect("sampling"),
+            )
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_median_protocols);
+criterion_main!(benches);

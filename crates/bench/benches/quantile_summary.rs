@@ -1,0 +1,45 @@
+//! Micro-benchmarks of the mergeable quantile summary (the GK baseline's
+//! data structure): merge + prune is executed at every tree node.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saq_sketches::QuantileSummary;
+use std::hint::black_box;
+
+fn mk_summary(n: u64, stride: u64, prune: usize) -> QuantileSummary {
+    let vals: Vec<u64> = (0..n).map(|i| i * stride).collect();
+    let mut s = QuantileSummary::from_sorted(&vals);
+    s.prune(prune);
+    s
+}
+
+fn bench_build(c: &mut Criterion) {
+    let vals: Vec<u64> = (0..10_000u64).collect();
+    c.bench_function("quantile/from_sorted_10k", |b| {
+        b.iter(|| black_box(QuantileSummary::from_sorted(black_box(&vals))));
+    });
+}
+
+fn bench_merge_prune(c: &mut Criterion) {
+    let a = mk_summary(4096, 3, 64);
+    let b_s = mk_summary(4096, 5, 64);
+    c.bench_function("quantile/merge_prune_64", |b| {
+        b.iter(|| {
+            let mut m = QuantileSummary::merged(black_box(&a), black_box(&b_s));
+            m.prune(64);
+            black_box(m)
+        });
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let s = mk_summary(100_000, 1, 256);
+    c.bench_function("quantile/query_rank", |b| {
+        b.iter(|| black_box(s.query_rank(black_box(50_000))));
+    });
+    c.bench_function("quantile/max_rank_error", |b| {
+        b.iter(|| black_box(s.max_rank_error()));
+    });
+}
+
+criterion_group!(benches, bench_build, bench_merge_prune, bench_query);
+criterion_main!(benches);

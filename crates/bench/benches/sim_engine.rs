@@ -1,0 +1,65 @@
+//! Simulator-engine throughput: how fast the discrete-event core turns
+//! over a broadcast–convergecast wave (events/second bounds every
+//! experiment sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saq_core::net::AggregationNetwork;
+use saq_core::predicate::Predicate;
+use saq_core::simnet::SimNetworkBuilder;
+use saq_netsim::topology::Topology;
+use std::hint::black_box;
+
+fn bench_count_wave(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/count_wave");
+    g.sample_size(20);
+    for side in [8usize, 16, 32] {
+        let n = side * side;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &side, |b, &side| {
+            let topo = Topology::grid(side, side).expect("grid");
+            let items: Vec<u64> = (0..(side * side) as u64).collect();
+            b.iter_batched(
+                || {
+                    SimNetworkBuilder::new()
+                        .build_one_per_node(&topo, &items, 4 * items.len() as u64)
+                        .expect("net")
+                },
+                |mut net| black_box(net.count(&Predicate::TRUE).expect("count")),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_network_build(c: &mut Criterion) {
+    let topo = Topology::grid(32, 32).expect("grid");
+    let items: Vec<u64> = (0..1024u64).collect();
+    c.bench_function("sim/build_1024_nodes", |b| {
+        b.iter(|| {
+            black_box(
+                SimNetworkBuilder::new()
+                    .build_one_per_node(&topo, &items, 4096)
+                    .expect("net"),
+            )
+        });
+    });
+}
+
+fn bench_tree_construction(c: &mut Criterion) {
+    let topo = Topology::random_geometric(512, 0.08, 11).expect("rgg");
+    c.bench_function("sim/distributed_bfs_512", |b| {
+        b.iter(|| {
+            black_box(
+                saq_protocols::tree::build_distributed(
+                    &topo,
+                    saq_netsim::sim::SimConfig::default(),
+                    0,
+                )
+                .expect("build"),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_count_wave, bench_network_build, bench_tree_construction);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the counting sketches: `APX_COUNT` executes
+//! millions of inserts per simulated wave, so insert/merge throughput
+//! dominates experiment wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saq_sketches::{BottomK, DistinctSketch, HashFamily, HyperLogLog, LogLog, Pcsa};
+use std::hint::black_box;
+
+fn bench_inserts(c: &mut Criterion) {
+    let h = HashFamily::new(7);
+    let keys: Vec<u64> = (0..10_000u64).map(|k| h.hash(k)).collect();
+
+    let mut g = c.benchmark_group("sketch_insert_10k");
+    g.bench_function("loglog_b6", |b| {
+        b.iter(|| {
+            let mut sk = LogLog::new(6);
+            for &k in &keys {
+                sk.insert_hash(black_box(k));
+            }
+            black_box(sk.estimate())
+        });
+    });
+    g.bench_function("hll_b6", |b| {
+        b.iter(|| {
+            let mut sk = HyperLogLog::new(6);
+            for &k in &keys {
+                sk.insert_hash(black_box(k));
+            }
+            black_box(sk.estimate())
+        });
+    });
+    g.bench_function("pcsa_b6", |b| {
+        b.iter(|| {
+            let mut sk = Pcsa::new(6);
+            for &k in &keys {
+                sk.insert_hash(black_box(k));
+            }
+            black_box(sk.estimate())
+        });
+    });
+    g.bench_function("bottomk_64", |b| {
+        b.iter(|| {
+            let mut sk = BottomK::new(64, 32);
+            for &k in &keys {
+                sk.insert(black_box(k), k & 0xFFFF_FFFF);
+            }
+            black_box(sk.estimate())
+        });
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let h = HashFamily::new(9);
+    let mut a = LogLog::new(10);
+    let mut b_sk = LogLog::new(10);
+    for k in 0..50_000u64 {
+        if k % 2 == 0 {
+            a.insert_hash(h.hash(k));
+        } else {
+            b_sk.insert_hash(h.hash(k));
+        }
+    }
+    c.bench_function("sketch_merge/loglog_b10", |b| {
+        b.iter(|| {
+            let mut m = a.clone();
+            m.merge_from(black_box(&b_sk));
+            black_box(m)
+        });
+    });
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let h = HashFamily::new(3);
+    c.bench_function("hash/family_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..10_000u64 {
+                acc ^= h.hash(black_box(k));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_inserts, bench_merge, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the bit codec: every simulated message passes
+//! through these paths, so their throughput bounds simulation speed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use saq_netsim::wire::{BitReader, BitWriter};
+use std::hint::black_box;
+
+fn bench_fixed_width(c: &mut Criterion) {
+    c.bench_function("wire/write_1k_u20", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for i in 0..1000u64 {
+                w.write_bits(black_box(i & 0xFFFFF), 20);
+            }
+            black_box(w.finish())
+        });
+    });
+
+    let mut w = BitWriter::new();
+    for i in 0..1000u64 {
+        w.write_bits(i & 0xFFFFF, 20);
+    }
+    let s = w.finish();
+    c.bench_function("wire/read_1k_u20", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&s);
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(r.read_bits(20).expect("in bounds"));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_gamma(c: &mut Criterion) {
+    c.bench_function("wire/gamma_roundtrip_1k", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let mut w = BitWriter::new();
+                for i in 1..=1000u64 {
+                    w.write_gamma(black_box(i));
+                }
+                let s = w.finish();
+                let mut r = BitReader::new(&s);
+                let mut acc = 0u64;
+                for _ in 0..1000 {
+                    acc = acc.wrapping_add(r.read_gamma().expect("in bounds"));
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_delta(c: &mut Criterion) {
+    c.bench_function("wire/delta_write_1k_large", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for i in 0..1000u64 {
+                w.write_delta(black_box((1 << 40) + i));
+            }
+            black_box(w.finish())
+        });
+    });
+}
+
+criterion_group!(benches, bench_fixed_width, bench_gamma, bench_delta);
+criterion_main!(benches);

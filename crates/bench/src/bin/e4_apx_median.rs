@@ -1,0 +1,7 @@
+//! Experiment binary: see `saq_bench::experiments::e4_apx_median`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let scale = saq_bench::Scale::from_args();
+    let _ = saq_bench::experiments::e4_apx_median::run(scale);
+}

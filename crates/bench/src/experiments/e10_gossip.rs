@@ -1,0 +1,138 @@
+//! E10 — the gossip comparator (Kempe et al. \[6\]).
+//!
+//! > *"[6] presents an algorithm that finds, with high probability, the
+//! > exact median ... using O((log N)^3) bits of communication per node,
+//! > assuming that the network has the best possible 'diffusion speed'."*
+//!
+//! Two tables: push-sum convergence (rounds to 1% count error) on
+//! well-mixing vs poorly-mixing topologies, and the gossip median's
+//! per-node bits against the paper's tree-based algorithms on both.
+
+use crate::table::{banner, f3, Table};
+use crate::workload::{generate, Dist};
+use crate::Scale;
+use saq_baselines::gossip::GossipMedian;
+use saq_core::model::rank_lt;
+use saq_core::net::AggregationNetwork;
+use saq_core::simnet::SimNetworkBuilder;
+use saq_core::Median;
+use saq_netsim::sim::SimConfig;
+use saq_netsim::topology::Topology;
+use saq_protocols::gossip::gossip_count;
+
+/// Machine-checkable summary for tests.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// `(topology label, N, rounds to 1%)`.
+    pub convergence: Vec<(String, usize, u32)>,
+    /// Gossip-vs-tree median bit ratio on the complete graph.
+    pub complete_ratio: f64,
+}
+
+fn rounds_to_converge(topo: &Topology, target_rel: f64, max_rounds: u32) -> u32 {
+    let n = topo.len() as f64;
+    let mut rounds = 4u32;
+    while rounds < max_rounds {
+        let (c, _) = gossip_count(topo, SimConfig::default().with_seed(0xE10), rounds)
+            .expect("push-sum");
+        if ((c - n) / n).abs() <= target_rel {
+            return rounds;
+        }
+        rounds = (rounds as f64 * 1.5).ceil() as u32;
+    }
+    max_rounds
+}
+
+/// Runs E10 and prints its tables.
+pub fn run(scale: Scale) -> Summary {
+    banner(
+        "E10",
+        "gossip substrate and the diffusion-speed caveat",
+        "push-sum converges in O(log N) rounds on well-mixing graphs; gossip median ~ polylog bits there, inflated on grids",
+    );
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[16, 64],
+        Scale::Full => &[16, 64, 256],
+    };
+
+    let mut conv_table = Table::new(&["topology", "N", "rounds to 1%", "rounds/log2N"]);
+    let mut convergence = Vec::new();
+    for &n in ns {
+        for (label, topo) in [
+            ("complete", Topology::complete(n).expect("complete")),
+            (
+                "grid",
+                Topology::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize)
+                    .expect("grid"),
+            ),
+        ] {
+            let r = rounds_to_converge(&topo, 0.01, 5_000);
+            conv_table.row(&[
+                label.into(),
+                topo.len().to_string(),
+                r.to_string(),
+                f3(r as f64 / (topo.len() as f64).log2()),
+            ]);
+            convergence.push((label.to_string(), topo.len(), r));
+        }
+    }
+    conv_table.print();
+
+    // --- Gossip median vs tree median on the complete graph.
+    println!("\ngossip median vs Fig. 1 tree median:");
+    let n = match scale {
+        Scale::Quick => 36usize,
+        Scale::Full => 100,
+    };
+    let xbar = (n as u64 * n as u64).max(1024);
+    let items = generate(Dist::Uniform, n, xbar, 0xE100);
+    let mut cmp_table = Table::new(&["topology", "protocol", "bits/node", "rank_err"]);
+    let mut complete_ratio = 0.0;
+    for (label, topo) in [
+        ("complete", Topology::complete(n).expect("complete")),
+        (
+            "grid",
+            Topology::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize)
+                .expect("grid"),
+        ),
+    ] {
+        let rounds = GossipMedian::rounds_for(&topo).min(3_000);
+        let gossip = GossipMedian::new(rounds)
+            .run(&topo, SimConfig::default(), &items[..topo.len()], xbar)
+            .expect("gossip");
+        let gossip_err = {
+            let sub = &items[..topo.len()];
+            let r = rank_lt(sub, gossip.value) as f64;
+            (r - sub.len() as f64 / 2.0).abs() / sub.len() as f64
+        };
+        let mut net = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items[..topo.len()], xbar)
+            .expect("net");
+        Median::new().run(&mut net).expect("median");
+        let tree_bits = net.net_stats().expect("stats").max_node_bits();
+        cmp_table.row(&[
+            label.into(),
+            "gossip".into(),
+            gossip.max_node_bits.to_string(),
+            f3(gossip_err),
+        ]);
+        cmp_table.row(&[
+            label.into(),
+            "median-fig1".into(),
+            tree_bits.to_string(),
+            "0.000".into(),
+        ]);
+        if label == "complete" {
+            complete_ratio = gossip.max_node_bits as f64 / tree_bits as f64;
+        }
+    }
+    cmp_table.print();
+    println!(
+        "\ngossip/tree bit ratio on complete graph: {} (polylog vs polylog, constant-factor gap)",
+        f3(complete_ratio)
+    );
+    Summary {
+        convergence,
+        complete_ratio,
+    }
+}

@@ -1,0 +1,125 @@
+//! E1 — Fact 2.1: the primitive protocols cost `O(log N)` bits per node.
+//!
+//! > *"There exist protocols that compute MAX, MIN and COUNT with
+//! > communication complexity O(log N), space complexity O(log N), and
+//! > processing complexity O(1)."*
+//!
+//! We run each primitive once per network size on bounded-degree spanning
+//! trees over grid and random-geometric topologies, reporting the maximum
+//! per-node bits and the `bits / log₂ N` ratio (flat ratio = the claimed
+//! shape). Distributed tree construction is measured separately.
+
+use crate::fit::fit_shape;
+use crate::table::{banner, f3, Table};
+use crate::{Scale, Shape};
+use saq_core::net::AggregationNetwork;
+use saq_core::predicate::{Domain, Predicate};
+use saq_core::simnet::SimNetworkBuilder;
+use saq_netsim::sim::SimConfig;
+use saq_netsim::topology::Topology;
+use saq_protocols::tree::build_distributed;
+
+/// Machine-checkable summary for tests.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// `(N, max-per-node-bits)` for the COUNT primitive.
+    pub count_points: Vec<(usize, u64)>,
+    /// Ratio spread of the `log N` fit for COUNT.
+    pub count_log_spread: f64,
+}
+
+/// Runs E1 and prints its tables.
+pub fn run(scale: Scale) -> Summary {
+    banner(
+        "E1",
+        "primitive protocols on a bounded-degree spanning tree",
+        "MIN/MAX/COUNT/SUM cost O(log N) bits per node (Fact 2.1)",
+    );
+    let sides: &[usize] = match scale {
+        Scale::Quick => &[4, 8, 16],
+        Scale::Full => &[4, 8, 16, 32, 64, 96],
+    };
+
+    let mut table = Table::new(&[
+        "topology", "N", "tree_h", "deg", "min", "max", "count", "sum", "build",
+        "count/logN",
+    ]);
+    let mut count_points = Vec::new();
+
+    for &side in sides {
+        let n = side * side;
+        for (name, topo) in [
+            ("grid", Topology::grid(side, side).expect("grid")),
+            (
+                "rgg",
+                Topology::random_geometric(n, (8.0 / n as f64).sqrt(), 42).expect("rgg"),
+            ),
+        ] {
+            let items: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % (n as u64 * 4)).collect();
+            let xbar = n as u64 * 4;
+            let mut net = SimNetworkBuilder::new()
+                .build_one_per_node(&topo, &items, xbar)
+                .expect("network build");
+
+            let mut cost_of = |f: &mut dyn FnMut(&mut saq_core::SimNetwork)| -> u64 {
+                net.reset_stats();
+                f(&mut net);
+                net.net_stats().expect("sim stats").max_node_bits()
+            };
+            let min_bits = cost_of(&mut |n| {
+                n.min(Domain::Raw).expect("min");
+            });
+            let max_bits = cost_of(&mut |n| {
+                n.max(Domain::Raw).expect("max");
+            });
+            let count_bits = cost_of(&mut |n| {
+                n.count(&Predicate::TRUE).expect("count");
+            });
+            let sum_bits = cost_of(&mut |n| {
+                n.sum(&Predicate::TRUE).expect("sum");
+            });
+            // Distributed tree construction cost (setup phase).
+            let (_, build_stats) =
+                build_distributed(&topo, SimConfig::default(), 0).expect("tree build");
+
+            let logn = (n as f64).log2();
+            table.row(&[
+                name.into(),
+                n.to_string(),
+                net.tree_height().to_string(),
+                net.tree_max_degree().to_string(),
+                min_bits.to_string(),
+                max_bits.to_string(),
+                count_bits.to_string(),
+                sum_bits.to_string(),
+                build_stats.max_node_bits().to_string(),
+                f3(count_bits as f64 / logn),
+            ]);
+            if name == "grid" {
+                count_points.push((n, count_bits));
+            }
+        }
+    }
+    table.print();
+
+    let xs: Vec<f64> = count_points.iter().map(|p| p.0 as f64).collect();
+    let ys: Vec<f64> = count_points.iter().map(|p| p.1 as f64).collect();
+    let fit = fit_shape(&xs, &ys, Shape::Log);
+    // The message structure is header + Θ(log N) payload, so the honest
+    // check is the affine model bits = a + b·log₂N (a = fixed headers).
+    let lxs: Vec<f64> = xs.iter().map(|&x| x.log2()).collect();
+    let aff = crate::fit::fit_affine(&lxs, &ys);
+    println!(
+        "\nCOUNT fits: pure-shape bits ~ {} * log2(N) (spread {}); \
+         affine bits ~ {} + {} * log2(N), R^2 = {}",
+        f3(fit.constant),
+        f3(fit.ratio_spread),
+        f3(aff.intercept),
+        f3(aff.slope),
+        f3(aff.r2)
+    );
+    Summary {
+        count_points,
+        count_log_spread: fit.ratio_spread,
+    }
+}

@@ -1,0 +1,124 @@
+//! E3 — Theorem 3.2: deterministic median with `O((log N)^2)` bits.
+//!
+//! > *"Algorithm MEDIAN(X) outputs the median of X with communication
+//! > complexity O((log N)^2), processing complexity O(log N) and space
+//! > complexity O(log N)."*
+//!
+//! Sweeps N and the value-domain width X̄ over several distributions:
+//! the answer must be exactly correct on every instance, the iteration
+//! count must equal `⌈log₂(M − m)⌉`, and max per-node bits must fit
+//! `c · log₂(X̄) · log₂(N)` with a flat ratio (we report against
+//! `(log N)^2` with `log X̄ = Θ(log N)`, as the paper assumes).
+
+use crate::fit::fit_shape;
+use crate::table::{banner, f3, Table};
+use crate::workload::{generate, Dist};
+use crate::{Scale, Shape};
+use saq_core::median::{ceil_log2, Median};
+use saq_core::model::is_median;
+use saq_core::net::AggregationNetwork;
+use saq_core::simnet::SimNetworkBuilder;
+use saq_netsim::topology::Topology;
+
+/// Machine-checkable summary for tests.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// All runs produced exact medians.
+    pub all_exact: bool,
+    /// `(N, max-per-node-bits)` on the grid/uniform sweep.
+    pub bits_points: Vec<(usize, u64)>,
+    /// Ratio spread of the `(log N)^2` fit.
+    pub log2_spread: f64,
+}
+
+/// Runs E3 and prints its tables.
+pub fn run(scale: Scale) -> Summary {
+    banner(
+        "E3",
+        "deterministic exact median (Fig. 1)",
+        "exact answer; O((log N)^2) bits/node; ceil(log2(M-m)) iterations (Thm 3.2)",
+    );
+    let sides: &[usize] = match scale {
+        Scale::Quick => &[4, 8, 16],
+        Scale::Full => &[4, 8, 16, 32, 64],
+    };
+    let dists = [Dist::Uniform, Dist::Zipf(1.2), Dist::Bimodal];
+
+    let mut table = Table::new(&[
+        "dist", "N", "xbar", "exact", "iters", "pred_iters", "bits/node", "bits/wave",
+        "bits/(logN)^2",
+    ]);
+    let mut all_exact = true;
+    let mut bits_points = Vec::new();
+    let mut wave_points: Vec<(f64, f64)> = Vec::new();
+
+    for &side in sides {
+        let n = side * side;
+        // log X̄ = Θ(log N): domain scales with the network.
+        let xbar = (n as u64).pow(2).max(1024);
+        for dist in dists {
+            let topo = Topology::grid(side, side).expect("grid");
+            let items = generate(dist, n, xbar, 0xE3 + n as u64);
+            let mut net = SimNetworkBuilder::new()
+                .build_one_per_node(&topo, &items, xbar)
+                .expect("network");
+            let out = Median::new().run(&mut net).expect("median");
+            let exact = is_median(&items, out.value);
+            all_exact &= exact;
+
+            let (m, big_m) = (
+                *items.iter().min().expect("items"),
+                *items.iter().max().expect("items"),
+            );
+            let pred_iters = if m == big_m { 0 } else { ceil_log2(big_m - m) };
+            let bits = net.net_stats().expect("stats").max_node_bits();
+            let logn = (n as f64).log2();
+            // Waves executed: COUNT + MIN + MAX + iterations (+ tie-break).
+            let waves = (out.countp_calls + 2) as f64;
+            let per_wave = bits as f64 / waves;
+            table.row(&[
+                dist.label(),
+                n.to_string(),
+                xbar.to_string(),
+                if exact { "yes".into() } else { "NO".into() },
+                out.iterations.to_string(),
+                pred_iters.to_string(),
+                bits.to_string(),
+                f3(per_wave),
+                f3(bits as f64 / (logn * logn)),
+            ]);
+            if matches!(dist, Dist::Uniform) {
+                bits_points.push((n, bits));
+                wave_points.push((logn, per_wave));
+            }
+        }
+    }
+    table.print();
+
+    let xs: Vec<f64> = bits_points.iter().map(|p| p.0 as f64).collect();
+    let ys: Vec<f64> = bits_points.iter().map(|p| p.1 as f64).collect();
+    let fit = fit_shape(&xs, &ys, Shape::Log2);
+    println!(
+        "\nMEDIAN fit: bits ~ {} * (log2 N)^2, ratio spread {} — vs linear spread {}",
+        f3(fit.constant),
+        f3(fit.ratio_spread),
+        f3(fit_shape(&xs, &ys, Shape::Linear).ratio_spread),
+    );
+    // Structural check: per-wave bits are affine in log N (the constant
+    // is the fixed wave header), and the wave count is Θ(log X̄) — the
+    // product is the theorem's (log N)^2.
+    let wxs: Vec<f64> = wave_points.iter().map(|p| p.0).collect();
+    let wys: Vec<f64> = wave_points.iter().map(|p| p.1).collect();
+    let aff = crate::fit::fit_affine(&wxs, &wys);
+    println!(
+        "per-wave bits ~ {} + {} * log2(N), R^2 = {} (intercept = headers)",
+        f3(aff.intercept),
+        f3(aff.slope),
+        f3(aff.r2)
+    );
+    Summary {
+        all_exact,
+        bits_points,
+        log2_spread: fit.ratio_spread,
+    }
+}

@@ -1,0 +1,126 @@
+//! E4 — Theorems 4.5/4.6: the tolerant randomized search.
+//!
+//! > *"The output of Algorithm APX_MEDIAN(X, ε) is an (α, β)-median with
+//! > probability at least 1 − ε for α = 3σ and β = 1/N."*
+//!
+//! For each ε we run many seeded trials on the in-memory network (same
+//! sketch machinery as the simulated one) and report the empirical
+//! failure rate of the `(α, β)` test, which must stay below ε; one
+//! simulated run per configuration reports the communication price and
+//! its growth as ε tightens.
+
+use crate::fit::stats;
+use crate::table::{banner, f3, Table};
+use crate::workload::{generate, Dist};
+use crate::Scale;
+use saq_core::local::LocalNetwork;
+use saq_core::model::is_apx_median;
+use saq_core::net::AggregationNetwork;
+use saq_core::simnet::SimNetworkBuilder;
+use saq_core::{ApxCountConfig, ApxMedian};
+use saq_netsim::topology::Topology;
+
+/// Machine-checkable summary for tests.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// `(epsilon, empirical failure rate)` rows.
+    pub failure_rates: Vec<(f64, f64)>,
+    /// All failure rates were within their ε budget.
+    pub within_budget: bool,
+}
+
+/// Runs E4 and prints its tables.
+pub fn run(scale: Scale) -> Summary {
+    banner(
+        "E4",
+        "approximate median APX_MEDIAN (Fig. 2)",
+        "(3sigma, 1/N)-median w.p. >= 1-eps; bits grow as 1/eps (Thm 4.5)",
+    );
+    let (n, trials): (usize, u64) = match scale {
+        Scale::Quick => (2_000, 30),
+        Scale::Full => (6_000, 60),
+    };
+    let epsilons = [0.5, 0.25, 0.1];
+    let xbar = (4 * n) as u64;
+
+    let mut table = Table::new(&[
+        "dist", "eps", "trials", "failures", "rate", "halt%", "iters(mean)",
+        "apx_insts(mean)", "sim bits/node",
+    ]);
+    let mut failure_rates = Vec::new();
+    let mut within = true;
+
+    // Uniform halts in the band immediately; clustered data forces the
+    // search to iterate before (maybe) halting — both must meet eps.
+    for (dist, items) in [
+        (Dist::Uniform, generate(Dist::Uniform, n, xbar, 0xE4)),
+        (
+            Dist::Clustered { clusters: 3 },
+            generate(Dist::Clustered { clusters: 3 }, n, xbar, 0xE4),
+        ),
+    ] {
+    for &eps in &epsilons {
+        let runner = ApxMedian::new(eps).expect("eps");
+        let mut failures = 0u64;
+        let mut halts = 0u64;
+        let mut iters = Vec::new();
+        let mut insts = Vec::new();
+        for t in 0..trials {
+            let cfg = ApxCountConfig::default().with_seed(0xE4_00 + 1000 * t + (eps * 100.0) as u64);
+            let mut net = LocalNetwork::with_config(items.clone(), xbar, cfg).expect("net");
+            let out = runner.run(&mut net).expect("apx median");
+            // The empirical pass criterion: Definition 2.4 at the
+            // theorem's (alpha, beta) plus finite-N sketch-bias slack.
+            let ok = is_apx_median(
+                &items,
+                out.alpha_guarantee + 0.05,
+                2.0 / n as f64,
+                xbar,
+                out.value,
+            );
+            if !ok {
+                failures += 1;
+            }
+            if out.halted_early {
+                halts += 1;
+            }
+            iters.push(out.iterations as f64);
+            insts.push(out.apx_count_instances as f64);
+        }
+        let rate = failures as f64 / trials as f64;
+        within &= rate <= eps;
+        if matches!(dist, Dist::Uniform) {
+            failure_rates.push((eps, rate));
+        }
+
+        // One simulated run for the communication price.
+        let side = (n as f64).sqrt() as usize;
+        let topo = Topology::grid(side, side).expect("grid");
+        let sim_items: Vec<u64> = items.iter().take(side * side).copied().collect();
+        let mut sim = SimNetworkBuilder::new()
+            .apx_config(ApxCountConfig::default().with_seed(0xE4_FF))
+            .build_one_per_node(&topo, &sim_items, xbar)
+            .expect("sim");
+        runner.run(&mut sim).expect("sim apx median");
+        let bits = sim.net_stats().expect("stats").max_node_bits();
+
+        table.row(&[
+            dist.label(),
+            format!("{eps}"),
+            trials.to_string(),
+            failures.to_string(),
+            f3(rate),
+            f3(100.0 * halts as f64 / trials as f64),
+            f3(stats(&iters).mean),
+            f3(stats(&insts).mean),
+            bits.to_string(),
+        ]);
+    }
+    }
+    table.print();
+    println!("\npass criterion: empirical failure rate <= eps for every row");
+    Summary {
+        failure_rates,
+        within_budget: within,
+    }
+}

@@ -1,0 +1,156 @@
+//! E6 — Theorem 5.1: the COUNT_DISTINCT dichotomy.
+//!
+//! > *"the communication complexity of any deterministic algorithm for
+//! > COUNT_DISTINCT is Ω(n) in the worst case"* — while approximations
+//! > need only `O(log log n)` bits (§2.2/§5).
+//!
+//! Three tables:
+//!
+//! 1. exact vs approximate per-node bits as the number of distinct values
+//!    grows (linear vs flat);
+//! 2. the executable `2SD(P)` reduction on a `2n`-line: correctness of
+//!    both instance families and cut-bits scaling;
+//! 3. the "must fail" demonstration: the approximate protocol deciding
+//!    disjointness is wrong essentially always on disjoint instances.
+
+use crate::fit::fit_shape;
+use crate::table::{banner, f3, Table};
+use crate::{Scale, Shape};
+use saq_core::net::AggregationNetwork;
+use saq_core::simnet::SimNetworkBuilder;
+use saq_lowerbound::{SetDisjointnessInstance, TwoPartyCountDistinct};
+use saq_netsim::topology::Topology;
+
+/// Machine-checkable summary for tests.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// `(n, exact cut bits)` from the reduction sweep.
+    pub cut_points: Vec<(usize, u64)>,
+    /// Linear-fit spread of exact cut bits (should be near 1).
+    pub cut_linear_spread: f64,
+    /// The exact reduction answered every instance correctly.
+    pub exact_all_correct: bool,
+    /// Fraction of disjoint instances the approximate reduction got wrong.
+    pub apx_wrong_rate: f64,
+}
+
+/// Runs E6 and prints its tables.
+pub fn run(scale: Scale) -> Summary {
+    banner(
+        "E6",
+        "COUNT_DISTINCT: exact is linear, approximate is polyloglog (Thm 5.1)",
+        "exact: Omega(n) bits (set-disjointness reduction); approx: O(loglog n) bits",
+    );
+
+    // --- Part 1: protocol cost on a grid as distinct values grow.
+    let sides: &[usize] = match scale {
+        Scale::Quick => &[8, 16],
+        Scale::Full => &[8, 16, 32, 64],
+    };
+    let mut cost_table = Table::new(&[
+        "N", "distinct", "exact bits/node", "apx bits/node", "exact/N", "apx est",
+    ]);
+    for &side in sides {
+        let n = side * side;
+        let topo = Topology::grid(side, side).expect("grid");
+        // All values distinct: the worst case for the exact protocol.
+        let items: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+        let xbar = 4 * n as u64;
+        let mut net = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, xbar)
+            .expect("net");
+        let exact = net.distinct_exact().expect("exact");
+        let exact_bits = net.net_stats().expect("stats").max_node_bits();
+        net.reset_stats();
+        let est = net.distinct_apx(4).expect("apx");
+        let apx_bits = net.net_stats().expect("stats").max_node_bits();
+        assert_eq!(exact, n as u64);
+        cost_table.row(&[
+            n.to_string(),
+            exact.to_string(),
+            exact_bits.to_string(),
+            apx_bits.to_string(),
+            f3(exact_bits as f64 / n as f64),
+            f3(est),
+        ]);
+    }
+    cost_table.print();
+
+    // --- Part 2: the 2SD reduction.
+    println!("\n2SD(P) reduction on a 2n-line (Theorem 5.1):");
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[16, 64],
+        Scale::Full => &[16, 32, 64, 128, 256],
+    };
+    let mut red_table = Table::new(&[
+        "n", "instance", "answer", "correct", "cut bits", "cut/n",
+    ]);
+    let mut cut_points = Vec::new();
+    let mut exact_all_correct = true;
+    for &n in ns {
+        let universe = 8 * n as u64;
+        for (label, inst) in [
+            ("disjoint", SetDisjointnessInstance::disjoint(n, universe, 0xE6)),
+            (
+                "1-overlap",
+                SetDisjointnessInstance::one_intersection(n, universe, 0xE6),
+            ),
+        ] {
+            let r = TwoPartyCountDistinct::exact().solve(&inst).expect("solve");
+            exact_all_correct &= r.correct;
+            red_table.row(&[
+                n.to_string(),
+                label.into(),
+                if r.answered_disjoint { "YES" } else { "NO" }.into(),
+                if r.correct { "ok" } else { "WRONG" }.into(),
+                r.cut_bits.to_string(),
+                f3(r.cut_bits as f64 / n as f64),
+            ]);
+            if label == "disjoint" {
+                cut_points.push((n, r.cut_bits));
+            }
+        }
+    }
+    red_table.print();
+    let xs: Vec<f64> = cut_points.iter().map(|p| p.0 as f64).collect();
+    let ys: Vec<f64> = cut_points.iter().map(|p| p.1 as f64).collect();
+    let lin = fit_shape(&xs, &ys, Shape::Linear);
+    println!(
+        "\nexact cut fit: bits ~ {} * n, spread {} (log-shape spread {})",
+        f3(lin.constant),
+        f3(lin.ratio_spread),
+        f3(fit_shape(&xs, &ys, Shape::Log).ratio_spread),
+    );
+
+    // --- Part 3: approximate counting cannot decide 2SD.
+    let trials = match scale {
+        Scale::Quick => 10u64,
+        Scale::Full => 40,
+    };
+    let n = 128usize;
+    let mut wrong = 0u64;
+    let mut apx_cut_max = 0u64;
+    for seed in 0..trials {
+        let inst = SetDisjointnessInstance::disjoint(n, 8 * n as u64, 100 + seed);
+        let r = TwoPartyCountDistinct::approximate(1)
+            .with_seed(7_000 + seed)
+            .solve(&inst)
+            .expect("solve");
+        if !r.correct {
+            wrong += 1;
+        }
+        apx_cut_max = apx_cut_max.max(r.cut_bits);
+    }
+    let apx_wrong_rate = wrong as f64 / trials as f64;
+    println!(
+        "\napproximate P on disjoint instances (n={n}): wrong {wrong}/{trials} \
+         (must be ~all: a sketch cannot hit |A|+|B| exactly), max cut {apx_cut_max} bits"
+    );
+
+    Summary {
+        cut_points,
+        cut_linear_spread: lin.ratio_spread,
+        exact_all_correct,
+        apx_wrong_rate,
+    }
+}

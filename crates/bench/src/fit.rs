@@ -1,0 +1,228 @@
+//! Least-squares shape fitting.
+//!
+//! The reproduction's contract is about *shapes*, not absolute constants:
+//! a claim like "per-node bits are `O((log N)^2)`" is checked by fitting
+//! `bits ≈ c · (log N)^2` over the measured sweep and reporting the
+//! normalized residual spread — a good fit keeps the ratio
+//! `bits / shape(N)` close to a constant across decades of `N`, while a
+//! wrong shape (e.g. linear data fitted by a log shape) drifts
+//! monotonically by orders of magnitude.
+
+use crate::Shape;
+
+/// Result of a one-parameter fit `y ≈ c · shape(x)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// Least-squares constant `c`.
+    pub constant: f64,
+    /// max over points of `ratio / min ratio`, where
+    /// `ratio = y / shape(x)`: 1.0 means a perfect shape match; large
+    /// values mean drift (wrong shape).
+    pub ratio_spread: f64,
+    /// Pearson correlation between `y` and `shape(x)`.
+    pub correlation: f64,
+}
+
+/// Fits `y ≈ c · shape(x)` by least squares through the origin.
+///
+/// # Panics
+///
+/// Panics on empty input or mismatched lengths.
+pub fn fit_shape(xs: &[f64], ys: &[f64], shape: Shape) -> FitReport {
+    assert!(!xs.is_empty(), "fit needs at least one point");
+    assert_eq!(xs.len(), ys.len(), "xs and ys must align");
+    let fs: Vec<f64> = xs.iter().map(|&x| shape.eval(x)).collect();
+    let num: f64 = fs.iter().zip(ys).map(|(f, y)| f * y).sum();
+    let den: f64 = fs.iter().map(|f| f * f).sum();
+    let constant = if den > 0.0 { num / den } else { 0.0 };
+
+    let ratios: Vec<f64> = ys
+        .iter()
+        .zip(&fs)
+        .map(|(y, f)| if *f > 0.0 { y / f } else { 0.0 })
+        .collect();
+    let rmin = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+    let rmax = ratios.iter().copied().fold(0.0f64, f64::max);
+    let ratio_spread = if rmin > 0.0 { rmax / rmin } else { f64::INFINITY };
+
+    FitReport {
+        constant,
+        ratio_spread,
+        correlation: pearson(&fs, ys),
+    }
+}
+
+/// Result of an affine fit `y ≈ a + b·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineFit {
+    /// Intercept `a` (in the experiments: per-message header overhead).
+    pub intercept: f64,
+    /// Slope `b` (the asymptotic constant).
+    pub slope: f64,
+    /// Coefficient of determination `R²`.
+    pub r2: f64,
+}
+
+/// Ordinary least squares for `y ≈ a + b·x`.
+///
+/// # Panics
+///
+/// Panics on inputs with fewer than two points or mismatched lengths.
+pub fn fit_affine(xs: &[f64], ys: &[f64]) -> AffineFit {
+    assert!(xs.len() >= 2, "affine fit needs two points");
+    assert_eq!(xs.len(), ys.len(), "xs and ys must align");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let intercept = my - slope * mx;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    AffineFit {
+        intercept,
+        slope,
+        r2,
+    }
+}
+
+/// Pearson correlation coefficient.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 1.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Among `candidates`, the shape whose ratio spread is smallest — a crude
+/// but effective "which asymptotic does this sweep look like" picker for
+/// the experiment summaries.
+pub fn best_shape(xs: &[f64], ys: &[f64], candidates: &[Shape]) -> Shape {
+    assert!(!candidates.is_empty(), "need at least one candidate shape");
+    *candidates
+        .iter()
+        .min_by(|a, b| {
+            let ra = fit_shape(xs, ys, **a).ratio_spread;
+            let rb = fit_shape(xs, ys, **b).ratio_spread;
+            ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("nonempty candidates")
+}
+
+/// Basic sample statistics for repeated-trial columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub sd: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Computes mean/sd/min/max of a sample.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn stats(samples: &[f64]) -> Stats {
+    assert!(!samples.is_empty(), "stats need at least one sample");
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    Stats {
+        mean,
+        sd: var.sqrt(),
+        min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_shape_fits_with_unit_spread() {
+        let xs: Vec<f64> = vec![64.0, 256.0, 1024.0, 4096.0, 65536.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 7.0 * Shape::Log2.eval(x)).collect();
+        let fit = fit_shape(&xs, &ys, Shape::Log2);
+        assert!((fit.constant - 7.0).abs() < 1e-9);
+        assert!((fit.ratio_spread - 1.0).abs() < 1e-9);
+        assert!(fit.correlation > 0.999);
+    }
+
+    #[test]
+    fn wrong_shape_has_large_spread() {
+        let xs: Vec<f64> = vec![64.0, 256.0, 1024.0, 4096.0, 65536.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x).collect(); // linear data
+        let wrong = fit_shape(&xs, &ys, Shape::Log);
+        assert!(wrong.ratio_spread > 100.0, "spread {}", wrong.ratio_spread);
+        let right = fit_shape(&xs, &ys, Shape::Linear);
+        assert!(right.ratio_spread < 1.001);
+    }
+
+    #[test]
+    fn best_shape_picks_linear_for_linear_data() {
+        let xs: Vec<f64> = vec![64.0, 512.0, 4096.0, 32768.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 5.0).collect();
+        let s = best_shape(
+            &xs,
+            &ys,
+            &[Shape::Log, Shape::Log2, Shape::LogLog3, Shape::Linear],
+        );
+        assert_eq!(s, Shape::Linear);
+    }
+
+    #[test]
+    fn best_shape_picks_log2_for_log2_data() {
+        let xs: Vec<f64> = vec![64.0, 512.0, 4096.0, 32768.0, 262144.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 11.0 * Shape::Log2.eval(x)).collect();
+        let s = best_shape(
+            &xs,
+            &ys,
+            &[Shape::Log, Shape::Log2, Shape::Linear, Shape::LogLog3],
+        );
+        assert_eq!(s, Shape::Log2);
+    }
+
+    #[test]
+    fn affine_recovers_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 7.0 + 3.0 * x).collect();
+        let f = fit_affine(&xs, &ys);
+        assert!((f.intercept - 7.0).abs() < 1e-9);
+        assert!((f.slope - 3.0).abs() < 1e-9);
+        assert!(f.r2 > 0.999999);
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.sd - 1.2909944).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,139 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use saq_bench::table::Table;
+///
+/// let mut t = Table::new(&["N", "bits"]);
+/// t.row(&["64".into(), "123".into()]);
+/// let s = t.render();
+/// assert!(s.contains("N"));
+/// assert!(s.contains("123"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:>width$}  ", cell, width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 3 significant-ish decimals for table cells.
+pub fn f3(x: f64) -> String {
+    if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str, claim: &str) {
+    println!();
+    println!("=== {id}: {title}");
+    println!("    paper claim: {claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333".into(), "4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a') && lines[0].contains("bbbb"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(1234.5), "1234");
+        assert_eq!(f3(12.34), "12.3");
+        assert_eq!(f3(0.1234), "0.123");
+    }
+}

@@ -1,0 +1,148 @@
+//! Deterministic workload generators.
+//!
+//! The paper makes no distributional assumptions, so the experiments
+//! sweep several shapes: uniform (the friendly case for binary search),
+//! Zipf (heavy duplication — the TAG motivation), clustered (sensor
+//! fields with spatial structure) and bimodal (worst case for
+//! single-probe estimators). All generators are seeded and reproducible.
+
+use saq_netsim::rng::Xoshiro256StarStar;
+
+/// A value distribution over `[0, xbar]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dist {
+    /// Uniform over the domain.
+    Uniform,
+    /// Zipf-like with the given exponent (≥ 0.5 recommended): heavy mass
+    /// on a few values.
+    Zipf(f64),
+    /// A few dense clusters with small intra-cluster spread.
+    Clustered {
+        /// Number of clusters.
+        clusters: u32,
+    },
+    /// Two far-apart masses (the gap case for median search).
+    Bimodal,
+}
+
+impl Dist {
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Dist::Uniform => "uniform".into(),
+            Dist::Zipf(s) => format!("zipf({s})"),
+            Dist::Clustered { clusters } => format!("clustered({clusters})"),
+            Dist::Bimodal => "bimodal".into(),
+        }
+    }
+}
+
+/// Generates `n` items in `[0, xbar]` from the distribution.
+pub fn generate(dist: Dist, n: usize, xbar: u64, seed: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    match dist {
+        Dist::Uniform => (0..n).map(|_| rng.next_below(xbar + 1)).collect(),
+        Dist::Zipf(s) => {
+            // Inverse-CDF sampling over ranks 1..=R mapped into the
+            // domain; R chosen so duplication is heavy but not total.
+            let ranks = (n as u64 / 4).clamp(2, 1024);
+            let weights: Vec<f64> = (1..=ranks).map(|r| 1.0 / (r as f64).powf(s)).collect();
+            let total: f64 = weights.iter().sum();
+            (0..n)
+                .map(|_| {
+                    let mut u = rng.next_f64() * total;
+                    let mut pick = 0usize;
+                    for (i, w) in weights.iter().enumerate() {
+                        if u < *w {
+                            pick = i;
+                            break;
+                        }
+                        u -= *w;
+                        pick = i;
+                    }
+                    // Spread ranks across the domain deterministically.
+                    (pick as u64).wrapping_mul(0x9E37_79B9) % (xbar + 1)
+                })
+                .collect()
+        }
+        Dist::Clustered { clusters } => {
+            let c = clusters.max(1) as u64;
+            let centers: Vec<u64> = (0..c).map(|_| rng.next_below(xbar + 1)).collect();
+            let spread = (xbar / (20 * c)).max(1);
+            (0..n)
+                .map(|_| {
+                    let center = centers[rng.next_below(c) as usize];
+                    let jitter = rng.next_below(2 * spread + 1);
+                    (center + jitter).saturating_sub(spread).min(xbar)
+                })
+                .collect()
+        }
+        Dist::Bimodal => (0..n)
+            .map(|_| {
+                let lo = rng.bernoulli(0.5);
+                let base = if lo { xbar / 10 } else { xbar - xbar / 10 };
+                let jitter = rng.next_below(xbar / 20 + 1);
+                (base + jitter).saturating_sub(xbar / 40).min(xbar)
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_respect_domain_and_size() {
+        for dist in [
+            Dist::Uniform,
+            Dist::Zipf(1.1),
+            Dist::Clustered { clusters: 5 },
+            Dist::Bimodal,
+        ] {
+            let items = generate(dist, 500, 1000, 42);
+            assert_eq!(items.len(), 500);
+            assert!(items.iter().all(|&x| x <= 1000), "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(Dist::Zipf(1.0), 100, 999, 7);
+        let b = generate(Dist::Zipf(1.0), 100, 999, 7);
+        let c = generate(Dist::Zipf(1.0), 100, 999, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_duplicates_heavily() {
+        let items = generate(Dist::Zipf(1.5), 2000, 1 << 20, 3);
+        let mut distinct = items.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() < items.len() / 3,
+            "zipf should duplicate: {} distinct of {}",
+            distinct.len(),
+            items.len()
+        );
+    }
+
+    #[test]
+    fn bimodal_has_a_gap() {
+        let items = generate(Dist::Bimodal, 1000, 10_000, 5);
+        let in_middle = items
+            .iter()
+            .filter(|&&x| (3000..7000).contains(&x))
+            .count();
+        assert_eq!(in_middle, 0, "bimodal middle should be empty");
+    }
+
+    #[test]
+    fn uniform_mean_is_central() {
+        let items = generate(Dist::Uniform, 20_000, 1000, 9);
+        let mean = items.iter().sum::<u64>() as f64 / items.len() as f64;
+        assert!((mean - 500.0).abs() < 20.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,130 @@
+//! The COUNT_DISTINCT aggregate (§5 of the paper).
+//!
+//! TAG classified COUNT_DISTINCT as "unique": state (and communication)
+//! proportional to the number of distinct values. The paper sharpens this
+//! into a theorem: **exact** distinct counting requires `Ω(n)`
+//! communication in the worst case — even randomized — by reduction from
+//! two-party Set Disjointness (Theorem 5.1; the executable reduction lives
+//! in `saq-lowerbound`). Meanwhile the **approximate** version needs only
+//! `O(log log n)` bits via value-hashed sketches (§2.2: *"using the hash
+//! value of an item as the source of random bits"*).
+//!
+//! This module packages both protocols with their accuracy/cost contract;
+//! experiment E6 measures the linear-vs-polyloglog separation.
+
+use crate::error::QueryError;
+use crate::net::AggregationNetwork;
+
+/// Outcome of an exact distinct count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistinctExactOutcome {
+    /// The exact number of distinct active values.
+    pub count: u64,
+}
+
+/// Outcome of an approximate distinct count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistinctApxOutcome {
+    /// The estimate.
+    pub estimate: f64,
+    /// Relative standard deviation of the estimator (`≈ 1.30/√(m·reps)`).
+    pub sigma: f64,
+    /// Instances averaged.
+    pub reps: u32,
+}
+
+/// The COUNT_DISTINCT query runner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountDistinct;
+
+impl CountDistinct {
+    /// Creates a runner.
+    pub fn new() -> Self {
+        CountDistinct
+    }
+
+    /// Exact distinct count via set-union convergecast. Communication is
+    /// `Θ(d·log X̄)` bits near the root, `d` the number of distinct values
+    /// — the linear behaviour Theorem 5.1 proves unavoidable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol failures.
+    pub fn exact<N: AggregationNetwork>(
+        &self,
+        net: &mut N,
+    ) -> Result<DistinctExactOutcome, QueryError> {
+        Ok(DistinctExactOutcome {
+            count: net.distinct_exact()?,
+        })
+    }
+
+    /// Approximate distinct count: `reps` averaged value-hashed LogLog
+    /// instances, `O(reps · m · log log N)` bits per node.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidParameter`] if `reps == 0`; protocol failures
+    /// are propagated.
+    pub fn approximate<N: AggregationNetwork>(
+        &self,
+        net: &mut N,
+        reps: u32,
+    ) -> Result<DistinctApxOutcome, QueryError> {
+        let estimate = net.distinct_apx(reps)?;
+        let sigma = net.apx_config().sigma() / (reps.max(1) as f64).sqrt();
+        Ok(DistinctApxOutcome {
+            estimate,
+            sigma,
+            reps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::ApxCountConfig;
+    use crate::local::LocalNetwork;
+    use crate::net::AggregationNetwork;
+
+    #[test]
+    fn exact_counts_distinct_values() {
+        let mut net = LocalNetwork::new(vec![1, 1, 2, 3, 3, 3, 9], 10).unwrap();
+        assert_eq!(CountDistinct::new().exact(&mut net).unwrap().count, 4);
+    }
+
+    #[test]
+    fn approximate_close_on_large_sets() {
+        let items: Vec<u64> = (0..20_000).collect();
+        let mut net = LocalNetwork::with_config(
+            items,
+            20_000,
+            ApxCountConfig::default().with_seed(4),
+        )
+        .unwrap();
+        let out = CountDistinct::new().approximate(&mut net, 16).unwrap();
+        let rel = (out.estimate - 20_000.0).abs() / 20_000.0;
+        assert!(rel < 4.0 * out.sigma + 0.02, "rel {rel} sigma {}", out.sigma);
+    }
+
+    #[test]
+    fn approximate_is_duplicate_insensitive() {
+        // 10k items, only 50 distinct values.
+        let items: Vec<u64> = (0..10_000u64).map(|i| i % 50).collect();
+        let mut net = LocalNetwork::new(items, 100).unwrap();
+        let out = CountDistinct::new().approximate(&mut net, 8).unwrap();
+        assert!(
+            (out.estimate - 50.0).abs() < 25.0,
+            "estimate {} should be near 50, not 10000",
+            out.estimate
+        );
+        assert_eq!(net.op_counts().distinct_ops, 1);
+    }
+
+    #[test]
+    fn zero_reps_rejected() {
+        let mut net = LocalNetwork::new(vec![1], 2).unwrap();
+        assert!(CountDistinct::new().approximate(&mut net, 0).is_err());
+    }
+}

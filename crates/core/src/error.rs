@@ -1,0 +1,83 @@
+//! Error types for aggregate queries.
+
+use saq_protocols::ProtocolError;
+use std::fmt;
+
+/// Errors produced by the paper's query algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The input multiset is empty — no median or order statistic exists.
+    EmptyInput,
+    /// A requested rank `k` was outside `[1, N]`.
+    InvalidRank {
+        /// The requested rank.
+        k: u64,
+        /// The population size.
+        n: u64,
+    },
+    /// An item exceeded the network's declared maximum value `X̄`.
+    ItemOutOfRange {
+        /// The offending item.
+        item: u64,
+        /// Declared maximum.
+        xbar: u64,
+    },
+    /// An invalid parameter (ε or β outside `(0, 1)`, zero repetitions...).
+    InvalidParameter(&'static str),
+    /// The underlying network protocol failed.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyInput => write!(f, "input multiset is empty"),
+            QueryError::InvalidRank { k, n } => {
+                write!(f, "rank {k} outside valid range [1, {n}]")
+            }
+            QueryError::ItemOutOfRange { item, xbar } => {
+                write!(f, "item {item} exceeds declared maximum {xbar}")
+            }
+            QueryError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            QueryError::Protocol(e) => write!(f, "protocol failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for QueryError {
+    fn from(e: ProtocolError) -> Self {
+        QueryError::Protocol(e)
+    }
+}
+
+impl From<saq_netsim::NetsimError> for QueryError {
+    fn from(e: saq_netsim::NetsimError) -> Self {
+        QueryError::Protocol(ProtocolError::Netsim(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(QueryError::EmptyInput.to_string(), "input multiset is empty");
+        assert!(QueryError::InvalidRank { k: 9, n: 3 }
+            .to_string()
+            .contains("[1, 3]"));
+        let wrapped = QueryError::from(ProtocolError::NoResult);
+        assert!(wrapped.to_string().contains("protocol failure"));
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+}

@@ -1,0 +1,307 @@
+//! The paper's data model: items, ranks and order-statistic definitions.
+//!
+//! Following §2.1/§2.3 of the paper:
+//!
+//! * items are non-negative integers bounded by a known maximum `X̄`
+//!   ("we denote the maximal possible value of X by X̄, and assume X̄ is
+//!   known ... log X̄ = O(log N)");
+//! * `ℓ_X(y)` is the number of items strictly smaller than `y`
+//!   (Notation 2.2);
+//! * a `k`-order statistic is a `y` with `ℓ(y) < k` and `ℓ(y+1) ≥ k`
+//!   (Definition 2.3); the median is the `N/2`-order statistic — note
+//!   `N/2` may be half-integral, which we handle exactly with **doubled
+//!   ranks** (`k2 = 2k`) throughout;
+//! * an `(α, β)` approximation relaxes the rank by a factor `1 ± α` and
+//!   the value by `β·X̄` (Definition 2.4).
+//!
+//! The binary searches of Figs. 1 and 2 manipulate a midpoint `y` that can
+//! be an integer or an integer plus one half. We represent such values in
+//! **doubled coordinates** (`y2 = 2y`), keeping every computation in exact
+//! integer arithmetic.
+
+/// An input item: a non-negative integer (paper §2.1).
+pub type Value = u64;
+
+/// `ℓ_X(y)` in doubled coordinates: the number of items `x` with
+/// `2x < y2` (Notation 2.2 evaluated at `y = y2 / 2`).
+pub fn rank_lt2(items: &[Value], y2: u64) -> u64 {
+    items.iter().filter(|&&x| 2 * x < y2).count() as u64
+}
+
+/// `ℓ_X(y)` for integer `y`.
+pub fn rank_lt(items: &[Value], y: Value) -> u64 {
+    items.iter().filter(|&&x| x < y).count() as u64
+}
+
+/// Whether `y` is a `k`-order statistic of `items` with **doubled** rank
+/// `k2 = 2k` (Definition 2.3): `ℓ(y) < k` and `ℓ(y+1) ≥ k`.
+///
+/// Doubling permits the median's half-integral rank `k = N/2` exactly.
+pub fn is_order_statistic2(items: &[Value], k2: u64, y: Value) -> bool {
+    if items.is_empty() {
+        return false;
+    }
+    2 * rank_lt(items, y) < k2 && 2 * rank_lt(items, y.saturating_add(1)) >= k2
+}
+
+/// Whether `y` is a valid median of `items` (Definition 2.3 with
+/// `k = N/2`).
+pub fn is_median(items: &[Value], y: Value) -> bool {
+    is_order_statistic2(items, items.len() as u64, y)
+}
+
+/// The canonical exact median via sorting — the reference the distributed
+/// algorithms are tested against.
+pub fn reference_median(items: &[Value]) -> Option<Value> {
+    reference_order_statistic2(items, items.len() as u64)
+}
+
+/// Reference `k`-order statistic (doubled rank `k2`) via sorting.
+///
+/// Returns the smallest `y` satisfying Definition 2.3, or `None` for an
+/// empty input or out-of-range rank.
+pub fn reference_order_statistic2(items: &[Value], k2: u64) -> Option<Value> {
+    if items.is_empty() || k2 == 0 || k2 > 2 * items.len() as u64 {
+        return None;
+    }
+    let mut sorted = items.to_vec();
+    sorted.sort_unstable();
+    // The smallest y with ℓ(y+1) ≥ k ⟺ at least ⌈k⌉ items ≤ y: y =
+    // sorted[⌈k2/2⌉ - 1].
+    let idx = k2.div_ceil(2) - 1;
+    Some(sorted[idx as usize])
+}
+
+/// Whether `y` is a `k` `(α, β)`-order statistic (Definition 2.4, doubled
+/// rank `k2`): there exists `y'` with `|y − y'| ≤ β·X̄`, `ℓ(y') < k(1+α)`
+/// and `ℓ(y'+1) ≥ k(1−α)`.
+pub fn is_apx_order_statistic2(
+    items: &[Value],
+    k2: u64,
+    alpha: f64,
+    beta: f64,
+    xbar: Value,
+    y: Value,
+) -> bool {
+    if items.is_empty() {
+        return false;
+    }
+    let mut sorted = items.to_vec();
+    sorted.sort_unstable();
+    let k = k2 as f64 / 2.0;
+    let hi_rank = k * (1.0 + alpha);
+    let lo_rank = k * (1.0 - alpha);
+
+    // Valid y' form an interval [y0, y1]:
+    //   ℓ(y') < k(1+α)   holds for all y' up to some bound (ℓ nondecreasing)
+    //   ℓ(y'+1) ≥ k(1−α) holds from some bound on.
+    // ℓ(y') counts items < y'; with the sorted list, ℓ(v) =
+    // partition_point(< v).
+    let l = |v: u64| sorted.partition_point(|&x| x < v) as f64;
+
+    // Largest y' with ℓ(y') < hi_rank: since ℓ(y') ≤ ℓ(X̄+1) = N, if
+    // N < hi_rank every y' qualifies. Otherwise the threshold item is
+    // sorted[ceil(hi_rank)-1]... do a direct binary search over y'.
+    let max_y = xbar.saturating_add(1);
+    let y1 = {
+        // Binary search the largest v in [0, max_y] with ℓ(v) < hi_rank.
+        let (mut lo, mut hi) = (0u64, max_y);
+        if l(0) >= hi_rank {
+            None
+        } else {
+            while lo < hi {
+                let mid = lo + (hi - lo).div_ceil(2);
+                if l(mid) < hi_rank {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            Some(lo)
+        }
+    };
+    let y0 = {
+        // Smallest v in [0, max_y] with ℓ(v+1) ≥ lo_rank.
+        let (mut lo, mut hi) = (0u64, max_y);
+        if l(max_y.saturating_add(1)) < lo_rank {
+            None
+        } else {
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if l(mid + 1) >= lo_rank {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            Some(lo)
+        }
+    };
+    let (Some(y0), Some(y1)) = (y0, y1) else {
+        return false;
+    };
+    if y0 > y1 {
+        return false;
+    }
+    // Overlap of [y0, y1] with [y − βX̄, y + βX̄].
+    let slack = (beta * xbar as f64).ceil() as u64;
+    let window_lo = y.saturating_sub(slack);
+    let window_hi = y.saturating_add(slack);
+    window_lo <= y1 && y0 <= window_hi
+}
+
+/// Whether `y` is an `(α, β)`-median (Definition 2.4 with `k = N/2`).
+pub fn is_apx_median(items: &[Value], alpha: f64, beta: f64, xbar: Value, y: Value) -> bool {
+    is_apx_order_statistic2(items, items.len() as u64, alpha, beta, xbar, y)
+}
+
+/// `⌊log₂ x⌋` for `x ≥ 1`; items valued 0 are mapped to log-value 0,
+/// matching the convention that the log-domain transform of Fig. 4
+/// operates on values scaled into `[1, X̄]`.
+pub fn floor_log2(x: Value) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        63 - x.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rank_functions() {
+        let items = [1, 3, 3, 7];
+        assert_eq!(rank_lt(&items, 0), 0);
+        assert_eq!(rank_lt(&items, 3), 1);
+        assert_eq!(rank_lt(&items, 4), 3);
+        assert_eq!(rank_lt(&items, 100), 4);
+        // Doubled: y = 2.5 → y2 = 5 → items with 2x < 5: {1} and... 2*1=2<5, 2*3=6≥5.
+        assert_eq!(rank_lt2(&items, 5), 1);
+        assert_eq!(rank_lt2(&items, 6), 1);
+        assert_eq!(rank_lt2(&items, 7), 3);
+    }
+
+    #[test]
+    fn median_definition_on_odd_and_even() {
+        // Odd: {0,1,2}: k = 1.5. ℓ(1)=1 < 1.5, ℓ(2)=2 ≥ 1.5 → median 1.
+        assert!(is_median(&[0, 1, 2], 1));
+        assert!(!is_median(&[0, 1, 2], 0));
+        assert!(!is_median(&[0, 1, 2], 2));
+        // Even: {0,1,2,3}: k = 2. ℓ(1)=1<2, ℓ(2)=2≥2 → 1 qualifies.
+        assert!(is_median(&[0, 1, 2, 3], 1));
+        // 2 does not: ℓ(2)=2 is not < 2.
+        assert!(!is_median(&[0, 1, 2, 3], 2));
+    }
+
+    #[test]
+    fn median_with_duplicates() {
+        // {5,5,5,9}: k=2: ℓ(5)=0<2, ℓ(6)=3≥2 → 5. 9: ℓ(9)=3 not <2.
+        assert!(is_median(&[5, 5, 5, 9], 5));
+        assert!(!is_median(&[5, 5, 5, 9], 9));
+    }
+
+    #[test]
+    fn reference_median_matches_definition() {
+        assert_eq!(reference_median(&[0, 1, 2]), Some(1));
+        assert_eq!(reference_median(&[0, 1, 2, 3]), Some(1));
+        assert_eq!(reference_median(&[5, 5, 5, 9]), Some(5));
+        assert_eq!(reference_median(&[42]), Some(42));
+        assert_eq!(reference_median(&[]), None);
+    }
+
+    #[test]
+    fn order_statistics_extremes() {
+        let items = [10, 20, 30];
+        // k=1 → minimum; k=3 → maximum (k2 doubled).
+        assert_eq!(reference_order_statistic2(&items, 2), Some(10));
+        assert_eq!(reference_order_statistic2(&items, 6), Some(30));
+        assert!(is_order_statistic2(&items, 2, 10));
+        assert!(is_order_statistic2(&items, 6, 30));
+        assert!(!is_order_statistic2(&items, 2, 20));
+        // Out of range ranks.
+        assert_eq!(reference_order_statistic2(&items, 0), None);
+        assert_eq!(reference_order_statistic2(&items, 7), None);
+    }
+
+    #[test]
+    fn apx_median_exact_case() {
+        let items = [0, 1, 2, 3, 4];
+        // α = β = 0 degenerates to the exact definition.
+        assert!(is_apx_median(&items, 0.0, 0.0, 100, 2));
+        assert!(!is_apx_median(&items, 0.0, 0.0, 100, 4));
+    }
+
+    #[test]
+    fn apx_median_beta_window() {
+        let items = [0, 100, 200];
+        // Exact median 100. β = 0.1 with X̄ = 1000 allows ±100.
+        assert!(is_apx_median(&items, 0.0, 0.1, 1000, 150));
+        assert!(is_apx_median(&items, 0.0, 0.1, 1000, 50));
+        assert!(!is_apx_median(&items, 0.0, 0.01, 1000, 150));
+    }
+
+    #[test]
+    fn apx_median_alpha_rank_slack() {
+        let items: Vec<u64> = (0..100).collect();
+        // k = 50; α = 0.2 admits ranks in (40, 60): values ~ 40..59.
+        assert!(is_apx_median(&items, 0.2, 0.0, 1000, 45));
+        assert!(is_apx_median(&items, 0.2, 0.0, 1000, 55));
+        assert!(!is_apx_median(&items, 0.2, 0.0, 1000, 80));
+    }
+
+    #[test]
+    fn floor_log2_values() {
+        assert_eq!(floor_log2(0), 0);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(1023), 9);
+        assert_eq!(floor_log2(1024), 10);
+        assert_eq!(floor_log2(u64::MAX), 63);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reference_median_is_median(items in proptest::collection::vec(0u64..1000, 1..200)) {
+            let m = reference_median(&items).unwrap();
+            prop_assert!(is_median(&items, m), "reference median {m} fails Definition 2.3");
+        }
+
+        #[test]
+        fn prop_reference_os_is_os(items in proptest::collection::vec(0u64..1000, 1..100), k in 1u64..100) {
+            let k = k.min(items.len() as u64);
+            let y = reference_order_statistic2(&items, 2 * k).unwrap();
+            prop_assert!(is_order_statistic2(&items, 2 * k, y));
+        }
+
+        #[test]
+        fn prop_median_unique_for_distinct_odd(mut items in proptest::collection::vec(0u64..100_000, 1..100)) {
+            items.sort_unstable();
+            items.dedup();
+            if items.len() % 2 == 1 {
+                let m = reference_median(&items).unwrap();
+                // For odd distinct inputs the median is unique.
+                for &y in &items {
+                    prop_assert_eq!(is_median(&items, y), y == m);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_apx_contains_exact(items in proptest::collection::vec(0u64..1000, 1..100),
+                                   alpha in 0.0f64..0.5, beta in 0.0f64..0.5) {
+            let m = reference_median(&items).unwrap();
+            prop_assert!(is_apx_median(&items, alpha, beta, 1000, m),
+                "exact median must satisfy any (alpha, beta) relaxation");
+        }
+
+        #[test]
+        fn prop_doubled_rank_consistency(items in proptest::collection::vec(0u64..500, 0..100), y in 0u64..500) {
+            prop_assert_eq!(rank_lt2(&items, 2 * y), rank_lt(&items, y));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The abstract aggregation network.
+//!
+//! The paper is explicit that its algorithms do not care how communication
+//! happens (§2.1): *"We do not make any specific assumption about the way
+//! communication is carried out: all we require is that the root can
+//! initiate some protocols and get back the results."* §2.2 then posits
+//! primitive protocols — MIN, MAX, COUNT (Fact 2.1) and approximate
+//! counting (Fact 2.2).
+//!
+//! [`AggregationNetwork`] captures exactly that interface. Two
+//! implementations exist:
+//!
+//! * [`crate::local::LocalNetwork`] — an in-memory multiset executing the
+//!   same statistical machinery (real LogLog sketches) without a network;
+//!   used for algorithm-logic tests and fast calibration;
+//! * [`crate::simnet::SimNetwork`] — every primitive is a real
+//!   broadcast–convergecast wave over a bounded-degree spanning tree in
+//!   the discrete-event simulator, with bit-exact accounting.
+//!
+//! The algorithms (`MEDIAN`, `APX_MEDIAN`, `APX_MEDIAN2`, ...) are generic
+//! over this trait, mirroring the paper's structure.
+
+use crate::counting::ApxCountConfig;
+use crate::error::QueryError;
+use crate::model::Value;
+use crate::predicate::{Domain, Predicate};
+use saq_netsim::stats::NetStats;
+
+/// Cumulative invocation counts of the primitive protocols — the
+/// network-independent "round complexity" of a query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// MIN/MAX invocations.
+    pub minmax_ops: u64,
+    /// Exact COUNTP invocations.
+    pub countp_ops: u64,
+    /// Exact SUM invocations.
+    pub sum_ops: u64,
+    /// Individual APX_COUNT instances (a `REP_COUNTP(r, ·)` counts `r`).
+    pub apx_count_instances: u64,
+    /// REP_COUNTP waves (each carrying its instances).
+    pub rep_countp_ops: u64,
+    /// Zoom/remap broadcasts (Fig. 4 line 3.2).
+    pub zoom_ops: u64,
+    /// Full value collections (naive baseline).
+    pub collect_ops: u64,
+    /// COUNT_DISTINCT protocol runs (exact or approximate).
+    pub distinct_ops: u64,
+}
+
+/// The abstract sensor network of §2.1: a multiset of items distributed
+/// over nodes, a distinguished root, and primitive protocols the root can
+/// invoke.
+///
+/// Items carry a *current* value (mutated by [`AggregationNetwork::zoom`])
+/// and may become **passive** (excluded from every primitive), matching
+/// Fig. 4's node deactivation.
+pub trait AggregationNetwork {
+    /// Number of network nodes (not items; §5 allows multiple items per
+    /// node).
+    fn num_nodes(&self) -> usize;
+
+    /// The declared maximum item value `X̄` (§2.1 assumes it is known and
+    /// `log X̄ = O(log N)`).
+    fn xbar(&self) -> Value;
+
+    /// The approximate-counting configuration in force.
+    fn apx_config(&self) -> ApxCountConfig;
+
+    /// MIN over active items, in the given domain (`Log` applies
+    /// `⌊log₂ ·⌋` first). `None` when no active items remain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol failures from the underlying network.
+    fn min(&mut self, domain: Domain) -> Result<Option<Value>, QueryError>;
+
+    /// MAX over active items (see [`AggregationNetwork::min`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol failures from the underlying network.
+    fn max(&mut self, domain: Domain) -> Result<Option<Value>, QueryError>;
+
+    /// Exact `COUNTP(X, P)`: the number of active items satisfying `P`
+    /// (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol failures from the underlying network.
+    fn count(&mut self, p: &Predicate) -> Result<u64, QueryError>;
+
+    /// Exact `SUM` over active items satisfying `P` (one of the TAG
+    /// aggregates of Fact 2.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol failures from the underlying network.
+    fn sum(&mut self, p: &Predicate) -> Result<u64, QueryError>;
+
+    /// `REP_COUNTP(r, P)` (Fig. 2): the average of `reps` independent
+    /// `APX_COUNT` instances restricted to `P`. Fresh instance seeds are
+    /// drawn per invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::InvalidParameter`] if `reps == 0`; propagates
+    /// protocol failures.
+    fn rep_apx_count(&mut self, p: &Predicate, reps: u32) -> Result<f64, QueryError>;
+
+    /// Fig. 4 lines 3.1–3.3: broadcast `µ̂`, deactivate items outside the
+    /// octave `⌊log₂ x⌋ = µ̂`, and rescale survivors to `[1, X̄]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol failures from the underlying network.
+    fn zoom(&mut self, mu_hat: u32) -> Result<(), QueryError>;
+
+    /// Restores every item to its original value and reactivates it
+    /// (driver-side convenience between queries; not charged).
+    fn restore_items(&mut self);
+
+    /// Collects every active item value at the root — the naive
+    /// linear-communication protocol (TAG's "holistic" class), used as a
+    /// baseline and charged accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol failures from the underlying network.
+    fn collect_values(&mut self) -> Result<Vec<Value>, QueryError>;
+
+    /// Exact COUNT_DISTINCT: number of distinct active values, via
+    /// set-union convergecast (§5: linear communication near the root).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol failures from the underlying network.
+    fn distinct_exact(&mut self) -> Result<u64, QueryError>;
+
+    /// Approximate COUNT_DISTINCT: value-hashed sketches (duplicate
+    /// insensitive), averaging `reps` instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::InvalidParameter`] if `reps == 0`; propagates
+    /// protocol failures.
+    fn distinct_apx(&mut self, reps: u32) -> Result<f64, QueryError>;
+
+    /// Measurement-only ground truth: the current active item values,
+    /// read out-of-band (never charged). Used by verification and the
+    /// experiment harness.
+    fn ground_truth(&self) -> Vec<Value>;
+
+    /// Cumulative primitive-invocation counters.
+    fn op_counts(&self) -> OpCounts;
+
+    /// Per-node bit statistics, when the implementation measures them
+    /// (the simulated network does; the local model does not).
+    fn net_stats(&self) -> Option<&NetStats> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counts_default_is_zero() {
+        let c = OpCounts::default();
+        assert_eq!(c.countp_ops, 0);
+        assert_eq!(c.apx_count_instances, 0);
+    }
+}

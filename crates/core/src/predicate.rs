@@ -1,0 +1,255 @@
+//! Locally computable predicates for `COUNTP` (§3.1 of the paper).
+//!
+//! > *"The COUNTP protocol takes a predicate P as an input argument, and
+//! > returns the number of elements x for which P(x) is true. ... we need
+//! > to ensure that P can be represented in O(C_COUNT(N)) bits."*
+//!
+//! Two ingredients:
+//!
+//! * the **test** — `TRUE` or a strict threshold `x < y`, where `y` may be
+//!   half-integral (binary-search midpoints), represented exactly in
+//!   doubled coordinates `y2 = 2y`;
+//! * the **domain** — `Raw` evaluates on the item's current value,
+//!   `Log` on `⌊log₂ value⌋`. Log-domain predicates are what make
+//!   `APX_MEDIAN2` polyloglog: their thresholds need only
+//!   `O(log log X̄)` bits on the wire.
+//!
+//! Encodings are width-parameterized by the network's declared maximum
+//! `X̄`, so a raw threshold costs `Θ(log X̄)` bits and a log threshold
+//! `Θ(log log X̄)` bits — exactly the costs the paper's theorems charge.
+
+use crate::model::{floor_log2, Value};
+use saq_netsim::wire::{width_for_max, BitReader, BitWriter};
+use saq_netsim::NetsimError;
+
+/// Which value an item presents to the predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// The item's current value.
+    Raw,
+    /// `⌊log₂ value⌋` of the current value (Fig. 4's hat-values).
+    Log,
+}
+
+/// The predicate test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Test {
+    /// Counts every item (`COUNTP(X, TRUE) = COUNT(X)`).
+    True,
+    /// `x < y2 / 2`, i.e. `2x < y2` in exact integer arithmetic.
+    LessThan2 {
+        /// The doubled threshold.
+        y2: u64,
+    },
+}
+
+/// A locally computable predicate with its evaluation domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// Evaluation domain.
+    pub domain: Domain,
+    /// The test applied to the domain value.
+    pub test: Test,
+}
+
+impl Predicate {
+    /// The always-true predicate (plain `COUNT`).
+    pub const TRUE: Predicate = Predicate {
+        domain: Domain::Raw,
+        test: Test::True,
+    };
+
+    /// Raw-domain `x < y2/2`.
+    pub fn less_than2(y2: u64) -> Self {
+        Predicate {
+            domain: Domain::Raw,
+            test: Test::LessThan2 { y2 },
+        }
+    }
+
+    /// Raw-domain `x < y` for integer `y`.
+    pub fn less_than(y: Value) -> Self {
+        Self::less_than2(2 * y)
+    }
+
+    /// Log-domain `⌊log₂ x⌋ < y2/2`.
+    pub fn log_less_than2(y2: u64) -> Self {
+        Predicate {
+            domain: Domain::Log,
+            test: Test::LessThan2 { y2 },
+        }
+    }
+
+    /// Evaluates the predicate on an item's current value.
+    pub fn eval(&self, value: Value) -> bool {
+        let v = match self.domain {
+            Domain::Raw => value,
+            Domain::Log => floor_log2(value) as u64,
+        };
+        match self.test {
+            Test::True => true,
+            Test::LessThan2 { y2 } => 2 * v < y2,
+        }
+    }
+
+    /// Wire width of the doubled threshold for this predicate's domain,
+    /// given the network maximum `X̄`: raw thresholds span
+    /// `[0, 2(X̄+1)]`, log thresholds `[0, 2(⌊log₂ X̄⌋+1)]`.
+    fn threshold_width(domain: Domain, xbar: Value) -> u32 {
+        match domain {
+            Domain::Raw => width_for_max(2 * (xbar + 1)),
+            Domain::Log => width_for_max(2 * (floor_log2(xbar) as u64 + 1)),
+        }
+    }
+
+    /// The largest meaningful doubled threshold for a domain: any larger
+    /// threshold counts every item, so clamping to it preserves counts.
+    fn threshold_cap(domain: Domain, xbar: Value) -> u64 {
+        match domain {
+            Domain::Raw => 2 * (xbar + 1),
+            Domain::Log => 2 * (floor_log2(xbar) as u64 + 1),
+        }
+    }
+
+    /// Serializes the predicate; the encoding size depends on the domain
+    /// (this is the `O(log log X̄)`-bit predicate of the polyloglog
+    /// algorithm). Thresholds beyond the domain are clamped to the
+    /// all-items threshold — the count is unchanged, and the clamp keeps
+    /// transient out-of-range binary-search midpoints encodable.
+    pub fn encode(&self, xbar: Value, w: &mut BitWriter) {
+        w.write_bits(matches!(self.domain, Domain::Log) as u64, 1);
+        match self.test {
+            Test::True => w.write_bits(0, 1),
+            Test::LessThan2 { y2 } => {
+                w.write_bits(1, 1);
+                w.write_bits(
+                    y2.min(Self::threshold_cap(self.domain, xbar)),
+                    Self::threshold_width(self.domain, xbar),
+                );
+            }
+        }
+    }
+
+    /// Deserializes a predicate encoded with the same `X̄`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireDecode`] on truncation.
+    pub fn decode(xbar: Value, r: &mut BitReader<'_>) -> Result<Self, NetsimError> {
+        let domain = if r.read_bits(1)? == 1 {
+            Domain::Log
+        } else {
+            Domain::Raw
+        };
+        let test = if r.read_bits(1)? == 1 {
+            Test::LessThan2 {
+                y2: r.read_bits(Self::threshold_width(domain, xbar))?,
+            }
+        } else {
+            Test::True
+        };
+        Ok(Predicate { domain, test })
+    }
+
+    /// Exact encoded size in bits.
+    pub fn encoded_bits(&self, xbar: Value) -> u64 {
+        match self.test {
+            Test::True => 2,
+            Test::LessThan2 { .. } => 2 + Self::threshold_width(self.domain, xbar) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn true_counts_everything() {
+        for v in [0u64, 1, 1000, u64::MAX / 4] {
+            assert!(Predicate::TRUE.eval(v));
+        }
+    }
+
+    #[test]
+    fn raw_threshold_integer_and_half() {
+        // x < 3
+        let p = Predicate::less_than(3);
+        assert!(p.eval(2));
+        assert!(!p.eval(3));
+        // x < 2.5 (y2 = 5)
+        let p = Predicate::less_than2(5);
+        assert!(p.eval(2));
+        assert!(!p.eval(3));
+    }
+
+    #[test]
+    fn log_threshold() {
+        // ⌊log x⌋ < 3 ⟺ x < 8 (for x ≥ 1).
+        let p = Predicate::log_less_than2(6);
+        assert!(p.eval(7));
+        assert!(!p.eval(8));
+        assert!(p.eval(1));
+        assert!(p.eval(0)); // log-value of 0 is 0 by convention
+    }
+
+    #[test]
+    fn log_predicates_are_exponentially_smaller() {
+        let xbar = 1u64 << 40;
+        let raw = Predicate::less_than(12345).encoded_bits(xbar);
+        let log = Predicate::log_less_than2(30).encoded_bits(xbar);
+        assert!(raw >= 42, "raw predicate {raw} bits");
+        assert!(log <= 10, "log predicate {log} bits");
+    }
+
+    #[test]
+    fn roundtrip_various() {
+        let xbar = 100_000u64;
+        for p in [
+            Predicate::TRUE,
+            Predicate::less_than(0),
+            Predicate::less_than(99_999),
+            Predicate::less_than2(12345),
+            Predicate::log_less_than2(7),
+            Predicate {
+                domain: Domain::Log,
+                test: Test::True,
+            },
+        ] {
+            let mut w = BitWriter::new();
+            p.encode(xbar, &mut w);
+            let s = w.finish();
+            assert_eq!(s.len_bits(), p.encoded_bits(xbar));
+            let mut r = BitReader::new(&s);
+            assert_eq!(Predicate::decode(xbar, &mut r).unwrap(), p);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(xbar in 1u64..=(1 << 40), y2 in 0u64..1 << 20, log_domain: bool) {
+            let y2 = y2.min(2 * (xbar + 1));
+            let p = if log_domain {
+                let cap = 2 * (floor_log2(xbar) as u64 + 1);
+                Predicate::log_less_than2(y2.min(cap))
+            } else {
+                Predicate::less_than2(y2)
+            };
+            let mut w = BitWriter::new();
+            p.encode(xbar, &mut w);
+            let s = w.finish();
+            let mut r = BitReader::new(&s);
+            prop_assert_eq!(Predicate::decode(xbar, &mut r).unwrap(), p);
+        }
+
+        #[test]
+        fn prop_eval_matches_reference(x in 0u64..1 << 30, y2 in 0u64..1 << 31) {
+            let p = Predicate::less_than2(y2);
+            prop_assert_eq!(p.eval(x), (2 * x) < y2);
+            let pl = Predicate::log_less_than2(y2.min(130));
+            let lx = if x <= 1 { 0 } else { 63 - x.leading_zeros() } as u64;
+            prop_assert_eq!(pl.eval(x), 2 * lx < y2.min(130));
+        }
+    }
+}

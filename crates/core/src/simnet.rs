@@ -1,0 +1,450 @@
+//! The simulated aggregation network.
+//!
+//! [`SimNetwork`] realizes [`AggregationNetwork`] with *real* distributed
+//! execution: every primitive invocation is a broadcast–convergecast wave
+//! over a bounded-degree BFS spanning tree inside the discrete-event
+//! simulator, with every message serialized to bits and charged to both
+//! endpoints. [`AggregationNetwork::net_stats`] then exposes the paper's
+//! individual communication complexity for whatever query ran.
+//!
+//! Use [`SimNetworkBuilder`] to configure link behaviour, reliability,
+//! tree degree bound and sketch parameters.
+
+use crate::counting::ApxCountConfig;
+use crate::error::QueryError;
+use crate::model::Value;
+use crate::net::{AggregationNetwork, OpCounts};
+use crate::predicate::{Domain, Predicate};
+use crate::wave_proto::{CorePartial, CoreRequest, CoreWave, SimItem};
+use saq_netsim::sim::SimConfig;
+use saq_netsim::stats::NetStats;
+use saq_netsim::topology::Topology;
+use saq_protocols::wave::Reliability;
+use saq_protocols::{SpanningTree, WaveRunner};
+use saq_sketches::DistinctSketch;
+
+/// Builder for [`SimNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use saq_core::simnet::SimNetworkBuilder;
+/// use saq_core::net::AggregationNetwork;
+/// use saq_core::predicate::Predicate;
+/// use saq_netsim::topology::Topology;
+///
+/// # fn main() -> Result<(), saq_core::QueryError> {
+/// let topo = Topology::grid(4, 4)?;
+/// let items: Vec<u64> = (0..16).collect();
+/// let mut net = SimNetworkBuilder::new().build_one_per_node(&topo, &items, 100)?;
+/// assert_eq!(net.count(&Predicate::TRUE)?, 16);
+/// assert!(net.net_stats().unwrap().max_node_bits() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimNetworkBuilder {
+    sim_cfg: SimConfig,
+    apx: ApxCountConfig,
+    max_children: usize,
+    reliability: Reliability,
+}
+
+impl Default for SimNetworkBuilder {
+    fn default() -> Self {
+        SimNetworkBuilder {
+            sim_cfg: SimConfig::default(),
+            apx: ApxCountConfig::default(),
+            max_children: 3,
+            reliability: Reliability::None,
+        }
+    }
+}
+
+impl SimNetworkBuilder {
+    /// A builder with default simulator, sketch and tree settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the simulator configuration (links, energy model, seed).
+    pub fn sim_config(mut self, cfg: SimConfig) -> Self {
+        self.sim_cfg = cfg;
+        self
+    }
+
+    /// Sets the approximate-counting configuration.
+    pub fn apx_config(mut self, apx: ApxCountConfig) -> Self {
+        self.apx = apx;
+        self
+    }
+
+    /// Caps the number of children per tree node (the paper's
+    /// bounded-degree requirement; default 3).
+    pub fn max_children(mut self, k: usize) -> Self {
+        self.max_children = k.max(1);
+        self
+    }
+
+    /// Enables per-hop ARQ (for lossy-link experiments).
+    pub fn reliability(mut self, r: Reliability) -> Self {
+        self.reliability = r;
+        self
+    }
+
+    /// Builds a network with explicit per-node item multisets (§5 of the
+    /// paper allows several items per node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::ItemOutOfRange`] if an item exceeds `xbar`,
+    /// and propagates tree/runner construction failures.
+    pub fn build(
+        self,
+        topo: &Topology,
+        items_per_node: Vec<Vec<Value>>,
+        xbar: Value,
+    ) -> Result<SimNetwork, QueryError> {
+        for &item in items_per_node.iter().flatten() {
+            if item > xbar {
+                return Err(QueryError::ItemOutOfRange { item, xbar });
+            }
+        }
+        let tree = SpanningTree::bfs_bounded(topo, 0, self.max_children)
+            .map_err(QueryError::from)?;
+        let proto = CoreWave {
+            xbar,
+            apx: self.apx,
+        };
+        let items: Vec<Vec<SimItem>> = items_per_node
+            .into_iter()
+            .map(|vs| vs.into_iter().map(SimItem::new).collect())
+            .collect();
+        let runner = WaveRunner::new(topo, self.sim_cfg, &tree, proto, items, self.reliability)
+            .map_err(QueryError::from)?;
+        Ok(SimNetwork {
+            runner,
+            xbar,
+            apx: self.apx,
+            ops: OpCounts::default(),
+            nonce: 0,
+        })
+    }
+
+    /// Builds a network with exactly one item per node, the paper's main
+    /// setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::InvalidParameter`] if `items.len()` differs
+    /// from the node count; otherwise as [`SimNetworkBuilder::build`].
+    pub fn build_one_per_node(
+        self,
+        topo: &Topology,
+        items: &[Value],
+        xbar: Value,
+    ) -> Result<SimNetwork, QueryError> {
+        if items.len() != topo.len() {
+            return Err(QueryError::InvalidParameter(
+                "one item per node requires items.len() == topology size",
+            ));
+        }
+        self.build(topo, items.iter().map(|&v| vec![v]).collect(), xbar)
+    }
+}
+
+/// An [`AggregationNetwork`] whose primitives execute as simulated
+/// distributed waves with bit-exact accounting.
+#[derive(Debug)]
+pub struct SimNetwork {
+    runner: WaveRunner<CoreWave>,
+    xbar: Value,
+    apx: ApxCountConfig,
+    ops: OpCounts,
+    nonce: u16,
+}
+
+impl SimNetwork {
+    /// Height of the aggregation tree (diagnostics).
+    pub fn tree_height(&self) -> u32 {
+        self.runner.tree_height()
+    }
+
+    /// Maximum communication degree in the aggregation tree.
+    pub fn tree_max_degree(&self) -> usize {
+        self.runner.tree_max_degree()
+    }
+
+    /// Clears the per-node bit counters (e.g. after a setup phase).
+    pub fn reset_stats(&mut self) {
+        self.runner.reset_stats();
+    }
+
+    fn run(&mut self, req: CoreRequest) -> Result<CorePartial, QueryError> {
+        self.runner.run_wave(req).map_err(QueryError::from)
+    }
+
+    fn fresh_nonce(&mut self) -> u16 {
+        self.nonce = self.nonce.wrapping_add(1);
+        self.nonce
+    }
+}
+
+impl AggregationNetwork for SimNetwork {
+    fn num_nodes(&self) -> usize {
+        self.runner.len()
+    }
+
+    fn xbar(&self) -> Value {
+        self.xbar
+    }
+
+    fn apx_config(&self) -> ApxCountConfig {
+        self.apx
+    }
+
+    fn min(&mut self, domain: Domain) -> Result<Option<Value>, QueryError> {
+        self.ops.minmax_ops += 1;
+        match self.run(CoreRequest::Min(domain))? {
+            CorePartial::OptVal(_, v) => Ok(v),
+            _ => unreachable!("min wave returns OptVal"),
+        }
+    }
+
+    fn max(&mut self, domain: Domain) -> Result<Option<Value>, QueryError> {
+        self.ops.minmax_ops += 1;
+        match self.run(CoreRequest::Max(domain))? {
+            CorePartial::OptVal(_, v) => Ok(v),
+            _ => unreachable!("max wave returns OptVal"),
+        }
+    }
+
+    fn count(&mut self, p: &Predicate) -> Result<u64, QueryError> {
+        self.ops.countp_ops += 1;
+        match self.run(CoreRequest::Count(*p))? {
+            CorePartial::Num(v) => Ok(v),
+            _ => unreachable!("count wave returns Num"),
+        }
+    }
+
+    fn sum(&mut self, p: &Predicate) -> Result<u64, QueryError> {
+        self.ops.sum_ops += 1;
+        match self.run(CoreRequest::Sum(*p))? {
+            CorePartial::Num(v) => Ok(v),
+            _ => unreachable!("sum wave returns Num"),
+        }
+    }
+
+    fn rep_apx_count(&mut self, p: &Predicate, reps: u32) -> Result<f64, QueryError> {
+        if reps == 0 {
+            return Err(QueryError::InvalidParameter("reps must be positive"));
+        }
+        self.ops.rep_countp_ops += 1;
+        self.ops.apx_count_instances += reps as u64;
+        let nonce = self.fresh_nonce();
+        match self.run(CoreRequest::ApxCount {
+            pred: *p,
+            reps,
+            nonce,
+        })? {
+            CorePartial::Sketches(sks) => {
+                let total: f64 = sks.iter().map(|s| s.estimate()).sum();
+                Ok(total / sks.len().max(1) as f64)
+            }
+            _ => unreachable!("apx count wave returns Sketches"),
+        }
+    }
+
+    fn zoom(&mut self, mu_hat: u32) -> Result<(), QueryError> {
+        self.ops.zoom_ops += 1;
+        match self.run(CoreRequest::Zoom { mu_hat })? {
+            CorePartial::Unit => Ok(()),
+            _ => unreachable!("zoom wave returns Unit"),
+        }
+    }
+
+    fn restore_items(&mut self) {
+        for node in 0..self.runner.len() {
+            let restored: Vec<SimItem> = self
+                .runner
+                .items(node)
+                .iter()
+                .map(|it| SimItem::new(it.orig))
+                .collect();
+            self.runner.set_items(node, restored);
+        }
+    }
+
+    fn collect_values(&mut self) -> Result<Vec<Value>, QueryError> {
+        self.ops.collect_ops += 1;
+        match self.run(CoreRequest::Collect)? {
+            CorePartial::Values(vs) => Ok(vs),
+            _ => unreachable!("collect wave returns Values"),
+        }
+    }
+
+    fn distinct_exact(&mut self) -> Result<u64, QueryError> {
+        self.ops.distinct_ops += 1;
+        match self.run(CoreRequest::DistinctExact)? {
+            CorePartial::Set(vs) => Ok(vs.len() as u64),
+            _ => unreachable!("distinct wave returns Set"),
+        }
+    }
+
+    fn distinct_apx(&mut self, reps: u32) -> Result<f64, QueryError> {
+        if reps == 0 {
+            return Err(QueryError::InvalidParameter("reps must be positive"));
+        }
+        self.ops.distinct_ops += 1;
+        let nonce = self.fresh_nonce();
+        match self.run(CoreRequest::DistinctApx { reps, nonce })? {
+            CorePartial::Sketches(sks) => {
+                let total: f64 = sks.iter().map(|s| s.estimate()).sum();
+                Ok(total / sks.len().max(1) as f64)
+            }
+            _ => unreachable!("distinct apx wave returns Sketches"),
+        }
+    }
+
+    fn ground_truth(&self) -> Vec<Value> {
+        (0..self.runner.len())
+            .flat_map(|v| self.runner.items(v).iter().filter_map(|it| it.cur))
+            .collect()
+    }
+
+    fn op_counts(&self) -> OpCounts {
+        self.ops
+    }
+
+    fn net_stats(&self) -> Option<&NetStats> {
+        Some(self.runner.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::reference_median;
+
+    fn grid_net(side: usize) -> SimNetwork {
+        let topo = Topology::grid(side, side).unwrap();
+        let n = side * side;
+        let items: Vec<Value> = (0..n as u64).collect();
+        SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, (n as u64) * 2)
+            .unwrap()
+    }
+
+    #[test]
+    fn primitives_match_local_semantics() {
+        let mut net = grid_net(4);
+        assert_eq!(net.num_nodes(), 16);
+        assert_eq!(net.min(Domain::Raw).unwrap(), Some(0));
+        assert_eq!(net.max(Domain::Raw).unwrap(), Some(15));
+        assert_eq!(net.count(&Predicate::TRUE).unwrap(), 16);
+        assert_eq!(net.count(&Predicate::less_than(8)).unwrap(), 8);
+        assert_eq!(net.sum(&Predicate::TRUE).unwrap(), 120);
+        assert_eq!(net.max(Domain::Log).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn stats_grow_with_queries() {
+        let mut net = grid_net(4);
+        assert_eq!(net.net_stats().unwrap().max_node_bits(), 0);
+        net.count(&Predicate::TRUE).unwrap();
+        let one = net.net_stats().unwrap().max_node_bits();
+        assert!(one > 0);
+        net.count(&Predicate::TRUE).unwrap();
+        assert!(net.net_stats().unwrap().max_node_bits() > one);
+        net.reset_stats();
+        assert_eq!(net.net_stats().unwrap().max_node_bits(), 0);
+    }
+
+    #[test]
+    fn apx_count_estimates_population() {
+        let topo = Topology::grid(16, 16).unwrap();
+        let items: Vec<Value> = (0..256u64).collect();
+        let mut net = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, 512)
+            .unwrap();
+        let est = net.rep_apx_count(&Predicate::TRUE, 24).unwrap();
+        let rel = (est - 256.0).abs() / 256.0;
+        assert!(rel < 0.25, "rel err {rel}");
+    }
+
+    #[test]
+    fn zoom_then_count() {
+        let topo = Topology::line(6).unwrap();
+        let items: Vec<Value> = vec![1, 2, 3, 4, 8, 100];
+        let mut net = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, 128)
+            .unwrap();
+        net.zoom(1).unwrap();
+        assert_eq!(net.count(&Predicate::TRUE).unwrap(), 2);
+        let truth = net.ground_truth();
+        assert_eq!(truth.len(), 2);
+        net.restore_items();
+        assert_eq!(net.count(&Predicate::TRUE).unwrap(), 6);
+        assert_eq!(reference_median(&net.ground_truth()), Some(3));
+    }
+
+    #[test]
+    fn collect_and_distinct() {
+        let topo = Topology::star(7).unwrap();
+        let items: Vec<Value> = vec![5, 5, 9, 9, 9, 1, 5];
+        let mut net = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, 10)
+            .unwrap();
+        let mut got = net.collect_values().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 5, 5, 5, 9, 9, 9]);
+        assert_eq!(net.distinct_exact().unwrap(), 3);
+        let est = net.distinct_apx(8).unwrap();
+        assert!((est - 3.0).abs() <= 2.0, "estimate {est}");
+    }
+
+    #[test]
+    fn multi_item_nodes() {
+        let topo = Topology::line(3).unwrap();
+        let mut net = SimNetworkBuilder::new()
+            .build(&topo, vec![vec![1, 2], vec![], vec![3, 4, 5]], 10)
+            .unwrap();
+        assert_eq!(net.count(&Predicate::TRUE).unwrap(), 5);
+        assert_eq!(net.sum(&Predicate::TRUE).unwrap(), 15);
+        assert_eq!(net.min(Domain::Raw).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn out_of_range_item_rejected() {
+        let topo = Topology::line(2).unwrap();
+        let err = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &[1, 99], 10)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::ItemOutOfRange { item: 99, .. }));
+    }
+
+    #[test]
+    fn bounded_degree_is_respected_on_grid() {
+        let topo = Topology::grid(8, 8).unwrap();
+        let items: Vec<Value> = (0..64u64).collect();
+        let net = SimNetworkBuilder::new()
+            .max_children(2)
+            .build_one_per_node(&topo, &items, 64)
+            .unwrap();
+        assert!(net.tree_max_degree() <= 3);
+    }
+
+    #[test]
+    fn exact_count_result_bits_scale_logarithmically() {
+        // A single COUNT wave: the partial near the root carries ~log N
+        // bits (gamma-coded count), the request ~2 bits + header.
+        let mut net = grid_net(8); // 64 nodes
+        net.reset_stats();
+        net.count(&Predicate::TRUE).unwrap();
+        let max_bits = net.net_stats().unwrap().max_node_bits();
+        // Very loose envelope: must be well below linear (64 * value bits)
+        // and above zero.
+        assert!(max_bits > 20);
+        assert!(max_bits < 600, "count wave cost {max_bits} bits/node");
+    }
+}

@@ -1,0 +1,645 @@
+//! The core [`WaveProtocol`]: every primitive of §2.2/§3.1 as one
+//! broadcast–convergecast wave.
+//!
+//! Requests and partials are bit-exact encodings whose sizes realize the
+//! costs the paper charges:
+//!
+//! * MIN/MAX/COUNT/SUM — `Θ(log X̄)`-bit requests and results (Fact 2.1;
+//!   counts are Elias-gamma coded so a result costs `Θ(log count)` bits);
+//! * `APX_COUNT` — `r` LogLog sketches of `Θ(m log log N)` bits each
+//!   (Fact 2.2), merged register-wise (ODI);
+//! * log-domain predicates and zoom broadcasts — `Θ(log log X̄)` bits, the
+//!   ingredient that makes `APX_MEDIAN2` polyloglog;
+//! * COLLECT / DISTINCT-EXACT — linearly growing partials, deliberately:
+//!   they are the baselines whose cost the paper's algorithms beat.
+
+use crate::counting::ApxCountConfig;
+use crate::model::{floor_log2, Value};
+use crate::predicate::{Domain, Predicate};
+use saq_netsim::rng::{derive_seed, Xoshiro256StarStar};
+use saq_netsim::sim::NodeId;
+use saq_netsim::wire::{width_for_max, BitReader, BitWriter};
+use saq_netsim::NetsimError;
+use saq_protocols::WaveProtocol;
+use saq_sketches::{DistinctSketch, HashFamily, LogLog};
+
+/// One item held by a simulated node: its original value plus the current
+/// (possibly rescaled) value; `cur == None` means the item is passive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimItem {
+    /// The value as originally deployed.
+    pub orig: Value,
+    /// The current value after zoom rescaling, or `None` when passive.
+    pub cur: Option<Value>,
+}
+
+impl SimItem {
+    /// A fresh, active item.
+    pub fn new(v: Value) -> Self {
+        SimItem {
+            orig: v,
+            cur: Some(v),
+        }
+    }
+}
+
+/// The request vocabulary of the core primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreRequest {
+    /// MIN over active items in a domain.
+    Min(Domain),
+    /// MAX over active items in a domain.
+    Max(Domain),
+    /// Exact predicate count (§3.1).
+    Count(Predicate),
+    /// Exact predicate sum.
+    Sum(Predicate),
+    /// `REP_COUNTP`: `reps` independent LogLog instances seeded from
+    /// `nonce`.
+    ApxCount {
+        /// The counted predicate.
+        pred: Predicate,
+        /// Number of independent instances.
+        reps: u32,
+        /// Per-invocation seed discriminator.
+        nonce: u16,
+    },
+    /// Fig. 4 zoom: deactivate items outside octave `mu_hat`, rescale the
+    /// rest onto `[1, X̄]`.
+    Zoom {
+        /// The selected octave `µ̂`.
+        mu_hat: u32,
+    },
+    /// Collect every active value at the root (linear baseline).
+    Collect,
+    /// Exact distinct count via set-union convergecast (§5).
+    DistinctExact,
+    /// Approximate distinct count via value-hashed sketches.
+    DistinctApx {
+        /// Number of independent instances.
+        reps: u32,
+        /// Per-invocation seed discriminator.
+        nonce: u16,
+    },
+}
+
+/// Partial aggregates flowing up the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorePartial {
+    /// Min/max accumulator (domain retained for encoding width).
+    OptVal(Domain, Option<u64>),
+    /// Exact count or sum.
+    Num(u64),
+    /// `reps` LogLog sketches, merged register-wise.
+    Sketches(Vec<LogLog>),
+    /// No data (zoom acknowledgement).
+    Unit,
+    /// Concatenated active values (collect).
+    Values(Vec<Value>),
+    /// Sorted distinct active values (exact distinct count).
+    Set(Vec<Value>),
+}
+
+/// The core wave protocol configuration, shared by every node.
+#[derive(Debug, Clone)]
+pub struct CoreWave {
+    /// Declared maximum item value `X̄`.
+    pub xbar: Value,
+    /// Approximate-counting parameters.
+    pub apx: ApxCountConfig,
+}
+
+impl CoreWave {
+    fn domain_value_width(&self, d: Domain) -> u32 {
+        match d {
+            Domain::Raw => width_for_max(self.xbar),
+            Domain::Log => width_for_max(floor_log2(self.xbar) as u64),
+        }
+    }
+
+    fn mu_width(&self) -> u32 {
+        width_for_max(floor_log2(self.xbar) as u64)
+    }
+
+    fn value_width(&self) -> u32 {
+        width_for_max(self.xbar)
+    }
+
+    fn sketch_reg_width(&self) -> u32 {
+        // Register values are bounded by the hash window + 1.
+        width_for_max((64 - self.apx.b + 1) as u64)
+    }
+
+    fn encode_sketch(&self, sk: &LogLog, w: &mut BitWriter) {
+        let rw = self.sketch_reg_width();
+        for &r in sk.registers() {
+            w.write_bits(r as u64, rw);
+        }
+    }
+
+    fn decode_sketch(&self, r: &mut BitReader<'_>) -> Result<LogLog, NetsimError> {
+        let rw = self.sketch_reg_width();
+        let mut sk = LogLog::new(self.apx.b);
+        let mut regs = Vec::with_capacity(sk.m());
+        for _ in 0..sk.m() {
+            regs.push(r.read_bits(rw)? as u8);
+        }
+        // Rebuild through merge of a register image: LogLog has no
+        // register setter, so decode via a one-off reconstruction.
+        sk = LogLog::from_registers(self.apx.b, regs)
+            .map_err(|_| NetsimError::WireDecode("sketch register out of range"))?;
+        Ok(sk)
+    }
+}
+
+const OP_MIN: u64 = 0;
+const OP_MAX: u64 = 1;
+const OP_COUNT: u64 = 2;
+const OP_SUM: u64 = 3;
+const OP_APX: u64 = 4;
+const OP_ZOOM: u64 = 5;
+const OP_COLLECT: u64 = 6;
+const OP_DISTINCT: u64 = 7;
+const OP_DISTINCT_APX: u64 = 8;
+
+const PT_OPT: u64 = 0;
+const PT_NUM: u64 = 1;
+const PT_SKETCHES: u64 = 2;
+const PT_UNIT: u64 = 3;
+const PT_VALUES: u64 = 4;
+const PT_SET: u64 = 5;
+
+fn encode_domain(d: Domain, w: &mut BitWriter) {
+    w.write_bits(matches!(d, Domain::Log) as u64, 1);
+}
+
+fn decode_domain(r: &mut BitReader<'_>) -> Result<Domain, NetsimError> {
+    Ok(if r.read_bits(1)? == 1 {
+        Domain::Log
+    } else {
+        Domain::Raw
+    })
+}
+
+impl WaveProtocol for CoreWave {
+    type Request = CoreRequest;
+    type Partial = CorePartial;
+    type Item = SimItem;
+
+    fn encode_request(&self, req: &CoreRequest, w: &mut BitWriter) {
+        match req {
+            CoreRequest::Min(d) => {
+                w.write_bits(OP_MIN, 4);
+                encode_domain(*d, w);
+            }
+            CoreRequest::Max(d) => {
+                w.write_bits(OP_MAX, 4);
+                encode_domain(*d, w);
+            }
+            CoreRequest::Count(p) => {
+                w.write_bits(OP_COUNT, 4);
+                p.encode(self.xbar, w);
+            }
+            CoreRequest::Sum(p) => {
+                w.write_bits(OP_SUM, 4);
+                p.encode(self.xbar, w);
+            }
+            CoreRequest::ApxCount { pred, reps, nonce } => {
+                w.write_bits(OP_APX, 4);
+                pred.encode(self.xbar, w);
+                w.write_bits(*reps as u64, 16);
+                w.write_bits(*nonce as u64, 16);
+            }
+            CoreRequest::Zoom { mu_hat } => {
+                w.write_bits(OP_ZOOM, 4);
+                w.write_bits(*mu_hat as u64, self.mu_width());
+            }
+            CoreRequest::Collect => w.write_bits(OP_COLLECT, 4),
+            CoreRequest::DistinctExact => w.write_bits(OP_DISTINCT, 4),
+            CoreRequest::DistinctApx { reps, nonce } => {
+                w.write_bits(OP_DISTINCT_APX, 4);
+                w.write_bits(*reps as u64, 16);
+                w.write_bits(*nonce as u64, 16);
+            }
+        }
+    }
+
+    fn decode_request(&self, r: &mut BitReader<'_>) -> Result<CoreRequest, NetsimError> {
+        Ok(match r.read_bits(4)? {
+            OP_MIN => CoreRequest::Min(decode_domain(r)?),
+            OP_MAX => CoreRequest::Max(decode_domain(r)?),
+            OP_COUNT => CoreRequest::Count(Predicate::decode(self.xbar, r)?),
+            OP_SUM => CoreRequest::Sum(Predicate::decode(self.xbar, r)?),
+            OP_APX => CoreRequest::ApxCount {
+                pred: Predicate::decode(self.xbar, r)?,
+                reps: r.read_bits(16)? as u32,
+                nonce: r.read_bits(16)? as u16,
+            },
+            OP_ZOOM => CoreRequest::Zoom {
+                mu_hat: r.read_bits(self.mu_width())? as u32,
+            },
+            OP_COLLECT => CoreRequest::Collect,
+            OP_DISTINCT => CoreRequest::DistinctExact,
+            OP_DISTINCT_APX => CoreRequest::DistinctApx {
+                reps: r.read_bits(16)? as u32,
+                nonce: r.read_bits(16)? as u16,
+            },
+            _ => return Err(NetsimError::WireDecode("unknown core opcode")),
+        })
+    }
+
+    fn encode_partial(&self, p: &CorePartial, w: &mut BitWriter) {
+        match p {
+            CorePartial::OptVal(d, v) => {
+                w.write_bits(PT_OPT, 3);
+                encode_domain(*d, w);
+                match v {
+                    None => w.write_bits(0, 1),
+                    Some(x) => {
+                        w.write_bits(1, 1);
+                        w.write_bits(*x, self.domain_value_width(*d));
+                    }
+                }
+            }
+            CorePartial::Num(v) => {
+                w.write_bits(PT_NUM, 3);
+                // Gamma coding: a count result costs Θ(log count) bits.
+                w.write_gamma(v + 1);
+            }
+            CorePartial::Sketches(sks) => {
+                w.write_bits(PT_SKETCHES, 3);
+                w.write_bits(sks.len() as u64, 16);
+                for sk in sks {
+                    self.encode_sketch(sk, w);
+                }
+            }
+            CorePartial::Unit => w.write_bits(PT_UNIT, 3),
+            CorePartial::Values(vals) => {
+                w.write_bits(PT_VALUES, 3);
+                w.write_bits(vals.len() as u64, 24);
+                for v in vals {
+                    w.write_bits(*v, self.value_width());
+                }
+            }
+            CorePartial::Set(vals) => {
+                w.write_bits(PT_SET, 3);
+                w.write_bits(vals.len() as u64, 24);
+                for v in vals {
+                    w.write_bits(*v, self.value_width());
+                }
+            }
+        }
+    }
+
+    fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<CorePartial, NetsimError> {
+        Ok(match r.read_bits(3)? {
+            PT_OPT => {
+                let d = decode_domain(r)?;
+                let v = if r.read_bits(1)? == 1 {
+                    Some(r.read_bits(self.domain_value_width(d))?)
+                } else {
+                    None
+                };
+                CorePartial::OptVal(d, v)
+            }
+            PT_NUM => CorePartial::Num(r.read_gamma()? - 1),
+            PT_SKETCHES => {
+                let n = r.read_bits(16)? as usize;
+                let mut sks = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    sks.push(self.decode_sketch(r)?);
+                }
+                CorePartial::Sketches(sks)
+            }
+            PT_UNIT => CorePartial::Unit,
+            PT_VALUES => {
+                let n = r.read_bits(24)? as usize;
+                let mut vals = Vec::with_capacity(n.min(1 << 24));
+                for _ in 0..n {
+                    vals.push(r.read_bits(self.value_width())?);
+                }
+                CorePartial::Values(vals)
+            }
+            PT_SET => {
+                let n = r.read_bits(24)? as usize;
+                let mut vals = Vec::with_capacity(n.min(1 << 24));
+                for _ in 0..n {
+                    vals.push(r.read_bits(self.value_width())?);
+                }
+                CorePartial::Set(vals)
+            }
+            _ => return Err(NetsimError::WireDecode("unknown core partial tag")),
+        })
+    }
+
+    fn local(
+        &self,
+        node: NodeId,
+        items: &mut Vec<SimItem>,
+        req: &CoreRequest,
+        _rng: &mut Xoshiro256StarStar,
+    ) -> CorePartial {
+        let active = || items.iter().filter_map(|it| it.cur);
+        match req {
+            CoreRequest::Min(d) | CoreRequest::Max(d) => {
+                let mapped = active().map(|v| match d {
+                    Domain::Raw => v,
+                    Domain::Log => floor_log2(v) as u64,
+                });
+                let v = if matches!(req, CoreRequest::Min(_)) {
+                    mapped.min()
+                } else {
+                    mapped.max()
+                };
+                CorePartial::OptVal(*d, v)
+            }
+            CoreRequest::Count(p) => CorePartial::Num(active().filter(|&v| p.eval(v)).count() as u64),
+            CoreRequest::Sum(p) => CorePartial::Num(active().filter(|&v| p.eval(v)).sum()),
+            CoreRequest::ApxCount { pred, reps, nonce } => {
+                let mut sks = Vec::with_capacity(*reps as usize);
+                for inst in 0..*reps {
+                    let h = HashFamily::new(derive_seed(
+                        self.apx.seed,
+                        *nonce as u64,
+                        inst as u64,
+                    ));
+                    let mut sk = LogLog::new(self.apx.b);
+                    for (idx, it) in items.iter().enumerate() {
+                        if let Some(cur) = it.cur {
+                            if pred.eval(cur) {
+                                // Item identity: (node, slot) — unique and
+                                // stable, so counting is per-item.
+                                sk.insert_hash(h.hash_pair(node as u64, idx as u64));
+                            }
+                        }
+                    }
+                    sks.push(sk);
+                }
+                CorePartial::Sketches(sks)
+            }
+            CoreRequest::Zoom { mu_hat } => {
+                for it in items.iter_mut() {
+                    if let Some(cur) = it.cur {
+                        it.cur = crate::local::rescale_into_octave(cur, *mu_hat, self.xbar);
+                    }
+                }
+                CorePartial::Unit
+            }
+            CoreRequest::Collect => CorePartial::Values(active().collect()),
+            CoreRequest::DistinctExact => {
+                let mut vals: Vec<Value> = active().collect();
+                vals.sort_unstable();
+                vals.dedup();
+                CorePartial::Set(vals)
+            }
+            CoreRequest::DistinctApx { reps, nonce } => {
+                let mut sks = Vec::with_capacity(*reps as usize);
+                for inst in 0..*reps {
+                    let h = HashFamily::new(derive_seed(
+                        self.apx.seed,
+                        *nonce as u64,
+                        inst as u64,
+                    ));
+                    let mut sk = LogLog::new(self.apx.b);
+                    for v in active() {
+                        // Keyed by value: duplicate-insensitive (§2.2).
+                        sk.insert_hash(h.hash(v));
+                    }
+                    sks.push(sk);
+                }
+                CorePartial::Sketches(sks)
+            }
+        }
+    }
+
+    fn merge(&self, req: &CoreRequest, a: CorePartial, b: CorePartial) -> CorePartial {
+        match (a, b) {
+            (CorePartial::OptVal(d, x), CorePartial::OptVal(_, y)) => {
+                let v = match (x, y) {
+                    (None, v) | (v, None) => v,
+                    (Some(x), Some(y)) => Some(if matches!(req, CoreRequest::Min(_)) {
+                        x.min(y)
+                    } else {
+                        x.max(y)
+                    }),
+                };
+                CorePartial::OptVal(d, v)
+            }
+            (CorePartial::Num(x), CorePartial::Num(y)) => CorePartial::Num(x + y),
+            (CorePartial::Sketches(mut xs), CorePartial::Sketches(ys)) => {
+                debug_assert_eq!(xs.len(), ys.len(), "sketch vectors must align");
+                for (x, y) in xs.iter_mut().zip(ys.iter()) {
+                    x.merge_from(y);
+                }
+                CorePartial::Sketches(xs)
+            }
+            (CorePartial::Unit, CorePartial::Unit) => CorePartial::Unit,
+            (CorePartial::Values(mut xs), CorePartial::Values(ys)) => {
+                xs.extend(ys);
+                CorePartial::Values(xs)
+            }
+            (CorePartial::Set(xs), CorePartial::Set(ys)) => {
+                // Sorted-set union.
+                let mut out = Vec::with_capacity(xs.len() + ys.len());
+                let (mut i, mut j) = (0, 0);
+                while i < xs.len() || j < ys.len() {
+                    let next = match (xs.get(i), ys.get(j)) {
+                        (Some(&x), Some(&y)) if x == y => {
+                            i += 1;
+                            j += 1;
+                            x
+                        }
+                        (Some(&x), Some(&y)) if x < y => {
+                            i += 1;
+                            x
+                        }
+                        (Some(_), Some(&y)) => {
+                            j += 1;
+                            y
+                        }
+                        (Some(&x), None) => {
+                            i += 1;
+                            x
+                        }
+                        (None, Some(&y)) => {
+                            j += 1;
+                            y
+                        }
+                        (None, None) => unreachable!(),
+                    };
+                    if out.last() != Some(&next) {
+                        out.push(next);
+                    }
+                }
+                CorePartial::Set(out)
+            }
+            (a, _) => {
+                debug_assert!(false, "mismatched partial variants in merge");
+                a
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_netsim::wire::BitWriter;
+
+    fn proto() -> CoreWave {
+        CoreWave {
+            xbar: 1000,
+            apx: ApxCountConfig::default(),
+        }
+    }
+
+    fn roundtrip_req(p: &CoreWave, req: CoreRequest) {
+        let mut w = BitWriter::new();
+        p.encode_request(&req, &mut w);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert_eq!(p.decode_request(&mut r).unwrap(), req);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let p = proto();
+        for req in [
+            CoreRequest::Min(Domain::Raw),
+            CoreRequest::Min(Domain::Log),
+            CoreRequest::Max(Domain::Raw),
+            CoreRequest::Count(Predicate::less_than(500)),
+            CoreRequest::Sum(Predicate::TRUE),
+            CoreRequest::ApxCount {
+                pred: Predicate::log_less_than2(9),
+                reps: 17,
+                nonce: 3,
+            },
+            CoreRequest::Zoom { mu_hat: 7 },
+            CoreRequest::Collect,
+            CoreRequest::DistinctExact,
+            CoreRequest::DistinctApx { reps: 5, nonce: 9 },
+        ] {
+            roundtrip_req(&p, req);
+        }
+    }
+
+    #[test]
+    fn partial_roundtrips() {
+        let p = proto();
+        let mut sk = LogLog::new(p.apx.b);
+        sk.insert_hash(0xDEAD_BEEF_1234_5678);
+        for partial in [
+            CorePartial::OptVal(Domain::Raw, Some(999)),
+            CorePartial::OptVal(Domain::Raw, None),
+            CorePartial::OptVal(Domain::Log, Some(9)),
+            CorePartial::Num(0),
+            CorePartial::Num(123_456),
+            CorePartial::Sketches(vec![sk.clone(), LogLog::new(p.apx.b)]),
+            CorePartial::Unit,
+            CorePartial::Values(vec![1, 2, 3, 999]),
+            CorePartial::Set(vec![5, 10, 20]),
+        ] {
+            let mut w = BitWriter::new();
+            p.encode_partial(&partial, &mut w);
+            let s = w.finish();
+            let mut r = BitReader::new(&s);
+            assert_eq!(p.decode_partial(&mut r).unwrap(), partial);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn request_sizes_reflect_domains() {
+        let p = CoreWave {
+            xbar: 1 << 40,
+            apx: ApxCountConfig::default(),
+        };
+        let raw = {
+            let mut w = BitWriter::new();
+            p.encode_request(&CoreRequest::Count(Predicate::less_than(12345)), &mut w);
+            w.finish().len_bits()
+        };
+        let log = {
+            let mut w = BitWriter::new();
+            p.encode_request(
+                &CoreRequest::Count(Predicate::log_less_than2(15)),
+                &mut w,
+            );
+            w.finish().len_bits()
+        };
+        assert!(raw > 40, "raw count request {raw} bits");
+        assert!(log < 16, "log count request {log} bits");
+        // Zoom broadcasts cost O(log log X̄).
+        let zoom = {
+            let mut w = BitWriter::new();
+            p.encode_request(&CoreRequest::Zoom { mu_hat: 30 }, &mut w);
+            w.finish().len_bits()
+        };
+        assert!(zoom <= 4 + 6, "zoom request {zoom} bits");
+    }
+
+    #[test]
+    fn num_partial_is_gamma_sized() {
+        let p = proto();
+        let small = {
+            let mut w = BitWriter::new();
+            p.encode_partial(&CorePartial::Num(1), &mut w);
+            w.finish().len_bits()
+        };
+        let large = {
+            let mut w = BitWriter::new();
+            p.encode_partial(&CorePartial::Num(1 << 20), &mut w);
+            w.finish().len_bits()
+        };
+        assert!(small <= 6);
+        assert!((40..=50).contains(&large), "20-bit count gamma {large}");
+    }
+
+    #[test]
+    fn set_merge_unions() {
+        let p = proto();
+        let a = CorePartial::Set(vec![1, 3, 5]);
+        let b = CorePartial::Set(vec![2, 3, 6]);
+        let m = p.merge(&CoreRequest::DistinctExact, a, b);
+        assert_eq!(m, CorePartial::Set(vec![1, 2, 3, 5, 6]));
+    }
+
+    #[test]
+    fn optval_merge_respects_op() {
+        let p = proto();
+        let a = CorePartial::OptVal(Domain::Raw, Some(3));
+        let b = CorePartial::OptVal(Domain::Raw, Some(9));
+        assert_eq!(
+            p.merge(&CoreRequest::Min(Domain::Raw), a.clone(), b.clone()),
+            CorePartial::OptVal(Domain::Raw, Some(3))
+        );
+        assert_eq!(
+            p.merge(&CoreRequest::Max(Domain::Raw), a, b),
+            CorePartial::OptVal(Domain::Raw, Some(9))
+        );
+        let none = CorePartial::OptVal(Domain::Raw, None);
+        assert_eq!(
+            p.merge(
+                &CoreRequest::Min(Domain::Raw),
+                none,
+                CorePartial::OptVal(Domain::Raw, Some(5))
+            ),
+            CorePartial::OptVal(Domain::Raw, Some(5))
+        );
+    }
+
+    #[test]
+    fn local_zoom_mutates_items() {
+        let p = proto();
+        let mut items = vec![SimItem::new(2), SimItem::new(3), SimItem::new(100)];
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let out = p.local(0, &mut items, &CoreRequest::Zoom { mu_hat: 1 }, &mut rng);
+        assert_eq!(out, CorePartial::Unit);
+        assert!(items[0].cur.is_some());
+        assert!(items[1].cur.is_some());
+        assert_eq!(items[2].cur, None);
+        assert_eq!(items[2].orig, 100, "original value preserved");
+    }
+}

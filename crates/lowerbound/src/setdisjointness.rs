@@ -1,0 +1,153 @@
+//! Two-Party Set Disjointness instances.
+//!
+//! 2SD (§5): players A and B hold sets `X_A`, `X_B`; decide whether
+//! `X_A ∩ X_B = ∅`. No deterministic protocol solves it with `o(n)` bits
+//! (Kushilevitz–Nisan), and the `Ω(n)` bound extends to randomized
+//! protocols (Kalyanasundaram–Schnitger). Instances here are the
+//! adversarial shape used in those proofs: near-disjoint pairs that
+//! differ by a single shared element.
+
+use saq_netsim::rng::Xoshiro256StarStar;
+
+/// One 2SD instance: two sets (no internal duplicates) over a universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetDisjointnessInstance {
+    /// Player A's set.
+    pub alice: Vec<u64>,
+    /// Player B's set.
+    pub bob: Vec<u64>,
+    /// Ground truth: whether the sets are disjoint.
+    pub disjoint: bool,
+    /// The universe bound (all elements are `< universe`).
+    pub universe: u64,
+}
+
+impl SetDisjointnessInstance {
+    /// Generates a disjoint instance: `n` elements each, drawn from the
+    /// even/odd halves of the universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe cannot accommodate `2n` distinct elements.
+    pub fn disjoint(n: usize, universe: u64, seed: u64) -> Self {
+        assert!(
+            universe >= 2 * n as u64,
+            "universe {universe} too small for 2x{n} distinct elements"
+        );
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let alice = sample_distinct(&mut rng, n, universe / 2, 0, 2);
+        let bob = sample_distinct(&mut rng, n, universe / 2, 1, 2);
+        SetDisjointnessInstance {
+            alice,
+            bob,
+            disjoint: true,
+            universe,
+        }
+    }
+
+    /// Generates an instance intersecting in **exactly one** element —
+    /// the hardest gap for any counting-based protocol (a count off by
+    /// one flips the answer, which is why approximate counting cannot
+    /// solve 2SD).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe cannot accommodate `2n` distinct elements
+    /// or `n == 0`.
+    pub fn one_intersection(n: usize, universe: u64, seed: u64) -> Self {
+        assert!(n >= 1, "need at least one element to intersect");
+        let mut inst = Self::disjoint(n, universe, seed);
+        // Replace one of Bob's elements with one of Alice's.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ 0xB0B);
+        let a_pick = inst.alice[rng.next_below(inst.alice.len() as u64) as usize];
+        let b_slot = rng.next_below(inst.bob.len() as u64) as usize;
+        inst.bob[b_slot] = a_pick;
+        // Re-deduplicate Bob (the replacement could collide internally).
+        inst.bob.sort_unstable();
+        inst.bob.dedup();
+        inst.disjoint = false;
+        inst
+    }
+
+    /// `|X_A| + |X_B|` — the count the reduction compares against.
+    pub fn size_sum(&self) -> u64 {
+        (self.alice.len() + self.bob.len()) as u64
+    }
+
+    /// The true number of distinct elements in `X_A ∪ X_B`.
+    pub fn true_distinct(&self) -> u64 {
+        let mut all: Vec<u64> = self.alice.iter().chain(self.bob.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len() as u64
+    }
+}
+
+/// Samples `n` distinct values of the form `2k + parity` with
+/// `k < half_universe`.
+fn sample_distinct(
+    rng: &mut Xoshiro256StarStar,
+    n: usize,
+    half_universe: u64,
+    parity: u64,
+    stride: u64,
+) -> Vec<u64> {
+    let mut out = std::collections::BTreeSet::new();
+    while out.len() < n {
+        let k = rng.next_below(half_universe);
+        out.insert(stride * k + parity);
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn disjoint_instances_are_disjoint() {
+        let inst = SetDisjointnessInstance::disjoint(100, 10_000, 7);
+        assert_eq!(inst.alice.len(), 100);
+        assert_eq!(inst.bob.len(), 100);
+        assert!(inst.disjoint);
+        assert_eq!(inst.true_distinct(), inst.size_sum());
+    }
+
+    #[test]
+    fn one_intersection_differs_by_exactly_one() {
+        let inst = SetDisjointnessInstance::one_intersection(100, 10_000, 9);
+        assert!(!inst.disjoint);
+        assert_eq!(inst.true_distinct(), inst.size_sum() - 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SetDisjointnessInstance::disjoint(50, 1000, 3);
+        let b = SetDisjointnessInstance::disjoint(50, 1000, 3);
+        assert_eq!(a, b);
+        let c = SetDisjointnessInstance::disjoint(50, 1000, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_universe_panics() {
+        let _ = SetDisjointnessInstance::disjoint(100, 50, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_instances_well_formed(n in 1usize..200, seed: u64) {
+            let universe = (4 * n as u64).max(16);
+            let d = SetDisjointnessInstance::disjoint(n, universe, seed);
+            prop_assert_eq!(d.true_distinct(), 2 * n as u64);
+            let o = SetDisjointnessInstance::one_intersection(n, universe, seed);
+            prop_assert_eq!(o.true_distinct(), o.size_sum() - 1);
+            // Sets have no internal duplicates.
+            let mut a = o.alice.clone();
+            a.dedup();
+            prop_assert_eq!(a.len(), o.alice.len());
+        }
+    }
+}

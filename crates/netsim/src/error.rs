@@ -1,0 +1,99 @@
+//! Error types for the simulator substrate.
+
+use std::fmt;
+
+/// Errors produced by topology construction and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetsimError {
+    /// A topology generator was asked for an empty or otherwise
+    /// impossible network (for example a grid with zero width).
+    EmptyTopology,
+    /// A generated or user-supplied graph is not connected, so no
+    /// root-based protocol can reach every node.
+    Disconnected {
+        /// Number of nodes reachable from node 0.
+        reachable: usize,
+        /// Total number of nodes in the graph.
+        total: usize,
+    },
+    /// A node identifier was out of range for the network it was used with.
+    InvalidNode {
+        /// The offending identifier.
+        node: usize,
+        /// Number of nodes in the network.
+        len: usize,
+    },
+    /// An edge referenced a node pair that is not linked in the topology.
+    NoSuchLink {
+        /// Transmitting endpoint.
+        from: usize,
+        /// Receiving endpoint.
+        to: usize,
+    },
+    /// The simulator exceeded its configured event budget, which usually
+    /// indicates a protocol that never quiesces (for example a
+    /// retransmission loop with 100% loss).
+    EventBudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// A bit-stream decode failed (truncated or corrupt message).
+    WireDecode(&'static str),
+}
+
+impl fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetsimError::EmptyTopology => write!(f, "topology has no nodes"),
+            NetsimError::Disconnected { reachable, total } => write!(
+                f,
+                "topology is disconnected: {reachable} of {total} nodes reachable from node 0"
+            ),
+            NetsimError::InvalidNode { node, len } => {
+                write!(f, "node id {node} out of range for network of {len} nodes")
+            }
+            NetsimError::NoSuchLink { from, to } => {
+                write!(f, "no link between node {from} and node {to}")
+            }
+            NetsimError::EventBudgetExhausted { budget } => {
+                write!(f, "simulation exceeded event budget of {budget} events")
+            }
+            NetsimError::WireDecode(what) => write!(f, "wire decode error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            NetsimError::EmptyTopology,
+            NetsimError::Disconnected {
+                reachable: 1,
+                total: 4,
+            },
+            NetsimError::InvalidNode { node: 9, len: 4 },
+            NetsimError::NoSuchLink { from: 0, to: 3 },
+            NetsimError::EventBudgetExhausted { budget: 10 },
+            NetsimError::WireDecode("truncated"),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetsimError>();
+    }
+}

@@ -1,0 +1,147 @@
+//! The discrete-event priority queue.
+//!
+//! Events are ordered by `(time, sequence)`: the sequence number is a
+//! monotone tie-breaker so simulations are deterministic even when many
+//! events share a timestamp (common with [`crate::link::LinkConfig::ideal`]
+//! links).
+
+use crate::time::SimTime;
+use crate::wire::BitString;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Delivery of a packet payload to `dst`, sent by `src`.
+    Deliver {
+        /// Transmitting node.
+        src: usize,
+        /// Receiving node.
+        dst: usize,
+        /// The serialized message.
+        payload: BitString,
+    },
+    /// A timer previously set by `node` with an opaque protocol `tag`.
+    Timer {
+        /// The node whose timer fires.
+        node: usize,
+        /// Protocol-defined discriminator.
+        tag: u64,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Event {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop earliest first.
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `kind` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pops the earliest event, if any.
+    pub(crate) fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, tag: u64) -> EventKind {
+        EventKind::Timer { node, tag }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), timer(0, 3));
+        q.schedule(SimTime::from_micros(10), timer(0, 1));
+        q.schedule(SimTime::from_micros(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for tag in 0..10 {
+            q.schedule(t, timer(0, tag));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_tracks_min() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_micros(42), timer(0, 0));
+        q.schedule(SimTime::from_micros(7), timer(0, 1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

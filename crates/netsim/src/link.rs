@@ -1,0 +1,179 @@
+//! Link behaviour: latency, loss and duplication.
+//!
+//! The paper abstracts the communication subsystem entirely, but two of the
+//! works it builds on motivate non-ideal links:
+//!
+//! * Considine et al. \[2\] relax the spanning-tree assumption to "allow for
+//!   arbitrary duplication by the communication subsystem" — modelled here
+//!   by [`LinkConfig::duplication`];
+//! * lossy radios motivate the retransmission machinery in
+//!   `saq-protocols` — modelled by [`LinkConfig::loss`].
+//!
+//! The default link is ideal (reliable, no duplication), which is the
+//! setting of the paper's main theorems.
+
+use crate::rng::Xoshiro256StarStar;
+use crate::time::SimDuration;
+
+/// Per-link behaviour parameters shared by every link in a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Fixed per-hop propagation plus processing delay.
+    pub base_latency: SimDuration,
+    /// Additional latency per transmitted bit (serialization delay).
+    /// Stored in nanoseconds-per-bit to keep integer arithmetic.
+    pub nanos_per_bit: u64,
+    /// Independent probability that a transmission is lost.
+    pub loss: f64,
+    /// Independent probability that a delivered transmission is delivered
+    /// a second time (modelling multipath/retransmit duplication at the
+    /// communication subsystem, as in Considine et al.).
+    pub duplication: f64,
+    /// Random jitter added to each delivery, uniform in
+    /// `[0, jitter]`. Breaks event ties so protocol correctness cannot
+    /// silently rely on synchronized delivery.
+    pub jitter: SimDuration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            base_latency: SimDuration::from_micros(500),
+            // 250 kbit/s radio (802.15.4-class): 4 us per bit.
+            nanos_per_bit: 4_000,
+            loss: 0.0,
+            duplication: 0.0,
+            jitter: SimDuration::from_micros(100),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// An ideal, instantaneous link — useful in unit tests where timing is
+    /// irrelevant and determinism of event order is convenient.
+    pub fn ideal() -> Self {
+        LinkConfig {
+            base_latency: SimDuration::from_micros(1),
+            nanos_per_bit: 0,
+            loss: 0.0,
+            duplication: 0.0,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Returns a copy with the given loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the given duplication probability.
+    pub fn with_duplication(mut self, duplication: f64) -> Self {
+        self.duplication = duplication.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Transmission delay for a message of `bits` bits, excluding jitter.
+    pub fn delay_for(&self, bits: u64) -> SimDuration {
+        let ser_nanos = self.nanos_per_bit.saturating_mul(bits);
+        self.base_latency + SimDuration::from_micros(ser_nanos / 1_000)
+    }
+
+    /// Draws the fate of one transmission: `None` if lost, otherwise the
+    /// number of delivered copies (1 or 2) and the jitters to apply.
+    pub fn draw_fate(&self, rng: &mut Xoshiro256StarStar) -> LinkFate {
+        if self.loss > 0.0 && rng.bernoulli(self.loss) {
+            return LinkFate::Lost;
+        }
+        let jitter1 = self.draw_jitter(rng);
+        if self.duplication > 0.0 && rng.bernoulli(self.duplication) {
+            let jitter2 = self.draw_jitter(rng);
+            LinkFate::DeliveredTwice(jitter1, jitter2)
+        } else {
+            LinkFate::Delivered(jitter1)
+        }
+    }
+
+    fn draw_jitter(&self, rng: &mut Xoshiro256StarStar) -> SimDuration {
+        let j = self.jitter.as_micros();
+        if j == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(rng.next_below(j + 1))
+        }
+    }
+}
+
+/// Outcome of a single link transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// The packet was dropped.
+    Lost,
+    /// One copy arrives, after the given extra jitter.
+    Delivered(SimDuration),
+    /// Two copies arrive (duplication), each with its own jitter.
+    DeliveredTwice(SimDuration, SimDuration),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_reliable() {
+        let cfg = LinkConfig::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(!matches!(cfg.draw_fate(&mut rng), LinkFate::Lost));
+        }
+    }
+
+    #[test]
+    fn delay_grows_with_bits() {
+        let cfg = LinkConfig::default();
+        assert!(cfg.delay_for(10_000) > cfg.delay_for(10));
+        // 250 kbit/s: 1000 bits should take 4 ms of serialization.
+        let d = cfg.delay_for(1000);
+        assert_eq!(
+            d.as_micros(),
+            cfg.base_latency.as_micros() + 4_000
+        );
+    }
+
+    #[test]
+    fn ideal_link_zero_serialization() {
+        let cfg = LinkConfig::ideal();
+        assert_eq!(cfg.delay_for(0), cfg.delay_for(1 << 20));
+    }
+
+    #[test]
+    fn loss_rate_is_respected() {
+        let cfg = LinkConfig::default().with_loss(0.3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let trials = 50_000;
+        let lost = (0..trials)
+            .filter(|_| matches!(cfg.draw_fate(&mut rng), LinkFate::Lost))
+            .count();
+        let rate = lost as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "measured loss {rate}");
+    }
+
+    #[test]
+    fn duplication_rate_is_respected() {
+        let cfg = LinkConfig::default().with_duplication(0.25);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let trials = 50_000;
+        let dup = (0..trials)
+            .filter(|_| matches!(cfg.draw_fate(&mut rng), LinkFate::DeliveredTwice(_, _)))
+            .count();
+        let rate = dup as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.02, "measured duplication {rate}");
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let cfg = LinkConfig::default().with_loss(7.0).with_duplication(-3.0);
+        assert_eq!(cfg.loss, 1.0);
+        assert_eq!(cfg.duplication, 0.0);
+    }
+}

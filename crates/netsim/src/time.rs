@@ -1,0 +1,158 @@
+//! Virtual simulation time.
+//!
+//! The simulator uses an integer microsecond clock. Wrapping either value in
+//! a newtype keeps instants and durations from being mixed up
+//! (miles-vs-kilometres style errors) and gives both a place for arithmetic
+//! helpers with explicit overflow semantics.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the virtual simulation clock, in microseconds since the
+/// start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The zero instant: the beginning of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration, so the clock can never wrap.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Multiplies the duration by an integer factor, saturating on overflow.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}us", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::from_micros(10);
+        let d = SimDuration::from_micros(5);
+        assert_eq!((t + d).as_micros(), 15);
+        assert_eq!((t + d).since(t), d);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_millis(2).as_micros(), 2_000);
+        assert_eq!(SimDuration::from_secs(3).as_micros(), 3_000_000);
+    }
+
+    #[test]
+    fn saturation_at_the_top() {
+        let t = SimTime::from_micros(u64::MAX);
+        assert_eq!((t + SimDuration::from_micros(10)).as_micros(), u64::MAX);
+        let d = SimDuration::from_micros(u64::MAX);
+        assert_eq!(d.saturating_mul(3).as_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn ordering_is_by_instant() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert!(SimTime::ZERO <= SimTime::from_micros(0));
+    }
+
+    #[test]
+    fn duration_sub_saturates() {
+        let a = SimDuration::from_micros(3);
+        let b = SimDuration::from_micros(10);
+        assert_eq!((a - b).as_micros(), 0);
+        assert_eq!((b - a).as_micros(), 7);
+    }
+}

@@ -1,0 +1,581 @@
+//! Static network topologies and generators.
+//!
+//! The paper's protocols are topology-agnostic, but its complexity claims
+//! and the cited related work exercise specific families:
+//!
+//! * **line** — the worst case used in the Theorem 5.1 lower-bound
+//!   reduction (two players simulate the two halves of a `2n`-line);
+//! * **star** — the single-hop "all hear all" model of Singh–Prasanna
+//!   \[14\] (experiment E8);
+//! * **grid** and **random geometric** (unit-disk) graphs — realistic
+//!   sensor deployments;
+//! * **complete** — the gossip baseline's best case;
+//! * **balanced trees** — idealized TAG aggregation trees.
+//!
+//! A [`Topology`] is an undirected simple graph over nodes `0..n`, with
+//! node 0 conventionally acting as the root/sink unless stated otherwise.
+
+use crate::error::NetsimError;
+use crate::rng::Xoshiro256StarStar;
+
+/// An undirected network graph over nodes `0..len()`.
+///
+/// Construction validates connectivity, so every [`Topology`] handed to a
+/// simulator is usable by root-initiated protocols.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// Adjacency lists, sorted ascending; `adj[u]` never contains `u`.
+    adj: Vec<Vec<usize>>,
+    /// Optional node positions (for geometric graphs and visualization).
+    positions: Option<Vec<(f64, f64)>>,
+    /// Human-readable family name, e.g. `"grid(8x8)"`.
+    name: String,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit edge list over `n` nodes.
+    ///
+    /// Self-loops and duplicate edges are rejected.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetsimError::EmptyTopology`] if `n == 0`;
+    /// * [`NetsimError::InvalidNode`] if an edge endpoint is `≥ n`;
+    /// * [`NetsimError::Disconnected`] if the graph is not connected.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, NetsimError> {
+        if n == 0 {
+            return Err(NetsimError::EmptyTopology);
+        }
+        let mut adj = vec![Vec::new(); n];
+        for (u, v) in edges {
+            if u >= n {
+                return Err(NetsimError::InvalidNode { node: u, len: n });
+            }
+            if v >= n {
+                return Err(NetsimError::InvalidNode { node: v, len: n });
+            }
+            if u == v {
+                continue; // ignore self-loops rather than failing hard
+            }
+            if !adj[u].contains(&v) {
+                adj[u].push(v);
+                adj[v].push(u);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let topo = Topology {
+            adj,
+            positions: None,
+            name: format!("custom(n={n})"),
+        };
+        topo.check_connected()?;
+        Ok(topo)
+    }
+
+    /// A path `0 — 1 — … — n−1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::EmptyTopology`] if `n == 0`.
+    pub fn line(n: usize) -> Result<Self, NetsimError> {
+        let mut t = Self::from_edges(n, (1..n).map(|i| (i - 1, i)))?;
+        t.name = format!("line(n={n})");
+        Ok(t)
+    }
+
+    /// A cycle over `n ≥ 3` nodes (falls back to a line for `n < 3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::EmptyTopology`] if `n == 0`.
+    pub fn ring(n: usize) -> Result<Self, NetsimError> {
+        if n < 3 {
+            return Self::line(n);
+        }
+        let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        edges.push((n - 1, 0));
+        let mut t = Self::from_edges(n, edges)?;
+        t.name = format!("ring(n={n})");
+        Ok(t)
+    }
+
+    /// A `w × h` grid with 4-neighbour connectivity; node `r*w + c` sits at
+    /// row `r`, column `c`, and the root (node 0) is a corner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::EmptyTopology`] if either dimension is zero.
+    pub fn grid(w: usize, h: usize) -> Result<Self, NetsimError> {
+        if w == 0 || h == 0 {
+            return Err(NetsimError::EmptyTopology);
+        }
+        let mut edges = Vec::with_capacity(2 * w * h);
+        for r in 0..h {
+            for c in 0..w {
+                let u = r * w + c;
+                if c + 1 < w {
+                    edges.push((u, u + 1));
+                }
+                if r + 1 < h {
+                    edges.push((u, u + w));
+                }
+            }
+        }
+        let mut t = Self::from_edges(w * h, edges)?;
+        t.positions = Some(
+            (0..w * h)
+                .map(|i| ((i % w) as f64, (i / w) as f64))
+                .collect(),
+        );
+        t.name = format!("grid({w}x{h})");
+        Ok(t)
+    }
+
+    /// A star: node 0 is the hub, nodes `1..n` are leaves. This is the
+    /// single-hop ("all hear all" via the base station) model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::EmptyTopology`] if `n == 0`.
+    pub fn star(n: usize) -> Result<Self, NetsimError> {
+        let mut t = Self::from_edges(n, (1..n).map(|i| (0, i)))?;
+        t.name = format!("star(n={n})");
+        Ok(t)
+    }
+
+    /// The complete graph on `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::EmptyTopology`] if `n == 0`.
+    pub fn complete(n: usize) -> Result<Self, NetsimError> {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v));
+            }
+        }
+        let mut t = Self::from_edges(n, edges)?;
+        t.name = format!("complete(n={n})");
+        Ok(t)
+    }
+
+    /// A balanced `d`-ary tree with `n` nodes rooted at node 0 (node `i`'s
+    /// parent is `(i − 1) / d`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::EmptyTopology`] if `n == 0`, and
+    /// [`NetsimError::InvalidNode`] if `d == 0` is requested with `n > 1`
+    /// (a 0-ary tree cannot have children).
+    pub fn balanced_tree(n: usize, d: usize) -> Result<Self, NetsimError> {
+        if n > 1 && d == 0 {
+            return Err(NetsimError::InvalidNode { node: 1, len: n });
+        }
+        let mut t = Self::from_edges(n, (1..n).map(|i| ((i - 1) / d, i)))?;
+        t.name = format!("tree(n={n},d={d})");
+        Ok(t)
+    }
+
+    /// A random geometric (unit-disk) graph: `n` nodes placed uniformly in
+    /// the unit square, connected when within `radius`. If the sample is
+    /// disconnected the radius is grown by 10% and the same placement is
+    /// retried, so the call always succeeds for `n ≥ 1`; the final radius
+    /// is recorded in [`Topology::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::EmptyTopology`] if `n == 0`.
+    pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Result<Self, NetsimError> {
+        if n == 0 {
+            return Err(NetsimError::EmptyTopology);
+        }
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.next_f64(), rng.next_f64()))
+            .collect();
+        let mut r = radius.max(1e-3);
+        loop {
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let dx = pts[u].0 - pts[v].0;
+                    let dy = pts[u].1 - pts[v].1;
+                    if dx * dx + dy * dy <= r * r {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            match Self::from_edges(n, edges) {
+                Ok(mut t) => {
+                    t.positions = Some(pts);
+                    t.name = format!("rgg(n={n},r={r:.3})");
+                    return Ok(t);
+                }
+                Err(NetsimError::Disconnected { .. }) => {
+                    r *= 1.1;
+                    if r > 2.0 {
+                        // Unit square diameter is sqrt(2) < 2: at this
+                        // radius the graph is complete and connected.
+                        unreachable!("radius exceeded square diameter");
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the topology has no nodes (never true for a constructed
+    /// topology, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+    }
+
+    /// The neighbours of `u`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Whether `u` and `v` share an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.len() && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Maximum node degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).max().unwrap_or(0)
+    }
+
+    /// Node positions if the generator produced them.
+    pub fn positions(&self) -> Option<&[(f64, f64)]> {
+        self.positions.as_deref()
+    }
+
+    /// Human-readable family label (e.g. `"grid(8x8)"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the topology with the given nodes removed (dead sensors),
+    /// remaining nodes renumbered contiguously, together with the mapping
+    /// `new id → old id`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetsimError::InvalidNode`] if a removed id is out of range;
+    /// * [`NetsimError::EmptyTopology`] if every node is removed;
+    /// * [`NetsimError::Disconnected`] if the survivors are disconnected
+    ///   (a real deployment consequence of node death the caller must
+    ///   handle).
+    pub fn without_nodes(&self, dead: &[usize]) -> Result<(Topology, Vec<usize>), NetsimError> {
+        for &d in dead {
+            if d >= self.len() {
+                return Err(NetsimError::InvalidNode {
+                    node: d,
+                    len: self.len(),
+                });
+            }
+        }
+        let dead_set: std::collections::HashSet<usize> = dead.iter().copied().collect();
+        let survivors: Vec<usize> = (0..self.len()).filter(|v| !dead_set.contains(v)).collect();
+        if survivors.is_empty() {
+            return Err(NetsimError::EmptyTopology);
+        }
+        let mut new_id = vec![usize::MAX; self.len()];
+        for (i, &old) in survivors.iter().enumerate() {
+            new_id[old] = i;
+        }
+        let mut edges = Vec::new();
+        for &u in &survivors {
+            for &v in self.neighbors(u) {
+                if u < v && !dead_set.contains(&v) {
+                    edges.push((new_id[u], new_id[v]));
+                }
+            }
+        }
+        let mut t = Topology::from_edges(survivors.len(), edges)?;
+        t.positions = self
+            .positions
+            .as_ref()
+            .map(|ps| survivors.iter().map(|&old| ps[old]).collect());
+        t.name = format!("{}-minus{}", self.name, dead.len());
+        Ok((t, survivors))
+    }
+
+    /// BFS distances (in hops) from `src` to every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn bfs_distances(&self, src: usize) -> Vec<Option<u32>> {
+        assert!(src < self.len(), "source {src} out of range");
+        let mut dist = vec![None; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src] = Some(0);
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued nodes have distances");
+            for &v in &self.adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Network diameter in hops (longest shortest path).
+    pub fn diameter(&self) -> u32 {
+        let mut best = 0;
+        for src in 0..self.len() {
+            for d in self.bfs_distances(src).into_iter().flatten() {
+                best = best.max(d);
+            }
+        }
+        best
+    }
+
+    fn check_connected(&self) -> Result<(), NetsimError> {
+        let reachable = self.bfs_distances(0).iter().filter(|d| d.is_some()).count();
+        if reachable != self.len() {
+            return Err(NetsimError::Disconnected {
+                reachable,
+                total: self.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn line_shape() {
+        let t = Topology::line(5).unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.neighbors(0), &[1]);
+        assert_eq!(t.neighbors(2), &[1, 3]);
+        assert_eq!(t.diameter(), 4);
+        assert_eq!(t.max_degree(), 2);
+    }
+
+    #[test]
+    fn singleton_topologies() {
+        for t in [
+            Topology::line(1).unwrap(),
+            Topology::star(1).unwrap(),
+            Topology::grid(1, 1).unwrap(),
+            Topology::complete(1).unwrap(),
+            Topology::balanced_tree(1, 2).unwrap(),
+        ] {
+            assert_eq!(t.len(), 1);
+            assert_eq!(t.edge_count(), 0);
+            assert_eq!(t.diameter(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(Topology::line(0), Err(NetsimError::EmptyTopology)));
+        assert!(matches!(
+            Topology::grid(0, 3),
+            Err(NetsimError::EmptyTopology)
+        ));
+        assert!(matches!(
+            Topology::random_geometric(0, 0.5, 1),
+            Err(NetsimError::EmptyTopology)
+        ));
+    }
+
+    #[test]
+    fn ring_shape() {
+        let t = Topology::ring(6).unwrap();
+        assert_eq!(t.edge_count(), 6);
+        assert!(t.has_edge(5, 0));
+        assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = Topology::grid(3, 4).unwrap();
+        assert_eq!(t.len(), 12);
+        // horizontal edges h*(w-1) = 8, vertical edges (h-1)*w = 9
+        assert_eq!(t.edge_count(), 17);
+        assert_eq!(t.diameter(), (3 - 1) + (4 - 1));
+        assert!(t.positions().is_some());
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::star(10).unwrap();
+        assert_eq!(t.max_degree(), 9);
+        assert_eq!(t.diameter(), 2);
+        assert_eq!(t.neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let t = Topology::complete(7).unwrap();
+        assert_eq!(t.edge_count(), 21);
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let t = Topology::balanced_tree(15, 2).unwrap();
+        assert_eq!(t.edge_count(), 14);
+        assert_eq!(t.max_degree(), 3); // internal node: parent + 2 children
+        assert!(Topology::balanced_tree(5, 0).is_err());
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let err = Topology::from_edges(4, [(0, 1), (2, 3)]).unwrap_err();
+        assert!(matches!(
+            err,
+            NetsimError::Disconnected {
+                reachable: 2,
+                total: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn invalid_edge_rejected() {
+        assert!(matches!(
+            Topology::from_edges(3, [(0, 5)]),
+            Err(NetsimError::InvalidNode { node: 5, len: 3 })
+        ));
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_ignored() {
+        let t = Topology::from_edges(3, [(0, 1), (1, 0), (1, 1), (1, 2)]).unwrap();
+        assert_eq!(t.edge_count(), 2);
+    }
+
+    #[test]
+    fn rgg_connected_and_deterministic() {
+        let a = Topology::random_geometric(50, 0.18, 7).unwrap();
+        let b = Topology::random_geometric(50, 0.18, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.bfs_distances(0).iter().filter(|d| d.is_some()).count(),
+            50
+        );
+        let c = Topology::random_geometric(50, 0.18, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rgg_tiny_radius_grows_until_connected() {
+        let t = Topology::random_geometric(20, 1e-6, 3).unwrap();
+        assert_eq!(t.len(), 20);
+        assert_eq!(
+            t.bfs_distances(0).iter().filter(|d| d.is_some()).count(),
+            20
+        );
+    }
+
+    #[test]
+    fn bfs_distances_on_line() {
+        let t = Topology::line(4).unwrap();
+        let d = t.bfs_distances(0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn without_nodes_renumbers_and_maps() {
+        let t = Topology::grid(3, 3).unwrap();
+        // Remove a corner (node 8): survivors stay connected.
+        let (sub, map) = t.without_nodes(&[8]).unwrap();
+        assert_eq!(sub.len(), 8);
+        assert_eq!(map, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.positions().is_some());
+        // Removing a cut vertex disconnects: line 0-1-2 minus node 1.
+        let line = Topology::line(3).unwrap();
+        assert!(matches!(
+            line.without_nodes(&[1]),
+            Err(NetsimError::Disconnected { .. })
+        ));
+        // Degenerate cases.
+        assert!(matches!(
+            line.without_nodes(&[9]),
+            Err(NetsimError::InvalidNode { node: 9, .. })
+        ));
+        assert!(matches!(
+            line.without_nodes(&[0, 1, 2]),
+            Err(NetsimError::EmptyTopology)
+        ));
+    }
+
+    #[test]
+    fn without_nodes_preserves_adjacency_through_mapping() {
+        let t = Topology::grid(4, 4).unwrap();
+        let dead = [5, 10];
+        let (sub, map) = t.without_nodes(&dead).unwrap();
+        for u in 0..sub.len() {
+            for &v in sub.neighbors(u) {
+                assert!(t.has_edge(map[u], map[v]), "edge {u}-{v} not in original");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_generators_connected(n in 1usize..60, d in 1usize..5, seed: u64) {
+            for t in [
+                Topology::line(n).unwrap(),
+                Topology::ring(n).unwrap(),
+                Topology::star(n).unwrap(),
+                Topology::balanced_tree(n, d).unwrap(),
+                Topology::random_geometric(n, 0.25, seed).unwrap(),
+            ] {
+                let reach = t.bfs_distances(0).iter().filter(|x| x.is_some()).count();
+                prop_assert_eq!(reach, n);
+            }
+        }
+
+        #[test]
+        fn prop_adjacency_symmetric(n in 2usize..40, seed: u64) {
+            let t = Topology::random_geometric(n, 0.3, seed).unwrap();
+            for u in 0..n {
+                for &v in t.neighbors(u) {
+                    prop_assert!(t.has_edge(v, u));
+                    prop_assert_ne!(u, v);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_tree_edge_count(n in 1usize..200, d in 1usize..6) {
+            let t = Topology::balanced_tree(n, d).unwrap();
+            prop_assert_eq!(t.edge_count(), n - 1);
+        }
+    }
+}

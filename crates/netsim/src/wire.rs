@@ -1,0 +1,509 @@
+//! Bit-level wire codec.
+//!
+//! Every protocol message in the workspace is serialized to an actual bit
+//! string before being "transmitted", so the per-node communication
+//! statistics reflect genuine encodings rather than struct sizes. This
+//! matters for the paper's claims: an `O(log log N)`-bit register must
+//! really cost `Θ(log log N)` bits on the wire.
+//!
+//! Codecs provided:
+//!
+//! * fixed-width unsigned integers (`write_bits` / `read_bits`);
+//! * unary codes (used by the Elias codes);
+//! * **Elias gamma**: `2⌊log₂ v⌋ + 1` bits for `v ≥ 1` — the natural code
+//!   for values of unknown magnitude such as sketch registers;
+//! * **Elias delta**: `⌊log₂ v⌋ + O(log log v)` bits, asymptotically
+//!   shorter for large values.
+//!
+//! All encoders write most-significant-bit first within each value; the
+//! stream is packed LSB-first into bytes, which is an internal detail that
+//! round-trips through [`BitReader`].
+
+use crate::error::NetsimError;
+
+/// Returns the number of bits needed to represent `v` (at least 1, so a
+/// zero value still occupies one bit).
+pub fn bit_width(v: u64) -> u32 {
+    (64 - v.leading_zeros()).max(1)
+}
+
+/// Returns the number of bits required to encode any value in `[0, max]`
+/// with a fixed-width code.
+pub fn width_for_max(max: u64) -> u32 {
+    bit_width(max)
+}
+
+/// Length in bits of the Elias gamma code of `v` (requires `v ≥ 1`).
+pub fn gamma_len(v: u64) -> u64 {
+    debug_assert!(v >= 1);
+    2 * (bit_width(v) as u64 - 1) + 1
+}
+
+/// Length in bits of the Elias delta code of `v` (requires `v ≥ 1`).
+pub fn delta_len(v: u64) -> u64 {
+    debug_assert!(v >= 1);
+    let n = bit_width(v) as u64; // v uses n bits
+    gamma_len(n) + (n - 1)
+}
+
+/// An append-only bit sink.
+///
+/// # Examples
+///
+/// ```
+/// use saq_netsim::wire::{BitWriter, BitReader};
+///
+/// # fn main() -> Result<(), saq_netsim::NetsimError> {
+/// let mut w = BitWriter::new();
+/// w.write_bits(13, 4);
+/// w.write_gamma(100);
+/// let r = w.finish();
+/// let mut rd = BitReader::new(&r);
+/// assert_eq!(rd.read_bits(4)?, 13);
+/// assert_eq!(rd.read_gamma()?, 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Total number of valid bits in the stream.
+    len_bits: u64,
+}
+
+/// A finished bit string, cheap to clone and inspect.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitString {
+    bytes: Vec<u8>,
+    len_bits: u64,
+}
+
+impl BitString {
+    /// Number of bits in the string. This is the quantity charged to the
+    /// communication accounting when the string is transmitted.
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// Whether the string contains no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len_bits == 0
+    }
+
+    /// The packed backing bytes (last byte possibly partial).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        let byte_idx = (self.len_bits / 8) as usize;
+        let bit_idx = (self.len_bits % 8) as u32;
+        if byte_idx == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte_idx] |= 1 << bit_idx;
+        }
+        self.len_bits += 1;
+    }
+
+    /// Appends the low `width` bits of `v`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `v` does not fit in `width` bits.
+    pub fn write_bits(&mut self, v: u64, width: u32) {
+        assert!(width <= 64, "width {width} exceeds 64");
+        assert!(
+            width == 64 || v < (1u64 << width),
+            "value {v} does not fit in {width} bits"
+        );
+        if width == 0 {
+            return;
+        }
+        // Word-level fast path: sketch-vector messages are hundreds of
+        // kilobits, so per-bit loops would dominate simulation time.
+        // Stream layout is LSB-first within bytes while values are
+        // MSB-first, so reverse the value's bits: bit (width-1-k) of `v`
+        // lands at stream offset len+k.
+        let r = v.reverse_bits() >> (64 - width);
+        let byte_idx = (self.len_bits / 8) as usize;
+        let off = (self.len_bits % 8) as u32;
+        let needed = ((off + width) as usize).div_ceil(8);
+        if self.bytes.len() < byte_idx + needed {
+            self.bytes.resize(byte_idx + needed, 0);
+        }
+        let chunk = (r as u128) << off;
+        for (i, slot) in self.bytes[byte_idx..byte_idx + needed].iter_mut().enumerate() {
+            *slot |= (chunk >> (8 * i)) as u8;
+        }
+        self.len_bits += width as u64;
+    }
+
+    /// Appends `n` in unary: `n` zeros followed by a one.
+    pub fn write_unary(&mut self, n: u32) {
+        for _ in 0..n {
+            self.write_bit(false);
+        }
+        self.write_bit(true);
+    }
+
+    /// Appends the Elias gamma code of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v == 0` (gamma codes positive integers only; shift by one
+    /// at the call site to encode zero).
+    pub fn write_gamma(&mut self, v: u64) {
+        assert!(v >= 1, "gamma code requires v >= 1");
+        let n = bit_width(v) - 1; // v in [2^n, 2^{n+1})
+        self.write_unary(n);
+        if n > 0 {
+            // The remaining n bits below the leading one.
+            self.write_bits(v & ((1u64 << n) - 1), n);
+        }
+    }
+
+    /// Appends the Elias delta code of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v == 0`.
+    pub fn write_delta(&mut self, v: u64) {
+        assert!(v >= 1, "delta code requires v >= 1");
+        let n = bit_width(v); // number of bits of v
+        self.write_gamma(n as u64);
+        if n > 1 {
+            self.write_bits(v & ((1u64 << (n - 1)) - 1), n - 1);
+        }
+    }
+
+    /// Appends another bit string verbatim.
+    pub fn write_bitstring(&mut self, s: &BitString) {
+        let mut r = BitReader::new(s);
+        for _ in 0..s.len_bits() {
+            // Reading within len_bits cannot fail.
+            let b = r.read_bit().expect("in-bounds bit read");
+            self.write_bit(b);
+        }
+    }
+
+    /// Finalizes the stream.
+    pub fn finish(self) -> BitString {
+        BitString {
+            bytes: self.bytes,
+            len_bits: self.len_bits,
+        }
+    }
+}
+
+/// A cursor over a [`BitString`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    src: &'a BitString,
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the first bit.
+    pub fn new(src: &'a BitString) -> Self {
+        BitReader { src, pos: 0 }
+    }
+
+    /// Number of bits not yet consumed.
+    pub fn remaining(&self) -> u64 {
+        self.src.len_bits - self.pos
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireDecode`] at end of stream.
+    pub fn read_bit(&mut self) -> Result<bool, NetsimError> {
+        if self.pos >= self.src.len_bits {
+            return Err(NetsimError::WireDecode("read past end of bit stream"));
+        }
+        let byte_idx = (self.pos / 8) as usize;
+        let bit_idx = (self.pos % 8) as u32;
+        self.pos += 1;
+        Ok((self.src.bytes[byte_idx] >> bit_idx) & 1 == 1)
+    }
+
+    /// Reads a fixed-width big-endian value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireDecode`] if fewer than `width` bits remain.
+    pub fn read_bits(&mut self, width: u32) -> Result<u64, NetsimError> {
+        assert!(width <= 64, "width {width} exceeds 64");
+        if width == 0 {
+            return Ok(0);
+        }
+        if self.pos + width as u64 > self.src.len_bits {
+            return Err(NetsimError::WireDecode("read past end of bit stream"));
+        }
+        // Word-level inverse of `write_bits`: gather the covering bytes,
+        // shift off the intra-byte offset, mask, and un-reverse.
+        let byte_idx = (self.pos / 8) as usize;
+        let off = (self.pos % 8) as u32;
+        let needed = ((off + width) as usize).div_ceil(8);
+        let mut chunk = 0u128;
+        for (i, &b) in self.src.bytes[byte_idx..byte_idx + needed].iter().enumerate() {
+            chunk |= (b as u128) << (8 * i);
+        }
+        chunk >>= off;
+        let mask = if width == 64 {
+            u64::MAX as u128
+        } else {
+            (1u128 << width) - 1
+        };
+        let r = (chunk & mask) as u64;
+        self.pos += width as u64;
+        Ok(r.reverse_bits() >> (64 - width))
+    }
+
+    /// Reads a unary code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireDecode`] if the stream ends before the
+    /// terminating one-bit.
+    pub fn read_unary(&mut self) -> Result<u32, NetsimError> {
+        let mut n = 0u32;
+        while !self.read_bit()? {
+            n += 1;
+            if n > 64 * 1024 {
+                return Err(NetsimError::WireDecode("unary run too long"));
+            }
+        }
+        Ok(n)
+    }
+
+    /// Reads an Elias gamma code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireDecode`] on a truncated stream.
+    pub fn read_gamma(&mut self) -> Result<u64, NetsimError> {
+        let n = self.read_unary()?;
+        if n >= 64 {
+            return Err(NetsimError::WireDecode("gamma prefix too long"));
+        }
+        let rest = if n > 0 { self.read_bits(n)? } else { 0 };
+        Ok((1u64 << n) | rest)
+    }
+
+    /// Reads an Elias delta code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireDecode`] on a truncated stream.
+    pub fn read_delta(&mut self) -> Result<u64, NetsimError> {
+        let n = self.read_gamma()?;
+        if n == 0 || n > 64 {
+            return Err(NetsimError::WireDecode("delta length out of range"));
+        }
+        let n = n as u32;
+        let rest = if n > 1 { self.read_bits(n - 1)? } else { 0 };
+        Ok(if n == 64 {
+            (1u64 << 63) | rest
+        } else {
+            (1u64 << (n - 1)) | rest
+        })
+    }
+}
+
+/// Types that can serialize themselves onto a bit stream.
+///
+/// Implementations must guarantee `decode(encode(x)) == x` and that
+/// [`WireEncode::encoded_bits`] equals the number of bits actually written;
+/// the property tests in this crate and in `saq-protocols` enforce both.
+pub trait WireEncode: Sized {
+    /// Appends `self` to the writer.
+    fn encode(&self, w: &mut BitWriter);
+
+    /// Decodes a value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireDecode`] if the stream is truncated or
+    /// malformed.
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, NetsimError>;
+
+    /// Exact encoded size in bits.
+    fn encoded_bits(&self) -> u64 {
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        w.len_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bit_width_edges() {
+        assert_eq!(bit_width(0), 1);
+        assert_eq!(bit_width(1), 1);
+        assert_eq!(bit_width(2), 2);
+        assert_eq!(bit_width(255), 8);
+        assert_eq!(bit_width(256), 9);
+        assert_eq!(bit_width(u64::MAX), 64);
+    }
+
+    #[test]
+    fn gamma_lengths_match_formula() {
+        assert_eq!(gamma_len(1), 1);
+        assert_eq!(gamma_len(2), 3);
+        assert_eq!(gamma_len(3), 3);
+        assert_eq!(gamma_len(4), 5);
+        assert_eq!(gamma_len(100), 13);
+    }
+
+    #[test]
+    fn fixed_roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 1);
+        w.write_bits(1, 1);
+        w.write_bits(0b1010, 4);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(12345, 17);
+        let s = w.finish();
+        assert_eq!(s.len_bits(), 1 + 1 + 4 + 64 + 17);
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1010);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(17).unwrap(), 12345);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_read_errors() {
+        let mut w = BitWriter::new();
+        w.write_bits(3, 2);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert!(r.read_bits(3).is_err());
+    }
+
+    #[test]
+    fn unary_roundtrip() {
+        let mut w = BitWriter::new();
+        for n in [0u32, 1, 2, 7, 31] {
+            w.write_unary(n);
+        }
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        for n in [0u32, 1, 2, 7, 31] {
+            assert_eq!(r.read_unary().unwrap(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn write_bits_overflow_panics() {
+        let mut w = BitWriter::new();
+        w.write_bits(4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires v >= 1")]
+    fn gamma_zero_panics() {
+        let mut w = BitWriter::new();
+        w.write_gamma(0);
+    }
+
+    #[test]
+    fn write_bitstring_concatenates() {
+        let mut inner = BitWriter::new();
+        inner.write_bits(0b101, 3);
+        let inner = inner.finish();
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.write_bitstring(&inner);
+        let s = w.finish();
+        assert_eq!(s.len_bits(), 5);
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fixed_roundtrip(v: u64, width in 1u32..=64) {
+            let v = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+            let mut w = BitWriter::new();
+            w.write_bits(v, width);
+            let s = w.finish();
+            prop_assert_eq!(s.len_bits(), width as u64);
+            let mut r = BitReader::new(&s);
+            prop_assert_eq!(r.read_bits(width).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_gamma_roundtrip(v in 1u64..=u64::MAX / 2) {
+            let mut w = BitWriter::new();
+            w.write_gamma(v);
+            let s = w.finish();
+            prop_assert_eq!(s.len_bits(), gamma_len(v));
+            let mut r = BitReader::new(&s);
+            prop_assert_eq!(r.read_gamma().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_delta_roundtrip(v in 1u64..u64::MAX) {
+            let mut w = BitWriter::new();
+            w.write_delta(v);
+            let s = w.finish();
+            prop_assert_eq!(s.len_bits(), delta_len(v));
+            let mut r = BitReader::new(&s);
+            prop_assert_eq!(r.read_delta().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_mixed_sequence_roundtrip(vals in proptest::collection::vec((1u64..1_000_000, 0u8..3), 0..40)) {
+            let mut w = BitWriter::new();
+            for (v, kind) in &vals {
+                match kind {
+                    0 => w.write_bits(*v, 20),
+                    1 => w.write_gamma(*v),
+                    _ => w.write_delta(*v),
+                }
+            }
+            let s = w.finish();
+            let mut r = BitReader::new(&s);
+            for (v, kind) in &vals {
+                let got = match kind {
+                    0 => r.read_bits(20).unwrap(),
+                    1 => r.read_gamma().unwrap(),
+                    _ => r.read_delta().unwrap(),
+                };
+                prop_assert_eq!(got, *v);
+            }
+            prop_assert_eq!(r.remaining(), 0);
+        }
+
+        #[test]
+        fn prop_delta_shorter_than_gamma_for_large(v in 1u64 << 32..u64::MAX) {
+            prop_assert!(delta_len(v) < gamma_len(v));
+        }
+    }
+}

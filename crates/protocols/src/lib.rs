@@ -1,0 +1,35 @@
+//! # saq-protocols — distributed protocol runtime over `saq-netsim`
+//!
+//! The paper assumes only that *"the root can initiate some protocols and
+//! get back the results"* (§2.1); concretely its Fact 2.1 relies on
+//! broadcast–convergecast over a bounded-degree spanning tree \[9, 13\].
+//! This crate provides that substrate as real distributed state machines
+//! executing inside the discrete-event simulator:
+//!
+//! * [`tree`] — spanning-tree construction: centralized BFS, a
+//!   **bounded-degree** BFS variant (the paper remarks bounded degree is
+//!   required for low *individual* communication), and a fully
+//!   distributed flooding construction whose cost is itself measured;
+//! * [`wave`] — the generic broadcast–convergecast engine: a
+//!   [`wave::WaveProtocol`] describes one aggregate (request encoding,
+//!   per-node contribution, merge, partial encoding) and a
+//!   [`wave::WaveRunner`] executes root-initiated waves, optionally with
+//!   per-hop ARQ under lossy links;
+//! * [`rings`] — the multipath "synopsis diffusion" overlay of Considine
+//!   et al. / Nath et al.: duplicate-prone by design, safe only for ODI
+//!   synopses;
+//! * [`gossip`] — Kempe–Dobra–Gehrke push-sum, the substrate for the
+//!   gossip baseline.
+//!
+//! Aggregate *semantics* (what COUNT, MEDIAN, etc. mean) live in
+//! `saq-core` and `saq-baselines`; this crate only moves bits.
+
+pub mod error;
+pub mod gossip;
+pub mod rings;
+pub mod tree;
+pub mod wave;
+
+pub use error::ProtocolError;
+pub use tree::SpanningTree;
+pub use wave::{WaveProtocol, WaveRunner};

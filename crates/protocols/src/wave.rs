@@ -1,0 +1,731 @@
+//! The broadcast–convergecast wave engine.
+//!
+//! Every primitive protocol in the paper (MIN, MAX, COUNT, COUNTP,
+//! APX_COUNT — §2.2) is a single **wave**: the root disseminates a request
+//! down the spanning tree, each node computes a local contribution from
+//! its items, and partial aggregates are merged on the way back up. The
+//! root-driven algorithms (MEDIAN, APX_MEDIAN, APX_MEDIAN2) are sequences
+//! of waves with decisions between them.
+//!
+//! A [`WaveProtocol`] defines one aggregate family: the request and
+//! partial types, their bit-exact encodings, the per-node contribution and
+//! the merge operator. [`WaveRunner`] owns a simulator plus tree and
+//! executes waves to quiescence; per-node bit statistics accumulate in the
+//! underlying [`saq_netsim::stats::NetStats`].
+//!
+//! ## Reliability
+//!
+//! With [`Reliability::None`] (the paper's lossless setting) messages are
+//! sent once. With [`Reliability::Ack`] every hop is acknowledged and
+//! retransmitted on timeout, with duplicate suppression at the receiver —
+//! enough to complete waves under independent packet loss, at a constant
+//! bit-cost factor (measured in experiment E9's loss sweep).
+
+use crate::error::ProtocolError;
+use crate::tree::SpanningTree;
+use saq_netsim::rng::Xoshiro256StarStar;
+use saq_netsim::sim::{Context, NodeId, NodeRuntime, SimConfig, Simulator};
+use saq_netsim::stats::NetStats;
+use saq_netsim::time::SimDuration;
+use saq_netsim::topology::Topology;
+use saq_netsim::wire::{BitReader, BitString, BitWriter};
+use saq_netsim::NetsimError;
+use std::collections::HashSet;
+use std::fmt::Debug;
+
+/// One aggregate family runnable as tree waves.
+///
+/// The protocol value itself is the network-wide *configuration* (value
+/// widths, sketch sizes, seeds...), cloned to every node at deployment;
+/// encodings may therefore depend on it without shipping schema bits in
+/// every message.
+pub trait WaveProtocol: Clone {
+    /// Request disseminated root-to-leaves.
+    type Request: Clone + Debug;
+    /// Partial aggregate merged leaves-to-root.
+    type Partial: Clone + Debug;
+    /// Per-node data item.
+    type Item: Clone + Debug;
+
+    /// Serializes a request.
+    fn encode_request(&self, req: &Self::Request, w: &mut BitWriter);
+
+    /// Deserializes a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireDecode`] on malformed input.
+    fn decode_request(&self, r: &mut BitReader<'_>) -> Result<Self::Request, NetsimError>;
+
+    /// Serializes a partial aggregate.
+    fn encode_partial(&self, p: &Self::Partial, w: &mut BitWriter);
+
+    /// Deserializes a partial aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireDecode`] on malformed input.
+    fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<Self::Partial, NetsimError>;
+
+    /// This node's contribution to the wave. May mutate the local items —
+    /// that is how value-remapping waves (Fig. 4 line 3.2 of the paper)
+    /// are expressed.
+    fn local(
+        &self,
+        node: NodeId,
+        items: &mut Vec<Self::Item>,
+        req: &Self::Request,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self::Partial;
+
+    /// Merges two partial aggregates (must be commutative and
+    /// associative so tree shape does not matter).
+    fn merge(&self, req: &Self::Request, a: Self::Partial, b: Self::Partial) -> Self::Partial;
+}
+
+/// Per-hop delivery discipline for wave messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Reliability {
+    /// Fire-and-forget (the paper's reliable-link model).
+    #[default]
+    None,
+    /// Stop-and-wait ARQ per message with the given retransmit timeout.
+    Ack {
+        /// Retransmission timeout.
+        timeout: SimDuration,
+    },
+}
+
+
+const KIND_REQUEST: u64 = 0;
+const KIND_PARTIAL: u64 = 1;
+const KIND_ACK: u64 = 2;
+
+/// Timer tag namespace: retransmissions are tagged `RETX_BASE + seq`.
+const RETX_BASE: u64 = 1 << 32;
+/// Tag used by [`WaveRunner`] to start a wave at the root.
+const TAG_START: u64 = 1;
+
+#[derive(Debug, Clone)]
+struct PendingMsg {
+    seq: u16,
+    to: NodeId,
+    payload: BitString,
+}
+
+/// Node state machine executing [`WaveProtocol`] waves over a spanning
+/// tree.
+#[derive(Debug)]
+pub struct AggNode<P: WaveProtocol> {
+    proto: P,
+    /// This node's input items (the paper's local multiset, §5).
+    items: Vec<P::Item>,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    reliability: Reliability,
+
+    /// Wave id of the wave this node last participated in.
+    wave: u16,
+    req: Option<P::Request>,
+    waiting: Vec<NodeId>,
+    acc: Option<P::Partial>,
+    /// Completed result; only ever set at the root.
+    result: Option<P::Partial>,
+    /// Request staged by the driver before kicking the root.
+    staged: Option<(u16, P::Request)>,
+
+    next_seq: u16,
+    pending: Vec<PendingMsg>,
+    seen: HashSet<(NodeId, u16)>,
+}
+
+impl<P: WaveProtocol> AggNode<P> {
+    fn new(
+        proto: P,
+        items: Vec<P::Item>,
+        parent: Option<NodeId>,
+        children: Vec<NodeId>,
+        reliability: Reliability,
+    ) -> Self {
+        AggNode {
+            proto,
+            items,
+            parent,
+            children,
+            reliability,
+            wave: 0,
+            req: None,
+            waiting: Vec::new(),
+            acc: None,
+            result: None,
+            staged: None,
+            next_seq: 0,
+            pending: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// The node's current items.
+    pub fn items(&self) -> &[P::Item] {
+        &self.items
+    }
+
+    /// Replaces the node's items (driver-side setup only).
+    pub fn set_items(&mut self, items: Vec<P::Item>) {
+        self.items = items;
+    }
+
+    fn encode_msg(&mut self, kind: u64, wave: u16, body: impl FnOnce(&mut BitWriter)) -> (Option<u16>, BitString) {
+        let mut w = BitWriter::new();
+        w.write_bits(kind, 2);
+        w.write_bits(wave as u64, 16);
+        let seq = match (kind, self.reliability) {
+            (KIND_ACK, _) | (_, Reliability::None) => None,
+            (_, Reliability::Ack { .. }) => {
+                let s = self.next_seq;
+                self.next_seq = self.next_seq.wrapping_add(1);
+                w.write_bits(s as u64, 16);
+                Some(s)
+            }
+        };
+        body(&mut w);
+        (seq, w.finish())
+    }
+
+    fn send_msg(
+        &mut self,
+        ctx: &mut Context<'_>,
+        to: NodeId,
+        kind: u64,
+        wave: u16,
+        body: impl FnOnce(&mut BitWriter),
+    ) {
+        let (seq, payload) = self.encode_msg(kind, wave, body);
+        if let (Some(seq), Reliability::Ack { timeout }) = (seq, self.reliability) {
+            self.pending.push(PendingMsg {
+                seq,
+                to,
+                payload: payload.clone(),
+            });
+            ctx.set_timer(timeout, RETX_BASE + seq as u64);
+        }
+        ctx.send(to, payload);
+    }
+
+    fn send_ack(&mut self, ctx: &mut Context<'_>, to: NodeId, seq: u16) {
+        let mut w = BitWriter::new();
+        w.write_bits(KIND_ACK, 2);
+        w.write_bits(seq as u64, 16);
+        ctx.send(to, w.finish());
+    }
+
+    fn begin_wave(&mut self, ctx: &mut Context<'_>, wave: u16, req: P::Request) {
+        self.wave = wave;
+        self.waiting = self.children.clone();
+        let local = self
+            .proto
+            .local(ctx.node_id(), &mut self.items, &req, ctx.rng());
+        self.acc = Some(local);
+        self.req = Some(req);
+        if self.waiting.is_empty() {
+            self.finish_wave(ctx);
+        } else {
+            let req = self.req.clone().expect("request just set");
+            let children = self.children.clone();
+            for child in children {
+                let proto = self.proto.clone();
+                let r = req.clone();
+                self.send_msg(ctx, child, KIND_REQUEST, wave, move |w| {
+                    proto.encode_request(&r, w);
+                });
+            }
+        }
+    }
+
+    fn finish_wave(&mut self, ctx: &mut Context<'_>) {
+        let acc = self.acc.clone().expect("wave has an accumulator");
+        match self.parent {
+            None => self.result = Some(acc),
+            Some(parent) => {
+                let proto = self.proto.clone();
+                let wave = self.wave;
+                self.send_msg(ctx, parent, KIND_PARTIAL, wave, move |w| {
+                    proto.encode_partial(&acc, w);
+                });
+            }
+        }
+    }
+}
+
+impl<P: WaveProtocol> NodeRuntime for AggNode<P> {
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        if tag == TAG_START {
+            if let Some((wave, req)) = self.staged.take() {
+                self.begin_wave(ctx, wave, req);
+            }
+            return;
+        }
+        if tag >= RETX_BASE {
+            let seq = (tag - RETX_BASE) as u16;
+            if let Some(idx) = self.pending.iter().position(|m| m.seq == seq) {
+                let msg = self.pending[idx].clone();
+                if let Reliability::Ack { timeout } = self.reliability {
+                    ctx.set_timer(timeout, tag);
+                    ctx.send(msg.to, msg.payload);
+                }
+            }
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: &BitString) {
+        let mut r = BitReader::new(payload);
+        let Ok(kind) = r.read_bits(2) else { return };
+        if kind == KIND_ACK {
+            let Ok(seq) = r.read_bits(16) else { return };
+            self.pending
+                .retain(|m| !(m.seq == seq as u16 && m.to == from));
+            return;
+        }
+        let Ok(wave) = r.read_bits(16) else { return };
+        let wave = wave as u16;
+        // Reliable mode: ack and dedup before processing.
+        if let Reliability::Ack { .. } = self.reliability {
+            let Ok(seq) = r.read_bits(16) else { return };
+            let seq = seq as u16;
+            self.send_ack(ctx, from, seq);
+            if !self.seen.insert((from, seq)) {
+                return; // duplicate delivery or retransmission
+            }
+        }
+        match kind {
+            KIND_REQUEST => {
+                if wave == self.wave && self.req.is_some() {
+                    return; // duplicate request for the current wave
+                }
+                let Ok(req) = self.proto.decode_request(&mut r) else {
+                    return;
+                };
+                // A new wave resets per-wave reliable state: partials from
+                // older waves must not be confused with this one's.
+                self.begin_wave(ctx, wave, req);
+            }
+            KIND_PARTIAL => {
+                if wave != self.wave {
+                    return; // stale partial from a previous wave
+                }
+                let Some(pos) = self.waiting.iter().position(|&c| c == from) else {
+                    return; // duplicate or unexpected child report
+                };
+                let Ok(partial) = self.proto.decode_partial(&mut r) else {
+                    return;
+                };
+                self.waiting.swap_remove(pos);
+                let req = self.req.as_ref().expect("active wave has a request");
+                let acc = self.acc.take().expect("active wave has an accumulator");
+                self.acc = Some(self.proto.merge(req, acc, partial));
+                if self.waiting.is_empty() {
+                    self.finish_wave(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Executes [`WaveProtocol`] waves over a topology + spanning tree.
+#[derive(Debug)]
+pub struct WaveRunner<P: WaveProtocol> {
+    sim: Simulator<AggNode<P>>,
+    root: NodeId,
+    next_wave: u16,
+    tree_height: u32,
+    tree_max_degree: usize,
+}
+
+impl<P: WaveProtocol> WaveRunner<P> {
+    /// Builds a runner from a topology, a spanning tree over it, the
+    /// protocol configuration and per-node item vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::ShapeMismatch`] if `items` does not have
+    /// exactly one entry per node or the tree does not match the topology.
+    pub fn new(
+        topo: &Topology,
+        cfg: SimConfig,
+        tree: &SpanningTree,
+        proto: P,
+        items: Vec<Vec<P::Item>>,
+        reliability: Reliability,
+    ) -> Result<Self, ProtocolError> {
+        if items.len() != topo.len() {
+            return Err(ProtocolError::ShapeMismatch("items vector vs topology"));
+        }
+        tree.validate(topo)?;
+        let mut items = items;
+        let nodes: Vec<AggNode<P>> = (0..topo.len())
+            .map(|v| {
+                AggNode::new(
+                    proto.clone(),
+                    std::mem::take(&mut items[v]),
+                    tree.parent(v),
+                    tree.children(v).to_vec(),
+                    reliability,
+                )
+            })
+            .collect();
+        Ok(WaveRunner {
+            sim: Simulator::with_nodes(topo.clone(), cfg, nodes),
+            root: tree.root(),
+            next_wave: 0,
+            tree_height: tree.height(),
+            tree_max_degree: tree.max_degree(),
+        })
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// Whether the network has no nodes (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.sim.is_empty()
+    }
+
+    /// Height of the aggregation tree.
+    pub fn tree_height(&self) -> u32 {
+        self.tree_height
+    }
+
+    /// Maximum communication degree in the aggregation tree.
+    pub fn tree_max_degree(&self) -> usize {
+        self.tree_max_degree
+    }
+
+    /// Accumulated per-node communication statistics.
+    pub fn stats(&self) -> &NetStats {
+        self.sim.stats()
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.sim.reset_stats();
+    }
+
+    /// Current items of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn items(&self, node: NodeId) -> &[P::Item] {
+        self.sim.node(node).items()
+    }
+
+    /// Replaces the items of `node` (driver-side setup; not charged as
+    /// communication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_items(&mut self, node: NodeId, items: Vec<P::Item>) {
+        self.sim.node_mut(node).set_items(items);
+    }
+
+    /// Runs one wave with the given request and returns the root's merged
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::NoResult`] if the wave quiesced without the root
+    /// completing (e.g. loss with [`Reliability::None`]); simulator errors
+    /// are propagated.
+    pub fn run_wave(&mut self, req: P::Request) -> Result<P::Partial, ProtocolError> {
+        self.next_wave = self.next_wave.wrapping_add(1);
+        let wave = self.next_wave;
+        let root = self.root;
+        {
+            let node = self.sim.node_mut(root);
+            node.staged = Some((wave, req));
+            node.result = None;
+        }
+        self.sim.kick(root, TAG_START);
+        self.sim.run_until_quiescent()?;
+        self.sim
+            .node_mut(root)
+            .result
+            .take()
+            .ok_or(ProtocolError::NoResult)
+    }
+
+    /// Virtual time elapsed so far.
+    pub fn now(&self) -> saq_netsim::SimTime {
+        self.sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saq_netsim::link::LinkConfig;
+    use saq_netsim::wire::width_for_max;
+
+    /// A minimal test protocol: SUM of u32 items below a threshold.
+    #[derive(Debug, Clone)]
+    struct SumBelow {
+        value_width: u32,
+    }
+
+    impl WaveProtocol for SumBelow {
+        type Request = u64; // threshold
+        type Partial = u64; // sum
+        type Item = u64;
+
+        fn encode_request(&self, req: &u64, w: &mut BitWriter) {
+            w.write_bits(*req, self.value_width);
+        }
+        fn decode_request(&self, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+            r.read_bits(self.value_width)
+        }
+        fn encode_partial(&self, p: &u64, w: &mut BitWriter) {
+            w.write_bits(*p, 32);
+        }
+        fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+            r.read_bits(32)
+        }
+        fn local(
+            &self,
+            _node: NodeId,
+            items: &mut Vec<u64>,
+            req: &u64,
+            _rng: &mut Xoshiro256StarStar,
+        ) -> u64 {
+            items.iter().filter(|&&x| x < *req).sum()
+        }
+        fn merge(&self, _req: &u64, a: u64, b: u64) -> u64 {
+            a + b
+        }
+    }
+
+    fn runner_on(
+        topo: Topology,
+        items: Vec<Vec<u64>>,
+        cfg: SimConfig,
+        reliability: Reliability,
+    ) -> WaveRunner<SumBelow> {
+        let tree = SpanningTree::bfs(&topo, 0).unwrap();
+        WaveRunner::new(
+            &topo,
+            cfg,
+            &tree,
+            SumBelow {
+                value_width: width_for_max(1000),
+            },
+            items,
+            reliability,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_wave_sums_correctly() {
+        let topo = Topology::grid(4, 4).unwrap();
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let mut r = runner_on(topo, items, SimConfig::default(), Reliability::None);
+        let sum = r.run_wave(1000).unwrap();
+        assert_eq!(sum, (0..16).sum::<u64>());
+        let below8 = r.run_wave(8).unwrap();
+        assert_eq!(below8, (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn multiple_items_per_node() {
+        let topo = Topology::line(3).unwrap();
+        let items = vec![vec![1, 2, 3], vec![], vec![10, 20]];
+        let mut r = runner_on(topo, items, SimConfig::default(), Reliability::None);
+        assert_eq!(r.run_wave(1000).unwrap(), 36);
+        assert_eq!(r.run_wave(10).unwrap(), 6);
+    }
+
+    #[test]
+    fn singleton_network_no_communication() {
+        let topo = Topology::line(1).unwrap();
+        let mut r = runner_on(topo, vec![vec![7]], SimConfig::default(), Reliability::None);
+        assert_eq!(r.run_wave(100).unwrap(), 7);
+        assert_eq!(r.stats().max_node_bits(), 0);
+    }
+
+    #[test]
+    fn wave_bits_accounted_per_node() {
+        let topo = Topology::line(4).unwrap();
+        let items: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
+        let mut r = runner_on(topo, items, SimConfig::default(), Reliability::None);
+        r.run_wave(1000).unwrap();
+        // Line 0-1-2-3: request goes down 3 hops (10+16+2 = 28 bits each),
+        // partials up 3 hops (32+16+2 = 50 bits each).
+        let req_bits = 2 + 16 + width_for_max(1000) as u64;
+        let part_bits = 2 + 16 + 32;
+        // Node 0: tx request, rx partial.
+        assert_eq!(r.stats().node(0).tx_bits, req_bits);
+        assert_eq!(r.stats().node(0).rx_bits, part_bits);
+        // Node 3 (leaf): rx request, tx partial.
+        assert_eq!(r.stats().node(3).tx_bits, part_bits);
+        assert_eq!(r.stats().node(3).rx_bits, req_bits);
+        // Middle nodes do all four.
+        assert_eq!(
+            r.stats().node(1).total_bits(),
+            2 * (req_bits + part_bits)
+        );
+    }
+
+    #[test]
+    fn sequential_waves_accumulate_stats() {
+        let topo = Topology::grid(3, 3).unwrap();
+        let items: Vec<Vec<u64>> = (0..9).map(|i| vec![i as u64]).collect();
+        let mut r = runner_on(topo, items, SimConfig::default(), Reliability::None);
+        r.run_wave(1000).unwrap();
+        let after_one = r.stats().max_node_bits();
+        r.run_wave(1000).unwrap();
+        assert_eq!(r.stats().max_node_bits(), 2 * after_one);
+        r.reset_stats();
+        assert_eq!(r.stats().max_node_bits(), 0);
+        // Waves still work after a stats reset.
+        assert_eq!(r.run_wave(1000).unwrap(), 36);
+    }
+
+    #[test]
+    fn loss_without_reliability_yields_no_result() {
+        let topo = Topology::line(4).unwrap();
+        let items: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
+        let cfg = SimConfig::default()
+            .with_link(LinkConfig::default().with_loss(1.0))
+            .with_seed(1);
+        let mut r = runner_on(topo, items, cfg, Reliability::None);
+        assert!(matches!(r.run_wave(1000), Err(ProtocolError::NoResult)));
+    }
+
+    #[test]
+    fn ack_mode_survives_heavy_loss() {
+        let topo = Topology::grid(4, 4).unwrap();
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let cfg = SimConfig::default()
+            .with_link(LinkConfig::default().with_loss(0.4))
+            .with_seed(3);
+        let mut r = runner_on(
+            topo,
+            items,
+            cfg,
+            Reliability::Ack {
+                timeout: SimDuration::from_millis(50),
+            },
+        );
+        assert_eq!(r.run_wave(1000).unwrap(), (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn ack_mode_correct_under_duplication() {
+        let topo = Topology::grid(4, 4).unwrap();
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let cfg = SimConfig::default()
+            .with_link(LinkConfig::default().with_duplication(0.5))
+            .with_seed(9);
+        let mut r = runner_on(
+            topo,
+            items,
+            cfg,
+            Reliability::Ack {
+                timeout: SimDuration::from_millis(50),
+            },
+        );
+        // Duplicated partials must not be double-merged.
+        assert_eq!(r.run_wave(1000).unwrap(), (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn duplication_without_acks_still_correct_on_tree() {
+        // Tree convergecast dedups by child identity, so COUNT-style
+        // aggregates survive duplication here (contrast: rings overlay).
+        let topo = Topology::grid(4, 4).unwrap();
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let cfg = SimConfig::default()
+            .with_link(LinkConfig::default().with_duplication(0.7))
+            .with_seed(11);
+        let mut r = runner_on(topo, items, cfg, Reliability::None);
+        assert_eq!(r.run_wave(1000).unwrap(), (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn item_mutation_waves() {
+        /// A protocol whose waves double every item and report the count.
+        #[derive(Debug, Clone)]
+        struct Doubler;
+        impl WaveProtocol for Doubler {
+            type Request = ();
+            type Partial = u64;
+            type Item = u64;
+            fn encode_request(&self, _req: &(), _w: &mut BitWriter) {}
+            fn decode_request(&self, _r: &mut BitReader<'_>) -> Result<(), NetsimError> {
+                Ok(())
+            }
+            fn encode_partial(&self, p: &u64, w: &mut BitWriter) {
+                w.write_bits(*p, 16);
+            }
+            fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+                r.read_bits(16)
+            }
+            fn local(
+                &self,
+                _node: NodeId,
+                items: &mut Vec<u64>,
+                _req: &(),
+                _rng: &mut Xoshiro256StarStar,
+            ) -> u64 {
+                for x in items.iter_mut() {
+                    *x *= 2;
+                }
+                items.len() as u64
+            }
+            fn merge(&self, _req: &(), a: u64, b: u64) -> u64 {
+                a + b
+            }
+        }
+        let topo = Topology::line(3).unwrap();
+        let tree = SpanningTree::bfs(&topo, 0).unwrap();
+        let mut r = WaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            Doubler,
+            vec![vec![1], vec![2], vec![3]],
+            Reliability::None,
+        )
+        .unwrap();
+        assert_eq!(r.run_wave(()).unwrap(), 3);
+        assert_eq!(r.items(0), &[2]);
+        assert_eq!(r.items(2), &[6]);
+        r.run_wave(()).unwrap();
+        assert_eq!(r.items(2), &[12]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let topo = Topology::line(3).unwrap();
+        let tree = SpanningTree::bfs(&topo, 0).unwrap();
+        let err = WaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            SumBelow { value_width: 10 },
+            vec![vec![1]], // wrong length
+            Reliability::None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::ShapeMismatch(_)));
+    }
+}

@@ -1,0 +1,132 @@
+//! Geometric observables of hash bits.
+//!
+//! The key fact behind approximate counting (paper §2.2): *"if each node
+//! samples an independent geometric random variable with parameter 1/2
+//! (say, by counting random bits until the first '1' occurs), then the
+//! maximum of these samples is about log N."*
+//!
+//! For hashed inputs the geometric sample of an item is the **rank of the
+//! first one-bit** of its hash, written `ρ` in the Flajolet papers. All
+//! sketches in this crate share the helpers here so conventions stay
+//! consistent: `ρ ∈ [1, width]` counts from the most significant bit of
+//! the `width`-bit window, and an all-zero window yields `width + 1`.
+
+/// Rank of the first (most significant) one-bit within the low `width`
+/// bits of `w`, counting from 1; returns `width + 1` when the window is
+/// all zeros.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > 64`.
+///
+/// # Examples
+///
+/// ```
+/// use saq_sketches::geometric::rho;
+///
+/// assert_eq!(rho(0b100, 3), 1);  // first bit of the 3-bit window is set
+/// assert_eq!(rho(0b001, 3), 3);
+/// assert_eq!(rho(0, 3), 4);      // empty window
+/// ```
+pub fn rho(w: u64, width: u32) -> u32 {
+    assert!((1..=64).contains(&width), "width {width} out of range");
+    let masked = if width == 64 { w } else { w & ((1u64 << width) - 1) };
+    if masked == 0 {
+        return width + 1;
+    }
+    // Leading zeros *within* the window.
+    width - (64 - masked.leading_zeros()) + 1
+}
+
+/// The maximum `ρ` value [`rho`] can return for a window of `width` bits.
+pub fn rho_max(width: u32) -> u32 {
+    width + 1
+}
+
+/// Probability that a geometric sample with parameter ½ equals `k ≥ 1`
+/// (i.e. `P[ρ = k]` for an ideal infinite hash): `2^-k`.
+pub fn rho_pmf(k: u32) -> f64 {
+    if k == 0 {
+        0.0
+    } else {
+        (0.5f64).powi(k as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rho_small_cases() {
+        assert_eq!(rho(0b1000, 4), 1);
+        assert_eq!(rho(0b0100, 4), 2);
+        assert_eq!(rho(0b0010, 4), 3);
+        assert_eq!(rho(0b0001, 4), 4);
+        assert_eq!(rho(0b0000, 4), 5);
+        assert_eq!(rho(u64::MAX, 64), 1);
+        assert_eq!(rho(1, 64), 64);
+        assert_eq!(rho(0, 64), 65);
+    }
+
+    #[test]
+    fn rho_ignores_bits_above_window() {
+        assert_eq!(rho(0b110000, 4), 5, "high bits outside window ignored");
+        assert_eq!(rho(0b1100, 3), 1, "window MSB set after masking");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rho_zero_width_panics() {
+        rho(1, 0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let s: f64 = (1..=60).map(rho_pmf).sum();
+        assert!((s - 1.0).abs() < 1e-15);
+        assert_eq!(rho_pmf(0), 0.0);
+    }
+
+    #[test]
+    fn rho_distribution_is_geometric() {
+        use saq_netsim::rng::Xoshiro256StarStar;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+        let n = 100_000;
+        let mut counts = [0u32; 8];
+        for _ in 0..n {
+            let r = rho(rng.next_u64(), 64);
+            if (1..=8).contains(&r) {
+                counts[(r - 1) as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = n as f64 * rho_pmf(i as u32 + 1);
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.1, "rho={} count {} expected {}", i + 1, c, expected);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rho_in_range(w: u64, width in 1u32..=64) {
+            let r = rho(w, width);
+            prop_assert!(r >= 1 && r <= rho_max(width));
+        }
+
+        #[test]
+        fn prop_rho_matches_manual_scan(w: u64, width in 1u32..=64) {
+            let r = rho(w, width);
+            // Manual reference: scan bits from MSB of the window.
+            let mut expected = width + 1;
+            for i in 0..width {
+                if (w >> (width - 1 - i)) & 1 == 1 {
+                    expected = i + 1;
+                    break;
+                }
+            }
+            prop_assert_eq!(r, expected);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # saq-sketches — synopses for in-network aggregation
+//!
+//! Small, mergeable data summaries used by the `saq` workspace:
+//!
+//! * [`loglog`] — the Durand–Flajolet LogLog counting sketch, the concrete
+//!   instantiation of the paper's `APX_COUNT` primitive (Fact 2.2):
+//!   `O(m log log N)` bits, relative standard deviation ≈ `1.30/√m`;
+//! * [`hyperloglog`] — the harmonic-mean refinement (≈ `1.04/√m`), used as
+//!   an ablation of the counting substrate;
+//! * [`pcsa`] — Flajolet–Martin probabilistic counting with stochastic
+//!   averaging, the historical `O(log N)`-bits-per-sketch alternative;
+//! * [`sampling`] — bottom-k (KMV) synopses: order- and
+//!   duplicate-insensitive uniform samples, the Nath-et-al-style baseline
+//!   for approximate medians;
+//! * [`quantile`] — mergeable ε-approximate quantile summaries, the
+//!   Greenwald–Khanna-style comparator for one-pass order statistics;
+//! * [`hash`] and [`geometric`] — shared hashing and first-one-bit
+//!   machinery.
+//!
+//! All distinct-counting sketches implement [`DistinctSketch`] and are
+//! **ODI** (order- and duplicate-insensitive): `merge` is commutative,
+//! associative and idempotent, which is what makes them safe under the
+//! multipath "synopsis diffusion" delivery of Considine et al. and Nath
+//! et al. Property tests enforce ODI for every implementation.
+
+pub mod geometric;
+pub mod hash;
+pub mod hyperloglog;
+pub mod loglog;
+pub mod pcsa;
+pub mod quantile;
+pub mod sampling;
+
+pub use hash::HashFamily;
+pub use hyperloglog::HyperLogLog;
+pub use loglog::LogLog;
+pub use pcsa::Pcsa;
+pub use quantile::QuantileSummary;
+pub use sampling::BottomK;
+
+/// A mergeable sketch estimating the number of distinct 64-bit keys
+/// inserted into it.
+///
+/// Implementations must be order- and duplicate-insensitive: inserting the
+/// same key any number of times, in any order, across any partition of the
+/// key set into merged sketches, yields the same state.
+pub trait DistinctSketch: Clone {
+    /// Inserts a key. Keys are expected to already be well-mixed 64-bit
+    /// hashes (see [`HashFamily`]); inserting raw small integers directly
+    /// will skew estimates.
+    fn insert_hash(&mut self, hash: u64);
+
+    /// Merges another sketch of identical shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the shapes (bucket counts) differ.
+    fn merge_from(&mut self, other: &Self);
+
+    /// Point estimate of the number of distinct keys inserted.
+    fn estimate(&self) -> f64;
+
+    /// Exact size of this sketch on the wire, in bits, under the
+    /// implementation's preferred encoding.
+    fn wire_bits(&self) -> u64;
+}

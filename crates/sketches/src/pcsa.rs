@@ -1,0 +1,225 @@
+//! Flajolet–Martin probabilistic counting with stochastic averaging (PCSA).
+//!
+//! The original 1985 distinct-counting sketch, cited by the paper through
+//! Alon–Matias–Szegedy \[1\]. Each of the `m` buckets keeps a **bitmap** of
+//! observed `ρ` values instead of a max register, and the estimator uses
+//! the position of the lowest *unset* bit. PCSA needs `Θ(log N)` bits per
+//! bucket versus LogLog's `Θ(log log N)` — keeping it in the workspace
+//! lets experiment E2 show *why* the paper's Fact 2.2 prefers the LogLog
+//! family: same σ-versus-m behaviour, exponentially larger messages.
+
+use crate::geometric::rho;
+use crate::DistinctSketch;
+use saq_netsim::wire::{BitReader, BitWriter, WireEncode};
+use saq_netsim::NetsimError;
+
+/// The Flajolet–Martin magic constant `φ ≈ 0.77351`.
+pub const PHI: f64 = 0.773_51;
+
+/// PCSA relative standard deviation: `σ ≈ 0.78/√m`.
+pub const PCSA_SIGMA_CONST: f64 = 0.78;
+
+/// A PCSA sketch: `2^b` buckets of 64-bit occupancy bitmaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcsa {
+    b: u32,
+    /// `maps[i]` bit `k` (0-based) is set iff some key in bucket `i` had
+    /// `ρ = k + 1`.
+    maps: Vec<u64>,
+}
+
+impl Pcsa {
+    /// Creates an empty sketch with `2^b` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ b ≤ 16`.
+    pub fn new(b: u32) -> Self {
+        assert!((1..=16).contains(&b), "b={b} out of supported range 1..=16");
+        Pcsa {
+            b,
+            maps: vec![0; 1 << b],
+        }
+    }
+
+    /// Number of buckets.
+    pub fn m(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Raw bucket bitmaps.
+    pub fn bitmaps(&self) -> &[u64] {
+        &self.maps
+    }
+
+    fn window(&self) -> u32 {
+        64 - self.b
+    }
+
+    /// Index of the lowest zero bit of `map` (0-based) — the `R` statistic
+    /// of Flajolet–Martin.
+    fn lowest_zero(map: u64) -> u32 {
+        (!map).trailing_zeros()
+    }
+}
+
+impl DistinctSketch for Pcsa {
+    fn insert_hash(&mut self, hash: u64) {
+        let idx = (hash >> self.window()) as usize;
+        let w = self.window();
+        let r = rho(hash, w);
+        if r <= 64 {
+            self.maps[idx] |= 1u64 << (r - 1);
+        }
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.b, other.b, "cannot merge PCSA sketches of different size");
+        for (a, &b) in self.maps.iter_mut().zip(other.maps.iter()) {
+            *a |= b;
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        let m = self.m() as f64;
+        let mean_r =
+            self.maps.iter().map(|&mp| Self::lowest_zero(mp) as f64).sum::<f64>() / m;
+        // E[R] ~ log2(phi * n / m): invert.
+        m / PHI * mean_r.exp2()
+    }
+
+    /// PCSA bitmap cost: `m` × full `Θ(log N)`-bit bitmaps. We transmit a
+    /// 33-bit prefix of each bitmap (enough for `N ≤ 2^32` per the classic
+    /// implementation) — still exponentially more than a LogLog register.
+    fn wire_bits(&self) -> u64 {
+        self.m() as u64 * 33
+    }
+}
+
+impl WireEncode for Pcsa {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_bits(self.b as u64, 5);
+        for &mp in &self.maps {
+            w.write_bits(mp, 64);
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, NetsimError> {
+        let b = r.read_bits(5)? as u32;
+        if !(1..=16).contains(&b) {
+            return Err(NetsimError::WireDecode("pcsa b out of range"));
+        }
+        let mut sk = Pcsa::new(b);
+        for slot in &mut sk.maps {
+            *slot = r.read_bits(64)?;
+        }
+        Ok(sk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HashFamily;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lowest_zero_works() {
+        assert_eq!(Pcsa::lowest_zero(0), 0);
+        assert_eq!(Pcsa::lowest_zero(0b1), 1);
+        assert_eq!(Pcsa::lowest_zero(0b1011), 2);
+        assert_eq!(Pcsa::lowest_zero(u64::MAX), 64);
+    }
+
+    #[test]
+    fn estimate_in_the_right_ballpark() {
+        let h = HashFamily::new(31);
+        let n = 40_000u64;
+        let mut sk = Pcsa::new(8);
+        for k in 0..n {
+            sk.insert_hash(h.hash(k));
+        }
+        let sigma = PCSA_SIGMA_CONST / (sk.m() as f64).sqrt();
+        let rel = (sk.estimate() - n as f64).abs() / n as f64;
+        assert!(rel < 5.0 * sigma, "rel err {rel} vs sigma {sigma}");
+    }
+
+    #[test]
+    fn pcsa_wire_cost_exceeds_loglog() {
+        use crate::LogLog;
+        let p = Pcsa::new(6);
+        let l = LogLog::new(6);
+        assert!(
+            p.wire_bits() > 4 * DistinctSketch::wire_bits(&l),
+            "PCSA ({}) should dwarf LogLog ({})",
+            p.wire_bits(),
+            DistinctSketch::wire_bits(&l)
+        );
+    }
+
+    #[test]
+    fn duplicate_insensitive() {
+        let h = HashFamily::new(1);
+        let mut once = Pcsa::new(5);
+        let mut thrice = Pcsa::new(5);
+        for k in 0..500u64 {
+            once.insert_hash(h.hash(k));
+            for _ in 0..3 {
+                thrice.insert_hash(h.hash(k));
+            }
+        }
+        assert_eq!(once, thrice);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let h = HashFamily::new(8);
+        let mut sk = Pcsa::new(4);
+        for k in 0..200u64 {
+            sk.insert_hash(h.hash(k));
+        }
+        let mut w = BitWriter::new();
+        sk.encode(&mut w);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert_eq!(Pcsa::decode(&mut r).unwrap(), sk);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_is_bitwise_or_union(keys in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let h = HashFamily::new(12);
+            let mut whole = Pcsa::new(4);
+            let mut a = Pcsa::new(4);
+            let mut b = Pcsa::new(4);
+            for (i, k) in keys.iter().enumerate() {
+                let x = h.hash(*k);
+                whole.insert_hash(x);
+                if i % 2 == 0 { a.insert_hash(x) } else { b.insert_hash(x) }
+            }
+            a.merge_from(&b);
+            prop_assert_eq!(a, whole);
+        }
+
+        #[test]
+        fn prop_merge_associative(k1 in proptest::collection::vec(any::<u64>(), 0..80),
+                                  k2 in proptest::collection::vec(any::<u64>(), 0..80),
+                                  k3 in proptest::collection::vec(any::<u64>(), 0..80)) {
+            let h = HashFamily::new(13);
+            let mk = |ks: &[u64]| {
+                let mut s = Pcsa::new(4);
+                for k in ks { s.insert_hash(h.hash(*k)); }
+                s
+            };
+            let (a, b, c) = (mk(&k1), mk(&k2), mk(&k3));
+            let mut ab_c = a.clone();
+            ab_c.merge_from(&b);
+            ab_c.merge_from(&c);
+            let mut bc = b.clone();
+            bc.merge_from(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge_from(&bc);
+            prop_assert_eq!(ab_c, a_bc);
+        }
+    }
+}

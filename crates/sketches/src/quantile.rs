@@ -1,0 +1,528 @@
+//! Mergeable ε-approximate quantile summaries.
+//!
+//! This is the workspace's stand-in for the Greenwald–Khanna PODS 2004
+//! construction the paper cites as concurrent work:
+//!
+//! > *"their algorithm requires O((log N)^4) communication bits per node
+//! > ... [but] can compute deterministically, after one pass over the
+//! > data and O((log N)^3) communication bits, any approximate order
+//! > statistic."*
+//!
+//! We implement the cleaner mergeable formulation (à la Agarwal et al.'s
+//! *Mergeable Summaries*): a summary is a sorted list of values with
+//! per-value rank intervals `[rmin, rmax]`. Exact summaries have
+//! zero-width intervals; `merge` adds interval widths; `prune(k)` keeps
+//! `k + 1` entries at the cost of `count/(2k)` extra rank error. A
+//! bottom-up tree aggregation of prune-after-merge summaries answers *all*
+//! quantiles in one convergecast — more bits per node than the paper's
+//! binary search, which is exactly the trade-off experiment E7 measures.
+//!
+//! The error bookkeeping is *certified*: [`QuantileSummary::max_rank_error`]
+//! is computed from the stored intervals, and property tests check that
+//! every query's true rank deviation is within it.
+
+use saq_netsim::wire::{BitReader, BitWriter, WireEncode};
+use saq_netsim::NetsimError;
+
+/// One summary entry: a stored value and bounds on its rank within the
+/// summarized multiset (1-based, inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QEntry {
+    /// The stored value.
+    pub value: u64,
+    /// Smallest possible rank of this stored occurrence.
+    pub rmin: u64,
+    /// Largest possible rank of this stored occurrence.
+    pub rmax: u64,
+}
+
+/// A mergeable quantile summary over `u64` values.
+///
+/// # Examples
+///
+/// ```
+/// use saq_sketches::QuantileSummary;
+///
+/// let a = QuantileSummary::from_sorted(&[1, 3, 5]);
+/// let b = QuantileSummary::from_sorted(&[2, 4, 6]);
+/// let merged = QuantileSummary::merged(&a, &b);
+/// assert_eq!(merged.count(), 6);
+/// assert_eq!(merged.query_rank(3), Some(3)); // exact: no pruning yet
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QuantileSummary {
+    entries: Vec<QEntry>,
+    count: u64,
+}
+
+impl QuantileSummary {
+    /// The empty summary (zero items).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An exact summary of one item.
+    pub fn from_single(value: u64) -> Self {
+        QuantileSummary {
+            entries: vec![QEntry {
+                value,
+                rmin: 1,
+                rmax: 1,
+            }],
+            count: 1,
+        }
+    }
+
+    /// An exact summary of a **sorted** slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the slice is not sorted ascending.
+    pub fn from_sorted(values: &[u64]) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        QuantileSummary {
+            entries: values
+                .iter()
+                .enumerate()
+                .map(|(i, &value)| QEntry {
+                    value,
+                    rmin: i as u64 + 1,
+                    rmax: i as u64 + 1,
+                })
+                .collect(),
+            count: values.len() as u64,
+        }
+    }
+
+    /// Reassembles a summary from raw parts (used by wire decoders in
+    /// higher layers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a static message if the entries are not sorted by value or
+    /// any rank interval is inconsistent with `count`.
+    pub fn from_parts(entries: Vec<QEntry>, count: u64) -> Result<Self, &'static str> {
+        if !entries.windows(2).all(|w| w[0].value <= w[1].value) {
+            return Err("entries not sorted by value");
+        }
+        if entries
+            .iter()
+            .any(|e| e.rmin == 0 || e.rmin > e.rmax || e.rmax > count)
+        {
+            return Err("entry rank interval inconsistent with count");
+        }
+        Ok(QuantileSummary { entries, count })
+    }
+
+    /// Number of items represented (with multiplicity).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the summary represents zero items.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The stored entries, sorted by value.
+    pub fn entries(&self) -> &[QEntry] {
+        &self.entries
+    }
+
+    /// Merges two summaries over disjoint item populations.
+    ///
+    /// Rank intervals combine by the standard rule: an entry `x` from one
+    /// summary gains the `rmin` of its predecessor and the `rmax − 1` of
+    /// its successor in the other summary. Interval widths add, so merging
+    /// exact summaries stays exact.
+    pub fn merged(a: &QuantileSummary, b: &QuantileSummary) -> QuantileSummary {
+        if a.is_empty() {
+            return b.clone();
+        }
+        if b.is_empty() {
+            return a.clone();
+        }
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        // Ties are broken by a fixed total order: equal values from `a`
+        // precede those from `b`. Without this, equal values in both
+        // summaries would count each other as predecessors and inflate
+        // both bounds.
+        let mut push_transformed =
+            |own: &QuantileSummary, other: &QuantileSummary, other_wins_ties: bool| {
+                for e in &own.entries {
+                    // Split `other` around e.value under the tie-break.
+                    let pos = if other_wins_ties {
+                        // Predecessors are strictly smaller values.
+                        other.entries.partition_point(|o| o.value < e.value)
+                    } else {
+                        // Predecessors include equal values.
+                        other.entries.partition_point(|o| o.value <= e.value)
+                    };
+                    let pred_rmin = if pos > 0 { other.entries[pos - 1].rmin } else { 0 };
+                    let succ_rmax = if pos < other.entries.len() {
+                        other.entries[pos].rmax - 1
+                    } else {
+                        other.count
+                    };
+                    out.push(QEntry {
+                        value: e.value,
+                        rmin: e.rmin + pred_rmin,
+                        rmax: e.rmax + succ_rmax,
+                    });
+                }
+            };
+        push_transformed(a, b, true);
+        push_transformed(b, a, false);
+        out.sort_by(|x, y| x.value.cmp(&y.value).then(x.rmin.cmp(&y.rmin)));
+        QuantileSummary {
+            entries: out,
+            count: a.count + b.count,
+        }
+    }
+
+    /// Prunes the summary to at most `k + 1` entries, keeping the extreme
+    /// entries and entries nearest to the `k − 1` interior equi-spaced
+    /// ranks. Adds at most `⌈count / (2k)⌉` to the worst-case rank error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn prune(&mut self, k: usize) {
+        assert!(k > 0, "prune target must be positive");
+        if self.entries.len() <= k + 1 {
+            return;
+        }
+        let mut keep = Vec::with_capacity(k + 1);
+        keep.push(0usize); // the minimum
+        for i in 1..k {
+            let target = (i as u64 * self.count).div_ceil(k as u64);
+            let idx = self.nearest_entry(target);
+            keep.push(idx);
+        }
+        keep.push(self.entries.len() - 1); // the maximum
+        keep.sort_unstable();
+        keep.dedup();
+        self.entries = keep.into_iter().map(|i| self.entries[i]).collect();
+    }
+
+    /// Index of the entry whose rank interval is closest to `r`.
+    fn nearest_entry(&self, r: u64) -> usize {
+        let mut best = 0usize;
+        let mut best_score = u64::MAX;
+        for (i, e) in self.entries.iter().enumerate() {
+            let score = (r.saturating_sub(e.rmin)).max(e.rmax.saturating_sub(r));
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Returns a stored value whose true rank is near `r` (clamped to
+    /// `[1, count]`), or `None` on an empty summary. The deviation is at
+    /// most [`QuantileSummary::max_rank_error`].
+    pub fn query_rank(&self, r: u64) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let r = r.clamp(1, self.count);
+        Some(self.entries[self.nearest_entry(r)].value)
+    }
+
+    /// Returns the `phi`-quantile for `phi ∈ (0, 1]` (`0.5` = median).
+    pub fn query_quantile(&self, phi: f64) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let r = ((phi.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        self.query_rank(r)
+    }
+
+    /// Certified worst-case rank error of any [`QuantileSummary::query_rank`]
+    /// answer, computed from the stored intervals: for every query rank
+    /// the chosen entry's interval deviates from the query by at most this
+    /// many ranks.
+    pub fn max_rank_error(&self) -> u64 {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        let mut worst = 0u64;
+        // Error within / around a single entry chosen for nearby ranks,
+        // and for ranks falling between consecutive entries.
+        for r in [1u64, self.count] {
+            let e = &self.entries[self.nearest_entry(r)];
+            worst = worst.max((r.saturating_sub(e.rmin)).max(e.rmax.saturating_sub(r)));
+        }
+        for w in self.entries.windows(2) {
+            // Worst query rank between entries w[0] and w[1]: the midpoint
+            // of [w[0].rmin, w[1].rmax].
+            let lo = w[0].rmin;
+            let hi = w[1].rmax;
+            if hi > lo {
+                let mid = lo + (hi - lo) / 2;
+                let a = &w[0];
+                let b = &w[1];
+                let score_a = (mid.saturating_sub(a.rmin)).max(a.rmax.saturating_sub(mid));
+                let score_b = (mid.saturating_sub(b.rmin)).max(b.rmax.saturating_sub(mid));
+                worst = worst.max(score_a.min(score_b));
+            }
+        }
+        // Also single-entry interval widths (query lands inside interval).
+        for e in &self.entries {
+            worst = worst.max((e.rmax - e.rmin).div_ceil(2));
+        }
+        worst
+    }
+
+    /// Wire size in bits with values encoded in `value_width` bits and
+    /// ranks in `⌈log₂(count+1)⌉` bits.
+    pub fn wire_bits(&self, value_width: u32) -> u64 {
+        let rank_w = saq_netsim::wire::width_for_max(self.count.max(1)) as u64;
+        // count header + entry count + entries (value, rmin, rmax)
+        40 + 20 + self.entries.len() as u64 * (value_width as u64 + 2 * rank_w)
+    }
+}
+
+impl WireEncode for QuantileSummary {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_bits(self.count, 40);
+        w.write_bits(self.entries.len() as u64, 20);
+        let rank_w = saq_netsim::wire::width_for_max(self.count.max(1));
+        for e in &self.entries {
+            w.write_bits(e.value, 64);
+            w.write_bits(e.rmin, rank_w);
+            w.write_bits(e.rmax, rank_w);
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, NetsimError> {
+        let count = r.read_bits(40)?;
+        let len = r.read_bits(20)? as usize;
+        let rank_w = saq_netsim::wire::width_for_max(count.max(1));
+        let mut entries = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            let value = r.read_bits(64)?;
+            let rmin = r.read_bits(rank_w)?;
+            let rmax = r.read_bits(rank_w)?;
+            if rmin > rmax || rmax > count {
+                return Err(NetsimError::WireDecode("quantile entry ranks invalid"));
+            }
+            entries.push(QEntry { value, rmin, rmax });
+        }
+        Ok(QuantileSummary { entries, count })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// True rank interval of `v` in `sorted`: the ranks its occurrences
+    /// could occupy, i.e. `[l+1, l+mult]` where `l` = #items < v.
+    fn true_rank_bounds(sorted: &[u64], v: u64) -> (u64, u64) {
+        let l = sorted.partition_point(|&x| x < v) as u64;
+        let le = sorted.partition_point(|&x| x <= v) as u64;
+        (l + 1, le.max(l + 1))
+    }
+
+    #[test]
+    fn exact_summary_answers_exactly() {
+        let vals = [10u64, 20, 30, 40, 50];
+        let s = QuantileSummary::from_sorted(&vals);
+        assert_eq!(s.max_rank_error(), 0);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(s.query_rank(i as u64 + 1), Some(v));
+        }
+        assert_eq!(s.query_quantile(0.5), Some(30));
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = QuantileSummary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.query_rank(1), None);
+        assert_eq!(s.query_quantile(0.5), None);
+        assert_eq!(s.max_rank_error(), 0);
+        let merged = QuantileSummary::merged(&s, &QuantileSummary::from_single(9));
+        assert_eq!(merged.count(), 1);
+        assert_eq!(merged.query_rank(1), Some(9));
+    }
+
+    #[test]
+    fn merge_of_exact_is_exact() {
+        let a = QuantileSummary::from_sorted(&[1, 3, 5, 7]);
+        let b = QuantileSummary::from_sorted(&[2, 4, 6, 8]);
+        let m = QuantileSummary::merged(&a, &b);
+        assert_eq!(m.count(), 8);
+        assert_eq!(m.max_rank_error(), 0);
+        for r in 1..=8u64 {
+            assert_eq!(m.query_rank(r), Some(r));
+        }
+    }
+
+    #[test]
+    fn merge_with_duplicates() {
+        let a = QuantileSummary::from_sorted(&[5, 5, 5]);
+        let b = QuantileSummary::from_sorted(&[5, 5]);
+        let m = QuantileSummary::merged(&a, &b);
+        assert_eq!(m.count(), 5);
+        assert_eq!(m.query_rank(3), Some(5));
+    }
+
+    #[test]
+    fn prune_bounds_error() {
+        let vals: Vec<u64> = (0..1000).collect();
+        let mut s = QuantileSummary::from_sorted(&vals);
+        s.prune(20);
+        assert!(s.len() <= 21);
+        // Analytic bound: count/(2k) = 25.
+        assert!(
+            s.max_rank_error() <= 25 + 1,
+            "error {} exceeds bound",
+            s.max_rank_error()
+        );
+        // Median query lands within the bound.
+        let med = s.query_rank(500).unwrap();
+        let (lo, hi) = true_rank_bounds(&vals, med);
+        assert!(lo <= 500 + 26 && hi + 26 >= 500);
+    }
+
+    #[test]
+    fn tree_merge_error_accumulates_linearly_in_height() {
+        // 64 leaves of 16 items each, binary tree merge with prune(32).
+        let k = 32usize;
+        let mut layer: Vec<QuantileSummary> = (0..64)
+            .map(|leaf| {
+                let vals: Vec<u64> = (0..16).map(|i| (leaf * 16 + i) as u64).collect();
+                QuantileSummary::from_sorted(&vals)
+            })
+            .collect();
+        let mut height = 0;
+        while layer.len() > 1 {
+            height += 1;
+            layer = layer
+                .chunks(2)
+                .map(|pair| {
+                    let mut m = if pair.len() == 2 {
+                        QuantileSummary::merged(&pair[0], &pair[1])
+                    } else {
+                        pair[0].clone()
+                    };
+                    m.prune(k);
+                    m
+                })
+                .collect();
+        }
+        let root = &layer[0];
+        assert_eq!(root.count(), 1024);
+        // Each prune at subtree size n_s adds n_s/(2k); along the tree this
+        // telescopes to ~ height * count/(2k) at the root.
+        let bound = (height * 1024) as u64 / (2 * k as u64) + height as u64;
+        assert!(
+            root.max_rank_error() <= bound,
+            "certified error {} vs analytic bound {bound}",
+            root.max_rank_error()
+        );
+        // And the certified bound really holds for the median:
+        let med = root.query_rank(512).unwrap();
+        let all: Vec<u64> = (0..1024).collect();
+        let (lo, hi) = true_rank_bounds(&all, med);
+        let err = root.max_rank_error();
+        assert!(lo <= 512 + err && hi + err >= 512);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut s = QuantileSummary::from_sorted(&(0..100).collect::<Vec<_>>());
+        s.prune(10);
+        let mut w = BitWriter::new();
+        s.encode(&mut w);
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(QuantileSummary::decode(&mut r).unwrap(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn prune_zero_panics() {
+        let mut s = QuantileSummary::from_single(1);
+        s.prune(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_query_error_within_certificate(
+            mut vals in proptest::collection::vec(0u64..10_000, 1..400),
+            k in 4usize..40,
+            splits in proptest::collection::vec(0usize..4, 0..4),
+        ) {
+            vals.sort_unstable();
+            // Partition into up to 4 parts, summarize, merge, prune.
+            let parts: Vec<Vec<u64>> = {
+                let mut parts = vec![Vec::new(); 4];
+                for (i, &v) in vals.iter().enumerate() {
+                    parts[(i + splits.len()) % 4].push(v);
+                }
+                parts
+            };
+            let mut acc = QuantileSummary::new();
+            for p in parts {
+                let mut sorted = p.clone();
+                sorted.sort_unstable();
+                let s = QuantileSummary::from_sorted(&sorted);
+                acc = QuantileSummary::merged(&acc, &s);
+                acc.prune(k);
+            }
+            prop_assert_eq!(acc.count(), vals.len() as u64);
+            let err = acc.max_rank_error();
+            for q in [1u64, (vals.len() as u64 / 2).max(1), vals.len() as u64] {
+                let got = acc.query_rank(q).unwrap();
+                let (lo, hi) = true_rank_bounds(&vals, got);
+                prop_assert!(
+                    lo <= q + err && hi + err >= q,
+                    "rank {} answered {} with true bounds [{},{}], certified err {}",
+                    q, got, lo, hi, err
+                );
+            }
+        }
+
+        #[test]
+        fn prop_merge_counts_add(a in proptest::collection::vec(0u64..100, 0..50),
+                                 b in proptest::collection::vec(0u64..100, 0..50)) {
+            let mut sa = a.clone(); sa.sort_unstable();
+            let mut sb = b.clone(); sb.sort_unstable();
+            let m = QuantileSummary::merged(
+                &QuantileSummary::from_sorted(&sa),
+                &QuantileSummary::from_sorted(&sb),
+            );
+            prop_assert_eq!(m.count(), (a.len() + b.len()) as u64);
+            prop_assert_eq!(m.len(), a.len() + b.len());
+        }
+
+        #[test]
+        fn prop_exact_merge_has_zero_error(a in proptest::collection::vec(0u64..50, 1..60),
+                                           b in proptest::collection::vec(0u64..50, 1..60)) {
+            let mut sa = a; sa.sort_unstable();
+            let mut sb = b; sb.sort_unstable();
+            let m = QuantileSummary::merged(
+                &QuantileSummary::from_sorted(&sa),
+                &QuantileSummary::from_sorted(&sb),
+            );
+            let mut all = [sa, sb].concat();
+            all.sort_unstable();
+            prop_assert_eq!(m.max_rank_error(), 0);
+            for r in 1..=all.len() as u64 {
+                let got = m.query_rank(r).unwrap();
+                let (lo, hi) = true_rank_bounds(&all, got);
+                prop_assert!(lo <= r && r <= hi, "rank {} -> {} bounds [{},{}]", r, got, lo, hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Bottom-k (KMV) sampling synopses.
+//!
+//! A bottom-k synopsis keeps the `k` inserted pairs with the smallest hash
+//! keys. Because "smallest k of a union" is determined by the union alone,
+//! the synopsis is order- and duplicate-insensitive, making it the
+//! classic ODI *uniform sample* of Nath et al. and the "k minimum values"
+//! distinct-count estimator.
+//!
+//! In the workspace it serves as the sampling-median baseline (experiment
+//! E7): the median of a bottom-k sample of item identities estimates the
+//! population median with rank error `Θ(N/√k)`, at a wire cost of
+//! `Θ(k log N)` bits — the `Ω(log N)`-per-node shape the paper contrasts
+//! with its polyloglog algorithm.
+
+use crate::DistinctSketch;
+use saq_netsim::wire::{BitReader, BitWriter, WireEncode};
+use saq_netsim::NetsimError;
+
+/// A bottom-k synopsis over `(hash key, value)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use saq_sketches::{BottomK, HashFamily};
+///
+/// let h = HashFamily::new(1);
+/// let mut s = BottomK::new(32, 16);
+/// for item in 0..1000u64 {
+///     s.insert(h.hash(item), item % 100); // value payload: item mod 100
+/// }
+/// assert_eq!(s.sample().len(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BottomK {
+    k: usize,
+    /// Bits used to encode each value on the wire.
+    value_width: u32,
+    /// Sorted ascending by key; keys unique; length ≤ k.
+    entries: Vec<(u64, u64)>,
+}
+
+impl BottomK {
+    /// Creates an empty synopsis keeping `k` pairs whose values fit in
+    /// `value_width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `value_width` is 0 or exceeds 64.
+    pub fn new(k: usize, value_width: u32) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!((1..=64).contains(&value_width), "value_width out of range");
+        BottomK {
+            k,
+            value_width,
+            entries: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    /// The synopsis capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Inserts a pair. The key must be a well-mixed hash; the value is an
+    /// arbitrary payload (item value, node id, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the configured width.
+    pub fn insert(&mut self, key: u64, value: u64) {
+        assert!(
+            self.value_width == 64 || value < (1u64 << self.value_width),
+            "value {value} wider than {} bits",
+            self.value_width
+        );
+        match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(_) => {} // duplicate key: idempotent
+            Err(pos) => {
+                if pos < self.k {
+                    self.entries.insert(pos, (key, value));
+                    self.entries.truncate(self.k);
+                }
+            }
+        }
+    }
+
+    /// The sampled values, ordered by hash key (i.e. uniformly shuffled).
+    pub fn sample(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.1).collect()
+    }
+
+    /// The retained `(key, value)` pairs, sorted by key (wire encoders in
+    /// higher layers iterate these).
+    pub fn entries(&self) -> &[(u64, u64)] {
+        &self.entries
+    }
+
+    /// Number of retained pairs (≤ k).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the synopsis holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimates the `phi`-quantile (`0 < phi ≤ 1`) of the sampled
+    /// population from the retained values; `None` when empty.
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut vals = self.sample();
+        vals.sort_unstable();
+        let phi = phi.clamp(0.0, 1.0);
+        let idx = ((phi * vals.len() as f64).ceil() as usize).clamp(1, vals.len()) - 1;
+        Some(vals[idx])
+    }
+
+    /// Estimates the population median from the sample.
+    pub fn median(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+}
+
+impl DistinctSketch for BottomK {
+    fn insert_hash(&mut self, hash: u64) {
+        let mask = if self.value_width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.value_width) - 1
+        };
+        self.insert(hash, hash & mask);
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.k, other.k, "cannot merge BottomK of different k");
+        assert_eq!(
+            self.value_width, other.value_width,
+            "cannot merge BottomK of different value width"
+        );
+        for &(key, value) in &other.entries {
+            match self.entries.binary_search_by_key(&key, |e| e.0) {
+                Ok(_) => {}
+                Err(pos) => {
+                    if pos < self.k {
+                        self.entries.insert(pos, (key, value));
+                        self.entries.truncate(self.k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The KMV distinct-count estimator: `(k − 1) / U_(k)` where `U_(k)`
+    /// is the k-th smallest key normalized to `(0, 1)`; falls back to the
+    /// exact retained count when fewer than `k` keys were seen.
+    fn estimate(&self) -> f64 {
+        if self.entries.len() < self.k {
+            return self.entries.len() as f64;
+        }
+        let kth = self.entries[self.k - 1].0;
+        let u = (kth as f64 + 1.0) / (u64::MAX as f64 + 1.0);
+        (self.k as f64 - 1.0) / u
+    }
+
+    fn wire_bits(&self) -> u64 {
+        // Entry count header (up to k), then (key, value) pairs. Keys are
+        // truncated to 32 bits on the wire: collision probability over
+        // realistic network sizes is negligible and it halves the cost.
+        let header = saq_netsim::wire::width_for_max(self.k as u64) as u64;
+        header + self.entries.len() as u64 * (32 + self.value_width as u64)
+    }
+}
+
+impl WireEncode for BottomK {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_bits(self.k as u64, 20);
+        w.write_bits(self.value_width as u64, 7);
+        w.write_bits(self.entries.len() as u64, 20);
+        for &(key, value) in &self.entries {
+            w.write_bits(key, 64);
+            w.write_bits(value, self.value_width);
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, NetsimError> {
+        let k = r.read_bits(20)? as usize;
+        let value_width = r.read_bits(7)? as u32;
+        if k == 0 || !(1..=64).contains(&value_width) {
+            return Err(NetsimError::WireDecode("bottomk header invalid"));
+        }
+        let len = r.read_bits(20)? as usize;
+        if len > k {
+            return Err(NetsimError::WireDecode("bottomk length exceeds k"));
+        }
+        let mut s = BottomK::new(k, value_width);
+        for _ in 0..len {
+            let key = r.read_bits(64)?;
+            let value = r.read_bits(value_width)?;
+            s.insert(key, value);
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HashFamily;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_smallest_keys() {
+        let mut s = BottomK::new(3, 16);
+        s.insert(50, 5);
+        s.insert(10, 1);
+        s.insert(30, 3);
+        s.insert(20, 2);
+        s.insert(40, 4);
+        assert_eq!(s.sample(), vec![1, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_keys_idempotent() {
+        let mut s = BottomK::new(4, 8);
+        for _ in 0..10 {
+            s.insert(7, 1);
+        }
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let h = HashFamily::new(5);
+        let mut whole = BottomK::new(16, 32);
+        let mut a = BottomK::new(16, 32);
+        let mut b = BottomK::new(16, 32);
+        for item in 0..500u64 {
+            let key = h.hash(item);
+            whole.insert(key, item);
+            if item % 2 == 0 {
+                a.insert(key, item);
+            } else {
+                b.insert(key, item);
+            }
+        }
+        a.merge_from(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn distinct_estimate_reasonable() {
+        let h = HashFamily::new(9);
+        let mut s = BottomK::new(256, 8);
+        let n = 50_000u64;
+        for item in 0..n {
+            s.insert(h.hash(item), 0);
+        }
+        let rel = (s.estimate() - n as f64).abs() / n as f64;
+        // sigma ~ 1/sqrt(k) ~ 6%
+        assert!(rel < 0.25, "rel err {rel}");
+    }
+
+    #[test]
+    fn partial_fill_estimates_exactly() {
+        let h = HashFamily::new(9);
+        let mut s = BottomK::new(64, 8);
+        for item in 0..10u64 {
+            s.insert(h.hash(item), 0);
+        }
+        assert_eq!(s.estimate(), 10.0);
+    }
+
+    #[test]
+    fn sample_median_near_population_median() {
+        let h = HashFamily::new(17);
+        let n = 20_000u64;
+        let mut s = BottomK::new(512, 20);
+        // Population: values 0..n (uniform), keys = hashed item ids.
+        for item in 0..n {
+            s.insert(h.hash(item), item);
+        }
+        let med = s.median().unwrap() as f64;
+        let expected = n as f64 / 2.0;
+        // Rank error ~ n/sqrt(k) ~ 884; allow 4x.
+        assert!(
+            (med - expected).abs() < 4.0 * n as f64 / (512f64).sqrt(),
+            "sample median {med} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let mut s = BottomK::new(8, 8);
+        for (i, v) in [(1u64, 10u64), (2, 20), (3, 30)] {
+            s.insert(i, v);
+        }
+        assert_eq!(s.quantile(0.0), Some(10));
+        assert_eq!(s.quantile(1.0), Some(30));
+        assert_eq!(BottomK::new(4, 8).median(), None);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let h = HashFamily::new(2);
+        let mut s = BottomK::new(10, 24);
+        for item in 0..100u64 {
+            s.insert(h.hash(item), item * 3);
+        }
+        let mut w = BitWriter::new();
+        s.encode(&mut w);
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(BottomK::decode(&mut r).unwrap(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn oversized_value_panics() {
+        let mut s = BottomK::new(4, 4);
+        s.insert(1, 16);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_odi_any_partition(items in proptest::collection::vec(0u64..1000, 0..300), split in 0usize..3) {
+            let h = HashFamily::new(33);
+            let mut whole = BottomK::new(8, 10);
+            let mut parts = vec![BottomK::new(8, 10), BottomK::new(8, 10), BottomK::new(8, 10)];
+            for (i, &item) in items.iter().enumerate() {
+                let key = h.hash(item);
+                whole.insert(key, item);
+                parts[(i + split) % 3].insert(key, item);
+            }
+            let mut merged = parts.remove(0);
+            for p in &parts {
+                merged.merge_from(p);
+            }
+            prop_assert_eq!(merged, whole);
+        }
+
+        #[test]
+        fn prop_len_bounded_by_k(keys in proptest::collection::vec(any::<u64>(), 0..200), k in 1usize..20) {
+            let mut s = BottomK::new(k, 64);
+            for &key in &keys {
+                s.insert(key, key);
+            }
+            prop_assert!(s.len() <= k);
+            // And entries are the k smallest distinct keys:
+            let mut distinct: Vec<u64> = keys.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let expect: Vec<u64> = distinct.into_iter().take(k).collect();
+            let got: Vec<u64> = s.sample();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Environmental monitoring: a season of median queries on a battery.
+//!
+//! ```text
+//! cargo run --release --example environmental_monitoring
+//! ```
+//!
+//! The TAG-era motivating scenario: sensors scattered over a field report
+//! temperature; the operator polls the *median* reading (robust to
+//! outliers, unlike AVG) every epoch. A hotspot drifts across the field,
+//! a few sensors are faulty and read near-max garbage.
+//!
+//! The example runs the same 40-epoch campaign three ways — naive
+//! collection, exact median (Fig. 1) and polyloglog approximate median
+//! (Fig. 4) — and reports how much battery each strategy burns on the
+//! worst-drained node, the quantity that determines network lifetime.
+
+use saq::baselines::naive::NaiveMedian;
+use saq::core::net::AggregationNetwork;
+use saq::core::simnet::SimNetworkBuilder;
+use saq::core::{ApxCountConfig, ApxMedian2, Median};
+use saq::netsim::rng::Xoshiro256StarStar;
+use saq::netsim::topology::Topology;
+
+/// Temperature field in deci-degrees: base 200 (20.0 C) + hotspot + noise;
+/// faulty sensors read near xbar.
+fn readings(
+    topo: &Topology,
+    epoch: u32,
+    rng: &mut Xoshiro256StarStar,
+    xbar: u64,
+) -> Vec<u64> {
+    let pts = topo.positions().expect("geometric topology has positions");
+    let hot_x = 0.1 + 0.02 * epoch as f64;
+    let hot_y = 0.5;
+    pts.iter()
+        .enumerate()
+        .map(|(i, &(x, y))| {
+            if i % 29 == 7 {
+                // Faulty sensor: reads garbage near the top of the range.
+                return xbar - rng.next_below(20);
+            }
+            let d2 = (x - hot_x).powi(2) + (y - hot_y).powi(2);
+            let hotspot = (150.0 * (-d2 * 25.0).exp()) as u64;
+            200 + hotspot + rng.next_below(10)
+        })
+        .map(|v| v.min(xbar))
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 120usize;
+    let xbar = 1023u64; // 10-bit ADC
+    let epochs = 40u32;
+    let topo = Topology::random_geometric(n, 0.16, 0xFEED)?;
+    println!(
+        "deployment: {} ({} nodes, diameter {} hops)",
+        topo.name(),
+        topo.len(),
+        topo.diameter()
+    );
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x7E49);
+
+    let mut naive_energy = 0.0f64;
+    let mut exact_energy = 0.0f64;
+    let mut apx_energy = 0.0f64;
+    let mut max_disagreement = 0i64;
+
+    for epoch in 0..epochs {
+        let items = readings(&topo, epoch, &mut rng, xbar);
+
+        // Strategy 1: ship everything (TAG's holistic class).
+        let mut net = SimNetworkBuilder::new().build_one_per_node(&topo, &items, xbar)?;
+        let naive = NaiveMedian::new().run(&mut net)?;
+        naive_energy = naive_energy.max(0.0) + 0.0; // per-epoch max below
+        let naive_epoch = net.net_stats().expect("stats").max_node_energy_nj();
+        naive_energy += naive_epoch;
+
+        // Strategy 2: Fig. 1 exact median.
+        let mut net = SimNetworkBuilder::new().build_one_per_node(&topo, &items, xbar)?;
+        let exact = Median::new().run(&mut net)?;
+        exact_energy += net.net_stats().expect("stats").max_node_energy_nj();
+
+        // Strategy 3: Fig. 4 approximate median (beta 5%).
+        let mut net = SimNetworkBuilder::new()
+            .apx_config(ApxCountConfig {
+                rep_search: 2.0,
+                rep_count: 1.0,
+                ..ApxCountConfig::default().with_b(4).with_seed(epoch as u64)
+            })
+            .build_one_per_node(&topo, &items, xbar)?;
+        let apx = ApxMedian2::new(0.05, 0.25)?.run(&mut net)?;
+        apx_energy += net.net_stats().expect("stats").max_node_energy_nj();
+
+        assert_eq!(naive.value, exact.value, "Fig. 1 must match the sorted median");
+        max_disagreement =
+            max_disagreement.max((apx.value as i64 - exact.value as i64).abs());
+        if epoch % 10 == 0 {
+            println!(
+                "epoch {epoch:>2}: median {} deci-C (apx {}), faulty sensors ignored by rank",
+                exact.value, apx.value
+            );
+        }
+    }
+
+    println!("\nworst-node radio energy over {epochs} epochs (mJ):");
+    println!("  naive collection : {:>8.2}", naive_energy / 1e6);
+    println!("  MEDIAN (Fig. 1)  : {:>8.2}", exact_energy / 1e6);
+    println!("  APX_MEDIAN2      : {:>8.2}", apx_energy / 1e6);
+    println!(
+        "\nmax |apx - exact| across the campaign: {} deci-degrees (beta = 0.05 of {} range)",
+        max_disagreement, xbar
+    );
+    println!(
+        "note: at this network size the exact Fig. 1 median is already the \
+         cheapest — the polyloglog algorithm's constants pay off only at much \
+         larger N (see EXPERIMENTS.md E7)"
+    );
+    Ok(())
+}

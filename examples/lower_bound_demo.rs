@@ -1,0 +1,68 @@
+//! The Theorem 5.1 reduction, live.
+//!
+//! ```text
+//! cargo run --release --example lower_bound_demo
+//! ```
+//!
+//! Generates Set-Disjointness instances, deploys them on a `2n`-node line
+//! (player A = left half, player B = right half), runs COUNT_DISTINCT and
+//! answers disjointness from the count — measuring the bits that crossed
+//! the A/B frontier. The exact protocol's cut grows linearly with `n`
+//! (as the Ω(n) bound says any correct protocol must), while the sketch
+//! protocol's cut stays flat and its disjointness answers collapse.
+
+use saq::lowerbound::{SetDisjointnessInstance, TwoPartyCountDistinct};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("2SD(P) reduction (Theorem 5.1) on 2n-node lines\n");
+    println!("{:>6} {:>11} {:>8} {:>9} {:>10}", "n", "instance", "answer", "correct", "cut bits");
+    println!("{}", "-".repeat(50));
+
+    for n in [16usize, 32, 64, 128, 256] {
+        let universe = 8 * n as u64;
+        for (label, inst) in [
+            ("disjoint", SetDisjointnessInstance::disjoint(n, universe, 1)),
+            (
+                "1-overlap",
+                SetDisjointnessInstance::one_intersection(n, universe, 1),
+            ),
+        ] {
+            let r = TwoPartyCountDistinct::exact().solve(&inst)?;
+            println!(
+                "{:>6} {:>11} {:>8} {:>9} {:>10}",
+                n,
+                label,
+                if r.answered_disjoint { "YES" } else { "NO" },
+                if r.correct { "ok" } else { "WRONG" },
+                r.cut_bits
+            );
+        }
+    }
+
+    println!("\nnow the approximate protocol (one 64-register sketch) on disjoint instances:");
+    let n = 256usize;
+    let mut wrong = 0;
+    let trials = 10u64;
+    let mut cut = 0u64;
+    for seed in 0..trials {
+        let inst = SetDisjointnessInstance::disjoint(n, 8 * n as u64, 50 + seed);
+        let r = TwoPartyCountDistinct::approximate(1)
+            .with_seed(seed)
+            .solve(&inst)?;
+        if !r.correct {
+            wrong += 1;
+        }
+        cut = cut.max(r.cut_bits);
+    }
+    println!(
+        "  n={n}: wrong on {wrong}/{trials} disjoint instances, cut <= {cut} bits \
+         (vs ~{} for exact)",
+        11 * n
+    );
+    println!(
+        "\nmoral: O(loglog) distinct-counting exists (Fact 2.2), but anything \
+         accurate enough to decide disjointness must pay Omega(n) — the two \
+         regimes cannot meet, which is exactly Theorem 5.1."
+    );
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! Regression envelopes on measured communication: the complexity
+//! *shape* claims of the paper, pinned as integration tests so a
+//! protocol-layer change that bloats messages fails loudly.
+
+use saq::core::net::AggregationNetwork;
+use saq::core::predicate::Predicate;
+use saq::core::simnet::SimNetworkBuilder;
+use saq::core::{ApxCountConfig, Median};
+use saq::netsim::topology::Topology;
+
+fn grid_net(side: usize, xbar: u64) -> saq::core::SimNetwork {
+    let n = side * side;
+    let topo = Topology::grid(side, side).expect("grid");
+    let items: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % (xbar + 1)).collect();
+    SimNetworkBuilder::new()
+        .build_one_per_node(&topo, &items, xbar)
+        .expect("net")
+}
+
+#[test]
+fn count_wave_is_logarithmic_not_linear() {
+    // One COUNT wave on N=1024: headers + gamma-coded count, far below
+    // anything linear in N.
+    let mut net = grid_net(32, 4096);
+    net.count(&Predicate::TRUE).expect("count");
+    let bits = net.net_stats().expect("stats").max_node_bits();
+    assert!(bits < 400, "COUNT wave cost {bits} bits/node");
+    assert!(bits > 30, "COUNT wave implausibly cheap: {bits}");
+}
+
+#[test]
+fn median_cost_envelope_log_squared() {
+    // Theorem 3.2 envelope with our header constants: for N = side^2,
+    // X̄ = N^2, cost <= 120 * (log2 N)^2 + 800 has ~2x slack above the
+    // measured constants (E3) while staying far below linear cost at
+    // larger N.
+    for side in [8usize, 16, 32] {
+        let n = (side * side) as f64;
+        let xbar = (n as u64).pow(2);
+        let mut net = grid_net(side, xbar);
+        Median::new().run(&mut net).expect("median");
+        let bits = net.net_stats().expect("stats").max_node_bits() as f64;
+        let envelope = 120.0 * n.log2().powi(2) + 800.0;
+        assert!(
+            bits <= envelope,
+            "side {side}: {bits} bits exceeds envelope {envelope}"
+        );
+        // Sublinearity is visible once N outgrows the header constants.
+        let linear = 10.0 * n;
+        assert!(
+            side < 32 || bits < linear,
+            "side {side}: {bits} bits not sublinear ({linear})"
+        );
+    }
+}
+
+#[test]
+fn collect_cost_is_linear_near_root() {
+    let mut net = grid_net(16, 65536);
+    net.collect_values().expect("collect");
+    let bits = net.net_stats().expect("stats").max_node_bits();
+    // 256 values x 17 bits must cross the root's link, plus headers.
+    assert!(bits as f64 > 0.8 * 256.0 * 17.0, "collect cost {bits}");
+}
+
+#[test]
+fn apx_count_wave_cost_tracks_reps_and_m() {
+    let topo = Topology::grid(8, 8).expect("grid");
+    let items: Vec<u64> = (0..64).collect();
+    let cost = |b: u32, reps: u32| -> u64 {
+        let mut net = SimNetworkBuilder::new()
+            .apx_config(ApxCountConfig::default().with_b(b))
+            .build_one_per_node(&topo, &items, 64)
+            .expect("net");
+        net.rep_apx_count(&Predicate::TRUE, reps).expect("apx");
+        net.net_stats().expect("stats").max_node_bits()
+    };
+    let base = cost(4, 4);
+    let double_reps = cost(4, 8);
+    let double_m = cost(5, 4);
+    // Linear in repetitions and register count (within header slack).
+    let r1 = double_reps as f64 / base as f64;
+    let r2 = double_m as f64 / base as f64;
+    assert!((1.5..=2.5).contains(&r1), "reps scaling {r1}");
+    assert!((1.5..=2.5).contains(&r2), "m scaling {r2}");
+}
+
+#[test]
+fn log_domain_waves_are_cheap() {
+    use saq::core::predicate::Domain;
+    // A log-domain MIN/MAX + log-predicate COUNT wave moves only
+    // O(loglog X̄)-bit values even when X̄ is huge.
+    let topo = Topology::grid(8, 8).expect("grid");
+    let xbar = 1u64 << 40;
+    let items: Vec<u64> = (0..64u64).map(|i| 1 + i * ((xbar - 1) / 64)).collect();
+    let mut net = SimNetworkBuilder::new()
+        .build_one_per_node(&topo, &items, xbar)
+        .expect("net");
+    net.max(Domain::Log).expect("max");
+    let log_bits = net.net_stats().expect("stats").max_node_bits();
+    net.reset_stats();
+    net.max(Domain::Raw).expect("max");
+    let raw_bits = net.net_stats().expect("stats").max_node_bits();
+    assert!(
+        log_bits * 2 < raw_bits + 80,
+        "log-domain wave ({log_bits}) should be much cheaper than raw ({raw_bits})"
+    );
+}
+
+#[test]
+fn bounded_degree_tree_caps_per_node_fanout_cost() {
+    // On a star the hub pays Theta(N) per wave; on a grid with a
+    // degree-3 tree the most loaded node pays O(deg * wave cost).
+    let star = {
+        let topo = Topology::star(256).expect("star");
+        let items: Vec<u64> = (0..256).collect();
+        let mut net = SimNetworkBuilder::new()
+            .max_children(usize::MAX)
+            .build_one_per_node(&topo, &items, 256)
+            .expect("net");
+        net.count(&Predicate::TRUE).expect("count");
+        net.net_stats().expect("stats").max_node_bits()
+    };
+    let grid = {
+        let mut net = grid_net(16, 256);
+        net.count(&Predicate::TRUE).expect("count");
+        net.net_stats().expect("stats").max_node_bits()
+    };
+    assert!(
+        star > grid * 10,
+        "star hub ({star}) must dwarf bounded-degree grid node ({grid})"
+    );
+}

@@ -1,0 +1,105 @@
+//! Cross-validation: the simulated network and the in-memory reference
+//! must agree exactly on every deterministic primitive and query, for
+//! arbitrary items, topologies and predicates. This pins the protocol
+//! layer against the semantics layer.
+
+use proptest::prelude::*;
+use saq::core::local::LocalNetwork;
+use saq::core::net::AggregationNetwork;
+use saq::core::predicate::{Domain, Predicate};
+use saq::core::simnet::SimNetworkBuilder;
+use saq::core::Median;
+use saq::netsim::topology::Topology;
+
+fn arbitrary_topology(n: usize, pick: u8, seed: u64) -> Topology {
+    match pick % 5 {
+        0 => Topology::line(n).expect("line"),
+        1 => Topology::star(n).expect("star"),
+        2 => Topology::ring(n).expect("ring"),
+        3 => Topology::balanced_tree(n, 2).expect("tree"),
+        _ => Topology::random_geometric(n, 0.3, seed).expect("rgg"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_sim_matches_local_on_primitives(
+        items in proptest::collection::vec(0u64..1000, 2..40),
+        pick: u8,
+        seed: u64,
+        y in 0u64..1000,
+    ) {
+        let n = items.len();
+        let topo = arbitrary_topology(n, pick, seed);
+        let mut sim = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, 1000)
+            .expect("sim");
+        let mut local = LocalNetwork::new(items, 1000).expect("local");
+
+        for domain in [Domain::Raw, Domain::Log] {
+            prop_assert_eq!(sim.min(domain).expect("min"), local.min(domain).expect("min"));
+            prop_assert_eq!(sim.max(domain).expect("max"), local.max(domain).expect("max"));
+        }
+        for pred in [
+            Predicate::TRUE,
+            Predicate::less_than(y),
+            Predicate::less_than2(2 * y + 1),
+            Predicate::log_less_than2(y % 22),
+        ] {
+            prop_assert_eq!(
+                sim.count(&pred).expect("count"),
+                local.count(&pred).expect("count")
+            );
+            prop_assert_eq!(sim.sum(&pred).expect("sum"), local.sum(&pred).expect("sum"));
+        }
+        prop_assert_eq!(
+            sim.distinct_exact().expect("distinct"),
+            local.distinct_exact().expect("distinct")
+        );
+    }
+
+    #[test]
+    fn prop_sim_matches_local_on_median(
+        items in proptest::collection::vec(0u64..500, 1..30),
+        pick: u8,
+        seed: u64,
+    ) {
+        let n = items.len();
+        let topo = arbitrary_topology(n, pick, seed);
+        let mut sim = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, 500)
+            .expect("sim");
+        let mut local = LocalNetwork::new(items, 500).expect("local");
+        let sv = Median::new().run(&mut sim).expect("sim median").value;
+        let lv = Median::new().run(&mut local).expect("local median").value;
+        prop_assert_eq!(sv, lv, "deterministic search must be network-independent");
+    }
+
+    #[test]
+    fn prop_zoom_agrees(
+        items in proptest::collection::vec(0u64..4096, 2..30),
+        mu in 0u32..12,
+        pick: u8,
+        seed: u64,
+    ) {
+        let n = items.len();
+        let topo = arbitrary_topology(n, pick, seed);
+        let mut sim = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, 4096)
+            .expect("sim");
+        let mut local = LocalNetwork::new(items, 4096).expect("local");
+        sim.zoom(mu).expect("zoom");
+        local.zoom(mu).expect("zoom");
+        let mut sv = sim.ground_truth();
+        let mut lv = local.ground_truth();
+        sv.sort_unstable();
+        lv.sort_unstable();
+        prop_assert_eq!(sv, lv, "zoom rescaling must agree item-for-item");
+        prop_assert_eq!(
+            sim.count(&Predicate::TRUE).expect("count"),
+            local.count(&Predicate::TRUE).expect("count")
+        );
+    }
+}

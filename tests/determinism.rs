@@ -1,0 +1,83 @@
+//! Reproducibility: identical seeds must give bit-identical runs, and
+//! different seeds must actually change the randomness.
+
+use saq::core::net::AggregationNetwork;
+use saq::core::predicate::Predicate;
+use saq::core::simnet::SimNetworkBuilder;
+use saq::core::{ApxCountConfig, ApxMedian, Median};
+use saq::netsim::sim::SimConfig;
+use saq::netsim::topology::Topology;
+
+fn items() -> Vec<u64> {
+    (0..64u64).map(|i| (i * 37) % 512).collect()
+}
+
+#[test]
+fn identical_seeds_identical_stats() {
+    let run = |seed: u64| {
+        let topo = Topology::grid(8, 8).expect("grid");
+        let mut net = SimNetworkBuilder::new()
+            .sim_config(SimConfig::default().with_seed(seed))
+            .apx_config(ApxCountConfig::default().with_seed(seed))
+            .build_one_per_node(&topo, &items(), 512)
+            .expect("net");
+        let med = Median::new().run(&mut net).expect("median");
+        let apx = ApxMedian::new(0.25).expect("eps").run(&mut net).expect("apx");
+        (
+            med.value,
+            apx.value,
+            apx.estimated_n.to_bits(),
+            net.net_stats().expect("stats").clone(),
+        )
+    };
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2, "sketch estimates must be bit-identical");
+    assert_eq!(a.3, b.3, "per-node statistics must be bit-identical");
+}
+
+#[test]
+fn different_seeds_change_sketch_randomness() {
+    let estimate = |seed: u64| {
+        let topo = Topology::grid(8, 8).expect("grid");
+        let mut net = SimNetworkBuilder::new()
+            .apx_config(ApxCountConfig::default().with_seed(seed))
+            .build_one_per_node(&topo, &items(), 512)
+            .expect("net");
+        net.rep_apx_count(&Predicate::TRUE, 2).expect("count")
+    };
+    assert_ne!(estimate(1).to_bits(), estimate(2).to_bits());
+}
+
+#[test]
+fn deterministic_across_topology_rebuild() {
+    // Rebuilding the same topology from the same seed gives the same
+    // graph, hence the same tree, hence the same wave schedule.
+    let run = || {
+        let topo = Topology::random_geometric(60, 0.22, 9).expect("rgg");
+        let items: Vec<u64> = (0..60).collect();
+        let mut net = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, 64)
+            .expect("net");
+        net.count(&Predicate::TRUE).expect("count");
+        net.net_stats().expect("stats").clone()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn exact_queries_insensitive_to_sketch_seed() {
+    // The deterministic algorithms must not consume sketch randomness.
+    let value_for = |seed: u64| {
+        let topo = Topology::grid(6, 6).expect("grid");
+        let its: Vec<u64> = (0..36u64).map(|i| (i * 13) % 256).collect();
+        let mut net = SimNetworkBuilder::new()
+            .apx_config(ApxCountConfig::default().with_seed(seed))
+            .build_one_per_node(&topo, &its, 256)
+            .expect("net");
+        Median::new().run(&mut net).expect("median").value
+    };
+    assert_eq!(value_for(1), value_for(999));
+}

@@ -1,0 +1,177 @@
+//! End-to-end integration: every query of the paper executed on simulated
+//! networks across topology families, checked against ground truth.
+
+use saq::core::model::{is_apx_median, is_median, is_order_statistic2, reference_median};
+use saq::core::net::AggregationNetwork;
+use saq::core::predicate::{Domain, Predicate};
+use saq::core::simnet::SimNetworkBuilder;
+use saq::core::{ApxCountConfig, ApxMedian, ApxMedian2, CountDistinct, Median};
+use saq::netsim::topology::Topology;
+
+fn topologies(n_side: usize) -> Vec<Topology> {
+    let n = n_side * n_side;
+    vec![
+        Topology::grid(n_side, n_side).expect("grid"),
+        Topology::line(n).expect("line"),
+        Topology::star(n).expect("star"),
+        Topology::ring(n).expect("ring"),
+        Topology::random_geometric(n, 0.25, 7).expect("rgg"),
+        Topology::balanced_tree(n, 3).expect("tree"),
+    ]
+}
+
+fn items_for(n: usize, seed: u64) -> Vec<u64> {
+    (0..n as u64).map(|i| (i * 997 + seed * 131) % 4096).collect()
+}
+
+#[test]
+fn median_exact_on_every_topology() {
+    for topo in topologies(5) {
+        let n = topo.len();
+        let items = items_for(n, 1);
+        let mut net = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, 4096)
+            .expect("net");
+        let out = Median::new().run(&mut net).expect("median");
+        assert!(
+            is_median(&items, out.value),
+            "{}: {} is not a median",
+            topo.name(),
+            out.value
+        );
+    }
+}
+
+#[test]
+fn order_statistics_match_reference_on_grid() {
+    let topo = Topology::grid(6, 6).expect("grid");
+    let items = items_for(36, 2);
+    let mut net = SimNetworkBuilder::new()
+        .build_one_per_node(&topo, &items, 4096)
+        .expect("net");
+    for k in [1u64, 5, 18, 30, 36] {
+        let out = Median::new()
+            .run_order_statistic(&mut net, k)
+            .expect("os");
+        assert!(
+            is_order_statistic2(&items, 2 * k, out.value),
+            "k={k}: {} invalid",
+            out.value
+        );
+    }
+}
+
+#[test]
+fn primitives_agree_with_direct_computation() {
+    let topo = Topology::random_geometric(40, 0.3, 3).expect("rgg");
+    let items = items_for(40, 3);
+    let mut net = SimNetworkBuilder::new()
+        .build_one_per_node(&topo, &items, 4096)
+        .expect("net");
+    assert_eq!(net.min(Domain::Raw).expect("min"), items.iter().min().copied());
+    assert_eq!(net.max(Domain::Raw).expect("max"), items.iter().max().copied());
+    assert_eq!(
+        net.count(&Predicate::less_than(2000)).expect("count"),
+        items.iter().filter(|&&x| x < 2000).count() as u64
+    );
+    assert_eq!(
+        net.sum(&Predicate::TRUE).expect("sum"),
+        items.iter().sum::<u64>()
+    );
+    let mut collected = net.collect_values().expect("collect");
+    collected.sort_unstable();
+    let mut expect = items.clone();
+    expect.sort_unstable();
+    assert_eq!(collected, expect);
+}
+
+#[test]
+fn apx_median_is_valid_on_sim_network() {
+    let topo = Topology::grid(8, 8).expect("grid");
+    let items = items_for(64, 4);
+    let mut ok = 0;
+    let trials = 5;
+    for seed in 0..trials {
+        let mut net = SimNetworkBuilder::new()
+            .apx_config(ApxCountConfig::default().with_seed(100 + seed))
+            .build_one_per_node(&topo, &items, 4096)
+            .expect("net");
+        let out = ApxMedian::new(0.25).expect("eps").run(&mut net).expect("apx");
+        if is_apx_median(&items, out.alpha_guarantee + 0.1, 0.05, 4096, out.value) {
+            ok += 1;
+        }
+    }
+    assert!(ok >= trials - 1, "apx median valid only {ok}/{trials} times");
+}
+
+#[test]
+fn apx_median2_stays_in_domain_and_traces() {
+    let topo = Topology::grid(8, 8).expect("grid");
+    let items = items_for(64, 5);
+    let mut net = SimNetworkBuilder::new()
+        .apx_config(ApxCountConfig {
+            rep_search: 2.0,
+            rep_count: 1.0,
+            ..ApxCountConfig::default().with_b(4).with_seed(9)
+        })
+        .build_one_per_node(&topo, &items, 4096)
+        .expect("net");
+    let out = ApxMedian2::new(0.1, 0.25)
+        .expect("params")
+        .run(&mut net)
+        .expect("apx2");
+    assert!(out.value <= 4096);
+    assert_eq!(out.trace.len(), out.stages as usize);
+    // Windows nested and shrinking.
+    for w in out.trace.windows(2) {
+        assert!(w[1].window_hi - w[1].window_lo <= w[0].window_hi - w[0].window_lo + 1e-9);
+    }
+}
+
+#[test]
+fn count_distinct_exact_and_apx() {
+    let topo = Topology::star(50).expect("star");
+    let items: Vec<u64> = (0..50u64).map(|i| i % 7).collect();
+    let mut net = SimNetworkBuilder::new()
+        .build_one_per_node(&topo, &items, 10)
+        .expect("net");
+    assert_eq!(CountDistinct::new().exact(&mut net).expect("exact").count, 7);
+    let est = CountDistinct::new()
+        .approximate(&mut net, 8)
+        .expect("apx")
+        .estimate;
+    assert!((est - 7.0).abs() < 5.0, "estimate {est}");
+}
+
+#[test]
+fn multiset_per_node_section5_semantics() {
+    // §5 allows a node to hold "up to a constant fraction of the input".
+    let topo = Topology::line(3).expect("line");
+    let items = vec![
+        (0..100u64).collect::<Vec<_>>(),
+        vec![],
+        (100..150u64).collect::<Vec<_>>(),
+    ];
+    let all: Vec<u64> = items.iter().flatten().copied().collect();
+    let mut net = SimNetworkBuilder::new()
+        .build(&topo, items, 1000)
+        .expect("net");
+    let out = Median::new().run(&mut net).expect("median");
+    assert_eq!(Some(out.value), reference_median(&all));
+}
+
+#[test]
+fn restore_items_resets_zoom_state() {
+    let topo = Topology::grid(4, 4).expect("grid");
+    let items = items_for(16, 6);
+    let mut net = SimNetworkBuilder::new()
+        .build_one_per_node(&topo, &items, 4096)
+        .expect("net");
+    net.zoom(3).expect("zoom");
+    assert!(net.count(&Predicate::TRUE).expect("count") < 16);
+    net.restore_items();
+    assert_eq!(net.count(&Predicate::TRUE).expect("count"), 16);
+    // Queries still work after restore.
+    let out = Median::new().run(&mut net).expect("median");
+    assert!(is_median(&items, out.value));
+}

@@ -1,0 +1,162 @@
+//! Smoke tests over the experiment harness: each quick-scale experiment
+//! must run and its machine-checkable summary must satisfy the paper's
+//! qualitative claim. The sketch-heavy experiments (E4, E5, E7) are
+//! `#[ignore]`d by default — they are exercised by `cargo bench` in
+//! release mode and can be run here with `cargo test -- --ignored`.
+
+use saq_bench::experiments::*;
+use saq_bench::Scale;
+
+#[test]
+fn e1_count_is_logarithmic() {
+    let s = e1_primitives::run(Scale::Quick);
+    assert!(s.count_points.len() >= 3);
+    // Bits grow, but far slower than N: quadrupling N from the first to
+    // the last point must grow bits by < 2x.
+    let (n0, b0) = s.count_points[0];
+    let (n1, b1) = *s.count_points.last().expect("points");
+    assert!(n1 >= 4 * n0);
+    assert!(b1 < 2 * b0, "COUNT bits {b0} -> {b1} not logarithmic");
+}
+
+#[test]
+fn e2_loglog_constants_in_range() {
+    let s = e2_loglog::run(Scale::Quick);
+    // sigma*sqrt(m) should be near 1.3 (Fact 2.2) for the larger m.
+    let (_, sig) = *s.loglog_sigma_sqrt_m.last().expect("rows");
+    assert!((0.8..=1.8).contains(&sig), "sigma*sqrt(m) = {sig}");
+    assert!(s.bias_at_largest_m < 0.1, "bias {}", s.bias_at_largest_m);
+}
+
+#[test]
+fn e3_median_always_exact_with_log2_shape() {
+    let s = e3_median_det::run(Scale::Quick);
+    assert!(s.all_exact, "deterministic median must be exact everywhere");
+    assert!(
+        s.log2_spread < 4.0,
+        "(log N)^2 fit spread {}",
+        s.log2_spread
+    );
+}
+
+#[test]
+fn e6_reduction_correct_and_linear() {
+    let s = e6_distinct::run(Scale::Quick);
+    assert!(s.exact_all_correct, "exact 2SD answers must all be right");
+    assert!(
+        s.cut_linear_spread < 2.0,
+        "cut bits not linear: spread {}",
+        s.cut_linear_spread
+    );
+    assert!(
+        s.apx_wrong_rate >= 0.5,
+        "approximate counting should fail disjointness: rate {}",
+        s.apx_wrong_rate
+    );
+}
+
+#[test]
+fn e8_star_asymmetry() {
+    let s = e8_single_hop::run(Scale::Quick);
+    let (n, hub_rx) = *s.hub_rx_points.last().expect("rows");
+    let (_, leaf_tx) = *s.leaf_tx_points.last().expect("rows");
+    // Hub receives ~N times a leaf's transmission.
+    assert!(
+        hub_rx as f64 > 0.5 * n as f64 * leaf_tx as f64,
+        "hub rx {hub_rx} vs N*leaf {}",
+        n as u64 * leaf_tx
+    );
+}
+
+#[test]
+fn e9_duplication_hurts_only_sensitive_aggregates() {
+    let s = e9_robustness::run(Scale::Quick);
+    for (dup, naive_err, sketch_err) in &s.dup_rows {
+        assert!(
+            naive_err.abs() > 1.0,
+            "dup={dup}: multipath must inflate the naive count ({naive_err})"
+        );
+        assert!(
+            sketch_err.abs() < 0.5,
+            "dup={dup}: ODI sketch must stay accurate ({sketch_err})"
+        );
+    }
+    for (_, overhead) in &s.loss_rows {
+        assert!(
+            (1.0..20.0).contains(overhead),
+            "ARQ overhead {overhead} out of range"
+        );
+    }
+}
+
+#[test]
+fn e10_gossip_pays_for_poor_mixing() {
+    let s = e10_gossip::run(Scale::Quick);
+    // For each N present, grid must need more rounds than complete.
+    let rounds = |label: &str, n: usize| -> Option<u32> {
+        s.convergence
+            .iter()
+            .find(|(l, m, _)| l == label && *m == n)
+            .map(|&(_, _, r)| r)
+    };
+    for &(_, n, _) in s.convergence.iter().filter(|(l, _, _)| l == "complete") {
+        if let (Some(c), Some(g)) = (rounds("complete", n), rounds("grid", n)) {
+            assert!(g >= c, "grid ({g}) should mix no faster than complete ({c})");
+        }
+    }
+    assert!(s.complete_ratio > 1.0, "gossip cannot beat the tree here");
+}
+
+#[test]
+#[ignore = "sketch-heavy; run with --ignored in release or via cargo bench"]
+fn e4_failure_rates_within_epsilon() {
+    let s = e4_apx_median::run(Scale::Quick);
+    assert!(s.within_budget, "failure rates: {:?}", s.failure_rates);
+}
+
+#[test]
+#[ignore = "sketch-heavy; run with --ignored in release or via cargo bench"]
+fn e5_polyloglog_shape_beats_linear() {
+    let s = e5_apx_median2::run(Scale::Quick);
+    assert!(
+        s.loglog3_spread < s.linear_spread,
+        "(loglog N)^3 spread {} vs linear {}",
+        s.loglog3_spread,
+        s.linear_spread
+    );
+    // The Fig. 3 window must shrink monotonically.
+    for w in s.zoom_widths.windows(2) {
+        assert!(w[1] <= w[0] + 1e-9);
+    }
+}
+
+#[test]
+#[ignore = "sketch-heavy; run with --ignored in release or via cargo bench"]
+fn e7_comparison_orderings() {
+    let s = e7_comparison::run(Scale::Quick);
+    // Fig. 1 median must beat naive collection at the largest quick N.
+    let bits_of = |name: &str| -> Option<u64> {
+        s.rows
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.bits)
+            .next_back()
+    };
+    let naive = bits_of("naive-collect").expect("naive row");
+    let median = bits_of("median-fig1").expect("median row");
+    // At N=256 the crossover has happened (naive grows linearly).
+    assert!(
+        median < 2 * naive,
+        "median-fig1 ({median}) should be in naive's ({naive}) ballpark or below"
+    );
+}
+
+#[test]
+fn e11_bounded_degree_never_worse() {
+    let s = e11_ablations::run(Scale::Quick);
+    assert!(
+        s.bounded_never_worse,
+        "bounded-degree tree should not increase max per-node bits: {:?}",
+        s.degree_rows
+    );
+}

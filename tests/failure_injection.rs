@@ -1,0 +1,157 @@
+//! Failure injection: loss, duplication, and the recovery machinery.
+
+use saq::core::net::AggregationNetwork;
+use saq::core::predicate::Predicate;
+use saq::core::simnet::SimNetworkBuilder;
+use saq::core::{Median, QueryError};
+use saq::netsim::link::LinkConfig;
+use saq::netsim::sim::SimConfig;
+use saq::netsim::time::SimDuration;
+use saq::netsim::topology::Topology;
+use saq::protocols::wave::Reliability;
+use saq::protocols::ProtocolError;
+
+fn lossy(loss: f64, seed: u64) -> SimConfig {
+    SimConfig::default()
+        .with_link(LinkConfig::default().with_loss(loss))
+        .with_seed(seed)
+}
+
+#[test]
+fn loss_without_arq_surfaces_as_no_result() {
+    let topo = Topology::grid(5, 5).expect("grid");
+    let items: Vec<u64> = (0..25).collect();
+    let mut net = SimNetworkBuilder::new()
+        .sim_config(lossy(0.9, 3))
+        .build_one_per_node(&topo, &items, 32)
+        .expect("net");
+    let err = net.count(&Predicate::TRUE).unwrap_err();
+    assert!(matches!(
+        err,
+        QueryError::Protocol(ProtocolError::NoResult)
+    ));
+}
+
+#[test]
+fn arq_makes_full_median_queries_survive_loss() {
+    let topo = Topology::grid(5, 5).expect("grid");
+    let items: Vec<u64> = (0..25u64).map(|i| i * 11 % 128).collect();
+    let mut net = SimNetworkBuilder::new()
+        .sim_config(lossy(0.3, 11))
+        .reliability(Reliability::Ack {
+            timeout: SimDuration::from_millis(40),
+        })
+        .build_one_per_node(&topo, &items, 128)
+        .expect("net");
+    let out = Median::new().run(&mut net).expect("median under loss");
+    assert!(saq::core::model::is_median(&items, out.value));
+}
+
+#[test]
+fn arq_is_exact_under_duplication() {
+    let topo = Topology::grid(5, 5).expect("grid");
+    let items: Vec<u64> = (0..25).collect();
+    let mut net = SimNetworkBuilder::new()
+        .sim_config(
+            SimConfig::default()
+                .with_link(LinkConfig::default().with_duplication(0.6))
+                .with_seed(5),
+        )
+        .reliability(Reliability::Ack {
+            timeout: SimDuration::from_millis(40),
+        })
+        .build_one_per_node(&topo, &items, 32)
+        .expect("net");
+    // Duplicate deliveries must not double-count.
+    assert_eq!(net.count(&Predicate::TRUE).expect("count"), 25);
+    assert_eq!(net.sum(&Predicate::TRUE).expect("sum"), (0..25).sum::<u64>());
+}
+
+#[test]
+fn tree_convergecast_dedups_duplicates_even_without_arq() {
+    let topo = Topology::grid(6, 6).expect("grid");
+    let items: Vec<u64> = (0..36).collect();
+    let mut net = SimNetworkBuilder::new()
+        .sim_config(
+            SimConfig::default()
+                .with_link(LinkConfig::default().with_duplication(0.8))
+                .with_seed(13),
+        )
+        .build_one_per_node(&topo, &items, 64)
+        .expect("net");
+    assert_eq!(net.count(&Predicate::TRUE).expect("count"), 36);
+}
+
+#[test]
+fn lossy_distributed_tree_construction_recovers() {
+    let topo = Topology::grid(6, 6).expect("grid");
+    let cfg = lossy(0.25, 21);
+    let (tree, _) =
+        saq::protocols::tree::build_distributed_lossy(&topo, cfg, 0, 30).expect("tree");
+    tree.validate(&topo).expect("valid tree");
+}
+
+#[test]
+fn event_budget_guards_against_livelock() {
+    // 100% loss with ARQ retransmits forever; the budget must fire.
+    let topo = Topology::line(3).expect("line");
+    let mut cfg = lossy(1.0, 1);
+    cfg.max_events = 10_000;
+    let mut net = SimNetworkBuilder::new()
+        .sim_config(cfg)
+        .reliability(Reliability::Ack {
+            timeout: SimDuration::from_millis(5),
+        })
+        .build_one_per_node(&topo, &[1, 2, 3], 4)
+        .expect("net");
+    let err = net.count(&Predicate::TRUE).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            QueryError::Protocol(ProtocolError::Netsim(
+                saq::netsim::NetsimError::EventBudgetExhausted { .. }
+            ))
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn dead_nodes_before_deployment_queries_still_work() {
+    // Node death before tree construction: rebuild on the survivor
+    // subgraph and re-run the query (the paper's protocols are oblivious
+    // to which nodes exist — they only need a connected tree).
+    let topo = Topology::grid(5, 5).expect("grid");
+    let items: Vec<u64> = (0..25u64).map(|i| i * 7 % 64).collect();
+    let (sub, map) = topo.without_nodes(&[7, 13, 24]).expect("survivors connected");
+    let surviving_items: Vec<u64> = map.iter().map(|&old| items[old]).collect();
+    let mut net = SimNetworkBuilder::new()
+        .build_one_per_node(&sub, &surviving_items, 64)
+        .expect("net");
+    let out = Median::new().run(&mut net).expect("median");
+    assert!(saq::core::model::is_median(&surviving_items, out.value));
+    assert_eq!(
+        net.count(&Predicate::TRUE).expect("count"),
+        surviving_items.len() as u64
+    );
+}
+
+#[test]
+fn jitter_does_not_change_results_only_timing() {
+    // Same seed, different jitter settings: answers identical (protocol
+    // correctness is schedule-independent), time differs.
+    let topo = Topology::grid(4, 4).expect("grid");
+    let items: Vec<u64> = (0..16).collect();
+    let with_jitter = |jitter_us: u64| {
+        let link = LinkConfig {
+            jitter: SimDuration::from_micros(jitter_us),
+            ..LinkConfig::default()
+        };
+        let mut net = SimNetworkBuilder::new()
+            .sim_config(SimConfig::default().with_link(link).with_seed(3))
+            .build_one_per_node(&topo, &items, 16)
+            .expect("net");
+        Median::new().run(&mut net).expect("median").value
+    };
+    assert_eq!(with_jitter(0), with_jitter(5_000));
+}
