@@ -59,7 +59,7 @@ impl WaveProtocol for GkWave {
         Ok(r.read_bits(16)? as u32)
     }
 
-    fn encode_partial(&self, p: &QuantileSummary, w: &mut BitWriter) {
+    fn encode_partial(&self, _req: &Self::Request, p: &QuantileSummary, w: &mut BitWriter) {
         w.write_bits(p.count(), self.rank_width());
         w.write_bits(p.len() as u64, 16);
         for e in p.entries() {
@@ -69,7 +69,11 @@ impl WaveProtocol for GkWave {
         }
     }
 
-    fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<QuantileSummary, NetsimError> {
+    fn decode_partial(
+        &self,
+        _req: &Self::Request,
+        r: &mut BitReader<'_>,
+    ) -> Result<QuantileSummary, NetsimError> {
         let count = r.read_bits(self.rank_width())?;
         let len = r.read_bits(16)? as usize;
         let mut entries = Vec::with_capacity(len.min(1 << 16));
@@ -238,7 +242,12 @@ mod tests {
     fn empty_input_rejected() {
         let topo = Topology::line(3).unwrap();
         let err = GkTreeMedian::new(8)
-            .run(&topo, SimConfig::default(), vec![vec![], vec![], vec![]], 10)
+            .run(
+                &topo,
+                SimConfig::default(),
+                vec![vec![], vec![], vec![]],
+                10,
+            )
             .unwrap_err();
         assert!(matches!(err, QueryError::EmptyInput));
     }

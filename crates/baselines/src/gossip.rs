@@ -77,8 +77,8 @@ impl GossipMedian {
 
         // Estimate the population size once (gossip COUNT).
         let count_via_gossip = |pred: &dyn Fn(u64) -> bool,
-                                    stats: &mut NetStats,
-                                    bump: &mut u64|
+                                stats: &mut NetStats,
+                                bump: &mut u64|
          -> Result<f64, QueryError> {
             let values: Vec<f64> = items
                 .iter()
@@ -88,9 +88,8 @@ impl GossipMedian {
             weights[0] = 1.0;
             *bump += 1;
             let run_cfg = cfg.clone().with_seed(cfg.seed.wrapping_add(*bump));
-            let (out, run_stats) =
-                run_push_sum(topo, run_cfg, &values, &weights, self.rounds)
-                    .map_err(QueryError::from)?;
+            let (out, run_stats) = run_push_sum(topo, run_cfg, &values, &weights, self.rounds)
+                .map_err(QueryError::from)?;
             stats.absorb(&run_stats);
             Ok(out.root_estimate)
         };

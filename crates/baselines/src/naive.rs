@@ -10,6 +10,7 @@
 use crate::BaselineOutcome;
 use saq_core::model::reference_median;
 use saq_core::net::AggregationNetwork;
+use saq_core::plan::{run_plan, PlanInput, PlanOp, PrimitivePlan};
 use saq_core::QueryError;
 
 /// The collect-and-sort median runner.
@@ -29,12 +30,17 @@ impl NaiveMedian {
     /// [`QueryError::EmptyInput`] on an empty multiset; protocol errors
     /// are propagated.
     pub fn run<N: AggregationNetwork>(&self, net: &mut N) -> Result<BaselineOutcome, QueryError> {
-        let values = net.collect_values()?;
+        // One COLLECT wave, expressed as the same plan vocabulary the
+        // engine batches.
+        let mut plan = PrimitivePlan::new(PlanOp::Collect);
+        let values = match run_plan(net, &mut plan)? {
+            PlanInput::Values(vs) => vs,
+            other => unreachable!("collect produced {other:?}"),
+        };
         let value = reference_median(&values).ok_or(QueryError::EmptyInput)?;
-        let stats = net
-            .net_stats()
-            .cloned()
-            .unwrap_or_else(|| saq_netsim::stats::NetStats::new(net.num_nodes(), Default::default()));
+        let stats = net.net_stats().cloned().unwrap_or_else(|| {
+            saq_netsim::stats::NetStats::new(net.num_nodes(), Default::default())
+        });
         Ok(BaselineOutcome {
             value,
             max_node_bits: stats.max_node_bits(),

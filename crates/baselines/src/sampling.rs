@@ -55,7 +55,7 @@ impl WaveProtocol for SampleWave {
         Ok(r.read_bits(16)? as u16)
     }
 
-    fn encode_partial(&self, p: &BottomK, w: &mut BitWriter) {
+    fn encode_partial(&self, _req: &Self::Request, p: &BottomK, w: &mut BitWriter) {
         w.write_bits(p.len() as u64, 16);
         for (key, value) in p.entries() {
             // 32-bit truncated keys: collisions are immaterial for
@@ -65,7 +65,11 @@ impl WaveProtocol for SampleWave {
         }
     }
 
-    fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<BottomK, NetsimError> {
+    fn decode_partial(
+        &self,
+        _req: &Self::Request,
+        r: &mut BitReader<'_>,
+    ) -> Result<BottomK, NetsimError> {
         let len = r.read_bits(16)? as usize;
         let mut s = BottomK::new(self.k, self.value_width());
         for _ in 0..len {

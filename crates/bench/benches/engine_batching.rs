@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the query engine's batched multi-query waves:
+//! wall-clock of k concurrent queries under batched vs sequential
+//! scheduling, and the cost of a batched round at growing fan-in.
+//! (Per-node *bit* comparisons live in experiment E12; this measures the
+//! simulator-side execution cost of envelope multiplexing.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use saq_core::engine::{BatchPolicy, QueryEngine, QuerySpec};
+use saq_core::predicate::{Domain, Predicate};
+use saq_core::simnet::{SimNetwork, SimNetworkBuilder};
+use saq_netsim::topology::Topology;
+use std::hint::black_box;
+
+fn net(side: usize) -> SimNetwork {
+    let n = side * side;
+    let topo = Topology::grid(side, side).expect("grid");
+    let items: Vec<u64> = (0..n as u64).map(|i| (i * 31) % (2 * n as u64)).collect();
+    SimNetworkBuilder::new()
+        .build_one_per_node(&topo, &items, 2 * n as u64)
+        .expect("net")
+}
+
+fn specs() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::Count(Predicate::TRUE),
+        QuerySpec::Min(Domain::Raw),
+        QuerySpec::Max(Domain::Raw),
+        QuerySpec::ApxCount {
+            pred: Predicate::TRUE,
+            reps: 4,
+        },
+        QuerySpec::Median,
+    ]
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/5_queries_8x8");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("batched", BatchPolicy::Batched),
+        ("sequential", BatchPolicy::Sequential),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut engine = QueryEngine::with_policy(net(8), policy);
+                    for s in specs() {
+                        engine.submit(s);
+                    }
+                    engine
+                },
+                |mut engine| black_box(engine.run().expect("run")),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_fanin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/batched_round_fanin");
+    g.sample_size(10);
+    for k in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter_batched(
+                || {
+                    let mut engine = QueryEngine::new(net(6));
+                    for i in 0..k {
+                        engine.submit(QuerySpec::Count(Predicate::less_than(i as u64 + 1)));
+                    }
+                    engine
+                },
+                |mut engine| black_box(engine.run().expect("run")),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_fanin);
+criterion_main!(benches);

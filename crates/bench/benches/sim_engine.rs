@@ -61,5 +61,10 @@ fn bench_tree_construction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_count_wave, bench_network_build, bench_tree_construction);
+criterion_group!(
+    benches,
+    bench_count_wave,
+    bench_network_build,
+    bench_tree_construction
+);
 criterion_main!(benches);

@@ -33,8 +33,8 @@ fn rounds_to_converge(topo: &Topology, target_rel: f64, max_rounds: u32) -> u32 
     let n = topo.len() as f64;
     let mut rounds = 4u32;
     while rounds < max_rounds {
-        let (c, _) = gossip_count(topo, SimConfig::default().with_seed(0xE10), rounds)
-            .expect("push-sum");
+        let (c, _) =
+            gossip_count(topo, SimConfig::default().with_seed(0xE10), rounds).expect("push-sum");
         if ((c - n) / n).abs() <= target_rel {
             return rounds;
         }
@@ -92,8 +92,7 @@ pub fn run(scale: Scale) -> Summary {
         ("complete", Topology::complete(n).expect("complete")),
         (
             "grid",
-            Topology::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize)
-                .expect("grid"),
+            Topology::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize).expect("grid"),
         ),
     ] {
         let rounds = GossipMedian::rounds_for(&topo).min(3_000);

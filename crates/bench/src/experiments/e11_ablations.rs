@@ -41,7 +41,12 @@ pub fn run(scale: Scale) -> Summary {
         Scale::Full => &[64, 144, 324, 624],
     };
     let mut table = Table::new(&[
-        "N", "topo_maxdeg", "tree", "tree_deg", "height", "COUNT bits/node",
+        "N",
+        "topo_maxdeg",
+        "tree",
+        "tree_deg",
+        "height",
+        "COUNT bits/node",
     ]);
     let mut degree_rows = Vec::new();
     let mut bounded_never_worse = true;
@@ -86,7 +91,8 @@ pub fn run(scale: Scale) -> Summary {
 
     // --- Part 2: register coding.
     println!("\nLogLog register coding (b=6, fixed vs gamma):");
-    let mut code_table = Table::new(&["items in sketch", "fixed bits", "gamma bits", "gamma/fixed"]);
+    let mut code_table =
+        Table::new(&["items in sketch", "fixed bits", "gamma bits", "gamma/fixed"]);
     let h = HashFamily::new(0xC0DE);
     for filled in [0u64, 1, 4, 16, 64, 1024, 65536] {
         let mut sk = LogLog::new(6);

@@ -41,7 +41,15 @@ pub fn run(scale: Scale) -> Summary {
     };
 
     let mut table = Table::new(&[
-        "topology", "N", "tree_h", "deg", "min", "max", "count", "sum", "build",
+        "topology",
+        "N",
+        "tree_h",
+        "deg",
+        "min",
+        "max",
+        "count",
+        "sum",
+        "build",
         "count/logN",
     ]);
     let mut count_points = Vec::new();
@@ -55,7 +63,9 @@ pub fn run(scale: Scale) -> Summary {
                 Topology::random_geometric(n, (8.0 / n as f64).sqrt(), 42).expect("rgg"),
             ),
         ] {
-            let items: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % (n as u64 * 4)).collect();
+            let items: Vec<u64> = (0..n as u64)
+                .map(|i| (i * 2654435761) % (n as u64 * 4))
+                .collect();
             let xbar = n as u64 * 4;
             let mut net = SimNetworkBuilder::new()
                 .build_one_per_node(&topo, &items, xbar)

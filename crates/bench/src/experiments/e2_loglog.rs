@@ -39,7 +39,13 @@ pub fn run(scale: Scale) -> Summary {
     };
 
     let mut table = Table::new(&[
-        "sketch", "m", "N", "trials", "mean_rel_bias", "sigma*sqrt(m)", "bits_fixed",
+        "sketch",
+        "m",
+        "N",
+        "trials",
+        "mean_rel_bias",
+        "sigma*sqrt(m)",
+        "bits_fixed",
         "bits_gamma",
     ]);
     let mut loglog_sigma = Vec::new();

@@ -45,7 +45,14 @@ pub fn run(scale: Scale) -> Summary {
     let dists = [Dist::Uniform, Dist::Zipf(1.2), Dist::Bimodal];
 
     let mut table = Table::new(&[
-        "dist", "N", "xbar", "exact", "iters", "pred_iters", "bits/node", "bits/wave",
+        "dist",
+        "N",
+        "xbar",
+        "exact",
+        "iters",
+        "pred_iters",
+        "bits/node",
+        "bits/wave",
         "bits/(logN)^2",
     ]);
     let mut all_exact = true;

@@ -44,8 +44,15 @@ pub fn run(scale: Scale) -> Summary {
     let xbar = (4 * n) as u64;
 
     let mut table = Table::new(&[
-        "dist", "eps", "trials", "failures", "rate", "halt%", "iters(mean)",
-        "apx_insts(mean)", "sim bits/node",
+        "dist",
+        "eps",
+        "trials",
+        "failures",
+        "rate",
+        "halt%",
+        "iters(mean)",
+        "apx_insts(mean)",
+        "sim bits/node",
     ]);
     let mut failure_rates = Vec::new();
     let mut within = true;
@@ -59,63 +66,64 @@ pub fn run(scale: Scale) -> Summary {
             generate(Dist::Clustered { clusters: 3 }, n, xbar, 0xE4),
         ),
     ] {
-    for &eps in &epsilons {
-        let runner = ApxMedian::new(eps).expect("eps");
-        let mut failures = 0u64;
-        let mut halts = 0u64;
-        let mut iters = Vec::new();
-        let mut insts = Vec::new();
-        for t in 0..trials {
-            let cfg = ApxCountConfig::default().with_seed(0xE4_00 + 1000 * t + (eps * 100.0) as u64);
-            let mut net = LocalNetwork::with_config(items.clone(), xbar, cfg).expect("net");
-            let out = runner.run(&mut net).expect("apx median");
-            // The empirical pass criterion: Definition 2.4 at the
-            // theorem's (alpha, beta) plus finite-N sketch-bias slack.
-            let ok = is_apx_median(
-                &items,
-                out.alpha_guarantee + 0.05,
-                2.0 / n as f64,
-                xbar,
-                out.value,
-            );
-            if !ok {
-                failures += 1;
+        for &eps in &epsilons {
+            let runner = ApxMedian::new(eps).expect("eps");
+            let mut failures = 0u64;
+            let mut halts = 0u64;
+            let mut iters = Vec::new();
+            let mut insts = Vec::new();
+            for t in 0..trials {
+                let cfg =
+                    ApxCountConfig::default().with_seed(0xE4_00 + 1000 * t + (eps * 100.0) as u64);
+                let mut net = LocalNetwork::with_config(items.clone(), xbar, cfg).expect("net");
+                let out = runner.run(&mut net).expect("apx median");
+                // The empirical pass criterion: Definition 2.4 at the
+                // theorem's (alpha, beta) plus finite-N sketch-bias slack.
+                let ok = is_apx_median(
+                    &items,
+                    out.alpha_guarantee + 0.05,
+                    2.0 / n as f64,
+                    xbar,
+                    out.value,
+                );
+                if !ok {
+                    failures += 1;
+                }
+                if out.halted_early {
+                    halts += 1;
+                }
+                iters.push(out.iterations as f64);
+                insts.push(out.apx_count_instances as f64);
             }
-            if out.halted_early {
-                halts += 1;
+            let rate = failures as f64 / trials as f64;
+            within &= rate <= eps;
+            if matches!(dist, Dist::Uniform) {
+                failure_rates.push((eps, rate));
             }
-            iters.push(out.iterations as f64);
-            insts.push(out.apx_count_instances as f64);
-        }
-        let rate = failures as f64 / trials as f64;
-        within &= rate <= eps;
-        if matches!(dist, Dist::Uniform) {
-            failure_rates.push((eps, rate));
-        }
 
-        // One simulated run for the communication price.
-        let side = (n as f64).sqrt() as usize;
-        let topo = Topology::grid(side, side).expect("grid");
-        let sim_items: Vec<u64> = items.iter().take(side * side).copied().collect();
-        let mut sim = SimNetworkBuilder::new()
-            .apx_config(ApxCountConfig::default().with_seed(0xE4_FF))
-            .build_one_per_node(&topo, &sim_items, xbar)
-            .expect("sim");
-        runner.run(&mut sim).expect("sim apx median");
-        let bits = sim.net_stats().expect("stats").max_node_bits();
+            // One simulated run for the communication price.
+            let side = (n as f64).sqrt() as usize;
+            let topo = Topology::grid(side, side).expect("grid");
+            let sim_items: Vec<u64> = items.iter().take(side * side).copied().collect();
+            let mut sim = SimNetworkBuilder::new()
+                .apx_config(ApxCountConfig::default().with_seed(0xE4_FF))
+                .build_one_per_node(&topo, &sim_items, xbar)
+                .expect("sim");
+            runner.run(&mut sim).expect("sim apx median");
+            let bits = sim.net_stats().expect("stats").max_node_bits();
 
-        table.row(&[
-            dist.label(),
-            format!("{eps}"),
-            trials.to_string(),
-            failures.to_string(),
-            f3(rate),
-            f3(100.0 * halts as f64 / trials as f64),
-            f3(stats(&iters).mean),
-            f3(stats(&insts).mean),
-            bits.to_string(),
-        ]);
-    }
+            table.row(&[
+                dist.label(),
+                format!("{eps}"),
+                trials.to_string(),
+                failures.to_string(),
+                f3(rate),
+                f3(100.0 * halts as f64 / trials as f64),
+                f3(stats(&iters).mean),
+                f3(stats(&insts).mean),
+                bits.to_string(),
+            ]);
+        }
     }
     table.print();
     println!("\npass criterion: empirical failure rate <= eps for every row");

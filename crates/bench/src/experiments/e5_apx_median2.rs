@@ -62,7 +62,13 @@ pub fn run(scale: Scale) -> Summary {
     let eps = 0.25;
 
     let mut table = Table::new(&[
-        "N", "xbar", "bits/node", "bits/(loglogN)^3", "stages", "value", "true_med",
+        "N",
+        "xbar",
+        "bits/node",
+        "bits/(loglogN)^3",
+        "stages",
+        "value",
+        "true_med",
         "rank_err",
     ]);
     let mut bits_points = Vec::new();
@@ -76,14 +82,16 @@ pub fn run(scale: Scale) -> Summary {
             .apx_config(apx)
             .build_one_per_node(&topo, &items, xbar)
             .expect("network");
-        let out = ApxMedian2::new(beta, eps).expect("params").run(&mut net).expect("run");
+        let out = ApxMedian2::new(beta, eps)
+            .expect("params")
+            .run(&mut net)
+            .expect("run");
         let bits = net.net_stats().expect("stats").max_node_bits();
         let truth = reference_median(&items).expect("nonempty") as f64;
         let lglg = Shape::LogLog3.eval(n as f64);
         // Rank error: how far the answer's rank is from N/2, relative to
         // N — the alpha of Definition 2.4 actually achieved.
-        let rank_err =
-            (rank_lt(&items, out.value) as f64 - n as f64 / 2.0).abs() / n as f64;
+        let rank_err = (rank_lt(&items, out.value) as f64 - n as f64 / 2.0).abs() / n as f64;
         table.row(&[
             n.to_string(),
             xbar.to_string(),
@@ -158,7 +166,11 @@ pub fn run(scale: Scale) -> Summary {
     // come in under beta * xbar.
     println!("\nbeta sweep (stages = ceil(log2 1/beta); final window <= beta*xbar):");
     let mut beta_table = Table::new(&[
-        "beta", "stages", "predicted", "final_window/xbar", "within_beta",
+        "beta",
+        "stages",
+        "predicted",
+        "final_window/xbar",
+        "within_beta",
     ]);
     for beta in [0.5, 0.25, 0.1, 0.02] {
         let mut net = SimNetworkBuilder::new()
@@ -177,7 +189,11 @@ pub fn run(scale: Scale) -> Summary {
             out.stages.to_string(),
             runner.stages().to_string(),
             f3(window),
-            if window <= beta { "yes".into() } else { "NO".to_string() },
+            if window <= beta {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     beta_table.print();

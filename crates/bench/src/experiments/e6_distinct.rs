@@ -48,7 +48,12 @@ pub fn run(scale: Scale) -> Summary {
         Scale::Full => &[8, 16, 32, 64],
     };
     let mut cost_table = Table::new(&[
-        "N", "distinct", "exact bits/node", "apx bits/node", "exact/N", "apx est",
+        "N",
+        "distinct",
+        "exact bits/node",
+        "apx bits/node",
+        "exact/N",
+        "apx est",
     ]);
     for &side in sides {
         let n = side * side;
@@ -82,15 +87,16 @@ pub fn run(scale: Scale) -> Summary {
         Scale::Quick => &[16, 64],
         Scale::Full => &[16, 32, 64, 128, 256],
     };
-    let mut red_table = Table::new(&[
-        "n", "instance", "answer", "correct", "cut bits", "cut/n",
-    ]);
+    let mut red_table = Table::new(&["n", "instance", "answer", "correct", "cut bits", "cut/n"]);
     let mut cut_points = Vec::new();
     let mut exact_all_correct = true;
     for &n in ns {
         let universe = 8 * n as u64;
         for (label, inst) in [
-            ("disjoint", SetDisjointnessInstance::disjoint(n, universe, 0xE6)),
+            (
+                "disjoint",
+                SetDisjointnessInstance::disjoint(n, universe, 0xE6),
+            ),
             (
                 "1-overlap",
                 SetDisjointnessInstance::one_intersection(n, universe, 0xE6),

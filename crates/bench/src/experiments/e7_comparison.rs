@@ -86,7 +86,11 @@ pub fn run(scale: Scale) -> Summary {
                 name.into(),
                 bits.to_string(),
                 f3(err),
-                if err == 0.0 { "yes".into() } else { "-".to_string() },
+                if err == 0.0 {
+                    "yes".into()
+                } else {
+                    "-".to_string()
+                },
             ]);
             rows.push(ProtocolRow {
                 name,
@@ -141,7 +145,10 @@ pub fn run(scale: Scale) -> Summary {
                 })
                 .build_one_per_node(&topo, &items, xbar)
                 .expect("net");
-            let out = ApxMedian::new(0.25).expect("eps").run(&mut net).expect("apx");
+            let out = ApxMedian::new(0.25)
+                .expect("eps")
+                .run(&mut net)
+                .expect("apx");
             push(
                 "apx-median",
                 net.net_stats().expect("stats").max_node_bits(),
@@ -219,7 +226,10 @@ pub fn run(scale: Scale) -> Summary {
         println!("median-fig1 beats naive from N ~ {:.0}", nx);
     }
     if let Some(nx) = crossover(c_apx2, crate::Shape::LogLog3, c_naive, crate::Shape::Linear) {
-        println!("apx-median2 beats naive from N ~ {:.2e} (asymptotic win, huge constants)", nx);
+        println!(
+            "apx-median2 beats naive from N ~ {:.2e} (asymptotic win, huge constants)",
+            nx
+        );
     }
     if let Some(nx) = crossover(c_apx2, crate::Shape::LogLog3, c_med, crate::Shape::Log2) {
         println!("apx-median2 beats median-fig1 from N ~ {:.2e}", nx);

@@ -43,7 +43,12 @@ pub fn run(scale: Scale) -> Summary {
         Scale::Full => &[16, 64, 256, 1024, 4096],
     };
     let mut table = Table::new(&[
-        "N", "leaf tx(max)", "leaf rx(max)", "hub tx", "hub rx", "hub_rx/(N*leaf_tx)",
+        "N",
+        "leaf tx(max)",
+        "leaf rx(max)",
+        "hub tx",
+        "hub rx",
+        "hub_rx/(N*leaf_tx)",
     ]);
     let mut hub_rx_points = Vec::new();
     let mut leaf_tx_points = Vec::new();

@@ -49,12 +49,16 @@ impl WaveProtocol for RingCount {
     fn decode_request(&self, _r: &mut BitReader<'_>) -> Result<(), NetsimError> {
         Ok(())
     }
-    fn encode_partial(&self, p: &u64, w: &mut BitWriter) {
+    fn encode_partial(&self, _req: &Self::Request, p: &u64, w: &mut BitWriter) {
         // Saturating: multipath duplication can blow the sum past any
         // fixed counter width — exactly the failure mode under study.
         w.write_bits((*p).min((1u64 << 32) - 1), 32);
     }
-    fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+    fn decode_partial(
+        &self,
+        _req: &Self::Request,
+        r: &mut BitReader<'_>,
+    ) -> Result<u64, NetsimError> {
         r.read_bits(32)
     }
     fn local(&self, _n: NodeId, items: &mut Vec<u64>, _r: &(), _g: &mut Xoshiro256StarStar) -> u64 {
@@ -80,12 +84,16 @@ impl WaveProtocol for RingSketchCount {
     fn decode_request(&self, _r: &mut BitReader<'_>) -> Result<(), NetsimError> {
         Ok(())
     }
-    fn encode_partial(&self, p: &LogLog, w: &mut BitWriter) {
+    fn encode_partial(&self, _req: &Self::Request, p: &LogLog, w: &mut BitWriter) {
         for &reg in p.registers() {
             w.write_bits(reg as u64, 7);
         }
     }
-    fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<LogLog, NetsimError> {
+    fn decode_partial(
+        &self,
+        _req: &Self::Request,
+        r: &mut BitReader<'_>,
+    ) -> Result<LogLog, NetsimError> {
         let m = 1usize << self.b;
         let mut regs = Vec::with_capacity(m);
         for _ in 0..m {
@@ -134,7 +142,11 @@ pub fn run(scale: Scale) -> Summary {
     };
     println!("multipath rings on a {side}x{side} grid (N={n}), extra duplication swept:");
     let mut dup_table = Table::new(&[
-        "dup_p", "naive count", "naive rel err", "sketch est", "sketch rel err",
+        "dup_p",
+        "naive count",
+        "naive rel err",
+        "sketch est",
+        "sketch rel err",
     ]);
     let mut dup_rows = Vec::new();
     for dup in [0.0, 0.25, 0.5] {
@@ -181,7 +193,11 @@ pub fn run(scale: Scale) -> Summary {
     // --- Part 2: loss on the tree with and without ARQ.
     println!("\ntree COUNT under loss (grid {side}x{side}):");
     let mut loss_table = Table::new(&[
-        "loss_p", "no-ARQ result", "ARQ result", "ARQ bits/node", "overhead vs lossless",
+        "loss_p",
+        "no-ARQ result",
+        "ARQ result",
+        "ARQ bits/node",
+        "overhead vs lossless",
     ]);
     let mut loss_rows = Vec::new();
     let lossless_bits = {
@@ -234,5 +250,8 @@ pub fn run(scale: Scale) -> Summary {
     }
     loss_table.print();
 
-    Summary { dup_rows, loss_rows }
+    Summary {
+        dup_rows,
+        loss_rows,
+    }
 }

@@ -1,8 +1,11 @@
-//! The E1–E10 experiment implementations (see DESIGN.md §4 for the
+//! The E1–E12 experiment implementations (see DESIGN.md §4 for the
 //! experiment-to-claim index). Each `run(scale)` prints its tables to
 //! stdout and returns a machine-checkable summary used by integration
 //! tests and the `run_all` binary.
 
+pub mod e10_gossip;
+pub mod e11_ablations;
+pub mod e12_batching;
 pub mod e1_primitives;
 pub mod e2_loglog;
 pub mod e3_median_det;
@@ -12,5 +15,3 @@ pub mod e6_distinct;
 pub mod e7_comparison;
 pub mod e8_single_hop;
 pub mod e9_robustness;
-pub mod e10_gossip;
-pub mod e11_ablations;

@@ -43,7 +43,11 @@ pub fn fit_shape(xs: &[f64], ys: &[f64], shape: Shape) -> FitReport {
         .collect();
     let rmin = ratios.iter().copied().fold(f64::INFINITY, f64::min);
     let rmax = ratios.iter().copied().fold(0.0f64, f64::max);
-    let ratio_spread = if rmin > 0.0 { rmax / rmin } else { f64::INFINITY };
+    let ratio_spread = if rmin > 0.0 {
+        rmax / rmin
+    } else {
+        f64::INFINITY
+    };
 
     FitReport {
         constant,
@@ -84,7 +88,11 @@ pub fn fit_affine(xs: &[f64], ys: &[f64]) -> AffineFit {
         .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
         .sum();
     let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     AffineFit {
         intercept,
         slope,

@@ -132,10 +132,7 @@ mod tests {
     #[test]
     fn bimodal_has_a_gap() {
         let items = generate(Dist::Bimodal, 1000, 10_000, 5);
-        let in_middle = items
-            .iter()
-            .filter(|&&x| (3000..7000).contains(&x))
-            .count();
+        let in_middle = items.iter().filter(|&&x| (3000..7000).contains(&x)).count();
         assert_eq!(in_middle, 0, "bimodal middle should be empty");
     }
 

@@ -1,0 +1,392 @@
+//! An offline, API-compatible subset of the `proptest` crate.
+//!
+//! This workspace builds in environments with **no network access**, so the
+//! real crates.io `proptest` cannot be fetched. This stand-in implements the
+//! subset of the API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `name in strategy`, `mut name in strategy`
+//!   and `name: Type` parameter forms, plus `#![proptest_config(..)]`;
+//! * [`prelude`] with [`any`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`] and [`test_runner::ProptestConfig`];
+//! * integer/bool strategies over ranges and [`collection::vec`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! generated from a **deterministic** per-test seed (reproducible CI), and
+//! failures panic immediately without shrinking. Swap this path dependency
+//! for the registry crate to regain shrinking.
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value generator. The subset here is non-shrinking: a strategy is
+    /// just a deterministic function of the test RNG.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+    }
+
+    /// Strategy returned by [`crate::prelude::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Integer types samplable from ranges.
+    pub trait SampleUniform: Copy {
+        /// Uniform draw from `[lo, hi]` (inclusive).
+        fn sample_inclusive(lo: Self, hi: Self, rng: &mut Rng) -> Self;
+        /// One below, for half-open ranges; panics on an empty range.
+        fn pred(self) -> Self;
+    }
+
+    macro_rules! impl_sample_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_inclusive(lo: Self, hi: Self, rng: &mut Rng) -> Self {
+                    debug_assert!(lo <= hi);
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+                fn pred(self) -> Self {
+                    assert!(self > 0, "empty range strategy");
+                    self - 1
+                }
+            }
+        )*};
+    }
+    impl_sample_uint!(u8, u16, u32, u64, usize);
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            T::sample_inclusive(self.start, self.end.pred(), rng)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
+    fn unit_f64(rng: &mut Rng) -> f64 {
+        // 53 mantissa bits of uniformity in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            debug_assert!(self.start < self.end);
+            self.start + unit_f64(rng) * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            self.start() + unit_f64(rng) * (self.end() - self.start())
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// The `proptest::collection::vec` entry point.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % (span + 1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration (subset: only `cases`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// SplitMix64: deterministic per-(test, case) stream.
+    #[derive(Debug, Clone)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Derives the stream for one case of one named test.
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            // FNV-1a over the test path, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Rng {
+                state: h ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `any::<T>()` strategy.
+    pub fn any<T: Arbitrary>() -> crate::strategy::Any<T> {
+        crate::strategy::Any(std::marker::PhantomData)
+    }
+}
+
+/// Asserts a condition inside a property (no shrinking: panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Binds one parameter list entry at a time: `x in strategy`,
+/// `mut x in strategy`, `x: Type` or `mut x: Type`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)*) => {};
+    ($rng:ident, mut $name:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, mut $name:ident : $ty:ty, $($rest:tt)*) => {
+        let mut $name: $ty =
+            $crate::strategy::Strategy::generate(&($crate::prelude::any::<$ty>()), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::generate(&($crate::prelude::any::<$ty>()), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Expands each property into a `#[test]` running `cases` deterministic
+/// cases.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( #[test] $(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block )* ) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __pt_case in 0..cfg.cases {
+                    let mut __pt_rng = $crate::test_runner::Rng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __pt_case,
+                    );
+                    $crate::__proptest_bind!(__pt_rng, $($params)*,);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// The `proptest!` macro (subset): an optional
+/// `#![proptest_config(expr)]` attribute followed by `#[test]` functions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::test_runner::Rng::for_case("t", 0);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u64..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let w = Strategy::generate(&(1u32..=4), &mut rng);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_len_in_bounds() {
+        let mut rng = crate::test_runner::Rng::for_case("t2", 1);
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(0u64..5, 2..7), &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = crate::test_runner::Rng::for_case("same", 7);
+        let mut b = crate::test_runner::Rng::for_case("same", 7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_forms_compile(a in 0u64..100, mut b in crate::collection::vec(any::<u64>(), 0..4), c: bool, seed: u64) {
+            prop_assert!(a < 100);
+            b.push(seed);
+            prop_assert!(!b.is_empty());
+            prop_assert_eq!(c, c);
+            prop_assert_ne!(b.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! The two-step partial-aggregation layer.
+//!
+//! Every aggregate in this workspace follows the *two-step* convention
+//! (partial state + final accessor) that makes aggregation composable:
+//!
+//! 1. a **partial state** built per node by [`PartialAggregate::identity`]
+//!    plus [`PartialAggregate::contribute`], combined up the tree by the
+//!    associative, commutative [`PartialAggregate::merge`], and shipped
+//!    bit-exactly via [`PartialAggregate::encode`] /
+//!    [`PartialAggregate::decode`] (over [`saq_netsim::wire`]);
+//! 2. a separate **accessor** [`PartialAggregate::finalize`] that turns
+//!    the merged partial into the user-facing answer at the root.
+//!
+//! Keeping the two steps apart is what lets independent queries share
+//! waves (the [`crate::engine::QueryEngine`] multiplexes many partials
+//! into one envelope), lets partials be cached and re-finalized, and
+//! makes adding an aggregate a single-trait exercise. It mirrors the
+//! mergeable-summary structure of q-digest-style sensor aggregation
+//! (Shrivastava et al., *Medians and Beyond*) and the partial/accessor
+//! split popularized by TimescaleDB's two-step aggregates.
+//!
+//! The concrete aggregates here are exactly the paper's primitives
+//! (§2.2/§3.1/§5): [`MinMaxAgg`], [`CountSumAgg`], [`SketchAgg`]
+//! (APX_COUNT and approximate COUNT_DISTINCT), [`DistinctSetAgg`] and
+//! [`CollectAgg`]. `saq_core::wave_proto` dispatches every simulated wave
+//! onto them, and `saq_core::local::LocalNetwork` folds them in memory —
+//! one implementation, two execution substrates.
+
+use crate::counting::ApxCountConfig;
+use crate::model::{floor_log2, Value};
+use crate::predicate::{Domain, Predicate};
+use saq_netsim::rng::derive_seed;
+use saq_netsim::wire::{width_for_max, BitReader, BitWriter};
+use saq_netsim::NetsimError;
+use saq_sketches::{DistinctSketch, HashFamily, LogLog};
+use std::fmt::Debug;
+
+/// One item presented to [`PartialAggregate::contribute`]: its current
+/// value plus a network-unique, stable identity `(node, slot)` — the
+/// per-item keying the sketch aggregates hash (§2.2: *"using the hash
+/// value of an item as the source of random bits"* needs stable keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemRef {
+    /// Hosting node id (item index itself in the local model).
+    pub node: u64,
+    /// Slot index within the node's multiset.
+    pub slot: u64,
+    /// The item's current (possibly rescaled) value.
+    pub value: Value,
+}
+
+/// A two-step aggregate: mergeable partial state plus a final accessor.
+///
+/// Laws (checked by the `tests/partial_aggregation.rs` integration
+/// tests):
+///
+/// * `merge` is **associative** and **commutative** — up to the
+///   aggregate's declared equivalence — with `identity()` neutral, so
+///   tree shape and child order cannot change the root's answer. Every
+///   aggregate here is commutative under `PartialEq` except
+///   [`CollectAgg`], whose concatenated partial is commutative only as
+///   a **multiset** (its `finalize` answer is order-insensitive);
+/// * `decode(encode(p)) == p` **bit-exactly**, consuming exactly the bits
+///   written — so partials can be packed back-to-back in one envelope.
+pub trait PartialAggregate {
+    /// The mergeable partial state.
+    type Partial: Clone + Debug + PartialEq;
+    /// The user-facing answer produced by [`PartialAggregate::finalize`].
+    type Output;
+
+    /// The neutral partial (an empty node's contribution).
+    fn identity(&self) -> Self::Partial;
+
+    /// Folds one item into a partial.
+    fn contribute(&self, p: &mut Self::Partial, item: ItemRef);
+
+    /// Combines two partials (associative, commutative).
+    fn merge(&self, a: Self::Partial, b: Self::Partial) -> Self::Partial;
+
+    /// Serializes a partial.
+    fn encode(&self, p: &Self::Partial, w: &mut BitWriter);
+
+    /// Deserializes a partial, consuming exactly what [`encode`] wrote.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireDecode`] on malformed input.
+    ///
+    /// [`encode`]: PartialAggregate::encode
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<Self::Partial, NetsimError>;
+
+    /// The final accessor: partial state to answer. Separate from the
+    /// wave so partials can be cached, re-used and re-finalized.
+    fn finalize(&self, p: &Self::Partial) -> Self::Output;
+
+    /// Builds this aggregate's partial over a node's items in one go.
+    fn partial_over<I: IntoIterator<Item = ItemRef>>(&self, items: I) -> Self::Partial {
+        let mut p = self.identity();
+        for item in items {
+            self.contribute(&mut p, item);
+        }
+        p
+    }
+}
+
+/// Whether a [`MinMaxAgg`] keeps the smallest or largest value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinMaxOp {
+    /// Keep the minimum.
+    Min,
+    /// Keep the maximum.
+    Max,
+}
+
+/// MIN/MAX over active items in a [`Domain`] (Fact 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinMaxAgg {
+    /// Min or max.
+    pub op: MinMaxOp,
+    /// Evaluation domain (`Log` compares `⌊log₂ ·⌋` values).
+    pub domain: Domain,
+    /// Declared maximum item value (fixes the wire width).
+    pub xbar: Value,
+}
+
+impl MinMaxAgg {
+    fn map(&self, v: Value) -> Value {
+        match self.domain {
+            Domain::Raw => v,
+            Domain::Log => floor_log2(v) as u64,
+        }
+    }
+
+    fn value_width(&self) -> u32 {
+        match self.domain {
+            Domain::Raw => width_for_max(self.xbar),
+            Domain::Log => width_for_max(floor_log2(self.xbar) as u64),
+        }
+    }
+}
+
+impl PartialAggregate for MinMaxAgg {
+    type Partial = Option<Value>;
+    type Output = Option<Value>;
+
+    fn identity(&self) -> Option<Value> {
+        None
+    }
+
+    fn contribute(&self, p: &mut Option<Value>, item: ItemRef) {
+        let v = self.map(item.value);
+        *p = Some(match (*p, self.op) {
+            (None, _) => v,
+            (Some(x), MinMaxOp::Min) => x.min(v),
+            (Some(x), MinMaxOp::Max) => x.max(v),
+        });
+    }
+
+    fn merge(&self, a: Option<Value>, b: Option<Value>) -> Option<Value> {
+        match (a, b) {
+            (None, v) | (v, None) => v,
+            (Some(x), Some(y)) => Some(match self.op {
+                MinMaxOp::Min => x.min(y),
+                MinMaxOp::Max => x.max(y),
+            }),
+        }
+    }
+
+    fn encode(&self, p: &Option<Value>, w: &mut BitWriter) {
+        // No domain discriminator: the request is the schema, and the
+        // domain fixes the width — `Θ(log X̄)` raw values vs
+        // `Θ(log log X̄)` log values, the split the polyloglog algorithm
+        // relies on.
+        match p {
+            None => w.write_bits(0, 1),
+            Some(v) => {
+                w.write_bits(1, 1);
+                w.write_bits(*v, self.value_width());
+            }
+        }
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<Option<Value>, NetsimError> {
+        Ok(if r.read_bits(1)? == 1 {
+            Some(r.read_bits(self.value_width())?)
+        } else {
+            None
+        })
+    }
+
+    fn finalize(&self, p: &Option<Value>) -> Option<Value> {
+        *p
+    }
+}
+
+/// Whether a [`CountSumAgg`] counts or sums matching items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountSumOp {
+    /// `COUNTP(X, P)` (§3.1).
+    Count,
+    /// `SUM` over matching items (Fact 2.1).
+    Sum,
+}
+
+/// Exact predicate count/sum, gamma-coded so a result costs
+/// `Θ(log result)` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountSumAgg {
+    /// Count or sum.
+    pub op: CountSumOp,
+    /// The filtering predicate.
+    pub pred: Predicate,
+}
+
+impl PartialAggregate for CountSumAgg {
+    type Partial = u64;
+    type Output = u64;
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn contribute(&self, p: &mut u64, item: ItemRef) {
+        if self.pred.eval(item.value) {
+            *p += match self.op {
+                CountSumOp::Count => 1,
+                CountSumOp::Sum => item.value,
+            };
+        }
+    }
+
+    fn merge(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+
+    fn encode(&self, p: &u64, w: &mut BitWriter) {
+        w.write_gamma(p + 1);
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+        Ok(r.read_gamma()? - 1)
+    }
+
+    fn finalize(&self, p: &u64) -> u64 {
+        *p
+    }
+}
+
+/// How a [`SketchAgg`] keys items into its hash functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SketchKey {
+    /// By stable item identity `(node, slot)`: population counting
+    /// (`APX_COUNT`, Fact 2.2).
+    ByItem,
+    /// By item value: duplicate-insensitive distinct counting (§2.2/§5).
+    ByValue,
+}
+
+/// `reps` independent LogLog instances merged register-wise (ODI), the
+/// paper's α-counting protocol instantiation.
+#[derive(Debug, Clone)]
+pub struct SketchAgg {
+    /// The filtering predicate.
+    pub pred: Predicate,
+    /// Keying discipline.
+    pub key: SketchKey,
+    /// Sketch parameters (register count, base seed).
+    pub cfg: ApxCountConfig,
+    reps: u32,
+    nonce: u64,
+    /// Per-instance hash functions, derived lazily from
+    /// `(cfg.seed, nonce, i)` — merge/encode/decode never hash, and the
+    /// wave dispatch rebuilds this struct per hop, so eager derivation
+    /// would be pure waste on the codec paths.
+    hash_cache: std::cell::OnceCell<Vec<HashFamily>>,
+}
+
+impl SketchAgg {
+    /// Builds the aggregate for one invocation: `reps` instances whose
+    /// hash functions derive from `nonce`.
+    pub fn new(
+        pred: Predicate,
+        key: SketchKey,
+        cfg: ApxCountConfig,
+        reps: u32,
+        nonce: u64,
+    ) -> Self {
+        SketchAgg {
+            pred,
+            key,
+            cfg,
+            reps,
+            nonce,
+            hash_cache: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// Number of independent instances.
+    pub fn reps(&self) -> u32 {
+        self.reps
+    }
+
+    fn hashers(&self) -> &[HashFamily] {
+        self.hash_cache.get_or_init(|| {
+            (0..self.reps)
+                .map(|inst| HashFamily::new(derive_seed(self.cfg.seed, self.nonce, inst as u64)))
+                .collect()
+        })
+    }
+
+    fn reg_width(&self) -> u32 {
+        // Register values are bounded by the hash window + 1.
+        width_for_max((64 - self.cfg.b + 1) as u64)
+    }
+}
+
+impl PartialAggregate for SketchAgg {
+    type Partial = Vec<LogLog>;
+    type Output = f64;
+
+    fn identity(&self) -> Vec<LogLog> {
+        (0..self.reps).map(|_| LogLog::new(self.cfg.b)).collect()
+    }
+
+    fn contribute(&self, p: &mut Vec<LogLog>, item: ItemRef) {
+        if !self.pred.eval(item.value) {
+            return;
+        }
+        for (sk, h) in p.iter_mut().zip(self.hashers()) {
+            let key = match self.key {
+                SketchKey::ByItem => h.hash_pair(item.node, item.slot),
+                SketchKey::ByValue => h.hash(item.value),
+            };
+            sk.insert_hash(key);
+        }
+    }
+
+    fn merge(&self, mut a: Vec<LogLog>, b: Vec<LogLog>) -> Vec<LogLog> {
+        debug_assert_eq!(a.len(), b.len(), "sketch vectors must align");
+        for (x, y) in a.iter_mut().zip(b.iter()) {
+            x.merge_from(y);
+        }
+        a
+    }
+
+    fn encode(&self, p: &Vec<LogLog>, w: &mut BitWriter) {
+        w.write_bits(p.len() as u64, 16);
+        let rw = self.reg_width();
+        for sk in p {
+            for &r in sk.registers() {
+                w.write_bits(r as u64, rw);
+            }
+        }
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<Vec<LogLog>, NetsimError> {
+        let n = r.read_bits(16)? as usize;
+        if n != self.reps() as usize {
+            return Err(NetsimError::WireDecode("sketch instance count mismatch"));
+        }
+        let rw = self.reg_width();
+        let m = 1usize << self.cfg.b;
+        let mut sks = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let mut regs = Vec::with_capacity(m);
+            for _ in 0..m {
+                regs.push(r.read_bits(rw)? as u8);
+            }
+            sks.push(
+                LogLog::from_registers(self.cfg.b, regs)
+                    .map_err(|_| NetsimError::WireDecode("sketch register out of range"))?,
+            );
+        }
+        Ok(sks)
+    }
+
+    /// The accessor: mean of the instance estimates (`REP_COUNTP`'s
+    /// average, Fig. 2 line 2).
+    fn finalize(&self, p: &Vec<LogLog>) -> f64 {
+        let total: f64 = p.iter().map(|s| s.estimate()).sum();
+        total / p.len().max(1) as f64
+    }
+}
+
+/// Exact distinct values as a sorted set union (§5) — the deliberately
+/// linear-cost aggregate Theorem 5.1 proves unavoidable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistinctSetAgg {
+    /// Declared maximum item value (fixes the wire width).
+    pub xbar: Value,
+}
+
+impl PartialAggregate for DistinctSetAgg {
+    type Partial = Vec<Value>;
+    type Output = u64;
+
+    fn identity(&self) -> Vec<Value> {
+        Vec::new()
+    }
+
+    fn contribute(&self, p: &mut Vec<Value>, item: ItemRef) {
+        if let Err(pos) = p.binary_search(&item.value) {
+            p.insert(pos, item.value);
+        }
+    }
+
+    /// Bulk fold: collect then sort+dedup once — `O(m log m)` for a
+    /// node's whole multiset where per-item sorted inserts would be
+    /// `O(m²)`.
+    fn partial_over<I: IntoIterator<Item = ItemRef>>(&self, items: I) -> Vec<Value> {
+        let mut vals: Vec<Value> = items.into_iter().map(|it| it.value).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    fn merge(&self, a: Vec<Value>, b: Vec<Value>) -> Vec<Value> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                    x
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    i += 1;
+                    x
+                }
+                (Some(_), Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => unreachable!(),
+            };
+            if out.last() != Some(&next) {
+                out.push(next);
+            }
+        }
+        out
+    }
+
+    fn encode(&self, p: &Vec<Value>, w: &mut BitWriter) {
+        assert!(
+            p.len() < (1 << 24),
+            "partial of {} values overflows the 24-bit length field",
+            p.len()
+        );
+        w.write_bits(p.len() as u64, 24);
+        let vw = width_for_max(self.xbar);
+        for v in p {
+            w.write_bits(*v, vw);
+        }
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<Vec<Value>, NetsimError> {
+        let n = r.read_bits(24)? as usize;
+        let vw = width_for_max(self.xbar);
+        let mut vals = Vec::with_capacity(n.min(1 << 24));
+        for _ in 0..n {
+            vals.push(r.read_bits(vw)?);
+        }
+        // The sorted-dedup invariant is what the linear merge relies on;
+        // a frame violating it is malformed, not merely unsorted data.
+        if !vals.windows(2).all(|w| w[0] < w[1]) {
+            return Err(NetsimError::WireDecode("distinct set not strictly sorted"));
+        }
+        Ok(vals)
+    }
+
+    fn finalize(&self, p: &Vec<Value>) -> u64 {
+        p.len() as u64
+    }
+}
+
+/// Every active value concatenated to the root — the naive linear
+/// baseline (TAG's "holistic" class). `merge` is commutative only at
+/// multiset level: element order reflects merge order, so compare
+/// collected values after sorting (as `reference_median` does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectAgg {
+    /// Declared maximum item value (fixes the wire width).
+    pub xbar: Value,
+}
+
+impl PartialAggregate for CollectAgg {
+    type Partial = Vec<Value>;
+    type Output = Vec<Value>;
+
+    fn identity(&self) -> Vec<Value> {
+        Vec::new()
+    }
+
+    fn contribute(&self, p: &mut Vec<Value>, item: ItemRef) {
+        p.push(item.value);
+    }
+
+    fn merge(&self, mut a: Vec<Value>, b: Vec<Value>) -> Vec<Value> {
+        a.extend(b);
+        a
+    }
+
+    fn encode(&self, p: &Vec<Value>, w: &mut BitWriter) {
+        assert!(
+            p.len() < (1 << 24),
+            "partial of {} values overflows the 24-bit length field",
+            p.len()
+        );
+        w.write_bits(p.len() as u64, 24);
+        let vw = width_for_max(self.xbar);
+        for v in p {
+            w.write_bits(*v, vw);
+        }
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<Vec<Value>, NetsimError> {
+        let n = r.read_bits(24)? as usize;
+        let vw = width_for_max(self.xbar);
+        let mut vals = Vec::with_capacity(n.min(1 << 24));
+        for _ in 0..n {
+            vals.push(r.read_bits(vw)?);
+        }
+        Ok(vals)
+    }
+
+    fn finalize(&self, p: &Vec<Value>) -> Vec<Value> {
+        p.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(v: Value) -> ItemRef {
+        ItemRef {
+            node: v,
+            slot: 0,
+            value: v,
+        }
+    }
+
+    fn roundtrip<A: PartialAggregate>(agg: &A, p: &A::Partial) {
+        let mut w = BitWriter::new();
+        agg.encode(p, &mut w);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert_eq!(&agg.decode(&mut r).unwrap(), p);
+        assert_eq!(r.remaining(), 0, "decode must consume exactly encode");
+    }
+
+    #[test]
+    fn minmax_two_step() {
+        let agg = MinMaxAgg {
+            op: MinMaxOp::Min,
+            domain: Domain::Raw,
+            xbar: 100,
+        };
+        let p = agg.partial_over([item(9), item(3), item(40)]);
+        assert_eq!(agg.finalize(&p), Some(3));
+        assert_eq!(agg.merge(p, None), Some(3));
+        roundtrip(&agg, &Some(3));
+        roundtrip(&agg, &None);
+    }
+
+    #[test]
+    fn minmax_log_domain_width() {
+        let agg = MinMaxAgg {
+            op: MinMaxOp::Max,
+            domain: Domain::Log,
+            xbar: 1 << 40,
+        };
+        let p = agg.partial_over([item(1 << 30)]);
+        assert_eq!(agg.finalize(&p), Some(30));
+        let mut w = BitWriter::new();
+        agg.encode(&p, &mut w);
+        assert!(w.finish().len_bits() <= 1 + 6, "log-domain value is tiny");
+    }
+
+    #[test]
+    fn countsum_two_step() {
+        let count = CountSumAgg {
+            op: CountSumOp::Count,
+            pred: Predicate::less_than(10),
+        };
+        let p = count.partial_over([item(1), item(5), item(20)]);
+        assert_eq!(count.finalize(&p), 2);
+        let sum = CountSumAgg {
+            op: CountSumOp::Sum,
+            pred: Predicate::TRUE,
+        };
+        let p = sum.partial_over([item(1), item(5), item(20)]);
+        assert_eq!(sum.finalize(&p), 26);
+        roundtrip(&sum, &26);
+        roundtrip(&sum, &0);
+    }
+
+    #[test]
+    fn sketch_item_vs_value_keying() {
+        let cfg = ApxCountConfig::default();
+        let by_item = SketchAgg::new(Predicate::TRUE, SketchKey::ByItem, cfg, 8, 1);
+        let by_value = SketchAgg::new(Predicate::TRUE, SketchKey::ByValue, cfg, 8, 1);
+        // 600 copies of one value: population ~600, distinct ~1.
+        let items: Vec<ItemRef> = (0..600)
+            .map(|i| ItemRef {
+                node: i,
+                slot: 0,
+                value: 42,
+            })
+            .collect();
+        let pop = by_item.finalize(&by_item.partial_over(items.iter().copied()));
+        let distinct = by_value.finalize(&by_value.partial_over(items.iter().copied()));
+        assert!(pop > 200.0, "population estimate {pop}");
+        assert!(distinct < 10.0, "distinct estimate {distinct}");
+    }
+
+    #[test]
+    fn sketch_merge_matches_union() {
+        let cfg = ApxCountConfig::default();
+        let agg = SketchAgg::new(Predicate::TRUE, SketchKey::ByItem, cfg, 4, 7);
+        let left = agg.partial_over((0..300).map(|i| ItemRef {
+            node: i,
+            slot: 0,
+            value: 1,
+        }));
+        let right = agg.partial_over((300..500).map(|i| ItemRef {
+            node: i,
+            slot: 0,
+            value: 1,
+        }));
+        let all = agg.partial_over((0..500).map(|i| ItemRef {
+            node: i,
+            slot: 0,
+            value: 1,
+        }));
+        assert_eq!(agg.merge(left, right), all);
+        roundtrip(&agg, &all);
+    }
+
+    #[test]
+    fn distinct_set_union() {
+        let agg = DistinctSetAgg { xbar: 100 };
+        let a = agg.partial_over([item(5), item(1), item(5)]);
+        assert_eq!(a, vec![1, 5]);
+        let b = agg.partial_over([item(3), item(5)]);
+        let m = agg.merge(a, b);
+        assert_eq!(m, vec![1, 3, 5]);
+        assert_eq!(agg.finalize(&m), 3);
+        roundtrip(&agg, &m);
+    }
+
+    #[test]
+    fn collect_concatenates() {
+        let agg = CollectAgg { xbar: 100 };
+        let a = agg.partial_over([item(9), item(2)]);
+        let b = agg.partial_over([item(7)]);
+        let m = agg.merge(a, b);
+        assert_eq!(agg.finalize(&m), vec![9, 2, 7]);
+        roundtrip(&agg, &m);
+    }
+}

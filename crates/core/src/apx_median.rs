@@ -15,10 +15,10 @@
 //! (Fig. 4 line 3.1).
 
 use crate::error::QueryError;
-use crate::median::ceil_log2;
 use crate::model::Value;
 use crate::net::AggregationNetwork;
-use crate::predicate::{Domain, Predicate};
+use crate::plan::{run_plan, ApxMedianPlan};
+use crate::predicate::Domain;
 
 /// Search target: the median rank (estimated `n/2`) or an absolute rank.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,10 +78,7 @@ impl ApxMedian {
     ///
     /// [`QueryError::EmptyInput`] on an empty multiset; protocol errors
     /// are propagated.
-    pub fn run<N: AggregationNetwork>(
-        &self,
-        net: &mut N,
-    ) -> Result<ApxMedianOutcome, QueryError> {
+    pub fn run<N: AggregationNetwork>(&self, net: &mut N) -> Result<ApxMedianOutcome, QueryError> {
         self.run_target(net, Domain::Raw, RankTarget::Median)
     }
 
@@ -102,6 +99,10 @@ impl ApxMedian {
     /// target. `Domain::Log` is the `APX_MEDIAN2` inner loop: all
     /// thresholds and answers are log-values.
     ///
+    /// The algorithm is compiled into an [`ApxMedianPlan`] wave plan
+    /// (`crate::plan`) and driven sequentially here; the `QueryEngine`
+    /// drives the same plan batched with other concurrent queries.
+    ///
     /// # Errors
     ///
     /// [`QueryError::EmptyInput`] if no active items remain; protocol
@@ -112,91 +113,9 @@ impl ApxMedian {
         domain: Domain,
         target: RankTarget,
     ) -> Result<ApxMedianOutcome, QueryError> {
-        let cfg = net.apx_config();
-        let sigma = cfg.sigma();
-        let band = cfg.alpha_c() + sigma;
-
-        let m = net.min(domain)?.ok_or(QueryError::EmptyInput)?;
-        let big_m = net.max(domain)?.ok_or(QueryError::EmptyInput)?;
-        let domain_max = match domain {
-            Domain::Raw => net.xbar(),
-            Domain::Log => crate::model::floor_log2(net.xbar()) as u64,
-        };
-        let mut instances = 0u64;
-        if m == big_m {
-            return Ok(ApxMedianOutcome {
-                value: m,
-                halted_early: false,
-                iterations: 0,
-                estimated_n: f64::NAN,
-                alpha_guarantee: 3.0 * sigma,
-                beta_guarantee: 1.0 / domain_max.max(1) as f64,
-                apx_count_instances: 0,
-            });
-        }
-
-        let range = big_m - m;
-        // Line 2: q = log(M−m)/ε; n ← REP_COUNTP(⌈2q⌉, TRUE).
-        let reps_n = cfg.reps_for(cfg.rep_count, range, self.epsilon);
-        let reps_c = cfg.reps_for(cfg.rep_search, range, self.epsilon);
-        let n = net.rep_apx_count(&Predicate::TRUE, reps_n)?;
-        instances += reps_n as u64;
-        let k_target = match target {
-            RankTarget::Median => n / 2.0,
-            // A rank target cannot exceed the population: Fig. 4's rank
-            // adjustments can overshoot by sketch noise when the true
-            // order statistic sits on an octave boundary, which would
-            // otherwise drive the search past the maximum.
-            RankTarget::Rank(k) => k.clamp(1.0, n.max(1.0)),
-        };
-
-        // Line 3: y ← (M+m)/2, z ← 2^{⌈log(M−m)⌉−1}, doubled coordinates.
-        // Signed arithmetic: the midpoint may transiently leave [m, M];
-        // thresholds are clamped to the domain when encoded (counts are
-        // unchanged by clamping).
-        let mut y2: i128 = (big_m + m) as i128;
-        let mut z2: i128 = 1i128 << ceil_log2(range);
-        let clamp = |v: i128| -> u64 { v.clamp(0, 2 * (domain_max as i128 + 1)) as u64 };
-        let mut iterations = 0u32;
-        let mut halted_early = false;
-
-        // Line 4: tolerant binary search.
-        while z2 > 1 {
-            let pred = match domain {
-                Domain::Raw => Predicate::less_than2(clamp(y2)),
-                Domain::Log => Predicate::log_less_than2(clamp(y2)),
-            };
-            let c = net.rep_apx_count(&pred, reps_c)?;
-            instances += reps_c as u64;
-            iterations += 1;
-            // Lines 4.2/4.2.1 with the ½ generalized to k/n (Thm 4.6).
-            if c < k_target - n * band {
-                y2 += z2 / 2;
-            } else if c >= k_target + n * band {
-                y2 -= z2 / 2;
-            } else {
-                // Uncertain band: halt, output ⌊y⌋ (Lemma 4.4).
-                halted_early = true;
-                break;
-            }
-            z2 /= 2;
-        }
-
-        // The halting band is ±n(α_c + σ) around the rank target, so the
-        // rank-relative guarantee is 3σ for the median (k = n/2, as
-        // Theorem 4.5 states) and scales by n/(2k) for extreme ranks.
-        let alpha = 3.0 * sigma * (n / (2.0 * k_target.max(1.0))).max(1.0);
-        Ok(ApxMedianOutcome {
-            // ⌊y⌋ in doubled coordinates, clamped into the domain (noisy
-            // wrong turns can leave the final midpoint slightly outside).
-            value: ((y2.max(0) as u64) / 2).min(domain_max),
-            halted_early,
-            iterations,
-            estimated_n: n,
-            alpha_guarantee: alpha.max(3.0 * sigma),
-            beta_guarantee: 1.0 / domain_max.max(1) as f64,
-            apx_count_instances: instances,
-        })
+        let mut plan =
+            ApxMedianPlan::new(self.epsilon, domain, target, net.apx_config(), net.xbar())?;
+        run_plan(net, &mut plan)
     }
 }
 
@@ -208,8 +127,7 @@ mod tests {
     use crate::model::{is_apx_median, is_apx_order_statistic2};
 
     fn net_with(items: Vec<Value>, xbar: Value, seed: u64) -> LocalNetwork {
-        LocalNetwork::with_config(items, xbar, ApxCountConfig::default().with_seed(seed))
-            .unwrap()
+        LocalNetwork::with_config(items, xbar, ApxCountConfig::default().with_seed(seed)).unwrap()
     }
 
     #[test]
@@ -318,14 +236,8 @@ mod tests {
         let items: Vec<Value> = (0..1000).collect();
         let mut net_loose = net_with(items.clone(), 1000, 1);
         let mut net_tight = net_with(items, 1000, 1);
-        let loose = ApxMedian::new(0.5)
-            .unwrap()
-            .run(&mut net_loose)
-            .unwrap();
-        let tight = ApxMedian::new(0.05)
-            .unwrap()
-            .run(&mut net_tight)
-            .unwrap();
+        let loose = ApxMedian::new(0.5).unwrap().run(&mut net_loose).unwrap();
+        let tight = ApxMedian::new(0.05).unwrap().run(&mut net_tight).unwrap();
         assert!(
             tight.apx_count_instances > loose.apx_count_instances,
             "tighter epsilon must spend more instances ({} vs {})",

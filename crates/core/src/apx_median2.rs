@@ -20,11 +20,10 @@
 //! constant-size LogLog sketch, total per-node communication is
 //! `O((log log N)^3)` bits (Corollary 4.8) — measured in experiment E5.
 
-use crate::apx_median::{ApxMedian, RankTarget};
 use crate::error::QueryError;
 use crate::model::Value;
 use crate::net::AggregationNetwork;
-use crate::predicate::Predicate;
+use crate::plan::{run_plan, ApxMedian2Plan};
 
 /// The polyloglog approximate median query of Fig. 4.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,117 +115,9 @@ impl ApxMedian2 {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn run<N: AggregationNetwork>(
-        &self,
-        net: &mut N,
-    ) -> Result<ApxMedian2Outcome, QueryError> {
-        let cfg = net.apx_config();
-        let xbar = net.xbar();
-        let j_total = self.stages();
-        // Per-stage failure budget (Fig. 4 line 3.1: ε / 2·log(1/β)).
-        let eps_stage = (self.epsilon / (2.0 * j_total as f64)).clamp(1e-6, 0.5);
-        let searcher = ApxMedian::new(eps_stage).expect("stage epsilon in range");
-
-        // Line 1: n ← REP_COUNTP(⌈2 log(1/β)/ε⌉, TRUE); k ← n/2.
-        let reps_n = ((cfg.rep_count * j_total as f64 / self.epsilon).ceil()).max(1.0) as u32;
-        let n = net.rep_apx_count(&Predicate::TRUE, reps_n)?;
-        let mut instances = reps_n as u64;
-        if n < 0.5 {
-            return Err(QueryError::EmptyInput);
-        }
-        let mut k = n / 2.0;
-
-        // The affine chain: original = a·current + b. The running window
-        // is the intersection of all stage windows: the top octave is
-        // half-empty when X̄ < 2^{µ̂+1} − 1, so a raw stage window can
-        // spill past the previous one; intersecting keeps the reported
-        // localization monotone (it is the actual information state).
-        let mut a = 1.0f64;
-        let mut b = 0.0f64;
-        let mut win_lo = 0.0f64;
-        let mut win_hi = xbar as f64;
-        let mut trace = Vec::with_capacity(j_total as usize);
-        let mut stages_run = 0u32;
-
-        for stage in 1..=j_total {
-            // Line 3.1: µ̂ ← APX_OS(X̂, ε_stage, k) on the log domain.
-            let os = match searcher.run_target(net, crate::predicate::Domain::Log, RankTarget::Rank(k))
-            {
-                Ok(os) => os,
-                // Sketch noise can zoom into an empty octave; the window
-                // tracked so far is still a valid β-precision answer.
-                Err(QueryError::EmptyInput) => break,
-                Err(e) => return Err(e),
-            };
-            instances += os.apx_count_instances;
-            // Clamp into the legal octave range: noisy searches can land
-            // one octave outside the populated domain.
-            let mu_hat = (os.value as u32).min(crate::model::floor_log2(xbar));
-
-            // Line 3.4's count (on the *current* items, before zooming):
-            // items strictly below the chosen octave.
-            let octave_lo: u64 = if mu_hat == 0 { 0 } else { 1u64 << mu_hat };
-            let reps_adjust = ((cfg.rep_count * j_total as f64 / self.epsilon).ceil()).max(1.0) as u32;
-            let below = net.rep_apx_count(&Predicate::less_than(octave_lo), reps_adjust)?;
-            instances += reps_adjust as u64;
-
-            // Lines 3.2–3.3: zoom (broadcast µ̂, deactivate, rescale).
-            net.zoom(mu_hat)?;
-            stages_run = stage;
-
-            // Rank adjustment (line 3.4), clamped to stay a valid rank.
-            k = (k - below).max(1.0);
-
-            // Update the affine chain. The octave [lo, hi] in current
-            // coordinates maps onto [1, X̄]:
-            //   current = lo + (next − 1)·width/(X̄ − 1)
-            let octave_hi = (1u64 << (mu_hat + 1)) - 1;
-            let width = (octave_hi - octave_lo).max(1) as f64;
-            let a_next = a * width / (xbar - 1).max(1) as f64;
-            let b_next = a * octave_lo as f64 + b - a_next;
-            a = a_next;
-            b = b_next;
-            // Stage window: preimages of current values 1 and X̄,
-            // intersected with the running window.
-            win_lo = (a + b).max(win_lo);
-            win_hi = (a * xbar as f64 + b).min(win_hi);
-            if win_lo > win_hi {
-                // Degenerate overlap (noise at an octave boundary):
-                // collapse to the boundary point.
-                let mid = (win_lo + win_hi) / 2.0;
-                win_lo = mid;
-                win_hi = mid;
-            }
-            trace.push(StageTrace {
-                stage,
-                mu_hat,
-                window_lo: win_lo,
-                window_hi: win_hi,
-                k,
-                apx_count_instances: instances,
-            });
-            // The window is already below one original-domain unit:
-            // further stages cannot sharpen the answer.
-            if a * xbar as f64 <= 1.0 {
-                break;
-            }
-        }
-
-        // Output: the midpoint of the final original-domain window.
-        let (lo, hi) = trace
-            .last()
-            .map(|t| (t.window_lo, t.window_hi))
-            .unwrap_or((0.0, xbar as f64));
-        let value = (((lo + hi) / 2.0).round().max(0.0) as u64).min(xbar);
-        let sigma = cfg.sigma();
-        Ok(ApxMedian2Outcome {
-            value,
-            stages: stages_run,
-            trace,
-            alpha_guarantee: 3.0 * sigma * (stages_run.max(1) as f64 + 1.0),
-            beta_guarantee: self.beta,
-            apx_count_instances: instances,
-        })
+    pub fn run<N: AggregationNetwork>(&self, net: &mut N) -> Result<ApxMedian2Outcome, QueryError> {
+        let mut plan = ApxMedian2Plan::new(self.beta, self.epsilon, net.apx_config(), net.xbar())?;
+        run_plan(net, &mut plan)
     }
 }
 
@@ -238,8 +129,7 @@ mod tests {
     use crate::model::{is_apx_median, reference_median};
 
     fn net_with(items: Vec<Value>, xbar: Value, seed: u64) -> LocalNetwork {
-        LocalNetwork::with_config(items, xbar, ApxCountConfig::default().with_seed(seed))
-            .unwrap()
+        LocalNetwork::with_config(items, xbar, ApxCountConfig::default().with_seed(seed)).unwrap()
     }
 
     #[test]
@@ -300,7 +190,13 @@ mod tests {
             let mut net = net_with(items.clone(), 16384, 2000 + seed);
             let out = runner.run(&mut net).unwrap();
             // Generous alpha: the theorem's constant-factor O(σ log 1/β).
-            if is_apx_median(&items, out.alpha_guarantee + 0.1, 2.0 * out.beta_guarantee, 16384, out.value) {
+            if is_apx_median(
+                &items,
+                out.alpha_guarantee + 0.1,
+                2.0 * out.beta_guarantee,
+                16384,
+                out.value,
+            ) {
                 ok += 1;
             }
             net.restore_items();
@@ -341,8 +237,9 @@ mod tests {
         let a = run(99);
         let b = run(99);
         assert_eq!(a, b);
-        let c = run(100);
-        assert!(a.value != c.value || a.trace != c.trace || true); // seeds differ; no strict inequality required
+        // Different seeds may legitimately coincide; only rerun to make
+        // sure a fresh seed still completes.
+        let _ = run(100);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::error::QueryError;
 use crate::net::AggregationNetwork;
+use crate::plan::{run_plan, PlanInput, PlanOp, PrimitivePlan};
 
 /// Outcome of an exact distinct count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,9 +55,11 @@ impl CountDistinct {
         &self,
         net: &mut N,
     ) -> Result<DistinctExactOutcome, QueryError> {
-        Ok(DistinctExactOutcome {
-            count: net.distinct_exact()?,
-        })
+        let mut plan = PrimitivePlan::new(PlanOp::DistinctExact);
+        match run_plan(net, &mut plan)? {
+            PlanInput::Num(count) => Ok(DistinctExactOutcome { count }),
+            other => unreachable!("distinct-exact produced {other:?}"),
+        }
     }
 
     /// Approximate distinct count: `reps` averaged value-hashed LogLog
@@ -71,7 +74,11 @@ impl CountDistinct {
         net: &mut N,
         reps: u32,
     ) -> Result<DistinctApxOutcome, QueryError> {
-        let estimate = net.distinct_apx(reps)?;
+        let mut plan = PrimitivePlan::new(PlanOp::DistinctApx { reps });
+        let estimate = match run_plan(net, &mut plan)? {
+            PlanInput::Est(est) => est,
+            other => unreachable!("distinct-apx produced {other:?}"),
+        };
         let sigma = net.apx_config().sigma() / (reps.max(1) as f64).sqrt();
         Ok(DistinctApxOutcome {
             estimate,
@@ -97,15 +104,16 @@ mod tests {
     #[test]
     fn approximate_close_on_large_sets() {
         let items: Vec<u64> = (0..20_000).collect();
-        let mut net = LocalNetwork::with_config(
-            items,
-            20_000,
-            ApxCountConfig::default().with_seed(4),
-        )
-        .unwrap();
+        let mut net =
+            LocalNetwork::with_config(items, 20_000, ApxCountConfig::default().with_seed(4))
+                .unwrap();
         let out = CountDistinct::new().approximate(&mut net, 16).unwrap();
         let rel = (out.estimate - 20_000.0).abs() / 20_000.0;
-        assert!(rel < 4.0 * out.sigma + 0.02, "rel {rel} sigma {}", out.sigma);
+        assert!(
+            rel < 4.0 * out.sigma + 0.02,
+            "rel {rel} sigma {}",
+            out.sigma
+        );
     }
 
     #[test]

@@ -17,7 +17,24 @@
 //! variants for the larger experiment sweeps (documented in
 //! EXPERIMENTS.md).
 
+use crate::error::QueryError;
 use saq_sketches::loglog::{sigma_m, LogLog};
+
+/// Validates a sketch repetition count against the protocol's contract:
+/// positive, and small enough for the 16-bit wire field every
+/// `ApxCount`/`DistinctApx` request encodes it in. Lives next to
+/// [`ApxCountConfig::reps_for`], which applies the same upper clamp.
+pub fn validate_reps(reps: u32) -> Result<(), QueryError> {
+    if reps == 0 {
+        return Err(QueryError::InvalidParameter("reps must be positive"));
+    }
+    if reps > u16::MAX as u32 {
+        return Err(QueryError::InvalidParameter(
+            "reps must fit the 16-bit wire field",
+        ));
+    }
+    Ok(())
+}
 
 /// Parameters of the LogLog-based `APX_COUNT` instantiation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,11 +111,13 @@ impl ApxCountConfig {
         LogLog::new(self.b).wire_bits_fixed()
     }
 
-    /// The repetition count `⌈mult·q⌉` for `q = log₂(range)/ε`, clamped to
-    /// at least 1.
+    /// The repetition count `⌈mult·q⌉` for `q = log₂(range)/ε`, clamped
+    /// into `[1, u16::MAX]` — the wire encodes instance counts in 16
+    /// bits, and 65535 sketches per request is already far past any
+    /// useful accuracy.
     pub fn reps_for(&self, mult: f64, range: u64, epsilon: f64) -> u32 {
         let q = ((range.max(2) as f64).log2() / epsilon).max(1.0);
-        (mult * q).ceil().max(1.0) as u32
+        (mult * q).ceil().clamp(1.0, u16::MAX as f64) as u32
     }
 }
 

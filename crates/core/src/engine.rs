@@ -1,0 +1,722 @@
+//! The query engine: batched multi-query waves over a [`SimNetwork`].
+//!
+//! The root of a sensor network rarely has one question. The engine lets
+//! many independent "users" submit queries ([`QuerySpec`]) and executes
+//! them **concurrently**: each round it collects the pending
+//! [`crate::plan::PlanOp`] of every active wave plan and multiplexes them
+//! into *one shared broadcast–convergecast wave* (the
+//! [`saq_protocols::MultiplexWave`] envelope). `k` concurrent queries
+//! therefore pay one per-message wave header per round instead of `k` —
+//! the saving the paper's per-node bit economy makes worthwhile, measured
+//! by experiment E12 and the `engine_batching` benchmark.
+//!
+//! **Honest accounting.** Every encoded bit of a shared wave is
+//! attributed: sub-request and sub-partial bits to the issuing query
+//! (exactly, from the envelope's ledger), unattributable framing (wave
+//! headers, the slot-count prefix) split evenly across the wave's
+//! participants. [`QueryReport::bits`] is the resulting per-query bill.
+//!
+//! **Isolation.** Plans that mutate item state
+//! ([`crate::plan::QueryPlan::mutates_items`], i.e. `APX_MEDIAN2`'s zoom
+//! stages) cannot share item state with concurrent readers; the engine
+//! runs them after the shareable queries, each exclusively, restoring
+//! items afterwards.
+//!
+//! Sequential mode ([`BatchPolicy::Sequential`]) runs the identical
+//! plans, nonce assignments and waves one sub-request at a time — so
+//! batched and sequential execution return **identical results** (the
+//! determinism test in `tests/engine_batching.rs`) and differ only in
+//! bits and rounds.
+
+use crate::apx_median::ApxMedianOutcome;
+use crate::apx_median::RankTarget;
+use crate::apx_median2::ApxMedian2Outcome;
+use crate::counting::validate_reps;
+use crate::error::QueryError;
+use crate::median::MedianOutcome;
+use crate::model::Value;
+use crate::net::AggregationNetwork;
+use crate::plan::{
+    ApxMedian2Plan, ApxMedianPlan, MedianPlan, PlanInput, PlanOp, PlanStep, PrimitivePlan,
+    QueryPlan,
+};
+use crate::predicate::{Domain, Predicate};
+use crate::simnet::SimNetwork;
+use crate::wave_proto::CoreRequest;
+use saq_protocols::WAVE_HEADER_BITS;
+
+/// A user query submitted to the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySpec {
+    /// Exact `COUNTP(X, P)`.
+    Count(Predicate),
+    /// Exact `SUM` over matching items.
+    Sum(Predicate),
+    /// MIN over active items.
+    Min(Domain),
+    /// MAX over active items.
+    Max(Domain),
+    /// `REP_COUNTP(reps, P)` — approximate population count.
+    ApxCount {
+        /// The counted predicate.
+        pred: Predicate,
+        /// Number of independent sketch instances.
+        reps: u32,
+    },
+    /// Exact distinct count (§5; linear near the root by Theorem 5.1).
+    DistinctExact,
+    /// Approximate distinct count (value-hashed sketches).
+    DistinctApx {
+        /// Number of independent sketch instances.
+        reps: u32,
+    },
+    /// Collect every value (naive baseline).
+    Collect,
+    /// Exact median (Fig. 1).
+    Median,
+    /// Exact `k`-order statistic (§3.4).
+    OrderStatistic {
+        /// The rank, `1 ≤ k ≤ N`.
+        k: u64,
+    },
+    /// Approximate median (Fig. 2).
+    ApxMedian {
+        /// Failure budget ε.
+        epsilon: f64,
+    },
+    /// Polyloglog approximate median (Fig. 4). Zooms, so runs
+    /// exclusively.
+    ApxMedian2 {
+        /// Value precision β.
+        beta: f64,
+        /// Failure budget ε.
+        epsilon: f64,
+    },
+}
+
+/// A finished query's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// Exact count / sum / distinct count.
+    Num(u64),
+    /// Min/max (None on an empty network).
+    OptVal(Option<Value>),
+    /// Sketch estimate.
+    Est(f64),
+    /// Collected values.
+    Values(Vec<Value>),
+    /// Exact median / order statistic.
+    Median(MedianOutcome),
+    /// Approximate median.
+    ApxMedian(ApxMedianOutcome),
+    /// Polyloglog approximate median.
+    ApxMedian2(ApxMedian2Outcome),
+}
+
+/// Per-query bit bill (transmit-side; double it for tx+rx network cost
+/// under lossless links).
+///
+/// Exact under [`saq_protocols::wave::Reliability::None`] (the engine's
+/// intended setting). Under per-hop ARQ the bill is a lower bound:
+/// each logical message is charged once at encode time (retransmissions
+/// resend the cached payload without re-encoding), ACK frames are never
+/// attributed, and the shared-overhead share assumes one message per
+/// tree edge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryBits {
+    /// Bits of this query's sub-requests in request envelopes.
+    pub request_bits: u64,
+    /// Bits of this query's sub-partials in partial envelopes.
+    pub partial_bits: u64,
+    /// This query's even share of unattributable framing (wave headers
+    /// and envelope slot-count prefixes).
+    pub shared_overhead_bits: u64,
+}
+
+impl QueryBits {
+    /// The total bill.
+    pub fn total(&self) -> u64 {
+        self.request_bits + self.partial_bits + self.shared_overhead_bits
+    }
+}
+
+/// Identifier of a submitted query (submission order).
+pub type QueryId = usize;
+
+/// The report the engine returns for one query.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// The query's id.
+    pub id: QueryId,
+    /// The submitted spec.
+    pub spec: QuerySpec,
+    /// The answer, or the algorithm-level error.
+    pub outcome: Result<QueryOutcome, QueryError>,
+    /// Honest per-query bit accounting.
+    pub bits: QueryBits,
+    /// Number of waves this query participated in.
+    pub waves: u32,
+}
+
+/// How the engine schedules shareable queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Multiplex every round's pending ops into one shared wave.
+    #[default]
+    Batched,
+    /// One wave per op (same plans and seeds; the baseline E12 compares
+    /// against).
+    Sequential,
+}
+
+enum EnginePlan {
+    Primitive(PrimitivePlan),
+    Median(MedianPlan),
+    ApxMedian(ApxMedianPlan),
+    ApxMedian2(Box<ApxMedian2Plan>),
+}
+
+impl EnginePlan {
+    fn step(&mut self, input: PlanInput) -> Result<PlanStep<QueryOutcome>, QueryError> {
+        Ok(match self {
+            EnginePlan::Primitive(p) => match p.step(input)? {
+                PlanStep::Issue(op) => PlanStep::Issue(op),
+                PlanStep::Done(raw) => PlanStep::Done(match raw {
+                    PlanInput::Num(v) => QueryOutcome::Num(v),
+                    PlanInput::OptVal(v) => QueryOutcome::OptVal(v),
+                    PlanInput::Est(v) => QueryOutcome::Est(v),
+                    PlanInput::Values(v) => QueryOutcome::Values(v),
+                    other => unreachable!("primitive produced {other:?}"),
+                }),
+            },
+            EnginePlan::Median(p) => match p.step(input)? {
+                PlanStep::Issue(op) => PlanStep::Issue(op),
+                PlanStep::Done(out) => PlanStep::Done(QueryOutcome::Median(out)),
+            },
+            EnginePlan::ApxMedian(p) => match p.step(input)? {
+                PlanStep::Issue(op) => PlanStep::Issue(op),
+                PlanStep::Done(out) => PlanStep::Done(QueryOutcome::ApxMedian(out)),
+            },
+            EnginePlan::ApxMedian2(p) => match p.step(input)? {
+                PlanStep::Issue(op) => PlanStep::Issue(op),
+                PlanStep::Done(out) => PlanStep::Done(QueryOutcome::ApxMedian2(out)),
+            },
+        })
+    }
+
+    fn mutates_items(&self) -> bool {
+        match self {
+            EnginePlan::Primitive(p) => p.mutates_items(),
+            EnginePlan::Median(p) => p.mutates_items(),
+            EnginePlan::ApxMedian(p) => p.mutates_items(),
+            EnginePlan::ApxMedian2(p) => p.mutates_items(),
+        }
+    }
+}
+
+enum SlotState {
+    /// Waiting to be stepped with this input.
+    Ready(PlanInput),
+    /// Finished.
+    Done(Result<QueryOutcome, QueryError>),
+}
+
+struct QuerySlot {
+    id: QueryId,
+    /// Engine-lifetime query ordinal feeding the nonce space
+    /// `(ordinal << 16) | counter`, so sketch seeds depend only on the
+    /// query and its op sequence — identical under batched and
+    /// sequential execution, collision-free for up to 32768 queries of
+    /// 65536 sketch ops each across every `run()` of this engine (the
+    /// ordinal does not reset when a run drains its slots). The top bit
+    /// stays clear: direct [`SimNetwork`] primitive calls draw nonces
+    /// with the top bit set, so interleaving the two APIs on one network
+    /// never reuses sketch randomness.
+    nonce_ordinal: u32,
+    spec: QuerySpec,
+    plan: EnginePlan,
+    state: SlotState,
+    bits: QueryBits,
+    waves: u32,
+    apx_counter: u32,
+}
+
+impl QuerySlot {
+    fn fresh_nonce(&mut self) -> u32 {
+        let nonce = ((self.nonce_ordinal & 0x7FFF) << 16) | (self.apx_counter & 0xFFFF);
+        self.apx_counter = self.apx_counter.wrapping_add(1);
+        nonce
+    }
+
+    /// Translates a plan op into its wire request, assigning sketch
+    /// nonces from this query's private space.
+    fn op_to_request(&mut self, op: &PlanOp) -> CoreRequest {
+        match op {
+            PlanOp::Count(p) => CoreRequest::Count(*p),
+            PlanOp::Sum(p) => CoreRequest::Sum(*p),
+            PlanOp::Min(d) => CoreRequest::Min(*d),
+            PlanOp::Max(d) => CoreRequest::Max(*d),
+            PlanOp::ApxCount { pred, reps } => CoreRequest::ApxCount {
+                pred: *pred,
+                reps: *reps,
+                nonce: self.fresh_nonce(),
+            },
+            PlanOp::DistinctExact => CoreRequest::DistinctExact,
+            PlanOp::DistinctApx { reps } => CoreRequest::DistinctApx {
+                reps: *reps,
+                nonce: self.fresh_nonce(),
+            },
+            PlanOp::Collect => CoreRequest::Collect,
+            PlanOp::Zoom { mu_hat } => CoreRequest::Zoom { mu_hat: *mu_hat },
+        }
+    }
+}
+
+/// Executes batches of concurrent aggregate queries over a [`SimNetwork`]
+/// as shared multiplexed waves with per-query bit accounting.
+///
+/// # Examples
+///
+/// ```
+/// use saq_core::engine::{QueryEngine, QueryOutcome, QuerySpec};
+/// use saq_core::predicate::{Domain, Predicate};
+/// use saq_core::simnet::SimNetworkBuilder;
+/// use saq_netsim::topology::Topology;
+///
+/// # fn main() -> Result<(), saq_core::QueryError> {
+/// let topo = Topology::grid(4, 4)?;
+/// let items: Vec<u64> = (0..16).collect();
+/// let net = SimNetworkBuilder::new().build_one_per_node(&topo, &items, 32)?;
+/// let mut engine = QueryEngine::new(net);
+/// let count = engine.submit(QuerySpec::Count(Predicate::TRUE));
+/// let max = engine.submit(QuerySpec::Max(Domain::Raw));
+/// let median = engine.submit(QuerySpec::Median);
+/// let reports = engine.run()?;
+/// assert_eq!(reports[count].outcome, Ok(QueryOutcome::Num(16)));
+/// assert_eq!(reports[max].outcome, Ok(QueryOutcome::OptVal(Some(15))));
+/// assert!(reports[median].bits.total() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct QueryEngine {
+    net: SimNetwork,
+    slots: Vec<QuerySlot>,
+    policy: BatchPolicy,
+    rounds: u64,
+    waves: u64,
+    /// Queries submitted over the engine's lifetime (nonce ordinals).
+    submitted: u32,
+}
+
+impl QueryEngine {
+    /// An engine with the default (batched) policy.
+    pub fn new(net: SimNetwork) -> Self {
+        Self::with_policy(net, BatchPolicy::default())
+    }
+
+    /// An engine with an explicit scheduling policy.
+    pub fn with_policy(net: SimNetwork, policy: BatchPolicy) -> Self {
+        QueryEngine {
+            net,
+            slots: Vec::new(),
+            policy,
+            rounds: 0,
+            waves: 0,
+            submitted: 0,
+        }
+    }
+
+    /// The underlying network (e.g. for [`SimNetwork`] statistics).
+    pub fn network(&self) -> &SimNetwork {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network (e.g. `reset_stats`).
+    pub fn network_mut(&mut self) -> &mut SimNetwork {
+        &mut self.net
+    }
+
+    /// Consumes the engine, returning the network.
+    pub fn into_network(self) -> SimNetwork {
+        self.net
+    }
+
+    /// Shared waves issued so far.
+    pub fn waves_issued(&self) -> u64 {
+        self.waves
+    }
+
+    /// Scheduling rounds executed so far.
+    pub fn rounds_executed(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Enqueues a query; returns its [`QueryId`] (index into the reports
+    /// of the next [`QueryEngine::run`]).
+    pub fn submit(&mut self, spec: QuerySpec) -> QueryId {
+        let id = self.slots.len();
+        // Invalid parameters surface as the query's outcome, not an
+        // engine failure: such a slot is born finished.
+        let (plan, state) = match self.compile(&spec) {
+            Ok(p) => (p, SlotState::Ready(PlanInput::Start)),
+            Err(e) => (
+                EnginePlan::Primitive(PrimitivePlan::new(PlanOp::DistinctExact)),
+                SlotState::Done(Err(e)),
+            ),
+        };
+        // The nonce space carries 15 bits of query ordinal; fail loudly
+        // rather than silently correlating sketch randomness past it.
+        assert!(
+            self.submitted <= 0x7FFF,
+            "engine exhausted its 32768-query sketch-nonce space; build a fresh QueryEngine"
+        );
+        self.slots.push(QuerySlot {
+            id,
+            nonce_ordinal: self.submitted,
+            spec,
+            plan,
+            state,
+            bits: QueryBits::default(),
+            waves: 0,
+            apx_counter: 0,
+        });
+        self.submitted = self.submitted.wrapping_add(1);
+        id
+    }
+
+    fn compile(&self, spec: &QuerySpec) -> Result<EnginePlan, QueryError> {
+        let cfg = self.net.apx_config();
+        let xbar = self.net.xbar();
+        Ok(match spec {
+            QuerySpec::Count(p) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Count(*p))),
+            QuerySpec::Sum(p) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Sum(*p))),
+            QuerySpec::Min(d) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Min(*d))),
+            QuerySpec::Max(d) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Max(*d))),
+            QuerySpec::ApxCount { pred, reps } => {
+                validate_reps(*reps)?;
+                EnginePlan::Primitive(PrimitivePlan::new(PlanOp::ApxCount {
+                    pred: *pred,
+                    reps: *reps,
+                }))
+            }
+            QuerySpec::DistinctExact => {
+                EnginePlan::Primitive(PrimitivePlan::new(PlanOp::DistinctExact))
+            }
+            QuerySpec::DistinctApx { reps } => {
+                validate_reps(*reps)?;
+                EnginePlan::Primitive(PrimitivePlan::new(PlanOp::DistinctApx { reps: *reps }))
+            }
+            QuerySpec::Collect => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Collect)),
+            QuerySpec::Median => EnginePlan::Median(MedianPlan::median(xbar)),
+            QuerySpec::OrderStatistic { k } => {
+                EnginePlan::Median(MedianPlan::order_statistic(xbar, *k))
+            }
+            QuerySpec::ApxMedian { epsilon } => EnginePlan::ApxMedian(ApxMedianPlan::new(
+                *epsilon,
+                Domain::Raw,
+                RankTarget::Median,
+                cfg,
+                xbar,
+            )?),
+            QuerySpec::ApxMedian2 { beta, epsilon } => {
+                EnginePlan::ApxMedian2(Box::new(ApxMedian2Plan::new(*beta, *epsilon, cfg, xbar)?))
+            }
+        })
+    }
+
+    /// Runs every submitted query to completion and returns one report
+    /// per query, in submission order. Shareable queries execute first in
+    /// batched (or sequential, per policy) waves; item-mutating queries
+    /// follow, each exclusive, with items restored afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Only network/protocol failures abort the run; algorithm-level
+    /// errors are reported per query.
+    pub fn run(&mut self) -> Result<Vec<QueryReport>, QueryError> {
+        // Phase 1: shareable queries in multiplexed rounds.
+        loop {
+            let mut round: Vec<(usize, CoreRequest)> = Vec::new();
+            for i in 0..self.slots.len() {
+                if self.slots[i].plan.mutates_items()
+                    || matches!(self.slots[i].state, SlotState::Done(_))
+                {
+                    continue;
+                }
+                let SlotState::Ready(input) =
+                    std::mem::replace(&mut self.slots[i].state, SlotState::Ready(PlanInput::Start))
+                else {
+                    unreachable!("checked Ready above");
+                };
+                match self.slots[i].plan.step(input) {
+                    Ok(PlanStep::Done(out)) => self.slots[i].state = SlotState::Done(Ok(out)),
+                    Ok(PlanStep::Issue(op)) => {
+                        let req = self.slots[i].op_to_request(&op);
+                        self.slots[i].state = SlotState::Ready(PlanInput::Unit); // placeholder
+                        round.push((i, req));
+                    }
+                    Err(e) => self.slots[i].state = SlotState::Done(Err(e)),
+                }
+            }
+            if round.is_empty() {
+                break;
+            }
+            self.rounds += 1;
+            let wave_result = match self.policy {
+                BatchPolicy::Batched => self.issue_wave(&round),
+                BatchPolicy::Sequential => round
+                    .iter()
+                    .try_for_each(|entry| self.issue_wave(std::slice::from_ref(entry))),
+            };
+            if let Err(e) = wave_result {
+                // A network failure kills every in-flight query: no slot
+                // may be left holding the mid-wave placeholder, or a
+                // retried run() would feed plans a bogus input.
+                self.fail_in_flight(&e);
+                return Err(e);
+            }
+        }
+
+        // Phase 2: item-mutating queries, each with exclusive item state.
+        for i in 0..self.slots.len() {
+            if !self.slots[i].plan.mutates_items() {
+                continue;
+            }
+            loop {
+                if matches!(self.slots[i].state, SlotState::Done(_)) {
+                    break;
+                }
+                let SlotState::Ready(input) =
+                    std::mem::replace(&mut self.slots[i].state, SlotState::Ready(PlanInput::Start))
+                else {
+                    unreachable!("checked Ready above");
+                };
+                match self.slots[i].plan.step(input) {
+                    Ok(PlanStep::Done(out)) => {
+                        self.slots[i].state = SlotState::Done(Ok(out));
+                        break;
+                    }
+                    Ok(PlanStep::Issue(op)) => {
+                        let req = self.slots[i].op_to_request(&op);
+                        self.slots[i].state = SlotState::Ready(PlanInput::Unit);
+                        if let Err(e) = self.issue_wave(&[(i, req)]) {
+                            self.fail_in_flight(&e);
+                            // The failed query may already have zoomed:
+                            // never hand back a network with mutilated
+                            // item state.
+                            self.net.restore_items();
+                            return Err(e);
+                        }
+                    }
+                    Err(e) => {
+                        self.slots[i].state = SlotState::Done(Err(e));
+                        break;
+                    }
+                }
+            }
+            self.net.restore_items();
+        }
+
+        Ok(self
+            .slots
+            .drain(..)
+            .map(|slot| QueryReport {
+                id: slot.id,
+                spec: slot.spec,
+                outcome: match slot.state {
+                    SlotState::Done(r) => r,
+                    SlotState::Ready(_) => unreachable!("all plans ran to completion"),
+                },
+                bits: slot.bits,
+                waves: slot.waves,
+            })
+            .collect())
+    }
+
+    /// Marks every not-yet-finished query as failed with `e` — called
+    /// when a wave-level network failure aborts the run, so no slot is
+    /// left in a mid-wave placeholder state.
+    fn fail_in_flight(&mut self, e: &QueryError) {
+        for slot in &mut self.slots {
+            if matches!(slot.state, SlotState::Ready(_)) {
+                slot.state = SlotState::Done(Err(e.clone()));
+            }
+        }
+    }
+
+    /// Issues one shared wave for `round` and distributes results and
+    /// bit charges back to the issuing queries.
+    fn issue_wave(&mut self, round: &[(usize, CoreRequest)]) -> Result<(), QueryError> {
+        self.waves += 1;
+        let reqs: Vec<CoreRequest> = round.iter().map(|(_, r)| r.clone()).collect();
+        let (partials, slot_bits, envelope_bits) = self.net.run_batch(reqs)?;
+        debug_assert_eq!(partials.len(), round.len());
+        // Unattributable framing: one wave header per transmitted
+        // message. Under lossless links every edge of the spanning tree
+        // carries one request and one partial message per wave.
+        let messages = 2 * (self.net.num_nodes() as u64).saturating_sub(1);
+        let header_bits = WAVE_HEADER_BITS * messages;
+        let share = (header_bits + envelope_bits) / round.len() as u64;
+        for ((qi, req), (partial, bits)) in round.iter().zip(partials.into_iter().zip(slot_bits)) {
+            let slot = &mut self.slots[*qi];
+            slot.bits.request_bits += bits.request_bits;
+            slot.bits.partial_bits += bits.partial_bits;
+            slot.bits.shared_overhead_bits += share;
+            slot.waves += 1;
+            let input = self.net.finalize_partial(req, partial);
+            slot.state = SlotState::Ready(input);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::reference_median;
+    use crate::simnet::SimNetworkBuilder;
+    use saq_netsim::topology::Topology;
+
+    fn grid_net(side: usize, seed_off: u64) -> SimNetwork {
+        let topo = Topology::grid(side, side).unwrap();
+        let n = side * side;
+        let items: Vec<Value> = (0..n as u64).map(|i| (i * 13) % (n as u64)).collect();
+        SimNetworkBuilder::new()
+            .apx_config(crate::counting::ApxCountConfig::default().with_seed(77 + seed_off))
+            .build_one_per_node(&topo, &items, 2 * n as u64)
+            .unwrap()
+    }
+
+    #[test]
+    fn three_concurrent_queries_one_shared_first_wave() {
+        let mut engine = QueryEngine::new(grid_net(4, 0));
+        engine.submit(QuerySpec::Count(Predicate::TRUE));
+        engine.submit(QuerySpec::Max(Domain::Raw));
+        engine.submit(QuerySpec::ApxCount {
+            pred: Predicate::TRUE,
+            reps: 4,
+        });
+        let reports = engine.run().unwrap();
+        // All three are single-wave queries: exactly one shared wave.
+        assert_eq!(engine.waves_issued(), 1);
+        assert_eq!(reports[0].outcome, Ok(QueryOutcome::Num(16)));
+        assert_eq!(reports[1].outcome, Ok(QueryOutcome::OptVal(Some(15))));
+        assert!(matches!(reports[2].outcome, Ok(QueryOutcome::Est(_))));
+        for r in &reports {
+            assert!(r.bits.total() > 0, "query {} was not billed", r.id);
+            assert_eq!(r.waves, 1);
+        }
+    }
+
+    #[test]
+    fn median_batches_with_primitives() {
+        let mut engine = QueryEngine::new(grid_net(4, 1));
+        let median = engine.submit(QuerySpec::Median);
+        let count = engine.submit(QuerySpec::Count(Predicate::TRUE));
+        let reports = engine.run().unwrap();
+        let truth = {
+            let items: Vec<Value> = (0..16u64).map(|i| (i * 13) % 16).collect();
+            reference_median(&items).unwrap()
+        };
+        match &reports[median].outcome {
+            Ok(QueryOutcome::Median(out)) => assert_eq!(out.value, truth),
+            other => panic!("median failed: {other:?}"),
+        }
+        assert_eq!(reports[count].outcome, Ok(QueryOutcome::Num(16)));
+        // The count rode the median's first wave: no extra waves beyond
+        // the median's own sequence.
+        let median_waves = reports[median].waves;
+        assert_eq!(engine.waves_issued() as u32, median_waves);
+    }
+
+    #[test]
+    fn exclusive_apx_median2_runs_and_restores() {
+        let mut engine = QueryEngine::new(grid_net(6, 2));
+        let cnt = engine.submit(QuerySpec::Count(Predicate::TRUE));
+        let am2 = engine.submit(QuerySpec::ApxMedian2 {
+            beta: 0.25,
+            epsilon: 0.4,
+        });
+        let reports = engine.run().unwrap();
+        assert_eq!(reports[cnt].outcome, Ok(QueryOutcome::Num(36)));
+        assert!(matches!(
+            reports[am2].outcome,
+            Ok(QueryOutcome::ApxMedian2(_))
+        ));
+        // Items restored after the zooming query.
+        let mut net = engine.into_network();
+        assert_eq!(net.count(&Predicate::TRUE).unwrap(), 36);
+    }
+
+    #[test]
+    fn invalid_parameter_reported_per_query() {
+        let mut engine = QueryEngine::new(grid_net(3, 3));
+        let bad = engine.submit(QuerySpec::ApxCount {
+            pred: Predicate::TRUE,
+            reps: 0,
+        });
+        let good = engine.submit(QuerySpec::Count(Predicate::TRUE));
+        let reports = engine.run().unwrap();
+        assert!(matches!(
+            reports[bad].outcome,
+            Err(QueryError::InvalidParameter(_))
+        ));
+        assert_eq!(reports[good].outcome, Ok(QueryOutcome::Num(9)));
+    }
+
+    #[test]
+    fn batched_strictly_cheaper_than_sequential() {
+        let specs = [
+            QuerySpec::Count(Predicate::TRUE),
+            QuerySpec::Min(Domain::Raw),
+            QuerySpec::Max(Domain::Raw),
+            QuerySpec::Median,
+        ];
+        let mut batched = QueryEngine::with_policy(grid_net(4, 4), BatchPolicy::Batched);
+        let mut sequential = QueryEngine::with_policy(grid_net(4, 4), BatchPolicy::Sequential);
+        for s in &specs {
+            batched.submit(s.clone());
+            sequential.submit(s.clone());
+        }
+        let br = batched.run().unwrap();
+        let sr = sequential.run().unwrap();
+        // Identical answers...
+        for (b, s) in br.iter().zip(sr.iter()) {
+            assert_eq!(
+                b.outcome.as_ref().unwrap(),
+                s.outcome.as_ref().unwrap(),
+                "policy changed the answer of {:?}",
+                b.spec
+            );
+        }
+        // ...at strictly lower network cost.
+        let b_bits = batched.network().net_stats().unwrap().max_node_bits();
+        let s_bits = sequential.network().net_stats().unwrap().max_node_bits();
+        assert!(
+            b_bits < s_bits,
+            "batched {b_bits} !< sequential {s_bits} per-node bits"
+        );
+        assert!(batched.waves_issued() < sequential.waves_issued());
+    }
+
+    #[test]
+    fn per_query_bits_account_for_everything() {
+        let mut engine = QueryEngine::new(grid_net(4, 5));
+        engine.submit(QuerySpec::Count(Predicate::TRUE));
+        engine.submit(QuerySpec::Sum(Predicate::TRUE));
+        let reports = engine.run().unwrap();
+        let billed: u64 = reports.iter().map(|r| r.bits.total()).sum();
+        let tx_total: u64 = {
+            let stats = engine.network().net_stats().unwrap();
+            (0..stats.len()).map(|v| stats.node(v).tx_bits).sum()
+        };
+        // Billing is transmit-side; rounding of the even split may drop
+        // up to (participants - 1) bits per wave.
+        assert!(billed <= tx_total);
+        assert!(
+            tx_total - billed <= 2,
+            "unbilled bits: {} of {tx_total}",
+            tx_total - billed
+        );
+    }
+}

@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(QueryError::EmptyInput.to_string(), "input multiset is empty");
+        assert_eq!(
+            QueryError::EmptyInput.to_string(),
+            "input multiset is empty"
+        );
         assert!(QueryError::InvalidRank { k: 9, n: 3 }
             .to_string()
             .contains("[1, 3]"));

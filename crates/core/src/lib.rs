@@ -35,27 +35,33 @@
 //! # }
 //! ```
 
+pub mod aggregate;
 pub mod apx_median;
 pub mod apx_median2;
 pub mod count_distinct;
 pub mod counting;
+pub mod engine;
 pub mod error;
 pub mod local;
 pub mod median;
 pub mod model;
 pub mod net;
+pub mod plan;
 pub mod predicate;
 pub mod simnet;
 pub mod wave_proto;
 
+pub use aggregate::{ItemRef, PartialAggregate};
 pub use apx_median::{ApxMedian, ApxMedianOutcome};
 pub use apx_median2::{ApxMedian2, ApxMedian2Outcome};
 pub use count_distinct::CountDistinct;
 pub use counting::ApxCountConfig;
+pub use engine::{BatchPolicy, QueryEngine, QueryOutcome, QueryReport, QuerySpec};
 pub use error::QueryError;
 pub use local::LocalNetwork;
 pub use median::{Median, MedianOutcome};
 pub use model::Value;
 pub use net::AggregationNetwork;
+pub use plan::{PlanOp, QueryPlan};
 pub use predicate::{Domain, Predicate};
 pub use simnet::{SimNetwork, SimNetworkBuilder};

@@ -13,13 +13,12 @@
 //! matches the simulated network's `(node, slot)` identity scheme in
 //! distribution.
 
-use crate::counting::ApxCountConfig;
+use crate::aggregate::{ItemRef, PartialAggregate, SketchAgg, SketchKey};
+use crate::counting::{validate_reps, ApxCountConfig};
 use crate::error::QueryError;
 use crate::model::{floor_log2, Value};
 use crate::net::{AggregationNetwork, OpCounts};
 use crate::predicate::{Domain, Predicate};
-use saq_netsim::rng::derive_seed;
-use saq_sketches::{DistinctSketch, HashFamily, LogLog};
 
 /// One item: original value plus current (possibly rescaled) value;
 /// `cur == None` means passive.
@@ -75,6 +74,11 @@ impl LocalNetwork {
         xbar: Value,
         cfg: ApxCountConfig,
     ) -> Result<Self, QueryError> {
+        if xbar > crate::model::XBAR_MAX {
+            return Err(QueryError::InvalidParameter(
+                "xbar exceeds the doubled-coordinate domain (u64::MAX/2 - 1)",
+            ));
+        }
         if let Some(&bad) = items.iter().find(|&&x| x > xbar) {
             return Err(QueryError::ItemOutOfRange { item: bad, xbar });
         }
@@ -103,29 +107,25 @@ impl LocalNetwork {
     }
 
     /// Runs `reps` independent LogLog instances over the active items
-    /// satisfying `p`, keyed exactly as the simulated network keys them.
+    /// satisfying `p` via the two-step [`SketchAgg`], keyed exactly as
+    /// the simulated network keys them (item identity `(index, 0)`).
     fn sketch_average(&mut self, p: &Predicate, reps: u32, by_value: bool) -> f64 {
         self.nonce += 1;
-        let mut total = 0.0;
-        for inst in 0..reps {
-            let h = HashFamily::new(derive_seed(self.cfg.seed, self.nonce, inst as u64));
-            let mut sk = LogLog::new(self.cfg.b);
-            for (idx, it) in self.items.iter().enumerate() {
-                let Some(cur) = it.cur else { continue };
-                if !p.eval(cur) {
-                    continue;
-                }
-                let key = if by_value {
-                    h.hash(cur)
-                } else {
-                    h.hash_pair(idx as u64, 0)
-                };
-                sk.insert_hash(key);
-            }
-            total += sk.estimate();
-        }
+        let key = if by_value {
+            SketchKey::ByValue
+        } else {
+            SketchKey::ByItem
+        };
+        let agg = SketchAgg::new(*p, key, self.cfg, reps, self.nonce);
+        let partial = agg.partial_over(self.items.iter().enumerate().filter_map(|(idx, it)| {
+            it.cur.map(|value| ItemRef {
+                node: idx as u64,
+                slot: 0,
+                value,
+            })
+        }));
         self.ops.apx_count_instances += reps as u64;
-        total / reps as f64
+        agg.finalize(&partial)
     }
 }
 
@@ -171,9 +171,7 @@ impl AggregationNetwork for LocalNetwork {
     }
 
     fn rep_apx_count(&mut self, p: &Predicate, reps: u32) -> Result<f64, QueryError> {
-        if reps == 0 {
-            return Err(QueryError::InvalidParameter("reps must be positive"));
-        }
+        validate_reps(reps)?;
         self.ops.rep_countp_ops += 1;
         Ok(self.sketch_average(p, reps, false))
     }
@@ -208,9 +206,7 @@ impl AggregationNetwork for LocalNetwork {
     }
 
     fn distinct_apx(&mut self, reps: u32) -> Result<f64, QueryError> {
-        if reps == 0 {
-            return Err(QueryError::InvalidParameter("reps must be positive"));
-        }
+        validate_reps(reps)?;
         self.ops.distinct_ops += 1;
         Ok(self.sketch_average(&Predicate::TRUE, reps, true))
     }
@@ -232,15 +228,15 @@ pub(crate) fn rescale_into_octave(cur: Value, mu_hat: u32, xbar: Value) -> Optio
     if floor_log2(cur) != mu_hat {
         return None;
     }
-    let lo: u64 = if mu_hat == 0 { 0 } else { 1u64 << mu_hat };
-    let hi: u64 = (1u64 << (mu_hat + 1)) - 1;
+    let (lo, hi) = crate::model::octave_bounds(mu_hat);
     let width = hi - lo;
     if width == 0 {
         return Some(1);
     }
     // Exact integer affine map, monotone and injective since the scale
     // factor (X̄−1)/width ≥ 1 whenever the octave is a strict sub-range.
-    let scaled = (cur - lo) as u128 * (xbar - 1) as u128 / width as u128;
+    // (`max(1)` keeps the degenerate xbar = 0 domain from underflowing.)
+    let scaled = (cur - lo) as u128 * (xbar.max(1) - 1) as u128 / width as u128;
     Some(1 + scaled as u64)
 }
 

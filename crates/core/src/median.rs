@@ -6,16 +6,21 @@
 //! node (Theorem 3.2). Extending to an arbitrary `k`-order statistic just
 //! replaces the `n/2` comparisons with `k` (§3.4).
 //!
-//! The search midpoint `y` can be half-integral; all arithmetic here is in
+//! The search midpoint `y` can be half-integral; all arithmetic is in
 //! exact **doubled coordinates** (`y2 = 2y`, `z2 = 2z`), so the loop
 //! invariant of Lemma 3.1 (`µ ∈ [y − z, y + z]`) holds exactly —
 //! [`Median::with_invariant_checking`] asserts it against ground truth at
 //! every iteration, turning the paper's proof into an executable check.
+//!
+//! The algorithm itself is compiled into a [`MedianPlan`] wave plan
+//! (`crate::plan`); this module's [`Median`] runner drives that plan
+//! sequentially. The `QueryEngine` drives the *same* plan batched with
+//! other concurrent queries.
 
 use crate::error::QueryError;
 use crate::model::{is_order_statistic2, Value};
 use crate::net::AggregationNetwork;
-use crate::predicate::{Domain, Predicate};
+use crate::plan::{execute_op, MedianPlan, PlanInput, PlanStep, QueryPlan};
 
 /// Ceiling of `log₂ d` for `d ≥ 1` (the paper's `⌈log(M − m)⌉` iteration
 /// bound).
@@ -92,12 +97,7 @@ impl Median {
     /// [`QueryError::EmptyInput`] on an empty multiset; protocol errors
     /// are propagated.
     pub fn run<N: AggregationNetwork>(&self, net: &mut N) -> Result<MedianOutcome, QueryError> {
-        let n = net.count(&Predicate::TRUE)?;
-        if n == 0 {
-            return Err(QueryError::EmptyInput);
-        }
-        // Median rank: k = n/2, doubled k2 = n.
-        self.search(net, n, 1)
+        self.drive(net, MedianPlan::median(net.xbar()))
     }
 
     /// Computes the `k`-order statistic `OS(X, k)` for `1 ≤ k ≤ N` (§3.4).
@@ -111,85 +111,29 @@ impl Median {
         net: &mut N,
         k: u64,
     ) -> Result<MedianOutcome, QueryError> {
-        let n = net.count(&Predicate::TRUE)?;
-        if n == 0 {
-            return Err(QueryError::EmptyInput);
-        }
-        if k == 0 || k > n {
-            return Err(QueryError::InvalidRank { k, n });
-        }
-        self.search(net, 2 * k, 1)
+        self.drive(net, MedianPlan::order_statistic(net.xbar(), k))
     }
 
-    /// The Fig. 1 binary search with doubled target rank `k2`.
-    fn search<N: AggregationNetwork>(
+    /// Drives the compiled [`MedianPlan`] sequentially, optionally
+    /// asserting Lemma 3.1 after every binary-search iteration.
+    fn drive<N: AggregationNetwork>(
         &self,
         net: &mut N,
-        k2: u64,
-        countp_so_far: u32,
+        mut plan: MedianPlan,
     ) -> Result<MedianOutcome, QueryError> {
-        let mut countp_calls = countp_so_far;
-        let net_xbar = net.xbar();
-        let m = net.min(Domain::Raw)?.expect("nonempty input has a min");
-        let big_m = net.max(Domain::Raw)?.expect("nonempty input has a max");
-        if m == big_m {
-            // Degenerate range: every item equals m (log(M−m) undefined).
-            return Ok(MedianOutcome {
-                value: m,
-                iterations: 0,
-                countp_calls,
-            });
-        }
-
-        // Line 2: y ← (M+m)/2, z ← 2^{⌈log(M−m)⌉−1}, doubled. The search
-        // midpoint can transiently leave [m, M] in either direction (the
-        // window [y−z, y+z] always covers the median, but its centre need
-        // not), so the walk is done in signed arithmetic and thresholds
-        // are clamped to the value domain when encoded — clamping cannot
-        // change any count.
-        let mut y2: i128 = (big_m + m) as i128;
-        let mut z2: i128 = 1i128 << ceil_log2(big_m - m);
-        let clamp = |v: i128| -> u64 { v.clamp(0, 2 * (net_xbar as i128 + 1)) as u64 };
-        let mut iterations = 0u32;
-
-        // Line 3: binary search while z > 1/2.
-        while z2 > 1 {
-            let c = net.count(&Predicate::less_than2(clamp(y2)))?;
-            countp_calls += 1;
-            // Line 3.2: if c(y) < k then y += z/2 else y -= z/2.
-            if 2 * c < k2 {
-                y2 += z2 / 2;
-            } else {
-                y2 -= z2 / 2;
-            }
-            z2 /= 2;
-            iterations += 1;
-
+        let mut input = PlanInput::Start;
+        loop {
+            let step = plan.step(input)?;
             if self.check_invariant {
-                self.assert_lemma_3_1(net, k2, y2, z2);
+                if let Some((k2, y2, z2)) = plan.window() {
+                    self.assert_lemma_3_1(net, k2, y2, z2);
+                }
+            }
+            match step {
+                PlanStep::Done(out) => return Ok(out),
+                PlanStep::Issue(op) => input = execute_op(net, &op)?,
             }
         }
-
-        // Line 4: y integer ⟺ y2 even. At this point the window has
-        // width 1/2, so y2 is within one of the (non-negative) answer.
-        let value = if y2.rem_euclid(2) == 0 {
-            y2.max(0) as u64 / 2
-        } else {
-            // Line 4.1: one more COUNTP on ⌈y⌉ decides the half.
-            let ceil_y = ((y2 + 1).max(0) as u64) / 2;
-            let c = net.count(&Predicate::less_than(ceil_y))?;
-            countp_calls += 1;
-            if 2 * c < k2 {
-                ceil_y
-            } else {
-                ceil_y.saturating_sub(1)
-            }
-        };
-        Ok(MedianOutcome {
-            value,
-            iterations,
-            countp_calls,
-        })
     }
 
     /// Lemma 3.1 as an executable assertion: some valid `k2`-order
@@ -200,8 +144,7 @@ impl Median {
         let hi2 = (y2 + z2).max(0) as u64;
         // Valid answers form a contiguous range of integers; scan the
         // doubled window for one.
-        let found = (lo2.div_ceil(2)..=hi2 / 2)
-            .any(|y| is_order_statistic2(&truth, k2, y));
+        let found = (lo2.div_ceil(2)..=hi2 / 2).any(|y| is_order_statistic2(&truth, k2, y));
         assert!(
             found,
             "Lemma 3.1 violated: no k2={k2} order statistic in doubled window [{lo2}, {hi2}]"

@@ -155,6 +155,26 @@ pub fn is_apx_median(items: &[Value], alpha: f64, beta: f64, xbar: Value, y: Val
     is_apx_order_statistic2(items, items.len() as u64, alpha, beta, xbar, y)
 }
 
+/// The largest representable `X̄`: every threshold, midpoint and item
+/// value travels in exact **doubled coordinates** (`y2 = 2y`), so the
+/// value domain must leave one bit of headroom in `u64`.
+pub const XBAR_MAX: Value = u64::MAX / 2 - 1;
+
+/// The value bounds `[lo, hi]` of octave `µ̂` under the Fig. 4 zoom
+/// convention: octave 0 covers `{0, 1}`, octave 63 tops out at
+/// `u64::MAX` (`1 << 64` would overflow). The engine's rank-adjustment
+/// predicate and the node-side rescale must agree on these bounds
+/// bit-for-bit, so both call here.
+pub fn octave_bounds(mu_hat: u32) -> (u64, u64) {
+    let lo = if mu_hat == 0 { 0 } else { 1u64 << mu_hat };
+    let hi = if mu_hat >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (mu_hat + 1)) - 1
+    };
+    (lo, hi)
+}
+
 /// `⌊log₂ x⌋` for `x ≥ 1`; items valued 0 are mapped to log-value 0,
 /// matching the convention that the log-domain transform of Fig. 4
 /// operates on values scaled into `[1, X̄]`.

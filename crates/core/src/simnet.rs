@@ -10,7 +10,8 @@
 //! Use [`SimNetworkBuilder`] to configure link behaviour, reliability,
 //! tree degree bound and sketch parameters.
 
-use crate::counting::ApxCountConfig;
+use crate::aggregate::PartialAggregate;
+use crate::counting::{validate_reps, ApxCountConfig};
 use crate::error::QueryError;
 use crate::model::Value;
 use crate::net::{AggregationNetwork, OpCounts};
@@ -20,8 +21,9 @@ use saq_netsim::sim::SimConfig;
 use saq_netsim::stats::NetStats;
 use saq_netsim::topology::Topology;
 use saq_protocols::wave::Reliability;
-use saq_protocols::{SpanningTree, WaveRunner};
-use saq_sketches::DistinctSketch;
+use saq_protocols::{MultiplexWave, MuxLedger, MuxSlotBits, SpanningTree, WaveRunner};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Builder for [`SimNetwork`].
 ///
@@ -105,17 +107,23 @@ impl SimNetworkBuilder {
         items_per_node: Vec<Vec<Value>>,
         xbar: Value,
     ) -> Result<SimNetwork, QueryError> {
+        if xbar > crate::model::XBAR_MAX {
+            return Err(QueryError::InvalidParameter(
+                "xbar exceeds the doubled-coordinate domain (u64::MAX/2 - 1)",
+            ));
+        }
         for &item in items_per_node.iter().flatten() {
             if item > xbar {
                 return Err(QueryError::ItemOutOfRange { item, xbar });
             }
         }
-        let tree = SpanningTree::bfs_bounded(topo, 0, self.max_children)
-            .map_err(QueryError::from)?;
-        let proto = CoreWave {
+        let tree =
+            SpanningTree::bfs_bounded(topo, 0, self.max_children).map_err(QueryError::from)?;
+        let proto = MultiplexWave::new(CoreWave {
             xbar,
             apx: self.apx,
-        };
+        });
+        let ledger = proto.ledger();
         let items: Vec<Vec<SimItem>> = items_per_node
             .into_iter()
             .map(|vs| vs.into_iter().map(SimItem::new).collect())
@@ -124,6 +132,7 @@ impl SimNetworkBuilder {
             .map_err(QueryError::from)?;
         Ok(SimNetwork {
             runner,
+            ledger,
             xbar,
             apx: self.apx,
             ops: OpCounts::default(),
@@ -155,13 +164,19 @@ impl SimNetworkBuilder {
 
 /// An [`AggregationNetwork`] whose primitives execute as simulated
 /// distributed waves with bit-exact accounting.
+///
+/// Every wave — single-query primitives and the engine's batched
+/// multi-query rounds alike — travels in the multiplexed envelope of
+/// [`MultiplexWave`], so per-sub-query bit attribution is always
+/// available from the shared [`MuxLedger`].
 #[derive(Debug)]
 pub struct SimNetwork {
-    runner: WaveRunner<CoreWave>,
+    runner: WaveRunner<MultiplexWave<CoreWave>>,
+    ledger: Rc<RefCell<MuxLedger>>,
     xbar: Value,
     apx: ApxCountConfig,
     ops: OpCounts,
-    nonce: u16,
+    nonce: u32,
 }
 
 impl SimNetwork {
@@ -181,12 +196,81 @@ impl SimNetwork {
     }
 
     fn run(&mut self, req: CoreRequest) -> Result<CorePartial, QueryError> {
-        self.runner.run_wave(req).map_err(QueryError::from)
+        let (mut partials, _, _) = self.run_batch(vec![req])?;
+        Ok(partials.pop().expect("singleton batch yields one partial"))
     }
 
-    fn fresh_nonce(&mut self) -> u16 {
+    /// Direct-call nonces carry the top bit, keeping them disjoint from
+    /// the [`crate::engine::QueryEngine`]'s `(query id << 16) | counter`
+    /// space — interleaving both APIs on one network must never reuse
+    /// sketch randomness.
+    fn fresh_nonce(&mut self) -> u32 {
         self.nonce = self.nonce.wrapping_add(1);
-        self.nonce
+        self.nonce | 0x8000_0000
+    }
+
+    /// Runs one **shared wave** answering every request in `reqs` — the
+    /// multiplexed round the [`crate::engine::QueryEngine`] batches
+    /// concurrent queries into. Returns the per-slot partials plus the
+    /// honest per-slot bit attribution and the shared envelope bits of
+    /// this wave (transmit-side; see [`MuxSlotBits`]).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidParameter`] on an empty batch; protocol
+    /// failures are propagated.
+    pub fn run_batch(
+        &mut self,
+        reqs: Vec<CoreRequest>,
+    ) -> Result<(Vec<CorePartial>, Vec<MuxSlotBits>, u64), QueryError> {
+        if reqs.is_empty() {
+            return Err(QueryError::InvalidParameter("empty wave batch"));
+        }
+        self.ledger.borrow_mut().reset(reqs.len());
+        let partials = self.runner.run_wave(reqs).map_err(QueryError::from)?;
+        let ledger = self.ledger.borrow();
+        Ok((partials, ledger.slots().to_vec(), ledger.envelope_bits()))
+    }
+
+    /// The inner wave protocol (aggregate dispatch) configuration.
+    pub fn core_proto(&self) -> CoreWave {
+        CoreWave {
+            xbar: self.xbar,
+            apx: self.apx,
+        }
+    }
+
+    /// Finalizes a [`CorePartial`] into the [`crate::plan::PlanInput`]
+    /// the issuing plan consumes — the accessor step of the two-step
+    /// aggregation model, applied at the root.
+    pub fn finalize_partial(
+        &self,
+        req: &CoreRequest,
+        partial: CorePartial,
+    ) -> crate::plan::PlanInput {
+        use crate::aggregate::SketchKey;
+        use crate::plan::PlanInput;
+        let proto = self.core_proto();
+        match (req, partial) {
+            (CoreRequest::Min(_) | CoreRequest::Max(_), CorePartial::OptVal(_, v)) => {
+                PlanInput::OptVal(v)
+            }
+            (CoreRequest::Count(_) | CoreRequest::Sum(_), CorePartial::Num(v)) => PlanInput::Num(v),
+            (CoreRequest::ApxCount { pred, reps, nonce }, CorePartial::Sketches(sks)) => {
+                let agg = proto.sketch_agg(*pred, SketchKey::ByItem, *reps, *nonce);
+                PlanInput::Est(agg.finalize(&sks))
+            }
+            (CoreRequest::DistinctApx { reps, nonce }, CorePartial::Sketches(sks)) => {
+                let agg = proto.sketch_agg(Predicate::TRUE, SketchKey::ByValue, *reps, *nonce);
+                PlanInput::Est(agg.finalize(&sks))
+            }
+            (CoreRequest::Zoom { .. }, CorePartial::Unit) => PlanInput::Unit,
+            (CoreRequest::Collect, CorePartial::Values(vs)) => PlanInput::Values(vs),
+            (CoreRequest::DistinctExact, CorePartial::Set(vs)) => {
+                PlanInput::Num(proto.distinct_agg().finalize(&vs))
+            }
+            (req, partial) => unreachable!("partial {partial:?} does not answer {req:?}"),
+        }
     }
 }
 
@@ -236,22 +320,19 @@ impl AggregationNetwork for SimNetwork {
     }
 
     fn rep_apx_count(&mut self, p: &Predicate, reps: u32) -> Result<f64, QueryError> {
-        if reps == 0 {
-            return Err(QueryError::InvalidParameter("reps must be positive"));
-        }
+        validate_reps(reps)?;
         self.ops.rep_countp_ops += 1;
         self.ops.apx_count_instances += reps as u64;
         let nonce = self.fresh_nonce();
-        match self.run(CoreRequest::ApxCount {
+        let req = CoreRequest::ApxCount {
             pred: *p,
             reps,
             nonce,
-        })? {
-            CorePartial::Sketches(sks) => {
-                let total: f64 = sks.iter().map(|s| s.estimate()).sum();
-                Ok(total / sks.len().max(1) as f64)
-            }
-            _ => unreachable!("apx count wave returns Sketches"),
+        };
+        let partial = self.run(req.clone())?;
+        match self.finalize_partial(&req, partial) {
+            crate::plan::PlanInput::Est(est) => Ok(est),
+            _ => unreachable!("apx count wave returns an estimate"),
         }
     }
 
@@ -292,17 +373,14 @@ impl AggregationNetwork for SimNetwork {
     }
 
     fn distinct_apx(&mut self, reps: u32) -> Result<f64, QueryError> {
-        if reps == 0 {
-            return Err(QueryError::InvalidParameter("reps must be positive"));
-        }
+        validate_reps(reps)?;
         self.ops.distinct_ops += 1;
         let nonce = self.fresh_nonce();
-        match self.run(CoreRequest::DistinctApx { reps, nonce })? {
-            CorePartial::Sketches(sks) => {
-                let total: f64 = sks.iter().map(|s| s.estimate()).sum();
-                Ok(total / sks.len().max(1) as f64)
-            }
-            _ => unreachable!("distinct apx wave returns Sketches"),
+        let req = CoreRequest::DistinctApx { reps, nonce };
+        let partial = self.run(req.clone())?;
+        match self.finalize_partial(&req, partial) {
+            crate::plan::PlanInput::Est(est) => Ok(est),
+            _ => unreachable!("distinct apx wave returns an estimate"),
         }
     }
 

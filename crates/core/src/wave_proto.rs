@@ -1,8 +1,16 @@
 //! The core [`WaveProtocol`]: every primitive of §2.2/§3.1 as one
 //! broadcast–convergecast wave.
 //!
-//! Requests and partials are bit-exact encodings whose sizes realize the
-//! costs the paper charges:
+//! All aggregate semantics live in the two-step [`crate::aggregate`]
+//! layer; this module only *dispatches*: a [`CoreRequest`] names which
+//! [`PartialAggregate`] runs, `local` folds the node's items through
+//! `identity`/`contribute`, `merge` and the partial codecs delegate to
+//! the same aggregate. Partial encodings carry **no type tag** — both
+//! endpoints of a hop know the wave's request, so the request is the
+//! schema (and the bits saved pay for the multiplex envelope of
+//! [`saq_protocols::MultiplexWave`]).
+//!
+//! Request and partial sizes realize the costs the paper charges:
 //!
 //! * MIN/MAX/COUNT/SUM — `Θ(log X̄)`-bit requests and results (Fact 2.1;
 //!   counts are Elias-gamma coded so a result costs `Θ(log count)` bits);
@@ -13,15 +21,19 @@
 //! * COLLECT / DISTINCT-EXACT — linearly growing partials, deliberately:
 //!   they are the baselines whose cost the paper's algorithms beat.
 
+use crate::aggregate::{
+    CollectAgg, CountSumAgg, CountSumOp, DistinctSetAgg, ItemRef, MinMaxAgg, MinMaxOp,
+    PartialAggregate, SketchAgg, SketchKey,
+};
 use crate::counting::ApxCountConfig;
 use crate::model::{floor_log2, Value};
 use crate::predicate::{Domain, Predicate};
-use saq_netsim::rng::{derive_seed, Xoshiro256StarStar};
+use saq_netsim::rng::Xoshiro256StarStar;
 use saq_netsim::sim::NodeId;
 use saq_netsim::wire::{width_for_max, BitReader, BitWriter};
 use saq_netsim::NetsimError;
 use saq_protocols::WaveProtocol;
-use saq_sketches::{DistinctSketch, HashFamily, LogLog};
+use saq_sketches::LogLog;
 
 /// One item held by a simulated node: its original value plus the current
 /// (possibly rescaled) value; `cur == None` means the item is passive.
@@ -62,7 +74,7 @@ pub enum CoreRequest {
         /// Number of independent instances.
         reps: u32,
         /// Per-invocation seed discriminator.
-        nonce: u16,
+        nonce: u32,
     },
     /// Fig. 4 zoom: deactivate items outside octave `mu_hat`, rescale the
     /// rest onto `[1, X̄]`.
@@ -79,11 +91,12 @@ pub enum CoreRequest {
         /// Number of independent instances.
         reps: u32,
         /// Per-invocation seed discriminator.
-        nonce: u16,
+        nonce: u32,
     },
 }
 
-/// Partial aggregates flowing up the tree.
+/// Partial aggregates flowing up the tree — each variant is the partial
+/// state of one [`crate::aggregate`] implementation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CorePartial {
     /// Min/max accumulator (domain retained for encoding width).
@@ -110,45 +123,37 @@ pub struct CoreWave {
 }
 
 impl CoreWave {
-    fn domain_value_width(&self, d: Domain) -> u32 {
-        match d {
-            Domain::Raw => width_for_max(self.xbar),
-            Domain::Log => width_for_max(floor_log2(self.xbar) as u64),
-        }
-    }
-
     fn mu_width(&self) -> u32 {
         width_for_max(floor_log2(self.xbar) as u64)
     }
 
-    fn value_width(&self) -> u32 {
-        width_for_max(self.xbar)
-    }
-
-    fn sketch_reg_width(&self) -> u32 {
-        // Register values are bounded by the hash window + 1.
-        width_for_max((64 - self.apx.b + 1) as u64)
-    }
-
-    fn encode_sketch(&self, sk: &LogLog, w: &mut BitWriter) {
-        let rw = self.sketch_reg_width();
-        for &r in sk.registers() {
-            w.write_bits(r as u64, rw);
+    /// The MIN/MAX aggregate a request dispatches to.
+    pub fn minmax_agg(&self, op: MinMaxOp, domain: Domain) -> MinMaxAgg {
+        MinMaxAgg {
+            op,
+            domain,
+            xbar: self.xbar,
         }
     }
 
-    fn decode_sketch(&self, r: &mut BitReader<'_>) -> Result<LogLog, NetsimError> {
-        let rw = self.sketch_reg_width();
-        let mut sk = LogLog::new(self.apx.b);
-        let mut regs = Vec::with_capacity(sk.m());
-        for _ in 0..sk.m() {
-            regs.push(r.read_bits(rw)? as u8);
-        }
-        // Rebuild through merge of a register image: LogLog has no
-        // register setter, so decode via a one-off reconstruction.
-        sk = LogLog::from_registers(self.apx.b, regs)
-            .map_err(|_| NetsimError::WireDecode("sketch register out of range"))?;
-        Ok(sk)
+    /// The COUNT/SUM aggregate a request dispatches to.
+    pub fn countsum_agg(&self, op: CountSumOp, pred: Predicate) -> CountSumAgg {
+        CountSumAgg { op, pred }
+    }
+
+    /// The sketch aggregate of an `ApxCount`/`DistinctApx` request.
+    pub fn sketch_agg(&self, pred: Predicate, key: SketchKey, reps: u32, nonce: u32) -> SketchAgg {
+        SketchAgg::new(pred, key, self.apx, reps, nonce as u64)
+    }
+
+    /// The exact-distinct aggregate.
+    pub fn distinct_agg(&self) -> DistinctSetAgg {
+        DistinctSetAgg { xbar: self.xbar }
+    }
+
+    /// The collect aggregate.
+    pub fn collect_agg(&self) -> CollectAgg {
+        CollectAgg { xbar: self.xbar }
     }
 }
 
@@ -162,13 +167,6 @@ const OP_COLLECT: u64 = 6;
 const OP_DISTINCT: u64 = 7;
 const OP_DISTINCT_APX: u64 = 8;
 
-const PT_OPT: u64 = 0;
-const PT_NUM: u64 = 1;
-const PT_SKETCHES: u64 = 2;
-const PT_UNIT: u64 = 3;
-const PT_VALUES: u64 = 4;
-const PT_SET: u64 = 5;
-
 fn encode_domain(d: Domain, w: &mut BitWriter) {
     w.write_bits(matches!(d, Domain::Log) as u64, 1);
 }
@@ -178,6 +176,18 @@ fn decode_domain(r: &mut BitReader<'_>) -> Result<Domain, NetsimError> {
         Domain::Log
     } else {
         Domain::Raw
+    })
+}
+
+/// Items of a node as [`ItemRef`]s with `(node, slot)` identity, skipping
+/// passive items.
+fn active_refs(node: NodeId, items: &[SimItem]) -> impl Iterator<Item = ItemRef> + '_ {
+    items.iter().enumerate().filter_map(move |(slot, it)| {
+        it.cur.map(|value| ItemRef {
+            node: node as u64,
+            slot: slot as u64,
+            value,
+        })
     })
 }
 
@@ -208,7 +218,7 @@ impl WaveProtocol for CoreWave {
                 w.write_bits(OP_APX, 4);
                 pred.encode(self.xbar, w);
                 w.write_bits(*reps as u64, 16);
-                w.write_bits(*nonce as u64, 16);
+                w.write_bits(*nonce as u64, 32);
             }
             CoreRequest::Zoom { mu_hat } => {
                 w.write_bits(OP_ZOOM, 4);
@@ -219,7 +229,7 @@ impl WaveProtocol for CoreWave {
             CoreRequest::DistinctApx { reps, nonce } => {
                 w.write_bits(OP_DISTINCT_APX, 4);
                 w.write_bits(*reps as u64, 16);
-                w.write_bits(*nonce as u64, 16);
+                w.write_bits(*nonce as u64, 32);
             }
         }
     }
@@ -233,7 +243,7 @@ impl WaveProtocol for CoreWave {
             OP_APX => CoreRequest::ApxCount {
                 pred: Predicate::decode(self.xbar, r)?,
                 reps: r.read_bits(16)? as u32,
-                nonce: r.read_bits(16)? as u16,
+                nonce: r.read_bits(32)? as u32,
             },
             OP_ZOOM => CoreRequest::Zoom {
                 mu_hat: r.read_bits(self.mu_width())? as u32,
@@ -242,93 +252,74 @@ impl WaveProtocol for CoreWave {
             OP_DISTINCT => CoreRequest::DistinctExact,
             OP_DISTINCT_APX => CoreRequest::DistinctApx {
                 reps: r.read_bits(16)? as u32,
-                nonce: r.read_bits(16)? as u16,
+                nonce: r.read_bits(32)? as u32,
             },
             _ => return Err(NetsimError::WireDecode("unknown core opcode")),
         })
     }
 
-    fn encode_partial(&self, p: &CorePartial, w: &mut BitWriter) {
-        match p {
-            CorePartial::OptVal(d, v) => {
-                w.write_bits(PT_OPT, 3);
-                encode_domain(*d, w);
-                match v {
-                    None => w.write_bits(0, 1),
-                    Some(x) => {
-                        w.write_bits(1, 1);
-                        w.write_bits(*x, self.domain_value_width(*d));
-                    }
-                }
+    fn encode_partial(&self, req: &CoreRequest, p: &CorePartial, w: &mut BitWriter) {
+        match (req, p) {
+            (CoreRequest::Min(d), CorePartial::OptVal(_, v)) => {
+                self.minmax_agg(MinMaxOp::Min, *d).encode(v, w);
             }
-            CorePartial::Num(v) => {
-                w.write_bits(PT_NUM, 3);
-                // Gamma coding: a count result costs Θ(log count) bits.
-                w.write_gamma(v + 1);
+            (CoreRequest::Max(d), CorePartial::OptVal(_, v)) => {
+                self.minmax_agg(MinMaxOp::Max, *d).encode(v, w);
             }
-            CorePartial::Sketches(sks) => {
-                w.write_bits(PT_SKETCHES, 3);
-                w.write_bits(sks.len() as u64, 16);
-                for sk in sks {
-                    self.encode_sketch(sk, w);
-                }
+            (CoreRequest::Count(pred), CorePartial::Num(v)) => {
+                self.countsum_agg(CountSumOp::Count, *pred).encode(v, w);
             }
-            CorePartial::Unit => w.write_bits(PT_UNIT, 3),
-            CorePartial::Values(vals) => {
-                w.write_bits(PT_VALUES, 3);
-                w.write_bits(vals.len() as u64, 24);
-                for v in vals {
-                    w.write_bits(*v, self.value_width());
-                }
+            (CoreRequest::Sum(pred), CorePartial::Num(v)) => {
+                self.countsum_agg(CountSumOp::Sum, *pred).encode(v, w);
             }
-            CorePartial::Set(vals) => {
-                w.write_bits(PT_SET, 3);
-                w.write_bits(vals.len() as u64, 24);
-                for v in vals {
-                    w.write_bits(*v, self.value_width());
-                }
+            (CoreRequest::ApxCount { pred, reps, nonce }, CorePartial::Sketches(sks)) => {
+                self.sketch_agg(*pred, SketchKey::ByItem, *reps, *nonce)
+                    .encode(sks, w);
             }
+            (CoreRequest::DistinctApx { reps, nonce }, CorePartial::Sketches(sks)) => {
+                self.sketch_agg(Predicate::TRUE, SketchKey::ByValue, *reps, *nonce)
+                    .encode(sks, w);
+            }
+            (CoreRequest::Zoom { .. }, CorePartial::Unit) => {}
+            (CoreRequest::Collect, CorePartial::Values(vals)) => {
+                self.collect_agg().encode(vals, w);
+            }
+            (CoreRequest::DistinctExact, CorePartial::Set(vals)) => {
+                self.distinct_agg().encode(vals, w);
+            }
+            _ => debug_assert!(false, "partial variant does not answer request"),
         }
     }
 
-    fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<CorePartial, NetsimError> {
-        Ok(match r.read_bits(3)? {
-            PT_OPT => {
-                let d = decode_domain(r)?;
-                let v = if r.read_bits(1)? == 1 {
-                    Some(r.read_bits(self.domain_value_width(d))?)
-                } else {
-                    None
-                };
-                CorePartial::OptVal(d, v)
+    fn decode_partial(
+        &self,
+        req: &CoreRequest,
+        r: &mut BitReader<'_>,
+    ) -> Result<CorePartial, NetsimError> {
+        Ok(match req {
+            CoreRequest::Min(d) => {
+                CorePartial::OptVal(*d, self.minmax_agg(MinMaxOp::Min, *d).decode(r)?)
             }
-            PT_NUM => CorePartial::Num(r.read_gamma()? - 1),
-            PT_SKETCHES => {
-                let n = r.read_bits(16)? as usize;
-                let mut sks = Vec::with_capacity(n.min(1 << 16));
-                for _ in 0..n {
-                    sks.push(self.decode_sketch(r)?);
-                }
-                CorePartial::Sketches(sks)
+            CoreRequest::Max(d) => {
+                CorePartial::OptVal(*d, self.minmax_agg(MinMaxOp::Max, *d).decode(r)?)
             }
-            PT_UNIT => CorePartial::Unit,
-            PT_VALUES => {
-                let n = r.read_bits(24)? as usize;
-                let mut vals = Vec::with_capacity(n.min(1 << 24));
-                for _ in 0..n {
-                    vals.push(r.read_bits(self.value_width())?);
-                }
-                CorePartial::Values(vals)
+            CoreRequest::Count(pred) => {
+                CorePartial::Num(self.countsum_agg(CountSumOp::Count, *pred).decode(r)?)
             }
-            PT_SET => {
-                let n = r.read_bits(24)? as usize;
-                let mut vals = Vec::with_capacity(n.min(1 << 24));
-                for _ in 0..n {
-                    vals.push(r.read_bits(self.value_width())?);
-                }
-                CorePartial::Set(vals)
+            CoreRequest::Sum(pred) => {
+                CorePartial::Num(self.countsum_agg(CountSumOp::Sum, *pred).decode(r)?)
             }
-            _ => return Err(NetsimError::WireDecode("unknown core partial tag")),
+            CoreRequest::ApxCount { pred, reps, nonce } => CorePartial::Sketches(
+                self.sketch_agg(*pred, SketchKey::ByItem, *reps, *nonce)
+                    .decode(r)?,
+            ),
+            CoreRequest::DistinctApx { reps, nonce } => CorePartial::Sketches(
+                self.sketch_agg(Predicate::TRUE, SketchKey::ByValue, *reps, *nonce)
+                    .decode(r)?,
+            ),
+            CoreRequest::Zoom { .. } => CorePartial::Unit,
+            CoreRequest::Collect => CorePartial::Values(self.collect_agg().decode(r)?),
+            CoreRequest::DistinctExact => CorePartial::Set(self.distinct_agg().decode(r)?),
         })
     }
 
@@ -339,43 +330,30 @@ impl WaveProtocol for CoreWave {
         req: &CoreRequest,
         _rng: &mut Xoshiro256StarStar,
     ) -> CorePartial {
-        let active = || items.iter().filter_map(|it| it.cur);
         match req {
-            CoreRequest::Min(d) | CoreRequest::Max(d) => {
-                let mapped = active().map(|v| match d {
-                    Domain::Raw => v,
-                    Domain::Log => floor_log2(v) as u64,
-                });
-                let v = if matches!(req, CoreRequest::Min(_)) {
-                    mapped.min()
-                } else {
-                    mapped.max()
-                };
-                CorePartial::OptVal(*d, v)
+            CoreRequest::Min(d) => {
+                let agg = self.minmax_agg(MinMaxOp::Min, *d);
+                CorePartial::OptVal(*d, agg.partial_over(active_refs(node, items)))
             }
-            CoreRequest::Count(p) => CorePartial::Num(active().filter(|&v| p.eval(v)).count() as u64),
-            CoreRequest::Sum(p) => CorePartial::Num(active().filter(|&v| p.eval(v)).sum()),
+            CoreRequest::Max(d) => {
+                let agg = self.minmax_agg(MinMaxOp::Max, *d);
+                CorePartial::OptVal(*d, agg.partial_over(active_refs(node, items)))
+            }
+            CoreRequest::Count(pred) => {
+                let agg = self.countsum_agg(CountSumOp::Count, *pred);
+                CorePartial::Num(agg.partial_over(active_refs(node, items)))
+            }
+            CoreRequest::Sum(pred) => {
+                let agg = self.countsum_agg(CountSumOp::Sum, *pred);
+                CorePartial::Num(agg.partial_over(active_refs(node, items)))
+            }
             CoreRequest::ApxCount { pred, reps, nonce } => {
-                let mut sks = Vec::with_capacity(*reps as usize);
-                for inst in 0..*reps {
-                    let h = HashFamily::new(derive_seed(
-                        self.apx.seed,
-                        *nonce as u64,
-                        inst as u64,
-                    ));
-                    let mut sk = LogLog::new(self.apx.b);
-                    for (idx, it) in items.iter().enumerate() {
-                        if let Some(cur) = it.cur {
-                            if pred.eval(cur) {
-                                // Item identity: (node, slot) — unique and
-                                // stable, so counting is per-item.
-                                sk.insert_hash(h.hash_pair(node as u64, idx as u64));
-                            }
-                        }
-                    }
-                    sks.push(sk);
-                }
-                CorePartial::Sketches(sks)
+                let agg = self.sketch_agg(*pred, SketchKey::ByItem, *reps, *nonce);
+                CorePartial::Sketches(agg.partial_over(active_refs(node, items)))
+            }
+            CoreRequest::DistinctApx { reps, nonce } => {
+                let agg = self.sketch_agg(Predicate::TRUE, SketchKey::ByValue, *reps, *nonce);
+                CorePartial::Sketches(agg.partial_over(active_refs(node, items)))
             }
             CoreRequest::Zoom { mu_hat } => {
                 for it in items.iter_mut() {
@@ -385,95 +363,50 @@ impl WaveProtocol for CoreWave {
                 }
                 CorePartial::Unit
             }
-            CoreRequest::Collect => CorePartial::Values(active().collect()),
-            CoreRequest::DistinctExact => {
-                let mut vals: Vec<Value> = active().collect();
-                vals.sort_unstable();
-                vals.dedup();
-                CorePartial::Set(vals)
+            CoreRequest::Collect => {
+                let agg = self.collect_agg();
+                CorePartial::Values(agg.partial_over(active_refs(node, items)))
             }
-            CoreRequest::DistinctApx { reps, nonce } => {
-                let mut sks = Vec::with_capacity(*reps as usize);
-                for inst in 0..*reps {
-                    let h = HashFamily::new(derive_seed(
-                        self.apx.seed,
-                        *nonce as u64,
-                        inst as u64,
-                    ));
-                    let mut sk = LogLog::new(self.apx.b);
-                    for v in active() {
-                        // Keyed by value: duplicate-insensitive (§2.2).
-                        sk.insert_hash(h.hash(v));
-                    }
-                    sks.push(sk);
-                }
-                CorePartial::Sketches(sks)
+            CoreRequest::DistinctExact => {
+                let agg = self.distinct_agg();
+                CorePartial::Set(agg.partial_over(active_refs(node, items)))
             }
         }
     }
 
     fn merge(&self, req: &CoreRequest, a: CorePartial, b: CorePartial) -> CorePartial {
-        match (a, b) {
-            (CorePartial::OptVal(d, x), CorePartial::OptVal(_, y)) => {
-                let v = match (x, y) {
-                    (None, v) | (v, None) => v,
-                    (Some(x), Some(y)) => Some(if matches!(req, CoreRequest::Min(_)) {
-                        x.min(y)
-                    } else {
-                        x.max(y)
-                    }),
-                };
-                CorePartial::OptVal(d, v)
+        match (req, a, b) {
+            (CoreRequest::Min(_), CorePartial::OptVal(d, x), CorePartial::OptVal(_, y)) => {
+                CorePartial::OptVal(d, self.minmax_agg(MinMaxOp::Min, d).merge(x, y))
             }
-            (CorePartial::Num(x), CorePartial::Num(y)) => CorePartial::Num(x + y),
-            (CorePartial::Sketches(mut xs), CorePartial::Sketches(ys)) => {
-                debug_assert_eq!(xs.len(), ys.len(), "sketch vectors must align");
-                for (x, y) in xs.iter_mut().zip(ys.iter()) {
-                    x.merge_from(y);
-                }
-                CorePartial::Sketches(xs)
+            (CoreRequest::Max(_), CorePartial::OptVal(d, x), CorePartial::OptVal(_, y)) => {
+                CorePartial::OptVal(d, self.minmax_agg(MinMaxOp::Max, d).merge(x, y))
             }
-            (CorePartial::Unit, CorePartial::Unit) => CorePartial::Unit,
-            (CorePartial::Values(mut xs), CorePartial::Values(ys)) => {
-                xs.extend(ys);
-                CorePartial::Values(xs)
+            (_, CorePartial::Num(x), CorePartial::Num(y)) => CorePartial::Num(x + y),
+            (
+                CoreRequest::ApxCount { pred, reps, nonce },
+                CorePartial::Sketches(xs),
+                CorePartial::Sketches(ys),
+            ) => CorePartial::Sketches(
+                self.sketch_agg(*pred, SketchKey::ByItem, *reps, *nonce)
+                    .merge(xs, ys),
+            ),
+            (
+                CoreRequest::DistinctApx { reps, nonce },
+                CorePartial::Sketches(xs),
+                CorePartial::Sketches(ys),
+            ) => CorePartial::Sketches(
+                self.sketch_agg(Predicate::TRUE, SketchKey::ByValue, *reps, *nonce)
+                    .merge(xs, ys),
+            ),
+            (_, CorePartial::Unit, CorePartial::Unit) => CorePartial::Unit,
+            (_, CorePartial::Values(xs), CorePartial::Values(ys)) => {
+                CorePartial::Values(self.collect_agg().merge(xs, ys))
             }
-            (CorePartial::Set(xs), CorePartial::Set(ys)) => {
-                // Sorted-set union.
-                let mut out = Vec::with_capacity(xs.len() + ys.len());
-                let (mut i, mut j) = (0, 0);
-                while i < xs.len() || j < ys.len() {
-                    let next = match (xs.get(i), ys.get(j)) {
-                        (Some(&x), Some(&y)) if x == y => {
-                            i += 1;
-                            j += 1;
-                            x
-                        }
-                        (Some(&x), Some(&y)) if x < y => {
-                            i += 1;
-                            x
-                        }
-                        (Some(_), Some(&y)) => {
-                            j += 1;
-                            y
-                        }
-                        (Some(&x), None) => {
-                            i += 1;
-                            x
-                        }
-                        (None, Some(&y)) => {
-                            j += 1;
-                            y
-                        }
-                        (None, None) => unreachable!(),
-                    };
-                    if out.last() != Some(&next) {
-                        out.push(next);
-                    }
-                }
-                CorePartial::Set(out)
+            (_, CorePartial::Set(xs), CorePartial::Set(ys)) => {
+                CorePartial::Set(self.distinct_agg().merge(xs, ys))
             }
-            (a, _) => {
+            (_, a, _) => {
                 debug_assert!(false, "mismatched partial variants in merge");
                 a
             }
@@ -485,6 +418,7 @@ impl WaveProtocol for CoreWave {
 mod tests {
     use super::*;
     use saq_netsim::wire::BitWriter;
+    use saq_sketches::DistinctSketch;
 
     fn proto() -> CoreWave {
         CoreWave {
@@ -526,26 +460,48 @@ mod tests {
     }
 
     #[test]
-    fn partial_roundtrips() {
+    fn partial_roundtrips_in_request_context() {
         let p = proto();
         let mut sk = LogLog::new(p.apx.b);
         sk.insert_hash(0xDEAD_BEEF_1234_5678);
-        for partial in [
-            CorePartial::OptVal(Domain::Raw, Some(999)),
-            CorePartial::OptVal(Domain::Raw, None),
-            CorePartial::OptVal(Domain::Log, Some(9)),
-            CorePartial::Num(0),
-            CorePartial::Num(123_456),
-            CorePartial::Sketches(vec![sk.clone(), LogLog::new(p.apx.b)]),
-            CorePartial::Unit,
-            CorePartial::Values(vec![1, 2, 3, 999]),
-            CorePartial::Set(vec![5, 10, 20]),
+        for (req, partial) in [
+            (
+                CoreRequest::Min(Domain::Raw),
+                CorePartial::OptVal(Domain::Raw, Some(999)),
+            ),
+            (
+                CoreRequest::Min(Domain::Raw),
+                CorePartial::OptVal(Domain::Raw, None),
+            ),
+            (
+                CoreRequest::Max(Domain::Log),
+                CorePartial::OptVal(Domain::Log, Some(9)),
+            ),
+            (CoreRequest::Count(Predicate::TRUE), CorePartial::Num(0)),
+            (CoreRequest::Sum(Predicate::TRUE), CorePartial::Num(123_456)),
+            (
+                CoreRequest::ApxCount {
+                    pred: Predicate::TRUE,
+                    reps: 2,
+                    nonce: 1,
+                },
+                CorePartial::Sketches(vec![sk.clone(), LogLog::new(p.apx.b)]),
+            ),
+            (CoreRequest::Zoom { mu_hat: 3 }, CorePartial::Unit),
+            (
+                CoreRequest::Collect,
+                CorePartial::Values(vec![1, 2, 3, 999]),
+            ),
+            (
+                CoreRequest::DistinctExact,
+                CorePartial::Set(vec![5, 10, 20]),
+            ),
         ] {
             let mut w = BitWriter::new();
-            p.encode_partial(&partial, &mut w);
+            p.encode_partial(&req, &partial, &mut w);
             let s = w.finish();
             let mut r = BitReader::new(&s);
-            assert_eq!(p.decode_partial(&mut r).unwrap(), partial);
+            assert_eq!(p.decode_partial(&req, &mut r).unwrap(), partial);
             assert_eq!(r.remaining(), 0);
         }
     }
@@ -563,10 +519,7 @@ mod tests {
         };
         let log = {
             let mut w = BitWriter::new();
-            p.encode_request(
-                &CoreRequest::Count(Predicate::log_less_than2(15)),
-                &mut w,
-            );
+            p.encode_request(&CoreRequest::Count(Predicate::log_less_than2(15)), &mut w);
             w.finish().len_bits()
         };
         assert!(raw > 40, "raw count request {raw} bits");
@@ -583,18 +536,27 @@ mod tests {
     #[test]
     fn num_partial_is_gamma_sized() {
         let p = proto();
+        let req = CoreRequest::Count(Predicate::TRUE);
         let small = {
             let mut w = BitWriter::new();
-            p.encode_partial(&CorePartial::Num(1), &mut w);
+            p.encode_partial(&req, &CorePartial::Num(1), &mut w);
             w.finish().len_bits()
         };
         let large = {
             let mut w = BitWriter::new();
-            p.encode_partial(&CorePartial::Num(1 << 20), &mut w);
+            p.encode_partial(&req, &CorePartial::Num(1 << 20), &mut w);
             w.finish().len_bits()
         };
         assert!(small <= 6);
         assert!((40..=50).contains(&large), "20-bit count gamma {large}");
+    }
+
+    #[test]
+    fn zoom_partial_is_free() {
+        let p = proto();
+        let mut w = BitWriter::new();
+        p.encode_partial(&CoreRequest::Zoom { mu_hat: 2 }, &CorePartial::Unit, &mut w);
+        assert_eq!(w.finish().len_bits(), 0, "request-typed codecs need no tag");
     }
 
     #[test]
@@ -641,5 +603,23 @@ mod tests {
         assert!(items[1].cur.is_some());
         assert_eq!(items[2].cur, None);
         assert_eq!(items[2].orig, 100, "original value preserved");
+    }
+
+    #[test]
+    fn local_matches_aggregate_layer() {
+        // The wave dispatch and a direct two-step fold are the same
+        // computation.
+        let p = proto();
+        let mut items = vec![SimItem::new(5), SimItem::new(800), SimItem::new(12)];
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let wave = p.local(
+            3,
+            &mut items,
+            &CoreRequest::Count(Predicate::less_than(100)),
+            &mut rng,
+        );
+        let agg = p.countsum_agg(CountSumOp::Count, Predicate::less_than(100));
+        let direct = agg.partial_over(active_refs(3, &items));
+        assert_eq!(wave, CorePartial::Num(direct));
     }
 }

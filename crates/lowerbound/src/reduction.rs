@@ -97,17 +97,10 @@ impl TwoPartyCountDistinct {
         let left = inst.alice.len();
         let nodes = left + inst.bob.len();
         let topo = Topology::line(nodes).map_err(QueryError::from)?;
-        let items: Vec<u64> = inst
-            .alice
-            .iter()
-            .chain(inst.bob.iter())
-            .copied()
-            .collect();
+        let items: Vec<u64> = inst.alice.iter().chain(inst.bob.iter()).copied().collect();
         let mut net = SimNetworkBuilder::new()
             .sim_config(SimConfig::default().with_seed(self.sim_seed))
-            .apx_config(
-                saq_core::ApxCountConfig::default().with_seed(self.sim_seed ^ 0xABCD),
-            )
+            .apx_config(saq_core::ApxCountConfig::default().with_seed(self.sim_seed ^ 0xABCD))
             .build_one_per_node(&topo, &items, inst.universe)?;
 
         let reported_count = match self.protocol {
@@ -147,7 +140,10 @@ mod tests {
             let rd = solver.solve(&d).unwrap();
             assert!(rd.answered_disjoint && rd.correct, "n={n} disjoint case");
             let ro = solver.solve(&o).unwrap();
-            assert!(!ro.answered_disjoint && ro.correct, "n={n} intersecting case");
+            assert!(
+                !ro.answered_disjoint && ro.correct,
+                "n={n} intersecting case"
+            );
         }
     }
 
@@ -179,7 +175,10 @@ mod tests {
         let n = 128usize;
         let exact_cut = {
             let inst = SetDisjointnessInstance::disjoint(n, 8 * n as u64, 13);
-            TwoPartyCountDistinct::exact().solve(&inst).unwrap().cut_bits
+            TwoPartyCountDistinct::exact()
+                .solve(&inst)
+                .unwrap()
+                .cut_bits
         };
         let mut wrong = 0;
         let mut apx_cut = 0u64;

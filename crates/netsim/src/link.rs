@@ -134,10 +134,7 @@ mod tests {
         assert!(cfg.delay_for(10_000) > cfg.delay_for(10));
         // 250 kbit/s: 1000 bits should take 4 ms of serialization.
         let d = cfg.delay_for(1000);
-        assert_eq!(
-            d.as_micros(),
-            cfg.base_latency.as_micros() + 4_000
-        );
+        assert_eq!(d.as_micros(), cfg.base_latency.as_micros() + 4_000);
     }
 
     #[test]

@@ -295,7 +295,8 @@ impl<P: NodeRuntime> Simulator<P> {
     /// Panics if `node` is out of range.
     pub fn kick(&mut self, node: NodeId, tag: u64) {
         assert!(node < self.len(), "kick target out of range");
-        self.queue.schedule(self.now, EventKind::Timer { node, tag });
+        self.queue
+            .schedule(self.now, EventKind::Timer { node, tag });
     }
 
     /// Total events processed since construction.
@@ -531,7 +532,10 @@ mod tests {
         let mut sim: Simulator<Ticker> = Simulator::new(Topology::line(2).unwrap(), cfg);
         sim.kick(0, 0);
         let err = sim.run_until_quiescent().unwrap_err();
-        assert!(matches!(err, NetsimError::EventBudgetExhausted { budget: 1000 }));
+        assert!(matches!(
+            err,
+            NetsimError::EventBudgetExhausted { budget: 1000 }
+        ));
     }
 
     #[test]

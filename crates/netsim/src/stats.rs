@@ -127,7 +127,11 @@ impl NetStats {
     /// The paper's individual communication complexity for this execution:
     /// `max` over nodes of transmitted + received bits.
     pub fn max_node_bits(&self) -> u64 {
-        self.nodes.iter().map(NodeStats::total_bits).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(NodeStats::total_bits)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The node attaining [`NetStats::max_node_bits`].
@@ -146,7 +150,11 @@ impl NetStats {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.iter().map(|s| s.total_bits() as f64).sum::<f64>() / self.nodes.len() as f64
+        self.nodes
+            .iter()
+            .map(|s| s.total_bits() as f64)
+            .sum::<f64>()
+            / self.nodes.len() as f64
     }
 
     /// Maximum per-node energy in nanojoules.

@@ -196,9 +196,7 @@ impl Topology {
             return Err(NetsimError::EmptyTopology);
         }
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-        let pts: Vec<(f64, f64)> = (0..n)
-            .map(|_| (rng.next_f64(), rng.next_f64()))
-            .collect();
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect();
         let mut r = radius.max(1e-3);
         loop {
             let mut edges = Vec::new();

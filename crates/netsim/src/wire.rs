@@ -147,7 +147,10 @@ impl BitWriter {
             self.bytes.resize(byte_idx + needed, 0);
         }
         let chunk = (r as u128) << off;
-        for (i, slot) in self.bytes[byte_idx..byte_idx + needed].iter_mut().enumerate() {
+        for (i, slot) in self.bytes[byte_idx..byte_idx + needed]
+            .iter_mut()
+            .enumerate()
+        {
             *slot |= (chunk >> (8 * i)) as u8;
         }
         self.len_bits += width as u64;
@@ -262,7 +265,10 @@ impl<'a> BitReader<'a> {
         let off = (self.pos % 8) as u32;
         let needed = ((off + width) as usize).div_ceil(8);
         let mut chunk = 0u128;
-        for (i, &b) in self.src.bytes[byte_idx..byte_idx + needed].iter().enumerate() {
+        for (i, &b) in self.src.bytes[byte_idx..byte_idx + needed]
+            .iter()
+            .enumerate()
+        {
             chunk |= (b as u128) << (8 * i);
         }
         chunk >>= off;

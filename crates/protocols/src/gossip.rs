@@ -161,9 +161,8 @@ pub fn run_push_sum(
     if values.len() != topo.len() || weights.len() != topo.len() {
         return Err(ProtocolError::ShapeMismatch("values/weights vs topology"));
     }
-    let round_gap = cfg.link.delay_for(2 * FP_BITS as u64)
-        + cfg.link.jitter
-        + SimDuration::from_micros(300);
+    let round_gap =
+        cfg.link.delay_for(2 * FP_BITS as u64) + cfg.link.jitter + SimDuration::from_micros(300);
     let nodes: Vec<PushSumNode> = (0..topo.len())
         .map(|i| PushSumNode {
             sum: values[i],
@@ -228,11 +227,13 @@ mod tests {
         let topo = Topology::complete(24).unwrap();
         let values: Vec<f64> = (0..24).map(|i| i as f64).collect();
         let weights = vec![1.0; 24];
-        let (out, _) =
-            run_push_sum(&topo, SimConfig::default(), &values, &weights, 40).unwrap();
+        let (out, _) = run_push_sum(&topo, SimConfig::default(), &values, &weights, 40).unwrap();
         let avg = values.iter().sum::<f64>() / 24.0;
         for (i, e) in out.estimates.iter().enumerate() {
-            assert!((e - avg).abs() / avg < 0.05, "node {i} estimate {e} vs {avg}");
+            assert!(
+                (e - avg).abs() / avg < 0.05,
+                "node {i} estimate {e} vs {avg}"
+            );
         }
     }
 
@@ -256,13 +257,15 @@ mod tests {
         let topo = Topology::ring(12).unwrap();
         let values: Vec<f64> = (0..12).map(|i| (i * 3) as f64).collect();
         let weights = vec![1.0; 12];
-        let (out, _) =
-            run_push_sum(&topo, SimConfig::default(), &values, &weights, 100).unwrap();
+        let (out, _) = run_push_sum(&topo, SimConfig::default(), &values, &weights, 100).unwrap();
         // Everyone's estimate should be near the average; mass cannot be
         // created.
         let avg = values.iter().sum::<f64>() / 12.0;
         for e in &out.estimates {
-            assert!((e - avg).abs() < avg * 0.2 + 0.5, "estimate {e} vs avg {avg}");
+            assert!(
+                (e - avg).abs() < avg * 0.2 + 0.5,
+                "estimate {e} vs avg {avg}"
+            );
         }
     }
 
@@ -280,8 +283,8 @@ mod tests {
     #[test]
     fn shape_mismatch_rejected() {
         let topo = Topology::line(3).unwrap();
-        let err = run_push_sum(&topo, SimConfig::default(), &[1.0], &[1.0, 1.0, 1.0], 5)
-            .unwrap_err();
+        let err =
+            run_push_sum(&topo, SimConfig::default(), &[1.0], &[1.0, 1.0, 1.0], 5).unwrap_err();
         assert!(matches!(err, ProtocolError::ShapeMismatch(_)));
     }
 }

@@ -32,4 +32,4 @@ pub mod wave;
 
 pub use error::ProtocolError;
 pub use tree::SpanningTree;
-pub use wave::{WaveProtocol, WaveRunner};
+pub use wave::{MultiplexWave, MuxLedger, MuxSlotBits, WaveProtocol, WaveRunner, WAVE_HEADER_BITS};

@@ -63,10 +63,10 @@ impl<P: WaveProtocol> RingNode<P> {
         w.finish()
     }
 
-    fn synopsis_payload(&self, p: &P::Partial) -> BitString {
+    fn synopsis_payload(&self, req: &P::Request, p: &P::Partial) -> BitString {
         let mut w = BitWriter::new();
         w.write_bits(KIND_SYNOPSIS, 1);
-        self.proto.encode_partial(p, &mut w);
+        self.proto.encode_partial(req, p, &mut w);
         w.finish()
     }
 
@@ -108,8 +108,8 @@ impl<P: WaveProtocol> NodeRuntime for RingNode<P> {
                 if self.ring == 0 {
                     // The root's slot: finalize.
                     self.result = Some(acc);
-                } else {
-                    ctx.broadcast_local(self.synopsis_payload(&acc));
+                } else if let Some(req) = self.req.clone() {
+                    ctx.broadcast_local(self.synopsis_payload(&req, &acc));
                 }
             }
             _ => {}
@@ -138,7 +138,7 @@ impl<P: WaveProtocol> NodeRuntime for RingNode<P> {
                     return;
                 }
                 let Some(req) = self.req.clone() else { return };
-                let Ok(p) = self.proto.decode_partial(&mut r) else {
+                let Ok(p) = self.proto.decode_partial(&req, &mut r) else {
                     return;
                 };
                 // Every delivered copy from every outer neighbour is
@@ -273,10 +273,10 @@ mod tests {
         fn decode_request(&self, _r: &mut BitReader<'_>) -> Result<(), NetsimError> {
             Ok(())
         }
-        fn encode_partial(&self, p: &u64, w: &mut BitWriter) {
+        fn encode_partial(&self, _req: &(), p: &u64, w: &mut BitWriter) {
             w.write_bits(*p, 24);
         }
-        fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+        fn decode_partial(&self, _req: &(), r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
             r.read_bits(24)
         }
         fn local(
@@ -305,10 +305,10 @@ mod tests {
         fn decode_request(&self, _r: &mut BitReader<'_>) -> Result<(), NetsimError> {
             Ok(())
         }
-        fn encode_partial(&self, p: &u64, w: &mut BitWriter) {
+        fn encode_partial(&self, _req: &(), p: &u64, w: &mut BitWriter) {
             w.write_bits(*p, 24);
         }
-        fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+        fn decode_partial(&self, _req: &(), r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
             r.read_bits(24)
         }
         fn local(
@@ -394,6 +394,9 @@ mod tests {
             64,
         )
         .unwrap_err();
-        assert!(matches!(err, ProtocolError::InvalidRoot { root: 7, len: 3 }));
+        assert!(matches!(
+            err,
+            ProtocolError::InvalidRoot { root: 7, len: 3 }
+        ));
     }
 }

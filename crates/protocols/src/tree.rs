@@ -281,10 +281,9 @@ impl NodeRuntime for TreeBuildNode {
                     ctx.broadcast_local(Self::beacon(my_depth));
                 }
             }
-            MSG_PARENT
-                if !self.children.contains(&from) => {
-                    self.children.push(from);
-                }
+            MSG_PARENT if !self.children.contains(&from) => {
+                self.children.push(from);
+            }
             _ => {}
         }
     }
@@ -461,7 +460,11 @@ mod tests {
         // Each node transmitted one beacon + maybe one parent notice:
         // per-node tx is tiny.
         for v in 0..topo.len() {
-            assert!(stats.node(v).tx_bits <= 18 * 2, "node {v} tx {}", stats.node(v).tx_bits);
+            assert!(
+                stats.node(v).tx_bits <= 18 * 2,
+                "node {v} tx {}",
+                stats.node(v).tx_bits
+            );
         }
     }
 

@@ -30,7 +30,11 @@
 /// ```
 pub fn rho(w: u64, width: u32) -> u32 {
     assert!((1..=64).contains(&width), "width {width} out of range");
-    let masked = if width == 64 { w } else { w & ((1u64 << width) - 1) };
+    let masked = if width == 64 {
+        w
+    } else {
+        w & ((1u64 << width) - 1)
+    };
     if masked == 0 {
         return width + 1;
     }

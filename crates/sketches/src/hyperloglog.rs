@@ -92,7 +92,10 @@ impl DistinctSketch for HyperLogLog {
     }
 
     fn merge_from(&mut self, other: &Self) {
-        assert_eq!(self.b, other.b, "cannot merge HLL sketches of different size");
+        assert_eq!(
+            self.b, other.b,
+            "cannot merge HLL sketches of different size"
+        );
         for (a, &b) in self.regs.iter_mut().zip(other.regs.iter()) {
             if b > *a {
                 *a = b;

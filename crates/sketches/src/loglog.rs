@@ -199,7 +199,10 @@ impl DistinctSketch for LogLog {
     }
 
     fn merge_from(&mut self, other: &Self) {
-        assert_eq!(self.b, other.b, "cannot merge LogLog sketches of different size");
+        assert_eq!(
+            self.b, other.b,
+            "cannot merge LogLog sketches of different size"
+        );
         for (a, &b) in self.regs.iter_mut().zip(other.regs.iter()) {
             if b > *a {
                 *a = b;

@@ -74,7 +74,10 @@ impl DistinctSketch for Pcsa {
     }
 
     fn merge_from(&mut self, other: &Self) {
-        assert_eq!(self.b, other.b, "cannot merge PCSA sketches of different size");
+        assert_eq!(
+            self.b, other.b,
+            "cannot merge PCSA sketches of different size"
+        );
         for (a, &b) in self.maps.iter_mut().zip(other.maps.iter()) {
             *a |= b;
         }
@@ -82,8 +85,12 @@ impl DistinctSketch for Pcsa {
 
     fn estimate(&self) -> f64 {
         let m = self.m() as f64;
-        let mean_r =
-            self.maps.iter().map(|&mp| Self::lowest_zero(mp) as f64).sum::<f64>() / m;
+        let mean_r = self
+            .maps
+            .iter()
+            .map(|&mp| Self::lowest_zero(mp) as f64)
+            .sum::<f64>()
+            / m;
         // E[R] ~ log2(phi * n / m): invert.
         m / PHI * mean_r.exp2()
     }

@@ -163,7 +163,11 @@ impl QuantileSummary {
                         // Predecessors include equal values.
                         other.entries.partition_point(|o| o.value <= e.value)
                     };
-                    let pred_rmin = if pos > 0 { other.entries[pos - 1].rmin } else { 0 };
+                    let pred_rmin = if pos > 0 {
+                        other.entries[pos - 1].rmin
+                    } else {
+                        0
+                    };
                     let succ_rmax = if pos < other.entries.len() {
                         other.entries[pos].rmax - 1
                     } else {

@@ -23,12 +23,7 @@ use saq::netsim::topology::Topology;
 
 /// Temperature field in deci-degrees: base 200 (20.0 C) + hotspot + noise;
 /// faulty sensors read near xbar.
-fn readings(
-    topo: &Topology,
-    epoch: u32,
-    rng: &mut Xoshiro256StarStar,
-    xbar: u64,
-) -> Vec<u64> {
+fn readings(topo: &Topology, epoch: u32, rng: &mut Xoshiro256StarStar, xbar: u64) -> Vec<u64> {
     let pts = topo.positions().expect("geometric topology has positions");
     let hot_x = 0.1 + 0.02 * epoch as f64;
     let hot_y = 0.5;
@@ -91,9 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let apx = ApxMedian2::new(0.05, 0.25)?.run(&mut net)?;
         apx_energy += net.net_stats().expect("stats").max_node_energy_nj();
 
-        assert_eq!(naive.value, exact.value, "Fig. 1 must match the sorted median");
-        max_disagreement =
-            max_disagreement.max((apx.value as i64 - exact.value as i64).abs());
+        assert_eq!(
+            naive.value, exact.value,
+            "Fig. 1 must match the sorted median"
+        );
+        max_disagreement = max_disagreement.max((apx.value as i64 - exact.value as i64).abs());
         if epoch % 10 == 0 {
             println!(
                 "epoch {epoch:>2}: median {} deci-C (apx {}), faulty sensors ignored by rank",

@@ -15,13 +15,19 @@ use saq::lowerbound::{SetDisjointnessInstance, TwoPartyCountDistinct};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("2SD(P) reduction (Theorem 5.1) on 2n-node lines\n");
-    println!("{:>6} {:>11} {:>8} {:>9} {:>10}", "n", "instance", "answer", "correct", "cut bits");
+    println!(
+        "{:>6} {:>11} {:>8} {:>9} {:>10}",
+        "n", "instance", "answer", "correct", "cut bits"
+    );
     println!("{}", "-".repeat(50));
 
     for n in [16usize, 32, 64, 128, 256] {
         let universe = 8 * n as u64;
         for (label, inst) in [
-            ("disjoint", SetDisjointnessInstance::disjoint(n, universe, 1)),
+            (
+                "disjoint",
+                SetDisjointnessInstance::disjoint(n, universe, 1),
+            ),
             (
                 "1-overlap",
                 SetDisjointnessInstance::one_intersection(n, universe, 1),

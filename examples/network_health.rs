@@ -39,21 +39,19 @@ impl WaveProtocol for AliveCount {
     fn decode_request(&self, _r: &mut BitReader<'_>) -> Result<(), NetsimError> {
         Ok(())
     }
-    fn encode_partial(&self, p: &u64, w: &mut BitWriter) {
+    fn encode_partial(&self, _req: &Self::Request, p: &u64, w: &mut BitWriter) {
         // Saturating: multipath duplication can blow the sum past any
         // fixed counter width — exactly the failure mode under study.
         w.write_bits((*p).min((1u64 << 24) - 1), 24);
     }
-    fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+    fn decode_partial(
+        &self,
+        _req: &Self::Request,
+        r: &mut BitReader<'_>,
+    ) -> Result<u64, NetsimError> {
         r.read_bits(24)
     }
-    fn local(
-        &self,
-        _n: NodeId,
-        items: &mut Vec<u64>,
-        _r: &(),
-        _g: &mut Xoshiro256StarStar,
-    ) -> u64 {
+    fn local(&self, _n: NodeId, items: &mut Vec<u64>, _r: &(), _g: &mut Xoshiro256StarStar) -> u64 {
         items.len() as u64
     }
     fn merge(&self, _r: &(), a: u64, b: u64) -> u64 {
@@ -73,12 +71,16 @@ impl WaveProtocol for AliveSketch {
     fn decode_request(&self, _r: &mut BitReader<'_>) -> Result<(), NetsimError> {
         Ok(())
     }
-    fn encode_partial(&self, p: &LogLog, w: &mut BitWriter) {
+    fn encode_partial(&self, _req: &Self::Request, p: &LogLog, w: &mut BitWriter) {
         for &reg in p.registers() {
             w.write_bits(reg as u64, 7);
         }
     }
-    fn decode_partial(&self, r: &mut BitReader<'_>) -> Result<LogLog, NetsimError> {
+    fn decode_partial(
+        &self,
+        _req: &Self::Request,
+        r: &mut BitReader<'_>,
+    ) -> Result<LogLog, NetsimError> {
         let mut regs = Vec::with_capacity(64);
         for _ in 0..64 {
             regs.push(r.read_bits(7)? as u8);
@@ -127,7 +129,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let approx = CountDistinct::new().approximate(&mut net, 8)?;
     let approx_bits = net.net_stats().expect("stats").max_node_bits();
     println!("firmware versions deployed (truth {}):", truth.len());
-    println!("  exact COUNT_DISTINCT : {} ({exact_bits} bits/node)", exact.count);
+    println!(
+        "  exact COUNT_DISTINCT : {} ({exact_bits} bits/node)",
+        exact.count
+    );
     println!(
         "  sketch estimate      : {:.1} ({approx_bits} bits/node, sigma {:.2})",
         approx.estimate, approx.sigma

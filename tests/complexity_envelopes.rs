@@ -11,7 +11,9 @@ use saq::netsim::topology::Topology;
 fn grid_net(side: usize, xbar: u64) -> saq::core::SimNetwork {
     let n = side * side;
     let topo = Topology::grid(side, side).expect("grid");
-    let items: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % (xbar + 1)).collect();
+    let items: Vec<u64> = (0..n as u64)
+        .map(|i| (i * 2654435761) % (xbar + 1))
+        .collect();
     SimNetworkBuilder::new()
         .build_one_per_node(&topo, &items, xbar)
         .expect("net")

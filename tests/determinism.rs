@@ -22,7 +22,10 @@ fn identical_seeds_identical_stats() {
             .build_one_per_node(&topo, &items(), 512)
             .expect("net");
         let med = Median::new().run(&mut net).expect("median");
-        let apx = ApxMedian::new(0.25).expect("eps").run(&mut net).expect("apx");
+        let apx = ApxMedian::new(0.25)
+            .expect("eps")
+            .run(&mut net)
+            .expect("apx");
         (
             med.value,
             apx.value,

@@ -21,7 +21,9 @@ fn topologies(n_side: usize) -> Vec<Topology> {
 }
 
 fn items_for(n: usize, seed: u64) -> Vec<u64> {
-    (0..n as u64).map(|i| (i * 997 + seed * 131) % 4096).collect()
+    (0..n as u64)
+        .map(|i| (i * 997 + seed * 131) % 4096)
+        .collect()
 }
 
 #[test]
@@ -50,9 +52,7 @@ fn order_statistics_match_reference_on_grid() {
         .build_one_per_node(&topo, &items, 4096)
         .expect("net");
     for k in [1u64, 5, 18, 30, 36] {
-        let out = Median::new()
-            .run_order_statistic(&mut net, k)
-            .expect("os");
+        let out = Median::new().run_order_statistic(&mut net, k).expect("os");
         assert!(
             is_order_statistic2(&items, 2 * k, out.value),
             "k={k}: {} invalid",
@@ -68,8 +68,14 @@ fn primitives_agree_with_direct_computation() {
     let mut net = SimNetworkBuilder::new()
         .build_one_per_node(&topo, &items, 4096)
         .expect("net");
-    assert_eq!(net.min(Domain::Raw).expect("min"), items.iter().min().copied());
-    assert_eq!(net.max(Domain::Raw).expect("max"), items.iter().max().copied());
+    assert_eq!(
+        net.min(Domain::Raw).expect("min"),
+        items.iter().min().copied()
+    );
+    assert_eq!(
+        net.max(Domain::Raw).expect("max"),
+        items.iter().max().copied()
+    );
     assert_eq!(
         net.count(&Predicate::less_than(2000)).expect("count"),
         items.iter().filter(|&&x| x < 2000).count() as u64
@@ -96,12 +102,18 @@ fn apx_median_is_valid_on_sim_network() {
             .apx_config(ApxCountConfig::default().with_seed(100 + seed))
             .build_one_per_node(&topo, &items, 4096)
             .expect("net");
-        let out = ApxMedian::new(0.25).expect("eps").run(&mut net).expect("apx");
+        let out = ApxMedian::new(0.25)
+            .expect("eps")
+            .run(&mut net)
+            .expect("apx");
         if is_apx_median(&items, out.alpha_guarantee + 0.1, 0.05, 4096, out.value) {
             ok += 1;
         }
     }
-    assert!(ok >= trials - 1, "apx median valid only {ok}/{trials} times");
+    assert!(
+        ok >= trials - 1,
+        "apx median valid only {ok}/{trials} times"
+    );
 }
 
 #[test]
@@ -135,7 +147,10 @@ fn count_distinct_exact_and_apx() {
     let mut net = SimNetworkBuilder::new()
         .build_one_per_node(&topo, &items, 10)
         .expect("net");
-    assert_eq!(CountDistinct::new().exact(&mut net).expect("exact").count, 7);
+    assert_eq!(
+        CountDistinct::new().exact(&mut net).expect("exact").count,
+        7
+    );
     let est = CountDistinct::new()
         .approximate(&mut net, 8)
         .expect("apx")

@@ -1,0 +1,190 @@
+//! End-to-end tests of the query engine's batched multi-query waves:
+//! the ISSUE-1 acceptance scenario (≥3 concurrent distinct aggregate
+//! queries in one shared wave sequence with per-query bit accounting)
+//! and the batched-vs-sequential determinism guarantee.
+
+use saq::core::engine::{BatchPolicy, QueryEngine, QueryOutcome, QuerySpec};
+use saq::core::net::AggregationNetwork;
+use saq::core::predicate::{Domain, Predicate};
+use saq::core::simnet::{SimNetwork, SimNetworkBuilder};
+use saq::core::ApxCountConfig;
+use saq::netsim::topology::Topology;
+
+fn deployment(seed: u64) -> SimNetwork {
+    let topo = Topology::grid(6, 6).unwrap();
+    let items: Vec<u64> = (0..36u64).map(|i| (i * 17) % 72).collect();
+    SimNetworkBuilder::new()
+        .apx_config(ApxCountConfig::default().with_seed(seed))
+        .build_one_per_node(&topo, &items, 72)
+        .unwrap()
+}
+
+fn query_mix() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::Count(Predicate::TRUE),
+        QuerySpec::Min(Domain::Raw),
+        QuerySpec::Max(Domain::Raw),
+        QuerySpec::ApxCount {
+            pred: Predicate::less_than(36),
+            reps: 4,
+        },
+        QuerySpec::DistinctApx { reps: 4 },
+        QuerySpec::Median,
+        QuerySpec::OrderStatistic { k: 5 },
+        QuerySpec::ApxMedian { epsilon: 0.4 },
+        QuerySpec::DistinctExact,
+    ]
+}
+
+#[test]
+fn concurrent_distinct_aggregates_share_one_wave() {
+    // The acceptance scenario: ≥3 concurrent distinct aggregate queries
+    // from different "users" complete in ONE shared wave, each with a
+    // positive, honest bit bill.
+    let mut engine = QueryEngine::new(deployment(1));
+    let count = engine.submit(QuerySpec::Count(Predicate::TRUE));
+    let minmax = engine.submit(QuerySpec::Min(Domain::Raw));
+    let apx = engine.submit(QuerySpec::ApxCount {
+        pred: Predicate::TRUE,
+        reps: 4,
+    });
+    let sketch = engine.submit(QuerySpec::DistinctApx { reps: 4 });
+    let reports = engine.run().unwrap();
+
+    assert_eq!(
+        engine.waves_issued(),
+        1,
+        "four single-wave queries share one wave"
+    );
+    assert_eq!(reports[count].outcome, Ok(QueryOutcome::Num(36)));
+    assert_eq!(reports[minmax].outcome, Ok(QueryOutcome::OptVal(Some(0))));
+    match reports[apx].outcome {
+        Ok(QueryOutcome::Est(est)) => assert!((est - 36.0).abs() / 36.0 < 0.6, "est {est}"),
+        ref other => panic!("apx count: {other:?}"),
+    }
+    match reports[sketch].outcome {
+        Ok(QueryOutcome::Est(est)) => assert!(est > 5.0, "distinct est {est}"),
+        ref other => panic!("distinct: {other:?}"),
+    }
+    for r in &reports {
+        assert!(r.bits.total() > 0, "query {} unbilled", r.id);
+        assert!(r.bits.request_bits > 0);
+        assert!(r.bits.partial_bits > 0);
+    }
+    // Sketch queries pay for their registers; the count rides cheap.
+    assert!(reports[apx].bits.total() > reports[count].bits.total());
+}
+
+#[test]
+fn batched_and_sequential_execution_identical() {
+    // Determinism: the same query set, seeds and deployment must produce
+    // identical outcomes under both scheduling policies — batching is a
+    // pure cost optimization.
+    let mut batched = QueryEngine::with_policy(deployment(7), BatchPolicy::Batched);
+    let mut sequential = QueryEngine::with_policy(deployment(7), BatchPolicy::Sequential);
+    for spec in query_mix() {
+        batched.submit(spec.clone());
+        sequential.submit(spec);
+    }
+    let br = batched.run().unwrap();
+    let sr = sequential.run().unwrap();
+    assert_eq!(br.len(), sr.len());
+    for (b, s) in br.iter().zip(sr.iter()) {
+        assert_eq!(
+            b.outcome.as_ref().unwrap(),
+            s.outcome.as_ref().unwrap(),
+            "scheduling changed the answer of {:?}",
+            b.spec
+        );
+        assert_eq!(
+            b.waves, s.waves,
+            "same per-query wave count for {:?}",
+            b.spec
+        );
+    }
+    // And batching strictly reduces both total and max-node bits.
+    let b_stats = batched.network().net_stats().unwrap();
+    let s_stats = sequential.network().net_stats().unwrap();
+    assert!(b_stats.max_node_bits() < s_stats.max_node_bits());
+    assert!(b_stats.total_tx_bits() < s_stats.total_tx_bits());
+    assert!(batched.waves_issued() < sequential.waves_issued());
+}
+
+#[test]
+fn engine_matches_direct_runners() {
+    // The engine's plan execution must agree with the classic runner API
+    // driving the same network kind (exact queries: bit-for-bit equal).
+    let mut engine = QueryEngine::new(deployment(3));
+    let median = engine.submit(QuerySpec::Median);
+    let os3 = engine.submit(QuerySpec::OrderStatistic { k: 3 });
+    let distinct = engine.submit(QuerySpec::DistinctExact);
+    let reports = engine.run().unwrap();
+
+    let mut net = deployment(3);
+    let want_median = saq::core::Median::new().run(&mut net).unwrap();
+    let want_os3 = saq::core::Median::new()
+        .run_order_statistic(&mut net, 3)
+        .unwrap();
+    let want_distinct = saq::core::CountDistinct::new().exact(&mut net).unwrap();
+
+    assert_eq!(
+        reports[median].outcome,
+        Ok(QueryOutcome::Median(want_median))
+    );
+    assert_eq!(reports[os3].outcome, Ok(QueryOutcome::Median(want_os3)));
+    assert_eq!(
+        reports[distinct].outcome,
+        Ok(QueryOutcome::Num(want_distinct.count))
+    );
+}
+
+#[test]
+fn exclusive_queries_batch_safely_with_readers() {
+    // APX_MEDIAN2 zooms (mutates items): the engine must isolate it from
+    // concurrent readers and restore state afterwards.
+    let mut engine = QueryEngine::new(deployment(11));
+    let count = engine.submit(QuerySpec::Count(Predicate::TRUE));
+    let am2 = engine.submit(QuerySpec::ApxMedian2 {
+        beta: 0.2,
+        epsilon: 0.4,
+    });
+    let sum = engine.submit(QuerySpec::Sum(Predicate::TRUE));
+    let reports = engine.run().unwrap();
+    assert_eq!(reports[count].outcome, Ok(QueryOutcome::Num(36)));
+    let items: Vec<u64> = (0..36u64).map(|i| (i * 17) % 72).collect();
+    assert_eq!(
+        reports[sum].outcome,
+        Ok(QueryOutcome::Num(items.iter().sum()))
+    );
+    assert!(matches!(
+        reports[am2].outcome,
+        Ok(QueryOutcome::ApxMedian2(_))
+    ));
+    // Item state restored for subsequent use.
+    let mut net = engine.into_network();
+    assert_eq!(net.count(&Predicate::TRUE).unwrap(), 36);
+}
+
+#[test]
+fn per_query_bits_sum_to_transmit_total() {
+    // Honest accounting: per-query bills cover the transmit-side bits up
+    // to share rounding (< participants bits per wave).
+    let mut engine = QueryEngine::new(deployment(5));
+    for spec in query_mix() {
+        engine.submit(spec);
+    }
+    let reports = engine.run().unwrap();
+    let billed: u64 = reports.iter().map(|r| r.bits.total()).sum();
+    let waves = engine.waves_issued();
+    let stats = engine.network().net_stats().unwrap();
+    let tx_total: u64 = (0..stats.len()).map(|v| stats.node(v).tx_bits).sum();
+    assert!(
+        billed <= tx_total,
+        "billed {billed} > transmitted {tx_total}"
+    );
+    let slack = tx_total - billed;
+    assert!(
+        slack <= waves * query_mix().len() as u64,
+        "unbilled bits {slack} exceed rounding bound"
+    );
+}

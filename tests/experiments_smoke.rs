@@ -101,7 +101,10 @@ fn e10_gossip_pays_for_poor_mixing() {
     };
     for &(_, n, _) in s.convergence.iter().filter(|(l, _, _)| l == "complete") {
         if let (Some(c), Some(g)) = (rounds("complete", n), rounds("grid", n)) {
-            assert!(g >= c, "grid ({g}) should mix no faster than complete ({c})");
+            assert!(
+                g >= c,
+                "grid ({g}) should mix no faster than complete ({c})"
+            );
         }
     }
     assert!(s.complete_ratio > 1.0, "gossip cannot beat the tree here");
@@ -148,6 +151,20 @@ fn e7_comparison_orderings() {
     assert!(
         median < 2 * naive,
         "median-fig1 ({median}) should be in naive's ({naive}) ballpark or below"
+    );
+}
+
+#[test]
+fn e12_batching_identical_and_strictly_cheaper() {
+    let s = e12_batching::run(Scale::Quick);
+    assert!(
+        s.outcomes_identical,
+        "batched and sequential scheduling must return identical answers"
+    );
+    assert!(
+        s.batched_strictly_cheaper,
+        "batched waves must cost strictly fewer max per-node bits for every k >= 2: {:?}",
+        s.max_bits_points
     );
 }
 

@@ -26,10 +26,7 @@ fn loss_without_arq_surfaces_as_no_result() {
         .build_one_per_node(&topo, &items, 32)
         .expect("net");
     let err = net.count(&Predicate::TRUE).unwrap_err();
-    assert!(matches!(
-        err,
-        QueryError::Protocol(ProtocolError::NoResult)
-    ));
+    assert!(matches!(err, QueryError::Protocol(ProtocolError::NoResult)));
 }
 
 #[test]
@@ -64,7 +61,10 @@ fn arq_is_exact_under_duplication() {
         .expect("net");
     // Duplicate deliveries must not double-count.
     assert_eq!(net.count(&Predicate::TRUE).expect("count"), 25);
-    assert_eq!(net.sum(&Predicate::TRUE).expect("sum"), (0..25).sum::<u64>());
+    assert_eq!(
+        net.sum(&Predicate::TRUE).expect("sum"),
+        (0..25).sum::<u64>()
+    );
 }
 
 #[test]
@@ -86,8 +86,7 @@ fn tree_convergecast_dedups_duplicates_even_without_arq() {
 fn lossy_distributed_tree_construction_recovers() {
     let topo = Topology::grid(6, 6).expect("grid");
     let cfg = lossy(0.25, 21);
-    let (tree, _) =
-        saq::protocols::tree::build_distributed_lossy(&topo, cfg, 0, 30).expect("tree");
+    let (tree, _) = saq::protocols::tree::build_distributed_lossy(&topo, cfg, 0, 30).expect("tree");
     tree.validate(&topo).expect("valid tree");
 }
 
@@ -123,7 +122,9 @@ fn dead_nodes_before_deployment_queries_still_work() {
     // to which nodes exist — they only need a connected tree).
     let topo = Topology::grid(5, 5).expect("grid");
     let items: Vec<u64> = (0..25u64).map(|i| i * 7 % 64).collect();
-    let (sub, map) = topo.without_nodes(&[7, 13, 24]).expect("survivors connected");
+    let (sub, map) = topo
+        .without_nodes(&[7, 13, 24])
+        .expect("survivors connected");
     let surviving_items: Vec<u64> = map.iter().map(|&old| items[old]).collect();
     let mut net = SimNetworkBuilder::new()
         .build_one_per_node(&sub, &surviving_items, 64)

@@ -1,0 +1,173 @@
+//! Property tests for the two-step partial-aggregation layer: every
+//! [`PartialAggregate`] implementation must have an associative,
+//! commutative `merge` with `identity()` neutral, and `encode`/`decode`
+//! must round-trip bit-exactly consuming exactly the written bits —
+//! the laws that make partials safe to merge in any tree shape and to
+//! pack back-to-back in multiplexed envelopes.
+
+use proptest::prelude::*;
+use saq::core::aggregate::{
+    CollectAgg, CountSumAgg, CountSumOp, DistinctSetAgg, ItemRef, MinMaxAgg, MinMaxOp,
+    PartialAggregate, SketchAgg, SketchKey,
+};
+use saq::core::counting::ApxCountConfig;
+use saq::core::predicate::{Domain, Predicate};
+use saq::netsim::wire::{BitReader, BitWriter};
+
+const XBAR: u64 = 10_000;
+
+fn refs(values: &[u64], node_base: u64) -> Vec<ItemRef> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &value)| ItemRef {
+            node: node_base + i as u64 / 4,
+            slot: i as u64 % 4,
+            value: value % (XBAR + 1),
+        })
+        .collect()
+}
+
+/// Checks the merge laws and the codec round-trip for one aggregate over
+/// three independently built partials.
+fn check_laws<A: PartialAggregate>(agg: &A, a: &[ItemRef], b: &[ItemRef], c: &[ItemRef])
+where
+    A::Partial: PartialEq + std::fmt::Debug,
+{
+    let pa = agg.partial_over(a.iter().copied());
+    let pb = agg.partial_over(b.iter().copied());
+    let pc = agg.partial_over(c.iter().copied());
+
+    // Commutativity: a ⊕ b == b ⊕ a.
+    assert_eq!(
+        agg.merge(pa.clone(), pb.clone()),
+        agg.merge(pb.clone(), pa.clone()),
+        "merge must be commutative"
+    );
+    // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    assert_eq!(
+        agg.merge(agg.merge(pa.clone(), pb.clone()), pc.clone()),
+        agg.merge(pa.clone(), agg.merge(pb.clone(), pc.clone())),
+        "merge must be associative"
+    );
+    // Identity: a ⊕ e == a == e ⊕ a.
+    assert_eq!(agg.merge(pa.clone(), agg.identity()), pa);
+    assert_eq!(agg.merge(agg.identity(), pa.clone()), pa);
+
+    // Bit-exact round-trip for the merged partial and the identity.
+    for p in [agg.merge(pa, pb), agg.identity()] {
+        let mut w = BitWriter::new();
+        agg.encode(&p, &mut w);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert_eq!(agg.decode(&mut r).unwrap(), p, "decode(encode(p)) == p");
+        assert_eq!(r.remaining(), 0, "decode must consume exactly encode");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn minmax_laws(a in proptest::collection::vec(0u64..XBAR, 0..40),
+                   b in proptest::collection::vec(0u64..XBAR, 0..40),
+                   c in proptest::collection::vec(0u64..XBAR, 0..40),
+                   maximize: bool, log_domain: bool) {
+        let agg = MinMaxAgg {
+            op: if maximize { MinMaxOp::Max } else { MinMaxOp::Min },
+            domain: if log_domain { Domain::Log } else { Domain::Raw },
+            xbar: XBAR,
+        };
+        check_laws(&agg, &refs(&a, 0), &refs(&b, 100), &refs(&c, 200));
+    }
+
+    #[test]
+    fn countsum_laws(a in proptest::collection::vec(0u64..XBAR, 0..40),
+                     b in proptest::collection::vec(0u64..XBAR, 0..40),
+                     c in proptest::collection::vec(0u64..XBAR, 0..40),
+                     summing: bool, y in 0u64..2 * XBAR) {
+        let agg = CountSumAgg {
+            op: if summing { CountSumOp::Sum } else { CountSumOp::Count },
+            pred: Predicate::less_than2(y),
+        };
+        check_laws(&agg, &refs(&a, 0), &refs(&b, 100), &refs(&c, 200));
+    }
+
+    #[test]
+    fn sketch_laws(a in proptest::collection::vec(0u64..XBAR, 0..40),
+                   b in proptest::collection::vec(0u64..XBAR, 0..40),
+                   c in proptest::collection::vec(0u64..XBAR, 0..40),
+                   by_value: bool, nonce in 0u64..1000) {
+        let agg = SketchAgg::new(
+            Predicate::TRUE,
+            if by_value { SketchKey::ByValue } else { SketchKey::ByItem },
+            ApxCountConfig::default(),
+            3,
+            nonce,
+        );
+        check_laws(&agg, &refs(&a, 0), &refs(&b, 100), &refs(&c, 200));
+    }
+
+    #[test]
+    fn distinct_set_laws(a in proptest::collection::vec(0u64..200, 0..40),
+                         b in proptest::collection::vec(0u64..200, 0..40),
+                         c in proptest::collection::vec(0u64..200, 0..40)) {
+        let agg = DistinctSetAgg { xbar: XBAR };
+        check_laws(&agg, &refs(&a, 0), &refs(&b, 100), &refs(&c, 200));
+        // Distinct is also idempotent under self-merge (ODI).
+        let p = agg.partial_over(refs(&a, 0));
+        assert_eq!(agg.merge(p.clone(), p.clone()), p);
+    }
+
+    #[test]
+    fn sketch_self_merge_idempotent(a in proptest::collection::vec(0u64..XBAR, 0..60)) {
+        // LogLog registers are maxima: merging a partial with itself is a
+        // no-op — the ODI property synopsis diffusion relies on.
+        let agg = SketchAgg::new(
+            Predicate::TRUE,
+            SketchKey::ByItem,
+            ApxCountConfig::default(),
+            2,
+            7,
+        );
+        let p = agg.partial_over(refs(&a, 0));
+        assert_eq!(agg.merge(p.clone(), p.clone()), p);
+    }
+}
+
+#[test]
+fn collect_merge_is_associative_not_commutative() {
+    // CollectAgg concatenates: associative with identity, but order
+    // reflects merge order (the multiset answer is order-insensitive; the
+    // engine only finalizes multiset-level facts from it).
+    let agg = CollectAgg { xbar: XBAR };
+    let a = agg.partial_over(refs(&[1, 2], 0));
+    let b = agg.partial_over(refs(&[3], 10));
+    let c = agg.partial_over(refs(&[4, 5], 20));
+    assert_eq!(
+        agg.merge(agg.merge(a.clone(), b.clone()), c.clone()),
+        agg.merge(a.clone(), agg.merge(b.clone(), c.clone())),
+    );
+    assert_eq!(agg.merge(a.clone(), agg.identity()), a);
+    // Round-trip.
+    let merged = agg.merge(a, b);
+    let mut w = BitWriter::new();
+    agg.encode(&merged, &mut w);
+    let s = w.finish();
+    let mut r = BitReader::new(&s);
+    assert_eq!(agg.decode(&mut r).unwrap(), merged);
+    assert_eq!(r.remaining(), 0);
+    // As multisets, merge order does not matter.
+    let x = agg.merge(
+        agg.partial_over(refs(&[1, 2], 0)),
+        agg.partial_over(refs(&[3], 10)),
+    );
+    let mut y = agg.merge(
+        agg.partial_over(refs(&[3], 10)),
+        agg.partial_over(refs(&[1, 2], 0)),
+    );
+    y.sort_unstable();
+    let mut xs = x;
+    xs.sort_unstable();
+    assert_eq!(xs, y);
+}
