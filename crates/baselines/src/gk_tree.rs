@@ -6,7 +6,7 @@
 //! answers **any** quantile at the root with certified rank error
 //! `≤ Σ prune losses ≈ height · N/(2k)` — the trade the paper describes:
 //!
-//! > *"The algorithm in [4], however, can compute deterministically,
+//! > *"The algorithm in \[4\], however, can compute deterministically,
 //! > after one pass over the data and O((log N)^3) communication bits,
 //! > any approximate order statistic. In contrast, our randomized
 //! > approximate algorithm computes only a single order statistic, but it

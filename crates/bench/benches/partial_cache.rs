@@ -1,0 +1,113 @@
+//! Micro-benchmarks of subtree partial caching (ISSUE-2 acceptance):
+//! repeated identical query batches under a warm cache vs. no cache.
+//!
+//! Beyond wall-clock, the setup *verifies and prints* the bit claim:
+//! with caching, a repeated identical batch — including the Quantile and
+//! BottomK aggregates batched into the same shared wave — costs strictly
+//! fewer per-node bits than without, with identical answers and honest
+//! per-query attribution.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use saq_core::engine::{QueryEngine, QueryOutcome, QuerySpec};
+use saq_core::net::AggregationNetwork;
+use saq_core::predicate::{Domain, Predicate};
+use saq_core::simnet::{SimNetwork, SimNetworkBuilder};
+use saq_netsim::topology::Topology;
+use std::hint::black_box;
+
+fn net(side: usize, cache: usize) -> SimNetwork {
+    let n = side * side;
+    let topo = Topology::grid(side, side).expect("grid");
+    let items: Vec<u64> = (0..n as u64).map(|i| (i * 31) % (2 * n as u64)).collect();
+    SimNetworkBuilder::new()
+        .partial_cache(cache)
+        .build_one_per_node(&topo, &items, 2 * n as u64)
+        .expect("net")
+}
+
+fn specs() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::Count(Predicate::TRUE),
+        QuerySpec::Min(Domain::Raw),
+        QuerySpec::Max(Domain::Raw),
+        QuerySpec::Quantile { q: 0.5, eps: 0.1 },
+        QuerySpec::BottomK { k: 8 },
+    ]
+}
+
+fn run_once(net: SimNetwork) -> (Vec<QueryOutcome>, u64, SimNetwork) {
+    let mut engine = QueryEngine::new(net);
+    engine.network_mut().reset_stats();
+    for s in specs() {
+        engine.submit(s);
+    }
+    let reports = engine.run().expect("run");
+    // Honest attribution: on a cold run every query is billed.
+    let outcomes = reports
+        .into_iter()
+        .map(|r| r.outcome.expect("query succeeds"))
+        .collect();
+    let net = engine.into_network();
+    let bits = net.net_stats().expect("sim stats").max_node_bits();
+    (outcomes, bits, net)
+}
+
+/// Verifies the acceptance claim once and prints the measured numbers.
+fn verify_and_report(side: usize) -> (SimNetwork, SimNetwork) {
+    let (cold_answers, cold_bits, uncached) = run_once(net(side, 0));
+    let (repeat_answers, repeat_bits, uncached) = run_once(uncached);
+    assert_eq!(cold_answers, repeat_answers);
+    assert_eq!(cold_bits, repeat_bits, "uncached repeats pay full price");
+
+    let (warm_answers, warm_cold_bits, cached) = run_once(net(side, 64));
+    let (hit_answers, hit_bits, cached) = run_once(cached);
+    assert_eq!(
+        warm_answers, cold_answers,
+        "caching must not change answers"
+    );
+    assert_eq!(hit_answers, cold_answers, "cached repeat identical");
+    assert!(
+        hit_bits < repeat_bits,
+        "cached repeat {hit_bits} !< uncached repeat {repeat_bits} bits/node"
+    );
+    println!(
+        "partial_cache {side}x{side}: cold {cold_bits} b/node (cached cold {warm_cold_bits}), \
+         repeat uncached {repeat_bits} vs cached {hit_bits} b/node, \
+         cache hits {}",
+        cached.cache_stats().hits
+    );
+    (uncached, cached)
+}
+
+fn bench_repeat(c: &mut Criterion) {
+    let (uncached, cached) = verify_and_report(8);
+    drop((uncached, cached));
+    let mut g = c.benchmark_group("partial_cache/repeat_5q_8x8");
+    g.sample_size(10);
+    g.bench_function("uncached", |b| {
+        b.iter_batched(
+            || {
+                // Warm-free network: every repeat pays the full wave.
+                let (_, _, net) = run_once(net(8, 0));
+                net
+            },
+            |net| black_box(run_once(net).1),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("cached", |b| {
+        b.iter_batched(
+            || {
+                // Warm cache: the measured run re-merges stored partials.
+                let (_, _, net) = run_once(net(8, 64));
+                net
+            },
+            |net| black_box(run_once(net).1),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_repeat);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! E10 — the gossip comparator (Kempe et al. \[6\]).
 //!
-//! > *"[6] presents an algorithm that finds, with high probability, the
+//! > *"\[6\] presents an algorithm that finds, with high probability, the
 //! > exact median ... using O((log N)^3) bits of communication per node,
 //! > assuming that the network has the best possible 'diffusion speed'."*
 //!

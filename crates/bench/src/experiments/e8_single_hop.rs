@@ -2,7 +2,7 @@
 //!
 //! > *"Singh and Prasanna give an algorithm for median computation in
 //! > single-hop networks ... in which each node transmits only O(log N)
-//! > bits ... Note that each node in the algorithm of [14] receives
+//! > bits ... Note that each node in the algorithm of \[14\] receives
 //! > O(N log N) bits."*
 //!
 //! On a star (the single-hop model with the hub as root), per-leaf

@@ -6,7 +6,7 @@
 //!
 //! * the [`proptest!`] macro with `name in strategy`, `mut name in strategy`
 //!   and `name: Type` parameter forms, plus `#![proptest_config(..)]`;
-//! * [`prelude`] with [`any`], [`prop_assert!`], [`prop_assert_eq!`],
+//! * [`prelude`] with [`any`](prelude::any), [`prop_assert!`], [`prop_assert_eq!`],
 //!   [`prop_assert_ne!`] and [`test_runner::ProptestConfig`];
 //! * integer/bool strategies over ranges and [`collection::vec`].
 //!
@@ -145,7 +145,7 @@ pub mod collection {
     use crate::test_runner::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

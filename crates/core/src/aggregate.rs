@@ -32,7 +32,7 @@ use crate::predicate::{Domain, Predicate};
 use saq_netsim::rng::derive_seed;
 use saq_netsim::wire::{width_for_max, BitReader, BitWriter};
 use saq_netsim::NetsimError;
-use saq_sketches::{DistinctSketch, HashFamily, LogLog};
+use saq_sketches::{BottomK, DistinctSketch, HashFamily, LogLog, QuantileSummary};
 use std::fmt::Debug;
 
 /// One item presented to [`PartialAggregate::contribute`]: its current
@@ -59,9 +59,38 @@ pub struct ItemRef {
 ///   tree shape and child order cannot change the root's answer. Every
 ///   aggregate here is commutative under `PartialEq` except
 ///   [`CollectAgg`], whose concatenated partial is commutative only as
-///   a **multiset** (its `finalize` answer is order-insensitive);
+///   a **multiset** (its `finalize` answer is order-insensitive), and
+///   [`QuantileAgg`], whose pruned summaries are equivalent only up to
+///   their certified rank-error bound;
 /// * `decode(encode(p)) == p` **bit-exactly**, consuming exactly the bits
 ///   written — so partials can be packed back-to-back in one envelope.
+///
+/// The merge laws are what make subtree partials cacheable and
+/// re-mergeable in any order:
+///
+/// ```
+/// use saq_core::aggregate::{CountSumAgg, CountSumOp, ItemRef, PartialAggregate};
+/// use saq_core::predicate::Predicate;
+///
+/// let agg = CountSumAgg { op: CountSumOp::Count, pred: Predicate::less_than(10) };
+/// let item = |v| ItemRef { node: v, slot: 0, value: v };
+/// let (a, b, c) = (
+///     agg.partial_over([item(1), item(20)]),
+///     agg.partial_over([item(3)]),
+///     agg.partial_over([item(7), item(9)]),
+/// );
+///
+/// // Identity is neutral…
+/// assert_eq!(agg.merge(a, agg.identity()), a);
+/// // …merge is commutative…
+/// assert_eq!(agg.merge(a, b), agg.merge(b, a));
+/// // …and associative: tree shape cannot change the root's answer.
+/// assert_eq!(
+///     agg.merge(agg.merge(a, b), c),
+///     agg.merge(a, agg.merge(b, c)),
+/// );
+/// assert_eq!(agg.finalize(&agg.merge(agg.merge(a, b), c)), 4);
+/// ```
 pub trait PartialAggregate {
     /// The mergeable partial state.
     type Partial: Clone + Debug + PartialEq;
@@ -537,6 +566,205 @@ impl PartialAggregate for CollectAgg {
     }
 }
 
+/// ε-approximate quantile summary over active items — the
+/// Greenwald–Khanna-style mergeable summary of `saq_sketches::quantile`
+/// expressed as a two-step aggregate, so the engine can batch "give me
+/// any quantile" queries alongside the paper's primitives (the GK
+/// comparison the paper cites as concurrent work: *"any approximate
+/// order statistic after one pass"*).
+///
+/// Each merge prunes the combined summary back to `budget + 1` entries,
+/// adding at most `⌈count/(2·budget)⌉` rank error per tree level; the
+/// root summary answers **every** quantile within its certified
+/// [`saq_sketches::QuantileSummary::max_rank_error`]. `merge` is
+/// commutative and associative only up to that certificate (pruning is
+/// order-sensitive), which is the declared equivalence for this
+/// aggregate.
+///
+/// The codec is request-contextual: values travel in `⌈log₂(X̄+1)⌉` bits
+/// and rank bounds in `⌈log₂(count+1)⌉` bits, so a partial costs
+/// `Θ(budget · log X̄)` bits — deliberately more than the paper's binary
+/// search, in exchange for answering all quantiles in one convergecast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantileAgg {
+    /// Prune budget: partials carry at most `budget + 1` entries.
+    pub budget: u32,
+    /// Declared maximum item value (fixes the wire width).
+    pub xbar: Value,
+}
+
+impl QuantileAgg {
+    fn prune(&self, s: &mut QuantileSummary) {
+        s.prune(self.budget.max(1) as usize);
+    }
+}
+
+impl PartialAggregate for QuantileAgg {
+    type Partial = QuantileSummary;
+    type Output = QuantileSummary;
+
+    fn identity(&self) -> QuantileSummary {
+        QuantileSummary::new()
+    }
+
+    fn contribute(&self, p: &mut QuantileSummary, item: ItemRef) {
+        *p = QuantileSummary::merged(p, &QuantileSummary::from_single(item.value));
+        self.prune(p);
+    }
+
+    /// Bulk fold: sort once and build an exact summary, then prune —
+    /// `O(m log m)` where per-item merges would be `O(m · budget)`.
+    fn partial_over<I: IntoIterator<Item = ItemRef>>(&self, items: I) -> QuantileSummary {
+        let mut vals: Vec<Value> = items.into_iter().map(|it| it.value).collect();
+        vals.sort_unstable();
+        let mut s = QuantileSummary::from_sorted(&vals);
+        self.prune(&mut s);
+        s
+    }
+
+    fn merge(&self, a: QuantileSummary, b: QuantileSummary) -> QuantileSummary {
+        let mut m = QuantileSummary::merged(&a, &b);
+        self.prune(&mut m);
+        m
+    }
+
+    fn encode(&self, p: &QuantileSummary, w: &mut BitWriter) {
+        w.write_gamma(p.count() + 1);
+        w.write_gamma(p.len() as u64 + 1);
+        let vw = width_for_max(self.xbar);
+        let rank_w = width_for_max(p.count().max(1));
+        for e in p.entries() {
+            w.write_bits(e.value, vw);
+            w.write_bits(e.rmin, rank_w);
+            w.write_bits(e.rmax, rank_w);
+        }
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<QuantileSummary, NetsimError> {
+        let count = r.read_gamma()? - 1;
+        let len = r.read_gamma()? - 1;
+        if len > count.min(1 << 20) {
+            return Err(NetsimError::WireDecode("quantile summary length invalid"));
+        }
+        let vw = width_for_max(self.xbar);
+        let rank_w = width_for_max(count.max(1));
+        let mut entries = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            let value = r.read_bits(vw)?;
+            let rmin = r.read_bits(rank_w)?;
+            let rmax = r.read_bits(rank_w)?;
+            entries.push(saq_sketches::quantile::QEntry { value, rmin, rmax });
+        }
+        QuantileSummary::from_parts(entries, count)
+            .map_err(|_| NetsimError::WireDecode("quantile summary inconsistent"))
+    }
+
+    /// The accessor is the summary itself: the root queries it for any
+    /// rank or φ-quantile (`query_rank`, `query_quantile`) with the
+    /// certified error bound.
+    fn finalize(&self, p: &QuantileSummary) -> QuantileSummary {
+        p.clone()
+    }
+}
+
+/// Bottom-k (KMV) uniform value sample over active items — the ODI
+/// sampling synopsis of `saq_sketches::sampling` as a two-step
+/// aggregate.
+///
+/// Items are keyed by a hash of their stable `(node, slot)` identity, so
+/// "the k smallest keys of the union" is a uniform sample of the item
+/// population determined by the union alone: order- and
+/// duplicate-insensitive, hence safely re-mergeable from cached subtree
+/// partials. The hash seed derives from `(cfg seed, nonce)` carried in
+/// the request encoding, so equal requests reproduce the identical
+/// sample — which is what makes the aggregate *cacheable* (a repeat hit
+/// is bit-exact, not a fresh random draw).
+///
+/// A partial costs `Θ(k · (64 + log X̄))` bits (full hash keys are kept
+/// on the wire so `decode(encode(p)) == p` holds bit-exactly), the
+/// `Ω(log N)`-per-node shape the paper contrasts with its polyloglog
+/// algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BottomKAgg {
+    /// Sample capacity `k`.
+    pub k: u32,
+    /// Declared maximum item value (fixes the value wire width).
+    pub xbar: Value,
+    hash: HashFamily,
+}
+
+impl BottomKAgg {
+    /// Builds the aggregate for one invocation, hashing item identities
+    /// with a function derived from `(seed, nonce)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (callers validate via the engine/network APIs).
+    pub fn new(k: u32, xbar: Value, seed: u64, nonce: u64) -> Self {
+        assert!(k > 0, "bottom-k sample capacity must be positive");
+        BottomKAgg {
+            k,
+            xbar,
+            hash: HashFamily::new(derive_seed(seed, nonce, 0xB077)),
+        }
+    }
+
+    fn value_width(&self) -> u32 {
+        width_for_max(self.xbar).max(1)
+    }
+}
+
+impl PartialAggregate for BottomKAgg {
+    type Partial = BottomK;
+    type Output = Vec<Value>;
+
+    fn identity(&self) -> BottomK {
+        BottomK::new(self.k as usize, self.value_width())
+    }
+
+    fn contribute(&self, p: &mut BottomK, item: ItemRef) {
+        p.insert(self.hash.hash_pair(item.node, item.slot), item.value);
+    }
+
+    fn merge(&self, mut a: BottomK, b: BottomK) -> BottomK {
+        a.merge_from(&b);
+        a
+    }
+
+    fn encode(&self, p: &BottomK, w: &mut BitWriter) {
+        // k and the value width are request context known to both
+        // endpoints; only the retained pairs travel.
+        w.write_gamma(p.len() as u64 + 1);
+        let vw = self.value_width();
+        for &(key, value) in p.entries() {
+            w.write_bits(key, 64);
+            w.write_bits(value, vw);
+        }
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<BottomK, NetsimError> {
+        let len = r.read_gamma()? - 1;
+        if len > self.k as u64 {
+            return Err(NetsimError::WireDecode("bottom-k sample exceeds k"));
+        }
+        let vw = self.value_width();
+        let mut p = self.identity();
+        for _ in 0..len {
+            let key = r.read_bits(64)?;
+            let value = r.read_bits(vw)?;
+            p.insert(key, value);
+        }
+        Ok(p)
+    }
+
+    /// The accessor: the sampled values, ordered by hash key (i.e.
+    /// uniformly shuffled) — the root can take quantiles, means, or any
+    /// other statistic of the uniform sample.
+    fn finalize(&self, p: &BottomK) -> Vec<Value> {
+        p.sample()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -656,6 +884,98 @@ mod tests {
         assert_eq!(m, vec![1, 3, 5]);
         assert_eq!(agg.finalize(&m), 3);
         roundtrip(&agg, &m);
+    }
+
+    #[test]
+    fn quantile_two_step() {
+        let agg = QuantileAgg {
+            budget: 8,
+            xbar: 1000,
+        };
+        let left = agg.partial_over((0..500).map(item));
+        let right = agg.partial_over((500..1000).map(item));
+        assert!(left.len() <= 9, "partial pruned to budget+1");
+        let m = agg.merge(left, right);
+        let s = agg.finalize(&m);
+        assert_eq!(s.count(), 1000);
+        let med = s.query_rank(500).unwrap();
+        let err = s.max_rank_error();
+        // True rank of value v is v+1; certified bound must hold.
+        assert!(
+            (med + 1).abs_diff(500) <= err,
+            "median {med} rank error {err}"
+        );
+        roundtrip(&agg, &m);
+        roundtrip(&agg, &QuantileSummary::new());
+    }
+
+    #[test]
+    fn quantile_identity_neutral() {
+        let agg = QuantileAgg {
+            budget: 4,
+            xbar: 100,
+        };
+        let p = agg.partial_over([item(3), item(9), item(27)]);
+        assert_eq!(agg.merge(p.clone(), agg.identity()), p);
+        assert_eq!(agg.merge(agg.identity(), p.clone()), p);
+    }
+
+    #[test]
+    fn quantile_decode_rejects_inconsistent_summary() {
+        let agg = QuantileAgg {
+            budget: 4,
+            xbar: 100,
+        };
+        // len > count is impossible for a real summary.
+        let mut w = BitWriter::new();
+        w.write_gamma(2); // count = 1
+        w.write_gamma(3); // len = 2
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert!(agg.decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn bottom_k_two_step_is_odi() {
+        let agg = BottomKAgg::new(16, 1000, 7, 42);
+        let whole = agg.partial_over((0..200).map(item));
+        let left = agg.partial_over((0..120).map(item));
+        let right = agg.partial_over((120..200).map(item));
+        // Any partition merges to the union's bottom-k (ODI).
+        assert_eq!(agg.merge(left.clone(), right.clone()), whole);
+        assert_eq!(agg.merge(right, left), whole);
+        let sample = agg.finalize(&whole);
+        assert_eq!(sample.len(), 16);
+        roundtrip(&agg, &whole);
+        roundtrip(&agg, &agg.identity());
+    }
+
+    #[test]
+    fn bottom_k_same_nonce_reproduces_sample() {
+        let a = BottomKAgg::new(8, 100, 5, 1);
+        let b = BottomKAgg::new(8, 100, 5, 1);
+        let c = BottomKAgg::new(8, 100, 5, 2);
+        let items: Vec<ItemRef> = (0..50).map(item).collect();
+        assert_eq!(
+            a.partial_over(items.iter().copied()),
+            b.partial_over(items.iter().copied()),
+            "equal (seed, nonce) must be bit-identical (cacheability)"
+        );
+        assert_ne!(
+            a.finalize(&a.partial_over(items.iter().copied())),
+            c.finalize(&c.partial_over(items.iter().copied())),
+            "different nonces draw different samples"
+        );
+    }
+
+    #[test]
+    fn bottom_k_decode_rejects_oversized_sample() {
+        let agg = BottomKAgg::new(2, 100, 5, 1);
+        let mut w = BitWriter::new();
+        w.write_gamma(4); // len = 3 > k = 2
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert!(agg.decode(&mut r).is_err());
     }
 
     #[test]

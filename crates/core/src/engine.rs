@@ -38,7 +38,7 @@ use crate::model::Value;
 use crate::net::AggregationNetwork;
 use crate::plan::{
     ApxMedian2Plan, ApxMedianPlan, MedianPlan, PlanInput, PlanOp, PlanStep, PrimitivePlan,
-    QueryPlan,
+    QuantileOutcome, QuantilePlan, QueryPlan,
 };
 use crate::predicate::{Domain, Predicate};
 use crate::simnet::SimNetwork;
@@ -72,6 +72,22 @@ pub enum QuerySpec {
     },
     /// Collect every value (naive baseline).
     Collect,
+    /// ε-approximate φ-quantile via one mergeable-summary convergecast
+    /// (GK-style): answers with a certified rank-error bound of at most
+    /// `ε · N`.
+    Quantile {
+        /// The queried quantile, `0 < q ≤ 1` (`0.5` = median).
+        q: f64,
+        /// Rank-error budget ε as a fraction of the population.
+        eps: f64,
+    },
+    /// Bottom-k uniform sample of item values (ODI: deterministic
+    /// identity hashing, so repeats reproduce — and can be served from
+    /// subtree partial caches).
+    BottomK {
+        /// Sample capacity, `k ≥ 1`.
+        k: u32,
+    },
     /// Exact median (Fig. 1).
     Median,
     /// Exact `k`-order statistic (§3.4).
@@ -103,8 +119,11 @@ pub enum QueryOutcome {
     OptVal(Option<Value>),
     /// Sketch estimate.
     Est(f64),
-    /// Collected values.
+    /// Collected values, or a bottom-k sample (key-ordered, i.e.
+    /// uniformly shuffled).
     Values(Vec<Value>),
+    /// ε-approximate quantile with its certified rank error.
+    Quantile(QuantileOutcome),
     /// Exact median / order statistic.
     Median(MedianOutcome),
     /// Approximate median.
@@ -117,11 +136,13 @@ pub enum QueryOutcome {
 /// under lossless links).
 ///
 /// Exact under [`saq_protocols::wave::Reliability::None`] (the engine's
-/// intended setting). Under per-hop ARQ the bill is a lower bound:
-/// each logical message is charged once at encode time (retransmissions
-/// resend the cached payload without re-encoding), ACK frames are never
-/// attributed, and the shared-overhead share assumes one message per
-/// tree edge.
+/// intended setting), including under partial caching: the
+/// shared-overhead share bills one wave header per message *actually
+/// transmitted*, so cache-silenced subtrees are never charged. Under
+/// per-hop ARQ the payload bill is a lower bound (each logical message
+/// is charged once at encode time; retransmissions resend the cached
+/// payload without re-encoding) while the header share counts every
+/// transmitted frame, ACK and retransmission frames included.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryBits {
     /// Bits of this query's sub-requests in request envelopes.
@@ -171,6 +192,7 @@ pub enum BatchPolicy {
 
 enum EnginePlan {
     Primitive(PrimitivePlan),
+    Quantile(QuantilePlan),
     Median(MedianPlan),
     ApxMedian(ApxMedianPlan),
     ApxMedian2(Box<ApxMedian2Plan>),
@@ -188,6 +210,10 @@ impl EnginePlan {
                     PlanInput::Values(v) => QueryOutcome::Values(v),
                     other => unreachable!("primitive produced {other:?}"),
                 }),
+            },
+            EnginePlan::Quantile(p) => match p.step(input)? {
+                PlanStep::Issue(op) => PlanStep::Issue(op),
+                PlanStep::Done(out) => PlanStep::Done(QueryOutcome::Quantile(out)),
             },
             EnginePlan::Median(p) => match p.step(input)? {
                 PlanStep::Issue(op) => PlanStep::Issue(op),
@@ -207,6 +233,7 @@ impl EnginePlan {
     fn mutates_items(&self) -> bool {
         match self {
             EnginePlan::Primitive(p) => p.mutates_items(),
+            EnginePlan::Quantile(p) => p.mutates_items(),
             EnginePlan::Median(p) => p.mutates_items(),
             EnginePlan::ApxMedian(p) => p.mutates_items(),
             EnginePlan::ApxMedian2(p) => p.mutates_items(),
@@ -267,6 +294,11 @@ impl QuerySlot {
                 nonce: self.fresh_nonce(),
             },
             PlanOp::Collect => CoreRequest::Collect,
+            PlanOp::QuantileSummary { budget } => CoreRequest::Quantile { budget: *budget },
+            // Deterministic nonce (ODI sampling convention): equal
+            // bottom-k requests reproduce the identical sample, which
+            // also makes them servable from subtree partial caches.
+            PlanOp::BottomK { k } => CoreRequest::BottomK { k: *k, nonce: 0 },
             PlanOp::Zoom { mu_hat } => CoreRequest::Zoom { mu_hat: *mu_hat },
         }
     }
@@ -407,6 +439,26 @@ impl QueryEngine {
                 EnginePlan::Primitive(PrimitivePlan::new(PlanOp::DistinctApx { reps: *reps }))
             }
             QuerySpec::Collect => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Collect)),
+            QuerySpec::Quantile { q, eps } => {
+                // Worst-case merge-then-prune steps along any root path:
+                // every node prunes once per child merge plus once for
+                // its own partial, bounded by the tree's communication
+                // degree per level.
+                let prunes = (self.net.tree_height() + 1)
+                    .saturating_mul(self.net.tree_max_degree().min(u32::MAX as usize) as u32);
+                EnginePlan::Quantile(QuantilePlan::new(
+                    *q,
+                    QuantilePlan::budget_for(*eps, prunes)?,
+                )?)
+            }
+            QuerySpec::BottomK { k } => {
+                if *k == 0 {
+                    return Err(QueryError::InvalidParameter(
+                        "bottom-k sample capacity must be positive",
+                    ));
+                }
+                EnginePlan::Primitive(PrimitivePlan::new(PlanOp::BottomK { k: *k }))
+            }
             QuerySpec::Median => EnginePlan::Median(MedianPlan::median(xbar)),
             QuerySpec::OrderStatistic { k } => {
                 EnginePlan::Median(MedianPlan::order_statistic(xbar, *k))
@@ -549,15 +601,19 @@ impl QueryEngine {
     fn issue_wave(&mut self, round: &[(usize, CoreRequest)]) -> Result<(), QueryError> {
         self.waves += 1;
         let reqs: Vec<CoreRequest> = round.iter().map(|(_, r)| r.clone()).collect();
-        let (partials, slot_bits, envelope_bits) = self.net.run_batch(reqs)?;
-        debug_assert_eq!(partials.len(), round.len());
-        // Unattributable framing: one wave header per transmitted
-        // message. Under lossless links every edge of the spanning tree
-        // carries one request and one partial message per wave.
-        let messages = 2 * (self.net.num_nodes() as u64).saturating_sub(1);
-        let header_bits = WAVE_HEADER_BITS * messages;
-        let share = (header_bits + envelope_bits) / round.len() as u64;
-        for ((qi, req), (partial, bits)) in round.iter().zip(partials.into_iter().zip(slot_bits)) {
+        let out = self.net.run_batch(reqs)?;
+        debug_assert_eq!(out.partials.len(), round.len());
+        // Unattributable framing: one wave header per message *actually
+        // transmitted*. Under lossless links without caching that is one
+        // request and one partial per spanning-tree edge; with subtree
+        // partial caching, silenced subtrees (down to a fully cached,
+        // zero-message wave) shrink the bill accordingly.
+        let header_bits = WAVE_HEADER_BITS * out.messages;
+        let share = (header_bits + out.envelope_bits) / round.len() as u64;
+        for ((qi, req), (partial, bits)) in round
+            .iter()
+            .zip(out.partials.into_iter().zip(out.slot_bits))
+        {
             let slot = &mut self.slots[*qi];
             slot.bits.request_bits += bits.request_bits;
             slot.bits.partial_bits += bits.partial_bits;
@@ -646,6 +702,66 @@ mod tests {
         // Items restored after the zooming query.
         let mut net = engine.into_network();
         assert_eq!(net.count(&Predicate::TRUE).unwrap(), 36);
+    }
+
+    #[test]
+    fn quantile_and_bottom_k_batch_with_primitives() {
+        let mut engine = QueryEngine::new(grid_net(6, 9));
+        let count = engine.submit(QuerySpec::Count(Predicate::TRUE));
+        let quant = engine.submit(QuerySpec::Quantile { q: 0.5, eps: 0.1 });
+        let sample = engine.submit(QuerySpec::BottomK { k: 8 });
+        let reports = engine.run().unwrap();
+        // All three are single-wave queries: one shared wave.
+        assert_eq!(engine.waves_issued(), 1);
+        assert_eq!(reports[count].outcome, Ok(QueryOutcome::Num(36)));
+        match &reports[quant].outcome {
+            Ok(QueryOutcome::Quantile(out)) => {
+                assert_eq!(out.count, 36);
+                let v = out.value.expect("nonempty network");
+                // 36 items (i*13)%36: the certified bound must hold for
+                // the true rank of the answered value.
+                let mut items: Vec<Value> = (0..36u64).map(|i| (i * 13) % 36).collect();
+                items.sort_unstable();
+                let lo = items.iter().filter(|&&x| x < v).count() as u64 + 1;
+                let hi = items.iter().filter(|&&x| x <= v).count() as u64;
+                assert!(
+                    lo <= 18 + out.rank_error && hi + out.rank_error >= 18,
+                    "median {v} outside certified band ±{}",
+                    out.rank_error
+                );
+                // The budget was provisioned for ε·N total rank error
+                // across every merge-then-prune on the tree.
+                assert!(out.rank_error as f64 <= 0.1 * 36.0);
+            }
+            other => panic!("quantile failed: {other:?}"),
+        }
+        match &reports[sample].outcome {
+            Ok(QueryOutcome::Values(vs)) => assert_eq!(vs.len(), 8),
+            other => panic!("bottom-k failed: {other:?}"),
+        }
+        // Honest per-slot attribution: every query billed, the summary
+        // and sample pay more than the cheap count.
+        for r in &reports {
+            assert!(r.bits.total() > 0, "query {} unbilled", r.id);
+        }
+        assert!(reports[quant].bits.partial_bits > reports[count].bits.partial_bits);
+        assert!(reports[sample].bits.partial_bits > reports[count].bits.partial_bits);
+    }
+
+    #[test]
+    fn quantile_invalid_parameters_reported() {
+        let mut engine = QueryEngine::new(grid_net(3, 10));
+        let bad_q = engine.submit(QuerySpec::Quantile { q: 0.0, eps: 0.1 });
+        let bad_eps = engine.submit(QuerySpec::Quantile { q: 0.5, eps: 1.5 });
+        let bad_k = engine.submit(QuerySpec::BottomK { k: 0 });
+        let reports = engine.run().unwrap();
+        for id in [bad_q, bad_eps, bad_k] {
+            assert!(
+                matches!(reports[id].outcome, Err(QueryError::InvalidParameter(_))),
+                "query {id} should fail: {:?}",
+                reports[id].outcome
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod apx_median;
 pub mod apx_median2;
@@ -51,7 +53,7 @@ pub mod predicate;
 pub mod simnet;
 pub mod wave_proto;
 
-pub use aggregate::{ItemRef, PartialAggregate};
+pub use aggregate::{BottomKAgg, ItemRef, PartialAggregate, QuantileAgg};
 pub use apx_median::{ApxMedian, ApxMedianOutcome};
 pub use apx_median2::{ApxMedian2, ApxMedian2Outcome};
 pub use count_distinct::CountDistinct;
@@ -62,6 +64,6 @@ pub use local::LocalNetwork;
 pub use median::{Median, MedianOutcome};
 pub use model::Value;
 pub use net::AggregationNetwork;
-pub use plan::{PlanOp, QueryPlan};
+pub use plan::{PlanOp, QuantileOutcome, QuantilePlan, QueryPlan};
 pub use predicate::{Domain, Predicate};
-pub use simnet::{SimNetwork, SimNetworkBuilder};
+pub use simnet::{BatchOutcome, SimNetwork, SimNetworkBuilder};

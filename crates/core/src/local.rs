@@ -106,6 +106,18 @@ impl LocalNetwork {
         })
     }
 
+    /// Active items as [`ItemRef`]s with the local model's `(index, 0)`
+    /// identity scheme.
+    fn active_refs(&self) -> impl Iterator<Item = ItemRef> + '_ {
+        self.items.iter().enumerate().filter_map(|(idx, it)| {
+            it.cur.map(|value| ItemRef {
+                node: idx as u64,
+                slot: 0,
+                value,
+            })
+        })
+    }
+
     /// Runs `reps` independent LogLog instances over the active items
     /// satisfying `p` via the two-step [`SketchAgg`], keyed exactly as
     /// the simulated network keys them (item identity `(index, 0)`).
@@ -117,13 +129,7 @@ impl LocalNetwork {
             SketchKey::ByItem
         };
         let agg = SketchAgg::new(*p, key, self.cfg, reps, self.nonce);
-        let partial = agg.partial_over(self.items.iter().enumerate().filter_map(|(idx, it)| {
-            it.cur.map(|value| ItemRef {
-                node: idx as u64,
-                slot: 0,
-                value,
-            })
-        }));
+        let partial = agg.partial_over(self.active_refs());
         self.ops.apx_count_instances += reps as u64;
         agg.finalize(&partial)
     }
@@ -209,6 +215,38 @@ impl AggregationNetwork for LocalNetwork {
         validate_reps(reps)?;
         self.ops.distinct_ops += 1;
         Ok(self.sketch_average(&Predicate::TRUE, reps, true))
+    }
+
+    fn quantile_summary(
+        &mut self,
+        budget: u32,
+    ) -> Result<saq_sketches::QuantileSummary, QueryError> {
+        if budget == 0 {
+            return Err(QueryError::InvalidParameter(
+                "quantile prune budget must be positive",
+            ));
+        }
+        self.ops.quantile_ops += 1;
+        let agg = crate::aggregate::QuantileAgg {
+            budget,
+            xbar: self.xbar,
+        };
+        let partial = agg.partial_over(self.active_refs());
+        Ok(agg.finalize(&partial))
+    }
+
+    fn bottom_k(&mut self, k: u32) -> Result<Vec<Value>, QueryError> {
+        if k == 0 {
+            return Err(QueryError::InvalidParameter(
+                "bottom-k sample capacity must be positive",
+            ));
+        }
+        self.ops.sample_ops += 1;
+        // Deterministic nonce: the sample is a fixed function of the item
+        // population, matching the simulated network's cacheable keying.
+        let agg = crate::aggregate::BottomKAgg::new(k, self.xbar, self.cfg.seed, 0);
+        let partial = agg.partial_over(self.active_refs());
+        Ok(agg.finalize(&partial))
     }
 
     fn ground_truth(&self) -> Vec<Value> {

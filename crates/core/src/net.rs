@@ -46,6 +46,10 @@ pub struct OpCounts {
     pub collect_ops: u64,
     /// COUNT_DISTINCT protocol runs (exact or approximate).
     pub distinct_ops: u64,
+    /// Mergeable quantile-summary convergecasts.
+    pub quantile_ops: u64,
+    /// Bottom-k sampling convergecasts.
+    pub sample_ops: u64,
 }
 
 /// The abstract sensor network of §2.1: a multiset of items distributed
@@ -145,6 +149,32 @@ pub trait AggregationNetwork {
     /// Returns [`QueryError::InvalidParameter`] if `reps == 0`; propagates
     /// protocol failures.
     fn distinct_apx(&mut self, reps: u32) -> Result<f64, QueryError>;
+
+    /// Mergeable ε-approximate quantile summary over active items
+    /// (GK-style, the one-pass comparator the paper cites in §1): every
+    /// partial is pruned to at most `budget + 1` entries, and the
+    /// returned root summary answers *any* quantile within its certified
+    /// rank-error bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::InvalidParameter`] if `budget == 0`;
+    /// propagates protocol failures.
+    fn quantile_summary(
+        &mut self,
+        budget: u32,
+    ) -> Result<saq_sketches::QuantileSummary, QueryError>;
+
+    /// Bottom-k (KMV) uniform sample of active item values, keyed by a
+    /// deterministic hash of item identity — order- and
+    /// duplicate-insensitive, so repeated invocations reproduce the same
+    /// sample (and can be served from subtree partial caches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::InvalidParameter`] if `k == 0`; propagates
+    /// protocol failures.
+    fn bottom_k(&mut self, k: u32) -> Result<Vec<Value>, QueryError>;
 
     /// Measurement-only ground truth: the current active item values,
     /// read out-of-band (never charged). Used by verification and the

@@ -57,6 +57,16 @@ pub enum PlanOp {
     },
     /// Collect every active value (naive baseline).
     Collect,
+    /// Mergeable ε-approximate quantile summary convergecast.
+    QuantileSummary {
+        /// Prune budget: partials carry at most `budget + 1` entries.
+        budget: u32,
+    },
+    /// Bottom-k (KMV) uniform value sample.
+    BottomK {
+        /// Sample capacity.
+        k: u32,
+    },
     /// Fig. 4 zoom broadcast — **mutates every node's items**.
     Zoom {
         /// The selected octave `µ̂`.
@@ -83,8 +93,11 @@ pub enum PlanInput {
     OptVal(Option<Value>),
     /// Result of `ApxCount`/`DistinctApx` (the finalized mean estimate).
     Est(f64),
-    /// Result of `Collect`.
+    /// Result of `Collect` or `BottomK` (the finalized sample).
     Values(Vec<Value>),
+    /// Result of `QuantileSummary`: the root's merged summary, queryable
+    /// for any rank within its certified error.
+    Quantile(saq_sketches::QuantileSummary),
     /// Result of `Zoom`.
     Unit,
 }
@@ -138,6 +151,8 @@ pub fn execute_op<N: AggregationNetwork>(
         PlanOp::DistinctExact => PlanInput::Num(net.distinct_exact()?),
         PlanOp::DistinctApx { reps } => PlanInput::Est(net.distinct_apx(*reps)?),
         PlanOp::Collect => PlanInput::Values(net.collect_values()?),
+        PlanOp::QuantileSummary { budget } => PlanInput::Quantile(net.quantile_summary(*budget)?),
+        PlanOp::BottomK { k } => PlanInput::Values(net.bottom_k(*k)?),
         PlanOp::Zoom { mu_hat } => {
             net.zoom(*mu_hat)?;
             PlanInput::Unit
@@ -213,6 +228,114 @@ impl QueryPlan for PrimitivePlan {
 
     fn mutates_items(&self) -> bool {
         self.op.mutates_items()
+    }
+}
+
+/// Outcome of a [`QuantilePlan`]: the φ-quantile read off the root's
+/// merged summary, with the summary's *certified* error bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileOutcome {
+    /// A value whose rank is within `rank_error` of `⌈φ·count⌉`
+    /// (`None` on an empty network).
+    pub value: Option<Value>,
+    /// Certified worst-case rank deviation of `value`
+    /// ([`saq_sketches::QuantileSummary::max_rank_error`]).
+    pub rank_error: u64,
+    /// Number of items the summary represents.
+    pub count: u64,
+    /// Entries the root summary retained (its wire footprint driver).
+    pub summary_len: usize,
+}
+
+/// A single-wave ε-approximate quantile query: one mergeable-summary
+/// convergecast ([`PlanOp::QuantileSummary`]), then the φ-quantile is
+/// read off the merged summary at the root — the GK-style "all
+/// quantiles in one pass" trade-off the paper contrasts with its
+/// targeted binary search (§1).
+#[derive(Debug, Clone)]
+pub struct QuantilePlan {
+    /// The queried quantile φ ∈ (0, 1].
+    q: f64,
+    /// Prune budget shipped in the request.
+    budget: u32,
+    issued: bool,
+}
+
+impl QuantilePlan {
+    /// A plan for the φ-quantile with per-partial prune budget `budget`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidParameter`] unless `0 < q ≤ 1` and
+    /// `budget ≥ 1`.
+    pub fn new(q: f64, budget: u32) -> Result<Self, QueryError> {
+        if !(q > 0.0 && q <= 1.0) {
+            return Err(QueryError::InvalidParameter("quantile must be in (0, 1]"));
+        }
+        if budget == 0 {
+            return Err(QueryError::InvalidParameter(
+                "quantile prune budget must be positive",
+            ));
+        }
+        Ok(QuantilePlan {
+            q,
+            budget,
+            issued: false,
+        })
+    }
+
+    /// Chooses a prune budget guaranteeing ε-approximate ranks after a
+    /// tree aggregation performing at most `prunes` merge-then-prune
+    /// steps along any leaf-to-root path. Each prune adds at most
+    /// `count/(2·budget)` rank error, telescoping to
+    /// `≤ prunes·count/(2·budget)` at the root, so
+    /// `budget = ⌈prunes/(2ε)⌉` keeps the total within `ε·count`.
+    ///
+    /// `prunes` must count **every** prune on the path, not just tree
+    /// levels: a node prunes once building its own partial and once per
+    /// child merge, so a tree of height `h` and communication degree `d`
+    /// performs at most `(h + 1)·d` prunes per path — the bound the
+    /// engine passes from the network's measured tree shape.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidParameter`] unless `0 < ε < 1`, or when the
+    /// required budget exceeds the `u16::MAX`-entry wire bound (an ε
+    /// this small cannot be certified on a tree this tall — failing
+    /// loudly beats silently weakening the guarantee).
+    pub fn budget_for(epsilon: f64, prunes: u32) -> Result<u32, QueryError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(QueryError::InvalidParameter("epsilon must be in (0, 1)"));
+        }
+        let b = (prunes.max(1) as f64 / (2.0 * epsilon)).ceil();
+        if b > u16::MAX as f64 {
+            return Err(QueryError::InvalidParameter(
+                "epsilon too small for this tree: prune budget exceeds the 16-bit wire bound",
+            ));
+        }
+        Ok((b as u32).max(1))
+    }
+}
+
+impl QueryPlan for QuantilePlan {
+    type Outcome = QuantileOutcome;
+
+    fn step(&mut self, input: PlanInput) -> Result<PlanStep<QuantileOutcome>, QueryError> {
+        if !self.issued {
+            self.issued = true;
+            return Ok(PlanStep::Issue(PlanOp::QuantileSummary {
+                budget: self.budget,
+            }));
+        }
+        let PlanInput::Quantile(summary) = input else {
+            unreachable!("quantile plan expected a summary, got {input:?}");
+        };
+        Ok(PlanStep::Done(QuantileOutcome {
+            value: summary.query_quantile(self.q),
+            rank_error: summary.max_rank_error(),
+            count: summary.count(),
+            summary_len: summary.len(),
+        }))
     }
 }
 

@@ -50,6 +50,7 @@ pub struct SimNetworkBuilder {
     apx: ApxCountConfig,
     max_children: usize,
     reliability: Reliability,
+    cache_entries: usize,
 }
 
 impl Default for SimNetworkBuilder {
@@ -59,6 +60,7 @@ impl Default for SimNetworkBuilder {
             apx: ApxCountConfig::default(),
             max_children: 3,
             reliability: Reliability::None,
+            cache_entries: 0,
         }
     }
 }
@@ -91,6 +93,18 @@ impl SimNetworkBuilder {
     /// Enables per-hop ARQ (for lossy-link experiments).
     pub fn reliability(mut self, r: Reliability) -> Self {
         self.reliability = r;
+        self
+    }
+
+    /// Enables subtree partial caching at every node, each holding up to
+    /// `entries` cached partials (`0` disables, the default). With
+    /// caching on, repeated cacheable requests (same predicate, domain,
+    /// aggregate kind and parameters) are re-merged from stored subtree
+    /// partials instead of re-contributing leaf items; `Zoom` and item
+    /// mutation invalidate automatically. Off by default so cost
+    /// *measurement* experiments observe the raw protocols.
+    pub fn partial_cache(mut self, entries: usize) -> Self {
+        self.cache_entries = entries;
         self
     }
 
@@ -128,8 +142,11 @@ impl SimNetworkBuilder {
             .into_iter()
             .map(|vs| vs.into_iter().map(SimItem::new).collect())
             .collect();
-        let runner = WaveRunner::new(topo, self.sim_cfg, &tree, proto, items, self.reliability)
+        let mut runner = WaveRunner::new(topo, self.sim_cfg, &tree, proto, items, self.reliability)
             .map_err(QueryError::from)?;
+        if self.cache_entries > 0 {
+            runner.enable_partial_cache(self.cache_entries);
+        }
         Ok(SimNetwork {
             runner,
             ledger,
@@ -160,6 +177,23 @@ impl SimNetworkBuilder {
         }
         self.build(topo, items.iter().map(|&v| vec![v]).collect(), xbar)
     }
+}
+
+/// Everything one multiplexed wave produced: per-slot partials, the
+/// honest bit attribution, and how many messages actually flew.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-slot merged partials, in request order.
+    pub partials: Vec<CorePartial>,
+    /// Per-slot transmit-side bit attribution from the [`MuxLedger`].
+    pub slot_bits: Vec<MuxSlotBits>,
+    /// Unattributable envelope framing bits (slot-count prefix, dense
+    /// flag, slot tags of subset envelopes).
+    pub envelope_bits: u64,
+    /// Messages transmitted during the wave — `2·(N−1)` on a full
+    /// lossless wave, fewer when subtree caches silenced subtrees, zero
+    /// when the root answered every slot itself.
+    pub messages: u64,
 }
 
 /// An [`AggregationNetwork`] whose primitives execute as simulated
@@ -196,8 +230,11 @@ impl SimNetwork {
     }
 
     fn run(&mut self, req: CoreRequest) -> Result<CorePartial, QueryError> {
-        let (mut partials, _, _) = self.run_batch(vec![req])?;
-        Ok(partials.pop().expect("singleton batch yields one partial"))
+        let mut out = self.run_batch(vec![req])?;
+        Ok(out
+            .partials
+            .pop()
+            .expect("singleton batch yields one partial"))
     }
 
     /// Direct-call nonces carry the top bit, keeping them disjoint from
@@ -212,24 +249,46 @@ impl SimNetwork {
     /// Runs one **shared wave** answering every request in `reqs` — the
     /// multiplexed round the [`crate::engine::QueryEngine`] batches
     /// concurrent queries into. Returns the per-slot partials plus the
-    /// honest per-slot bit attribution and the shared envelope bits of
-    /// this wave (transmit-side; see [`MuxSlotBits`]).
+    /// honest per-slot bit attribution, the shared envelope bits and the
+    /// number of messages actually transmitted (transmit-side; see
+    /// [`MuxSlotBits`]). With partial caching enabled a wave may
+    /// transmit fewer messages than the tree has edges — down to zero
+    /// when every slot is served from the root's cache — and the message
+    /// count is what header accounting must bill.
     ///
     /// # Errors
     ///
     /// [`QueryError::InvalidParameter`] on an empty batch; protocol
     /// failures are propagated.
-    pub fn run_batch(
-        &mut self,
-        reqs: Vec<CoreRequest>,
-    ) -> Result<(Vec<CorePartial>, Vec<MuxSlotBits>, u64), QueryError> {
+    pub fn run_batch(&mut self, reqs: Vec<CoreRequest>) -> Result<BatchOutcome, QueryError> {
         if reqs.is_empty() {
             return Err(QueryError::InvalidParameter("empty wave batch"));
         }
         self.ledger.borrow_mut().reset(reqs.len());
-        let partials = self.runner.run_wave(reqs).map_err(QueryError::from)?;
+        let tx_before = self.total_tx_packets();
+        let partials = self
+            .runner
+            .run_wave(MultiplexWave::<CoreWave>::envelope(reqs))
+            .map_err(QueryError::from)?;
+        let messages = self.total_tx_packets() - tx_before;
         let ledger = self.ledger.borrow();
-        Ok((partials, ledger.slots().to_vec(), ledger.envelope_bits()))
+        Ok(BatchOutcome {
+            partials,
+            slot_bits: ledger.slots().to_vec(),
+            envelope_bits: ledger.envelope_bits(),
+            messages,
+        })
+    }
+
+    fn total_tx_packets(&self) -> u64 {
+        let stats = self.runner.stats();
+        (0..stats.len()).map(|v| stats.node(v).tx_packets).sum()
+    }
+
+    /// Network-wide subtree-partial cache counters (all zero when the
+    /// cache is disabled — see [`SimNetworkBuilder::partial_cache`]).
+    pub fn cache_stats(&self) -> saq_protocols::CacheStats {
+        self.runner.cache_stats()
     }
 
     /// The inner wave protocol (aggregate dispatch) configuration.
@@ -268,6 +327,12 @@ impl SimNetwork {
             (CoreRequest::Collect, CorePartial::Values(vs)) => PlanInput::Values(vs),
             (CoreRequest::DistinctExact, CorePartial::Set(vs)) => {
                 PlanInput::Num(proto.distinct_agg().finalize(&vs))
+            }
+            (CoreRequest::Quantile { budget }, CorePartial::Quantile(s)) => {
+                PlanInput::Quantile(proto.quantile_agg(*budget).finalize(&s))
+            }
+            (CoreRequest::BottomK { k, nonce }, CorePartial::Sample(s)) => {
+                PlanInput::Values(proto.bottomk_agg(*k, *nonce).finalize(&s))
             }
             (req, partial) => unreachable!("partial {partial:?} does not answer {req:?}"),
         }
@@ -381,6 +446,39 @@ impl AggregationNetwork for SimNetwork {
         match self.finalize_partial(&req, partial) {
             crate::plan::PlanInput::Est(est) => Ok(est),
             _ => unreachable!("distinct apx wave returns an estimate"),
+        }
+    }
+
+    fn quantile_summary(
+        &mut self,
+        budget: u32,
+    ) -> Result<saq_sketches::QuantileSummary, QueryError> {
+        if budget == 0 {
+            return Err(QueryError::InvalidParameter(
+                "quantile prune budget must be positive",
+            ));
+        }
+        self.ops.quantile_ops += 1;
+        match self.run(CoreRequest::Quantile { budget })? {
+            CorePartial::Quantile(s) => Ok(s),
+            _ => unreachable!("quantile wave returns a summary"),
+        }
+    }
+
+    fn bottom_k(&mut self, k: u32) -> Result<Vec<Value>, QueryError> {
+        if k == 0 {
+            return Err(QueryError::InvalidParameter(
+                "bottom-k sample capacity must be positive",
+            ));
+        }
+        self.ops.sample_ops += 1;
+        // Deterministic nonce (ODI sampling convention): equal requests
+        // reproduce the identical sample, so repeats are cacheable.
+        let req = CoreRequest::BottomK { k, nonce: 0 };
+        let partial = self.run(req.clone())?;
+        match self.finalize_partial(&req, partial) {
+            crate::plan::PlanInput::Values(vs) => Ok(vs),
+            _ => unreachable!("bottom-k wave returns a sample"),
         }
     }
 

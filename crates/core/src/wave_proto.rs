@@ -22,8 +22,8 @@
 //!   they are the baselines whose cost the paper's algorithms beat.
 
 use crate::aggregate::{
-    CollectAgg, CountSumAgg, CountSumOp, DistinctSetAgg, ItemRef, MinMaxAgg, MinMaxOp,
-    PartialAggregate, SketchAgg, SketchKey,
+    BottomKAgg, CollectAgg, CountSumAgg, CountSumOp, DistinctSetAgg, ItemRef, MinMaxAgg, MinMaxOp,
+    PartialAggregate, QuantileAgg, SketchAgg, SketchKey,
 };
 use crate::counting::ApxCountConfig;
 use crate::model::{floor_log2, Value};
@@ -32,8 +32,9 @@ use saq_netsim::rng::Xoshiro256StarStar;
 use saq_netsim::sim::NodeId;
 use saq_netsim::wire::{width_for_max, BitReader, BitWriter};
 use saq_netsim::NetsimError;
+use saq_protocols::cache::CacheKey;
 use saq_protocols::WaveProtocol;
-use saq_sketches::LogLog;
+use saq_sketches::{BottomK, LogLog, QuantileSummary};
 
 /// One item held by a simulated node: its original value plus the current
 /// (possibly rescaled) value; `cur == None` means the item is passive.
@@ -93,6 +94,22 @@ pub enum CoreRequest {
         /// Per-invocation seed discriminator.
         nonce: u32,
     },
+    /// Mergeable ε-approximate quantile summary (GK-style): one
+    /// convergecast answering every quantile within a certified rank
+    /// error.
+    Quantile {
+        /// Prune budget: partials carry at most `budget + 1` entries.
+        budget: u32,
+    },
+    /// Bottom-k (KMV) uniform value sample keyed by item identity.
+    BottomK {
+        /// Sample capacity.
+        k: u32,
+        /// Hash-seed discriminator. Equal `(k, nonce)` requests
+        /// reproduce the identical sample, which is what makes the
+        /// aggregate cacheable.
+        nonce: u32,
+    },
 }
 
 /// Partial aggregates flowing up the tree — each variant is the partial
@@ -111,6 +128,10 @@ pub enum CorePartial {
     Values(Vec<Value>),
     /// Sorted distinct active values (exact distinct count).
     Set(Vec<Value>),
+    /// Pruned mergeable quantile summary.
+    Quantile(QuantileSummary),
+    /// Bottom-k sample of `(identity hash, value)` pairs.
+    Sample(BottomK),
 }
 
 /// The core wave protocol configuration, shared by every node.
@@ -155,6 +176,19 @@ impl CoreWave {
     pub fn collect_agg(&self) -> CollectAgg {
         CollectAgg { xbar: self.xbar }
     }
+
+    /// The quantile-summary aggregate of a `Quantile` request.
+    pub fn quantile_agg(&self, budget: u32) -> QuantileAgg {
+        QuantileAgg {
+            budget,
+            xbar: self.xbar,
+        }
+    }
+
+    /// The bottom-k sampling aggregate of a `BottomK` request.
+    pub fn bottomk_agg(&self, k: u32, nonce: u32) -> BottomKAgg {
+        BottomKAgg::new(k.max(1), self.xbar, self.apx.seed, nonce as u64)
+    }
 }
 
 const OP_MIN: u64 = 0;
@@ -166,6 +200,8 @@ const OP_ZOOM: u64 = 5;
 const OP_COLLECT: u64 = 6;
 const OP_DISTINCT: u64 = 7;
 const OP_DISTINCT_APX: u64 = 8;
+const OP_QUANTILE: u64 = 9;
+const OP_BOTTOMK: u64 = 10;
 
 fn encode_domain(d: Domain, w: &mut BitWriter) {
     w.write_bits(matches!(d, Domain::Log) as u64, 1);
@@ -231,6 +267,15 @@ impl WaveProtocol for CoreWave {
                 w.write_bits(*reps as u64, 16);
                 w.write_bits(*nonce as u64, 32);
             }
+            CoreRequest::Quantile { budget } => {
+                w.write_bits(OP_QUANTILE, 4);
+                w.write_gamma(*budget as u64 + 1);
+            }
+            CoreRequest::BottomK { k, nonce } => {
+                w.write_bits(OP_BOTTOMK, 4);
+                w.write_gamma(*k as u64 + 1);
+                w.write_bits(*nonce as u64, 32);
+            }
         }
     }
 
@@ -252,6 +297,17 @@ impl WaveProtocol for CoreWave {
             OP_DISTINCT => CoreRequest::DistinctExact,
             OP_DISTINCT_APX => CoreRequest::DistinctApx {
                 reps: r.read_bits(16)? as u32,
+                nonce: r.read_bits(32)? as u32,
+            },
+            OP_QUANTILE => CoreRequest::Quantile {
+                budget: (r.read_gamma()? - 1)
+                    .try_into()
+                    .map_err(|_| NetsimError::WireDecode("quantile budget out of range"))?,
+            },
+            OP_BOTTOMK => CoreRequest::BottomK {
+                k: (r.read_gamma()? - 1)
+                    .try_into()
+                    .map_err(|_| NetsimError::WireDecode("bottom-k capacity out of range"))?,
                 nonce: r.read_bits(32)? as u32,
             },
             _ => return Err(NetsimError::WireDecode("unknown core opcode")),
@@ -287,6 +343,12 @@ impl WaveProtocol for CoreWave {
             (CoreRequest::DistinctExact, CorePartial::Set(vals)) => {
                 self.distinct_agg().encode(vals, w);
             }
+            (CoreRequest::Quantile { budget }, CorePartial::Quantile(s)) => {
+                self.quantile_agg(*budget).encode(s, w);
+            }
+            (CoreRequest::BottomK { k, nonce }, CorePartial::Sample(s)) => {
+                self.bottomk_agg(*k, *nonce).encode(s, w);
+            }
             _ => debug_assert!(false, "partial variant does not answer request"),
         }
     }
@@ -320,6 +382,12 @@ impl WaveProtocol for CoreWave {
             CoreRequest::Zoom { .. } => CorePartial::Unit,
             CoreRequest::Collect => CorePartial::Values(self.collect_agg().decode(r)?),
             CoreRequest::DistinctExact => CorePartial::Set(self.distinct_agg().decode(r)?),
+            CoreRequest::Quantile { budget } => {
+                CorePartial::Quantile(self.quantile_agg(*budget).decode(r)?)
+            }
+            CoreRequest::BottomK { k, nonce } => {
+                CorePartial::Sample(self.bottomk_agg(*k, *nonce).decode(r)?)
+            }
         })
     }
 
@@ -371,6 +439,14 @@ impl WaveProtocol for CoreWave {
                 let agg = self.distinct_agg();
                 CorePartial::Set(agg.partial_over(active_refs(node, items)))
             }
+            CoreRequest::Quantile { budget } => {
+                let agg = self.quantile_agg(*budget);
+                CorePartial::Quantile(agg.partial_over(active_refs(node, items)))
+            }
+            CoreRequest::BottomK { k, nonce } => {
+                let agg = self.bottomk_agg(*k, *nonce);
+                CorePartial::Sample(agg.partial_over(active_refs(node, items)))
+            }
         }
     }
 
@@ -406,11 +482,53 @@ impl WaveProtocol for CoreWave {
             (_, CorePartial::Set(xs), CorePartial::Set(ys)) => {
                 CorePartial::Set(self.distinct_agg().merge(xs, ys))
             }
+            (
+                CoreRequest::Quantile { budget },
+                CorePartial::Quantile(xs),
+                CorePartial::Quantile(ys),
+            ) => CorePartial::Quantile(self.quantile_agg(*budget).merge(xs, ys)),
+            (
+                CoreRequest::BottomK { k, nonce },
+                CorePartial::Sample(xs),
+                CorePartial::Sample(ys),
+            ) => CorePartial::Sample(self.bottomk_agg(*k, *nonce).merge(xs, ys)),
             (_, a, _) => {
                 debug_assert!(false, "mismatched partial variants in merge");
                 a
             }
         }
+    }
+
+    /// Deterministic requests are keyed by their exact encoding — the
+    /// wire bits are the collision-free identity of "every node would
+    /// execute this identically". Excluded:
+    ///
+    /// * [`CoreRequest::Zoom`] mutates items (it also invalidates);
+    /// * `ApxCount`/`DistinctApx` draw a **fresh** nonce per invocation
+    ///   by design (fresh randomness is the point of `REP_COUNTP`), so
+    ///   their keys would never repeat — caching them would only evict
+    ///   reusable entries from the bounded per-node caches.
+    ///
+    /// `BottomK` stays cacheable: its nonce is deterministic (the ODI
+    /// sampling convention), so equal requests do repeat.
+    fn cache_key(&self, req: &CoreRequest) -> Option<CacheKey> {
+        if matches!(
+            req,
+            CoreRequest::Zoom { .. }
+                | CoreRequest::ApxCount { .. }
+                | CoreRequest::DistinctApx { .. }
+        ) {
+            return None;
+        }
+        let mut w = BitWriter::new();
+        self.encode_request(req, &mut w);
+        Some(w.finish())
+    }
+
+    /// Zoom rescales and deactivates items (Fig. 4 line 3.2): every
+    /// cached subtree partial at the executing node is stale afterwards.
+    fn invalidates_cache(&self, req: &CoreRequest) -> bool {
+        matches!(req, CoreRequest::Zoom { .. })
     }
 }
 
@@ -454,9 +572,48 @@ mod tests {
             CoreRequest::Collect,
             CoreRequest::DistinctExact,
             CoreRequest::DistinctApx { reps: 5, nonce: 9 },
+            CoreRequest::Quantile { budget: 12 },
+            CoreRequest::BottomK { k: 32, nonce: 77 },
         ] {
             roundtrip_req(&p, req);
         }
+    }
+
+    #[test]
+    fn cache_keys_cover_repeatable_requests_only() {
+        let p = proto();
+        // Mutating and fresh-nonce requests must not be cached: a Zoom
+        // hit would replay stale items, and ApxCount/DistinctApx keys
+        // never repeat (fresh nonce per invocation), so storing them
+        // would only pollute the bounded caches.
+        assert!(p.cache_key(&CoreRequest::Zoom { mu_hat: 3 }).is_none());
+        assert!(p.invalidates_cache(&CoreRequest::Zoom { mu_hat: 3 }));
+        assert!(p
+            .cache_key(&CoreRequest::ApxCount {
+                pred: Predicate::TRUE,
+                reps: 2,
+                nonce: 5,
+            })
+            .is_none());
+        assert!(p
+            .cache_key(&CoreRequest::DistinctApx { reps: 2, nonce: 5 })
+            .is_none());
+        for req in [
+            CoreRequest::Count(Predicate::TRUE),
+            CoreRequest::Sum(Predicate::less_than(7)),
+            CoreRequest::Min(Domain::Raw),
+            CoreRequest::Collect,
+            CoreRequest::DistinctExact,
+            CoreRequest::Quantile { budget: 8 },
+            CoreRequest::BottomK { k: 4, nonce: 1 },
+        ] {
+            assert!(p.cache_key(&req).is_some(), "{req:?} should be cacheable");
+            assert!(!p.invalidates_cache(&req));
+        }
+        // The key IS the encoding: distinct nonces are distinct keys.
+        let a = p.cache_key(&CoreRequest::BottomK { k: 4, nonce: 1 });
+        let b = p.cache_key(&CoreRequest::BottomK { k: 4, nonce: 2 });
+        assert_ne!(a, b);
     }
 
     #[test]
@@ -464,10 +621,34 @@ mod tests {
         let p = proto();
         let mut sk = LogLog::new(p.apx.b);
         sk.insert_hash(0xDEAD_BEEF_1234_5678);
+        let quantile = {
+            let agg = p.quantile_agg(4);
+            agg.partial_over((0..20u64).map(|v| crate::aggregate::ItemRef {
+                node: v,
+                slot: 0,
+                value: v * 7 % 1000,
+            }))
+        };
+        let sample = {
+            let agg = p.bottomk_agg(4, 9);
+            agg.partial_over((0..20u64).map(|v| crate::aggregate::ItemRef {
+                node: v,
+                slot: 0,
+                value: v,
+            }))
+        };
         for (req, partial) in [
             (
                 CoreRequest::Min(Domain::Raw),
                 CorePartial::OptVal(Domain::Raw, Some(999)),
+            ),
+            (
+                CoreRequest::Quantile { budget: 4 },
+                CorePartial::Quantile(quantile),
+            ),
+            (
+                CoreRequest::BottomK { k: 4, nonce: 9 },
+                CorePartial::Sample(sample),
             ),
             (
                 CoreRequest::Min(Domain::Raw),

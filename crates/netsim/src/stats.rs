@@ -2,7 +2,7 @@
 //!
 //! The paper's central cost measure (§2.1):
 //!
-//! > *"the communication complexity of a protocol [is] the maximum, over
+//! > *"the communication complexity of a protocol \[is\] the maximum, over
 //! > all inputs, of the number of bits transmitted and received by any
 //! > node. We stress that our communication complexity measure is
 //! > individual."*

@@ -71,8 +71,10 @@ pub struct BitWriter {
     len_bits: u64,
 }
 
-/// A finished bit string, cheap to clone and inspect.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// A finished bit string, cheap to clone and inspect. Hashable, so an
+/// encoded request can key caches (e.g. the wave runner's subtree
+/// partial cache) by its exact wire representation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct BitString {
     bytes: Vec<u8>,
     len_bits: u64,

@@ -19,17 +19,24 @@
 //!   et al. / Nath et al.: duplicate-prone by design, safe only for ODI
 //!   synopses;
 //! * [`gossip`] — Kempe–Dobra–Gehrke push-sum, the substrate for the
-//!   gossip baseline.
+//!   gossip baseline;
+//! * [`cache`] — subtree partial caching for the wave runner: interior
+//!   nodes store their merged subtree partials keyed by the encoded
+//!   sub-request and answer repeats without re-contributing leaf items.
 //!
 //! Aggregate *semantics* (what COUNT, MEDIAN, etc. mean) live in
 //! `saq-core` and `saq-baselines`; this crate only moves bits.
 
+pub mod cache;
 pub mod error;
 pub mod gossip;
 pub mod rings;
 pub mod tree;
 pub mod wave;
 
+pub use cache::{CacheKey, CacheStats, PartialCache};
 pub use error::ProtocolError;
 pub use tree::SpanningTree;
-pub use wave::{MultiplexWave, MuxLedger, MuxSlotBits, WaveProtocol, WaveRunner, WAVE_HEADER_BITS};
+pub use wave::{
+    MultiplexWave, MuxEntry, MuxLedger, MuxSlotBits, WaveProtocol, WaveRunner, WAVE_HEADER_BITS,
+};

@@ -21,6 +21,7 @@
 //! enough to complete waves under independent packet loss, at a constant
 //! bit-cost factor (measured in experiment E9's loss sweep).
 
+use crate::cache::{CacheKey, CacheStats, PartialCache};
 use crate::error::ProtocolError;
 use crate::tree::SpanningTree;
 use saq_netsim::rng::Xoshiro256StarStar;
@@ -88,6 +89,66 @@ pub trait WaveProtocol: Clone {
     /// Merges two partial aggregates (must be commutative and
     /// associative so tree shape does not matter).
     fn merge(&self, req: &Self::Request, a: Self::Partial, b: Self::Partial) -> Self::Partial;
+
+    // --- subtree partial caching hooks (see `crate::cache`) -----------
+    //
+    // A protocol opts into caching by keying its deterministic requests
+    // ([`WaveProtocol::cache_key`]); envelope protocols additionally
+    // expose their sub-requests as independently cacheable *slots* by
+    // overriding the slot family below. The defaults describe a plain
+    // single-slot protocol with caching disabled, so existing protocols
+    // compile (and behave) unchanged.
+
+    /// Cache key under which this request's subtree partial may be
+    /// stored, or `None` when it must never be cached. Requests that
+    /// mutate items ([`WaveProtocol::invalidates_cache`]) or whose
+    /// `local` draws fresh randomness outside the request encoding MUST
+    /// return `None` — a later hit would replay stale or mismatched
+    /// state. Randomized requests that embed their seed nonce in the
+    /// encoding are safe to key: a hit reproduces the identical instance.
+    fn cache_key(&self, _req: &Self::Request) -> Option<crate::cache::CacheKey> {
+        None
+    }
+
+    /// Whether executing this request mutates item state. Nodes clear
+    /// their entire subtree-partial cache before executing such a wave,
+    /// and never serve or store any of its slots.
+    fn invalidates_cache(&self, _req: &Self::Request) -> bool {
+        false
+    }
+
+    /// Per-slot cache keys: entry `i` is the key of the request's `i`-th
+    /// independently cacheable sub-unit (`None` = that slot is
+    /// uncacheable). Plain protocols are a single slot — the whole
+    /// request; envelope protocols override to expose each sub-request.
+    fn slot_cache_keys(&self, req: &Self::Request) -> Vec<Option<crate::cache::CacheKey>> {
+        vec![self.cache_key(req)]
+    }
+
+    /// The request containing only the slots `keep` (ascending indices
+    /// into [`WaveProtocol::slot_cache_keys`]) — what a node forwards to
+    /// its children when the other slots were served from cache. Plain
+    /// single-slot protocols are never subset (`keep` is all slots), so
+    /// the default returns the request unchanged.
+    fn subset_request(&self, req: &Self::Request, _keep: &[usize]) -> Self::Request {
+        req.clone()
+    }
+
+    /// Splits a partial aligned with `req` into per-slot partials, each
+    /// shaped as if its slot were a single-slot request (the form stored
+    /// in the cache). Inverse of [`WaveProtocol::join_slots`].
+    fn split_slots(&self, _req: &Self::Request, p: Self::Partial) -> Vec<Self::Partial> {
+        vec![p]
+    }
+
+    /// Reassembles per-slot partials (ordered by slot index, one per
+    /// slot of `req`) into one partial aligned with `req`.
+    fn join_slots(&self, _req: &Self::Request, slots: Vec<Self::Partial>) -> Self::Partial {
+        slots
+            .into_iter()
+            .next()
+            .expect("a request has at least one slot")
+    }
 }
 
 /// Per-hop delivery discipline for wave messages.
@@ -146,6 +207,20 @@ pub struct AggNode<P: WaveProtocol> {
     /// Request staged by the driver before kicking the root.
     staged: Option<(u16, P::Request)>,
 
+    /// Subtree partial cache (`None` = caching disabled, the default).
+    cache: Option<PartialCache<P::Partial>>,
+    /// The (possibly cache-reduced) request forwarded to children this
+    /// wave; child partials and `acc` align with it.
+    fwd_req: Option<P::Request>,
+    /// Cache hits of the current wave: (slot index in `req`, partial).
+    wave_hits: Vec<(usize, P::Partial)>,
+    /// Slot indices in `req` of the current wave's cache misses — the
+    /// slots of `fwd_req`, in order.
+    wave_miss: Vec<usize>,
+    /// Subtree partials to store when the wave completes: (position
+    /// within `fwd_req`'s slots, cache key).
+    wave_store: Vec<(usize, CacheKey)>,
+
     next_seq: u16,
     pending: Vec<PendingMsg>,
     seen: HashSet<(NodeId, u16)>,
@@ -171,6 +246,11 @@ impl<P: WaveProtocol> AggNode<P> {
             acc: None,
             result: None,
             staged: None,
+            cache: None,
+            fwd_req: None,
+            wave_hits: Vec::new(),
+            wave_miss: Vec::new(),
+            wave_store: Vec::new(),
             next_seq: 0,
             pending: Vec::new(),
             seen: HashSet::new(),
@@ -244,19 +324,71 @@ impl<P: WaveProtocol> AggNode<P> {
         // set would leak and — once a sender's 16-bit seq wraps — drop
         // fresh messages as duplicates, deadlocking the wave.
         self.seen.clear();
+        self.wave_hits.clear();
+        self.wave_miss.clear();
+        self.wave_store.clear();
+
+        // Subtree partial cache resolution. An item-mutating wave clears
+        // the cache *before* anything is served and never caches itself;
+        // otherwise each cacheable slot is looked up, hits are set aside
+        // and only the misses proceed as a (possibly reduced) wave.
+        let invalidates = self.proto.invalidates_cache(&req);
+        if invalidates {
+            if let Some(cache) = &mut self.cache {
+                cache.clear();
+            }
+        }
+        if let (Some(cache), false) = (&mut self.cache, invalidates) {
+            for (i, key) in self.proto.slot_cache_keys(&req).into_iter().enumerate() {
+                match key {
+                    Some(key) => match cache.get(&key) {
+                        Some(p) => self.wave_hits.push((i, p)),
+                        None => {
+                            self.wave_store.push((self.wave_miss.len(), key));
+                            self.wave_miss.push(i);
+                        }
+                    },
+                    None => self.wave_miss.push(i),
+                }
+            }
+        }
+
+        if !self.wave_hits.is_empty() && self.wave_miss.is_empty() {
+            // Every slot served from cache: the entire subtree stays
+            // silent — no local computation, no child messages.
+            let hits = std::mem::take(&mut self.wave_hits);
+            self.acc = Some(
+                self.proto
+                    .join_slots(&req, hits.into_iter().map(|(_, p)| p).collect()),
+            );
+            self.req = Some(req);
+            self.fwd_req = None;
+            self.waiting.clear();
+            self.finish_wave(ctx);
+            return;
+        }
+
+        // Forward only the cache-miss slots (the full request when the
+        // cache is disabled or nothing hit).
+        let fwd = if self.wave_hits.is_empty() {
+            req.clone()
+        } else {
+            self.proto.subset_request(&req, &self.wave_miss)
+        };
         let local = self
             .proto
-            .local(ctx.node_id(), &mut self.items, &req, ctx.rng());
+            .local(ctx.node_id(), &mut self.items, &fwd, ctx.rng());
         self.acc = Some(local);
         self.req = Some(req);
+        self.fwd_req = Some(fwd);
         if self.waiting.is_empty() {
             self.finish_wave(ctx);
         } else {
-            let req = self.req.clone().expect("request just set");
+            let fwd = self.fwd_req.clone().expect("forward request just set");
             let children = self.children.clone();
             for child in children {
                 let proto = self.proto.clone();
-                let r = req.clone();
+                let r = fwd.clone();
                 self.send_msg(ctx, child, KIND_REQUEST, wave, move |w| {
                     proto.encode_request(&r, w);
                 });
@@ -264,19 +396,70 @@ impl<P: WaveProtocol> AggNode<P> {
         }
     }
 
+    /// Completes the wave at this node: stores fresh subtree partials in
+    /// the cache, reassembles cache hits with the computed slots into a
+    /// partial aligned with the request this node *received*, and hands
+    /// it to the parent (or records it as the root result).
     fn finish_wave(&mut self, ctx: &mut Context<'_>) {
         let acc = self.acc.clone().expect("wave has an accumulator");
+        let full = self.assemble_partial(acc);
         match self.parent {
-            None => self.result = Some(acc),
+            None => self.result = Some(full),
             Some(parent) => {
                 let proto = self.proto.clone();
                 let req = self.req.clone().expect("active wave has a request");
                 let wave = self.wave;
                 self.send_msg(ctx, parent, KIND_PARTIAL, wave, move |w| {
-                    proto.encode_partial(&req, &acc, w);
+                    proto.encode_partial(&req, &full, w);
                 });
             }
         }
+    }
+
+    /// Turns the merged accumulator (aligned with `fwd_req`) into the
+    /// full reply (aligned with `req`), populating the cache with the
+    /// freshly computed subtree partials on the way.
+    fn assemble_partial(&mut self, acc: P::Partial) -> P::Partial {
+        if self.wave_hits.is_empty() && self.wave_store.is_empty() {
+            // No caching activity this wave (disabled, all-miss with no
+            // cacheable slot, or a fully-cached wave whose join already
+            // produced the reply in `begin_wave`).
+            return acc;
+        }
+        let req = self.req.as_ref().expect("active wave has a request");
+        let fwd = self
+            .fwd_req
+            .as_ref()
+            .expect("partial-hit wave has a forward request");
+        let computed = self.proto.split_slots(fwd, acc);
+        debug_assert_eq!(computed.len(), self.wave_miss.len(), "slot split shape");
+        if let Some(cache) = &mut self.cache {
+            for (pos, key) in self.wave_store.drain(..) {
+                cache.insert(key, computed[pos].clone());
+            }
+        }
+        if self.wave_hits.is_empty() {
+            return self.proto.join_slots(req, computed);
+        }
+        // Interleave cached and computed slot partials by slot index.
+        let mut hits = std::mem::take(&mut self.wave_hits).into_iter().peekable();
+        let mut fresh = self.wave_miss.iter().zip(computed).peekable();
+        let mut slots = Vec::with_capacity(hits.len() + fresh.len());
+        loop {
+            match (hits.peek(), fresh.peek()) {
+                (Some(&(hi, _)), Some(&(&mi, _))) => {
+                    if hi < mi {
+                        slots.push(hits.next().expect("peeked").1);
+                    } else {
+                        slots.push(fresh.next().expect("peeked").1);
+                    }
+                }
+                (Some(_), None) => slots.push(hits.next().expect("peeked").1),
+                (None, Some(_)) => slots.push(fresh.next().expect("peeked").1),
+                (None, None) => break,
+            }
+        }
+        self.proto.join_slots(req, slots)
     }
 }
 
@@ -339,7 +522,9 @@ impl<P: WaveProtocol> NodeRuntime for AggNode<P> {
                 let Some(pos) = self.waiting.iter().position(|&c| c == from) else {
                     return; // duplicate or unexpected child report
                 };
-                let Some(req) = self.req.clone() else {
+                // Children answer the request this node *forwarded* (the
+                // cache-miss subset of what it received).
+                let Some(req) = self.fwd_req.clone() else {
                     return; // partial for a wave this node never joined
                 };
                 let Ok(partial) = self.proto.decode_partial(&req, &mut r) else {
@@ -453,13 +638,57 @@ impl<P: WaveProtocol> WaveRunner<P> {
     }
 
     /// Replaces the items of `node` (driver-side setup; not charged as
-    /// communication).
+    /// communication). Invalidates the subtree partial caches of `node`
+    /// **and every ancestor up to the root** — their cached partials
+    /// embed the replaced items' contributions.
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     pub fn set_items(&mut self, node: NodeId, items: Vec<P::Item>) {
         self.sim.node_mut(node).set_items(items);
+        let mut v = node;
+        loop {
+            let n = self.sim.node_mut(v);
+            if let Some(cache) = &mut n.cache {
+                cache.clear();
+            }
+            match n.parent {
+                Some(parent) => v = parent,
+                None => break,
+            }
+        }
+    }
+
+    /// Enables subtree partial caching at every node, each holding at
+    /// most `capacity` entries (see [`crate::cache`]). Waves then serve
+    /// repeated cacheable requests by re-merging stored subtree partials
+    /// instead of re-contributing leaf items; invalidation is automatic
+    /// on item-mutating waves and [`WaveRunner::set_items`]. Enabling
+    /// resets any previously cached state.
+    pub fn enable_partial_cache(&mut self, capacity: usize) {
+        for v in 0..self.sim.len() {
+            self.sim.node_mut(v).cache = Some(PartialCache::new(capacity));
+        }
+    }
+
+    /// Disables subtree partial caching, dropping all cached state.
+    pub fn disable_partial_cache(&mut self) {
+        for v in 0..self.sim.len() {
+            self.sim.node_mut(v).cache = None;
+        }
+    }
+
+    /// Network-wide cache counters: the sum of every node's hit/miss/
+    /// occupancy statistics (zero when caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for v in 0..self.sim.len() {
+            if let Some(cache) = &self.sim.node(v).cache {
+                total.absorb(cache.stats());
+            }
+        }
+        total
     }
 
     /// Runs one wave with the given request and returns the root's merged
@@ -548,18 +777,39 @@ impl MuxLedger {
     }
 }
 
+/// One sub-request of a multiplexed envelope, tagged with the [`MuxLedger`]
+/// slot it bills to.
+///
+/// The tag exists because envelopes can be **subset** mid-tree: a node
+/// serving some slots from its subtree partial cache forwards only the
+/// remainder to its children. Positional attribution would then bill the
+/// wrong queries at deeper nodes, so every entry carries its original
+/// slot explicitly (and on the wire, where a single "dense" flag bit
+/// covers the common un-subset case — see
+/// [`MultiplexWave::encode_request`] for the frame layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuxEntry<R> {
+    /// The ledger slot (position in the original batch) this
+    /// sub-request's bits are attributed to.
+    pub slot: u32,
+    /// The inner protocol's sub-request.
+    pub req: R,
+}
+
 /// The multiplexed frame format: one request/partial envelope carrying `N`
 /// independent sub-aggregates of an inner [`WaveProtocol`].
 ///
-/// A request is a vector of sub-requests and a partial a parallel vector
-/// of sub-partials; slot `i` of every partial answers slot `i` of the
-/// request. Encodings are the inner protocol's, prefixed by a gamma-coded
-/// slot count, so `k` queries batched into one wave share a single
-/// per-message header instead of paying `k` of them — the saving measured
-/// by the `engine_batching` benchmark in `saq-bench`.
+/// A request is a vector of slot-tagged sub-requests ([`MuxEntry`]) and a
+/// partial a parallel vector of sub-partials; position `i` of every
+/// partial answers position `i` of the request. Encodings are the inner
+/// protocol's, prefixed by a gamma-coded slot count, so `k` queries
+/// batched into one wave share a single per-message header instead of
+/// paying `k` of them — the saving measured by the `engine_batching`
+/// benchmark in `saq-bench`.
 ///
 /// Every encoded bit is attributed in a shared [`MuxLedger`]: sub-request
-/// and sub-partial bits to their slot, the count prefix to
+/// and sub-partial bits to their entry's declared slot, the count prefix,
+/// dense flag and any explicit slot tags to
 /// [`MuxLedger::envelope_bits`]. The ledger is shared across the clones
 /// deployed to the simulated nodes (the simulator is single-threaded), so
 /// after a wave it holds the exact transmit-side cost split. Tallies are
@@ -567,6 +817,11 @@ impl MuxLedger {
 /// charged **once** at encode time — retransmissions resend the cached
 /// payload without re-encoding, and ACK frames are never attributed —
 /// so per-slot tallies under loss are a lower bound on wire bits.
+///
+/// With subtree partial caching enabled (see [`crate::cache`]) each
+/// entry is an independently cacheable slot: nodes answer cached
+/// sub-requests locally and forward reduced envelopes carrying only the
+/// misses, with the slot tags keeping attribution honest at every depth.
 #[derive(Debug, Clone)]
 pub struct MultiplexWave<P: WaveProtocol> {
     inner: P,
@@ -591,6 +846,18 @@ impl<P: WaveProtocol> MultiplexWave<P> {
     pub fn ledger(&self) -> std::rc::Rc<std::cell::RefCell<MuxLedger>> {
         std::rc::Rc::clone(&self.ledger)
     }
+
+    /// Builds the dense envelope billing sub-request `i` to ledger slot
+    /// `i` — the form every root-issued batch starts in.
+    pub fn envelope(reqs: Vec<P::Request>) -> Vec<MuxEntry<P::Request>> {
+        reqs.into_iter()
+            .enumerate()
+            .map(|(i, req)| MuxEntry {
+                slot: i as u32,
+                req,
+            })
+            .collect()
+    }
 }
 
 /// Sanity cap on decoded slot counts (a malformed frame cannot force an
@@ -598,19 +865,32 @@ impl<P: WaveProtocol> MultiplexWave<P> {
 const MUX_MAX_SLOTS: u64 = 1 << 16;
 
 impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
-    type Request = Vec<P::Request>;
+    type Request = Vec<MuxEntry<P::Request>>;
     type Partial = Vec<P::Partial>;
     type Item = P::Item;
 
+    /// Frame layout: gamma slot count, a 1-bit *dense* flag (set when
+    /// entry `i` bills slot `i`, the un-subset common case), then per
+    /// entry an optional gamma slot tag (sparse envelopes only) followed
+    /// by the inner sub-request. Count, flag and tags are envelope
+    /// overhead; sub-request bits bill their entry's slot.
     fn encode_request(&self, req: &Self::Request, w: &mut BitWriter) {
         let mut ledger = self.ledger.borrow_mut();
+        let dense = req.iter().enumerate().all(|(i, e)| e.slot as usize == i);
         let start = w.len_bits();
         w.write_gamma(req.len() as u64 + 1);
+        w.write_bits(dense as u64, 1);
         ledger.envelope_bits += w.len_bits() - start;
-        for (i, sub) in req.iter().enumerate() {
+        for (i, entry) in req.iter().enumerate() {
+            if !dense {
+                let before = w.len_bits();
+                w.write_gamma(entry.slot as u64 + 1);
+                ledger.envelope_bits += w.len_bits() - before;
+            }
             let before = w.len_bits();
-            self.inner.encode_request(sub, w);
-            ledger.slot_mut(i).request_bits += w.len_bits() - before;
+            self.inner.encode_request(&entry.req, w);
+            ledger.slot_mut(entry.slot as usize).request_bits += w.len_bits() - before;
+            debug_assert!(i < MUX_MAX_SLOTS as usize);
         }
     }
 
@@ -619,16 +899,28 @@ impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
         if n > MUX_MAX_SLOTS {
             return Err(NetsimError::WireDecode("mux slot count out of range"));
         }
-        (0..n).map(|_| self.inner.decode_request(r)).collect()
+        let dense = r.read_bits(1)? == 1;
+        (0..n)
+            .map(|i| {
+                let slot = if dense { i } else { r.read_gamma()? - 1 };
+                if slot > MUX_MAX_SLOTS {
+                    return Err(NetsimError::WireDecode("mux slot tag out of range"));
+                }
+                Ok(MuxEntry {
+                    slot: slot as u32,
+                    req: self.inner.decode_request(r)?,
+                })
+            })
+            .collect()
     }
 
     fn encode_partial(&self, req: &Self::Request, p: &Self::Partial, w: &mut BitWriter) {
         debug_assert_eq!(req.len(), p.len(), "mux partial must align with request");
         let mut ledger = self.ledger.borrow_mut();
-        for (i, (sub_req, sub)) in req.iter().zip(p.iter()).enumerate() {
+        for (entry, sub) in req.iter().zip(p.iter()) {
             let before = w.len_bits();
-            self.inner.encode_partial(sub_req, sub, w);
-            ledger.slot_mut(i).partial_bits += w.len_bits() - before;
+            self.inner.encode_partial(&entry.req, sub, w);
+            ledger.slot_mut(entry.slot as usize).partial_bits += w.len_bits() - before;
         }
     }
 
@@ -638,7 +930,7 @@ impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
         r: &mut BitReader<'_>,
     ) -> Result<Self::Partial, NetsimError> {
         req.iter()
-            .map(|sub_req| self.inner.decode_partial(sub_req, r))
+            .map(|entry| self.inner.decode_partial(&entry.req, r))
             .collect()
     }
 
@@ -650,7 +942,7 @@ impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
         rng: &mut Xoshiro256StarStar,
     ) -> Self::Partial {
         req.iter()
-            .map(|sub| self.inner.local(node, items, sub, rng))
+            .map(|entry| self.inner.local(node, items, &entry.req, rng))
             .collect()
     }
 
@@ -658,8 +950,33 @@ impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
         debug_assert_eq!(a.len(), b.len(), "mux partials must align");
         req.iter()
             .zip(a.into_iter().zip(b))
-            .map(|(sub_req, (x, y))| self.inner.merge(sub_req, x, y))
+            .map(|(entry, (x, y))| self.inner.merge(&entry.req, x, y))
             .collect()
+    }
+
+    // --- subtree partial caching: every entry is one cacheable slot ---
+
+    fn invalidates_cache(&self, req: &Self::Request) -> bool {
+        req.iter()
+            .any(|entry| self.inner.invalidates_cache(&entry.req))
+    }
+
+    fn slot_cache_keys(&self, req: &Self::Request) -> Vec<Option<CacheKey>> {
+        req.iter()
+            .map(|entry| self.inner.cache_key(&entry.req))
+            .collect()
+    }
+
+    fn subset_request(&self, req: &Self::Request, keep: &[usize]) -> Self::Request {
+        keep.iter().map(|&i| req[i].clone()).collect()
+    }
+
+    fn split_slots(&self, _req: &Self::Request, p: Self::Partial) -> Vec<Self::Partial> {
+        p.into_iter().map(|sub| vec![sub]).collect()
+    }
+
+    fn join_slots(&self, _req: &Self::Request, slots: Vec<Self::Partial>) -> Self::Partial {
+        slots.into_iter().flatten().collect()
     }
 }
 
@@ -670,6 +987,7 @@ mod tests {
     use saq_netsim::wire::width_for_max;
 
     /// A minimal test protocol: SUM of u32 items below a threshold.
+    /// Deterministic, so every request is cacheable.
     #[derive(Debug, Clone)]
     struct SumBelow {
         value_width: u32,
@@ -703,6 +1021,11 @@ mod tests {
         }
         fn merge(&self, _req: &u64, a: u64, b: u64) -> u64 {
             a + b
+        }
+        fn cache_key(&self, req: &u64) -> Option<CacheKey> {
+            let mut w = BitWriter::new();
+            self.encode_request(req, &mut w);
+            Some(w.finish())
         }
     }
 
@@ -903,6 +1226,10 @@ mod tests {
         assert_eq!(r.items(2), &[12]);
     }
 
+    fn env(reqs: Vec<u64>) -> Vec<MuxEntry<u64>> {
+        MultiplexWave::<SumBelow>::envelope(reqs)
+    }
+
     fn mux_runner_on(topo: Topology, items: Vec<Vec<u64>>) -> WaveRunner<MultiplexWave<SumBelow>> {
         let tree = SpanningTree::bfs(&topo, 0).unwrap();
         WaveRunner::new(
@@ -923,7 +1250,7 @@ mod tests {
         let topo = Topology::grid(4, 4).unwrap();
         let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
         let mut r = mux_runner_on(topo, items);
-        let out = r.run_wave(vec![1000, 8, 4]).unwrap();
+        let out = r.run_wave(env(vec![1000, 8, 4])).unwrap();
         assert_eq!(
             out,
             vec![
@@ -946,13 +1273,14 @@ mod tests {
         );
         let mut mux = mux_runner_on(topo, items);
         assert_eq!(plain.run_wave(1000).unwrap(), 6);
-        assert_eq!(mux.run_wave(vec![1000]).unwrap(), vec![6]);
-        // Envelope overhead: gamma(2) = 3 bits per request message; the
-        // partial envelope is countless (the slot count is implied by the
-        // request both endpoints already hold).
+        assert_eq!(mux.run_wave(env(vec![1000])).unwrap(), vec![6]);
+        // Envelope overhead: gamma(2) = 3 bits plus the dense-slot flag
+        // bit per request message; the partial envelope is countless (the
+        // slot count is implied by the request both endpoints already
+        // hold).
         let plain_bits = plain.stats().node(0).tx_bits + plain.stats().node(0).rx_bits;
         let mux_bits = mux.stats().node(0).tx_bits + mux.stats().node(0).rx_bits;
-        assert_eq!(mux_bits, plain_bits + 3);
+        assert_eq!(mux_bits, plain_bits + 4);
     }
 
     #[test]
@@ -960,11 +1288,11 @@ mod tests {
         let topo = Topology::grid(4, 4).unwrap();
         let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
         let mut seq = mux_runner_on(topo.clone(), items.clone());
-        seq.run_wave(vec![1000]).unwrap();
-        seq.run_wave(vec![8]).unwrap();
-        seq.run_wave(vec![4]).unwrap();
+        seq.run_wave(env(vec![1000])).unwrap();
+        seq.run_wave(env(vec![8])).unwrap();
+        seq.run_wave(env(vec![4])).unwrap();
         let mut batched = mux_runner_on(topo, items);
-        batched.run_wave(vec![1000, 8, 4]).unwrap();
+        batched.run_wave(env(vec![1000, 8, 4])).unwrap();
         assert!(
             batched.stats().max_node_bits() < seq.stats().max_node_bits(),
             "batched {} !< sequential {}",
@@ -996,7 +1324,7 @@ mod tests {
         )
         .unwrap();
         ledger.borrow_mut().reset(2);
-        r2.run_wave(vec![1000, 8]).unwrap();
+        r2.run_wave(env(vec![1000, 8])).unwrap();
         let led = ledger.borrow();
         // Wave headers (kind + wave id = 18 bits per message) are charged
         // by the node layer, not the protocol encoding: ledger totals must
@@ -1010,7 +1338,102 @@ mod tests {
         assert!(led.slots()[1].partial_bits > 0);
         drop(led);
         // Independent earlier runner still works (separate ledger).
-        assert_eq!(r.run_wave(vec![4]).unwrap(), vec![6]);
+        assert_eq!(r.run_wave(env(vec![4])).unwrap(), vec![6]);
+    }
+
+    #[test]
+    fn sparse_envelope_roundtrips_and_bills_declared_slots() {
+        let proto = MultiplexWave::new(SumBelow {
+            value_width: width_for_max(1000),
+        });
+        let ledger = proto.ledger();
+        ledger.borrow_mut().reset(5);
+        // A subset envelope as an interior node would forward it: entries
+        // billing original slots 1 and 4.
+        let req = vec![
+            MuxEntry { slot: 1, req: 8u64 },
+            MuxEntry {
+                slot: 4,
+                req: 300u64,
+            },
+        ];
+        let mut w = BitWriter::new();
+        proto.encode_request(&req, &mut w);
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(proto.decode_request(&mut r).unwrap(), req);
+        assert_eq!(r.remaining(), 0);
+        let led = ledger.borrow();
+        assert!(led.slots()[1].request_bits > 0, "slot 1 billed");
+        assert!(led.slots()[4].request_bits > 0, "slot 4 billed");
+        assert_eq!(led.slots()[0].request_bits, 0);
+        assert_eq!(led.slots()[2].request_bits, 0);
+        assert_eq!(led.slots()[3].request_bits, 0);
+    }
+
+    #[test]
+    fn cached_repeat_wave_costs_zero_bits() {
+        let topo = Topology::grid(4, 4).unwrap();
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let mut r = mux_runner_on(topo, items);
+        r.enable_partial_cache(16);
+        let first = r.run_wave(env(vec![1000, 8])).unwrap();
+        let cold_bits = r.stats().max_node_bits();
+        assert!(cold_bits > 0);
+        // The repeat is answered entirely from the root's cache: the
+        // identical result at zero additional communication.
+        let again = r.run_wave(env(vec![1000, 8])).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(r.stats().max_node_bits(), cold_bits, "repeat sent bits");
+        assert!(r.cache_stats().hits >= 2, "root served both slots");
+    }
+
+    #[test]
+    fn cache_partial_hit_forwards_only_misses() {
+        let topo = Topology::grid(4, 4).unwrap();
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let mut cold = mux_runner_on(topo.clone(), items.clone());
+        cold.run_wave(env(vec![8])).unwrap();
+        let one_slot_bits = cold.stats().max_node_bits();
+        let mut cold2 = mux_runner_on(topo.clone(), items.clone());
+        cold2.run_wave(env(vec![1000, 8])).unwrap();
+        let two_slot_bits = cold2.stats().max_node_bits();
+
+        let mut r = mux_runner_on(topo, items);
+        r.enable_partial_cache(16);
+        r.run_wave(env(vec![1000])).unwrap();
+        r.reset_stats();
+        // Mixed wave: slot 0 cached, slot 1 fresh — the subtree only ever
+        // carries slot 1 (plus its explicit slot tag, 3 bits per request
+        // hop), so the cost sits between the one-slot and two-slot waves.
+        let out = r.run_wave(env(vec![1000, 8])).unwrap();
+        assert_eq!(out, vec![(0..16).sum::<u64>(), (0..8).sum::<u64>()]);
+        let mixed = r.stats().max_node_bits();
+        assert!(
+            mixed < two_slot_bits,
+            "mixed {mixed} !< full {two_slot_bits}"
+        );
+        assert!(
+            (one_slot_bits..one_slot_bits + 16).contains(&mixed),
+            "mixed {mixed} vs one-slot {one_slot_bits}"
+        );
+    }
+
+    #[test]
+    fn set_items_invalidates_node_and_ancestors() {
+        let topo = Topology::line(4).unwrap();
+        let items: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
+        let mut r = mux_runner_on(topo, items);
+        r.enable_partial_cache(16);
+        assert_eq!(r.run_wave(env(vec![1000])).unwrap(), vec![6]);
+        // Mutate the deepest leaf: its ancestors' cached partials embed
+        // the stale value and must be recomputed.
+        r.set_items(3, vec![100]);
+        assert_eq!(r.run_wave(env(vec![1000])).unwrap(), vec![103]);
+        // And a genuine repeat afterwards still serves from cache.
+        let bits = r.stats().max_node_bits();
+        assert_eq!(r.run_wave(env(vec![1000])).unwrap(), vec![103]);
+        assert_eq!(r.stats().max_node_bits(), bits);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The paper's approximate-counting primitive needs, per instance, an
 //! independent source of "random bits" per item (§2.2): *"Using the hash
-//! value of an item as the source of random bits, the algorithm of [3] can
+//! value of an item as the source of random bits, the algorithm of \[3\] can
 //! be used to count the number of distinct elements"*. A [`HashFamily`] is
 //! a seeded family of SplitMix64-finalizer hashes: distinct seeds give
 //! effectively independent hash functions, which is how `REP_COUNTP` runs

@@ -23,6 +23,8 @@
 //! multipath "synopsis diffusion" delivery of Considine et al. and Nath
 //! et al. Property tests enforce ODI for every implementation.
 
+#![warn(missing_docs)]
+
 pub mod geometric;
 pub mod hash;
 pub mod hyperloglog;

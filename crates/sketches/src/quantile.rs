@@ -4,7 +4,7 @@
 //! construction the paper cites as concurrent work:
 //!
 //! > *"their algorithm requires O((log N)^4) communication bits per node
-//! > ... [but] can compute deterministically, after one pass over the
+//! > ... \[but\] can compute deterministically, after one pass over the
 //! > data and O((log N)^3) communication bits, any approximate order
 //! > statistic."*
 //!
@@ -104,6 +104,16 @@ impl QuantileSummary {
     pub fn from_parts(entries: Vec<QEntry>, count: u64) -> Result<Self, &'static str> {
         if !entries.windows(2).all(|w| w[0].value <= w[1].value) {
             return Err("entries not sorted by value");
+        }
+        // Monotone rank bounds are an invariant of every summary this
+        // module builds (combined lower/upper rank bounds grow along the
+        // value order) and the precondition for the binary-searched
+        // `nearest_entry`; a frame violating it is malformed.
+        if !entries
+            .windows(2)
+            .all(|w| w[0].rmin <= w[1].rmin && w[0].rmax <= w[1].rmax)
+        {
+            return Err("entry rank bounds not monotone");
         }
         if entries
             .iter()
@@ -215,17 +225,26 @@ impl QuantileSummary {
     }
 
     /// Index of the entry whose rank interval is closest to `r`.
+    ///
+    /// `O(log len)`: along the entries (sorted by value, rank bounds
+    /// non-decreasing — see [`QuantileSummary::from_parts`]) the falling
+    /// term `r − rmin` is non-increasing and the rising term `rmax − r`
+    /// non-decreasing, so their max is unimodal and minimized where the
+    /// rising term overtakes. This sits on the per-merge prune path, so
+    /// a linear scan would make each prune `O(k·len)`.
     fn nearest_entry(&self, r: u64) -> usize {
-        let mut best = 0usize;
-        let mut best_score = u64::MAX;
-        for (i, e) in self.entries.iter().enumerate() {
-            let score = (r.saturating_sub(e.rmin)).max(e.rmax.saturating_sub(r));
-            if score < best_score {
-                best_score = score;
-                best = i;
-            }
+        debug_assert!(!self.entries.is_empty());
+        let score = |e: &QEntry| (r.saturating_sub(e.rmin)).max(e.rmax.saturating_sub(r));
+        let i = self
+            .entries
+            .partition_point(|e| e.rmax.saturating_sub(r) < r.saturating_sub(e.rmin))
+            .min(self.entries.len() - 1);
+        // The minimum is at the crossover or immediately before it.
+        if i > 0 && score(&self.entries[i - 1]) <= score(&self.entries[i]) {
+            i - 1
+        } else {
+            i
         }
-        best
     }
 
     /// Returns a stored value whose true rank is near `r` (clamped to
@@ -440,6 +459,53 @@ mod tests {
         let (lo, hi) = true_rank_bounds(&all, med);
         let err = root.max_rank_error();
         assert!(lo <= 512 + err && hi + err >= 512);
+    }
+
+    #[test]
+    fn nearest_entry_is_argmin_and_bounds_stay_monotone() {
+        // Merge-then-prune chains with duplicates: the shape every tree
+        // aggregation produces. Rank bounds must stay monotone (the
+        // binary-searched `nearest_entry`'s precondition) and the chosen
+        // entry must score no worse than a full linear scan's argmin.
+        let mut acc = QuantileSummary::new();
+        for chunk in 0u64..6 {
+            let mut vals: Vec<u64> = (0..50).map(|i| (i * 7 + chunk * 13) % 90).collect();
+            vals.sort_unstable();
+            acc = QuantileSummary::merged(&acc, &QuantileSummary::from_sorted(&vals));
+            acc.prune(12);
+            assert!(
+                acc.entries()
+                    .windows(2)
+                    .all(|w| w[0].rmin <= w[1].rmin && w[0].rmax <= w[1].rmax),
+                "rank bounds lost monotonicity after merge {chunk}"
+            );
+        }
+        for r in 1..=acc.count() {
+            let score = |e: &QEntry| (r.saturating_sub(e.rmin)).max(e.rmax.saturating_sub(r));
+            let best = acc.entries().iter().map(score).min().unwrap();
+            assert_eq!(
+                score(&acc.entries()[acc.nearest_entry(r)]),
+                best,
+                "rank {r}: binary search missed the best entry"
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_non_monotone_bounds() {
+        let entries = vec![
+            QEntry {
+                value: 1,
+                rmin: 3,
+                rmax: 4,
+            },
+            QEntry {
+                value: 2,
+                rmin: 1,
+                rmax: 5,
+            },
+        ];
+        assert!(QuantileSummary::from_parts(entries, 5).is_err());
     }
 
     #[test]

@@ -49,6 +49,12 @@
 //! `EXPERIMENTS.md` for the reproduction of every quantitative claim in
 //! the paper.
 
+/// Runs the README's code blocks as doc-tests, so the front-page
+/// `QueryEngine` snippet is guaranteed to compile and behave as printed.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 pub use saq_baselines as baselines;
 pub use saq_core as core;
 pub use saq_lowerbound as lowerbound;

@@ -33,6 +33,8 @@ fn query_mix() -> Vec<QuerySpec> {
         QuerySpec::OrderStatistic { k: 5 },
         QuerySpec::ApxMedian { epsilon: 0.4 },
         QuerySpec::DistinctExact,
+        QuerySpec::Quantile { q: 0.75, eps: 0.15 },
+        QuerySpec::BottomK { k: 5 },
     ]
 }
 
