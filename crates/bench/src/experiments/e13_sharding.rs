@@ -1,0 +1,178 @@
+//! E13 — sharded parallel convergecast scaling.
+//!
+//! The convergecast is associative and commutative per subtree, so the
+//! simulated tree can be evaluated shard-parallel with bit-identical
+//! results (`SimNetworkBuilder::shards`). This experiment measures the
+//! wall-clock payoff on a large-N deployment: the same mixed query
+//! batch (COUNT, MIN, Quantile, BottomK, Sum) runs repeatedly at shard
+//! counts `k ∈ {1, 2, 4, 8}` and the table reports time per batch,
+//! speedup over `k = 1`, and the equality checks.
+//!
+//! Claims checked:
+//!
+//! * every shard count returns **answers bit-identical** to the
+//!   single-threaded run, at **identical per-node bit statistics** —
+//!   sharding is an execution strategy, not a semantics change;
+//! * with enough hardware parallelism, wall-clock time per batch drops
+//!   as shards are added (the target regime is speedup > 1.5× at
+//!   `k = 4`; on fewer cores the table records what the hardware
+//!   allows — [`Summary::cores`] reports the parallelism available).
+
+use crate::table::{banner, f3, Table};
+use crate::Scale;
+use saq_core::engine::{QueryEngine, QueryOutcome, QuerySpec};
+use saq_core::net::AggregationNetwork;
+use saq_core::predicate::{Domain, Predicate};
+use saq_core::simnet::{SimNetwork, SimNetworkBuilder};
+use saq_netsim::topology::Topology;
+use std::time::Instant;
+
+/// Machine-checkable summary for tests.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// `(k, seconds per batch, speedup vs k = 1)`.
+    pub points: Vec<(usize, f64, f64)>,
+    /// Whether every shard count matched the k = 1 answers exactly.
+    pub answers_identical: bool,
+    /// Whether every shard count matched the k = 1 per-node bit totals
+    /// (the full per-node vector, every node compared).
+    pub bits_identical: bool,
+    /// Hardware parallelism available to the run.
+    pub cores: usize,
+}
+
+impl Summary {
+    /// Speedup at the given shard count (1.0 when not measured).
+    pub fn speedup_at(&self, k: usize) -> f64 {
+        self.points
+            .iter()
+            .find(|(kk, _, _)| *kk == k)
+            .map(|&(_, _, s)| s)
+            .unwrap_or(1.0)
+    }
+}
+
+fn specs() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::Count(Predicate::TRUE),
+        QuerySpec::Min(Domain::Raw),
+        QuerySpec::Max(Domain::Raw),
+        QuerySpec::Quantile { q: 0.5, eps: 0.1 },
+        QuerySpec::BottomK { k: 32 },
+        QuerySpec::Sum(Predicate::less_than(500)),
+    ]
+}
+
+fn deployment(n: usize, shards: usize) -> SimNetwork {
+    // A degree-8 balanced tree: the root has 8 children, so up to 8
+    // shards carry non-trivial subtrees.
+    let topo = Topology::balanced_tree(n, 8).expect("tree");
+    let items: Vec<u64> = (0..n as u64).map(|i| (i * 131) % 1000).collect();
+    SimNetworkBuilder::new()
+        .max_children(8)
+        .shards(shards)
+        .build_one_per_node(&topo, &items, 1000)
+        .expect("net")
+}
+
+fn run_batches(net: SimNetwork, reps: usize) -> (Vec<Vec<QueryOutcome>>, SimNetwork, f64) {
+    let mut engine = QueryEngine::new(net);
+    let start = Instant::now();
+    let mut outcomes = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        for s in specs() {
+            engine.submit(s);
+        }
+        let reports = engine.run().expect("engine run");
+        outcomes.push(
+            reports
+                .into_iter()
+                .map(|r| r.outcome.expect("query ok"))
+                .collect(),
+        );
+    }
+    let secs = start.elapsed().as_secs_f64() / reps as f64;
+    (outcomes, engine.into_network(), secs)
+}
+
+/// Runs E13 and prints its table.
+pub fn run(scale: Scale) -> Summary {
+    banner(
+        "E13",
+        "sharded parallel convergecast",
+        "shard-parallel simulation returns bit-identical answers; wall-clock drops with shard count as cores allow",
+    );
+    let (n, reps, ks): (usize, usize, &[usize]) = match scale {
+        Scale::Quick => (2_000, 2, &[1, 2, 4]),
+        Scale::Full => (30_000, 3, &[1, 2, 4, 8]),
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "N = {n}, {reps} batches of {} queries, {cores} cores\n",
+        specs().len()
+    );
+
+    let mut table = Table::new(&[
+        "shards",
+        "s/batch",
+        "speedup",
+        "answers = k1",
+        "max bits/node",
+        "bits = k1",
+    ]);
+    let mut points = Vec::new();
+    let mut answers_identical = true;
+    let mut bits_identical = true;
+    let mut baseline: Option<(Vec<Vec<QueryOutcome>>, Vec<u64>, f64)> = None;
+
+    for &k in ks {
+        let (outcomes, net, secs) = run_batches(deployment(n, k), reps);
+        let stats = net.net_stats().expect("stats");
+        let max_bits = stats.max_node_bits();
+        // The *entire* per-node bit vector must match, not just the
+        // maximum — a regression that redistributes bits between nodes
+        // while keeping the max would otherwise slip through.
+        let per_node: Vec<u64> = (0..stats.len())
+            .map(|v| stats.node(v).total_bits())
+            .collect();
+        let (eq_answers, eq_bits, speedup) = match &baseline {
+            None => (true, true, 1.0),
+            Some((base_out, base_bits, base_secs)) => (
+                *base_out == outcomes,
+                *base_bits == per_node,
+                base_secs / secs,
+            ),
+        };
+        answers_identical &= eq_answers;
+        bits_identical &= eq_bits;
+        table.row(&[
+            k.to_string(),
+            f3(secs),
+            format!("{}x", f3(speedup)),
+            eq_answers.to_string(),
+            max_bits.to_string(),
+            eq_bits.to_string(),
+        ]);
+        points.push((k, secs, speedup));
+        if baseline.is_none() {
+            baseline = Some((outcomes, per_node, secs));
+        }
+    }
+    table.print();
+    println!(
+        "\nanswers identical across shard counts: {answers_identical}; \
+         per-node bits identical: {bits_identical}"
+    );
+    if cores < 4 {
+        println!("(only {cores} core(s) available: wall-clock speedup is hardware-bound)");
+    }
+
+    Summary {
+        points,
+        answers_identical,
+        bits_identical,
+        cores,
+    }
+}

@@ -816,6 +816,44 @@ mod tests {
     }
 
     #[test]
+    fn sharded_engine_reports_match_single_threaded() {
+        // The engine's whole report — answers, per-query bit ledgers,
+        // wave counts — is identical under sharded execution.
+        let topo = Topology::balanced_tree(40, 4).unwrap();
+        let items: Vec<Value> = (0..40u64).map(|i| (i * 29) % 40).collect();
+        let run = |shards: usize| {
+            let net = SimNetworkBuilder::new()
+                .max_children(4)
+                .shards(shards)
+                .partial_cache(16)
+                .build_one_per_node(&topo, &items, 128)
+                .unwrap();
+            let mut engine = QueryEngine::new(net);
+            engine.submit(QuerySpec::Median);
+            engine.submit(QuerySpec::Quantile { q: 0.5, eps: 0.2 });
+            engine.submit(QuerySpec::BottomK { k: 6 });
+            engine.submit(QuerySpec::Count(Predicate::TRUE));
+            let reports = engine.run().unwrap();
+            let cache = engine.network().cache_stats();
+            (reports, cache)
+        };
+        let (base, base_cache) = run(1);
+        for k in [2usize, 4] {
+            let (reports, cache) = run(k);
+            for (a, b) in base.iter().zip(&reports) {
+                assert_eq!(
+                    a.outcome, b.outcome,
+                    "answer differs at k={k}: {:?}",
+                    a.spec
+                );
+                assert_eq!(a.bits, b.bits, "bit ledger differs at k={k}: {:?}", a.spec);
+                assert_eq!(a.waves, b.waves, "wave count differs at k={k}");
+            }
+            assert_eq!(base_cache, cache, "cache counters differ at k={k}");
+        }
+    }
+
+    #[test]
     fn per_query_bits_account_for_everything() {
         let mut engine = QueryEngine::new(grid_net(4, 5));
         engine.submit(QuerySpec::Count(Predicate::TRUE));

@@ -21,9 +21,10 @@ use saq_netsim::sim::SimConfig;
 use saq_netsim::stats::NetStats;
 use saq_netsim::topology::Topology;
 use saq_protocols::wave::Reliability;
-use saq_protocols::{MultiplexWave, MuxLedger, MuxSlotBits, SpanningTree, WaveRunner};
-use std::cell::RefCell;
-use std::rc::Rc;
+use saq_protocols::{
+    MultiplexWave, MuxLedger, MuxSlotBits, ShardedWaveRunner, SpanningTree, WaveRunner,
+};
+use std::sync::{Arc, Mutex};
 
 /// Builder for [`SimNetwork`].
 ///
@@ -51,6 +52,7 @@ pub struct SimNetworkBuilder {
     max_children: usize,
     reliability: Reliability,
     cache_entries: usize,
+    shards: usize,
 }
 
 impl Default for SimNetworkBuilder {
@@ -61,6 +63,7 @@ impl Default for SimNetworkBuilder {
             max_children: 3,
             reliability: Reliability::None,
             cache_entries: 0,
+            shards: 1,
         }
     }
 }
@@ -108,6 +111,27 @@ impl SimNetworkBuilder {
         self
     }
 
+    /// Runs the simulation **sharded**: the root's subtrees are
+    /// partitioned into `k` groups, each simulated on its own OS thread
+    /// between the root's broadcast and the convergecast barrier
+    /// (`0` and `1` both mean single-threaded, the default; `k` is
+    /// clamped to the number of the root's children).
+    ///
+    /// Sharding is an execution strategy, not a semantics change:
+    /// `shards(k)` produces bit-identical answers, per-slot
+    /// [`MuxLedger`] attribution and cache hit/miss counters to
+    /// `shards(1)` for every `k` — the convergecast merge is canonical
+    /// (fixed child order) and per-node randomness is derived from
+    /// global node ids (see `saq_protocols::shard`). Requires
+    /// [`Reliability::None`] over lossless, duplication-free links
+    /// when `k > 1` — random link fates draw from per-shard streams
+    /// and could not replay a single-threaded run's drops, so lossy
+    /// configurations are rejected at build time (jitter is fine).
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = k.max(1);
+        self
+    }
+
     /// Builds a network with explicit per-node item multisets (§5 of the
     /// paper allows several items per node).
     ///
@@ -142,8 +166,25 @@ impl SimNetworkBuilder {
             .into_iter()
             .map(|vs| vs.into_iter().map(SimItem::new).collect())
             .collect();
-        let mut runner = WaveRunner::new(topo, self.sim_cfg, &tree, proto, items, self.reliability)
-            .map_err(QueryError::from)?;
+        let mut runner = if self.shards > 1 {
+            Runner::Sharded(Box::new(
+                ShardedWaveRunner::new(
+                    topo,
+                    self.sim_cfg,
+                    &tree,
+                    proto,
+                    items,
+                    self.reliability,
+                    self.shards,
+                )
+                .map_err(QueryError::from)?,
+            ))
+        } else {
+            Runner::Single(Box::new(
+                WaveRunner::new(topo, self.sim_cfg, &tree, proto, items, self.reliability)
+                    .map_err(QueryError::from)?,
+            ))
+        };
         if self.cache_entries > 0 {
             runner.enable_partial_cache(self.cache_entries);
         }
@@ -196,17 +237,104 @@ pub struct BatchOutcome {
     pub messages: u64,
 }
 
+/// The execution substrate behind a [`SimNetwork`]: one event loop, or
+/// `k` parallel per-subtree event loops joined at the root barrier.
+/// Either way the observable behavior (answers, ledgers, caches,
+/// per-node bits) is identical — the dispatch below is mechanical.
+#[derive(Debug)]
+enum Runner {
+    Single(Box<WaveRunner<MultiplexWave<CoreWave>>>),
+    Sharded(Box<ShardedWaveRunner<MultiplexWave<CoreWave>>>),
+}
+
+impl Runner {
+    fn run_wave(
+        &mut self,
+        req: Vec<saq_protocols::MuxEntry<CoreRequest>>,
+    ) -> Result<Vec<CorePartial>, saq_protocols::ProtocolError> {
+        match self {
+            Runner::Single(r) => r.run_wave(req),
+            Runner::Sharded(r) => r.run_wave(req),
+        }
+    }
+
+    fn stats(&self) -> &NetStats {
+        match self {
+            Runner::Single(r) => r.stats(),
+            Runner::Sharded(r) => r.stats(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            Runner::Single(r) => r.reset_stats(),
+            Runner::Sharded(r) => r.reset_stats(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Runner::Single(r) => r.len(),
+            Runner::Sharded(r) => r.len(),
+        }
+    }
+
+    fn tree_height(&self) -> u32 {
+        match self {
+            Runner::Single(r) => r.tree_height(),
+            Runner::Sharded(r) => r.tree_height(),
+        }
+    }
+
+    fn tree_max_degree(&self) -> usize {
+        match self {
+            Runner::Single(r) => r.tree_max_degree(),
+            Runner::Sharded(r) => r.tree_max_degree(),
+        }
+    }
+
+    fn items(&self, node: usize) -> &[SimItem] {
+        match self {
+            Runner::Single(r) => r.items(node),
+            Runner::Sharded(r) => r.items(node),
+        }
+    }
+
+    fn set_items(&mut self, node: usize, items: Vec<SimItem>) {
+        match self {
+            Runner::Single(r) => r.set_items(node, items),
+            Runner::Sharded(r) => r.set_items(node, items),
+        }
+    }
+
+    fn enable_partial_cache(&mut self, capacity: usize) {
+        match self {
+            Runner::Single(r) => r.enable_partial_cache(capacity),
+            Runner::Sharded(r) => r.enable_partial_cache(capacity),
+        }
+    }
+
+    fn cache_stats(&self) -> saq_protocols::CacheStats {
+        match self {
+            Runner::Single(r) => r.cache_stats(),
+            Runner::Sharded(r) => r.cache_stats(),
+        }
+    }
+}
+
 /// An [`AggregationNetwork`] whose primitives execute as simulated
 /// distributed waves with bit-exact accounting.
 ///
 /// Every wave — single-query primitives and the engine's batched
 /// multi-query rounds alike — travels in the multiplexed envelope of
 /// [`MultiplexWave`], so per-sub-query bit attribution is always
-/// available from the shared [`MuxLedger`].
+/// available from the shared [`MuxLedger`]. With
+/// [`SimNetworkBuilder::shards`] the wave executes shard-parallel with
+/// identical observable behavior.
 #[derive(Debug)]
 pub struct SimNetwork {
-    runner: WaveRunner<MultiplexWave<CoreWave>>,
-    ledger: Rc<RefCell<MuxLedger>>,
+    runner: Runner,
+    ledger: Arc<Mutex<MuxLedger>>,
     xbar: Value,
     apx: ApxCountConfig,
     ops: OpCounts,
@@ -264,14 +392,17 @@ impl SimNetwork {
         if reqs.is_empty() {
             return Err(QueryError::InvalidParameter("empty wave batch"));
         }
-        self.ledger.borrow_mut().reset(reqs.len());
+        self.ledger
+            .lock()
+            .expect("mux ledger poisoned")
+            .reset(reqs.len());
         let tx_before = self.total_tx_packets();
         let partials = self
             .runner
             .run_wave(MultiplexWave::<CoreWave>::envelope(reqs))
             .map_err(QueryError::from)?;
         let messages = self.total_tx_packets() - tx_before;
-        let ledger = self.ledger.borrow();
+        let ledger = self.ledger.lock().expect("mux ledger poisoned");
         Ok(BatchOutcome {
             partials,
             slot_bits: ledger.slots().to_vec(),
@@ -608,6 +739,47 @@ mod tests {
             .build_one_per_node(&topo, &items, 64)
             .unwrap();
         assert!(net.tree_max_degree() <= 3);
+    }
+
+    #[test]
+    fn sharded_network_matches_single_threaded() {
+        let topo = Topology::balanced_tree(40, 3).unwrap();
+        let items: Vec<Value> = (0..40u64).map(|i| (i * 13) % 40).collect();
+        let build = |shards: usize| {
+            SimNetworkBuilder::new()
+                .shards(shards)
+                .build_one_per_node(&topo, &items, 128)
+                .unwrap()
+        };
+        let mut single = build(1);
+        let mut sharded = build(3);
+        for net in [&mut single, &mut sharded] {
+            assert_eq!(net.count(&Predicate::TRUE).unwrap(), 40);
+            assert_eq!(net.min(Domain::Raw).unwrap(), Some(0));
+        }
+        // Identical per-node bit totals: sharding is an execution
+        // strategy, not a semantics change.
+        let (a, b) = (single.net_stats().unwrap(), sharded.net_stats().unwrap());
+        for v in 0..topo.len() {
+            assert_eq!(a.node(v).total_bits(), b.node(v).total_bits(), "node {v}");
+        }
+    }
+
+    #[test]
+    fn sharded_network_rejects_arq() {
+        let topo = Topology::balanced_tree(13, 3).unwrap();
+        let items: Vec<Value> = (0..13u64).collect();
+        let err = SimNetworkBuilder::new()
+            .shards(2)
+            .reliability(saq_protocols::wave::Reliability::Ack {
+                timeout: saq_netsim::SimDuration::from_millis(10),
+            })
+            .build_one_per_node(&topo, &items, 32)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::Protocol(saq_protocols::ProtocolError::Unsupported(_))
+        ));
     }
 
     #[test]

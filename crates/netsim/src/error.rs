@@ -40,6 +40,12 @@ pub enum NetsimError {
     },
     /// A bit-stream decode failed (truncated or corrupt message).
     WireDecode(&'static str),
+    /// A message could not be encoded because its content exceeds the
+    /// wire format's declared bounds (for example more multiplexed slots
+    /// than the 16-bit slot space can address). Raised at the API
+    /// boundary *before* any bits hit the network, in release builds as
+    /// well as debug.
+    WireEncode(&'static str),
 }
 
 impl fmt::Display for NetsimError {
@@ -60,6 +66,7 @@ impl fmt::Display for NetsimError {
                 write!(f, "simulation exceeded event budget of {budget} events")
             }
             NetsimError::WireDecode(what) => write!(f, "wire decode error: {what}"),
+            NetsimError::WireEncode(what) => write!(f, "wire encode error: {what}"),
         }
     }
 }
@@ -82,6 +89,7 @@ mod tests {
             NetsimError::NoSuchLink { from: 0, to: 3 },
             NetsimError::EventBudgetExhausted { budget: 10 },
             NetsimError::WireDecode("truncated"),
+            NetsimError::WireEncode("too many slots"),
         ];
         for e in errors {
             let s = e.to_string();

@@ -26,6 +26,9 @@
 //! * [`stats`] — per-node transmit/receive counters and summaries.
 //! * [`sim`] — the event loop: [`sim::Simulator`], the [`sim::NodeRuntime`]
 //!   state-machine trait, packets and timers.
+//! * [`shard`] — parallel execution of disjoint simulators
+//!   ([`shard::ShardedSim`]) with deterministic per-shard random streams
+//!   and a merged global statistics view.
 //!
 //! ## Quick example
 //!
@@ -49,6 +52,7 @@ pub mod error;
 pub mod event;
 pub mod link;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;

@@ -199,15 +199,48 @@ impl<P: NodeRuntime> Simulator<P> {
     ///
     /// Panics if `nodes.len()` differs from the topology size.
     pub fn with_nodes(topo: Topology, cfg: SimConfig, nodes: Vec<P>) -> Self {
+        let labels: Vec<u64> = (0..topo.len() as u64).collect();
+        Self::with_nodes_labeled(topo, cfg, nodes, &labels, 0)
+    }
+
+    /// Creates a simulator whose per-node random streams are derived from
+    /// explicit labels instead of node indices, and whose link stream is
+    /// derived from `link_stream` instead of the default `0`.
+    ///
+    /// This is what keeps **sharded** simulations deterministic: a shard
+    /// simulator indexes its nodes `0..m` locally, but by labeling each
+    /// node with its *global* id it draws from exactly the stream the
+    /// node would own in an unsharded run, so per-node randomness is
+    /// independent of the shard partition. Distinct `link_stream` values
+    /// give each shard an independent link-fate/jitter stream (seeded
+    /// deterministically per shard id by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the topology size or
+    /// `rng_labels` is shorter than the node count.
+    pub fn with_nodes_labeled(
+        topo: Topology,
+        cfg: SimConfig,
+        nodes: Vec<P>,
+        rng_labels: &[u64],
+        link_stream: u64,
+    ) -> Self {
         assert_eq!(
             nodes.len(),
             topo.len(),
             "need exactly one node state per topology node"
         );
-        let node_rngs = (0..topo.len())
-            .map(|i| Xoshiro256StarStar::seed_from_u64(derive_seed(cfg.seed, i as u64, 1)))
+        assert!(
+            rng_labels.len() >= topo.len(),
+            "need one rng label per node"
+        );
+        let node_rngs = rng_labels
+            .iter()
+            .take(topo.len())
+            .map(|&label| Xoshiro256StarStar::seed_from_u64(derive_seed(cfg.seed, label, 1)))
             .collect();
-        let link_rng = Xoshiro256StarStar::seed_from_u64(derive_seed(cfg.seed, 0, 2));
+        let link_rng = Xoshiro256StarStar::seed_from_u64(derive_seed(cfg.seed, link_stream, 2));
         let stats = NetStats::new(topo.len(), cfg.energy);
         Simulator {
             topo,

@@ -181,7 +181,27 @@ impl NetStats {
     /// Panics if the node counts differ.
     pub fn absorb(&mut self, other: &NetStats) {
         assert_eq!(self.len(), other.len(), "node count mismatch");
-        for (a, b) in self.nodes.iter_mut().zip(other.nodes.iter()) {
+        self.absorb_with(other, |i| i);
+    }
+
+    /// Merges another tracker's counters into this one under a node-id
+    /// translation: `other`'s node `i` is charged to `map[i]` here. Used
+    /// by sharded simulations, whose per-shard trackers are indexed by
+    /// shard-local ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` is shorter than `other` or maps out of range.
+    pub fn absorb_mapped(&mut self, other: &NetStats, map: &[usize]) {
+        assert!(map.len() >= other.len(), "node map shorter than stats");
+        self.absorb_with(other, |i| map[i]);
+    }
+
+    /// The single merge site behind [`NetStats::absorb`] and
+    /// [`NetStats::absorb_mapped`].
+    fn absorb_with(&mut self, other: &NetStats, map: impl Fn(usize) -> usize) {
+        for (i, b) in other.nodes.iter().enumerate() {
+            let a = &mut self.nodes[map(i)];
             a.tx_bits += b.tx_bits;
             a.rx_bits += b.rx_bits;
             a.tx_packets += b.tx_packets;
@@ -189,8 +209,8 @@ impl NetStats {
             a.energy.tx_nj += b.energy.tx_nj;
             a.energy.rx_nj += b.energy.rx_nj;
         }
-        for (&k, &v) in &other.links {
-            *self.links.entry(k).or_insert(0) += v;
+        for (&(s, d), &v) in &other.links {
+            *self.links.entry((map(s), map(d))).or_insert(0) += v;
         }
     }
 }

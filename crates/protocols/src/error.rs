@@ -21,6 +21,9 @@ pub enum ProtocolError {
     },
     /// Mismatched shapes (items vector vs topology size, tree vs topology).
     ShapeMismatch(&'static str),
+    /// A requested execution mode is not supported by this runner (for
+    /// example per-hop ARQ under sharded execution).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for ProtocolError {
@@ -32,6 +35,7 @@ impl fmt::Display for ProtocolError {
                 write!(f, "root {root} out of range for {len} nodes")
             }
             ProtocolError::ShapeMismatch(what) => write!(f, "shape mismatch: {what}"),
+            ProtocolError::Unsupported(what) => write!(f, "unsupported configuration: {what}"),
         }
     }
 }

@@ -22,7 +22,12 @@
 //!   gossip baseline;
 //! * [`cache`] — subtree partial caching for the wave runner: interior
 //!   nodes store their merged subtree partials keyed by the encoded
-//!   sub-request and answer repeats without re-contributing leaf items.
+//!   sub-request and answer repeats without re-contributing leaf items;
+//! * [`shard`] — sharded parallel convergecast: the root's subtrees are
+//!   partitioned across OS threads (the merge laws make subtree order
+//!   irrelevant) and re-joined at a deterministic root barrier, with
+//!   bit ledgers, statistics and caches merged to match single-threaded
+//!   execution observable-for-observable.
 //!
 //! Aggregate *semantics* (what COUNT, MEDIAN, etc. mean) live in
 //! `saq-core` and `saq-baselines`; this crate only moves bits.
@@ -31,12 +36,15 @@ pub mod cache;
 pub mod error;
 pub mod gossip;
 pub mod rings;
+pub mod shard;
 pub mod tree;
 pub mod wave;
 
 pub use cache::{CacheKey, CacheStats, PartialCache};
 pub use error::ProtocolError;
+pub use shard::ShardedWaveRunner;
 pub use tree::SpanningTree;
 pub use wave::{
-    MultiplexWave, MuxEntry, MuxLedger, MuxSlotBits, WaveProtocol, WaveRunner, WAVE_HEADER_BITS,
+    MultiplexWave, MuxEntry, MuxLedger, MuxSlotBits, WaveProtocol, WaveRunner, MUX_MAX_SLOTS,
+    WAVE_HEADER_BITS,
 };

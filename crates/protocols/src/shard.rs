@@ -1,0 +1,860 @@
+//! Sharded parallel convergecast execution.
+//!
+//! The broadcast–convergecast wave is embarrassingly parallel below the
+//! root: the subtrees hanging off the root's children never exchange a
+//! message, and the aggregation operator is associative and commutative
+//! (the merge laws every [`WaveProtocol`] must satisfy). A
+//! [`ShardedWaveRunner`] exploits exactly this: it partitions the
+//! root's children into `k` **shards**, simulates each shard in its own
+//! [`saq_netsim::shard::ShardedSim`] thread, and plays the root's half
+//! of the wave itself — cache admission, local contribution, per-child
+//! request framing before the fan-out, and the **barrier merge** of the
+//! shard results in fixed child order afterwards.
+//!
+//! ## Equivalence with single-threaded execution
+//!
+//! A sharded run reproduces a single-threaded
+//! [`WaveRunner`](crate::wave::WaveRunner) run
+//! observable-for-observable:
+//!
+//! * **Answers** — every node merges child partials in fixed child
+//!   order (the canonical merge in [`crate::wave`]), and per-node
+//!   randomness comes from global-id-labeled streams, so the merged
+//!   partial at the root is a pure function of tree + items + request,
+//!   not of the partition or of thread timing.
+//! * **Bit ledgers** — nodes encode exactly the messages they would
+//!   encode unsharded (the root's per-child requests are encoded by the
+//!   driver, one per child, as the root itself would); per-shard
+//!   [`MuxLedger`]s are drained into the root ledger at the barrier in
+//!   fixed shard order, and sums are order-insensitive.
+//! * **Statistics** — each transmission and delivery is charged in its
+//!   shard under the node's global id ([`NetStats::absorb_mapped`]); the
+//!   root's transmissions are performed (and charged) by a per-shard
+//!   *root stub* that unicasts the staged request frames and absorbs the
+//!   shard's partials for the barrier.
+//! * **Caches** — each node's subtree cache lives wherever the node
+//!   lives (the root's in the driver), so hit/miss counters are
+//!   identical to an unsharded run.
+//!
+//! Per-hop ARQ ([`Reliability::Ack`]) is not supported across the
+//! root–child boundary, and links must be lossless and
+//! duplication-free: link *fates* are drawn from per-shard random
+//! streams, so under random loss different messages would drop than in
+//! a single-threaded run. Sharded runners therefore require
+//! [`Reliability::None`] over reliable links — the paper's lossless
+//! model and the engine's intended setting. (Jitter is permitted: it
+//! perturbs only timing, which the canonical merge makes
+//! unobservable.)
+//!
+//! [`MuxLedger`]: crate::wave::MuxLedger
+
+use crate::cache::{CacheStats, PartialCache};
+use crate::error::ProtocolError;
+use crate::tree::SpanningTree;
+use crate::wave::{AggNode, Reliability, WaveAdmit, WaveProtocol, KIND_PARTIAL, KIND_REQUEST};
+use saq_netsim::rng::{derive_seed, Xoshiro256StarStar};
+use saq_netsim::shard::{ShardSpec, ShardedSim};
+use saq_netsim::sim::{Context, NodeId, NodeRuntime, SimConfig};
+use saq_netsim::stats::NetStats;
+use saq_netsim::topology::Topology;
+use saq_netsim::wire::{BitReader, BitString, BitWriter};
+
+/// Kick tag the driver uses to start a shard's stub fan-out.
+const TAG_SHARD_START: u64 = 2;
+
+/// A shard-resident node: either a real wave state machine, or the
+/// root's stand-in (shard-local id 0) that transmits the staged request
+/// frames and collects the subtree roots' partial frames for the
+/// barrier.
+///
+/// The `Agg` variant is boxed: one stub rides along with hundreds of
+/// tree nodes per shard, and the enum should not inflate every node to
+/// the stub's inline size (nor vice versa).
+#[derive(Debug)]
+pub(crate) enum ShardNode<P: WaveProtocol> {
+    /// A real tree node.
+    Agg(Box<AggNode<P>>),
+    /// The root's stand-in inside this shard.
+    Stub {
+        /// `(local child, frame)` pairs to unicast on kick — staged by
+        /// the driver so the transmissions are charged to the root
+        /// inside the shard, exactly as the root's own unicasts would
+        /// be.
+        staged: Vec<(NodeId, BitString)>,
+        /// Frames received from the shard's subtree roots, in arrival
+        /// order: `(local sender, frame)`.
+        inbox: Vec<(NodeId, BitString)>,
+    },
+}
+
+impl<P: WaveProtocol> ShardNode<P> {
+    fn agg(&self) -> &AggNode<P> {
+        match self {
+            ShardNode::Agg(n) => n,
+            ShardNode::Stub { .. } => unreachable!("stub where a tree node was expected"),
+        }
+    }
+
+    fn agg_mut(&mut self) -> &mut AggNode<P> {
+        match self {
+            ShardNode::Agg(n) => n,
+            ShardNode::Stub { .. } => unreachable!("stub where a tree node was expected"),
+        }
+    }
+}
+
+impl<P: WaveProtocol> NodeRuntime for ShardNode<P> {
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        match self {
+            ShardNode::Agg(n) => n.on_timer(ctx, tag),
+            ShardNode::Stub { staged, .. } => {
+                if tag == TAG_SHARD_START {
+                    for (child, frame) in staged.drain(..) {
+                        ctx.send(child, frame);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: &BitString) {
+        match self {
+            ShardNode::Agg(n) => n.on_packet(ctx, from, payload),
+            ShardNode::Stub { inbox, .. } => inbox.push((from, payload.clone())),
+        }
+    }
+}
+
+/// Executes [`WaveProtocol`] waves like [`WaveRunner`](crate::wave::WaveRunner),
+/// but with the root's subtrees partitioned into `k` shards that run on
+/// parallel OS threads between the root fan-out and the root barrier.
+#[derive(Debug)]
+pub struct ShardedWaveRunner<P: WaveProtocol> {
+    sharded: ShardedSim<ShardNode<P>>,
+    /// The root's state machine, driven outside any simulator.
+    root_node: AggNode<P>,
+    /// The root's private random stream (global-id derived, the same
+    /// stream it would own in an unsharded simulator).
+    root_rng: Xoshiro256StarStar,
+    root: NodeId,
+    /// Per-shard protocol instances — the clones deployed to that
+    /// shard's nodes share them (and their side-state) — drained into
+    /// the root's instance at each barrier.
+    shard_protos: Vec<P>,
+    /// `node → (shard, local id)`; `None` for the root.
+    locate: Vec<Option<(usize, usize)>>,
+    /// Children of the root handled by each shard, in fixed child order.
+    shard_children: Vec<Vec<NodeId>>,
+    /// Cached merged global statistics (refreshed after every wave).
+    merged_stats: NetStats,
+    next_wave: u16,
+    tree_height: u32,
+    tree_max_degree: usize,
+}
+
+/// Deterministically partitions the root's children into at most `k`
+/// groups, balancing total subtree size (largest-first greedy onto the
+/// least-loaded group; ties go to the lower group index).
+fn partition_children(tree: &SpanningTree, children: &[NodeId], k: usize) -> Vec<Vec<NodeId>> {
+    let k = k.clamp(1, children.len().max(1));
+    // Subtree sizes via iterative DFS.
+    let size: Vec<usize> = children
+        .iter()
+        .map(|&c| {
+            let mut n = 0usize;
+            let mut stack = vec![c];
+            while let Some(v) = stack.pop() {
+                n += 1;
+                stack.extend_from_slice(tree.children(v));
+            }
+            n
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..children.len()).collect();
+    // Largest subtree first; ties by child order for determinism.
+    order.sort_by_key(|&i| (usize::MAX - size[i], i));
+    let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); k.min(children.len())];
+    let mut load = vec![0usize; groups.len()];
+    for i in order {
+        let g = (0..groups.len())
+            .min_by_key(|&g| (load[g], g))
+            .expect("at least one group");
+        groups[g].push(children[i]);
+        load[g] += size[i];
+    }
+    // Fixed child order within each group (assignment order was by
+    // size): sort so staging and collection are child-ordered.
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups
+}
+
+impl<P> ShardedWaveRunner<P>
+where
+    P: WaveProtocol + Send,
+    P::Request: Send,
+    P::Partial: Send,
+    P::Item: Send,
+{
+    /// Builds a sharded runner over the same inputs as
+    /// [`WaveRunner::new`](crate::wave::WaveRunner::new), plus the shard
+    /// count `k` (clamped to the number of the root's children; `k = 1`
+    /// still runs the single-shard code path — use a plain `WaveRunner`
+    /// when no parallelism is wanted).
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::Unsupported`] unless `reliability` is
+    ///   [`Reliability::None`] **and** links are lossless and
+    ///   duplication-free — shards draw link fates from per-shard
+    ///   random streams, so under random loss/duplication *different*
+    ///   messages would drop than in a single-threaded run and the
+    ///   bit-identity contract could not hold (link jitter is fine: it
+    ///   affects timing only, and the canonical merge makes timing
+    ///   unobservable);
+    /// * [`ProtocolError::ShapeMismatch`] for item/topology mismatches,
+    ///   as the unsharded constructor.
+    pub fn new(
+        topo: &Topology,
+        cfg: SimConfig,
+        tree: &SpanningTree,
+        proto: P,
+        items: Vec<Vec<P::Item>>,
+        reliability: Reliability,
+        k: usize,
+    ) -> Result<Self, ProtocolError> {
+        if !matches!(reliability, Reliability::None) {
+            return Err(ProtocolError::Unsupported(
+                "sharded execution requires Reliability::None (per-hop ARQ cannot cross the root barrier)",
+            ));
+        }
+        if cfg.link.loss > 0.0 || cfg.link.duplication > 0.0 {
+            return Err(ProtocolError::Unsupported(
+                "sharded execution requires lossless, duplication-free links (per-shard link-fate streams would diverge from a single-threaded run)",
+            ));
+        }
+        if items.len() != topo.len() {
+            return Err(ProtocolError::ShapeMismatch("items vector vs topology"));
+        }
+        tree.validate(topo)?;
+        let root = tree.root();
+        let children: Vec<NodeId> = tree.children(root).to_vec();
+        let shard_children = partition_children(tree, &children, k);
+
+        let mut items = items;
+        let root_items = std::mem::take(&mut items[root]);
+        let root_node = AggNode::new(
+            proto.clone(),
+            root,
+            root_items,
+            None,
+            children.clone(),
+            reliability,
+        );
+        let root_rng = Xoshiro256StarStar::seed_from_u64(derive_seed(cfg.seed, root as u64, 1));
+
+        // Build one shard per child group: local node 0 is the root
+        // stub, followed by the group's subtree nodes in global order.
+        let mut locate: Vec<Option<(usize, usize)>> = vec![None; topo.len()];
+        let mut shard_protos = Vec::with_capacity(shard_children.len());
+        let mut parts = Vec::with_capacity(shard_children.len());
+        for (s, group) in shard_children.iter().enumerate() {
+            // Collect the group's subtree nodes.
+            let mut nodes: Vec<NodeId> = Vec::new();
+            let mut stack: Vec<NodeId> = group.clone();
+            while let Some(v) = stack.pop() {
+                nodes.push(v);
+                stack.extend_from_slice(tree.children(v));
+            }
+            nodes.sort_unstable();
+            // Local ids: stub = 0, then 1.. in global order.
+            let mut global: Vec<usize> = Vec::with_capacity(nodes.len() + 1);
+            global.push(root); // the stub is charged as the root
+            for (li, &g) in nodes.iter().enumerate() {
+                locate[g] = Some((s, li + 1));
+                global.push(g);
+            }
+            let local_of =
+                |g: NodeId| -> NodeId { locate[g].expect("node assigned to this shard").1 };
+            // Tree edges within the shard + stub–subtree-root edges.
+            let mut edges: Vec<(usize, usize)> = Vec::with_capacity(nodes.len());
+            for &g in group {
+                edges.push((0, local_of(g)));
+            }
+            for &v in &nodes {
+                for &c in tree.children(v) {
+                    edges.push((local_of(v), local_of(c)));
+                }
+            }
+            let shard_proto = proto.shard_clone();
+            let mut states: Vec<ShardNode<P>> = Vec::with_capacity(nodes.len() + 1);
+            states.push(ShardNode::Stub {
+                staged: Vec::new(),
+                inbox: Vec::new(),
+            });
+            for &v in &nodes {
+                let parent_local = match tree.parent(v) {
+                    Some(p) if p == root => Some(0),
+                    Some(p) => Some(local_of(p)),
+                    None => unreachable!("shard nodes are below the root"),
+                };
+                let children_local: Vec<NodeId> =
+                    tree.children(v).iter().map(|&c| local_of(c)).collect();
+                states.push(ShardNode::Agg(Box::new(AggNode::new(
+                    shard_proto.clone(),
+                    v,
+                    std::mem::take(&mut items[v]),
+                    parent_local,
+                    children_local,
+                    reliability,
+                ))));
+            }
+            shard_protos.push(shard_proto);
+            parts.push((
+                ShardSpec {
+                    nodes: global,
+                    edges,
+                },
+                states,
+            ));
+        }
+
+        let sharded = ShardedSim::new(&cfg, topo.len(), parts).map_err(ProtocolError::from)?;
+        let merged_stats = sharded.merged_stats();
+        Ok(ShardedWaveRunner {
+            sharded,
+            root_node,
+            root_rng,
+            root,
+            shard_protos,
+            locate,
+            shard_children,
+            merged_stats,
+            next_wave: 0,
+            tree_height: tree.height(),
+            tree_max_degree: tree.max_degree(),
+        })
+    }
+
+    /// Number of shards actually running (≤ the requested `k`).
+    pub fn shard_count(&self) -> usize {
+        self.sharded.shard_count()
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes in the global network.
+    pub fn len(&self) -> usize {
+        self.locate.len()
+    }
+
+    /// Whether the network has no nodes (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.locate.is_empty()
+    }
+
+    /// Height of the aggregation tree.
+    pub fn tree_height(&self) -> u32 {
+        self.tree_height
+    }
+
+    /// Maximum communication degree in the aggregation tree.
+    pub fn tree_max_degree(&self) -> usize {
+        self.tree_max_degree
+    }
+
+    /// Accumulated global per-node communication statistics (per-shard
+    /// counters summed under global node ids).
+    pub fn stats(&self) -> &NetStats {
+        &self.merged_stats
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.sharded.reset_stats();
+        self.merged_stats = self.sharded.merged_stats();
+    }
+
+    /// Virtual time elapsed so far (latest shard clock).
+    pub fn now(&self) -> saq_netsim::SimTime {
+        self.sharded.now()
+    }
+
+    fn node(&self, node: NodeId) -> &AggNode<P> {
+        match self.locate[node] {
+            None => &self.root_node,
+            Some((s, l)) => self.sharded.shard(s).node(l).agg(),
+        }
+    }
+
+    fn node_mut(&mut self, node: NodeId) -> &mut AggNode<P> {
+        match self.locate[node] {
+            None => &mut self.root_node,
+            Some((s, l)) => self.sharded.shard_mut(s).node_mut(l).agg_mut(),
+        }
+    }
+
+    /// Current items of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn items(&self, node: NodeId) -> &[P::Item] {
+        self.node(node).items()
+    }
+
+    /// Replaces the items of `node`, invalidating the subtree caches of
+    /// the node and every ancestor up to (and including) the root —
+    /// exactly as [`WaveRunner::set_items`](crate::wave::WaveRunner::set_items).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_items(&mut self, node: NodeId, items: Vec<P::Item>) {
+        self.node_mut(node).set_items(items);
+        let mut cursor = self.locate[node];
+        loop {
+            match cursor {
+                None => {
+                    if let Some(cache) = &mut self.root_node.cache {
+                        cache.clear();
+                    }
+                    break;
+                }
+                Some((s, l)) => {
+                    let agg = self.sharded.shard_mut(s).node_mut(l).agg_mut();
+                    if let Some(cache) = &mut agg.cache {
+                        cache.clear();
+                    }
+                    cursor = match agg.parent {
+                        // Local id 0 is the shard's root stub: the next
+                        // ancestor is the real root in the driver.
+                        Some(0) | None => None,
+                        Some(p) => Some((s, p)),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Enables subtree partial caching at every node (see
+    /// [`WaveRunner::enable_partial_cache`](crate::wave::WaveRunner::enable_partial_cache)).
+    pub fn enable_partial_cache(&mut self, capacity: usize) {
+        self.root_node.cache = Some(PartialCache::new(capacity));
+        for s in 0..self.sharded.shard_count() {
+            let sim = self.sharded.shard_mut(s);
+            for l in 1..sim.len() {
+                sim.node_mut(l).agg_mut().cache = Some(PartialCache::new(capacity));
+            }
+        }
+    }
+
+    /// Disables subtree partial caching, dropping all cached state.
+    pub fn disable_partial_cache(&mut self) {
+        self.root_node.cache = None;
+        for s in 0..self.sharded.shard_count() {
+            let sim = self.sharded.shard_mut(s);
+            for l in 1..sim.len() {
+                sim.node_mut(l).agg_mut().cache = None;
+            }
+        }
+    }
+
+    /// Network-wide cache counters, root included.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        if let Some(cache) = &self.root_node.cache {
+            total.absorb(cache.stats());
+        }
+        for s in 0..self.sharded.shard_count() {
+            let sim = self.sharded.shard(s);
+            for l in 1..sim.len() {
+                if let Some(cache) = &sim.node(l).agg().cache {
+                    total.absorb(cache.stats());
+                }
+            }
+        }
+        total
+    }
+
+    /// Runs one wave: root admission and fan-out, parallel shard
+    /// execution, barrier merge in fixed child order.
+    ///
+    /// # Errors
+    ///
+    /// As [`WaveRunner::run_wave`](crate::wave::WaveRunner::run_wave):
+    /// [`ProtocolError::NoResult`] when some subtree failed to report
+    /// (loss under [`Reliability::None`]); simulator and validation
+    /// errors are propagated.
+    pub fn run_wave(&mut self, req: P::Request) -> Result<P::Partial, ProtocolError> {
+        self.root_node
+            .proto
+            .validate_request(&req)
+            .map_err(ProtocolError::from)?;
+        self.next_wave = self.next_wave.wrapping_add(1);
+        let wave = self.next_wave;
+
+        let fwd = match self.root_node.admit_wave(wave, req) {
+            WaveAdmit::Cached => {
+                // Every slot served from the root's cache: the network
+                // stays silent, as in the unsharded runner.
+                let acc = self
+                    .root_node
+                    .acc
+                    .clone()
+                    .expect("cached admission set the accumulator");
+                return Ok(self.root_node.assemble_partial(acc));
+            }
+            WaveAdmit::Forward(fwd) => fwd,
+        };
+
+        // Root local contribution, from the root's own random stream.
+        let local = {
+            let rn = &mut self.root_node;
+            rn.proto
+                .local(self.root, &mut rn.items, &fwd, &mut self.root_rng)
+        };
+        self.root_node.acc = Some(local);
+
+        // Frame one request per child, in fixed child order, encoded by
+        // the driver (charging the root's ledger exactly as the root's
+        // own per-child encodes would), then stage each frame on its
+        // shard's stub so the *transmission* is charged inside the
+        // shard.
+        let mut frames: Vec<Option<BitString>> = vec![None; self.locate.len()];
+        for &child in &self.root_node.children {
+            let mut w = BitWriter::new();
+            w.write_bits(KIND_REQUEST, 2);
+            w.write_bits(wave as u64, 16);
+            self.root_node.proto.encode_request(&fwd, &mut w);
+            frames[child] = Some(w.finish());
+        }
+        for (s, group) in self.shard_children.iter().enumerate() {
+            let staged_frames: Vec<(NodeId, BitString)> = group
+                .iter()
+                .map(|&child| {
+                    let local = self.locate[child].expect("child lives in a shard").1;
+                    (local, frames[child].take().expect("frame staged once"))
+                })
+                .collect();
+            let sim = self.sharded.shard_mut(s);
+            match sim.node_mut(0) {
+                ShardNode::Stub { staged, inbox } => {
+                    *staged = staged_frames;
+                    inbox.clear();
+                }
+                ShardNode::Agg(_) => unreachable!("local 0 is the stub"),
+            }
+            sim.kick(0, TAG_SHARD_START);
+        }
+
+        // Parallel phase: every shard runs to quiescence on its own
+        // thread; the barrier drains the per-shard ledgers in fixed
+        // shard order whether or not a shard failed, so side-state never
+        // leaks into the next wave.
+        let run_result = self.sharded.run_all();
+        for sp in &self.shard_protos {
+            self.root_node.proto.absorb_shard(sp);
+        }
+        self.merged_stats = self.sharded.merged_stats();
+        run_result.map_err(ProtocolError::from)?;
+
+        // Barrier collection: each stub's inbox holds its subtree
+        // roots' partial frames. Decode and key them by global child;
+        // duplicates (link-level duplication) keep the first copy, as
+        // the unsharded receiver does.
+        let mut child_partials: Vec<Option<P::Partial>> = vec![None; self.locate.len()];
+        for s in 0..self.sharded.shard_count() {
+            let inbox = match self.sharded.shard_mut(s).node_mut(0) {
+                ShardNode::Stub { inbox, .. } => std::mem::take(inbox),
+                ShardNode::Agg(_) => unreachable!("local 0 is the stub"),
+            };
+            for (local_src, frame) in inbox {
+                let global_src = self.sharded.to_global(s, local_src);
+                let mut r = BitReader::new(&frame);
+                let Ok(kind) = r.read_bits(2) else { continue };
+                let Ok(frame_wave) = r.read_bits(16) else {
+                    continue;
+                };
+                if kind != KIND_PARTIAL || frame_wave as u16 != wave {
+                    continue; // stale or foreign frame
+                }
+                if child_partials[global_src].is_some() {
+                    continue; // duplicate delivery
+                }
+                let Ok(partial) = self.root_node.proto.decode_partial(&fwd, &mut r) else {
+                    continue;
+                };
+                child_partials[global_src] = Some(partial);
+            }
+        }
+
+        // Canonical barrier merge: local contribution first, then every
+        // child in fixed child order — the same order the unsharded
+        // root merges in.
+        let mut acc = self
+            .root_node
+            .acc
+            .take()
+            .expect("active wave has an accumulator");
+        for i in 0..self.root_node.children.len() {
+            let child = self.root_node.children[i];
+            let Some(partial) = child_partials[child].take() else {
+                return Err(ProtocolError::NoResult);
+            };
+            acc = self.root_node.proto.merge(&fwd, acc, partial);
+        }
+        Ok(self.root_node.assemble_partial(acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::{MultiplexWave, MuxEntry, WaveRunner};
+    use saq_netsim::wire::width_for_max;
+    use saq_netsim::NetsimError;
+
+    /// SUM of items below a threshold (mirrors the wave.rs test
+    /// protocol); deterministic, so cacheable.
+    #[derive(Debug, Clone)]
+    struct SumBelow {
+        value_width: u32,
+    }
+
+    impl WaveProtocol for SumBelow {
+        type Request = u64;
+        type Partial = u64;
+        type Item = u64;
+
+        fn encode_request(&self, req: &u64, w: &mut BitWriter) {
+            w.write_bits(*req, self.value_width);
+        }
+        fn decode_request(&self, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+            r.read_bits(self.value_width)
+        }
+        fn encode_partial(&self, _req: &u64, p: &u64, w: &mut BitWriter) {
+            w.write_bits(*p, 32);
+        }
+        fn decode_partial(&self, _req: &u64, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+            r.read_bits(32)
+        }
+        fn local(
+            &self,
+            _node: NodeId,
+            items: &mut Vec<u64>,
+            req: &u64,
+            _rng: &mut Xoshiro256StarStar,
+        ) -> u64 {
+            items.iter().filter(|&&x| x < *req).sum()
+        }
+        fn merge(&self, _req: &u64, a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn cache_key(&self, req: &u64) -> Option<crate::cache::CacheKey> {
+            let mut w = BitWriter::new();
+            self.encode_request(req, &mut w);
+            Some(w.finish())
+        }
+    }
+
+    fn proto() -> MultiplexWave<SumBelow> {
+        MultiplexWave::new(SumBelow {
+            value_width: width_for_max(1000),
+        })
+    }
+
+    fn env(reqs: Vec<u64>) -> Vec<MuxEntry<u64>> {
+        MultiplexWave::<SumBelow>::envelope(reqs)
+    }
+
+    fn balanced_setup(n: usize, degree: usize) -> (Topology, SpanningTree, Vec<Vec<u64>>) {
+        let topo = Topology::balanced_tree(n, degree).unwrap();
+        let tree = SpanningTree::bfs(&topo, 0).unwrap();
+        let items: Vec<Vec<u64>> = (0..n).map(|i| vec![(i as u64 * 7) % 1000]).collect();
+        (topo, tree, items)
+    }
+
+    #[test]
+    fn sharded_matches_single_threaded_everything() {
+        let (topo, tree, items) = balanced_setup(85, 4);
+        for k in [1usize, 2, 3, 4] {
+            let mut single = WaveRunner::new(
+                &topo,
+                SimConfig::default(),
+                &tree,
+                proto(),
+                items.clone(),
+                Reliability::None,
+            )
+            .unwrap();
+            let mut sharded = ShardedWaveRunner::new(
+                &topo,
+                SimConfig::default(),
+                &tree,
+                proto(),
+                items.clone(),
+                Reliability::None,
+                k,
+            )
+            .unwrap();
+            let a = single.run_wave(env(vec![1000, 500])).unwrap();
+            let b = sharded.run_wave(env(vec![1000, 500])).unwrap();
+            assert_eq!(a, b, "answers differ at k={k}");
+            // Per-node bit statistics are identical: same messages, same
+            // encodes, just different execution substrate. (Energy is
+            // compared via bits — nanojoule sums accumulate in a
+            // different order across shards, which can differ in ULPs.)
+            for v in 0..topo.len() {
+                let (a, b) = (single.stats().node(v), sharded.stats().node(v));
+                assert_eq!(
+                    (a.tx_bits, a.rx_bits, a.tx_packets, a.rx_packets),
+                    (b.tx_bits, b.rx_bits, b.tx_packets, b.rx_packets),
+                    "node {v} stats differ at k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_ledger_matches_single_threaded() {
+        let (topo, tree, items) = balanced_setup(40, 3);
+        let sp = proto();
+        let sl = sp.ledger();
+        let mut single = WaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            sp,
+            items.clone(),
+            Reliability::None,
+        )
+        .unwrap();
+        let hp = proto();
+        let hl = hp.ledger();
+        let mut sharded = ShardedWaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            hp,
+            items,
+            Reliability::None,
+            3,
+        )
+        .unwrap();
+        sl.lock().unwrap().reset(2);
+        hl.lock().unwrap().reset(2);
+        let a = single.run_wave(env(vec![800, 30])).unwrap();
+        let b = sharded.run_wave(env(vec![800, 30])).unwrap();
+        assert_eq!(a, b);
+        let sg = sl.lock().unwrap();
+        let hg = hl.lock().unwrap();
+        assert_eq!(sg.slots(), hg.slots(), "per-slot attribution differs");
+        assert_eq!(sg.envelope_bits(), hg.envelope_bits());
+    }
+
+    #[test]
+    fn sharded_cache_serves_repeats_and_invalidates() {
+        let (topo, tree, items) = balanced_setup(40, 3);
+        let mut sharded = ShardedWaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            proto(),
+            items,
+            Reliability::None,
+            2,
+        )
+        .unwrap();
+        sharded.enable_partial_cache(16);
+        let first = sharded.run_wave(env(vec![1000])).unwrap();
+        let cold_bits = sharded.stats().max_node_bits();
+        assert!(cold_bits > 0);
+        // Root-cache repeat: zero additional communication.
+        let again = sharded.run_wave(env(vec![1000])).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(sharded.stats().max_node_bits(), cold_bits);
+        assert!(sharded.cache_stats().hits >= 1);
+        // Mutating a deep node invalidates its root path; the repeat
+        // reflects the new value.
+        let leaf = topo.len() - 1;
+        sharded.set_items(leaf, vec![999]);
+        let old_leaf = (leaf as u64 * 7) % 1000;
+        let expected = first[0] - old_leaf + 999;
+        assert_eq!(sharded.run_wave(env(vec![1000])).unwrap(), vec![expected]);
+    }
+
+    #[test]
+    fn sharded_rejects_arq() {
+        let (topo, tree, items) = balanced_setup(13, 3);
+        let err = ShardedWaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            proto(),
+            items,
+            Reliability::Ack {
+                timeout: saq_netsim::SimDuration::from_millis(10),
+            },
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::Unsupported(_)));
+    }
+
+    #[test]
+    fn sharded_rejects_lossy_links() {
+        // Loss/duplication fates come from per-shard streams, so a
+        // lossy sharded run could not replay the single-threaded run's
+        // drops: reject at construction rather than silently break the
+        // bit-identity contract.
+        let (topo, tree, items) = balanced_setup(13, 3);
+        for link in [
+            saq_netsim::link::LinkConfig::default().with_loss(0.1),
+            saq_netsim::link::LinkConfig::default().with_duplication(0.1),
+        ] {
+            let err = ShardedWaveRunner::new(
+                &topo,
+                SimConfig::default().with_link(link),
+                &tree,
+                proto(),
+                items.clone(),
+                Reliability::None,
+                2,
+            )
+            .unwrap_err();
+            assert!(matches!(err, ProtocolError::Unsupported(_)));
+        }
+        // Jitter alone stays allowed.
+        let jittery = saq_netsim::link::LinkConfig::default();
+        assert!(jittery.jitter > saq_netsim::SimDuration::ZERO);
+        ShardedWaveRunner::new(
+            &topo,
+            SimConfig::default().with_link(jittery),
+            &tree,
+            proto(),
+            items,
+            Reliability::None,
+            2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn partition_balances_and_preserves_children() {
+        let (_topo, tree, _) = balanced_setup(85, 4);
+        let children = tree.children(0).to_vec();
+        for k in 1..=children.len() {
+            let groups = partition_children(&tree, &children, k);
+            assert_eq!(groups.len(), k.min(children.len()));
+            let mut all: Vec<NodeId> = groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, children, "partition must cover all children once");
+            assert!(groups.iter().all(|g| !g.is_empty()), "no empty shard");
+        }
+    }
+}

@@ -149,6 +149,37 @@ pub trait WaveProtocol: Clone {
             .next()
             .expect("a request has at least one slot")
     }
+
+    // --- request admission and shard execution hooks ------------------
+
+    /// Validates a request at the API boundary, *before* the root
+    /// injects it into the network. This is where wire-format bounds are
+    /// enforced in release builds (encoding itself is infallible inside
+    /// node handlers): a request that would emit out-of-range framing
+    /// must be rejected here with [`NetsimError::WireEncode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireEncode`] when the request exceeds the
+    /// wire format's declared bounds.
+    fn validate_request(&self, _req: &Self::Request) -> Result<(), NetsimError> {
+        Ok(())
+    }
+
+    /// A clone for one execution shard of a sharded run. Protocols whose
+    /// clones deliberately *share* mutable side-state (the bit ledger of
+    /// [`MultiplexWave`]) must hand the shard a fresh, independent
+    /// instance here, so shards never contend and `Send` holds; the
+    /// plain `clone` default is correct for stateless protocols.
+    fn shard_clone(&self) -> Self {
+        self.clone()
+    }
+
+    /// Folds a shard clone's accumulated side-state back into this
+    /// instance, **draining** the shard's copy. Called at the shard
+    /// barrier in fixed shard order, so merged tallies are deterministic
+    /// regardless of thread timing. The default is a no-op.
+    fn absorb_shard(&self, _shard: &Self) {}
 }
 
 /// Per-hop delivery discipline for wave messages.
@@ -170,48 +201,77 @@ pub enum Reliability {
 /// Exported so bit-accounting layers never hardcode the frame layout.
 pub const WAVE_HEADER_BITS: u64 = 2 + 16;
 
-const KIND_REQUEST: u64 = 0;
-const KIND_PARTIAL: u64 = 1;
+pub(crate) const KIND_REQUEST: u64 = 0;
+pub(crate) const KIND_PARTIAL: u64 = 1;
 const KIND_ACK: u64 = 2;
 
-/// Timer tag namespace: retransmissions are tagged `RETX_BASE + seq`.
-const RETX_BASE: u64 = 1 << 32;
+/// Timer tag namespace: retransmissions are tagged
+/// `RETX_BASE + (wave << 16) + seq`. Including the wave id keeps a stale
+/// timer from a finished wave from ever matching a live entry of the
+/// current wave, whose per-wave sequence numbers restart at zero.
+const RETX_BASE: u64 = 1 << 34;
 /// Tag used by [`WaveRunner`] to start a wave at the root.
 const TAG_START: u64 = 1;
+
+const fn retx_tag(wave: u16, seq: u16) -> u64 {
+    RETX_BASE + ((wave as u64) << 16) + seq as u64
+}
 
 #[derive(Debug, Clone)]
 struct PendingMsg {
     seq: u16,
+    wave: u16,
     to: NodeId,
     payload: BitString,
 }
 
+/// Outcome of wave admission at a node (see [`AggNode::admit_wave`]).
+#[derive(Debug)]
+pub(crate) enum WaveAdmit<P: WaveProtocol> {
+    /// Every slot was served from the subtree cache; the complete reply
+    /// is in the node's accumulator and the subtree stays silent.
+    Cached,
+    /// The wave executes: forward this (possibly cache-reduced) request
+    /// to the children after computing the local contribution.
+    Forward(P::Request),
+}
+
 /// Node state machine executing [`WaveProtocol`] waves over a spanning
 /// tree.
+///
+/// Fields are crate-visible because the sharded driver
+/// (`crate::shard`) runs the root's half of this state machine outside
+/// a simulator context.
 #[derive(Debug)]
 pub struct AggNode<P: WaveProtocol> {
-    proto: P,
+    pub(crate) proto: P,
+    /// The node's **global** id, passed to [`WaveProtocol::local`].
+    /// Distinct from the simulator index under sharded execution, where
+    /// simulators address nodes by shard-local ids — identity-keyed
+    /// aggregates (bottom-k samples, item-hashed sketches) must hash the
+    /// same `(node, slot)` identity regardless of the partition.
+    pub(crate) global_id: NodeId,
     /// This node's input items (the paper's local multiset, §5).
-    items: Vec<P::Item>,
-    parent: Option<NodeId>,
-    children: Vec<NodeId>,
+    pub(crate) items: Vec<P::Item>,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
     reliability: Reliability,
 
     /// Wave id of the wave this node last participated in.
-    wave: u16,
-    req: Option<P::Request>,
-    waiting: Vec<NodeId>,
-    acc: Option<P::Partial>,
+    pub(crate) wave: u16,
+    pub(crate) req: Option<P::Request>,
+    pub(crate) waiting: Vec<NodeId>,
+    pub(crate) acc: Option<P::Partial>,
     /// Completed result; only ever set at the root.
-    result: Option<P::Partial>,
+    pub(crate) result: Option<P::Partial>,
     /// Request staged by the driver before kicking the root.
-    staged: Option<(u16, P::Request)>,
+    pub(crate) staged: Option<(u16, P::Request)>,
 
     /// Subtree partial cache (`None` = caching disabled, the default).
-    cache: Option<PartialCache<P::Partial>>,
+    pub(crate) cache: Option<PartialCache<P::Partial>>,
     /// The (possibly cache-reduced) request forwarded to children this
     /// wave; child partials and `acc` align with it.
-    fwd_req: Option<P::Request>,
+    pub(crate) fwd_req: Option<P::Request>,
     /// Cache hits of the current wave: (slot index in `req`, partial).
     wave_hits: Vec<(usize, P::Partial)>,
     /// Slot indices in `req` of the current wave's cache misses — the
@@ -220,15 +280,35 @@ pub struct AggNode<P: WaveProtocol> {
     /// Subtree partials to store when the wave completes: (position
     /// within `fwd_req`'s slots, cache key).
     wave_store: Vec<(usize, CacheKey)>,
+    /// Child partials buffered for the **canonical merge**: partials are
+    /// merged in fixed child order once every child reported, never in
+    /// arrival order. Arrival order depends on link jitter and event
+    /// interleaving; merging canonically makes the convergecast result a
+    /// pure function of the tree and the inputs, which is what lets
+    /// sharded execution reproduce single-threaded answers bit-for-bit
+    /// even for merges that are only multiset-commutative (collect) or
+    /// tie-sensitive (quantile summaries).
+    child_partials: Vec<(NodeId, P::Partial)>,
 
+    /// Per-wave ARQ sequence counter. **Epoched**: reset to zero by
+    /// every `begin_wave`, so one node would need 2^16 messages *within
+    /// a single wave* to wrap — at which point framing, dedup and timer
+    /// tags would collide. Cross-wave reuse of the same sequence numbers
+    /// is disambiguated by the wave id carried in every frame (including
+    /// ACKs) and in the dedup/timer keys.
     next_seq: u16,
     pending: Vec<PendingMsg>,
-    seen: HashSet<(NodeId, u16)>,
+    /// Receiver-side ARQ dedup set, keyed `(from, wave, seq)`. Scoped to
+    /// a wave: cleared when a wave begins *and* purged when it
+    /// completes, so the set never outgrows one wave's traffic — the
+    /// bound a long-running engine needs.
+    seen: HashSet<(NodeId, u16, u16)>,
 }
 
 impl<P: WaveProtocol> AggNode<P> {
-    fn new(
+    pub(crate) fn new(
         proto: P,
+        global_id: NodeId,
         items: Vec<P::Item>,
         parent: Option<NodeId>,
         children: Vec<NodeId>,
@@ -236,6 +316,7 @@ impl<P: WaveProtocol> AggNode<P> {
     ) -> Self {
         AggNode {
             proto,
+            global_id,
             items,
             parent,
             children,
@@ -251,6 +332,7 @@ impl<P: WaveProtocol> AggNode<P> {
             wave_hits: Vec::new(),
             wave_miss: Vec::new(),
             wave_store: Vec::new(),
+            child_partials: Vec::new(),
             next_seq: 0,
             pending: Vec::new(),
             seen: HashSet::new(),
@@ -301,28 +383,82 @@ impl<P: WaveProtocol> AggNode<P> {
         if let (Some(seq), Reliability::Ack { timeout }) = (seq, self.reliability) {
             self.pending.push(PendingMsg {
                 seq,
+                wave,
                 to,
                 payload: payload.clone(),
             });
-            ctx.set_timer(timeout, RETX_BASE + seq as u64);
+            ctx.set_timer(timeout, retx_tag(wave, seq));
         }
         ctx.send(to, payload);
     }
 
-    fn send_ack(&mut self, ctx: &mut Context<'_>, to: NodeId, seq: u16) {
+    /// ACK frames carry the acknowledged message's wave id as well as
+    /// its sequence number: per-wave sequence numbers restart at zero,
+    /// so a late ACK from a finished wave must never cancel a live
+    /// retransmission entry of the current wave that happens to reuse
+    /// the sequence number.
+    fn send_ack(&mut self, ctx: &mut Context<'_>, to: NodeId, wave: u16, seq: u16) {
         let mut w = BitWriter::new();
         w.write_bits(KIND_ACK, 2);
+        w.write_bits(wave as u64, 16);
         w.write_bits(seq as u64, 16);
         ctx.send(to, w.finish());
     }
 
+    /// Outcome of [`AggNode::admit_wave`]: either the whole reply came
+    /// from the subtree cache, or the wave must execute with the given
+    /// (possibly cache-reduced) forward request.
     fn begin_wave(&mut self, ctx: &mut Context<'_>, wave: u16, req: P::Request) {
+        match self.admit_wave(wave, req) {
+            WaveAdmit::Cached => {
+                // Every slot served from cache: the entire subtree stays
+                // silent — no local computation, no child messages.
+                self.finish_wave(ctx);
+            }
+            WaveAdmit::Forward(fwd) => {
+                // The *global* id, not the simulator index: identity-
+                // keyed aggregates must be partition-independent.
+                let local = self
+                    .proto
+                    .local(self.global_id, &mut self.items, &fwd, ctx.rng());
+                self.acc = Some(local);
+                if self.waiting.is_empty() {
+                    self.finish_wave(ctx);
+                } else {
+                    let children = self.children.clone();
+                    for child in children {
+                        let proto = self.proto.clone();
+                        let r = fwd.clone();
+                        self.send_msg(ctx, child, KIND_REQUEST, wave, move |w| {
+                            proto.encode_request(&r, w);
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resets per-wave state and resolves the subtree cache for `req` —
+    /// everything a node does on joining a wave short of touching the
+    /// network or its items. Factored out of [`AggNode::begin_wave`] so
+    /// the sharded driver (`crate::shard`) can run the root's admission
+    /// outside a simulator context.
+    ///
+    /// On [`WaveAdmit::Cached`] the complete reply is already in
+    /// `self.acc`; on [`WaveAdmit::Forward`] the caller must compute the
+    /// local contribution into `self.acc` and forward the returned
+    /// request to the children (`self.fwd_req` is set to it).
+    pub(crate) fn admit_wave(&mut self, wave: u16, req: P::Request) -> WaveAdmit<P> {
         self.wave = wave;
         self.waiting = self.children.clone();
-        // Per-wave ARQ dedup scope: duplicates across waves are already
-        // rejected by the wave-id checks, and an unbounded (from, seq)
-        // set would leak and — once a sender's 16-bit seq wraps — drop
-        // fresh messages as duplicates, deadlocking the wave.
+        self.child_partials.clear();
+        // Per-wave ARQ scope: sequence numbers restart, retransmission
+        // state of any superseded wave is dropped (its partials would be
+        // rejected by wave-id checks anyway), and the dedup set is
+        // cleared — duplicates across waves are rejected by the
+        // (from, wave, seq) keying, and an unbounded set would leak.
+        self.next_seq = 0;
+        self.pending.clear();
         self.seen.clear();
         self.wave_hits.clear();
         self.wave_miss.clear();
@@ -354,8 +490,6 @@ impl<P: WaveProtocol> AggNode<P> {
         }
 
         if !self.wave_hits.is_empty() && self.wave_miss.is_empty() {
-            // Every slot served from cache: the entire subtree stays
-            // silent — no local computation, no child messages.
             let hits = std::mem::take(&mut self.wave_hits);
             self.acc = Some(
                 self.proto
@@ -364,8 +498,7 @@ impl<P: WaveProtocol> AggNode<P> {
             self.req = Some(req);
             self.fwd_req = None;
             self.waiting.clear();
-            self.finish_wave(ctx);
-            return;
+            return WaveAdmit::Cached;
         }
 
         // Forward only the cache-miss slots (the full request when the
@@ -375,25 +508,32 @@ impl<P: WaveProtocol> AggNode<P> {
         } else {
             self.proto.subset_request(&req, &self.wave_miss)
         };
-        let local = self
-            .proto
-            .local(ctx.node_id(), &mut self.items, &fwd, ctx.rng());
-        self.acc = Some(local);
         self.req = Some(req);
-        self.fwd_req = Some(fwd);
-        if self.waiting.is_empty() {
-            self.finish_wave(ctx);
-        } else {
-            let fwd = self.fwd_req.clone().expect("forward request just set");
-            let children = self.children.clone();
-            for child in children {
-                let proto = self.proto.clone();
-                let r = fwd.clone();
-                self.send_msg(ctx, child, KIND_REQUEST, wave, move |w| {
-                    proto.encode_request(&r, w);
-                });
+        self.fwd_req = Some(fwd.clone());
+        WaveAdmit::Forward(fwd)
+    }
+
+    /// Merges the buffered child partials into the accumulator in
+    /// **fixed child order** (the canonical merge — see the field doc of
+    /// `child_partials`). Call only when every child has reported.
+    pub(crate) fn merge_children(&mut self) {
+        if self.child_partials.is_empty() {
+            return;
+        }
+        let req = self
+            .fwd_req
+            .clone()
+            .expect("merging children requires a forward request");
+        let mut buffered = std::mem::take(&mut self.child_partials);
+        let mut acc = self.acc.take().expect("active wave has an accumulator");
+        for i in 0..self.children.len() {
+            let child = self.children[i];
+            if let Some(pos) = buffered.iter().position(|(c, _)| *c == child) {
+                let (_, p) = buffered.swap_remove(pos);
+                acc = self.proto.merge(&req, acc, p);
             }
         }
+        self.acc = Some(acc);
     }
 
     /// Completes the wave at this node: stores fresh subtree partials in
@@ -401,6 +541,12 @@ impl<P: WaveProtocol> AggNode<P> {
     /// partial aligned with the request this node *received*, and hands
     /// it to the parent (or records it as the root result).
     fn finish_wave(&mut self, ctx: &mut Context<'_>) {
+        // The wave is complete at this node: purge the ARQ dedup scope
+        // so memory stays bounded across a long-running engine's life.
+        // Late retransmissions are still re-acked, and re-processing
+        // them is harmless (duplicate requests and partials are rejected
+        // by the wave/waiting checks below seen-dedup).
+        self.seen.clear();
         let acc = self.acc.clone().expect("wave has an accumulator");
         let full = self.assemble_partial(acc);
         match self.parent {
@@ -419,7 +565,7 @@ impl<P: WaveProtocol> AggNode<P> {
     /// Turns the merged accumulator (aligned with `fwd_req`) into the
     /// full reply (aligned with `req`), populating the cache with the
     /// freshly computed subtree partials on the way.
-    fn assemble_partial(&mut self, acc: P::Partial) -> P::Partial {
+    pub(crate) fn assemble_partial(&mut self, acc: P::Partial) -> P::Partial {
         if self.wave_hits.is_empty() && self.wave_store.is_empty() {
             // No caching activity this wave (disabled, all-miss with no
             // cacheable slot, or a fully-cached wave whose join already
@@ -472,8 +618,13 @@ impl<P: WaveProtocol> NodeRuntime for AggNode<P> {
             return;
         }
         if tag >= RETX_BASE {
-            let seq = (tag - RETX_BASE) as u16;
-            if let Some(idx) = self.pending.iter().position(|m| m.seq == seq) {
+            let seq = (tag & 0xFFFF) as u16;
+            let wave = ((tag >> 16) & 0xFFFF) as u16;
+            if let Some(idx) = self
+                .pending
+                .iter()
+                .position(|m| m.seq == seq && m.wave == wave)
+            {
                 let msg = self.pending[idx].clone();
                 if let Reliability::Ack { timeout } = self.reliability {
                     ctx.set_timer(timeout, tag);
@@ -487,19 +638,23 @@ impl<P: WaveProtocol> NodeRuntime for AggNode<P> {
         let mut r = BitReader::new(payload);
         let Ok(kind) = r.read_bits(2) else { return };
         if kind == KIND_ACK {
+            let Ok(wave) = r.read_bits(16) else { return };
             let Ok(seq) = r.read_bits(16) else { return };
             self.pending
-                .retain(|m| !(m.seq == seq as u16 && m.to == from));
+                .retain(|m| !(m.seq == seq as u16 && m.wave == wave as u16 && m.to == from));
             return;
         }
         let Ok(wave) = r.read_bits(16) else { return };
         let wave = wave as u16;
-        // Reliable mode: ack and dedup before processing.
+        // Reliable mode: ack and dedup before processing. The dedup key
+        // includes the wave id: per-wave sequence numbers restart at
+        // zero, so a late retransmission from a finished wave must not
+        // shadow a fresh message of the current wave.
         if let Reliability::Ack { .. } = self.reliability {
             let Ok(seq) = r.read_bits(16) else { return };
             let seq = seq as u16;
-            self.send_ack(ctx, from, seq);
-            if !self.seen.insert((from, seq)) {
+            self.send_ack(ctx, from, wave, seq);
+            if !self.seen.insert((from, wave, seq)) {
                 return; // duplicate delivery or retransmission
             }
         }
@@ -531,9 +686,12 @@ impl<P: WaveProtocol> NodeRuntime for AggNode<P> {
                     return;
                 };
                 self.waiting.swap_remove(pos);
-                let acc = self.acc.take().expect("active wave has an accumulator");
-                self.acc = Some(self.proto.merge(&req, acc, partial));
+                // Buffer rather than merge: once the last child reports,
+                // partials are merged in fixed child order (the canonical
+                // merge), so the result is independent of arrival order.
+                self.child_partials.push((from, partial));
                 if self.waiting.is_empty() {
+                    self.merge_children();
                     self.finish_wave(ctx);
                 }
             }
@@ -577,6 +735,7 @@ impl<P: WaveProtocol> WaveRunner<P> {
             .map(|v| {
                 AggNode::new(
                     proto.clone(),
+                    v,
                     std::mem::take(&mut items[v]),
                     tree.parent(v),
                     tree.children(v).to_vec(),
@@ -700,6 +859,15 @@ impl<P: WaveProtocol> WaveRunner<P> {
     /// completing (e.g. loss with [`Reliability::None`]); simulator errors
     /// are propagated.
     pub fn run_wave(&mut self, req: P::Request) -> Result<P::Partial, ProtocolError> {
+        // Wire-format bounds are enforced here, at the API boundary, in
+        // release builds too — inside node handlers encoding is
+        // infallible by construction (decoded inputs already passed the
+        // mirror checks).
+        self.sim
+            .node(self.root)
+            .proto
+            .validate_request(&req)
+            .map_err(ProtocolError::from)?;
         self.next_wave = self.next_wave.wrapping_add(1);
         let wave = self.next_wave;
         let root = self.root;
@@ -769,6 +937,19 @@ impl MuxLedger {
         self.envelope_bits
     }
 
+    /// Adds another ledger's tallies into this one, slot-wise. This is
+    /// the shard-barrier merge: each shard accumulates into its own
+    /// ledger during the parallel phase, and the barrier folds them back
+    /// in fixed shard order.
+    pub fn absorb(&mut self, other: &MuxLedger) {
+        for (i, s) in other.slots.iter().enumerate() {
+            let m = self.slot_mut(i);
+            m.request_bits += s.request_bits;
+            m.partial_bits += s.partial_bits;
+        }
+        self.envelope_bits += other.envelope_bits;
+    }
+
     fn slot_mut(&mut self, i: usize) -> &mut MuxSlotBits {
         if i >= self.slots.len() {
             self.slots.resize(i + 1, MuxSlotBits::default());
@@ -811,12 +992,16 @@ pub struct MuxEntry<R> {
 /// and sub-partial bits to their entry's declared slot, the count prefix,
 /// dense flag and any explicit slot tags to
 /// [`MuxLedger::envelope_bits`]. The ledger is shared across the clones
-/// deployed to the simulated nodes (the simulator is single-threaded), so
-/// after a wave it holds the exact transmit-side cost split. Tallies are
-/// exact under [`Reliability::None`]. Under ARQ each logical message is
-/// charged **once** at encode time — retransmissions resend the cached
-/// payload without re-encoding, and ACK frames are never attributed —
-/// so per-slot tallies under loss are a lower bound on wire bits.
+/// deployed to the simulated nodes, so after a wave it holds the exact
+/// transmit-side cost split. Under **sharded** execution each shard's
+/// clones share a per-shard ledger ([`WaveProtocol::shard_clone`]),
+/// drained back into the root ledger at the barrier in fixed shard order
+/// ([`WaveProtocol::absorb_shard`]) — tallies are sums either way.
+/// Tallies are exact under [`Reliability::None`]. Under ARQ each logical
+/// message is charged **once** at encode time — retransmissions resend
+/// the cached payload without re-encoding, and ACK frames are never
+/// attributed — so per-slot tallies under loss are a lower bound on wire
+/// bits.
 ///
 /// With subtree partial caching enabled (see [`crate::cache`]) each
 /// entry is an independently cacheable slot: nodes answer cached
@@ -825,7 +1010,7 @@ pub struct MuxEntry<R> {
 #[derive(Debug, Clone)]
 pub struct MultiplexWave<P: WaveProtocol> {
     inner: P,
-    ledger: std::rc::Rc<std::cell::RefCell<MuxLedger>>,
+    ledger: std::sync::Arc<std::sync::Mutex<MuxLedger>>,
 }
 
 impl<P: WaveProtocol> MultiplexWave<P> {
@@ -833,7 +1018,7 @@ impl<P: WaveProtocol> MultiplexWave<P> {
     pub fn new(inner: P) -> Self {
         MultiplexWave {
             inner,
-            ledger: std::rc::Rc::default(),
+            ledger: std::sync::Arc::default(),
         }
     }
 
@@ -843,8 +1028,12 @@ impl<P: WaveProtocol> MultiplexWave<P> {
     }
 
     /// The shared bit-attribution ledger.
-    pub fn ledger(&self) -> std::rc::Rc<std::cell::RefCell<MuxLedger>> {
-        std::rc::Rc::clone(&self.ledger)
+    pub fn ledger(&self) -> std::sync::Arc<std::sync::Mutex<MuxLedger>> {
+        std::sync::Arc::clone(&self.ledger)
+    }
+
+    fn ledger_mut(&self) -> std::sync::MutexGuard<'_, MuxLedger> {
+        self.ledger.lock().expect("mux ledger poisoned")
     }
 
     /// Builds the dense envelope billing sub-request `i` to ledger slot
@@ -860,9 +1049,12 @@ impl<P: WaveProtocol> MultiplexWave<P> {
     }
 }
 
-/// Sanity cap on decoded slot counts (a malformed frame cannot force an
-/// allocation storm).
-const MUX_MAX_SLOTS: u64 = 1 << 16;
+/// Exclusive bound on multiplexed slot counts and slot tags: the slot
+/// space is 16-bit, so `slot < MUX_MAX_SLOTS` and `len < MUX_MAX_SLOTS`.
+/// Enforced on decode (a malformed frame cannot force an allocation
+/// storm) and, via [`WaveProtocol::validate_request`], on the encode
+/// side at the API boundary — in release builds too.
+pub const MUX_MAX_SLOTS: u64 = 1 << 16;
 
 impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
     type Request = Vec<MuxEntry<P::Request>>;
@@ -875,13 +1067,13 @@ impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
     /// by the inner sub-request. Count, flag and tags are envelope
     /// overhead; sub-request bits bill their entry's slot.
     fn encode_request(&self, req: &Self::Request, w: &mut BitWriter) {
-        let mut ledger = self.ledger.borrow_mut();
+        let mut ledger = self.ledger_mut();
         let dense = req.iter().enumerate().all(|(i, e)| e.slot as usize == i);
         let start = w.len_bits();
         w.write_gamma(req.len() as u64 + 1);
         w.write_bits(dense as u64, 1);
         ledger.envelope_bits += w.len_bits() - start;
-        for (i, entry) in req.iter().enumerate() {
+        for entry in req {
             if !dense {
                 let before = w.len_bits();
                 w.write_gamma(entry.slot as u64 + 1);
@@ -890,20 +1082,22 @@ impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
             let before = w.len_bits();
             self.inner.encode_request(&entry.req, w);
             ledger.slot_mut(entry.slot as usize).request_bits += w.len_bits() - before;
-            debug_assert!(i < MUX_MAX_SLOTS as usize);
+            // Out-of-range slots are rejected by `validate_request` at
+            // the root before any encoding happens; this is a backstop.
+            debug_assert!((entry.slot as u64) < MUX_MAX_SLOTS, "mux slot out of range");
         }
     }
 
     fn decode_request(&self, r: &mut BitReader<'_>) -> Result<Self::Request, NetsimError> {
         let n = r.read_gamma()? - 1;
-        if n > MUX_MAX_SLOTS {
+        if n >= MUX_MAX_SLOTS {
             return Err(NetsimError::WireDecode("mux slot count out of range"));
         }
         let dense = r.read_bits(1)? == 1;
         (0..n)
             .map(|i| {
                 let slot = if dense { i } else { r.read_gamma()? - 1 };
-                if slot > MUX_MAX_SLOTS {
+                if slot >= MUX_MAX_SLOTS {
                     return Err(NetsimError::WireDecode("mux slot tag out of range"));
                 }
                 Ok(MuxEntry {
@@ -916,7 +1110,7 @@ impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
 
     fn encode_partial(&self, req: &Self::Request, p: &Self::Partial, w: &mut BitWriter) {
         debug_assert_eq!(req.len(), p.len(), "mux partial must align with request");
-        let mut ledger = self.ledger.borrow_mut();
+        let mut ledger = self.ledger_mut();
         for (entry, sub) in req.iter().zip(p.iter()) {
             let before = w.len_bits();
             self.inner.encode_partial(&entry.req, sub, w);
@@ -977,6 +1171,43 @@ impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
 
     fn join_slots(&self, _req: &Self::Request, slots: Vec<Self::Partial>) -> Self::Partial {
         slots.into_iter().flatten().collect()
+    }
+
+    // --- request admission and shard execution ------------------------
+
+    /// Rejects envelopes that exceed the 16-bit slot space (count or any
+    /// slot tag `≥` [`MUX_MAX_SLOTS`]) with a real error — the release
+    /// build's counterpart of the encode-side `debug_assert`.
+    fn validate_request(&self, req: &Self::Request) -> Result<(), NetsimError> {
+        if req.len() as u64 >= MUX_MAX_SLOTS {
+            return Err(NetsimError::WireEncode("mux slot count out of range"));
+        }
+        for entry in req {
+            if entry.slot as u64 >= MUX_MAX_SLOTS {
+                return Err(NetsimError::WireEncode("mux slot tag out of range"));
+            }
+            self.inner.validate_request(&entry.req)?;
+        }
+        Ok(())
+    }
+
+    /// A shard gets its own ledger: the shard's clones share it among
+    /// themselves (per-shard attribution stays exact) without contending
+    /// with other shards or the root.
+    fn shard_clone(&self) -> Self {
+        MultiplexWave {
+            inner: self.inner.shard_clone(),
+            ledger: std::sync::Arc::default(),
+        }
+    }
+
+    /// Drains the shard ledger into this (root) ledger — slot tallies
+    /// and envelope bits add, so the merged ledger equals what a
+    /// single-threaded run would have accumulated.
+    fn absorb_shard(&self, shard: &Self) {
+        let taken = std::mem::take(&mut *shard.ledger_mut());
+        self.ledger_mut().absorb(&taken);
+        self.inner.absorb_shard(&shard.inner);
     }
 }
 
@@ -1323,9 +1554,9 @@ mod tests {
             Reliability::None,
         )
         .unwrap();
-        ledger.borrow_mut().reset(2);
+        ledger.lock().unwrap().reset(2);
         r2.run_wave(env(vec![1000, 8])).unwrap();
-        let led = ledger.borrow();
+        let led = ledger.lock().unwrap();
         // Wave headers (kind + wave id = 18 bits per message) are charged
         // by the node layer, not the protocol encoding: ledger totals must
         // equal tx bits minus per-message headers. Line of 4 nodes: 3
@@ -1347,7 +1578,7 @@ mod tests {
             value_width: width_for_max(1000),
         });
         let ledger = proto.ledger();
-        ledger.borrow_mut().reset(5);
+        ledger.lock().unwrap().reset(5);
         // A subset envelope as an interior node would forward it: entries
         // billing original slots 1 and 4.
         let req = vec![
@@ -1363,7 +1594,7 @@ mod tests {
         let mut r = BitReader::new(&bits);
         assert_eq!(proto.decode_request(&mut r).unwrap(), req);
         assert_eq!(r.remaining(), 0);
-        let led = ledger.borrow();
+        let led = ledger.lock().unwrap();
         assert!(led.slots()[1].request_bits > 0, "slot 1 billed");
         assert!(led.slots()[4].request_bits > 0, "slot 4 billed");
         assert_eq!(led.slots()[0].request_bits, 0);
@@ -1434,6 +1665,196 @@ mod tests {
         let bits = r.stats().max_node_bits();
         assert_eq!(r.run_wave(env(vec![1000])).unwrap(), vec![103]);
         assert_eq!(r.stats().max_node_bits(), bits);
+    }
+
+    #[test]
+    fn mux_decode_rejects_out_of_range_slot_count() {
+        let proto = MultiplexWave::new(SumBelow { value_width: 10 });
+        // A frame claiming MUX_MAX_SLOTS + 1 sub-requests: strictly
+        // beyond the declared bound (caught by `>` and `>=` alike).
+        let mut w = BitWriter::new();
+        w.write_gamma(MUX_MAX_SLOTS + 2); // count = MUX_MAX_SLOTS + 1
+        w.write_bits(1, 1); // dense
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert!(matches!(
+            proto.decode_request(&mut r),
+            Err(NetsimError::WireDecode("mux slot count out of range"))
+        ));
+        // The boundary itself: the previous off-by-one (`>`) accepted
+        // exactly MUX_MAX_SLOTS; the `>=` fix must reject it.
+        let mut w = BitWriter::new();
+        w.write_gamma(MUX_MAX_SLOTS + 1); // count = MUX_MAX_SLOTS
+        w.write_bits(1, 1);
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert!(matches!(
+            proto.decode_request(&mut r),
+            Err(NetsimError::WireDecode("mux slot count out of range"))
+        ));
+    }
+
+    #[test]
+    fn mux_decode_rejects_out_of_range_slot_tag() {
+        let proto = MultiplexWave::new(SumBelow { value_width: 10 });
+        // Sparse envelope with one entry tagged slot = MUX_MAX_SLOTS:
+        // one past the 16-bit slot space.
+        let mut w = BitWriter::new();
+        w.write_gamma(1 + 1); // one entry
+        w.write_bits(0, 1); // sparse
+        w.write_gamma(MUX_MAX_SLOTS + 1); // slot tag
+        w.write_bits(5, 10); // inner request
+        let bits = w.finish();
+        let mut r = BitReader::new(&bits);
+        assert!(matches!(
+            proto.decode_request(&mut r),
+            Err(NetsimError::WireDecode("mux slot tag out of range"))
+        ));
+    }
+
+    #[test]
+    fn run_wave_rejects_out_of_range_slots_in_release_builds_too() {
+        // The encode-side bound is a real error at the API boundary, not
+        // just a debug_assert: a request with a slot tag outside the
+        // 16-bit space never reaches the network.
+        let topo = Topology::line(2).unwrap();
+        let items: Vec<Vec<u64>> = vec![vec![1], vec![2]];
+        let mut r = mux_runner_on(topo, items);
+        let bad = vec![MuxEntry {
+            slot: MUX_MAX_SLOTS as u32,
+            req: 10u64,
+        }];
+        let err = r.run_wave(bad).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Netsim(NetsimError::WireEncode("mux slot tag out of range"))
+        ));
+        // An over-long dense envelope is rejected up front as well
+        // (validated before any allocation-heavy encoding).
+        let proto = MultiplexWave::new(SumBelow { value_width: 10 });
+        let too_many = MultiplexWave::<SumBelow>::envelope(vec![0u64; MUX_MAX_SLOTS as usize]);
+        assert!(matches!(
+            proto.validate_request(&too_many),
+            Err(NetsimError::WireEncode("mux slot count out of range"))
+        ));
+        // And the runner still works after the rejection.
+        assert_eq!(r.run_wave(env(vec![10])).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn reliable_seq_space_is_epoched_per_wave() {
+        // Regression for the u16 sequence wraparound: before the per-wave
+        // epoch, `next_seq` ran on across waves and wrapped after 65536
+        // messages, colliding (from, seq) dedup entries and
+        // RETX_BASE + seq timer tags. Force the pre-wrap state and check
+        // a lossy reliable wave still completes correctly and re-epochs.
+        let topo = Topology::grid(4, 4).unwrap();
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let cfg = SimConfig::default()
+            .with_link(LinkConfig::default().with_loss(0.3).with_duplication(0.2))
+            .with_seed(21);
+        let mut r = runner_on(
+            topo,
+            items,
+            cfg,
+            Reliability::Ack {
+                timeout: SimDuration::from_millis(50),
+            },
+        );
+        assert_eq!(r.run_wave(1000).unwrap(), (0..16).sum::<u64>());
+        // Push every node to the brink of the 16-bit boundary; without
+        // the epoch the next wave would wrap mid-flight.
+        for v in 0..r.sim.len() {
+            r.sim.node_mut(v).next_seq = u16::MAX - 1;
+        }
+        assert_eq!(r.run_wave(1000).unwrap(), (0..16).sum::<u64>());
+        for v in 0..r.sim.len() {
+            let node = r.sim.node(v);
+            // The epoch reset: per-wave sequence numbers restart at zero,
+            // so after a 16-node wave no counter is anywhere near the
+            // boundary it was pushed to.
+            assert!(
+                node.next_seq < 1000,
+                "node {v} next_seq {} not re-epoched",
+                node.next_seq
+            );
+            // And the dedup scope was purged at wave completion: at most
+            // a handful of post-completion retransmission entries remain
+            // (each re-cleared by the next wave), never a whole wave's
+            // traffic — no memory grows across waves of a long-running
+            // engine.
+            assert!(
+                node.seen.len() <= node.children.len() + 2,
+                "node {v} retains {} dedup entries",
+                node.seen.len()
+            );
+            assert!(node.pending.is_empty(), "node {v} retains pending ARQ");
+        }
+        // A third wave from the epoched state is still correct.
+        assert_eq!(r.run_wave(8).unwrap(), (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn canonical_merge_is_fixed_child_order() {
+        /// A deliberately order-sensitive merge: concatenation. The
+        /// canonical merge must make the result a pure function of the
+        /// tree (fixed child order), not of arrival timing.
+        #[derive(Debug, Clone)]
+        struct Concat;
+        impl WaveProtocol for Concat {
+            type Request = ();
+            type Partial = Vec<u64>;
+            type Item = u64;
+            fn encode_request(&self, _req: &(), _w: &mut BitWriter) {}
+            fn decode_request(&self, _r: &mut BitReader<'_>) -> Result<(), NetsimError> {
+                Ok(())
+            }
+            fn encode_partial(&self, _req: &(), p: &Vec<u64>, w: &mut BitWriter) {
+                w.write_bits(p.len() as u64, 8);
+                for v in p {
+                    w.write_bits(*v, 16);
+                }
+            }
+            fn decode_partial(
+                &self,
+                _req: &(),
+                r: &mut BitReader<'_>,
+            ) -> Result<Vec<u64>, NetsimError> {
+                let n = r.read_bits(8)? as usize;
+                (0..n).map(|_| r.read_bits(16)).collect()
+            }
+            fn local(
+                &self,
+                _node: NodeId,
+                items: &mut Vec<u64>,
+                _req: &(),
+                _rng: &mut Xoshiro256StarStar,
+            ) -> Vec<u64> {
+                items.clone()
+            }
+            fn merge(&self, _req: &(), mut a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+                a.extend(b);
+                a
+            }
+        }
+        // A star: all four leaves report directly to the root, with
+        // default link jitter scrambling arrival order per seed.
+        let topo = Topology::star(5).unwrap();
+        let tree = SpanningTree::bfs(&topo, 0).unwrap();
+        for seed in [1u64, 7, 13, 99] {
+            let mut r = WaveRunner::new(
+                &topo,
+                SimConfig::default().with_seed(seed),
+                &tree,
+                Concat,
+                vec![vec![0], vec![10], vec![20], vec![30], vec![40]],
+                Reliability::None,
+            )
+            .unwrap();
+            // Local contribution first, then children in fixed (sorted)
+            // child order — for every jitter seed.
+            assert_eq!(r.run_wave(()).unwrap(), vec![0, 10, 20, 30, 40]);
+        }
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Property test for the ISSUE-3 tentpole: sharded execution is an
+//! execution strategy, not a semantics change. For shard counts
+//! `k ∈ {1, 2, 4, 8}`, a mixed Median/Quantile/BottomK batch (plus
+//! cache-warming repeats) must produce **answers**, **per-query bit
+//! ledgers** and **cache hit/miss counters** identical to the
+//! single-threaded baseline — on randomized topologies and inputs.
+
+use proptest::prelude::*;
+use saq::core::engine::{QueryEngine, QueryReport, QuerySpec};
+use saq::core::net::AggregationNetwork;
+use saq::core::predicate::Predicate;
+use saq::core::simnet::SimNetworkBuilder;
+use saq::netsim::topology::Topology;
+use saq::protocols::CacheStats;
+
+fn query_mix() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::Median,
+        QuerySpec::Quantile { q: 0.5, eps: 0.15 },
+        QuerySpec::BottomK { k: 8 },
+        QuerySpec::Count(Predicate::TRUE),
+        QuerySpec::Quantile { q: 0.9, eps: 0.2 },
+    ]
+}
+
+/// Runs two engine batches (the second re-hits warm caches) at the
+/// given shard count and returns everything that must be
+/// partition-independent.
+fn run_at(
+    topo: &Topology,
+    items: &[u64],
+    xbar: u64,
+    shards: usize,
+) -> (Vec<QueryReport>, Vec<QueryReport>, CacheStats, u64) {
+    let net = SimNetworkBuilder::new()
+        .max_children(4)
+        .shards(shards)
+        .partial_cache(16)
+        .build_one_per_node(topo, items, xbar)
+        .expect("network build");
+    let mut engine = QueryEngine::new(net);
+    for s in query_mix() {
+        engine.submit(s);
+    }
+    let first = engine.run().expect("first batch");
+    for s in query_mix() {
+        engine.submit(s);
+    }
+    let second = engine.run().expect("second batch");
+    let cache = engine.network().cache_stats();
+    let bits = engine.network().net_stats().expect("stats").max_node_bits();
+    (first, second, cache, bits)
+}
+
+fn assert_reports_equal(a: &[QueryReport], b: &[QueryReport], k: usize, which: &str) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.outcome, y.outcome,
+            "{which}: answer differs at k={k} for {:?}",
+            x.spec
+        );
+        assert_eq!(
+            x.bits, y.bits,
+            "{which}: per-query bit ledger differs at k={k} for {:?}",
+            x.spec
+        );
+        assert_eq!(x.waves, y.waves, "{which}: wave count differs at k={k}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_sharded_runs_match_single_threaded(
+        n in 16usize..56,
+        topo_seed: u64,
+        value_seed in 0u64..1000,
+    ) {
+        let topo = Topology::random_geometric(n, 0.35, topo_seed).expect("topology");
+        let xbar = 4 * n as u64;
+        let items: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(value_seed.wrapping_mul(2).wrapping_add(13))) % xbar)
+            .collect();
+        let (base_first, base_second, base_cache, base_bits) =
+            run_at(&topo, &items, xbar, 1);
+        // The warm repeat must actually exercise the cache.
+        prop_assert!(base_cache.hits > 0, "repeat batch never hit the cache");
+        for k in [2usize, 4, 8] {
+            let (first, second, cache, bits) = run_at(&topo, &items, xbar, k);
+            assert_reports_equal(&base_first, &first, k, "cold batch");
+            assert_reports_equal(&base_second, &second, k, "warm batch");
+            prop_assert_eq!(
+                base_cache, cache,
+                "cache hit/miss counters differ at k={}", k
+            );
+            prop_assert_eq!(
+                base_bits, bits,
+                "max per-node bits differ at k={}", k
+            );
+        }
+    }
+}
