@@ -1,4 +1,4 @@
-//! Runs every experiment (E1-E13) in sequence. Pass `--quick` for the
+//! Runs every experiment (E1-E14) in sequence. Pass `--quick` for the
 //! reduced sweeps used in CI; the full configuration is the one recorded
 //! in EXPERIMENTS.md.
 
@@ -21,5 +21,6 @@ fn main() {
     let _ = e11_ablations::run(scale);
     let _ = e12_batching::run(scale);
     let _ = e13_sharding::run(scale);
+    let _ = e14_streaming::run(scale);
     println!("\nall experiments complete.");
 }

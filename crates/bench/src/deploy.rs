@@ -1,0 +1,57 @@
+//! Shared deployment policy for the experiment harness: route the
+//! lossless large-N sweeps through the shard-parallel simulator.
+//!
+//! PR 3 made `SimNetworkBuilder::shards(k)` bit-identical to
+//! single-threaded execution (answers, ledgers, caches, per-node bit
+//! statistics), so the only question per experiment is wall-clock.
+//! [`builder_for`] applies one policy everywhere: deployments big
+//! enough to amortize the per-wave thread fan-out run sharded across
+//! the machine's cores; small sweeps (and every lossy/ARQ deployment,
+//! which `shards(k > 1)` rejects) stay single-threaded. The
+//! `experiments_smoke` suite asserts the harness path reports the same
+//! bits either way.
+
+use saq_core::simnet::SimNetworkBuilder;
+
+/// Below this node count the per-wave thread fan-out costs more than
+/// it buys; quick-scale CI sweeps stay below it by design.
+pub const SHARD_THRESHOLD_NODES: usize = 1024;
+
+/// Shards the harness uses for a lossless deployment of `n` nodes: `1`
+/// for small sweeps, else the machine's parallelism capped at 4 (the
+/// root's subtree partition rarely balances beyond that — see E13's
+/// speedup curve).
+pub fn harness_shards(n: usize) -> usize {
+    if n < SHARD_THRESHOLD_NODES {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+/// The harness's standard builder for a lossless `n`-node deployment:
+/// [`SimNetworkBuilder::new`] with the shard policy applied. Configure
+/// everything else (degree bounds, sketch seeds, caches) on the result
+/// as usual.
+pub fn builder_for(n: usize) -> SimNetworkBuilder {
+    SimNetworkBuilder::new().shards(harness_shards(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweeps_stay_single_threaded() {
+        assert_eq!(harness_shards(0), 1);
+        assert_eq!(harness_shards(SHARD_THRESHOLD_NODES - 1), 1);
+    }
+
+    #[test]
+    fn large_sweeps_use_available_cores_capped() {
+        let k = harness_shards(SHARD_THRESHOLD_NODES);
+        assert!((1..=4).contains(&k));
+    }
+}

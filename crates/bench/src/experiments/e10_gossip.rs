@@ -8,13 +8,13 @@
 //! well-mixing vs poorly-mixing topologies, and the gossip median's
 //! per-node bits against the paper's tree-based algorithms on both.
 
+use crate::deploy::builder_for;
 use crate::table::{banner, f3, Table};
 use crate::workload::{generate, Dist};
 use crate::Scale;
 use saq_baselines::gossip::GossipMedian;
 use saq_core::model::rank_lt;
 use saq_core::net::AggregationNetwork;
-use saq_core::simnet::SimNetworkBuilder;
 use saq_core::Median;
 use saq_netsim::sim::SimConfig;
 use saq_netsim::topology::Topology;
@@ -104,7 +104,7 @@ pub fn run(scale: Scale) -> Summary {
             let r = rank_lt(sub, gossip.value) as f64;
             (r - sub.len() as f64 / 2.0).abs() / sub.len() as f64
         };
-        let mut net = SimNetworkBuilder::new()
+        let mut net = builder_for(topo.len())
             .build_one_per_node(&topo, &items[..topo.len()], xbar)
             .expect("net");
         Median::new().run(&mut net).expect("median");

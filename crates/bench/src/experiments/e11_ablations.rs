@@ -10,11 +10,11 @@
 //!    gamma wins on sparse leaf sketches, fixed wins once registers fill,
 //!    both are `Θ(log log N)` per register.
 
+use crate::deploy::builder_for;
 use crate::table::{banner, f3, Table};
 use crate::Scale;
 use saq_core::net::AggregationNetwork;
 use saq_core::predicate::Predicate;
-use saq_core::simnet::SimNetworkBuilder;
 use saq_netsim::topology::Topology;
 use saq_sketches::{DistinctSketch, HashFamily, LogLog};
 
@@ -55,7 +55,7 @@ pub fn run(scale: Scale) -> Summary {
         let topo = Topology::random_geometric(n, (20.0 / n as f64).sqrt(), 0xAB1).expect("rgg");
         let items: Vec<u64> = (0..n as u64).collect();
         let run_with = |cap: usize| -> (u64, usize, u32) {
-            let mut net = SimNetworkBuilder::new()
+            let mut net = builder_for(n)
                 .max_children(cap)
                 .build_one_per_node(&topo, &items, 2 * n as u64)
                 .expect("net");

@@ -19,13 +19,14 @@
 //! * the engine's per-query bills sum to the transmit-side total (honest
 //!   accounting, nothing double- or under-charged beyond share rounding).
 
+use crate::deploy::builder_for;
 use crate::table::{banner, f3, Table};
 use crate::workload::{generate, Dist};
 use crate::Scale;
 use saq_core::engine::{BatchPolicy, QueryEngine, QuerySpec};
 use saq_core::net::AggregationNetwork;
 use saq_core::predicate::{Domain, Predicate};
-use saq_core::simnet::{SimNetwork, SimNetworkBuilder};
+use saq_core::simnet::SimNetwork;
 use saq_netsim::topology::Topology;
 
 /// Machine-checkable summary for tests.
@@ -61,7 +62,7 @@ fn deployment(n_side: usize, seed: u64) -> SimNetwork {
     let topo = Topology::grid(n_side, n_side).expect("grid");
     let xbar = (2 * n as u64).max(256);
     let items = generate(Dist::Uniform, n, xbar, seed);
-    SimNetworkBuilder::new()
+    builder_for(n)
         .build_one_per_node(&topo, &items, xbar)
         .expect("net")
 }

@@ -9,12 +9,12 @@
 //! per-node bits and the `bits / log₂ N` ratio (flat ratio = the claimed
 //! shape). Distributed tree construction is measured separately.
 
+use crate::deploy::builder_for;
 use crate::fit::fit_shape;
 use crate::table::{banner, f3, Table};
 use crate::{Scale, Shape};
 use saq_core::net::AggregationNetwork;
 use saq_core::predicate::{Domain, Predicate};
-use saq_core::simnet::SimNetworkBuilder;
 use saq_netsim::sim::SimConfig;
 use saq_netsim::topology::Topology;
 use saq_protocols::tree::build_distributed;
@@ -67,7 +67,7 @@ pub fn run(scale: Scale) -> Summary {
                 .map(|i| (i * 2654435761) % (n as u64 * 4))
                 .collect();
             let xbar = n as u64 * 4;
-            let mut net = SimNetworkBuilder::new()
+            let mut net = builder_for(n)
                 .build_one_per_node(&topo, &items, xbar)
                 .expect("network build");
 

@@ -10,6 +10,7 @@
 //! `c · log₂(X̄) · log₂(N)` with a flat ratio (we report against
 //! `(log N)^2` with `log X̄ = Θ(log N)`, as the paper assumes).
 
+use crate::deploy::builder_for;
 use crate::fit::fit_shape;
 use crate::table::{banner, f3, Table};
 use crate::workload::{generate, Dist};
@@ -17,7 +18,6 @@ use crate::{Scale, Shape};
 use saq_core::median::{ceil_log2, Median};
 use saq_core::model::is_median;
 use saq_core::net::AggregationNetwork;
-use saq_core::simnet::SimNetworkBuilder;
 use saq_netsim::topology::Topology;
 
 /// Machine-checkable summary for tests.
@@ -66,7 +66,7 @@ pub fn run(scale: Scale) -> Summary {
         for dist in dists {
             let topo = Topology::grid(side, side).expect("grid");
             let items = generate(dist, n, xbar, 0xE3 + n as u64);
-            let mut net = SimNetworkBuilder::new()
+            let mut net = builder_for(n)
                 .build_one_per_node(&topo, &items, xbar)
                 .expect("network");
             let out = Median::new().run(&mut net).expect("median");

@@ -9,6 +9,7 @@
 //! simulated run per configuration reports the communication price and
 //! its growth as ε tightens.
 
+use crate::deploy::builder_for;
 use crate::fit::stats;
 use crate::table::{banner, f3, Table};
 use crate::workload::{generate, Dist};
@@ -16,7 +17,6 @@ use crate::Scale;
 use saq_core::local::LocalNetwork;
 use saq_core::model::is_apx_median;
 use saq_core::net::AggregationNetwork;
-use saq_core::simnet::SimNetworkBuilder;
 use saq_core::{ApxCountConfig, ApxMedian};
 use saq_netsim::topology::Topology;
 
@@ -105,7 +105,7 @@ pub fn run(scale: Scale) -> Summary {
             let side = (n as f64).sqrt() as usize;
             let topo = Topology::grid(side, side).expect("grid");
             let sim_items: Vec<u64> = items.iter().take(side * side).copied().collect();
-            let mut sim = SimNetworkBuilder::new()
+            let mut sim = builder_for(side * side)
                 .apx_config(ApxCountConfig::default().with_seed(0xE4_FF))
                 .build_one_per_node(&topo, &sim_items, xbar)
                 .expect("sim");

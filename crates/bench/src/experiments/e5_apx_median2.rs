@@ -15,13 +15,13 @@
 //!    printed as the shrinking interval of the paper's schematic, plus a
 //!    β sweep showing precision doubling per stage.
 
+use crate::deploy::builder_for;
 use crate::fit::fit_shape;
 use crate::table::{banner, f3, Table};
 use crate::workload::{generate, Dist};
 use crate::{Scale, Shape};
 use saq_core::model::{rank_lt, reference_median};
 use saq_core::net::AggregationNetwork;
-use saq_core::simnet::SimNetworkBuilder;
 use saq_core::{ApxCountConfig, ApxMedian2};
 use saq_netsim::topology::Topology;
 
@@ -78,7 +78,7 @@ pub fn run(scale: Scale) -> Summary {
         let xbar = (n as u64).pow(2).max(4096);
         let topo = Topology::grid(side, side).expect("grid");
         let items = generate(Dist::Uniform, n, xbar, 0xE5_00 + n as u64);
-        let mut net = SimNetworkBuilder::new()
+        let mut net = builder_for(n)
             .apx_config(apx)
             .build_one_per_node(&topo, &items, xbar)
             .expect("network");
@@ -130,7 +130,7 @@ pub fn run(scale: Scale) -> Summary {
     // exercised by the scaling sweep above.)
     let items = generate(Dist::Uniform, n, 5 * xbar / 8, 0xF1_63);
     let topo = Topology::grid(trace_side, trace_side).expect("grid");
-    let mut net = SimNetworkBuilder::new()
+    let mut net = builder_for(n)
         .apx_config(apx)
         .build_one_per_node(&topo, &items, xbar)
         .expect("network");
@@ -173,7 +173,7 @@ pub fn run(scale: Scale) -> Summary {
         "within_beta",
     ]);
     for beta in [0.5, 0.25, 0.1, 0.02] {
-        let mut net = SimNetworkBuilder::new()
+        let mut net = builder_for(n)
             .apx_config(apx)
             .build_one_per_node(&topo, &items, xbar)
             .expect("network");

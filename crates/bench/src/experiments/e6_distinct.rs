@@ -13,11 +13,11 @@
 //! 3. the "must fail" demonstration: the approximate protocol deciding
 //!    disjointness is wrong essentially always on disjoint instances.
 
+use crate::deploy::builder_for;
 use crate::fit::fit_shape;
 use crate::table::{banner, f3, Table};
 use crate::{Scale, Shape};
 use saq_core::net::AggregationNetwork;
-use saq_core::simnet::SimNetworkBuilder;
 use saq_lowerbound::{SetDisjointnessInstance, TwoPartyCountDistinct};
 use saq_netsim::topology::Topology;
 
@@ -61,7 +61,7 @@ pub fn run(scale: Scale) -> Summary {
         // All values distinct: the worst case for the exact protocol.
         let items: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
         let xbar = 4 * n as u64;
-        let mut net = SimNetworkBuilder::new()
+        let mut net = builder_for(n)
             .build_one_per_node(&topo, &items, xbar)
             .expect("net");
         let exact = net.distinct_exact().expect("exact");

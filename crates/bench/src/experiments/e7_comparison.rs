@@ -11,6 +11,7 @@
 //! * approximate: APX_MEDIAN2 ≪ sampling ≤ GK ≪ naive, with gossip
 //!   paying its diffusion-speed penalty on poorly-mixing topologies.
 
+use crate::deploy::builder_for;
 use crate::table::{banner, f3, Table};
 use crate::workload::{generate, Dist};
 use crate::Scale;
@@ -20,7 +21,6 @@ use saq_baselines::naive::NaiveMedian;
 use saq_baselines::sampling::SamplingMedian;
 use saq_core::model::rank_lt;
 use saq_core::net::AggregationNetwork;
-use saq_core::simnet::SimNetworkBuilder;
 use saq_core::{ApxCountConfig, ApxMedian, ApxMedian2, Median};
 use saq_netsim::sim::SimConfig;
 use saq_netsim::topology::Topology;
@@ -102,7 +102,7 @@ pub fn run(scale: Scale) -> Summary {
 
         // Naive holistic collection.
         {
-            let mut net = SimNetworkBuilder::new()
+            let mut net = builder_for(n)
                 .build_one_per_node(&topo, &items, xbar)
                 .expect("net");
             let out = NaiveMedian::new().run(&mut net).expect("naive");
@@ -110,7 +110,7 @@ pub fn run(scale: Scale) -> Summary {
         }
         // Deterministic MEDIAN (Fig. 1).
         {
-            let mut net = SimNetworkBuilder::new()
+            let mut net = builder_for(n)
                 .build_one_per_node(&topo, &items, xbar)
                 .expect("net");
             let out = Median::new().run(&mut net).expect("median");
@@ -137,7 +137,7 @@ pub fn run(scale: Scale) -> Summary {
         }
         // APX_MEDIAN (Fig. 2) with moderate eps.
         {
-            let mut net = SimNetworkBuilder::new()
+            let mut net = builder_for(n)
                 .apx_config(ApxCountConfig {
                     rep_search: 2.0,
                     rep_count: 1.0,
@@ -158,7 +158,7 @@ pub fn run(scale: Scale) -> Summary {
         }
         // APX_MEDIAN2 (Fig. 4).
         {
-            let mut net = SimNetworkBuilder::new()
+            let mut net = builder_for(n)
                 .apx_config(ApxCountConfig {
                     rep_search: 2.0,
                     rep_count: 1.0,

@@ -11,12 +11,12 @@
 //! inherent to the topology, not the algorithm. The table reports leaf
 //! tx, leaf rx, hub tx, hub rx per network size.
 
+use crate::deploy::builder_for;
 use crate::fit::fit_shape;
 use crate::table::{banner, f3, Table};
 use crate::workload::{generate, Dist};
 use crate::{Scale, Shape};
 use saq_core::net::AggregationNetwork;
-use saq_core::simnet::SimNetworkBuilder;
 use saq_core::Median;
 use saq_netsim::topology::Topology;
 
@@ -57,7 +57,7 @@ pub fn run(scale: Scale) -> Summary {
         let topo = Topology::star(n).expect("star");
         let xbar = (n as u64 * n as u64).max(1024);
         let items = generate(Dist::Uniform, n, xbar, 0xE8_00 + n as u64);
-        let mut net = SimNetworkBuilder::new()
+        let mut net = builder_for(n)
             .max_children(usize::MAX) // stars cannot be degree-bounded
             .build_one_per_node(&topo, &items, xbar)
             .expect("net");

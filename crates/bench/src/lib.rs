@@ -13,6 +13,7 @@
 //!   (`bits ∝ (log N)^2`, `∝ (log log N)^3`, `∝ N`, ...) by fitting the
 //!   constant and reporting residual spread.
 
+pub mod deploy;
 pub mod fit;
 pub mod table;
 pub mod workload;

@@ -190,7 +190,7 @@ pub enum BatchPolicy {
     Sequential,
 }
 
-enum EnginePlan {
+pub(crate) enum EnginePlan {
     Primitive(PrimitivePlan),
     Quantile(QuantilePlan),
     Median(MedianPlan),
@@ -230,7 +230,7 @@ impl EnginePlan {
         })
     }
 
-    fn mutates_items(&self) -> bool {
+    pub(crate) fn mutates_items(&self) -> bool {
         match self {
             EnginePlan::Primitive(p) => p.mutates_items(),
             EnginePlan::Quantile(p) => p.mutates_items(),
@@ -241,15 +241,15 @@ impl EnginePlan {
     }
 }
 
-enum SlotState {
+pub(crate) enum SlotState {
     /// Waiting to be stepped with this input.
     Ready(PlanInput),
     /// Finished.
     Done(Result<QueryOutcome, QueryError>),
 }
 
-struct QuerySlot {
-    id: QueryId,
+pub(crate) struct QuerySlot {
+    pub(crate) id: QueryId,
     /// Engine-lifetime query ordinal feeding the nonce space
     /// `(ordinal << 16) | counter`, so sketch seeds depend only on the
     /// query and its op sequence — identical under batched and
@@ -260,15 +260,97 @@ struct QuerySlot {
     /// with the top bit set, so interleaving the two APIs on one network
     /// never reuses sketch randomness.
     nonce_ordinal: u32,
-    spec: QuerySpec,
-    plan: EnginePlan,
-    state: SlotState,
-    bits: QueryBits,
-    waves: u32,
+    pub(crate) spec: QuerySpec,
+    pub(crate) plan: EnginePlan,
+    pub(crate) state: SlotState,
+    pub(crate) bits: QueryBits,
+    pub(crate) waves: u32,
     apx_counter: u32,
 }
 
 impl QuerySlot {
+    /// A fresh slot for a compiled (or born-failed) query. `ordinal` is
+    /// the engine-lifetime submission ordinal feeding the sketch-nonce
+    /// space; it must be unique per engine lifetime and below `0x8000`.
+    pub(crate) fn new(
+        id: QueryId,
+        ordinal: u32,
+        spec: QuerySpec,
+        compiled: Result<EnginePlan, QueryError>,
+    ) -> Self {
+        let (plan, state) = match compiled {
+            Ok(p) => (p, SlotState::Ready(PlanInput::Start)),
+            Err(e) => (
+                EnginePlan::Primitive(PrimitivePlan::new(PlanOp::DistinctExact)),
+                SlotState::Done(Err(e)),
+            ),
+        };
+        QuerySlot {
+            id,
+            nonce_ordinal: ordinal,
+            spec,
+            plan,
+            state,
+            bits: QueryBits::default(),
+            waves: 0,
+            apx_counter: 0,
+        }
+    }
+
+    /// Whether this slot has finished (successfully or not).
+    pub(crate) fn is_done(&self) -> bool {
+        matches!(self.state, SlotState::Done(_))
+    }
+
+    /// Steps the slot's plan if it is ready: returns the wire request of
+    /// the next op it wants issued (leaving the slot in the mid-wave
+    /// placeholder state the wave completion overwrites), or `None` once
+    /// the slot is done — including when this very step finished it or
+    /// surfaced an algorithm-level error.
+    pub(crate) fn advance(&mut self) -> Option<CoreRequest> {
+        if self.is_done() {
+            return None;
+        }
+        let SlotState::Ready(input) =
+            std::mem::replace(&mut self.state, SlotState::Ready(PlanInput::Start))
+        else {
+            unreachable!("checked Ready above");
+        };
+        match self.plan.step(input) {
+            Ok(PlanStep::Done(out)) => {
+                self.state = SlotState::Done(Ok(out));
+                None
+            }
+            Ok(PlanStep::Issue(op)) => {
+                let req = self.op_to_request(&op);
+                self.state = SlotState::Ready(PlanInput::Unit); // placeholder
+                Some(req)
+            }
+            Err(e) => {
+                self.state = SlotState::Done(Err(e));
+                None
+            }
+        }
+    }
+
+    /// Consumes a finished slot into its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has not finished.
+    pub(crate) fn into_report(self) -> QueryReport {
+        QueryReport {
+            id: self.id,
+            spec: self.spec,
+            outcome: match self.state {
+                SlotState::Done(r) => r,
+                SlotState::Ready(_) => unreachable!("slot retired before completion"),
+            },
+            bits: self.bits,
+            waves: self.waves,
+        }
+    }
+
     fn fresh_nonce(&mut self) -> u32 {
         let nonce = ((self.nonce_ordinal & 0x7FFF) << 16) | (self.apx_counter & 0xFFFF);
         self.apx_counter = self.apx_counter.wrapping_add(1);
@@ -338,6 +420,9 @@ pub struct QueryEngine {
     waves: u64,
     /// Queries submitted over the engine's lifetime (nonce ordinals).
     submitted: u32,
+    /// Optional per-wave composition log (see
+    /// [`QueryEngine::record_wave_log`]).
+    wave_log: Option<Vec<Vec<QueryId>>>,
 }
 
 impl QueryEngine {
@@ -355,7 +440,25 @@ impl QueryEngine {
             rounds: 0,
             waves: 0,
             submitted: 0,
+            wave_log: None,
         }
+    }
+
+    /// Starts recording, for every wave issued from now on, the
+    /// [`QueryId`]s whose sub-requests shared that wave's envelope —
+    /// scheduling made observable (tests assert e.g. that zooming
+    /// queries never share a wave with readers). Off by default: the log
+    /// grows by one entry per wave, which a long-lived engine should not
+    /// pay for silently.
+    pub fn record_wave_log(&mut self) {
+        self.wave_log.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded wave compositions (`None` until
+    /// [`QueryEngine::record_wave_log`] is called). Each entry is one
+    /// wave's participating query ids, in slot order.
+    pub fn wave_log(&self) -> Option<&[Vec<QueryId>]> {
+        self.wave_log.as_deref()
     }
 
     /// The underlying network (e.g. for [`SimNetwork`] statistics).
@@ -389,93 +492,18 @@ impl QueryEngine {
         let id = self.slots.len();
         // Invalid parameters surface as the query's outcome, not an
         // engine failure: such a slot is born finished.
-        let (plan, state) = match self.compile(&spec) {
-            Ok(p) => (p, SlotState::Ready(PlanInput::Start)),
-            Err(e) => (
-                EnginePlan::Primitive(PrimitivePlan::new(PlanOp::DistinctExact)),
-                SlotState::Done(Err(e)),
-            ),
-        };
+        let compiled = compile_plan(&self.net, &spec);
         // The nonce space carries 15 bits of query ordinal; fail loudly
         // rather than silently correlating sketch randomness past it.
         assert!(
             self.submitted <= 0x7FFF,
             "engine exhausted its 32768-query sketch-nonce space; build a fresh QueryEngine"
         );
-        self.slots.push(QuerySlot {
-            id,
-            nonce_ordinal: self.submitted,
-            spec,
-            plan,
-            state,
-            bits: QueryBits::default(),
-            waves: 0,
-            apx_counter: 0,
-        });
+        self.slots
+            .push(QuerySlot::new(id, self.submitted, spec, compiled));
         self.submitted = self.submitted.wrapping_add(1);
         id
     }
-
-    fn compile(&self, spec: &QuerySpec) -> Result<EnginePlan, QueryError> {
-        let cfg = self.net.apx_config();
-        let xbar = self.net.xbar();
-        Ok(match spec {
-            QuerySpec::Count(p) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Count(*p))),
-            QuerySpec::Sum(p) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Sum(*p))),
-            QuerySpec::Min(d) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Min(*d))),
-            QuerySpec::Max(d) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Max(*d))),
-            QuerySpec::ApxCount { pred, reps } => {
-                validate_reps(*reps)?;
-                EnginePlan::Primitive(PrimitivePlan::new(PlanOp::ApxCount {
-                    pred: *pred,
-                    reps: *reps,
-                }))
-            }
-            QuerySpec::DistinctExact => {
-                EnginePlan::Primitive(PrimitivePlan::new(PlanOp::DistinctExact))
-            }
-            QuerySpec::DistinctApx { reps } => {
-                validate_reps(*reps)?;
-                EnginePlan::Primitive(PrimitivePlan::new(PlanOp::DistinctApx { reps: *reps }))
-            }
-            QuerySpec::Collect => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Collect)),
-            QuerySpec::Quantile { q, eps } => {
-                // Worst-case merge-then-prune steps along any root path:
-                // every node prunes once per child merge plus once for
-                // its own partial, bounded by the tree's communication
-                // degree per level.
-                let prunes = (self.net.tree_height() + 1)
-                    .saturating_mul(self.net.tree_max_degree().min(u32::MAX as usize) as u32);
-                EnginePlan::Quantile(QuantilePlan::new(
-                    *q,
-                    QuantilePlan::budget_for(*eps, prunes)?,
-                )?)
-            }
-            QuerySpec::BottomK { k } => {
-                if *k == 0 {
-                    return Err(QueryError::InvalidParameter(
-                        "bottom-k sample capacity must be positive",
-                    ));
-                }
-                EnginePlan::Primitive(PrimitivePlan::new(PlanOp::BottomK { k: *k }))
-            }
-            QuerySpec::Median => EnginePlan::Median(MedianPlan::median(xbar)),
-            QuerySpec::OrderStatistic { k } => {
-                EnginePlan::Median(MedianPlan::order_statistic(xbar, *k))
-            }
-            QuerySpec::ApxMedian { epsilon } => EnginePlan::ApxMedian(ApxMedianPlan::new(
-                *epsilon,
-                Domain::Raw,
-                RankTarget::Median,
-                cfg,
-                xbar,
-            )?),
-            QuerySpec::ApxMedian2 { beta, epsilon } => {
-                EnginePlan::ApxMedian2(Box::new(ApxMedian2Plan::new(*beta, *epsilon, cfg, xbar)?))
-            }
-        })
-    }
-
     /// Runs every submitted query to completion and returns one report
     /// per query, in submission order. Shareable queries execute first in
     /// batched (or sequential, per policy) waves; item-mutating queries
@@ -490,24 +518,11 @@ impl QueryEngine {
         loop {
             let mut round: Vec<(usize, CoreRequest)> = Vec::new();
             for i in 0..self.slots.len() {
-                if self.slots[i].plan.mutates_items()
-                    || matches!(self.slots[i].state, SlotState::Done(_))
-                {
+                if self.slots[i].plan.mutates_items() {
                     continue;
                 }
-                let SlotState::Ready(input) =
-                    std::mem::replace(&mut self.slots[i].state, SlotState::Ready(PlanInput::Start))
-                else {
-                    unreachable!("checked Ready above");
-                };
-                match self.slots[i].plan.step(input) {
-                    Ok(PlanStep::Done(out)) => self.slots[i].state = SlotState::Done(Ok(out)),
-                    Ok(PlanStep::Issue(op)) => {
-                        let req = self.slots[i].op_to_request(&op);
-                        self.slots[i].state = SlotState::Ready(PlanInput::Unit); // placeholder
-                        round.push((i, req));
-                    }
-                    Err(e) => self.slots[i].state = SlotState::Done(Err(e)),
+                if let Some(req) = self.slots[i].advance() {
+                    round.push((i, req));
                 }
             }
             if round.is_empty() {
@@ -524,7 +539,7 @@ impl QueryEngine {
                 // A network failure kills every in-flight query: no slot
                 // may be left holding the mid-wave placeholder, or a
                 // retried run() would feed plans a bogus input.
-                self.fail_in_flight(&e);
+                fail_in_flight(&mut self.slots, &e);
                 return Err(e);
             }
         }
@@ -534,96 +549,151 @@ impl QueryEngine {
             if !self.slots[i].plan.mutates_items() {
                 continue;
             }
-            loop {
-                if matches!(self.slots[i].state, SlotState::Done(_)) {
-                    break;
-                }
-                let SlotState::Ready(input) =
-                    std::mem::replace(&mut self.slots[i].state, SlotState::Ready(PlanInput::Start))
-                else {
-                    unreachable!("checked Ready above");
-                };
-                match self.slots[i].plan.step(input) {
-                    Ok(PlanStep::Done(out)) => {
-                        self.slots[i].state = SlotState::Done(Ok(out));
-                        break;
-                    }
-                    Ok(PlanStep::Issue(op)) => {
-                        let req = self.slots[i].op_to_request(&op);
-                        self.slots[i].state = SlotState::Ready(PlanInput::Unit);
-                        if let Err(e) = self.issue_wave(&[(i, req)]) {
-                            self.fail_in_flight(&e);
-                            // The failed query may already have zoomed:
-                            // never hand back a network with mutilated
-                            // item state.
-                            self.net.restore_items();
-                            return Err(e);
-                        }
-                    }
-                    Err(e) => {
-                        self.slots[i].state = SlotState::Done(Err(e));
-                        break;
-                    }
+            while let Some(req) = self.slots[i].advance() {
+                if let Err(e) = self.issue_wave(&[(i, req)]) {
+                    fail_in_flight(&mut self.slots, &e);
+                    // The failed query may already have zoomed: never
+                    // hand back a network with mutilated item state.
+                    self.net.restore_items();
+                    return Err(e);
                 }
             }
             self.net.restore_items();
         }
 
-        Ok(self
-            .slots
-            .drain(..)
-            .map(|slot| QueryReport {
-                id: slot.id,
-                spec: slot.spec,
-                outcome: match slot.state {
-                    SlotState::Done(r) => r,
-                    SlotState::Ready(_) => unreachable!("all plans ran to completion"),
-                },
-                bits: slot.bits,
-                waves: slot.waves,
-            })
-            .collect())
-    }
-
-    /// Marks every not-yet-finished query as failed with `e` — called
-    /// when a wave-level network failure aborts the run, so no slot is
-    /// left in a mid-wave placeholder state.
-    fn fail_in_flight(&mut self, e: &QueryError) {
-        for slot in &mut self.slots {
-            if matches!(slot.state, SlotState::Ready(_)) {
-                slot.state = SlotState::Done(Err(e.clone()));
-            }
-        }
+        Ok(self.slots.drain(..).map(QuerySlot::into_report).collect())
     }
 
     /// Issues one shared wave for `round` and distributes results and
     /// bit charges back to the issuing queries.
     fn issue_wave(&mut self, round: &[(usize, CoreRequest)]) -> Result<(), QueryError> {
         self.waves += 1;
-        let reqs: Vec<CoreRequest> = round.iter().map(|(_, r)| r.clone()).collect();
-        let out = self.net.run_batch(reqs)?;
-        debug_assert_eq!(out.partials.len(), round.len());
-        // Unattributable framing: one wave header per message *actually
-        // transmitted*. Under lossless links without caching that is one
-        // request and one partial per spanning-tree edge; with subtree
-        // partial caching, silenced subtrees (down to a fully cached,
-        // zero-message wave) shrink the bill accordingly.
-        let header_bits = WAVE_HEADER_BITS * out.messages;
-        let share = (header_bits + out.envelope_bits) / round.len() as u64;
-        for ((qi, req), (partial, bits)) in round
-            .iter()
-            .zip(out.partials.into_iter().zip(out.slot_bits))
-        {
-            let slot = &mut self.slots[*qi];
-            slot.bits.request_bits += bits.request_bits;
-            slot.bits.partial_bits += bits.partial_bits;
-            slot.bits.shared_overhead_bits += share;
-            slot.waves += 1;
-            let input = self.net.finalize_partial(req, partial);
-            slot.state = SlotState::Ready(input);
-        }
-        Ok(())
+        issue_shared_wave(&mut self.net, &mut self.slots, round, &mut self.wave_log)
     }
+}
+
+/// Marks every not-yet-finished query in `slots` as failed with `e` —
+/// called when a wave-level network failure aborts a run or a streaming
+/// round, so no slot is left in a mid-wave placeholder state. Generic
+/// over the slot container ([`QuerySlot`] itself, or the streaming
+/// engine's timestamped wrapper).
+pub(crate) fn fail_in_flight<S: AsMut<QuerySlot>>(slots: &mut [S], e: &QueryError) {
+    for slot in slots {
+        let slot = slot.as_mut();
+        if matches!(slot.state, SlotState::Ready(_)) {
+            slot.state = SlotState::Done(Err(e.clone()));
+        }
+    }
+}
+
+/// Issues one shared multiplexed wave answering every `(slot index,
+/// request)` of `round` and distributes results and bit charges back to
+/// the issuing slots — the one place per-query billing happens, shared
+/// by the closed-batch [`QueryEngine`] and the
+/// [`crate::streaming::StreamingEngine`] so both bill identically.
+pub(crate) fn issue_shared_wave<S: AsMut<QuerySlot>>(
+    net: &mut SimNetwork,
+    slots: &mut [S],
+    round: &[(usize, CoreRequest)],
+    wave_log: &mut Option<Vec<Vec<QueryId>>>,
+) -> Result<(), QueryError> {
+    if let Some(log) = wave_log {
+        log.push(round.iter().map(|(qi, _)| slots[*qi].as_mut().id).collect());
+    }
+    let reqs: Vec<CoreRequest> = round.iter().map(|(_, r)| r.clone()).collect();
+    let out = net.run_batch(reqs)?;
+    debug_assert_eq!(out.partials.len(), round.len());
+    // Unattributable framing: one wave header per message *actually
+    // transmitted*. Under lossless links without caching that is one
+    // request and one partial per spanning-tree edge; with subtree
+    // partial caching, silenced subtrees (down to a fully cached,
+    // zero-message wave) shrink the bill accordingly.
+    let header_bits = WAVE_HEADER_BITS * out.messages;
+    let share = (header_bits + out.envelope_bits) / round.len() as u64;
+    for ((qi, req), (partial, bits)) in round
+        .iter()
+        .zip(out.partials.into_iter().zip(out.slot_bits))
+    {
+        let slot = slots[*qi].as_mut();
+        slot.bits.request_bits += bits.request_bits;
+        slot.bits.partial_bits += bits.partial_bits;
+        slot.bits.shared_overhead_bits += share;
+        slot.waves += 1;
+        let input = net.finalize_partial(req, partial);
+        slot.state = SlotState::Ready(input);
+    }
+    Ok(())
+}
+
+impl AsMut<QuerySlot> for QuerySlot {
+    fn as_mut(&mut self) -> &mut QuerySlot {
+        self
+    }
+}
+
+/// Compiles a [`QuerySpec`] into its executable wave plan against the
+/// deployment parameters of `net` (value domain, sketch configuration,
+/// tree shape). Shared by the closed-batch [`QueryEngine`] and the
+/// [`crate::streaming::StreamingEngine`], so a given spec compiles to
+/// the identical plan in both modes.
+pub(crate) fn compile_plan(net: &SimNetwork, spec: &QuerySpec) -> Result<EnginePlan, QueryError> {
+    let cfg = net.apx_config();
+    let xbar = net.xbar();
+    Ok(match spec {
+        QuerySpec::Count(p) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Count(*p))),
+        QuerySpec::Sum(p) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Sum(*p))),
+        QuerySpec::Min(d) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Min(*d))),
+        QuerySpec::Max(d) => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Max(*d))),
+        QuerySpec::ApxCount { pred, reps } => {
+            validate_reps(*reps)?;
+            EnginePlan::Primitive(PrimitivePlan::new(PlanOp::ApxCount {
+                pred: *pred,
+                reps: *reps,
+            }))
+        }
+        QuerySpec::DistinctExact => {
+            EnginePlan::Primitive(PrimitivePlan::new(PlanOp::DistinctExact))
+        }
+        QuerySpec::DistinctApx { reps } => {
+            validate_reps(*reps)?;
+            EnginePlan::Primitive(PrimitivePlan::new(PlanOp::DistinctApx { reps: *reps }))
+        }
+        QuerySpec::Collect => EnginePlan::Primitive(PrimitivePlan::new(PlanOp::Collect)),
+        QuerySpec::Quantile { q, eps } => {
+            // Worst-case merge-then-prune steps along any root path:
+            // every node prunes once per child merge plus once for its
+            // own partial, bounded by the tree's communication degree
+            // per level.
+            let prunes = (net.tree_height() + 1)
+                .saturating_mul(net.tree_max_degree().min(u32::MAX as usize) as u32);
+            EnginePlan::Quantile(QuantilePlan::new(
+                *q,
+                QuantilePlan::budget_for(*eps, prunes)?,
+            )?)
+        }
+        QuerySpec::BottomK { k } => {
+            if *k == 0 {
+                return Err(QueryError::InvalidParameter(
+                    "bottom-k sample capacity must be positive",
+                ));
+            }
+            EnginePlan::Primitive(PrimitivePlan::new(PlanOp::BottomK { k: *k }))
+        }
+        QuerySpec::Median => EnginePlan::Median(MedianPlan::median(xbar)),
+        QuerySpec::OrderStatistic { k } => {
+            EnginePlan::Median(MedianPlan::order_statistic(xbar, *k))
+        }
+        QuerySpec::ApxMedian { epsilon } => EnginePlan::ApxMedian(ApxMedianPlan::new(
+            *epsilon,
+            Domain::Raw,
+            RankTarget::Median,
+            cfg,
+            xbar,
+        )?),
+        QuerySpec::ApxMedian2 { beta, epsilon } => {
+            EnginePlan::ApxMedian2(Box::new(ApxMedian2Plan::new(*beta, *epsilon, cfg, xbar)?))
+        }
+    })
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@ pub mod net;
 pub mod plan;
 pub mod predicate;
 pub mod simnet;
+pub mod streaming;
 pub mod wave_proto;
 
 pub use aggregate::{BottomKAgg, ItemRef, PartialAggregate, QuantileAgg};
@@ -67,3 +68,4 @@ pub use net::AggregationNetwork;
 pub use plan::{PlanOp, QuantileOutcome, QuantilePlan, QueryPlan};
 pub use predicate::{Domain, Predicate};
 pub use simnet::{BatchOutcome, SimNetwork, SimNetworkBuilder};
+pub use streaming::{AdmissionPolicy, ServiceStats, StreamingEngine, StreamingReport};

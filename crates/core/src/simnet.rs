@@ -320,6 +320,13 @@ impl Runner {
             Runner::Sharded(r) => r.cache_stats(),
         }
     }
+
+    fn transport_footprint(&self) -> saq_protocols::TransportFootprint {
+        match self {
+            Runner::Single(r) => r.transport_footprint(),
+            Runner::Sharded(r) => r.transport_footprint(),
+        }
+    }
 }
 
 /// An [`AggregationNetwork`] whose primitives execute as simulated
@@ -420,6 +427,17 @@ impl SimNetwork {
     /// cache is disabled — see [`SimNetworkBuilder::partial_cache`]).
     pub fn cache_stats(&self) -> saq_protocols::CacheStats {
         self.runner.cache_stats()
+    }
+
+    /// Network-wide transport-state occupancy
+    /// ([`saq_protocols::TransportFootprint`]): ARQ dedup entries,
+    /// un-ACKed frames, buffered merge partials and resident cache
+    /// entries. Between waves everything but the (capacity-bounded)
+    /// cache component is zero — the observable behind the streaming
+    /// engine's bounded-memory claim, asserted over thousands of rounds
+    /// by experiment E14.
+    pub fn transport_footprint(&self) -> saq_protocols::TransportFootprint {
+        self.runner.transport_footprint()
     }
 
     /// The inner wave protocol (aggregate dispatch) configuration.

@@ -1,0 +1,823 @@
+//! The online streaming query engine: a long-running service loop with
+//! mid-flight admission.
+//!
+//! [`crate::engine::QueryEngine::run`] drains a *closed* batch: every
+//! query is known before the first wave flies. A sensor-database
+//! front-end is instead a service — queries arrive continuously while
+//! earlier ones are still mid-convergecast. [`StreamingEngine`] is that
+//! service loop: [`StreamingEngine::submit`] may be called at any time,
+//! pending queries are **admitted between rounds** (joining the next
+//! shared wave mid-flight, alongside plans that are already several
+//! waves deep), and finished queries retire immediately with an
+//! incremental [`StreamingReport`] carrying their latency in rounds.
+//!
+//! ## Scheduling
+//!
+//! Each [`StreamingEngine::step`] executes one scheduling round:
+//!
+//! 1. **Admission** — if the [`AdmissionPolicy`] opens the window this
+//!    round, every pending query moves into the active set (stamped with
+//!    its admission round).
+//! 2. **Shared wave** — the pending ops of every active *shareable*
+//!    (non-item-mutating) query are multiplexed into one wave
+//!    ([`BatchPolicy::Batched`]) or issued one wave each
+//!    ([`BatchPolicy::Sequential`]). Queries admitted this round ride
+//!    the same wave as queries admitted hundreds of rounds ago.
+//! 3. **Exclusive queries** — when no eligible shareable query has a
+//!    pending op, the oldest admitted item-mutating query
+//!    (`APX_MEDIAN2`'s zoom stages) runs **to completion,
+//!    exclusively**, with items restored afterwards — the same
+//!    isolation rule as the closed-batch engine. A waiting exclusive
+//!    query yields to the readers of its own admission cohort but
+//!    *gates* readers admitted after it (they hold their ops until it
+//!    has run), so a continuous reader stream cannot starve it.
+//! 4. **Retirement** — every query that finished this round leaves the
+//!    active set and its report is returned from `step`.
+//!
+//! ## Equivalence with closed batches
+//!
+//! The streaming engine reuses the closed-batch engine's plan compiler,
+//! slot state machine and wave billing (`issue_shared_wave`), and
+//! assigns sketch nonces from the same submission-ordinal space. A
+//! streaming run whose admission points coincide with closed-batch
+//! boundaries — [`AdmissionPolicy::WhenIdle`], so each arrival group is
+//! admitted only once the previous group fully retired — is therefore
+//! **bit-identical** to the equivalent sequence of
+//! [`crate::engine::QueryEngine::run`] calls: same answers, same
+//! per-query [`crate::engine::QueryBits`], same cache counters, same per-node
+//! bit statistics (property-tested in `tests/streaming_equivalence.rs`).
+//! Wider admission windows only coarsen the grouping, merging waves and
+//! monotonically shrinking the total bill.
+//!
+//! ## Bounded memory
+//!
+//! The loop holds no per-round state: retired slots leave the engine,
+//! the wave transport's ARQ dedup set is purged per wave (per-wave seq
+//! epoching), and subtree caches are capacity-bounded. Experiment E14
+//! drives thousands of rounds and asserts the transport footprint stays
+//! flat ([`SimNetwork::transport_footprint`]).
+
+use crate::engine::{
+    compile_plan, fail_in_flight, issue_shared_wave, BatchPolicy, QueryId, QueryReport, QuerySlot,
+    QuerySpec,
+};
+use crate::error::QueryError;
+use crate::net::AggregationNetwork;
+use crate::simnet::SimNetwork;
+use crate::wave_proto::CoreRequest;
+use std::collections::VecDeque;
+
+/// When pending submissions are admitted into the active wave set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Admit every pending query at the start of every round — minimum
+    /// latency, smallest shared waves.
+    #[default]
+    EveryRound,
+    /// Admit only every `w`-th round (`w ≥ 1`; `Window(1)` ≡
+    /// [`AdmissionPolicy::EveryRound`]): arrivals accumulate for up to
+    /// `w` rounds and join as a group, trading rounds of latency for
+    /// larger shared waves.
+    Window(u32),
+    /// Admit only when no query is active — every arrival group runs as
+    /// a closed batch, exactly reproducing a sequence of
+    /// [`crate::engine::QueryEngine::run`] calls (the bit-identity
+    /// anchor of `tests/streaming_equivalence.rs`).
+    WhenIdle,
+}
+
+impl AdmissionPolicy {
+    fn admits(&self, round: u64, idle: bool) -> bool {
+        match self {
+            AdmissionPolicy::EveryRound => true,
+            AdmissionPolicy::Window(w) => round.is_multiple_of(u64::from((*w).max(1))),
+            AdmissionPolicy::WhenIdle => idle,
+        }
+    }
+}
+
+/// The incremental report a retired streaming query returns, wrapping
+/// the batch engine's [`QueryReport`] with the service-loop timeline.
+#[derive(Debug, Clone)]
+pub struct StreamingReport {
+    /// The answer, spec, per-query bit bill and wave count — identical
+    /// in meaning (and, under aligned admissions, in value) to a
+    /// closed-batch report. `report.id` is the engine-lifetime
+    /// [`QueryId`] returned by [`StreamingEngine::submit`].
+    pub report: QueryReport,
+    /// Round counter value when the query was submitted.
+    pub submitted_round: u64,
+    /// Round in which the admission window accepted the query.
+    pub admitted_round: u64,
+    /// Round in which the query finished and retired.
+    pub retired_round: u64,
+}
+
+impl StreamingReport {
+    /// Rounds from submission to retirement — the service-level latency
+    /// measured by experiment E14 (a query finishing in the round it was
+    /// submitted has latency 1).
+    pub fn latency_rounds(&self) -> u64 {
+        self.retired_round - self.submitted_round + 1
+    }
+
+    /// Rounds the query spent waiting for admission.
+    pub fn queueing_rounds(&self) -> u64 {
+        self.admitted_round - self.submitted_round
+    }
+}
+
+/// An active or pending slot plus its service-loop timestamps.
+///
+/// Invariant while active and not done: a shareable slot always holds
+/// the request of its next op in `staged` — plans are advanced eagerly
+/// (at admission and immediately after each wave), so a query retires
+/// in the very round its last wave ran and `step` never needs an extra
+/// finalize round.
+struct StreamSlot {
+    slot: QuerySlot,
+    /// The next wire request this slot wants issued (shareable slots
+    /// only; exclusive plans advance inside their own run-to-completion
+    /// loop).
+    staged: Option<CoreRequest>,
+    submitted_round: u64,
+    admitted_round: u64,
+}
+
+impl StreamSlot {
+    /// Re-establishes the staging invariant after the slot's plan
+    /// consumed an input: advances the plan and stashes the next
+    /// request, if any.
+    fn restage(&mut self) {
+        debug_assert!(self.staged.is_none(), "restaged over an unissued request");
+        self.staged = self.slot.advance();
+    }
+}
+
+impl AsMut<QuerySlot> for StreamSlot {
+    fn as_mut(&mut self) -> &mut QuerySlot {
+        &mut self.slot
+    }
+}
+
+/// A long-running query service over a [`SimNetwork`]: queries are
+/// [`StreamingEngine::submit`]ted at any time, admitted into shared
+/// waves between rounds, and retired incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use saq_core::engine::{QueryOutcome, QuerySpec};
+/// use saq_core::predicate::Predicate;
+/// use saq_core::simnet::SimNetworkBuilder;
+/// use saq_core::streaming::StreamingEngine;
+/// use saq_netsim::topology::Topology;
+///
+/// # fn main() -> Result<(), saq_core::QueryError> {
+/// let topo = Topology::grid(4, 4)?;
+/// let items: Vec<u64> = (0..16).collect();
+/// let net = SimNetworkBuilder::new().build_one_per_node(&topo, &items, 32)?;
+/// let mut engine = StreamingEngine::new(net);
+///
+/// // A long query starts alone...
+/// let median = engine.submit(QuerySpec::Median);
+/// let mut retired = engine.step()?;
+///
+/// // ...and a later arrival joins its next wave mid-flight.
+/// let count = engine.submit(QuerySpec::Count(Predicate::TRUE));
+/// while engine.in_service() {
+///     retired.extend(engine.step()?);
+/// }
+/// let by_id = |id| retired.iter().find(|r| r.report.id == id).unwrap();
+/// assert_eq!(by_id(count).report.outcome, Ok(QueryOutcome::Num(16)));
+/// assert!(by_id(median).report.bits.total() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct StreamingEngine {
+    net: SimNetwork,
+    policy: BatchPolicy,
+    admission: AdmissionPolicy,
+    /// Submitted, not yet admitted (submission order).
+    pending: VecDeque<StreamSlot>,
+    /// Admitted and executing (admission = submission order).
+    active: Vec<StreamSlot>,
+    /// Engine-lifetime submission counter: the [`QueryId`] *and* the
+    /// sketch-nonce ordinal, shared with the batch engine's space.
+    submitted: u32,
+    rounds: u64,
+    waves: u64,
+    wave_log: Option<Vec<Vec<QueryId>>>,
+}
+
+impl StreamingEngine {
+    /// A streaming engine with batched waves and per-round admission.
+    pub fn new(net: SimNetwork) -> Self {
+        Self::with_policy(net, BatchPolicy::default(), AdmissionPolicy::default())
+    }
+
+    /// A streaming engine with explicit scheduling and admission
+    /// policies.
+    pub fn with_policy(net: SimNetwork, policy: BatchPolicy, admission: AdmissionPolicy) -> Self {
+        StreamingEngine {
+            net,
+            policy,
+            admission,
+            pending: VecDeque::new(),
+            active: Vec::new(),
+            submitted: 0,
+            rounds: 0,
+            waves: 0,
+            wave_log: None,
+        }
+    }
+
+    /// The underlying network (e.g. for [`SimNetwork`] statistics).
+    pub fn network(&self) -> &SimNetwork {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network (e.g. `reset_stats`).
+    pub fn network_mut(&mut self) -> &mut SimNetwork {
+        &mut self.net
+    }
+
+    /// Consumes the engine, returning the network.
+    pub fn into_network(self) -> SimNetwork {
+        self.net
+    }
+
+    /// Scheduling rounds executed so far.
+    pub fn rounds_executed(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Waves issued so far.
+    pub fn waves_issued(&self) -> u64 {
+        self.waves
+    }
+
+    /// Queries admitted and executing.
+    pub fn active_queries(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Queries submitted but not yet admitted.
+    pub fn pending_queries(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether any query is pending or active — the service loop's
+    /// "work to do" predicate.
+    pub fn in_service(&self) -> bool {
+        !self.pending.is_empty() || !self.active.is_empty()
+    }
+
+    /// Starts recording each wave's participating [`QueryId`]s (see
+    /// [`crate::engine::QueryEngine::record_wave_log`]). Off by default:
+    /// a long-running service should not grow a log silently.
+    pub fn record_wave_log(&mut self) {
+        self.wave_log.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded wave compositions (`None` until
+    /// [`StreamingEngine::record_wave_log`]).
+    pub fn wave_log(&self) -> Option<&[Vec<QueryId>]> {
+        self.wave_log.as_deref()
+    }
+
+    /// Submits a query to the service; it will be admitted at the next
+    /// admission point. Returns the engine-lifetime [`QueryId`] its
+    /// eventual [`StreamingReport`] carries. Invalid parameters surface
+    /// as the query's outcome (the slot is born finished and retires at
+    /// its admission round), never as an engine failure.
+    pub fn submit(&mut self, spec: QuerySpec) -> QueryId {
+        let compiled = compile_plan(&self.net, &spec);
+        // Same loud bound as the batch engine: the nonce space carries
+        // 15 bits of submission ordinal.
+        assert!(
+            self.submitted <= 0x7FFF,
+            "engine exhausted its 32768-query sketch-nonce space; build a fresh StreamingEngine"
+        );
+        let id = self.submitted as QueryId;
+        self.pending.push_back(StreamSlot {
+            slot: QuerySlot::new(id, self.submitted, spec, compiled),
+            staged: None,
+            submitted_round: self.rounds,
+            admitted_round: 0,
+        });
+        self.submitted = self.submitted.wrapping_add(1);
+        id
+    }
+
+    /// Executes one scheduling round — admission, at most one shared
+    /// wave (or one exclusive query run to completion), retirement —
+    /// and returns the queries that retired this round, in submission
+    /// order. A round with nothing to do (empty engine, or a closed
+    /// admission window with nothing active) still advances the round
+    /// counter and returns no reports.
+    ///
+    /// # Errors
+    ///
+    /// Only network/protocol failures abort a round; algorithm-level
+    /// errors are reported per query. After a failed round the queries
+    /// that were mid-wave carry the failure as their outcome and retire
+    /// at the next `step`.
+    pub fn step(&mut self) -> Result<Vec<StreamingReport>, QueryError> {
+        let round = self.rounds;
+        self.rounds += 1;
+
+        // 1. Admission. Newly admitted shareable plans advance to their
+        // first op immediately, so they participate in this very
+        // round's wave (exclusive plans wait for the exclusive phase).
+        if !self.pending.is_empty() && self.admission.admits(round, self.active.is_empty()) {
+            while let Some(mut s) = self.pending.pop_front() {
+                s.admitted_round = round;
+                if !s.slot.plan.mutates_items() {
+                    s.restage();
+                }
+                self.active.push(s);
+            }
+        }
+
+        // 2. One shared wave over every staged shareable op, then
+        // advance the participants so finished queries retire *this*
+        // round (a single-wave query has latency 1, not 2).
+        //
+        // Anti-starvation gate: a waiting exclusive query yields to the
+        // readers of its own admission cohort (the closed-batch
+        // "readers first" rule), but NOT to readers admitted after it —
+        // those hold their staged ops until the exclusive query has
+        // run, or a continuous reader stream would defer it forever.
+        // Under idle-aligned admission every active query shares one
+        // admission round, so the gate never excludes anyone and the
+        // bit-identity with closed batches is untouched.
+        let gate = self
+            .active
+            .iter()
+            .filter(|s| s.slot.plan.mutates_items() && !s.slot.is_done())
+            .map(|s| s.admitted_round)
+            .min();
+        let mut round_ops: Vec<(usize, CoreRequest)> = Vec::new();
+        for (i, s) in self.active.iter_mut().enumerate() {
+            if gate.is_some_and(|g| s.admitted_round > g) {
+                continue;
+            }
+            if let Some(req) = s.staged.take() {
+                round_ops.push((i, req));
+            }
+        }
+        if !round_ops.is_empty() {
+            let wave_result = match self.policy {
+                BatchPolicy::Batched => self.issue_wave(&round_ops),
+                BatchPolicy::Sequential => round_ops
+                    .iter()
+                    .try_for_each(|entry| self.issue_wave(std::slice::from_ref(entry))),
+            };
+            if let Err(e) = wave_result {
+                self.fail_active(&e);
+                return Err(e);
+            }
+            for (i, _) in &round_ops {
+                self.active[*i].restage();
+            }
+        } else if let Some(i) = self
+            .active
+            .iter()
+            .position(|s| s.slot.plan.mutates_items() && !s.slot.is_done())
+        {
+            // 3. No reader has a pending op: the oldest exclusive
+            // (item-mutating) query runs to completion, alone, exactly
+            // as in the batch engine's phase 2 — admissions arriving
+            // meanwhile wait, because its zoom stages own the global
+            // item state until it restores them.
+            while let Some(req) = self.active[i].slot.advance() {
+                if let Err(e) = self.issue_wave(&[(i, req)]) {
+                    self.fail_active(&e);
+                    // Never hand back mutilated item state.
+                    self.net.restore_items();
+                    return Err(e);
+                }
+            }
+            self.net.restore_items();
+        }
+
+        // 4. Retirement.
+        let mut retired = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].slot.is_done() {
+                let s = self.active.remove(i);
+                retired.push(StreamingReport {
+                    submitted_round: s.submitted_round,
+                    admitted_round: s.admitted_round,
+                    retired_round: round,
+                    report: s.slot.into_report(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+        Ok(retired)
+    }
+
+    /// Steps the service until no query is pending or active, returning
+    /// every report retired along the way (submission order within each
+    /// round). Useful for drains in tests and at shutdown; a live
+    /// service calls [`StreamingEngine::step`] per round instead.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamingEngine::step`]; queries already retired before the
+    /// failing round are lost to the caller, so prefer per-round
+    /// stepping when partial progress matters.
+    pub fn run_until_idle(&mut self) -> Result<Vec<StreamingReport>, QueryError> {
+        let mut all = Vec::new();
+        while self.in_service() {
+            all.extend(self.step()?);
+        }
+        Ok(all)
+    }
+
+    fn issue_wave(&mut self, round_ops: &[(usize, CoreRequest)]) -> Result<(), QueryError> {
+        self.waves += 1;
+        issue_shared_wave(
+            &mut self.net,
+            &mut self.active,
+            round_ops,
+            &mut self.wave_log,
+        )
+    }
+
+    fn fail_active(&mut self, e: &QueryError) {
+        fail_in_flight(&mut self.active, e);
+        // Done is terminal: a slot the failure just killed must not keep
+        // an un-issued staged request (a *gated* reader holds one while
+        // sitting in the mid-wave placeholder state), or the next round
+        // would issue it and overwrite the recorded failure with a live
+        // wave result.
+        for s in &mut self.active {
+            if s.slot.is_done() {
+                s.staged = None;
+            }
+        }
+    }
+}
+
+/// Aggregate latency/bit statistics over a set of retired reports —
+/// what experiment E14's tables are made of.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Queries retired.
+    pub retired: u64,
+    /// Mean latency in rounds (submission → retirement, inclusive).
+    pub mean_latency_rounds: f64,
+    /// Worst latency in rounds.
+    pub max_latency_rounds: u64,
+    /// Mean total bits billed per query.
+    pub mean_bits_per_query: f64,
+}
+
+impl ServiceStats {
+    /// Summarizes a set of retired reports.
+    pub fn from_reports(reports: &[StreamingReport]) -> ServiceStats {
+        if reports.is_empty() {
+            return ServiceStats::default();
+        }
+        let n = reports.len() as u64;
+        let lat_sum: u64 = reports.iter().map(StreamingReport::latency_rounds).sum();
+        let bits_sum: u64 = reports.iter().map(|r| r.report.bits.total()).sum();
+        ServiceStats {
+            retired: n,
+            mean_latency_rounds: lat_sum as f64 / n as f64,
+            max_latency_rounds: reports
+                .iter()
+                .map(StreamingReport::latency_rounds)
+                .max()
+                .unwrap_or(0),
+            mean_bits_per_query: bits_sum as f64 / n as f64,
+        }
+    }
+
+    /// Exact total bits billed across the reports.
+    pub fn total_bits(reports: &[StreamingReport]) -> u64 {
+        reports.iter().map(|r| r.report.bits.total()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{QueryEngine, QueryOutcome};
+    use crate::predicate::{Domain, Predicate};
+    use crate::simnet::SimNetworkBuilder;
+    use saq_netsim::topology::Topology;
+
+    fn grid_net(side: usize, seed_off: u64) -> SimNetwork {
+        let topo = Topology::grid(side, side).unwrap();
+        let n = side * side;
+        let items: Vec<u64> = (0..n as u64).map(|i| (i * 13) % (n as u64)).collect();
+        SimNetworkBuilder::new()
+            .apx_config(crate::counting::ApxCountConfig::default().with_seed(177 + seed_off))
+            .build_one_per_node(&topo, &items, 2 * n as u64)
+            .unwrap()
+    }
+
+    #[test]
+    fn late_arrival_joins_wave_mid_flight() {
+        let mut engine = StreamingEngine::new(grid_net(4, 0));
+        engine.record_wave_log();
+        let median = engine.submit(QuerySpec::Median);
+        // Two rounds of the median alone...
+        engine.step().unwrap();
+        engine.step().unwrap();
+        // ...then a count arrives and must ride the median's next wave.
+        let count = engine.submit(QuerySpec::Count(Predicate::TRUE));
+        let mut retired = Vec::new();
+        while engine.in_service() {
+            retired.extend(engine.step().unwrap());
+        }
+        let log = engine.wave_log().unwrap();
+        assert!(log[0] == vec![median] && log[1] == vec![median]);
+        assert_eq!(
+            log[2],
+            vec![median, count],
+            "the newcomer shares the in-flight median's third wave"
+        );
+        let count_rep = retired.iter().find(|r| r.report.id == count).unwrap();
+        assert_eq!(count_rep.report.outcome, Ok(QueryOutcome::Num(16)));
+        assert_eq!(count_rep.report.waves, 1);
+        assert_eq!(count_rep.submitted_round, 2);
+        assert_eq!(count_rep.admitted_round, 2);
+        assert_eq!(count_rep.latency_rounds(), 1);
+        let median_rep = retired.iter().find(|r| r.report.id == median).unwrap();
+        assert!(matches!(
+            median_rep.report.outcome,
+            Ok(QueryOutcome::Median(_))
+        ));
+        assert_eq!(median_rep.submitted_round, 0);
+        // Exactly the median's waves were issued: the count added none.
+        assert_eq!(engine.waves_issued(), u64::from(median_rep.report.waves));
+    }
+
+    #[test]
+    fn window_policy_delays_admission() {
+        let mut engine = StreamingEngine::with_policy(
+            grid_net(4, 1),
+            BatchPolicy::Batched,
+            AdmissionPolicy::Window(4),
+        );
+        // Rounds 0..=3: the engine idles (windows at rounds 0, 4, 8...).
+        engine.step().unwrap();
+        let q = engine.submit(QuerySpec::Count(Predicate::TRUE));
+        let mut retired = Vec::new();
+        for _ in 0..5 {
+            retired.extend(engine.step().unwrap());
+        }
+        assert_eq!(engine.waves_issued(), 1, "one wave at the round-4 window");
+        let rep = retired.iter().find(|r| r.report.id == q).unwrap();
+        assert_eq!(rep.submitted_round, 1);
+        assert_eq!(rep.admitted_round, 4);
+        assert_eq!(rep.queueing_rounds(), 3);
+        assert_eq!(rep.report.outcome, Ok(QueryOutcome::Num(16)));
+    }
+
+    #[test]
+    fn when_idle_admission_reproduces_closed_batches() {
+        // Two arrival groups, the second submitted while the first is
+        // mid-flight: WhenIdle holds it back, so the streaming run must
+        // equal two closed-batch runs bit for bit.
+        let specs1 = [QuerySpec::Median, QuerySpec::Count(Predicate::TRUE)];
+        let specs2 = [
+            QuerySpec::Quantile { q: 0.5, eps: 0.2 },
+            QuerySpec::Min(Domain::Raw),
+        ];
+
+        let mut streaming = StreamingEngine::with_policy(
+            grid_net(5, 2),
+            BatchPolicy::Batched,
+            AdmissionPolicy::WhenIdle,
+        );
+        for s in &specs1 {
+            streaming.submit(s.clone());
+        }
+        // Interleave the second group's arrival with the first group's
+        // execution: admission must wait for idleness anyway.
+        let mut sreports = streaming.step().unwrap();
+        for s in &specs2 {
+            streaming.submit(s.clone());
+        }
+        sreports.extend(streaming.run_until_idle().unwrap());
+
+        let mut batch = QueryEngine::new(grid_net(5, 2));
+        let mut breports = Vec::new();
+        for s in &specs1 {
+            batch.submit(s.clone());
+        }
+        breports.extend(batch.run().unwrap());
+        for s in &specs2 {
+            batch.submit(s.clone());
+        }
+        breports.extend(batch.run().unwrap());
+
+        assert_eq!(sreports.len(), breports.len());
+        sreports.sort_by_key(|r| r.report.id);
+        for (s, b) in sreports.iter().zip(&breports) {
+            assert_eq!(s.report.outcome, b.outcome, "answer for {:?}", b.spec);
+            assert_eq!(s.report.bits, b.bits, "bit bill for {:?}", b.spec);
+            assert_eq!(s.report.waves, b.waves, "wave count for {:?}", b.spec);
+        }
+        assert_eq!(streaming.waves_issued(), batch.waves_issued());
+        // And the network-level bit statistics agree node for node.
+        let (ss, bs) = (
+            streaming.network().net_stats().unwrap(),
+            batch.network().net_stats().unwrap(),
+        );
+        for v in 0..ss.len() {
+            assert_eq!(ss.node(v).total_bits(), bs.node(v).total_bits(), "node {v}");
+        }
+    }
+
+    #[test]
+    fn exclusive_query_runs_alone_and_restores_items() {
+        let mut engine = StreamingEngine::new(grid_net(5, 3));
+        engine.record_wave_log();
+        let count = engine.submit(QuerySpec::Count(Predicate::TRUE));
+        let am2 = engine.submit(QuerySpec::ApxMedian2 {
+            beta: 0.25,
+            epsilon: 0.4,
+        });
+        let sum = engine.submit(QuerySpec::Sum(Predicate::TRUE));
+        let reports = engine.run_until_idle().unwrap();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            if r.report.id == am2 {
+                assert!(matches!(r.report.outcome, Ok(QueryOutcome::ApxMedian2(_))));
+            }
+        }
+        // Readers shared their wave; every zooming wave ran alone.
+        for wave in engine.wave_log().unwrap() {
+            if wave.contains(&am2) {
+                assert_eq!(wave.as_slice(), &[am2], "zooming query shared a wave");
+            }
+        }
+        assert!(reports.iter().any(|r| r.report.id == count));
+        assert!(reports.iter().any(|r| r.report.id == sum));
+        // Items restored after the exclusive query.
+        let mut net = engine.into_network();
+        assert_eq!(net.count(&Predicate::TRUE).unwrap(), 25);
+    }
+
+    #[test]
+    fn exclusive_query_is_not_starved_by_a_continuous_reader_stream() {
+        // A reader arrives every round; without the admission-cohort
+        // gate the zooming query would wait forever (its exclusive
+        // phase only runs when no shareable op is staged).
+        let mut engine = StreamingEngine::new(grid_net(4, 8));
+        let am2 = engine.submit(QuerySpec::ApxMedian2 {
+            beta: 0.3,
+            epsilon: 0.5,
+        });
+        let mut am2_retired_at = None;
+        for round in 0..400 {
+            engine.submit(QuerySpec::Count(Predicate::TRUE));
+            for r in engine.step().unwrap() {
+                if r.report.id == am2 {
+                    assert!(matches!(r.report.outcome, Ok(QueryOutcome::ApxMedian2(_))));
+                    am2_retired_at = Some(round);
+                }
+            }
+            if am2_retired_at.is_some() {
+                break;
+            }
+        }
+        let retired_at = am2_retired_at.expect("exclusive query starved for 400 rounds");
+        // It ran as soon as its own (singleton) cohort had no reader
+        // ops — i.e. immediately, not after the stream dried up.
+        assert!(
+            retired_at <= 2,
+            "exclusive query waited {retired_at} rounds"
+        );
+        // The gated readers resume and drain afterwards.
+        let rest = engine.run_until_idle().unwrap();
+        assert!(rest.iter().all(|r| r.report.outcome.is_ok()));
+        // Items were restored before the readers' counts ran.
+        assert!(rest
+            .iter()
+            .all(|r| !matches!(r.report.outcome, Ok(QueryOutcome::Num(n)) if n != 16)));
+    }
+
+    #[test]
+    fn wave_failure_kills_gated_slots_terminally() {
+        // A gated reader (held back behind a waiting exclusive query)
+        // sits in the mid-wave placeholder state with an un-issued
+        // staged request. If the round's wave fails, the failure must
+        // be terminal for it too: the stale staged op must not be
+        // issued later, resurrecting a Done(Err) slot into a live one.
+        use saq_netsim::link::LinkConfig;
+        use saq_netsim::sim::SimConfig;
+        let lossy_net = |seed: u64| {
+            let topo = Topology::grid(4, 4).unwrap();
+            let items: Vec<u64> = (0..16u64).collect();
+            SimNetworkBuilder::new()
+                .sim_config(
+                    SimConfig::default()
+                        .with_link(LinkConfig::default().with_loss(0.05))
+                        .with_seed(seed),
+                )
+                .build_one_per_node(&topo, &items, 32)
+                .unwrap()
+        };
+        // Deterministic hunt for a seed whose first wave survives the
+        // loss stream but whose median eventually loses one (under
+        // Reliability::None a single drop aborts the wave).
+        'seeds: for seed in 0..200u64 {
+            let mut engine = StreamingEngine::new(lossy_net(seed));
+            let am2 = engine.submit(QuerySpec::ApxMedian2 {
+                beta: 0.3,
+                epsilon: 0.5,
+            });
+            let median = engine.submit(QuerySpec::Median);
+            if engine.step().is_err() {
+                continue 'seeds; // wave 0 already lost; try another seed
+            }
+            // Admitted after round 0: gated behind the waiting zoomer.
+            let gated = engine.submit(QuerySpec::Count(Predicate::TRUE));
+            for _ in 0..300 {
+                match engine.step() {
+                    Ok(_) => {
+                        if !engine.in_service() {
+                            continue 'seeds; // no failure this seed
+                        }
+                    }
+                    Err(_) => {
+                        // The failing round killed every in-flight
+                        // query. From here on: no further wave may fly,
+                        // and every remaining slot retires with the
+                        // failure — including the gated reader.
+                        let waves = engine.waves_issued();
+                        let reports = engine.run_until_idle().unwrap();
+                        assert_eq!(engine.waves_issued(), waves, "a dead slot issued a wave");
+                        assert!(!reports.is_empty());
+                        for r in &reports {
+                            assert!(
+                                r.report.outcome.is_err(),
+                                "slot {} resurrected after the failure: {:?}",
+                                r.report.id,
+                                r.report.outcome
+                            );
+                        }
+                        assert!(reports.iter().any(|r| r.report.id == gated));
+                        let _ = (am2, median);
+                        return;
+                    }
+                }
+            }
+            continue 'seeds;
+        }
+        panic!("no seed produced the survive-then-fail loss pattern");
+    }
+
+    #[test]
+    fn invalid_parameters_retire_with_their_error() {
+        let mut engine = StreamingEngine::new(grid_net(3, 4));
+        let bad = engine.submit(QuerySpec::BottomK { k: 0 });
+        let good = engine.submit(QuerySpec::Count(Predicate::TRUE));
+        let reports = engine.run_until_idle().unwrap();
+        let by_id = |id: QueryId| reports.iter().find(|r| r.report.id == id).unwrap();
+        assert!(matches!(
+            by_id(bad).report.outcome,
+            Err(QueryError::InvalidParameter(_))
+        ));
+        assert_eq!(by_id(good).report.outcome, Ok(QueryOutcome::Num(9)));
+    }
+
+    #[test]
+    fn idle_rounds_cost_nothing_and_keep_counting() {
+        let mut engine = StreamingEngine::new(grid_net(3, 5));
+        for _ in 0..10 {
+            assert!(engine.step().unwrap().is_empty());
+        }
+        assert_eq!(engine.rounds_executed(), 10);
+        assert_eq!(engine.waves_issued(), 0);
+        assert_eq!(engine.network().net_stats().unwrap().max_node_bits(), 0);
+    }
+
+    #[test]
+    fn service_stats_summarize_latency_and_bits() {
+        let mut engine = StreamingEngine::new(grid_net(4, 6));
+        engine.submit(QuerySpec::Count(Predicate::TRUE));
+        engine.submit(QuerySpec::Median);
+        let reports = engine.run_until_idle().unwrap();
+        let stats = ServiceStats::from_reports(&reports);
+        assert_eq!(stats.retired, 2);
+        assert!(stats.mean_latency_rounds >= 1.0);
+        assert!(stats.max_latency_rounds >= 1);
+        assert!(stats.mean_bits_per_query > 0.0);
+        assert_eq!(
+            ServiceStats::total_bits(&reports),
+            reports.iter().map(|r| r.report.bits.total()).sum::<u64>()
+        );
+        assert_eq!(ServiceStats::from_reports(&[]), ServiceStats::default());
+    }
+}

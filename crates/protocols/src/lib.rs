@@ -45,6 +45,6 @@ pub use error::ProtocolError;
 pub use shard::ShardedWaveRunner;
 pub use tree::SpanningTree;
 pub use wave::{
-    MultiplexWave, MuxEntry, MuxLedger, MuxSlotBits, WaveProtocol, WaveRunner, MUX_MAX_SLOTS,
-    WAVE_HEADER_BITS,
+    MultiplexWave, MuxEntry, MuxLedger, MuxSlotBits, TransportFootprint, WaveProtocol, WaveRunner,
+    MUX_MAX_SLOTS, WAVE_HEADER_BITS,
 };

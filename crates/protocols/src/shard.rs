@@ -464,6 +464,22 @@ where
         }
     }
 
+    /// Network-wide transport-state occupancy, root included (see
+    /// [`TransportFootprint`](crate::wave::TransportFootprint)) — the
+    /// same bounded-memory observable as
+    /// [`WaveRunner::transport_footprint`](crate::wave::WaveRunner::transport_footprint),
+    /// summed across the driver's root node and every shard.
+    pub fn transport_footprint(&self) -> crate::wave::TransportFootprint {
+        let mut fp = self.root_node.transport_footprint();
+        for s in 0..self.sharded.shard_count() {
+            let sim = self.sharded.shard(s);
+            for l in 1..sim.len() {
+                fp.absorb(sim.node(l).agg().transport_footprint());
+            }
+        }
+        fp
+    }
+
     /// Network-wide cache counters, root included.
     pub fn cache_stats(&self) -> CacheStats {
         let mut total = CacheStats::default();

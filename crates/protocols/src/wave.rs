@@ -182,6 +182,45 @@ pub trait WaveProtocol: Clone {
     fn absorb_shard(&self, _shard: &Self) {}
 }
 
+/// A snapshot of the per-node transport state a wave execution
+/// accumulates — the quantities that *must* stay bounded for the
+/// long-running streaming engine's unbounded round stream (PR 3's
+/// per-wave seq epoching purges the dedup set at wave completion; this
+/// type makes the bound observable so experiments can assert it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportFootprint {
+    /// Entries across all receiver-side ARQ dedup sets (`(from, wave,
+    /// seq)` keys). Purged at each node's wave completion; frames that
+    /// straggle in *after* a node finished (late retransmissions under
+    /// loss) re-enter until the next wave admits, so between waves this
+    /// is bounded by one wave's residual traffic — never by wave count.
+    /// Zero under [`Reliability::None`].
+    pub dedup_entries: u64,
+    /// Un-ACKed frames held for retransmission; zero between waves and
+    /// under [`Reliability::None`].
+    pub pending_frames: u64,
+    /// Child partials buffered for canonical merges; zero between waves.
+    pub buffered_partials: u64,
+    /// Resident subtree-cache entries — bounded by the configured
+    /// per-node capacity times the node count, *not* by wave count.
+    pub cache_entries: u64,
+}
+
+impl TransportFootprint {
+    /// Sum of all components (a scalar to compare across rounds).
+    pub fn total(&self) -> u64 {
+        self.dedup_entries + self.pending_frames + self.buffered_partials + self.cache_entries
+    }
+
+    /// Accumulates another footprint (used to aggregate shards).
+    pub fn absorb(&mut self, other: TransportFootprint) {
+        self.dedup_entries += other.dedup_entries;
+        self.pending_frames += other.pending_frames;
+        self.buffered_partials += other.buffered_partials;
+        self.cache_entries += other.cache_entries;
+    }
+}
+
 /// Per-hop delivery discipline for wave messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Reliability {
@@ -342,6 +381,16 @@ impl<P: WaveProtocol> AggNode<P> {
     /// The node's current items.
     pub fn items(&self) -> &[P::Item] {
         &self.items
+    }
+
+    /// This node's contribution to a [`TransportFootprint`].
+    pub(crate) fn transport_footprint(&self) -> TransportFootprint {
+        TransportFootprint {
+            dedup_entries: self.seen.len() as u64,
+            pending_frames: self.pending.len() as u64,
+            buffered_partials: self.child_partials.len() as u64,
+            cache_entries: self.cache.as_ref().map_or(0, |c| c.stats().entries),
+        }
     }
 
     /// Replaces the node's items (driver-side setup only).
@@ -848,6 +897,21 @@ impl<P: WaveProtocol> WaveRunner<P> {
             }
         }
         total
+    }
+
+    /// Network-wide transport-state occupancy (see
+    /// [`TransportFootprint`]). Between waves of a quiesced lossless run
+    /// the dedup and retransmit components are zero (under ARQ with
+    /// loss, the dedup component is bounded by one wave's residual late
+    /// frames); an unbounded round stream must observe this staying
+    /// flat — the memory-bound contract behind the long-running
+    /// streaming engine.
+    pub fn transport_footprint(&self) -> TransportFootprint {
+        let mut fp = TransportFootprint::default();
+        for v in 0..self.sim.len() {
+            fp.absorb(self.sim.node(v).transport_footprint());
+        }
+        fp
     }
 
     /// Runs one wave with the given request and returns the root's merged
@@ -1370,6 +1434,43 @@ mod tests {
             },
         );
         assert_eq!(r.run_wave(1000).unwrap(), (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn transport_footprint_is_empty_between_waves_even_under_arq() {
+        // The streaming engine's bounded-memory contract: whatever a
+        // wave accumulates in dedup sets, retransmit buffers and merge
+        // buffers is gone by the time the wave completes — repeating
+        // waves must not grow the footprint.
+        let topo = Topology::grid(4, 4).unwrap();
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let cfg = SimConfig::default()
+            .with_link(LinkConfig::default().with_loss(0.3).with_duplication(0.3))
+            .with_seed(5);
+        let mut r = runner_on(
+            topo,
+            items,
+            cfg,
+            Reliability::Ack {
+                timeout: SimDuration::from_millis(50),
+            },
+        );
+        assert_eq!(r.transport_footprint(), TransportFootprint::default());
+        // Per-node residual bound: entries from frames that straggled in
+        // after the node completed its wave — at most one per child
+        // retransmission plus the parent's request/late ACK window.
+        let residual_bound = (r.len() * 5) as u64;
+        for _ in 0..5 {
+            assert_eq!(r.run_wave(1000).unwrap(), (0..16).sum::<u64>());
+            let fp = r.transport_footprint();
+            assert!(
+                fp.dedup_entries <= residual_bound,
+                "dedup residue {} exceeds one wave's traffic bound {residual_bound}",
+                fp.dedup_entries
+            );
+            assert_eq!(fp.pending_frames, 0, "all frames ACKed at quiescence");
+            assert_eq!(fp.buffered_partials, 0, "merge buffers drained");
+        }
     }
 
     #[test]

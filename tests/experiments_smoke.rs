@@ -8,6 +8,55 @@ use saq_bench::experiments::*;
 use saq_bench::Scale;
 
 #[test]
+fn sharded_harness_path_reports_identical_bits() {
+    // The lossless E1-E12 sweeps now route their deployments through
+    // `deploy::builder_for`, which shards large networks across cores.
+    // Sharding must stay an execution strategy: the harness path and an
+    // explicitly single-threaded build of the same deployment must
+    // report identical per-node bits, answers and cache counters.
+    use saq_bench::deploy::{builder_for, harness_shards, SHARD_THRESHOLD_NODES};
+    use saq_core::engine::{QueryEngine, QuerySpec};
+    use saq_core::net::AggregationNetwork;
+    use saq_core::predicate::{Domain, Predicate};
+    use saq_core::simnet::SimNetworkBuilder;
+    use saq_netsim::topology::Topology;
+
+    assert_eq!(harness_shards(SHARD_THRESHOLD_NODES - 1), 1);
+    let n = SHARD_THRESHOLD_NODES + 176; // over the routing threshold
+    let topo = Topology::balanced_tree(n, 4).unwrap();
+    let items: Vec<u64> = (0..n as u64).map(|i| (i * 131) % 997).collect();
+    let run = |sharded: bool| {
+        let builder = if sharded {
+            builder_for(n).max_children(4)
+        } else {
+            SimNetworkBuilder::new().max_children(4)
+        };
+        let net = builder.build_one_per_node(&topo, &items, 1024).unwrap();
+        let mut engine = QueryEngine::new(net);
+        engine.submit(QuerySpec::Count(Predicate::TRUE));
+        engine.submit(QuerySpec::Min(Domain::Raw));
+        engine.submit(QuerySpec::Quantile { q: 0.5, eps: 0.1 });
+        engine.submit(QuerySpec::Median);
+        let outcomes: Vec<_> = engine
+            .run()
+            .unwrap()
+            .into_iter()
+            .map(|r| (r.outcome.unwrap(), r.bits))
+            .collect();
+        let net = engine.into_network();
+        let stats = net.net_stats().unwrap();
+        let per_node: Vec<u64> = (0..stats.len())
+            .map(|v| stats.node(v).total_bits())
+            .collect();
+        (outcomes, per_node, net.cache_stats())
+    };
+    let (harness, unsharded) = (run(true), run(false));
+    assert_eq!(harness.0, unsharded.0, "answers/bills diverged");
+    assert_eq!(harness.1, unsharded.1, "per-node bits diverged");
+    assert_eq!(harness.2, unsharded.2, "cache counters diverged");
+}
+
+#[test]
 fn e1_count_is_logarithmic() {
     let s = e1_primitives::run(Scale::Quick);
     assert!(s.count_points.len() >= 3);
@@ -190,6 +239,52 @@ fn e13_sharding_bit_identical_across_shard_counts() {
             s.speedup_at(4),
             s.cores
         );
+    }
+}
+
+#[test]
+fn e14_streaming_service_bounded_memory_and_tradeoff() {
+    let s = e14_streaming::run(Scale::Quick);
+    // The acceptance bar: a real service horizon, not a toy loop.
+    assert!(
+        s.max_rounds >= 1000,
+        "streaming sweep must cover >= 1000 rounds, ran {}",
+        s.max_rounds
+    );
+    assert!(
+        s.footprint_flat,
+        "transport footprint grew across rounds: unbounded memory"
+    );
+    assert!(
+        s.oracle_cheapest,
+        "a streaming policy undercut the closed-batch oracle's bits/query"
+    );
+    assert!(
+        s.every_round_lowest_latency,
+        "per-round admission must set the latency floor"
+    );
+    // The deterministic schedule exposes the tradeoff itself: the
+    // coarsest window buys strictly more wave sharing than per-round
+    // admission, at strictly more latency.
+    for (rate, _) in &s.oracle_bits {
+        let row = |policy: &str| {
+            s.rows
+                .iter()
+                .find(|r| r.rate_percent == *rate && r.policy == policy)
+                .expect("swept policy")
+        };
+        let (fine, coarse) = (row("every-round"), row("window-16"));
+        assert!(
+            coarse.bits_per_query < fine.bits_per_query,
+            "rate {rate}: window-16 {} !< every-round {} bits/query",
+            coarse.bits_per_query,
+            fine.bits_per_query
+        );
+        assert!(
+            coarse.mean_latency > fine.mean_latency,
+            "rate {rate}: wider window should cost latency"
+        );
+        assert_eq!(coarse.retired, fine.retired, "every arrival retires");
     }
 }
 

@@ -168,6 +168,54 @@ fn fresh_nonce_sketches_do_not_pollute_the_cache() {
     assert_eq!(engine.network().cache_stats().evictions, 0);
 }
 
+#[test]
+fn cache_survives_across_streaming_admission_windows() {
+    // ISSUE-4 regression: the cross-run cache persistence above must
+    // extend to the streaming service loop — a warm-cache repeat
+    // submitted in a *later admission window* costs 0 payload bits.
+    use saq::core::streaming::{AdmissionPolicy, StreamingEngine};
+
+    let mut engine = StreamingEngine::with_policy(
+        deployment(13, 64),
+        saq::core::engine::BatchPolicy::Batched,
+        AdmissionPolicy::Window(4),
+    );
+    // Window 1 (round 0): the cold count pays the convergecast.
+    let cold = engine.submit(QuerySpec::Count(Predicate::TRUE));
+    let mut reports = engine.run_until_idle().unwrap();
+    let cold_rep = &reports[0];
+    assert_eq!(cold_rep.report.id, cold);
+    assert_eq!(cold_rep.report.outcome, Ok(QueryOutcome::Num(25)));
+    assert!(cold_rep.report.bits.partial_bits > 0);
+
+    // An idle round passes; the repeat arrives mid-stream (round 2,
+    // inside the window) and must wait for the round-4 admission.
+    assert!(engine.step().unwrap().is_empty());
+    let repeat = engine.submit(QuerySpec::Count(Predicate::TRUE));
+    let newcomer = engine.submit(QuerySpec::Sum(Predicate::TRUE));
+    reports = engine.run_until_idle().unwrap();
+    let by_id = |id, rs: &[saq::core::streaming::StreamingReport]| {
+        rs.iter()
+            .find(|r| r.report.id == id)
+            .cloned()
+            .expect("retired")
+    };
+    let repeat_rep = by_id(repeat, &reports);
+    let newcomer_rep = by_id(newcomer, &reports);
+    assert!(
+        repeat_rep.admitted_round > repeat_rep.submitted_round,
+        "the repeat really waited for a later admission window"
+    );
+    assert_eq!(repeat_rep.report.outcome, Ok(QueryOutcome::Num(25)));
+    // The warm repeat moved no payload: the root's cache answered it.
+    assert_eq!(repeat_rep.report.bits.request_bits, 0);
+    assert_eq!(repeat_rep.report.bits.partial_bits, 0);
+    // The newcomer sharing its wave still paid a real (reduced) wave.
+    assert!(newcomer_rep.report.bits.request_bits > 0);
+    assert!(newcomer_rep.report.bits.partial_bits > 0);
+    assert!(engine.network().cache_stats().hits > 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -1,0 +1,279 @@
+//! Property tests for the streaming engine (ISSUE-4): a streaming run
+//! whose admission points coincide with closed-batch boundaries is
+//! **bit-identical** to the equivalent sequence of closed-batch
+//! [`QueryEngine::run`] calls (answers, per-query `QueryBits`, wave
+//! counts, cache hit/miss counters, per-node bit statistics); total
+//! bits are **monotone non-increasing** as the admission window widens
+//! (coarser partitions merge waves and share more framing); and
+//! arbitrary mid-flight admission schedules never change any answer.
+
+use proptest::prelude::*;
+use saq::core::engine::{BatchPolicy, QueryEngine, QueryReport, QuerySpec};
+use saq::core::net::AggregationNetwork;
+use saq::core::predicate::{Domain, Predicate};
+use saq::core::simnet::{SimNetwork, SimNetworkBuilder};
+use saq::core::streaming::{AdmissionPolicy, StreamingEngine, StreamingReport};
+use saq::core::ApxCountConfig;
+use saq::netsim::topology::Topology;
+
+/// Random deployment: topology family, size and item skew drawn from
+/// the seeds; optional subtree caching.
+fn deployment(topo_seed: u64, cache: usize) -> SimNetwork {
+    let n = 9 + (topo_seed % 21) as usize; // 9..=29 nodes
+    let topo = match topo_seed % 3 {
+        0 => Topology::grid(3, n.div_ceil(3)).unwrap(),
+        1 => Topology::balanced_tree(n, 3).unwrap(),
+        _ => Topology::random_geometric(n, (6.0 / n as f64).sqrt().min(0.9), topo_seed).unwrap(),
+    };
+    let len = topo.len();
+    let items: Vec<u64> = (0..len as u64).map(|i| (i * 23 + topo_seed) % 64).collect();
+    SimNetworkBuilder::new()
+        .apx_config(ApxCountConfig::default().with_seed(0x5EED + topo_seed))
+        .partial_cache(cache)
+        .build_one_per_node(&topo, &items, 64)
+        .unwrap()
+}
+
+/// A shareable query drawn from a code: deterministic aggregates,
+/// sketches (whose nonces come from the submission ordinal, so aligned
+/// runs reproduce them bit-for-bit) and multi-round median plans.
+fn spec_from(code: u64) -> QuerySpec {
+    match code % 10 {
+        0 => QuerySpec::Count(Predicate::TRUE),
+        1 => QuerySpec::Count(Predicate::less_than(code % 64)),
+        2 => QuerySpec::Sum(Predicate::TRUE),
+        3 => QuerySpec::Min(Domain::Raw),
+        4 => QuerySpec::Max(Domain::Raw),
+        5 => QuerySpec::DistinctExact,
+        6 => QuerySpec::Quantile {
+            q: 0.25 + (code % 3) as f64 * 0.25,
+            eps: 0.2,
+        },
+        7 => QuerySpec::BottomK {
+            k: 1 + (code % 6) as u32,
+        },
+        8 => QuerySpec::Median,
+        _ => QuerySpec::ApxCount {
+            pred: Predicate::TRUE,
+            reps: 2,
+        },
+    }
+}
+
+/// Cuts `specs` into non-empty admission groups at the (deduplicated)
+/// cut fractions.
+fn partition(specs: &[QuerySpec], cuts: &[u64]) -> Vec<Vec<QuerySpec>> {
+    let mut idx: Vec<usize> = cuts
+        .iter()
+        .map(|c| (*c as usize) % specs.len())
+        .filter(|&i| i > 0)
+        .collect();
+    idx.sort_unstable();
+    idx.dedup();
+    let mut groups = Vec::new();
+    let mut prev = 0;
+    for i in idx {
+        groups.push(specs[prev..i].to_vec());
+        prev = i;
+    }
+    groups.push(specs[prev..].to_vec());
+    groups
+}
+
+/// Runs the groups through ONE streaming engine with idle-aligned
+/// admission, submitting each later group *mid-flight* (one round into
+/// its predecessor) so admission gating — not submission timing — is
+/// what aligns the boundaries. Returns the reports in submission order
+/// plus the engine for whole-network comparisons.
+fn run_streaming(
+    net: SimNetwork,
+    groups: &[Vec<QuerySpec>],
+) -> (Vec<StreamingReport>, StreamingEngine) {
+    let mut engine =
+        StreamingEngine::with_policy(net, BatchPolicy::Batched, AdmissionPolicy::WhenIdle);
+    let mut reports = Vec::new();
+    let mut iter = groups.iter();
+    if let Some(g) = iter.next() {
+        for s in g {
+            engine.submit(s.clone());
+        }
+    }
+    let mut next = iter.next();
+    while engine.in_service() || next.is_some() {
+        reports.extend(engine.step().expect("streaming round"));
+        // The next group arrives as soon as the current one has been
+        // *admitted* (usually while it is still mid-flight): WhenIdle
+        // holds exactly one group at the gate, so the admission
+        // boundaries reproduce the closed-batch grouping exactly.
+        if next.is_some() && engine.pending_queries() == 0 {
+            for s in next.take().expect("checked is_some") {
+                engine.submit(s.clone());
+            }
+            next = iter.next();
+        }
+    }
+    reports.sort_by_key(|r| r.report.id);
+    (reports, engine)
+}
+
+/// Runs the same groups as a sequence of closed batches on ONE batch
+/// engine (nonce ordinals continue across runs, mirroring the streaming
+/// engine's lifetime ordinals).
+fn run_batches(net: SimNetwork, groups: &[Vec<QuerySpec>]) -> (Vec<QueryReport>, QueryEngine) {
+    let mut engine = QueryEngine::new(net);
+    let mut reports = Vec::new();
+    for g in groups {
+        for s in g {
+            engine.submit(s.clone());
+        }
+        reports.extend(engine.run().expect("closed batch"));
+    }
+    (reports, engine)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Bit-identity: idle-aligned streaming == the equivalent closed
+    // batches, in every observable the engines expose.
+    #[test]
+    fn prop_aligned_streaming_is_bit_identical_to_closed_batches(
+        topo_seed in 0u64..1000,
+        codes in proptest::collection::vec(0u64..1000, 1..9),
+        cuts in proptest::collection::vec(0u64..64, 0..3),
+        cache_on in proptest::prelude::any::<bool>(),
+    ) {
+        let specs: Vec<QuerySpec> = codes.iter().map(|&c| spec_from(c)).collect();
+        let groups = partition(&specs, &cuts);
+        let cache = if cache_on { 32 } else { 0 };
+
+        let (sreports, streaming) = run_streaming(deployment(topo_seed, cache), &groups);
+        let (breports, batch) = run_batches(deployment(topo_seed, cache), &groups);
+
+        prop_assert_eq!(sreports.len(), breports.len());
+        for (s, b) in sreports.iter().zip(&breports) {
+            prop_assert_eq!(&s.report.spec, &b.spec);
+            prop_assert_eq!(&s.report.outcome, &b.outcome, "answer of {:?}", b.spec);
+            prop_assert_eq!(s.report.bits, b.bits, "bit bill of {:?}", b.spec);
+            prop_assert_eq!(s.report.waves, b.waves, "wave count of {:?}", b.spec);
+        }
+        prop_assert_eq!(streaming.waves_issued(), batch.waves_issued());
+        prop_assert_eq!(
+            streaming.network().cache_stats(),
+            batch.network().cache_stats(),
+            "cache hit/miss counters diverged"
+        );
+        let (ss, bs) = (
+            streaming.network().net_stats().unwrap(),
+            batch.network().net_stats().unwrap(),
+        );
+        for v in 0..ss.len() {
+            prop_assert_eq!(
+                ss.node(v).total_bits(),
+                bs.node(v).total_bits(),
+                "per-node bits diverged at node {}", v
+            );
+        }
+    }
+
+    // Monotonicity: coarsening the admission partition (wider windows)
+    // can only merge waves, so the total bill never grows — down to the
+    // single closed batch at the coarse end. Cache off: with caching, a
+    // repeat in a *later* window rides the cache for free while the
+    // merged wave pays its slot twice, which legitimately inverts the
+    // ordering.
+    #[test]
+    fn prop_total_bits_monotone_under_admission_coarsening(
+        topo_seed in 0u64..1000,
+        codes in proptest::collection::vec(0u64..1000, 2..9),
+        cuts in proptest::collection::vec(1u64..64, 1..4),
+    ) {
+        let specs: Vec<QuerySpec> = codes.iter().map(|&c| spec_from(c)).collect();
+        let fine = partition(&specs, &cuts);
+        // Nested coarsenings: merge adjacent pairs, then everything.
+        let paired: Vec<Vec<QuerySpec>> = fine
+            .chunks(2)
+            .map(|ch| ch.concat())
+            .collect();
+        let single = vec![specs.clone()];
+
+        let total = |groups: &[Vec<QuerySpec>]| {
+            let (reports, engine) = run_streaming(deployment(topo_seed, 0), groups);
+            let billed: u64 = reports.iter().map(|r| r.report.bits.total()).sum();
+            let outcomes: Vec<_> = reports
+                .into_iter()
+                .map(|r| r.report.outcome)
+                .collect();
+            let stats = engine.network().net_stats().unwrap();
+            let tx: u64 = (0..stats.len()).map(|v| stats.node(v).tx_bits).sum();
+            (billed, tx, outcomes)
+        };
+        let (fine_billed, fine_tx, fine_out) = total(&fine);
+        let (paired_billed, paired_tx, paired_out) = total(&paired);
+        let (single_billed, single_tx, single_out) = total(&single);
+
+        // Scheduling never changes answers (nonces ride submission
+        // ordinals, which every partition shares).
+        prop_assert_eq!(&fine_out, &paired_out);
+        prop_assert_eq!(&fine_out, &single_out);
+        // The transmit-side truth is monotone along the coarsening.
+        prop_assert!(
+            paired_tx <= fine_tx,
+            "pair-merged windows cost {} > fine {}", paired_tx, fine_tx
+        );
+        prop_assert!(
+            single_tx <= paired_tx,
+            "single batch cost {} > pair-merged {}", single_tx, paired_tx
+        );
+        // And so is the sum of honest per-query bills.
+        prop_assert!(paired_billed <= fine_billed);
+        prop_assert!(single_billed <= paired_billed);
+    }
+
+    // Arbitrary mid-flight admission (random windowed schedules, random
+    // submission rounds) never changes an answer — scheduling is a pure
+    // cost/latency decision.
+    #[test]
+    fn prop_random_admission_schedules_preserve_answers(
+        topo_seed in 0u64..1000,
+        codes in proptest::collection::vec(0u64..1000, 1..8),
+        window in 1u32..7,
+        gaps in proptest::collection::vec(0u64..5, 1..8),
+    ) {
+        let specs: Vec<QuerySpec> = codes.iter().map(|&c| spec_from(c)).collect();
+
+        // Oracle answers from one closed batch.
+        let mut oracle = QueryEngine::new(deployment(topo_seed, 0));
+        for s in &specs {
+            oracle.submit(s.clone());
+        }
+        let want: Vec<_> = oracle
+            .run()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.outcome)
+            .collect();
+
+        // Streaming: submissions staggered by the random gaps, admitted
+        // through a random fixed window.
+        let mut engine = StreamingEngine::with_policy(
+            deployment(topo_seed, 0),
+            BatchPolicy::Batched,
+            AdmissionPolicy::Window(window),
+        );
+        let mut reports = Vec::new();
+        for (i, s) in specs.iter().enumerate() {
+            engine.submit(s.clone());
+            for _ in 0..gaps[i % gaps.len()] {
+                reports.extend(engine.step().expect("round"));
+            }
+        }
+        reports.extend(engine.run_until_idle().expect("drain"));
+        reports.sort_by_key(|r| r.report.id);
+
+        prop_assert_eq!(reports.len(), specs.len());
+        for (r, w) in reports.iter().zip(&want) {
+            prop_assert_eq!(&r.report.outcome, w, "answer of {:?}", r.report.spec);
+        }
+    }
+}
