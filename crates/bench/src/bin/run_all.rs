@@ -1,4 +1,4 @@
-//! Runs every experiment (E1-E14) in sequence. Pass `--quick` for the
+//! Runs every experiment (E1-E15) in sequence. Pass `--quick` for the
 //! reduced sweeps used in CI; the full configuration is the one recorded
 //! in EXPERIMENTS.md.
 
@@ -22,5 +22,6 @@ fn main() {
     let _ = e12_batching::run(scale);
     let _ = e13_sharding::run(scale);
     let _ = e14_streaming::run(scale);
+    let _ = e15_continuous::run(scale);
     println!("\nall experiments complete.");
 }

@@ -66,6 +66,10 @@ pub struct Summary {
     /// Whether per-round admission had the lowest mean latency at every
     /// rate.
     pub every_round_lowest_latency: bool,
+    /// Whether, under the deadline policy, every query was admitted
+    /// within its declared slack — the per-query latency bound
+    /// deadline-aware windows buy inside a coarse admission window.
+    pub deadline_queueing_bounded: bool,
 }
 
 /// Deterministic "Poisson-ish" arrival schedule: `lcg(t)` decides
@@ -110,8 +114,15 @@ struct StreamOutcome {
 
 /// Drives one streaming run: submissions per the arrival schedule over
 /// `horizon` rounds, then a drain, checking the transport footprint
-/// between rounds throughout.
-fn run_stream(policy: AdmissionPolicy, rate: u32, horizon: u64) -> StreamOutcome {
+/// between rounds throughout. With `deadline_slack` set, every
+/// submission carries an admission deadline `slack` rounds out —
+/// the per-query knob that pulls it through a closed window.
+fn run_stream(
+    policy: AdmissionPolicy,
+    rate: u32,
+    horizon: u64,
+    deadline_slack: Option<u64>,
+) -> StreamOutcome {
     let mut engine =
         StreamingEngine::with_policy(deployment(), saq_core::engine::BatchPolicy::Batched, policy);
     let mut reports = Vec::new();
@@ -119,7 +130,14 @@ fn run_stream(policy: AdmissionPolicy, rate: u32, horizon: u64) -> StreamOutcome
     let mut submitted = 0usize;
     for t in 0..horizon {
         if arrives(t, rate, 0xE14) {
-            engine.submit(spec_for(submitted));
+            match deadline_slack {
+                Some(slack) => {
+                    engine.submit_with_deadline(spec_for(submitted), t + slack);
+                }
+                None => {
+                    engine.submit(spec_for(submitted));
+                }
+            }
             submitted += 1;
         }
         reports.extend(engine.step().expect("streaming round"));
@@ -172,11 +190,17 @@ pub fn run(scale: Scale) -> Summary {
         Scale::Quick => (1100, &[10, 40]),
         Scale::Full => (4000, &[5, 20, 60]),
     };
-    let policies: &[(&'static str, AdmissionPolicy)] = &[
-        ("every-round", AdmissionPolicy::EveryRound),
-        ("window-4", AdmissionPolicy::Window(4)),
-        ("window-16", AdmissionPolicy::Window(16)),
-        ("when-idle", AdmissionPolicy::WhenIdle),
+    /// Deadline slack (rounds) for the deadline-aware window policy.
+    const DL_SLACK: u64 = 6;
+    let policies: &[(&'static str, AdmissionPolicy, Option<u64>)] = &[
+        ("every-round", AdmissionPolicy::EveryRound, None),
+        ("window-4", AdmissionPolicy::Window(4), None),
+        ("window-16", AdmissionPolicy::Window(16), None),
+        // The same coarse window, but every query carries a 6-round
+        // admission deadline: latency is bounded per query while wave
+        // sharing inside the slack is kept.
+        ("win16+dl6", AdmissionPolicy::Window(16), Some(DL_SLACK)),
+        ("when-idle", AdmissionPolicy::WhenIdle, None),
     ];
     println!("N = 49, horizon = {horizon} rounds, arrival rates {rates:?}%/round\n");
 
@@ -195,16 +219,21 @@ pub fn run(scale: Scale) -> Summary {
     let mut max_rounds = 0;
     let mut oracle_cheapest = true;
     let mut every_round_lowest_latency = true;
+    let mut deadline_queueing_bounded = true;
 
     for &rate in rates {
         let oracle = run_oracle(rate, horizon);
         let mut every_round_latency = f64::INFINITY;
         let mut rate_rows = Vec::new();
-        for (label, policy) in policies {
-            let out = run_stream(*policy, rate, horizon);
+        for (label, policy, slack) in policies {
+            let out = run_stream(*policy, rate, horizon, *slack);
             let stats = ServiceStats::from_reports(&out.reports);
             footprint_flat &= out.footprint_flat;
             max_rounds = max_rounds.max(out.rounds);
+            if let Some(slack) = slack {
+                deadline_queueing_bounded &=
+                    out.reports.iter().all(|r| r.queueing_rounds() <= *slack);
+            }
             if stats.mean_bits_per_query < oracle - 1e-9 {
                 oracle_cheapest = false;
             }
@@ -254,7 +283,8 @@ pub fn run(scale: Scale) -> Summary {
     );
     println!(
         "oracle (one closed batch) sets the bits/query floor: {oracle_cheapest}; \
-         per-round admission sets the latency floor: {every_round_lowest_latency}"
+         per-round admission sets the latency floor: {every_round_lowest_latency}; \
+         deadline queries admitted within their {DL_SLACK}-round slack: {deadline_queueing_bounded}"
     );
 
     Summary {
@@ -264,5 +294,6 @@ pub fn run(scale: Scale) -> Summary {
         max_rounds,
         oracle_cheapest,
         every_round_lowest_latency,
+        deadline_queueing_bounded,
     }
 }

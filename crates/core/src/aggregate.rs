@@ -49,6 +49,34 @@ pub struct ItemRef {
     pub value: Value,
 }
 
+/// Outcome of [`PartialAggregate::apply_delta`]: whether (and how
+/// faithfully) an item update was folded into an existing partial
+/// without re-aggregating the underlying multiset.
+///
+/// The continuous-aggregate machinery (`saq_core::continuous`,
+/// `saq_protocols::wave::WaveRunner::set_items`) uses this to keep
+/// cached subtree partials *valid across item updates*: `Exact` and
+/// `Certified` entries stay resident — a standing query's refresh then
+/// reads them for zero payload bits — while `Unsupported` entries are
+/// invalidated (loudly, per entry) and repaired by the next refresh's
+/// dirty-path convergecast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaSupport {
+    /// The delta was applied **exactly**: the updated partial is equal to
+    /// what a fresh re-aggregation over the updated multiset would
+    /// produce (bit-identical on the wire).
+    Exact,
+    /// The delta was applied within the aggregate's declared equivalence
+    /// but not necessarily bit-identically — a GK summary re-contributed
+    /// and pruned still carries a *valid* certified rank-error bound
+    /// ([`saq_sketches::QuantileSummary::max_rank_error`]), but its
+    /// entries may differ from a bottom-up rebuild's.
+    Certified,
+    /// The update cannot be folded in: the caller must invalidate the
+    /// cached partial and recompute it from the subtree.
+    Unsupported,
+}
+
 /// A two-step aggregate: mergeable partial state plus a final accessor.
 ///
 /// Laws (checked by the `tests/partial_aggregation.rs` integration
@@ -129,6 +157,32 @@ pub trait PartialAggregate {
             self.contribute(&mut p, item);
         }
         p
+    }
+
+    /// Folds an item update — `removed` items leaving the summarized
+    /// multiset, `added` items entering it — into an existing partial
+    /// **in place**, without access to the rest of the multiset.
+    ///
+    /// Contract: when this returns [`DeltaSupport::Exact`], `p` must
+    /// equal `partial_over(multiset ∖ removed ∪ added)` for every
+    /// multiset consistent with the pre-call `p`; when it returns
+    /// [`DeltaSupport::Certified`], `p` must stay within the aggregate's
+    /// declared equivalence (e.g. a still-valid rank-error certificate).
+    /// When the update cannot be folded in soundly — including any
+    /// *suspicion* of unsoundness, such as removing a value that ties a
+    /// min/max partial's extremum — the implementation MUST leave `p`
+    /// unchanged-or-garbage and return [`DeltaSupport::Unsupported`] so
+    /// the caller invalidates; guessing is never allowed.
+    ///
+    /// The default declines every delta, which preserves the historical
+    /// invalidate-on-mutation behavior for aggregates that do not opt in.
+    fn apply_delta(
+        &self,
+        _p: &mut Self::Partial,
+        _removed: &[ItemRef],
+        _added: &[ItemRef],
+    ) -> DeltaSupport {
+        DeltaSupport::Unsupported
     }
 }
 
@@ -220,6 +274,36 @@ impl PartialAggregate for MinMaxAgg {
     fn finalize(&self, p: &Option<Value>) -> Option<Value> {
         *p
     }
+
+    /// Additions always merge in exactly. A removal is exact only when
+    /// the removed (domain-mapped) value is strictly inside the partial —
+    /// for MIN, strictly above the recorded minimum — because then it
+    /// provably never was the extremum. Removing a value that *ties* the
+    /// extremum is declined: another item elsewhere in the summarized
+    /// multiset may or may not attain it, and the partial cannot tell.
+    fn apply_delta(
+        &self,
+        p: &mut Option<Value>,
+        removed: &[ItemRef],
+        added: &[ItemRef],
+    ) -> DeltaSupport {
+        for item in removed {
+            let v = self.map(item.value);
+            let sound = match (*p, self.op) {
+                // Removing from an empty partial is inconsistent input.
+                (None, _) => false,
+                (Some(min), MinMaxOp::Min) => v > min,
+                (Some(max), MinMaxOp::Max) => v < max,
+            };
+            if !sound {
+                return DeltaSupport::Unsupported;
+            }
+        }
+        for item in added {
+            self.contribute(p, *item);
+        }
+        DeltaSupport::Exact
+    }
 }
 
 /// Whether a [`CountSumAgg`] counts or sums matching items.
@@ -272,6 +356,31 @@ impl PartialAggregate for CountSumAgg {
 
     fn finalize(&self, p: &u64) -> u64 {
         *p
+    }
+
+    /// Counts and sums form a group: the delta is the signed difference
+    /// of the removed and added contributions — always exact. Underflow
+    /// (removing more than the partial holds) means the caller's delta is
+    /// inconsistent with this partial, so it is declined rather than
+    /// clamped.
+    fn apply_delta(&self, p: &mut u64, removed: &[ItemRef], added: &[ItemRef]) -> DeltaSupport {
+        let weigh = |items: &[ItemRef]| -> u64 {
+            items
+                .iter()
+                .filter(|it| self.pred.eval(it.value))
+                .map(|it| match self.op {
+                    CountSumOp::Count => 1,
+                    CountSumOp::Sum => it.value,
+                })
+                .sum()
+        };
+        match p.checked_sub(weigh(removed)) {
+            Some(rest) => {
+                *p = rest + weigh(added);
+                DeltaSupport::Exact
+            }
+            None => DeltaSupport::Unsupported,
+        }
     }
 }
 
@@ -665,6 +774,49 @@ impl PartialAggregate for QuantileAgg {
     fn finalize(&self, p: &QuantileSummary) -> QuantileSummary {
         p.clone()
     }
+
+    /// Re-contribute-and-prune: newly **added** items merge into the
+    /// cached summary as one exact sub-summary
+    /// ([`QuantileSummary::absorb_sorted`]). Merging an *exact* summary
+    /// adds **zero** rank-interval width, so the certificate
+    /// ([`QuantileSummary::max_rank_error`]) stays valid and — crucially
+    /// — the summary's conformance to its provisioned `ε·N` bound can
+    /// never drift, no matter how many insertion deltas accumulate
+    /// (pruning here instead would add `count/(2·budget)` error per
+    /// delta, unbounded over a standing query's lifetime). The pruning
+    /// half of the discipline is *deferred* to the wave layer: when the
+    /// grown entry is next merged upward, [`QuantileAgg::merge`] prunes
+    /// it under the budget that was provisioned for exactly those
+    /// merges. To bound memory and wire growth the entry may grow only
+    /// to twice its pruned size; a larger insertion burst declines, and
+    /// the dirty-path refresh rebuilds the entry under the standard
+    /// per-merge prune discipline. The result is
+    /// [`DeltaSupport::Certified`], not exact: a bottom-up rebuild would
+    /// prune at different intermediate shapes. Removals are declined —
+    /// values cannot be deleted from a pruned summary — so value
+    /// *changes* (a removal plus an addition) fall back to invalidation
+    /// and a dirty-path rebuild.
+    fn apply_delta(
+        &self,
+        p: &mut QuantileSummary,
+        removed: &[ItemRef],
+        added: &[ItemRef],
+    ) -> DeltaSupport {
+        if !removed.is_empty() {
+            return DeltaSupport::Unsupported;
+        }
+        if added.is_empty() {
+            return DeltaSupport::Exact;
+        }
+        let slack = 2 * (self.budget.max(1) as usize + 1);
+        if p.len() + added.len() > slack {
+            return DeltaSupport::Unsupported;
+        }
+        let mut vals: Vec<Value> = added.iter().map(|it| it.value).collect();
+        vals.sort_unstable();
+        p.absorb_sorted(&vals);
+        DeltaSupport::Certified
+    }
 }
 
 /// Bottom-k (KMV) uniform value sample over active items — the ODI
@@ -762,6 +914,48 @@ impl PartialAggregate for BottomKAgg {
     /// other statistic of the uniform sample.
     fn finalize(&self, p: &BottomK) -> Vec<Value> {
         p.sample()
+    }
+
+    /// Exact, because the sample is keyed by stable item *identity*: a
+    /// value change of a retained identity updates the stored pair in
+    /// place; one whose key lies above the retained range (a full sample
+    /// never held it and never will — later insertions only shrink the
+    /// k-th key) is a no-op; insertions are the ordinary ODI insert.
+    /// Removing a *retained* identity is declined — the evicted
+    /// (k+1)-smallest key is unknowable from the partial alone.
+    fn apply_delta(&self, p: &mut BottomK, removed: &[ItemRef], added: &[ItemRef]) -> DeltaSupport {
+        // Pair removals with additions sharing an item identity: those
+        // are in-place value updates of one (node, slot).
+        let mut additions: Vec<(ItemRef, bool)> = added.iter().map(|&it| (it, false)).collect();
+        for r in removed {
+            let key = self.hash.hash_pair(r.node, r.slot);
+            let update = additions
+                .iter_mut()
+                .find(|(a, used)| !used && a.node == r.node && a.slot == r.slot);
+            if let Some((a, used)) = update {
+                let value = a.value;
+                *used = true;
+                if p.set_value(key, value) {
+                    continue; // retained identity: exact in-place update
+                }
+            } else if p.contains_key(key) {
+                // True removal of a retained identity: unknowable backfill.
+                return DeltaSupport::Unsupported;
+            }
+            // Key not retained: sound as a no-op only when the sample is
+            // full (the key provably sits above the k-th smallest);
+            // a non-full sample retains every key it ever saw, so a miss
+            // means the delta is inconsistent with this partial.
+            if p.len() < p.k() {
+                return DeltaSupport::Unsupported;
+            }
+        }
+        for (a, used) in additions {
+            if !used {
+                p.insert(self.hash.hash_pair(a.node, a.slot), a.value);
+            }
+        }
+        DeltaSupport::Exact
     }
 }
 
@@ -976,6 +1170,193 @@ mod tests {
         let s = w.finish();
         let mut r = BitReader::new(&s);
         assert!(agg.decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn countsum_delta_is_exact_and_rejects_underflow() {
+        let sum = CountSumAgg {
+            op: CountSumOp::Sum,
+            pred: Predicate::less_than(100),
+        };
+        let base = [item(5), item(20), item(7)];
+        let mut p = sum.partial_over(base);
+        // Replace 20 (filtered out? no: < 100) with 150 (filtered out).
+        assert_eq!(
+            sum.apply_delta(&mut p, &[item(20)], &[item(150)]),
+            DeltaSupport::Exact
+        );
+        assert_eq!(p, sum.partial_over([item(5), item(7), item(150)]));
+        // Removing more than the partial holds is inconsistent input.
+        let mut small = sum.partial_over([item(3)]);
+        assert_eq!(
+            sum.apply_delta(&mut small, &[item(50)], &[]),
+            DeltaSupport::Unsupported
+        );
+    }
+
+    #[test]
+    fn minmax_delta_declines_extremum_removal() {
+        let min = MinMaxAgg {
+            op: MinMaxOp::Min,
+            domain: Domain::Raw,
+            xbar: 100,
+        };
+        let mut p = min.partial_over([item(9), item(3), item(40)]);
+        // Removing a non-extremal value and adding a new minimum: exact.
+        assert_eq!(
+            min.apply_delta(&mut p, &[item(40)], &[item(2)]),
+            DeltaSupport::Exact
+        );
+        assert_eq!(p, Some(2));
+        // Removing the value that ties the minimum: unknowable.
+        assert_eq!(
+            min.apply_delta(&mut p, &[item(2)], &[item(50)]),
+            DeltaSupport::Unsupported
+        );
+        let max = MinMaxAgg {
+            op: MinMaxOp::Max,
+            domain: Domain::Log,
+            xbar: 1 << 20,
+        };
+        // Log domain: 1<<10 and (1<<10)+5 share an octave, so removing
+        // one while the mapped maximum is that octave is a tie.
+        let mut q = max.partial_over([item(1 << 10), item(4)]);
+        assert_eq!(
+            max.apply_delta(&mut q, &[item((1 << 10) + 5)], &[]),
+            DeltaSupport::Unsupported
+        );
+    }
+
+    #[test]
+    fn bottom_k_delta_matches_fresh_sample() {
+        let agg = BottomKAgg::new(8, 1000, 7, 42);
+        let base: Vec<ItemRef> = (0..50).map(item).collect();
+        let mut p = agg.partial_over(base.iter().copied());
+        // Value update of every identity (the sensor-refresh case):
+        // pair each removal with an addition at the same (node, slot).
+        let removed: Vec<ItemRef> = base.clone();
+        let added: Vec<ItemRef> = base
+            .iter()
+            .map(|it| ItemRef {
+                node: it.node,
+                slot: it.slot,
+                value: (it.value * 13) % 1000,
+            })
+            .collect();
+        assert_eq!(
+            agg.apply_delta(&mut p, &removed, &added),
+            DeltaSupport::Exact
+        );
+        assert_eq!(p, agg.partial_over(added.iter().copied()), "bit-exact");
+        // Pure insertion of a new identity: exact too.
+        let newcomer = ItemRef {
+            node: 999,
+            slot: 0,
+            value: 77,
+        };
+        let mut q = agg.partial_over(added.iter().copied());
+        assert_eq!(
+            agg.apply_delta(&mut q, &[], &[newcomer]),
+            DeltaSupport::Exact
+        );
+        let mut all = added.clone();
+        all.push(newcomer);
+        assert_eq!(q, agg.partial_over(all.iter().copied()));
+        // Removing a retained identity cannot be backfilled.
+        let sampled_identity = {
+            let sample_keys: Vec<u64> = q.entries().iter().map(|e| e.0).collect();
+            *all.iter()
+                .find(|it| {
+                    sample_keys.contains(
+                        &BottomKAgg::new(8, 1000, 7, 42)
+                            .hash
+                            .hash_pair(it.node, it.slot),
+                    )
+                })
+                .expect("some item is sampled")
+        };
+        assert_eq!(
+            agg.apply_delta(&mut q, &[sampled_identity], &[]),
+            DeltaSupport::Unsupported
+        );
+    }
+
+    #[test]
+    fn quantile_delta_recontributes_with_valid_certificate() {
+        let agg = QuantileAgg {
+            budget: 8,
+            xbar: 2000,
+        };
+        let base: Vec<ItemRef> = (0..500).map(item).collect();
+        let mut p = agg.partial_over(base.iter().copied());
+        let pre_err = p.max_rank_error();
+        // A small addition absorbs exactly (no prune, no added error):
+        // the certificate stays valid and conformance cannot drift.
+        let added: Vec<ItemRef> = (500..506).map(item).collect();
+        assert_eq!(
+            agg.apply_delta(&mut p, &[], &added),
+            DeltaSupport::Certified
+        );
+        assert_eq!(p.count(), 506);
+        assert!(p.len() <= 2 * 9, "growth bounded by the 2x slack");
+        assert!(
+            p.max_rank_error() <= pre_err,
+            "absorbing an exact sub-summary must not add rank error"
+        );
+        let med = p.query_rank(253).unwrap();
+        let err = p.max_rank_error();
+        assert!(
+            (med + 1).abs_diff(253) <= err,
+            "median {med} outside certified ±{err}"
+        );
+        // Error stays non-accumulating across a LONG insertion stream:
+        // each delta either absorbs exactly or declines — it never
+        // prunes — so a standing quantile cannot drift past its
+        // provisioned ε·N (the review-found accumulation bug).
+        let mut q = agg.partial_over(base.iter().copied());
+        let baseline = q.max_rank_error();
+        let mut declined = 0;
+        for round in 0..50u64 {
+            let one = [item(700 + round)];
+            match agg.apply_delta(&mut q, &[], &one) {
+                DeltaSupport::Certified => {
+                    assert!(q.max_rank_error() <= baseline, "error accumulated");
+                }
+                DeltaSupport::Unsupported => declined += 1,
+                DeltaSupport::Exact => unreachable!("insertions are certified"),
+            }
+        }
+        assert!(declined > 0, "the slack bound must eventually decline");
+        assert!(q.len() <= 2 * 9);
+        // An oversized burst declines up front (entry unchanged)…
+        let burst: Vec<ItemRef> = (800..1000).map(item).collect();
+        let before = q.clone();
+        assert_eq!(
+            agg.apply_delta(&mut q, &[], &burst),
+            DeltaSupport::Unsupported
+        );
+        assert_eq!(q, before, "declined delta must not touch the partial");
+        // …and removals (value changes) are declined too.
+        assert_eq!(
+            agg.apply_delta(&mut q, &[item(3)], &[item(9)]),
+            DeltaSupport::Unsupported
+        );
+    }
+
+    #[test]
+    fn unsupported_aggregates_decline_deltas() {
+        let collect = CollectAgg { xbar: 100 };
+        let mut p = collect.partial_over([item(1), item(2)]);
+        assert_eq!(
+            collect.apply_delta(&mut p, &[item(1)], &[item(3)]),
+            DeltaSupport::Unsupported
+        );
+        let distinct = DistinctSetAgg { xbar: 100 };
+        let mut s = distinct.partial_over([item(1), item(2)]);
+        assert_eq!(
+            distinct.apply_delta(&mut s, &[item(1)], &[item(3)]),
+            DeltaSupport::Unsupported
+        );
     }
 
     #[test]

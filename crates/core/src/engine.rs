@@ -110,6 +110,32 @@ pub enum QuerySpec {
     },
 }
 
+impl QuerySpec {
+    /// Whether this spec compiles to a plan that mutates item state
+    /// (`APX_MEDIAN2`'s zoom stages) and therefore runs exclusively —
+    /// and can never be registered as a standing query.
+    pub fn mutates_items(&self) -> bool {
+        matches!(self, QuerySpec::ApxMedian2 { .. })
+    }
+
+    /// Whether this spec's plan draws **fresh** sketch randomness per
+    /// invocation (`REP_COUNTP`-style nonces). Such specs are not
+    /// delta-maintainable: their sub-requests never repeat, so cached
+    /// subtree partials can never serve them, and re-running them as a
+    /// standing query would either correlate randomness across refreshes
+    /// or pay a full convergecast every period. Standing registration
+    /// rejects them loudly.
+    pub fn draws_fresh_randomness(&self) -> bool {
+        matches!(
+            self,
+            QuerySpec::ApxCount { .. }
+                | QuerySpec::DistinctApx { .. }
+                | QuerySpec::ApxMedian { .. }
+                | QuerySpec::ApxMedian2 { .. }
+        )
+    }
+}
+
 /// A finished query's answer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryOutcome {

@@ -40,6 +40,7 @@
 pub mod aggregate;
 pub mod apx_median;
 pub mod apx_median2;
+pub mod continuous;
 pub mod count_distinct;
 pub mod counting;
 pub mod engine;
@@ -54,9 +55,10 @@ pub mod simnet;
 pub mod streaming;
 pub mod wave_proto;
 
-pub use aggregate::{BottomKAgg, ItemRef, PartialAggregate, QuantileAgg};
+pub use aggregate::{BottomKAgg, DeltaSupport, ItemRef, PartialAggregate, QuantileAgg};
 pub use apx_median::{ApxMedian, ApxMedianOutcome};
 pub use apx_median2::{ApxMedian2, ApxMedian2Outcome};
+pub use continuous::{ContinuousEngine, ContinuousRound, RefreshReport, StandingId};
 pub use count_distinct::CountDistinct;
 pub use counting::ApxCountConfig;
 pub use engine::{BatchPolicy, QueryEngine, QueryOutcome, QueryReport, QuerySpec};

@@ -22,7 +22,8 @@ use saq_netsim::stats::NetStats;
 use saq_netsim::topology::Topology;
 use saq_protocols::wave::Reliability;
 use saq_protocols::{
-    MultiplexWave, MuxLedger, MuxSlotBits, ShardedWaveRunner, SpanningTree, WaveRunner,
+    MultiplexWave, MuxLedger, MuxSlotBits, ShardedWaveRunner, SpanningTree, WaveProtocol,
+    WaveRunner,
 };
 use std::sync::{Arc, Mutex};
 
@@ -427,6 +428,48 @@ impl SimNetwork {
     /// cache is disabled — see [`SimNetworkBuilder::partial_cache`]).
     pub fn cache_stats(&self) -> saq_protocols::CacheStats {
         self.runner.cache_stats()
+    }
+
+    /// Replaces the items hosted by `node` — the driver-side sensor
+    /// update feeding the continuous-aggregate machinery. Not charged as
+    /// communication (the established `set_items` convention); subtree
+    /// partial caches along the node's root path are **delta-maintained**:
+    /// entries whose aggregates support [`crate::aggregate::DeltaSupport`]
+    /// absorb the update in place and keep serving standing-query
+    /// refreshes for zero payload bits, the rest are invalidated
+    /// individually and repaired by the next refresh's dirty-path wave.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidParameter`] when `node` is out of range and
+    /// [`QueryError::ItemOutOfRange`] when a value exceeds the declared
+    /// `X̄`, both before any state changes.
+    pub fn set_node_items(&mut self, node: usize, values: Vec<Value>) -> Result<(), QueryError> {
+        if node >= self.runner.len() {
+            return Err(QueryError::InvalidParameter(
+                "item update addresses a node outside the network",
+            ));
+        }
+        for &v in &values {
+            if v > self.xbar {
+                return Err(QueryError::ItemOutOfRange {
+                    item: v,
+                    xbar: self.xbar,
+                });
+            }
+        }
+        self.runner
+            .set_items(node, values.into_iter().map(SimItem::new).collect());
+        Ok(())
+    }
+
+    /// Wire size, in bits, of one sub-request as this deployment encodes
+    /// it — what the streaming engine's bit-budget admission control uses
+    /// to *project* a round's envelope before any message flies.
+    pub fn request_wire_bits(&self, req: &CoreRequest) -> u64 {
+        let mut w = saq_netsim::wire::BitWriter::new();
+        self.core_proto().encode_request(req, &mut w);
+        w.finish().len_bits()
     }
 
     /// Network-wide transport-state occupancy

@@ -11,13 +11,33 @@
 //! waves deep), and finished queries retire immediately with an
 //! incremental [`StreamingReport`] carrying their latency in rounds.
 //!
+//! The loop also hosts the **standing queries** of the continuous
+//! subsystem ([`crate::continuous::ContinuousEngine`]): a standing query
+//! is registered once and re-answered every `k` rounds by a refresh slot
+//! that rides the ordinary shared waves — delta-maintained subtree
+//! caches (see `saq_protocols::cache`) make a refresh under sparse item
+//! updates cost only the dirty-path bits, down to zero when nothing
+//! changed.
+//!
 //! ## Scheduling
 //!
 //! Each [`StreamingEngine::step`] executes one scheduling round:
 //!
+//! 0. **Standing refreshes** — every registered standing query due this
+//!    round (its period divides the rounds since registration, and no
+//!    earlier refresh is still in flight) enters the active set
+//!    directly, bypassing the admission queue: it was admitted once, at
+//!    registration.
 //! 1. **Admission** — if the [`AdmissionPolicy`] opens the window this
 //!    round, every pending query moves into the active set (stamped with
-//!    its admission round).
+//!    its admission round). A query submitted with a **deadline**
+//!    ([`StreamingEngine::submit_with_deadline`]) is admitted even
+//!    through a closed window once its deadline round arrives. When a
+//!    per-node **bit budget** is set
+//!    ([`StreamingEngine::set_bit_budget`]), admission stops for the
+//!    round as soon as the projected request envelope — staged ops plus
+//!    the candidate — would exceed it; the remaining queries wait,
+//!    bounding per-round energy (the quantity the paper's model prices).
 //! 2. **Shared wave** — the pending ops of every active *shareable*
 //!    (non-item-mutating) query are multiplexed into one wave
 //!    ([`BatchPolicy::Batched`]) or issued one wave each
@@ -57,15 +77,24 @@
 //! drives thousands of rounds and asserts the transport footprint stays
 //! flat ([`SimNetwork::transport_footprint`]).
 
+use crate::continuous::{RefreshReport, StandingId, STANDING_QUERY_ID_BASE};
 use crate::engine::{
     compile_plan, fail_in_flight, issue_shared_wave, BatchPolicy, QueryId, QueryReport, QuerySlot,
-    QuerySpec,
+    QuerySpec, SlotState,
 };
 use crate::error::QueryError;
 use crate::net::AggregationNetwork;
 use crate::simnet::SimNetwork;
 use crate::wave_proto::CoreRequest;
 use std::collections::VecDeque;
+
+/// The reserved nonce ordinal standing-refresh slots are built with.
+/// Standing specs are vetted at registration to never draw sketch
+/// nonces ([`QuerySpec::draws_fresh_randomness`]), so sharing one
+/// ordinal across arbitrarily many refreshes is sound — and it keeps an
+/// unbounded refresh stream from exhausting the engine's 32768-query
+/// nonce space.
+const STANDING_NONCE_ORDINAL: u32 = 0x7FFF;
 
 /// When pending submissions are admitted into the active wave set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,6 +171,13 @@ struct StreamSlot {
     staged: Option<CoreRequest>,
     submitted_round: u64,
     admitted_round: u64,
+    /// Latest admission round this query tolerates: it is pulled through
+    /// a closed admission window once `round >= deadline`.
+    deadline: Option<u64>,
+    /// Set when this slot is one refresh of a standing query: `(standing
+    /// id, refresh ordinal)`. Such slots retire into
+    /// [`RefreshReport`]s instead of the caller-visible report stream.
+    standing: Option<(StandingId, u64)>,
 }
 
 impl StreamSlot {
@@ -202,12 +238,40 @@ pub struct StreamingEngine {
     pending: VecDeque<StreamSlot>,
     /// Admitted and executing (admission = submission order).
     active: Vec<StreamSlot>,
+    /// Registered standing queries, indexed by [`StandingId`]
+    /// (deregistered entries stay as tombstones so ids never recycle).
+    standing: Vec<StandingEntry>,
+    /// Completed standing refreshes awaiting
+    /// [`StreamingEngine::drain_refreshes`].
+    refreshes: Vec<RefreshReport>,
+    /// Per-node request-envelope bit budget gating admission (`None` =
+    /// unbounded, bit-identical to the pre-budget engine).
+    bit_budget: Option<u64>,
     /// Engine-lifetime submission counter: the [`QueryId`] *and* the
     /// sketch-nonce ordinal, shared with the batch engine's space.
     submitted: u32,
     rounds: u64,
     waves: u64,
     wave_log: Option<Vec<Vec<QueryId>>>,
+}
+
+/// One registered standing query (see
+/// [`crate::continuous::ContinuousEngine`]).
+struct StandingEntry {
+    spec: QuerySpec,
+    /// Refresh period in rounds (`>= 1`).
+    every: u64,
+    /// Round of registration — the first refresh fires here, later ones
+    /// every `every` rounds after it.
+    registered_round: u64,
+    /// Next refresh ordinal (counts fired refreshes).
+    seq: u64,
+    /// Whether a refresh slot is currently in the active set. A due tick
+    /// that finds the previous refresh still in flight is skipped rather
+    /// than queued — standing queries never pile up behind themselves.
+    in_flight: bool,
+    /// Cleared by deregistration; in-flight refreshes still retire.
+    active: bool,
 }
 
 impl StreamingEngine {
@@ -225,6 +289,9 @@ impl StreamingEngine {
             admission,
             pending: VecDeque::new(),
             active: Vec::new(),
+            standing: Vec::new(),
+            refreshes: Vec::new(),
+            bit_budget: None,
             submitted: 0,
             rounds: 0,
             waves: 0,
@@ -305,9 +372,128 @@ impl StreamingEngine {
             staged: None,
             submitted_round: self.rounds,
             admitted_round: 0,
+            deadline: None,
+            standing: None,
         });
         self.submitted = self.submitted.wrapping_add(1);
         id
+    }
+
+    /// Submits a query with a per-query admission deadline: it waits for
+    /// the admission window like every other pending query, but is
+    /// pulled through a *closed* window once the round counter reaches
+    /// `admit_by` — the latency/sharing knob of
+    /// [`AdmissionPolicy::Window`] made per-query. A deadline at or
+    /// before the current round admits at the very next step.
+    pub fn submit_with_deadline(&mut self, spec: QuerySpec, admit_by: u64) -> QueryId {
+        let id = self.submit(spec);
+        self.pending
+            .back_mut()
+            .expect("submit just pushed this slot")
+            .deadline = Some(admit_by);
+        id
+    }
+
+    /// Caps the **projected per-node request envelope** of a round, in
+    /// bits: each [`StreamingEngine::step`] stops admitting pending
+    /// queries as soon as the round's staged sub-requests plus the
+    /// candidate's first op would exceed the budget (they stay queued,
+    /// in order, for later rounds). Projection covers the request
+    /// broadcast — the side of the wave whose size is knowable before
+    /// any bit flies; partial sizes are data-dependent. Ops already
+    /// staged by mid-flight queries are commitments and are never
+    /// blocked, and standing refreshes (periodic, registered once) are
+    /// admitted outside the budget too. Two starvation safeguards: a
+    /// query whose envelope exceeds the budget *even alone* is rejected
+    /// loudly at admission (it retires with
+    /// [`QueryError::InvalidParameter`] rather than queueing forever),
+    /// and a due [`StreamingEngine::submit_with_deadline`] deadline
+    /// overrides the budget — the per-query escape hatch when periodic
+    /// load saturates it. `None` (the default) disables the check
+    /// entirely and is bit-identical to an unlimited budget.
+    pub fn set_bit_budget(&mut self, budget: Option<u64>) {
+        self.bit_budget = budget;
+    }
+
+    /// The configured per-round request-envelope budget.
+    pub fn bit_budget(&self) -> Option<u64> {
+        self.bit_budget
+    }
+
+    /// Registers a **standing query**: `spec` is re-answered every
+    /// `every` rounds, indefinitely, by refresh slots that ride the
+    /// ordinary shared waves (the first refresh fires at the next
+    /// [`StreamingEngine::step`]). Completed refreshes accumulate for
+    /// [`StreamingEngine::drain_refreshes`]. With subtree partial
+    /// caching enabled, a refresh under sparse item updates pays only
+    /// the dirty-path bits — zero when nothing changed since the last
+    /// refresh ([`crate::continuous::ContinuousEngine`] is the curated
+    /// facade over this lifecycle).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidParameter`] when `every == 0`, when the spec
+    /// mutates items (`APX_MEDIAN2` needs exclusive item state per run),
+    /// or when it draws fresh sketch randomness per invocation
+    /// ([`QuerySpec::draws_fresh_randomness`] — such sub-requests never
+    /// repeat, so they are not delta-maintainable); compilation errors
+    /// (e.g. `BottomK { k: 0 }`) surface here too, at registration.
+    pub fn register_standing(
+        &mut self,
+        spec: QuerySpec,
+        every: u64,
+    ) -> Result<StandingId, QueryError> {
+        if every == 0 {
+            return Err(QueryError::InvalidParameter(
+                "standing refresh period must be at least one round",
+            ));
+        }
+        if spec.mutates_items() {
+            return Err(QueryError::InvalidParameter(
+                "item-mutating queries cannot stand: zoom stages need exclusive item state",
+            ));
+        }
+        if spec.draws_fresh_randomness() {
+            return Err(QueryError::InvalidParameter(
+                "fresh-randomness queries cannot stand: their sub-requests never repeat, so \
+                 cached subtree partials can never be delta-maintained for them",
+            ));
+        }
+        compile_plan(&self.net, &spec)?;
+        let id = self.standing.len();
+        self.standing.push(StandingEntry {
+            spec,
+            every,
+            registered_round: self.rounds,
+            seq: 0,
+            in_flight: false,
+            active: true,
+        });
+        Ok(id)
+    }
+
+    /// Deregisters a standing query. Returns `false` when the id is
+    /// unknown or already deregistered. An in-flight refresh still
+    /// completes and reports; no further refreshes fire.
+    pub fn deregister_standing(&mut self, id: StandingId) -> bool {
+        match self.standing.get_mut(id) {
+            Some(e) if e.active => {
+                e.active = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Takes every standing refresh completed since the last drain, in
+    /// completion order.
+    pub fn drain_refreshes(&mut self) -> Vec<RefreshReport> {
+        std::mem::take(&mut self.refreshes)
+    }
+
+    /// Number of currently registered (active) standing queries.
+    pub fn standing_queries(&self) -> usize {
+        self.standing.iter().filter(|e| e.active).count()
     }
 
     /// Executes one scheduling round — admission, at most one shared
@@ -327,17 +513,73 @@ impl StreamingEngine {
         let round = self.rounds;
         self.rounds += 1;
 
+        // 0. Standing refreshes due this round enter the active set
+        // directly — registered once, never queued — with their first op
+        // staged so they ride this very round's shared wave.
+        self.spawn_due_standing(round);
+
         // 1. Admission. Newly admitted shareable plans advance to their
         // first op immediately, so they participate in this very
         // round's wave (exclusive plans wait for the exclusive phase).
-        if !self.pending.is_empty() && self.admission.admits(round, self.active.is_empty()) {
+        // Standing refresh slots do not count against idleness — they
+        // are part of the service itself, and letting them block
+        // `WhenIdle` would starve ad-hoc arrivals forever.
+        let idle = self.active.iter().all(|s| s.standing.is_some());
+        let window_open = self.admission.admits(round, idle);
+        let deadline_due = self
+            .pending
+            .iter()
+            .any(|s| s.deadline.is_some_and(|d| round >= d));
+        if !self.pending.is_empty() && (window_open || deadline_due) {
+            let mut kept: VecDeque<StreamSlot> = VecDeque::new();
+            let mut budget_closed = false;
             while let Some(mut s) = self.pending.pop_front() {
-                s.admitted_round = round;
-                if !s.slot.plan.mutates_items() {
+                // Deadline pull: a closed window still admits queries
+                // whose admission deadline has arrived — and a due
+                // deadline also overrides the bit budget below (the
+                // deadline is the per-query escape hatch; without it, a
+                // budget saturated by periodic load defers patient
+                // queries indefinitely, which is the documented meaning
+                // of a hard per-round energy cap).
+                let deadline_hit = s.deadline.is_some_and(|d| round >= d);
+                let due = window_open || deadline_hit;
+                if !due || (budget_closed && !deadline_hit) {
+                    kept.push_back(s);
+                    continue;
+                }
+                if !s.slot.plan.mutates_items() && s.staged.is_none() {
+                    // Stage the first op now (eager staging); a slot
+                    // deferred by the budget in an earlier round keeps
+                    // the op it already staged.
                     s.restage();
                 }
+                if let (Some(budget), Some(req)) = (self.bit_budget, &s.staged) {
+                    // A query whose envelope cannot fit even alone can
+                    // never be admitted under this budget: reject it
+                    // loudly (it retires this round with the error)
+                    // instead of starving it silently forever.
+                    let solo = self.net.request_wire_bits(req) + gamma_bits(2) + 1;
+                    if solo > budget {
+                        s.staged = None;
+                        s.slot.state = SlotState::Done(Err(QueryError::InvalidParameter(
+                            "query's request envelope exceeds the per-node bit budget \
+                             even in a wave of its own",
+                        )));
+                    } else if !deadline_hit
+                        && self.projected_request_envelope_bits(Some(req)) > budget
+                    {
+                        // Budget exhausted: stop admitting for this
+                        // round, in submission order — later arrivals
+                        // must not overtake the one that did not fit.
+                        budget_closed = true;
+                        kept.push_back(s);
+                        continue;
+                    }
+                }
+                s.admitted_round = round;
                 self.active.push(s);
             }
+            self.pending = kept;
         }
 
         // 2. One shared wave over every staged shareable op, then
@@ -402,23 +644,100 @@ impl StreamingEngine {
             self.net.restore_items();
         }
 
-        // 4. Retirement.
+        // 4. Retirement. Standing refreshes retire into the refresh
+        // stream; everything else returns to the caller.
         let mut retired = Vec::new();
         let mut i = 0;
         while i < self.active.len() {
             if self.active[i].slot.is_done() {
                 let s = self.active.remove(i);
-                retired.push(StreamingReport {
-                    submitted_round: s.submitted_round,
-                    admitted_round: s.admitted_round,
-                    retired_round: round,
-                    report: s.slot.into_report(),
-                });
+                if let Some((standing, seq)) = s.standing {
+                    self.standing[standing].in_flight = false;
+                    let report = s.slot.into_report();
+                    self.refreshes.push(RefreshReport {
+                        standing,
+                        seq,
+                        outcome: report.outcome,
+                        bits: report.bits,
+                        waves: report.waves,
+                        due_round: s.submitted_round,
+                        finished_round: round,
+                    });
+                } else {
+                    retired.push(StreamingReport {
+                        submitted_round: s.submitted_round,
+                        admitted_round: s.admitted_round,
+                        retired_round: round,
+                        report: s.slot.into_report(),
+                    });
+                }
             } else {
                 i += 1;
             }
         }
         Ok(retired)
+    }
+
+    /// Spawns a refresh slot for every standing query due at `round`.
+    fn spawn_due_standing(&mut self, round: u64) {
+        for id in 0..self.standing.len() {
+            let due = {
+                let e = &self.standing[id];
+                e.active
+                    && !e.in_flight
+                    && round >= e.registered_round
+                    && (round - e.registered_round).is_multiple_of(e.every.max(1))
+            };
+            if !due {
+                continue;
+            }
+            let spec = self.standing[id].spec.clone();
+            let compiled = compile_plan(&self.net, &spec);
+            let e = &mut self.standing[id];
+            let seq = e.seq;
+            e.seq += 1;
+            e.in_flight = true;
+            let mut s = StreamSlot {
+                // Ids in the standing range keep refresh waves
+                // distinguishable in wave logs without consuming the
+                // submission id space.
+                slot: QuerySlot::new(
+                    STANDING_QUERY_ID_BASE + id,
+                    STANDING_NONCE_ORDINAL,
+                    spec,
+                    compiled,
+                ),
+                staged: None,
+                submitted_round: round,
+                admitted_round: round,
+                deadline: None,
+                standing: Some((id, seq)),
+            };
+            s.restage(); // standing specs are vetted non-mutating
+            self.active.push(s);
+        }
+    }
+
+    /// Bits of the multiplexed **request envelope** the next shared wave
+    /// would carry per node: every staged op of the active set plus an
+    /// optional admission candidate, with the envelope's slot-count and
+    /// dense-flag framing. Zero when nothing is staged.
+    fn projected_request_envelope_bits(&self, extra: Option<&CoreRequest>) -> u64 {
+        let staged = self
+            .active
+            .iter()
+            .filter_map(|s| s.staged.as_ref())
+            .chain(extra);
+        let (mut slots, mut bits) = (0u64, 0u64);
+        for req in staged {
+            slots += 1;
+            bits += self.net.request_wire_bits(req);
+        }
+        if slots == 0 {
+            return 0;
+        }
+        // Mux framing: gamma-coded slot count plus the dense flag bit.
+        bits + gamma_bits(slots + 1) + 1
     }
 
     /// Steps the service until no query is pending or active, returning
@@ -462,6 +781,13 @@ impl StreamingEngine {
             }
         }
     }
+}
+
+/// Bits of the Elias-gamma code for `v >= 1` (mirrors
+/// `BitWriter::write_gamma`'s cost — used to project envelope framing
+/// without encoding anything).
+fn gamma_bits(v: u64) -> u64 {
+    2 * (63 - v.leading_zeros() as u64) + 1
 }
 
 /// Aggregate latency/bit statistics over a set of retired reports —
@@ -776,6 +1102,147 @@ mod tests {
             continue 'seeds;
         }
         panic!("no seed produced the survive-then-fail loss pattern");
+    }
+
+    #[test]
+    fn deadline_pulls_admission_through_a_closed_window() {
+        let mut engine = StreamingEngine::with_policy(
+            grid_net(4, 9),
+            BatchPolicy::Batched,
+            AdmissionPolicy::Window(16),
+        );
+        // Burn round 0 (the open window), then submit two queries: one
+        // patient, one with a round-3 admission deadline.
+        engine.step().unwrap();
+        let patient = engine.submit(QuerySpec::Count(Predicate::TRUE));
+        let urgent = engine.submit_with_deadline(QuerySpec::Sum(Predicate::TRUE), 3);
+        let mut retired = Vec::new();
+        for _ in 0..20 {
+            retired.extend(engine.step().unwrap());
+        }
+        let by_id = |id: QueryId| retired.iter().find(|r| r.report.id == id).unwrap();
+        // The urgent query was admitted at its deadline round, mid-window…
+        assert_eq!(by_id(urgent).admitted_round, 3);
+        assert_eq!(
+            by_id(urgent).report.outcome,
+            Ok(QueryOutcome::Num((0..16u64).map(|i| (i * 13) % 16).sum()))
+        );
+        // …while the patient one waited for the round-16 window.
+        assert_eq!(by_id(patient).admitted_round, 16);
+        assert_eq!(by_id(patient).report.outcome, Ok(QueryOutcome::Num(16)));
+    }
+
+    #[test]
+    fn infinite_bit_budget_is_bit_identical_to_no_budget() {
+        // The budget check exercised with u64::MAX must reproduce the
+        // budget-free engine exactly: answers, per-query bills, wave
+        // counts, per-node bit statistics.
+        let run = |budget: Option<u64>| {
+            let mut engine = StreamingEngine::new(grid_net(5, 10));
+            engine.set_bit_budget(budget);
+            assert_eq!(engine.bit_budget(), budget);
+            let mut retired = Vec::new();
+            for i in 0..6u64 {
+                engine.submit(QuerySpec::Count(Predicate::less_than(i * 4)));
+                if i % 2 == 0 {
+                    engine.submit(QuerySpec::Median);
+                }
+                retired.extend(engine.step().unwrap());
+            }
+            retired.extend(engine.run_until_idle().unwrap());
+            let stats = engine.network().net_stats().unwrap();
+            let per_node: Vec<u64> = (0..stats.len())
+                .map(|v| stats.node(v).total_bits())
+                .collect();
+            (retired, engine.waves_issued(), per_node)
+        };
+        let (free, free_waves, free_bits) = run(None);
+        let (capped, capped_waves, capped_bits) = run(Some(u64::MAX));
+        assert_eq!(free.len(), capped.len());
+        for (a, b) in free.iter().zip(&capped) {
+            assert_eq!(a.report.id, b.report.id);
+            assert_eq!(a.report.outcome, b.report.outcome);
+            assert_eq!(a.report.bits, b.report.bits);
+            assert_eq!(a.report.waves, b.report.waves);
+            assert_eq!(a.admitted_round, b.admitted_round);
+            assert_eq!(a.retired_round, b.retired_round);
+        }
+        assert_eq!(free_waves, capped_waves);
+        assert_eq!(free_bits, capped_bits);
+    }
+
+    #[test]
+    fn tight_bit_budget_defers_admission_in_submission_order() {
+        let mut engine = StreamingEngine::new(grid_net(4, 11));
+        // Measure one count request's projected envelope, then set the
+        // budget so exactly one such query fits per round.
+        let one_req = engine
+            .network()
+            .request_wire_bits(&crate::wave_proto::CoreRequest::Count(
+                Predicate::less_than(13),
+            ));
+        engine.set_bit_budget(Some(one_req + 4)); // + framing, < two slots
+        let a = engine.submit(QuerySpec::Count(Predicate::less_than(13)));
+        let b = engine.submit(QuerySpec::Count(Predicate::less_than(9)));
+        let c = engine.submit(QuerySpec::Count(Predicate::less_than(5)));
+        let mut retired = Vec::new();
+        for _ in 0..6 {
+            retired.extend(engine.step().unwrap());
+        }
+        let by_id = |id: QueryId| retired.iter().find(|r| r.report.id == id).unwrap();
+        // One admission per round, strictly in submission order.
+        assert_eq!(by_id(a).admitted_round, 0);
+        assert_eq!(by_id(b).admitted_round, 1);
+        assert_eq!(by_id(c).admitted_round, 2);
+        for r in &retired {
+            assert!(r.report.outcome.is_ok());
+        }
+        // Every issued wave respected the budget: single-slot waves only.
+        assert_eq!(engine.waves_issued(), 3);
+    }
+
+    #[test]
+    fn budget_rejects_never_fitting_queries_loudly() {
+        // A query whose envelope exceeds the budget even alone must not
+        // queue forever: it retires with an error at its admission
+        // window (the workspace's reject-loudly convention).
+        let mut engine = StreamingEngine::new(grid_net(4, 12));
+        engine.set_bit_budget(Some(2));
+        let doomed = engine.submit(QuerySpec::Count(Predicate::TRUE));
+        let reports = engine.step().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].report.id, doomed);
+        assert!(matches!(
+            reports[0].report.outcome,
+            Err(QueryError::InvalidParameter(_))
+        ));
+        assert_eq!(engine.waves_issued(), 0, "rejected before any wave");
+        assert!(!engine.in_service());
+    }
+
+    #[test]
+    fn deadline_overrides_the_bit_budget() {
+        // The budget defers patient queries; a due deadline is the
+        // per-query escape hatch and pulls the query through anyway.
+        let mut engine = StreamingEngine::new(grid_net(4, 13));
+        let one_req = engine
+            .network()
+            .request_wire_bits(&crate::wave_proto::CoreRequest::Count(
+                Predicate::less_than(13),
+            ));
+        engine.set_bit_budget(Some(one_req + 4)); // exactly one slot fits
+        let first = engine.submit(QuerySpec::Count(Predicate::less_than(13)));
+        let urgent = engine.submit_with_deadline(QuerySpec::Count(Predicate::less_than(9)), 0);
+        let mut retired = Vec::new();
+        for _ in 0..3 {
+            retired.extend(engine.step().unwrap());
+        }
+        let by_id = |id: QueryId| retired.iter().find(|r| r.report.id == id).unwrap();
+        // Both admitted in round 0: the deadline bypassed the budget the
+        // first query had already consumed.
+        assert_eq!(by_id(first).admitted_round, 0);
+        assert_eq!(by_id(urgent).admitted_round, 0);
+        assert!(by_id(urgent).report.outcome.is_ok());
     }
 
     #[test]

@@ -530,6 +530,78 @@ impl WaveProtocol for CoreWave {
     fn invalidates_cache(&self, req: &CoreRequest) -> bool {
         matches!(req, CoreRequest::Zoom { .. })
     }
+
+    /// Routes a driver-side item replacement into the two-step layer's
+    /// [`PartialAggregate::apply_delta`]: the cache key *is* the encoded
+    /// sub-request, so decoding it recovers which aggregate the cached
+    /// subtree partial belongs to, and the slot-wise item diff (active
+    /// values only, keyed by the stable `(node, slot)` identity) becomes
+    /// the removed/added [`ItemRef`] sets. Exact for COUNT/SUM/MIN/MAX
+    /// and bottom-k, certified re-contribute-and-prune for quantile
+    /// summaries on pure insertions; everything else reports failure and
+    /// is invalidated by the caller.
+    fn apply_item_delta(
+        &self,
+        key: &CacheKey,
+        partial: &mut CorePartial,
+        origin: NodeId,
+        old_items: &[SimItem],
+        new_items: &[SimItem],
+    ) -> bool {
+        let mut r = BitReader::new(key);
+        let Ok(req) = self.decode_request(&mut r) else {
+            return false; // foreign key shape: never guess
+        };
+        let mut removed: Vec<ItemRef> = Vec::new();
+        let mut added: Vec<ItemRef> = Vec::new();
+        for slot in 0..old_items.len().max(new_items.len()) {
+            let old = old_items.get(slot).and_then(|it| it.cur);
+            let new = new_items.get(slot).and_then(|it| it.cur);
+            if old == new {
+                continue; // unchanged (or passive on both sides)
+            }
+            let item = |value| ItemRef {
+                node: origin as u64,
+                slot: slot as u64,
+                value,
+            };
+            if let Some(v) = old {
+                removed.push(item(v));
+            }
+            if let Some(v) = new {
+                added.push(item(v));
+            }
+        }
+        if removed.is_empty() && added.is_empty() {
+            return true; // only passive/unchanged slots: partial already right
+        }
+        use crate::aggregate::DeltaSupport;
+        let support = match (&req, partial) {
+            (CoreRequest::Min(d), CorePartial::OptVal(_, v)) => self
+                .minmax_agg(MinMaxOp::Min, *d)
+                .apply_delta(v, &removed, &added),
+            (CoreRequest::Max(d), CorePartial::OptVal(_, v)) => self
+                .minmax_agg(MinMaxOp::Max, *d)
+                .apply_delta(v, &removed, &added),
+            (CoreRequest::Count(p), CorePartial::Num(n)) => self
+                .countsum_agg(CountSumOp::Count, *p)
+                .apply_delta(n, &removed, &added),
+            (CoreRequest::Sum(p), CorePartial::Num(n)) => self
+                .countsum_agg(CountSumOp::Sum, *p)
+                .apply_delta(n, &removed, &added),
+            (CoreRequest::Quantile { budget }, CorePartial::Quantile(s)) => {
+                self.quantile_agg(*budget).apply_delta(s, &removed, &added)
+            }
+            (CoreRequest::BottomK { k, nonce }, CorePartial::Sample(s)) => self
+                .bottomk_agg(*k, *nonce)
+                .apply_delta(s, &removed, &added),
+            // Collect, DistinctExact and the sketch requests decline:
+            // multiset deletion from their partials is unsound (or the
+            // entries are never cached to begin with).
+            _ => DeltaSupport::Unsupported,
+        };
+        !matches!(support, DeltaSupport::Unsupported)
+    }
 }
 
 #[cfg(test)]

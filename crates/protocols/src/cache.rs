@@ -52,6 +52,13 @@ pub struct CacheStats {
     pub entries: u64,
     /// Entries evicted by the capacity bound (not by invalidation).
     pub evictions: u64,
+    /// Entries updated in place by delta maintenance
+    /// ([`PartialCache::delta_maintain`]) — each one a subtree partial
+    /// that survived an item mutation and can keep serving refreshes.
+    pub delta_applied: u64,
+    /// Entries invalidated because a delta could not be applied soundly
+    /// (the loud fallback for unsupported aggregates).
+    pub delta_invalidated: u64,
 }
 
 impl CacheStats {
@@ -62,6 +69,8 @@ impl CacheStats {
         self.misses += other.misses;
         self.entries += other.entries;
         self.evictions += other.evictions;
+        self.delta_applied += other.delta_applied;
+        self.delta_invalidated += other.delta_invalidated;
     }
 }
 
@@ -99,6 +108,8 @@ pub struct PartialCache<V> {
     hits: u64,
     misses: u64,
     evictions: u64,
+    delta_applied: u64,
+    delta_invalidated: u64,
 }
 
 impl<V: Clone> PartialCache<V> {
@@ -117,6 +128,33 @@ impl<V: Clone> PartialCache<V> {
             hits: 0,
             misses: 0,
             evictions: 0,
+            delta_applied: 0,
+            delta_invalidated: 0,
+        }
+    }
+
+    /// Delta-maintains every resident entry through an item mutation:
+    /// `apply` receives each `(key, partial)` and returns whether it
+    /// folded the update in (`true` keeps the entry, now up to date;
+    /// `false` invalidates it — the per-entry fallback that replaces the
+    /// old whole-cache clear, so entries whose aggregates support deltas
+    /// stay resident across mutations). Counted in
+    /// [`CacheStats::delta_applied`] / [`CacheStats::delta_invalidated`].
+    pub fn delta_maintain(&mut self, mut apply: impl FnMut(&CacheKey, &mut V) -> bool) {
+        let mut dropped: Vec<CacheKey> = Vec::new();
+        for (key, value) in self.map.iter_mut() {
+            if apply(key, value) {
+                self.delta_applied += 1;
+            } else {
+                self.delta_invalidated += 1;
+                dropped.push(key.clone());
+            }
+        }
+        if !dropped.is_empty() {
+            for key in &dropped {
+                self.map.remove(key);
+            }
+            self.order.retain(|k| self.map.contains_key(k));
         }
     }
 
@@ -173,6 +211,8 @@ impl<V: Clone> PartialCache<V> {
             misses: self.misses,
             entries: self.map.len() as u64,
             evictions: self.evictions,
+            delta_applied: self.delta_applied,
+            delta_invalidated: self.delta_invalidated,
         }
     }
 }
@@ -239,5 +279,33 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = PartialCache::<u64>::new(0);
+    }
+
+    #[test]
+    fn delta_maintain_updates_or_invalidates_per_entry() {
+        let mut c: PartialCache<u64> = PartialCache::new(8);
+        c.insert(key(1), 10);
+        c.insert(key(2), 20);
+        c.insert(key(3), 30);
+        // Entries under even keys absorb the delta; odd ones decline.
+        c.delta_maintain(|k, v| {
+            if k == &key(2) {
+                *v += 5;
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(c.get(&key(2)), Some(25), "applied entry updated in place");
+        assert_eq!(c.get(&key(1)), None, "declined entry invalidated");
+        assert_eq!(c.get(&key(3)), None);
+        let s = c.stats();
+        assert_eq!((s.delta_applied, s.delta_invalidated), (1, 2));
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.evictions, 0, "invalidation is not eviction");
+        // FIFO order book stays consistent after invalidations.
+        c.insert(key(4), 40);
+        c.insert(key(5), 50);
+        assert_eq!(c.len(), 3);
     }
 }

@@ -407,29 +407,38 @@ where
         self.node(node).items()
     }
 
-    /// Replaces the items of `node`, invalidating the subtree caches of
-    /// the node and every ancestor up to (and including) the root —
-    /// exactly as [`WaveRunner::set_items`](crate::wave::WaveRunner::set_items).
+    /// Replaces the items of `node`, **delta-maintaining** the subtree
+    /// caches of the node and every ancestor up to (and including) the
+    /// root — exactly as
+    /// [`WaveRunner::set_items`](crate::wave::WaveRunner::set_items):
+    /// entries whose aggregates absorb the delta stay resident and up to
+    /// date, the rest are invalidated individually, and a no-op
+    /// replacement touches nothing. The walk crosses the shard boundary
+    /// at the root stub, so sharded and single-threaded runs keep
+    /// identical cache contents and counters.
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     pub fn set_items(&mut self, node: NodeId, items: Vec<P::Item>) {
-        self.node_mut(node).set_items(items);
+        let old = {
+            let n = self.node_mut(node);
+            std::mem::replace(&mut n.items, items)
+        };
+        let new = self.node(node).items.to_vec();
+        if old == new {
+            return; // nothing observable changed: caches stay valid as-is
+        }
         let mut cursor = self.locate[node];
         loop {
             match cursor {
                 None => {
-                    if let Some(cache) = &mut self.root_node.cache {
-                        cache.clear();
-                    }
+                    self.root_node.delta_maintain_cache(node, &old, &new);
                     break;
                 }
                 Some((s, l)) => {
                     let agg = self.sharded.shard_mut(s).node_mut(l).agg_mut();
-                    if let Some(cache) = &mut agg.cache {
-                        cache.clear();
-                    }
+                    agg.delta_maintain_cache(node, &old, &new);
                     cursor = match agg.parent {
                         // Local id 0 is the shard's root stub: the next
                         // ancestor is the real root in the driver.

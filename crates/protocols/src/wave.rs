@@ -45,8 +45,10 @@ pub trait WaveProtocol: Clone {
     type Request: Clone + Debug;
     /// Partial aggregate merged leaves-to-root.
     type Partial: Clone + Debug;
-    /// Per-node data item.
-    type Item: Clone + Debug;
+    /// Per-node data item. `PartialEq` lets the runner detect no-op item
+    /// replacements ([`WaveRunner::set_items`] with identical items) and
+    /// leave caches untouched.
+    type Item: Clone + Debug + PartialEq;
 
     /// Serializes a request.
     fn encode_request(&self, req: &Self::Request, w: &mut BitWriter);
@@ -148,6 +150,32 @@ pub trait WaveProtocol: Clone {
             .into_iter()
             .next()
             .expect("a request has at least one slot")
+    }
+
+    /// Delta-maintains one cached subtree partial through a driver-side
+    /// item replacement at node `origin` (somewhere in the subtree the
+    /// partial summarizes): `key` is the cache key the entry was stored
+    /// under — for deterministic requests, the encoded sub-request, i.e.
+    /// enough to recover which aggregate the partial belongs to — and
+    /// `old_items`/`new_items` are the origin node's items before and
+    /// after the replacement.
+    ///
+    /// Return `true` after updating `partial` in place to exactly (or,
+    /// for certified-approximation aggregates, equivalently) what a fresh
+    /// re-aggregation over the updated subtree would produce; return
+    /// `false` to have the entry invalidated instead — the loud fallback
+    /// the continuous-aggregate layer relies on. The default declines
+    /// every delta, preserving invalidate-on-mutation for protocols that
+    /// do not opt in.
+    fn apply_item_delta(
+        &self,
+        _key: &CacheKey,
+        _partial: &mut Self::Partial,
+        _origin: NodeId,
+        _old_items: &[Self::Item],
+        _new_items: &[Self::Item],
+    ) -> bool {
+        false
     }
 
     // --- request admission and shard execution hooks ------------------
@@ -396,6 +424,25 @@ impl<P: WaveProtocol> AggNode<P> {
     /// Replaces the node's items (driver-side setup only).
     pub fn set_items(&mut self, items: Vec<P::Item>) {
         self.items = items;
+    }
+
+    /// Delta-maintains this node's subtree cache through an item
+    /// replacement at `origin` (this node or a descendant): every
+    /// resident entry either absorbs the delta in place
+    /// ([`WaveProtocol::apply_item_delta`]) or is invalidated — the
+    /// fine-grained, per-entry successor of the old whole-cache clear.
+    pub(crate) fn delta_maintain_cache(
+        &mut self,
+        origin: NodeId,
+        old_items: &[P::Item],
+        new_items: &[P::Item],
+    ) {
+        let AggNode { proto, cache, .. } = self;
+        if let Some(cache) = cache {
+            cache.delta_maintain(|key, partial| {
+                proto.apply_item_delta(key, partial, origin, old_items, new_items)
+            });
+        }
     }
 
     fn encode_msg(
@@ -846,21 +893,28 @@ impl<P: WaveProtocol> WaveRunner<P> {
     }
 
     /// Replaces the items of `node` (driver-side setup; not charged as
-    /// communication). Invalidates the subtree partial caches of `node`
-    /// **and every ancestor up to the root** — their cached partials
-    /// embed the replaced items' contributions.
+    /// communication), **delta-maintaining** the subtree partial caches
+    /// of `node` and every ancestor up to the root: each resident entry
+    /// whose aggregate supports deltas
+    /// ([`WaveProtocol::apply_item_delta`]) is updated in place and keeps
+    /// serving refreshes; every other entry is invalidated individually —
+    /// the fine-grained successor of the old whole-path cache clear.
+    /// Replacing items with identical ones is a no-op and touches no
+    /// cache at all.
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     pub fn set_items(&mut self, node: NodeId, items: Vec<P::Item>) {
-        self.sim.node_mut(node).set_items(items);
+        let old = std::mem::replace(&mut self.sim.node_mut(node).items, items);
+        let new = self.sim.node(node).items.clone();
+        if old == new {
+            return; // nothing observable changed: caches stay valid as-is
+        }
         let mut v = node;
         loop {
             let n = self.sim.node_mut(v);
-            if let Some(cache) = &mut n.cache {
-                cache.clear();
-            }
+            n.delta_maintain_cache(node, &old, &new);
             match n.parent {
                 Some(parent) => v = parent,
                 None => break,
@@ -1235,6 +1289,25 @@ impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
 
     fn join_slots(&self, _req: &Self::Request, slots: Vec<Self::Partial>) -> Self::Partial {
         slots.into_iter().flatten().collect()
+    }
+
+    /// Cached multiplex entries are single-slot partials keyed by the
+    /// **inner** sub-request encoding (see `slot_cache_keys` above), so
+    /// the delta dispatches straight to the inner protocol.
+    fn apply_item_delta(
+        &self,
+        key: &CacheKey,
+        partial: &mut Self::Partial,
+        origin: NodeId,
+        old_items: &[Self::Item],
+        new_items: &[Self::Item],
+    ) -> bool {
+        match partial.as_mut_slice() {
+            [sub] => self
+                .inner
+                .apply_item_delta(key, sub, origin, old_items, new_items),
+            _ => false, // only single-slot shapes are ever cached
+        }
     }
 
     // --- request admission and shard execution ------------------------
@@ -1758,14 +1831,139 @@ mod tests {
         let mut r = mux_runner_on(topo, items);
         r.enable_partial_cache(16);
         assert_eq!(r.run_wave(env(vec![1000])).unwrap(), vec![6]);
-        // Mutate the deepest leaf: its ancestors' cached partials embed
-        // the stale value and must be recomputed.
+        // Mutate the deepest leaf: SumBelow declines deltas (the default
+        // hook), so its ancestors' cached partials — which embed the
+        // stale value — are invalidated and recomputed.
         r.set_items(3, vec![100]);
         assert_eq!(r.run_wave(env(vec![1000])).unwrap(), vec![103]);
         // And a genuine repeat afterwards still serves from cache.
         let bits = r.stats().max_node_bits();
         assert_eq!(r.run_wave(env(vec![1000])).unwrap(), vec![103]);
         assert_eq!(r.stats().max_node_bits(), bits);
+    }
+
+    #[test]
+    fn set_items_with_identical_items_touches_no_cache() {
+        let topo = Topology::line(4).unwrap();
+        let items: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
+        let mut r = mux_runner_on(topo, items);
+        r.enable_partial_cache(16);
+        assert_eq!(r.run_wave(env(vec![1000])).unwrap(), vec![6]);
+        let entries = r.cache_stats().entries;
+        assert!(entries > 0);
+        // A no-op replacement must not invalidate anything…
+        r.set_items(3, vec![3]);
+        assert_eq!(r.cache_stats().entries, entries);
+        let bits = r.stats().max_node_bits();
+        // …so the repeat is still a pure root-cache hit.
+        assert_eq!(r.run_wave(env(vec![1000])).unwrap(), vec![6]);
+        assert_eq!(r.stats().max_node_bits(), bits);
+    }
+
+    /// SumBelow with the delta hook implemented: cached sums absorb item
+    /// replacements in place, so mutations cost no cache entries and a
+    /// post-mutation repeat still moves zero bits — the wave-layer core
+    /// of the continuous-aggregate ("standing query") machinery.
+    #[derive(Debug, Clone)]
+    struct DeltaSum {
+        value_width: u32,
+    }
+
+    impl WaveProtocol for DeltaSum {
+        type Request = u64;
+        type Partial = u64;
+        type Item = u64;
+
+        fn encode_request(&self, req: &u64, w: &mut BitWriter) {
+            w.write_bits(*req, self.value_width);
+        }
+        fn decode_request(&self, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+            r.read_bits(self.value_width)
+        }
+        fn encode_partial(&self, _req: &u64, p: &u64, w: &mut BitWriter) {
+            w.write_bits(*p, 32);
+        }
+        fn decode_partial(&self, _req: &u64, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+            r.read_bits(32)
+        }
+        fn local(
+            &self,
+            _node: NodeId,
+            items: &mut Vec<u64>,
+            req: &u64,
+            _rng: &mut Xoshiro256StarStar,
+        ) -> u64 {
+            items.iter().filter(|&&x| x < *req).sum()
+        }
+        fn merge(&self, _req: &u64, a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn cache_key(&self, req: &u64) -> Option<CacheKey> {
+            let mut w = BitWriter::new();
+            self.encode_request(req, &mut w);
+            Some(w.finish())
+        }
+        fn apply_item_delta(
+            &self,
+            key: &CacheKey,
+            partial: &mut u64,
+            _origin: NodeId,
+            old_items: &[u64],
+            new_items: &[u64],
+        ) -> bool {
+            let mut r = BitReader::new(key);
+            let Ok(threshold) = r.read_bits(self.value_width) else {
+                return false;
+            };
+            let sum = |items: &[u64]| items.iter().filter(|&&x| x < threshold).sum::<u64>();
+            match partial.checked_sub(sum(old_items)) {
+                Some(rest) => {
+                    *partial = rest + sum(new_items);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    #[test]
+    fn set_items_delta_maintains_supporting_entries_for_free_repeats() {
+        let topo = Topology::grid(4, 4).unwrap();
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let tree = SpanningTree::bfs(&topo, 0).unwrap();
+        let mut r = WaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            MultiplexWave::new(DeltaSum {
+                value_width: width_for_max(1000),
+            }),
+            items,
+            Reliability::None,
+        )
+        .unwrap();
+        r.enable_partial_cache(16);
+        assert_eq!(
+            r.run_wave(env(vec![1000, 8])).unwrap(),
+            vec![(0..16).sum::<u64>(), (0..8).sum::<u64>()]
+        );
+        let entries = r.cache_stats().entries;
+        let warm_bits = r.stats().max_node_bits();
+        // Mutate a leaf: every cached sum (both thresholds, every node on
+        // the leaf's root path) absorbs the delta in place…
+        r.set_items(15, vec![100]);
+        assert_eq!(r.cache_stats().entries, entries, "no entry invalidated");
+        assert!(r.cache_stats().delta_applied > 0);
+        assert_eq!(r.cache_stats().delta_invalidated, 0);
+        // …so the refreshed answers are served from the root cache for
+        // zero additional bits, already reflecting the new item (the
+        // below-8 sum is untouched: neither 15 nor 100 is below 8).
+        let refreshed = r.run_wave(env(vec![1000, 8])).unwrap();
+        assert_eq!(
+            refreshed,
+            vec![(0..15).sum::<u64>() + 100, (0..8).sum::<u64>()],
+        );
+        assert_eq!(r.stats().max_node_bits(), warm_bits, "refresh moved bits");
     }
 
     #[test]

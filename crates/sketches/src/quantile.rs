@@ -303,6 +303,24 @@ impl QuantileSummary {
         worst
     }
 
+    /// Merges an exact summary of `values` (sorted ascending) into
+    /// `self` in place — the quantile **delta merge** continuous
+    /// aggregates use to re-contribute newly arrived items into a cached
+    /// subtree summary without rebuilding it bottom-up. Rank-interval
+    /// soundness is preserved (this is an ordinary summary merge), so
+    /// [`QuantileSummary::max_rank_error`] stays a valid certificate;
+    /// callers prune afterwards to restore their wire budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `values` is not sorted ascending.
+    pub fn absorb_sorted(&mut self, values: &[u64]) {
+        if values.is_empty() {
+            return;
+        }
+        *self = QuantileSummary::merged(self, &QuantileSummary::from_sorted(values));
+    }
+
     /// Wire size in bits with values encoded in `value_width` bits and
     /// ranks in `⌈log₂(count+1)⌉` bits.
     pub fn wire_bits(&self, value_width: u32) -> u64 {
@@ -506,6 +524,37 @@ mod tests {
             },
         ];
         assert!(QuantileSummary::from_parts(entries, 5).is_err());
+    }
+
+    #[test]
+    fn absorb_sorted_is_a_sound_delta_merge() {
+        let mut base: Vec<u64> = (0..300).map(|i| (i * 7) % 500).collect();
+        base.sort_unstable();
+        let mut s = QuantileSummary::from_sorted(&base);
+        s.prune(12);
+        let added: Vec<u64> = (0..80).map(|i| (i * 13) % 500).collect();
+        let mut sorted_added = added.clone();
+        sorted_added.sort_unstable();
+        s.absorb_sorted(&sorted_added);
+        s.prune(12);
+        assert_eq!(s.count(), 380);
+        // The certificate survives the delta: every query stays within it.
+        let mut all = [base, sorted_added].concat();
+        all.sort_unstable();
+        let err = s.max_rank_error();
+        for q in [1u64, 190, 380] {
+            let got = s.query_rank(q).unwrap();
+            let lo = all.partition_point(|&x| x < got) as u64 + 1;
+            let hi = (all.partition_point(|&x| x <= got) as u64).max(lo);
+            assert!(
+                lo <= q + err && hi + err >= q,
+                "rank {q} -> {got} outside certified ±{err}"
+            );
+        }
+        // Absorbing nothing is a no-op.
+        let before = s.clone();
+        s.absorb_sorted(&[]);
+        assert_eq!(s, before);
     }
 
     #[test]

@@ -89,6 +89,41 @@ impl BottomK {
         self.entries.iter().map(|e| e.1).collect()
     }
 
+    /// Whether `key` is currently retained.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.entries.binary_search_by_key(&key, |e| e.0).is_ok()
+    }
+
+    /// The largest retained key (the k-th smallest of everything
+    /// inserted, once the synopsis is full), or `None` when empty.
+    pub fn max_key(&self) -> Option<u64> {
+        self.entries.last().map(|e| e.0)
+    }
+
+    /// Replaces the value stored under `key` in place, returning whether
+    /// the key was retained (`false` leaves the synopsis untouched).
+    /// Membership is key-determined, so a value update never changes
+    /// which pairs are retained — the delta-maintenance primitive behind
+    /// continuously maintained bottom-k subtree partials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the configured width.
+    pub fn set_value(&mut self, key: u64, value: u64) -> bool {
+        assert!(
+            self.value_width == 64 || value < (1u64 << self.value_width),
+            "value {value} wider than {} bits",
+            self.value_width
+        );
+        match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(pos) => {
+                self.entries[pos].1 = value;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// The retained `(key, value)` pairs, sorted by key (wire encoders in
     /// higher layers iterate these).
     pub fn entries(&self) -> &[(u64, u64)] {
@@ -301,6 +336,23 @@ mod tests {
         assert_eq!(s.quantile(0.0), Some(10));
         assert_eq!(s.quantile(1.0), Some(30));
         assert_eq!(BottomK::new(4, 8).median(), None);
+    }
+
+    #[test]
+    fn set_value_updates_in_place_without_membership_change() {
+        let mut s = BottomK::new(3, 16);
+        s.insert(10, 1);
+        s.insert(20, 2);
+        s.insert(30, 3);
+        s.insert(40, 4); // not retained
+        assert!(s.contains_key(20));
+        assert!(!s.contains_key(40));
+        assert_eq!(s.max_key(), Some(30));
+        assert!(s.set_value(20, 99));
+        assert_eq!(s.sample(), vec![1, 99, 3]);
+        // An unretained key is untouched and reported as such.
+        assert!(!s.set_value(40, 7));
+        assert_eq!(s.len(), 3);
     }
 
     #[test]

@@ -285,7 +285,52 @@ fn e14_streaming_service_bounded_memory_and_tradeoff() {
             "rate {rate}: wider window should cost latency"
         );
         assert_eq!(coarse.retired, fine.retired, "every arrival retires");
+
+        // The deadline-aware window bounds per-query queueing inside the
+        // coarse window while staying cheaper than per-round admission.
+        let dl = row("win16+dl6");
+        assert!(
+            dl.mean_latency < coarse.mean_latency,
+            "rate {rate}: deadlines should cut the coarse window's latency"
+        );
+        assert!(
+            dl.max_latency <= coarse.max_latency,
+            "rate {rate}: deadlines should bound the latency tail"
+        );
     }
+    assert!(
+        s.deadline_queueing_bounded,
+        "a deadline query waited past its declared slack"
+    );
+}
+
+#[test]
+fn e15_continuous_refreshes_collapse_toward_zero() {
+    let s = e15_continuous::run(Scale::Quick);
+    assert!(
+        s.zero_rate_is_free,
+        "a warm refresh with no updates moved bits"
+    );
+    assert!(
+        s.always_below_oracle,
+        "a refresh cycle cost at least a fresh convergecast ({} bits)",
+        s.oracle_bits
+    );
+    assert!(
+        s.monotone_in_rate,
+        "bits/cycle must grow with the update rate: {:?}",
+        s.rows
+    );
+    assert!(s.answers_exact, "a refresh served a stale answer");
+    // Delta maintenance really engaged: updates were absorbed in place
+    // at nonzero rates, and the quantile's fallback invalidated.
+    let busy = s
+        .rows
+        .iter()
+        .find(|r| r.rate_percent > 0)
+        .expect("nonzero rate swept");
+    assert!(busy.deltas_applied > 0);
+    assert!(busy.deltas_invalidated > 0);
 }
 
 #[test]
