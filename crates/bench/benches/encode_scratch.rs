@@ -1,0 +1,101 @@
+//! Encode-buffer reuse (ISSUE-6 satellite): every frame a runner emits
+//! is a `BitWriter`-built `BitString`. The flat columnar runner draws
+//! those buffers from a [`saq_netsim::wire::ScratchPool`] and recycles
+//! each frame as soon as it is decoded, so steady-state waves allocate
+//! no fresh frame storage at all. This bench pins the claim with a
+//! counting global allocator: after a warm-up wave, one whole query
+//! wave on the flat substrate performs strictly fewer heap allocations
+//! than the same wave on the boxed event-driven runner — the measured
+//! counts are printed — and then times the two substrates side by side.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saq_core::net::AggregationNetwork;
+use saq_core::predicate::Predicate;
+use saq_core::simnet::{SimNetwork, SimNetworkBuilder};
+use saq_netsim::topology::Topology;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator with an allocation counter: `alloc` and `realloc`
+/// events are what buffer churn looks like, so those are what we count
+/// (`dealloc` is free of interest here).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const NODES: usize = 1_000;
+
+fn build(flat: bool) -> SimNetwork {
+    let topo = Topology::balanced_tree(NODES, 8).expect("topology");
+    let items: Vec<u64> = (0..NODES as u64).map(|i| (i * 31) % 1000).collect();
+    SimNetworkBuilder::new()
+        // Single worker: thread spawning would charge its own
+        // allocations to whichever side uses more shards.
+        .flat(flat)
+        .build_one_per_node(&topo, &items, 1000)
+        .expect("network")
+}
+
+/// Heap allocations performed by one COUNT wave on `net`.
+fn allocs_per_wave(net: &mut SimNetwork) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    black_box(net.count(&Predicate::TRUE).expect("count"));
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Asserts the reuse claim once (steady-state flat waves allocate less
+/// than boxed ones) and reports the counts.
+fn verify_and_report() -> (SimNetwork, SimNetwork) {
+    let mut boxed = build(false);
+    let mut flat = build(true);
+    // Warm-up: the first wave on either substrate may grow buffers.
+    allocs_per_wave(&mut boxed);
+    allocs_per_wave(&mut flat);
+    let boxed_allocs = allocs_per_wave(&mut boxed);
+    let flat_allocs = allocs_per_wave(&mut flat);
+    assert!(
+        flat_allocs < boxed_allocs,
+        "scratch reuse must cut per-wave allocations: flat {flat_allocs} vs boxed {boxed_allocs}"
+    );
+    println!(
+        "encode_scratch: steady-state allocations per wave over {NODES} nodes: \
+         boxed {boxed_allocs}, flat {flat_allocs} ({:.1}x fewer)",
+        boxed_allocs as f64 / flat_allocs.max(1) as f64
+    );
+    (boxed, flat)
+}
+
+fn bench_encode_scratch(c: &mut Criterion) {
+    let (mut boxed, mut flat) = verify_and_report();
+    let mut group = c.benchmark_group("encode_scratch");
+    group.bench_function("count_wave/boxed", |b| {
+        b.iter(|| black_box(boxed.count(&Predicate::TRUE).expect("count")))
+    });
+    group.bench_function("count_wave/flat", |b| {
+        b.iter(|| black_box(flat.count(&Predicate::TRUE).expect("count")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_scratch);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Experiment binary: see `saq_bench::experiments::e16_flat_scale`.
+//! Pass `--quick` for a reduced sweep (N capped at 10⁵).
+
+fn main() {
+    let scale = saq_bench::Scale::from_args();
+    let _ = saq_bench::experiments::e16_flat_scale::run(scale);
+}

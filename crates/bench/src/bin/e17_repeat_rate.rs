@@ -1,0 +1,7 @@
+//! Experiment binary: see `saq_bench::experiments::e17_repeat_rate`.
+//! Pass `--quick` for a reduced sweep.
+
+fn main() {
+    let scale = saq_bench::Scale::from_args();
+    let _ = saq_bench::experiments::e17_repeat_rate::run(scale);
+}

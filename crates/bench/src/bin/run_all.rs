@@ -1,4 +1,4 @@
-//! Runs every experiment (E1-E15) in sequence. Pass `--quick` for the
+//! Runs every experiment (E1-E17) in sequence. Pass `--quick` for the
 //! reduced sweeps used in CI; the full configuration is the one recorded
 //! in EXPERIMENTS.md.
 
@@ -23,5 +23,7 @@ fn main() {
     let _ = e13_sharding::run(scale);
     let _ = e14_streaming::run(scale);
     let _ = e15_continuous::run(scale);
+    let _ = e16_flat_scale::run(scale);
+    let _ = e17_repeat_rate::run(scale);
     println!("\nall experiments complete.");
 }

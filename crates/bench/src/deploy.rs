@@ -1,15 +1,19 @@
 //! Shared deployment policy for the experiment harness: route the
-//! lossless large-N sweeps through the shard-parallel simulator.
+//! lossless large-N sweeps through the columnar flat substrate.
 //!
 //! PR 3 made `SimNetworkBuilder::shards(k)` bit-identical to
-//! single-threaded execution (answers, ledgers, caches, per-node bit
-//! statistics), so the only question per experiment is wall-clock.
-//! [`builder_for`] applies one policy everywhere: deployments big
-//! enough to amortize the per-wave thread fan-out run sharded across
-//! the machine's cores; small sweeps (and every lossy/ARQ deployment,
-//! which `shards(k > 1)` rejects) stay single-threaded. The
-//! `experiments_smoke` suite asserts the harness path reports the same
-//! bits either way.
+//! single-threaded execution and PR 6 did the same for the flat
+//! struct-of-arrays runner with nested sharding (answers, ledgers,
+//! caches, per-node bit statistics — see `tests/sharded_equality.rs`),
+//! so the only question per experiment is wall-clock. [`builder_for`]
+//! applies one policy everywhere: deployments big enough to amortize
+//! the per-wave thread fan-out run on flat columns across all of the
+//! machine's cores — the nested `ShardPlan` re-cuts oversized subtrees,
+//! so the old cap at 4 workers (the root partition's balance limit) no
+//! longer applies; small sweeps (and every lossy/ARQ deployment, which
+//! both parallel paths reject) stay on the boxed single-threaded
+//! runner. The `experiments_smoke` suite asserts the harness path
+//! reports the same bits either way.
 
 use saq_core::simnet::SimNetworkBuilder;
 
@@ -17,10 +21,10 @@ use saq_core::simnet::SimNetworkBuilder;
 /// it buys; quick-scale CI sweeps stay below it by design.
 pub const SHARD_THRESHOLD_NODES: usize = 1024;
 
-/// Shards the harness uses for a lossless deployment of `n` nodes: `1`
-/// for small sweeps, else the machine's parallelism capped at 4 (the
-/// root's subtree partition rarely balances beyond that — see E13's
-/// speedup curve).
+/// Workers the harness uses for a lossless deployment of `n` nodes:
+/// `1` for small sweeps, else all of the machine's parallelism — the
+/// flat runner's nested shard plan keeps per-worker blocks balanced
+/// regardless of the root's subtree shapes (E16's scaling curve).
 pub fn harness_shards(n: usize) -> usize {
     if n < SHARD_THRESHOLD_NODES {
         return 1;
@@ -28,15 +32,16 @@ pub fn harness_shards(n: usize) -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
-        .min(4)
 }
 
 /// The harness's standard builder for a lossless `n`-node deployment:
-/// [`SimNetworkBuilder::new`] with the shard policy applied. Configure
-/// everything else (degree bounds, sketch seeds, caches) on the result
-/// as usual.
+/// [`SimNetworkBuilder::new`] with the flat/worker policy applied.
+/// Configure everything else (degree bounds, sketch seeds, caches) on
+/// the result as usual.
 pub fn builder_for(n: usize) -> SimNetworkBuilder {
-    SimNetworkBuilder::new().shards(harness_shards(n))
+    SimNetworkBuilder::new()
+        .flat(n >= SHARD_THRESHOLD_NODES)
+        .shards(harness_shards(n))
 }
 
 #[cfg(test)]
@@ -50,8 +55,10 @@ mod tests {
     }
 
     #[test]
-    fn large_sweeps_use_available_cores_capped() {
-        let k = harness_shards(SHARD_THRESHOLD_NODES);
-        assert!((1..=4).contains(&k));
+    fn large_sweeps_use_all_available_cores() {
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(harness_shards(SHARD_THRESHOLD_NODES), cores);
     }
 }

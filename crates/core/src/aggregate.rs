@@ -195,6 +195,66 @@ pub enum MinMaxOp {
     Max,
 }
 
+/// What a [`MinMaxPartial`] knows about the runner-up (second-smallest
+/// for MIN, second-largest for MAX) mapped value of its multiset.
+///
+/// `Exactly(s)` and `Absent` are exact claims — in particular
+/// `Exactly(s)` with `s == best` means the extremum is attained at
+/// least twice. `Unknown` is the safe bottom: wire-decoded partials
+/// always arrive `Unknown`, and every operation keeps claims sound
+/// rather than complete.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RunnerUp {
+    /// No claim (a decoded partial, or knowledge lost to a removal).
+    Unknown,
+    /// Known: the multiset has fewer than two elements.
+    #[default]
+    Absent,
+    /// Known: the runner-up mapped value is exactly this.
+    Exactly(Value),
+}
+
+/// Min/max partial: the extremum plus — when derivable — the runner-up.
+///
+/// Only `best` is the answer and only `best` travels on the wire
+/// ([`MinMaxAgg`]'s `encode` is unchanged); `second` is free local
+/// bookkeeping that lets `apply_delta` *repair* an extremum removal
+/// instead of declining it. Partials folded up locally from
+/// [`PartialAggregate::identity`] track the runner-up exactly, so leaf
+/// caches repair nearly every removal; merged interior partials keep it
+/// exactly when children tie (always, in coarse domains like
+/// [`Domain::Log`]). Equality compares `best` alone, so bit-identity
+/// and cache-equality checks are oblivious to how much runner-up
+/// knowledge a particular execution path happened to retain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinMaxPartial {
+    /// The extremum over the summarized multiset (`None` = empty).
+    pub best: Option<Value>,
+    /// Runner-up knowledge; never on the wire.
+    pub second: RunnerUp,
+}
+
+impl MinMaxPartial {
+    /// A partial that knows only its extremum (the wire-decoded shape):
+    /// an empty multiset provably has no runner-up, a non-empty one's is
+    /// unknown.
+    pub fn of(best: Option<Value>) -> Self {
+        MinMaxPartial {
+            best,
+            second: match best {
+                None => RunnerUp::Absent,
+                Some(_) => RunnerUp::Unknown,
+            },
+        }
+    }
+}
+
+impl PartialEq for MinMaxPartial {
+    fn eq(&self, other: &Self) -> bool {
+        self.best == other.best
+    }
+}
+
 /// MIN/MAX over active items in a [`Domain`] (Fact 2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MinMaxAgg {
@@ -220,83 +280,156 @@ impl MinMaxAgg {
             Domain::Log => width_for_max(floor_log2(self.xbar) as u64),
         }
     }
+
+    /// Strict "closer to the extremum" order: `<` for MIN, `>` for MAX.
+    fn better(&self, a: Value, b: Value) -> bool {
+        match self.op {
+            MinMaxOp::Min => a < b,
+            MinMaxOp::Max => a > b,
+        }
+    }
 }
 
 impl PartialAggregate for MinMaxAgg {
-    type Partial = Option<Value>;
+    type Partial = MinMaxPartial;
     type Output = Option<Value>;
 
-    fn identity(&self) -> Option<Value> {
-        None
+    fn identity(&self) -> MinMaxPartial {
+        MinMaxPartial::default()
     }
 
-    fn contribute(&self, p: &mut Option<Value>, item: ItemRef) {
+    fn contribute(&self, p: &mut MinMaxPartial, item: ItemRef) {
         let v = self.map(item.value);
-        *p = Some(match (*p, self.op) {
-            (None, _) => v,
-            (Some(x), MinMaxOp::Min) => x.min(v),
-            (Some(x), MinMaxOp::Max) => x.max(v),
-        });
-    }
-
-    fn merge(&self, a: Option<Value>, b: Option<Value>) -> Option<Value> {
-        match (a, b) {
-            (None, v) | (v, None) => v,
-            (Some(x), Some(y)) => Some(match self.op {
-                MinMaxOp::Min => x.min(y),
-                MinMaxOp::Max => x.max(y),
-            }),
+        match p.best {
+            // First element: an empty partial's runner-up claim
+            // (`Absent`) stays exactly right for a singleton.
+            None => p.best = Some(v),
+            // A new extremum: the old one is exactly the runner-up.
+            Some(b) if self.better(v, b) => {
+                p.best = Some(v);
+                p.second = RunnerUp::Exactly(b);
+            }
+            // A tie: the extremum is attained twice, so the runner-up
+            // equals it exactly, whatever was known before.
+            Some(b) if v == b => p.second = RunnerUp::Exactly(b),
+            // Strictly worse than the extremum: v fills an absent
+            // runner-up or displaces a known one, but cannot create
+            // knowledge out of `Unknown`.
+            Some(_) => match p.second {
+                RunnerUp::Absent => p.second = RunnerUp::Exactly(v),
+                RunnerUp::Exactly(s) if self.better(v, s) => p.second = RunnerUp::Exactly(v),
+                RunnerUp::Exactly(_) | RunnerUp::Unknown => {}
+            },
         }
     }
 
-    fn encode(&self, p: &Option<Value>, w: &mut BitWriter) {
-        // No domain discriminator: the request is the schema, and the
-        // domain fixes the width — `Θ(log X̄)` raw values vs
-        // `Θ(log log X̄)` log values, the split the polyloglog algorithm
-        // relies on.
-        match p {
-            None => w.write_bits(0, 1),
-            Some(v) => {
-                w.write_bits(1, 1);
-                w.write_bits(*v, self.value_width());
+    fn merge(&self, a: MinMaxPartial, b: MinMaxPartial) -> MinMaxPartial {
+        match (a.best, b.best) {
+            // An empty side contributes nothing (and, being empty, its
+            // `Absent` claim is vacuous).
+            (None, _) => b,
+            (_, None) => a,
+            // Tied extremums across the two multisets: the union attains
+            // it at least twice, so the runner-up is exact.
+            (Some(x), Some(y)) if x == y => MinMaxPartial {
+                best: Some(x),
+                second: RunnerUp::Exactly(x),
+            },
+            (Some(x), Some(y)) => {
+                let (win, lose) = if self.better(x, y) { (a, y) } else { (b, x) };
+                // The union's runner-up is the better of the winner's
+                // runner-up and the loser's extremum — exact whenever
+                // the winner's own runner-up claim is exact.
+                MinMaxPartial {
+                    best: win.best,
+                    second: match win.second {
+                        RunnerUp::Absent => RunnerUp::Exactly(lose),
+                        RunnerUp::Exactly(s) if self.better(s, lose) => RunnerUp::Exactly(s),
+                        RunnerUp::Exactly(_) => RunnerUp::Exactly(lose),
+                        RunnerUp::Unknown => RunnerUp::Unknown,
+                    },
+                }
             }
         }
     }
 
-    fn decode(&self, r: &mut BitReader<'_>) -> Result<Option<Value>, NetsimError> {
-        Ok(if r.read_bits(1)? == 1 {
+    fn encode(&self, p: &MinMaxPartial, w: &mut BitWriter) {
+        // No domain discriminator: the request is the schema, and the
+        // domain fixes the width — `Θ(log X̄)` raw values vs
+        // `Θ(log log X̄)` log values, the split the polyloglog algorithm
+        // relies on. The runner-up is deliberately NOT serialized: it is
+        // repair metadata, and shipping it would change every message
+        // size the paper's accounting depends on.
+        match p.best {
+            None => w.write_bits(0, 1),
+            Some(v) => {
+                w.write_bits(1, 1);
+                w.write_bits(v, self.value_width());
+            }
+        }
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<MinMaxPartial, NetsimError> {
+        Ok(MinMaxPartial::of(if r.read_bits(1)? == 1 {
             Some(r.read_bits(self.value_width())?)
         } else {
             None
-        })
+        }))
     }
 
-    fn finalize(&self, p: &Option<Value>) -> Option<Value> {
-        *p
+    fn finalize(&self, p: &MinMaxPartial) -> Option<Value> {
+        p.best
     }
 
-    /// Additions always merge in exactly. A removal is exact only when
-    /// the removed (domain-mapped) value is strictly inside the partial —
-    /// for MIN, strictly above the recorded minimum — because then it
-    /// provably never was the extremum. Removing a value that *ties* the
-    /// extremum is declined: another item elsewhere in the summarized
-    /// multiset may or may not attain it, and the partial cannot tell.
+    /// Additions always merge in exactly. A removal of a value strictly
+    /// inside the partial (above the minimum / below the maximum) leaves
+    /// the extremum standing. Removing the extremum itself is *repaired*
+    /// when the runner-up is known — the runner-up is the new extremum
+    /// (or the surviving tie copy) — and declined otherwise: another
+    /// item elsewhere in the summarized multiset may or may not attain
+    /// it, and the partial cannot tell.
     fn apply_delta(
         &self,
-        p: &mut Option<Value>,
+        p: &mut MinMaxPartial,
         removed: &[ItemRef],
         added: &[ItemRef],
     ) -> DeltaSupport {
         for item in removed {
             let v = self.map(item.value);
-            let sound = match (*p, self.op) {
+            let Some(b) = p.best else {
                 // Removing from an empty partial is inconsistent input.
-                (None, _) => false,
-                (Some(min), MinMaxOp::Min) => v > min,
-                (Some(max), MinMaxOp::Max) => v < max,
-            };
-            if !sound {
                 return DeltaSupport::Unsupported;
+            };
+            if self.better(v, b) {
+                // Outside the summarized range: inconsistent input.
+                return DeltaSupport::Unsupported;
+            }
+            if v == b {
+                match p.second {
+                    // Tie repair: the runner-up becomes the extremum
+                    // (s == b is a surviving tie copy). Whatever ranked
+                    // third is unknown.
+                    RunnerUp::Exactly(s) => {
+                        p.best = Some(s);
+                        p.second = RunnerUp::Unknown;
+                    }
+                    // A singleton being emptied: exactly empty.
+                    RunnerUp::Absent => *p = MinMaxPartial::of(None),
+                    RunnerUp::Unknown => return DeltaSupport::Unsupported,
+                }
+            } else {
+                match p.second {
+                    // The removed copy may have been the one defining
+                    // the runner-up; a further copy is unknowable.
+                    RunnerUp::Exactly(s) if v == s => p.second = RunnerUp::Unknown,
+                    // A removed value strictly between the extremum and
+                    // an exact runner-up claim contradicts the claim —
+                    // as does any non-extremal removal from a claimed
+                    // singleton.
+                    RunnerUp::Exactly(s) if self.better(v, s) => return DeltaSupport::Unsupported,
+                    RunnerUp::Absent => return DeltaSupport::Unsupported,
+                    RunnerUp::Exactly(_) | RunnerUp::Unknown => {}
+                }
             }
         }
         for item in added {
@@ -989,9 +1122,30 @@ mod tests {
         };
         let p = agg.partial_over([item(9), item(3), item(40)]);
         assert_eq!(agg.finalize(&p), Some(3));
-        assert_eq!(agg.merge(p, None), Some(3));
-        roundtrip(&agg, &Some(3));
-        roundtrip(&agg, &None);
+        assert_eq!(agg.merge(p, agg.identity()), MinMaxPartial::of(Some(3)));
+        roundtrip(&agg, &MinMaxPartial::of(Some(3)));
+        roundtrip(&agg, &MinMaxPartial::of(None));
+        // The runner-up is bookkeeping, not identity: equality (and the
+        // wire) see only the extremum.
+        assert_eq!(
+            MinMaxPartial {
+                best: Some(3),
+                second: RunnerUp::Exactly(9)
+            },
+            MinMaxPartial::of(Some(3))
+        );
+        let mut w = BitWriter::new();
+        agg.encode(
+            &MinMaxPartial {
+                best: Some(3),
+                second: RunnerUp::Exactly(9),
+            },
+            &mut w,
+        );
+        let with_second = w.finish();
+        let mut w = BitWriter::new();
+        agg.encode(&MinMaxPartial::of(Some(3)), &mut w);
+        assert_eq!(with_second, w.finish(), "runner-up never hits the wire");
     }
 
     #[test]
@@ -1195,7 +1349,7 @@ mod tests {
     }
 
     #[test]
-    fn minmax_delta_declines_extremum_removal() {
+    fn minmax_delta_repairs_extremum_removal() {
         let min = MinMaxAgg {
             op: MinMaxOp::Min,
             domain: Domain::Raw,
@@ -1207,10 +1361,51 @@ mod tests {
             min.apply_delta(&mut p, &[item(40)], &[item(2)]),
             DeltaSupport::Exact
         );
-        assert_eq!(p, Some(2));
-        // Removing the value that ties the minimum: unknowable.
+        assert_eq!(p, MinMaxPartial::of(Some(2)));
+        // Removing the extremum with a known runner-up: repaired — the
+        // runner-up (the displaced old minimum, 3) takes over.
         assert_eq!(
             min.apply_delta(&mut p, &[item(2)], &[item(50)]),
+            DeltaSupport::Exact
+        );
+        assert_eq!(min.finalize(&p), Some(3));
+        // A wire-decoded partial knows no runner-up: the same removal is
+        // unknowable and must decline.
+        let mut cold = MinMaxPartial::of(Some(3));
+        assert_eq!(
+            min.apply_delta(&mut cold, &[item(3)], &[]),
+            DeltaSupport::Unsupported
+        );
+        // Tie repair: two copies of the minimum, remove one — the other
+        // survives as both extremum and (now unknown) runner-up anchor.
+        let mut tied = min.partial_over([item(5), item(5), item(80)]);
+        assert_eq!(
+            min.apply_delta(&mut tied, &[item(5)], &[]),
+            DeltaSupport::Exact
+        );
+        assert_eq!(min.finalize(&tied), Some(5));
+        assert_eq!(
+            min.apply_delta(&mut tied, &[item(5)], &[]),
+            DeltaSupport::Unsupported,
+            "second copy removed: a third is unknowable"
+        );
+        // A removal strictly between the extremum and an exact
+        // runner-up claim contradicts the claim: decline.
+        let mut q = min.partial_over([item(10), item(20)]);
+        assert_eq!(q.second, RunnerUp::Exactly(20));
+        assert_eq!(
+            min.apply_delta(&mut q, &[item(15)], &[]),
+            DeltaSupport::Unsupported
+        );
+        // Emptying a known singleton is exact; emptying further is not.
+        let mut solo = min.partial_over([item(42)]);
+        assert_eq!(
+            min.apply_delta(&mut solo, &[item(42)], &[]),
+            DeltaSupport::Exact
+        );
+        assert_eq!(min.finalize(&solo), None);
+        assert_eq!(
+            min.apply_delta(&mut solo, &[item(42)], &[]),
             DeltaSupport::Unsupported
         );
         let max = MinMaxAgg {
@@ -1219,12 +1414,27 @@ mod tests {
             xbar: 1 << 20,
         };
         // Log domain: 1<<10 and (1<<10)+5 share an octave, so removing
-        // one while the mapped maximum is that octave is a tie.
-        let mut q = max.partial_over([item(1 << 10), item(4)]);
+        // the latter while the recorded maximum is that octave is an
+        // extremum removal — repaired by the locally tracked runner-up
+        // (the octave of 4).
+        let mut lone = max.partial_over([item(1 << 10), item(4)]);
         assert_eq!(
-            max.apply_delta(&mut q, &[item((1 << 10) + 5)], &[]),
-            DeltaSupport::Unsupported
+            max.apply_delta(&mut lone, &[item((1 << 10) + 5)], &[]),
+            DeltaSupport::Exact
         );
+        assert_eq!(max.finalize(&lone), Some(2));
+        // Octave ties keep the runner-up exact through merges too: two
+        // subtrees topping out in the same octave repair after one side
+        // loses its top item.
+        let left = max.partial_over([item(1 << 10)]);
+        let right = max.partial_over([item((1 << 10) + 5)]);
+        let mut merged = max.merge(left, right);
+        assert_eq!(merged.second, RunnerUp::Exactly(10));
+        assert_eq!(
+            max.apply_delta(&mut merged, &[item(1 << 10)], &[]),
+            DeltaSupport::Exact
+        );
+        assert_eq!(max.finalize(&merged), Some(10));
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub mod simnet;
 pub mod streaming;
 pub mod wave_proto;
 
-pub use aggregate::{BottomKAgg, DeltaSupport, ItemRef, PartialAggregate, QuantileAgg};
+pub use aggregate::{
+    BottomKAgg, DeltaSupport, ItemRef, MinMaxPartial, PartialAggregate, QuantileAgg, RunnerUp,
+};
 pub use apx_median::{ApxMedian, ApxMedianOutcome};
 pub use apx_median2::{ApxMedian2, ApxMedian2Outcome};
 pub use continuous::{ContinuousEngine, ContinuousRound, RefreshReport, StandingId};

@@ -17,13 +17,14 @@ use crate::model::Value;
 use crate::net::{AggregationNetwork, OpCounts};
 use crate::predicate::{Domain, Predicate};
 use crate::wave_proto::{CorePartial, CoreRequest, CoreWave, SimItem};
+use saq_netsim::flat::NestDepth;
 use saq_netsim::sim::SimConfig;
 use saq_netsim::stats::NetStats;
 use saq_netsim::topology::Topology;
 use saq_protocols::wave::Reliability;
 use saq_protocols::{
-    MultiplexWave, MuxLedger, MuxSlotBits, ShardedWaveRunner, SpanningTree, WaveProtocol,
-    WaveRunner,
+    FlatWaveRunner, MultiplexWave, MuxLedger, MuxSlotBits, ShardedWaveRunner, SpanningTree,
+    WaveProtocol, WaveRunner,
 };
 use std::sync::{Arc, Mutex};
 
@@ -54,6 +55,8 @@ pub struct SimNetworkBuilder {
     reliability: Reliability,
     cache_entries: usize,
     shards: usize,
+    flat: bool,
+    flat_depth: Option<u32>,
 }
 
 impl Default for SimNetworkBuilder {
@@ -65,6 +68,8 @@ impl Default for SimNetworkBuilder {
             reliability: Reliability::None,
             cache_entries: 0,
             shards: 1,
+            flat: false,
+            flat_depth: None,
         }
     }
 }
@@ -133,6 +138,31 @@ impl SimNetworkBuilder {
         self
     }
 
+    /// Runs on the **columnar flat substrate**
+    /// ([`saq_protocols::flat::FlatWaveRunner`]): per-node state in
+    /// contiguous position-indexed columns, waves as two array sweeps,
+    /// and [`SimNetworkBuilder::shards`] worker threads over a
+    /// **nested** shard plan that re-cuts oversized subtrees at their
+    /// own roots (depth auto-chosen unless pinned with
+    /// [`SimNetworkBuilder::flat_depth`]). Like `shards(k)`, this is
+    /// an execution strategy, not a semantics change: answers, per-slot
+    /// [`MuxLedger`] attribution, cache counters and per-node bits are
+    /// identical to the boxed substrates. Requires [`Reliability::None`]
+    /// over lossless, duplication-free links.
+    pub fn flat(mut self, flat: bool) -> Self {
+        self.flat = flat;
+        self
+    }
+
+    /// Pins the flat substrate's nested re-sharding depth (`0` = cut at
+    /// the root's children only, the classic plan). Default: chosen
+    /// automatically from subtree sizes. Only meaningful with
+    /// [`SimNetworkBuilder::flat`].
+    pub fn flat_depth(mut self, depth: u32) -> Self {
+        self.flat_depth = Some(depth);
+        self
+    }
+
     /// Builds a network with explicit per-node item multisets (§5 of the
     /// paper allows several items per node).
     ///
@@ -167,7 +197,25 @@ impl SimNetworkBuilder {
             .into_iter()
             .map(|vs| vs.into_iter().map(SimItem::new).collect())
             .collect();
-        let mut runner = if self.shards > 1 {
+        let mut runner = if self.flat {
+            let depth = match self.flat_depth {
+                Some(d) => NestDepth::Fixed(d),
+                None => NestDepth::Auto,
+            };
+            Runner::Flat(Box::new(
+                FlatWaveRunner::new(
+                    topo,
+                    self.sim_cfg,
+                    &tree,
+                    proto,
+                    items,
+                    self.reliability,
+                    self.shards,
+                    depth,
+                )
+                .map_err(QueryError::from)?,
+            ))
+        } else if self.shards > 1 {
             Runner::Sharded(Box::new(
                 ShardedWaveRunner::new(
                     topo,
@@ -246,6 +294,7 @@ pub struct BatchOutcome {
 enum Runner {
     Single(Box<WaveRunner<MultiplexWave<CoreWave>>>),
     Sharded(Box<ShardedWaveRunner<MultiplexWave<CoreWave>>>),
+    Flat(Box<FlatWaveRunner<MultiplexWave<CoreWave>>>),
 }
 
 impl Runner {
@@ -256,6 +305,7 @@ impl Runner {
         match self {
             Runner::Single(r) => r.run_wave(req),
             Runner::Sharded(r) => r.run_wave(req),
+            Runner::Flat(r) => r.run_wave(req),
         }
     }
 
@@ -263,6 +313,7 @@ impl Runner {
         match self {
             Runner::Single(r) => r.stats(),
             Runner::Sharded(r) => r.stats(),
+            Runner::Flat(r) => r.stats(),
         }
     }
 
@@ -270,6 +321,7 @@ impl Runner {
         match self {
             Runner::Single(r) => r.reset_stats(),
             Runner::Sharded(r) => r.reset_stats(),
+            Runner::Flat(r) => r.reset_stats(),
         }
     }
 
@@ -277,6 +329,7 @@ impl Runner {
         match self {
             Runner::Single(r) => r.len(),
             Runner::Sharded(r) => r.len(),
+            Runner::Flat(r) => r.len(),
         }
     }
 
@@ -284,6 +337,7 @@ impl Runner {
         match self {
             Runner::Single(r) => r.tree_height(),
             Runner::Sharded(r) => r.tree_height(),
+            Runner::Flat(r) => r.tree_height(),
         }
     }
 
@@ -291,6 +345,7 @@ impl Runner {
         match self {
             Runner::Single(r) => r.tree_max_degree(),
             Runner::Sharded(r) => r.tree_max_degree(),
+            Runner::Flat(r) => r.tree_max_degree(),
         }
     }
 
@@ -298,6 +353,7 @@ impl Runner {
         match self {
             Runner::Single(r) => r.items(node),
             Runner::Sharded(r) => r.items(node),
+            Runner::Flat(r) => r.items(node),
         }
     }
 
@@ -305,6 +361,7 @@ impl Runner {
         match self {
             Runner::Single(r) => r.set_items(node, items),
             Runner::Sharded(r) => r.set_items(node, items),
+            Runner::Flat(r) => r.set_items(node, items),
         }
     }
 
@@ -312,6 +369,7 @@ impl Runner {
         match self {
             Runner::Single(r) => r.enable_partial_cache(capacity),
             Runner::Sharded(r) => r.enable_partial_cache(capacity),
+            Runner::Flat(r) => r.enable_partial_cache(capacity),
         }
     }
 
@@ -319,6 +377,7 @@ impl Runner {
         match self {
             Runner::Single(r) => r.cache_stats(),
             Runner::Sharded(r) => r.cache_stats(),
+            Runner::Flat(r) => r.cache_stats(),
         }
     }
 
@@ -326,6 +385,7 @@ impl Runner {
         match self {
             Runner::Single(r) => r.transport_footprint(),
             Runner::Sharded(r) => r.transport_footprint(),
+            Runner::Flat(r) => r.transport_footprint(),
         }
     }
 }
@@ -504,7 +564,7 @@ impl SimNetwork {
         let proto = self.core_proto();
         match (req, partial) {
             (CoreRequest::Min(_) | CoreRequest::Max(_), CorePartial::OptVal(_, v)) => {
-                PlanInput::OptVal(v)
+                PlanInput::OptVal(v.best)
             }
             (CoreRequest::Count(_) | CoreRequest::Sum(_), CorePartial::Num(v)) => PlanInput::Num(v),
             (CoreRequest::ApxCount { pred, reps, nonce }, CorePartial::Sketches(sks)) => {
@@ -547,7 +607,7 @@ impl AggregationNetwork for SimNetwork {
     fn min(&mut self, domain: Domain) -> Result<Option<Value>, QueryError> {
         self.ops.minmax_ops += 1;
         match self.run(CoreRequest::Min(domain))? {
-            CorePartial::OptVal(_, v) => Ok(v),
+            CorePartial::OptVal(_, v) => Ok(v.best),
             _ => unreachable!("min wave returns OptVal"),
         }
     }
@@ -555,7 +615,7 @@ impl AggregationNetwork for SimNetwork {
     fn max(&mut self, domain: Domain) -> Result<Option<Value>, QueryError> {
         self.ops.minmax_ops += 1;
         match self.run(CoreRequest::Max(domain))? {
-            CorePartial::OptVal(_, v) => Ok(v),
+            CorePartial::OptVal(_, v) => Ok(v.best),
             _ => unreachable!("max wave returns OptVal"),
         }
     }
@@ -823,6 +883,35 @@ mod tests {
         let (a, b) = (single.net_stats().unwrap(), sharded.net_stats().unwrap());
         for v in 0..topo.len() {
             assert_eq!(a.node(v).total_bits(), b.node(v).total_bits(), "node {v}");
+        }
+    }
+
+    #[test]
+    fn flat_network_matches_single_threaded() {
+        let topo = Topology::balanced_tree(40, 3).unwrap();
+        let items: Vec<Value> = (0..40u64).map(|i| (i * 13) % 40).collect();
+        let mut single = SimNetworkBuilder::new()
+            .build_one_per_node(&topo, &items, 128)
+            .unwrap();
+        for (shards, depth) in [(1, Some(0)), (2, None), (4, Some(2))] {
+            let mut b = SimNetworkBuilder::new().flat(true).shards(shards);
+            if let Some(d) = depth {
+                b = b.flat_depth(d);
+            }
+            let mut flat = b.build_one_per_node(&topo, &items, 128).unwrap();
+            assert_eq!(
+                single.count(&Predicate::TRUE).unwrap(),
+                flat.count(&Predicate::TRUE).unwrap()
+            );
+            assert_eq!(
+                single.min(Domain::Raw).unwrap(),
+                flat.min(Domain::Raw).unwrap()
+            );
+            let (a, b) = (single.net_stats().unwrap(), flat.net_stats().unwrap());
+            for v in 0..topo.len() {
+                assert_eq!(a.node(v).total_bits(), b.node(v).total_bits(), "node {v}");
+            }
+            single.reset_stats();
         }
     }
 

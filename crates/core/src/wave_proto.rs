@@ -23,7 +23,7 @@
 
 use crate::aggregate::{
     BottomKAgg, CollectAgg, CountSumAgg, CountSumOp, DistinctSetAgg, ItemRef, MinMaxAgg, MinMaxOp,
-    PartialAggregate, QuantileAgg, SketchAgg, SketchKey,
+    MinMaxPartial, PartialAggregate, QuantileAgg, SketchAgg, SketchKey,
 };
 use crate::counting::ApxCountConfig;
 use crate::model::{floor_log2, Value};
@@ -117,7 +117,7 @@ pub enum CoreRequest {
 #[derive(Debug, Clone, PartialEq)]
 pub enum CorePartial {
     /// Min/max accumulator (domain retained for encoding width).
-    OptVal(Domain, Option<u64>),
+    OptVal(Domain, MinMaxPartial),
     /// Exact count or sum.
     Num(u64),
     /// `reps` LogLog sketches, merged register-wise.
@@ -712,7 +712,7 @@ mod tests {
         for (req, partial) in [
             (
                 CoreRequest::Min(Domain::Raw),
-                CorePartial::OptVal(Domain::Raw, Some(999)),
+                CorePartial::OptVal(Domain::Raw, MinMaxPartial::of(Some(999))),
             ),
             (
                 CoreRequest::Quantile { budget: 4 },
@@ -724,11 +724,11 @@ mod tests {
             ),
             (
                 CoreRequest::Min(Domain::Raw),
-                CorePartial::OptVal(Domain::Raw, None),
+                CorePartial::OptVal(Domain::Raw, MinMaxPartial::of(None)),
             ),
             (
                 CoreRequest::Max(Domain::Log),
-                CorePartial::OptVal(Domain::Log, Some(9)),
+                CorePartial::OptVal(Domain::Log, MinMaxPartial::of(Some(9))),
             ),
             (CoreRequest::Count(Predicate::TRUE), CorePartial::Num(0)),
             (CoreRequest::Sum(Predicate::TRUE), CorePartial::Num(123_456)),
@@ -824,24 +824,24 @@ mod tests {
     #[test]
     fn optval_merge_respects_op() {
         let p = proto();
-        let a = CorePartial::OptVal(Domain::Raw, Some(3));
-        let b = CorePartial::OptVal(Domain::Raw, Some(9));
+        let a = CorePartial::OptVal(Domain::Raw, MinMaxPartial::of(Some(3)));
+        let b = CorePartial::OptVal(Domain::Raw, MinMaxPartial::of(Some(9)));
         assert_eq!(
             p.merge(&CoreRequest::Min(Domain::Raw), a.clone(), b.clone()),
-            CorePartial::OptVal(Domain::Raw, Some(3))
+            CorePartial::OptVal(Domain::Raw, MinMaxPartial::of(Some(3)))
         );
         assert_eq!(
             p.merge(&CoreRequest::Max(Domain::Raw), a, b),
-            CorePartial::OptVal(Domain::Raw, Some(9))
+            CorePartial::OptVal(Domain::Raw, MinMaxPartial::of(Some(9)))
         );
-        let none = CorePartial::OptVal(Domain::Raw, None);
+        let none = CorePartial::OptVal(Domain::Raw, MinMaxPartial::of(None));
         assert_eq!(
             p.merge(
                 &CoreRequest::Min(Domain::Raw),
                 none,
-                CorePartial::OptVal(Domain::Raw, Some(5))
+                CorePartial::OptVal(Domain::Raw, MinMaxPartial::of(Some(5)))
             ),
-            CorePartial::OptVal(Domain::Raw, Some(5))
+            CorePartial::OptVal(Domain::Raw, MinMaxPartial::of(Some(5)))
         );
     }
 

@@ -50,6 +50,7 @@
 pub mod energy;
 pub mod error;
 pub mod event;
+pub mod flat;
 pub mod link;
 pub mod rng;
 pub mod shard;

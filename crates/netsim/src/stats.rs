@@ -106,6 +106,13 @@ impl NetStats {
         self.nodes.iter()
     }
 
+    /// Mutable access to the per-node counters, for runners that keep
+    /// their own contiguous counter columns and flush them into a
+    /// [`NetStats`] ledger wholesale (the flat convergecast substrate).
+    pub fn nodes_mut(&mut self) -> &mut [NodeStats] {
+        &mut self.nodes
+    }
+
     /// Records that `node` transmitted a packet of `bits` bits.
     pub fn charge_tx(&mut self, node: usize, bits: u64) {
         let model = self.energy_model;

@@ -96,12 +96,88 @@ impl BitString {
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
+
+    /// Consumes the string, recovering its backing allocation for reuse
+    /// (e.g. through [`ScratchPool::recycle`]).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// A pool of recycled encode buffers for hot frame-encoding paths.
+///
+/// The wave engines encode one frame per tree edge per wave; allocating
+/// a fresh `Vec<u8>` for every frame dominates allocator traffic at
+/// large N. A driver that both encodes and consumes its frames (the
+/// flat convergecast runner in `saq-protocols`) can instead draw
+/// writers from a pool and recycle each frame's allocation once it has
+/// been decoded, reducing steady-state frame allocations to the pool's
+/// high-water mark. The `reused`/`fresh` counters make the saving
+/// observable (asserted by the `encode_scratch` bench in `saq-bench`).
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Vec<Vec<u8>>,
+    reused: u64,
+    fresh: u64,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty writer, backed by a recycled allocation when one is
+    /// available.
+    pub fn writer(&mut self) -> BitWriter {
+        match self.free.pop() {
+            Some(buf) => {
+                self.reused += 1;
+                BitWriter::with_scratch(buf)
+            }
+            None => {
+                self.fresh += 1;
+                BitWriter::new()
+            }
+        }
+    }
+
+    /// Returns a consumed frame's allocation to the pool.
+    pub fn recycle(&mut self, s: BitString) {
+        let bytes = s.into_bytes();
+        if bytes.capacity() > 0 {
+            self.free.push(bytes);
+        }
+    }
+
+    /// Writers served from a recycled allocation.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Writers that had to allocate fresh.
+    pub fn fresh(&self) -> u64 {
+        self.fresh
+    }
 }
 
 impl BitWriter {
     /// Creates an empty writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty writer backed by `scratch`'s allocation (the
+    /// contents are cleared, the capacity is kept). Together with
+    /// [`BitString::into_bytes`] this lets hot encode paths recycle
+    /// frame buffers instead of allocating one `Vec<u8>` per message —
+    /// see [`ScratchPool`].
+    pub fn with_scratch(mut scratch: Vec<u8>) -> Self {
+        scratch.clear();
+        BitWriter {
+            bytes: scratch,
+            len_bits: 0,
+        }
     }
 
     /// Number of bits written so far.
@@ -437,6 +513,30 @@ mod tests {
     fn gamma_zero_panics() {
         let mut w = BitWriter::new();
         w.write_gamma(0);
+    }
+
+    #[test]
+    fn scratch_pool_recycles_allocations() {
+        let mut pool = ScratchPool::new();
+        let mut w = pool.writer();
+        w.write_bits(0xABCD, 16);
+        let s = w.finish();
+        assert_eq!(pool.fresh(), 1);
+        assert_eq!(pool.reused(), 0);
+        pool.recycle(s);
+        // The next writer reuses the allocation and starts empty.
+        let mut w = pool.writer();
+        assert_eq!(pool.reused(), 1);
+        assert_eq!(w.len_bits(), 0);
+        w.write_gamma(9);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_gamma().unwrap(), 9);
+        assert_eq!(r.remaining(), 0);
+        // Zero-capacity strings are not worth pooling.
+        pool.recycle(BitString::default());
+        let _ = pool.writer();
+        assert_eq!(pool.fresh(), 2);
     }
 
     #[test]

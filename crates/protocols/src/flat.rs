@@ -1,0 +1,1305 @@
+//! Flat columnar convergecast execution over a [`FlatTree`].
+//!
+//! [`FlatWaveRunner`] executes [`WaveProtocol`] waves like
+//! [`WaveRunner`](crate::wave::WaveRunner), but on the struct-of-arrays
+//! substrate of [`saq_netsim::flat`] instead of a discrete-event
+//! simulator: per-node items, random streams, caches, wave state and
+//! bit counters live in contiguous columns indexed by DFS **position**,
+//! and a wave is two sweeps of index arithmetic — a top-down pass that
+//! decodes requests and stages per-child frames, and a bottom-up pass
+//! that merges child partials in fixed child order. No events, no
+//! queues, no per-node heap allocation on the wave path: frames are
+//! recycled through [`ScratchPool`]s, so steady-state waves allocate
+//! nothing.
+//!
+//! ## Nested parallelism
+//!
+//! A [`ShardPlan`] splits the tree into a sequential **spine** and
+//! contiguous subtree **blocks**. The driver plays the spine top-down
+//! (root admission, fan-out, every over-threshold subtree root),
+//! workers execute whole blocks in parallel — each block is a complete
+//! subtree, so workers never exchange a message — and the driver plays
+//! the spine bottom-up after the barrier. Because blocks are re-cut
+//! *recursively* wherever a subtree exceeds the balance threshold, one
+//! giant subtree no longer serialises a worker, which is what the
+//! root-only sharding of [`crate::shard`] could not avoid.
+//!
+//! ## Bit-identity with the boxed runners
+//!
+//! The flat runner reproduces a single-threaded
+//! [`WaveRunner`](crate::wave::WaveRunner) observable-for-observable,
+//! by the same argument as [`crate::shard`] (ARCHITECTURE §7, extended
+//! recursively in §10):
+//!
+//! * every node encodes exactly the frames it would encode boxed — one
+//!   request per child edge, one partial per participating node, with
+//!   the same `2 + 16`-bit header ([`WAVE_HEADER_BITS`]);
+//! * partials are merged in fixed child order (ascending global id =
+//!   ascending position), so answers are pure functions of tree +
+//!   items + request, independent of the plan and of thread timing;
+//! * per-node randomness comes from the same global-id-labeled streams
+//!   a simulator would seed, consumed only by `local`;
+//! * caches live with their node's column slot, so hit/miss counters
+//!   are identical; per-group protocol side-state ([`MuxLedger`]) is
+//!   drained at the barrier in fixed group order.
+//!
+//! Like the sharded runner, this requires [`Reliability::None`] over
+//! lossless, duplication-free links — the paper's model. Virtual time
+//! is not modelled at all (the canonical merge makes timing
+//! unobservable), which is precisely what makes a 10^6-node wave a
+//! pair of array sweeps.
+//!
+//! [`MuxLedger`]: crate::wave::MuxLedger
+//! [`WAVE_HEADER_BITS`]: crate::wave::WAVE_HEADER_BITS
+
+use crate::cache::{CacheKey, CacheStats, PartialCache};
+use crate::error::ProtocolError;
+use crate::tree::SpanningTree;
+use crate::wave::{Reliability, TransportFootprint, WaveProtocol, KIND_PARTIAL, KIND_REQUEST};
+use saq_netsim::energy::EnergyModel;
+use saq_netsim::flat::{FlatTree, NestDepth, ShardBlock, ShardPlan};
+use saq_netsim::rng::{derive_seed, Xoshiro256StarStar};
+use saq_netsim::sim::{NodeId, SimConfig};
+use saq_netsim::stats::{NetStats, NodeStats};
+use saq_netsim::topology::Topology;
+use saq_netsim::wire::{BitReader, BitString, ScratchPool};
+
+/// Directed link charge recorded by a sweep: `(src, dst, bits)` in
+/// global ids, drained into the [`NetStats`] ledger at the barrier.
+type LinkCharge = (usize, usize, u64);
+
+/// Per-position wave state: the flat analogue of the wave-scoped fields
+/// of [`AggNode`](crate::wave::AggNode), reset by admission each wave.
+#[derive(Debug)]
+struct WaveSlot<P: WaveProtocol> {
+    /// Request this node received (partials are encoded against it).
+    req: Option<P::Request>,
+    /// Cache-reduced request forwarded to children (partials are
+    /// decoded and merged against it).
+    fwd: Option<P::Request>,
+    /// Local contribution, then the canonical merge accumulator.
+    acc: Option<P::Partial>,
+    /// Cache hits of the current wave: `(slot index, partial)`.
+    hits: Vec<(usize, P::Partial)>,
+    /// Slot indices of the current wave's cache misses.
+    miss: Vec<usize>,
+    /// Partials to store on completion: `(position in fwd, key)`.
+    store: Vec<(usize, CacheKey)>,
+    /// Whether admission answered entirely from cache (subtree silent).
+    cached: bool,
+    /// Whether this node participates in the current wave.
+    active: bool,
+    /// Frame mailbox: inbound request during the top-down sweep, then
+    /// this node's outbound partial during the bottom-up sweep. A
+    /// parent writes a child's slot going down and takes it coming up,
+    /// so no queues exist — the column *is* the network.
+    frame: Option<BitString>,
+}
+
+impl<P: WaveProtocol> WaveSlot<P> {
+    fn blank() -> Self {
+        WaveSlot {
+            req: None,
+            fwd: None,
+            acc: None,
+            hits: Vec::new(),
+            miss: Vec::new(),
+            store: Vec::new(),
+            cached: false,
+            active: false,
+            frame: None,
+        }
+    }
+}
+
+/// A contiguous window into every per-node column, covering positions
+/// `base..base + len`. The whole tree for spine sweeps; one block for a
+/// worker — blocks are disjoint position ranges, so workers borrow
+/// disjoint slices of the same columns with no synchronisation.
+struct Cols<'a, P: WaveProtocol> {
+    base: usize,
+    items: &'a mut [Vec<P::Item>],
+    rngs: &'a mut [Xoshiro256StarStar],
+    caches: &'a mut [Option<PartialCache<P::Partial>>],
+    counters: &'a mut [NodeStats],
+    slots: &'a mut [WaveSlot<P>],
+}
+
+fn charge_tx(c: &mut NodeStats, model: &EnergyModel, bits: u64) {
+    c.tx_bits += bits;
+    c.tx_packets += 1;
+    c.energy.charge_tx(model, bits);
+}
+
+fn charge_rx(c: &mut NodeStats, model: &EnergyModel, bits: u64) {
+    c.rx_bits += bits;
+    c.rx_packets += 1;
+    c.energy.charge_rx(model, bits);
+}
+
+/// Wave admission at one node — the same cache resolution as
+/// [`AggNode::admit_wave`](crate::wave::AggNode), operating on a column
+/// slot. Returns `true` when every slot of the request was served from
+/// cache (the subtree stays silent and `slot.acc` holds the joined
+/// reply).
+fn admit<P: WaveProtocol>(
+    proto: &P,
+    cache: &mut Option<PartialCache<P::Partial>>,
+    slot: &mut WaveSlot<P>,
+    req: P::Request,
+) -> bool {
+    slot.hits.clear();
+    slot.miss.clear();
+    slot.store.clear();
+    slot.acc = None;
+    let invalidates = proto.invalidates_cache(&req);
+    if invalidates {
+        if let Some(cache) = cache {
+            cache.clear();
+        }
+    }
+    if let (Some(cache), false) = (cache.as_mut(), invalidates) {
+        for (i, key) in proto.slot_cache_keys(&req).into_iter().enumerate() {
+            match key {
+                Some(key) => match cache.get(&key) {
+                    Some(p) => slot.hits.push((i, p)),
+                    None => {
+                        slot.store.push((slot.miss.len(), key));
+                        slot.miss.push(i);
+                    }
+                },
+                None => slot.miss.push(i),
+            }
+        }
+    }
+    if !slot.hits.is_empty() && slot.miss.is_empty() {
+        let hits = std::mem::take(&mut slot.hits);
+        slot.acc = Some(proto.join_slots(&req, hits.into_iter().map(|(_, p)| p).collect()));
+        slot.req = Some(req);
+        slot.fwd = None;
+        slot.cached = true;
+        return true;
+    }
+    let fwd = if slot.hits.is_empty() {
+        req.clone()
+    } else {
+        proto.subset_request(&req, &slot.miss)
+    };
+    slot.req = Some(req);
+    slot.fwd = Some(fwd);
+    slot.cached = false;
+    false
+}
+
+/// Completion at one node — the same cache population and hit/computed
+/// interleave as [`AggNode::assemble_partial`](crate::wave::AggNode).
+fn assemble<P: WaveProtocol>(
+    proto: &P,
+    cache: &mut Option<PartialCache<P::Partial>>,
+    slot: &mut WaveSlot<P>,
+    acc: P::Partial,
+) -> P::Partial {
+    if slot.hits.is_empty() && slot.store.is_empty() {
+        return acc;
+    }
+    let req = slot.req.as_ref().expect("active wave has a request");
+    let fwd = slot
+        .fwd
+        .as_ref()
+        .expect("partial-hit wave has a forward request");
+    let computed = proto.split_slots(fwd, acc);
+    debug_assert_eq!(computed.len(), slot.miss.len(), "slot split shape");
+    if let Some(cache) = cache {
+        for (pos, key) in slot.store.drain(..) {
+            cache.insert(key, computed[pos].clone());
+        }
+    }
+    if slot.hits.is_empty() {
+        return proto.join_slots(req, computed);
+    }
+    let mut hits = std::mem::take(&mut slot.hits).into_iter().peekable();
+    let mut fresh = slot.miss.iter().zip(computed).peekable();
+    let mut slots = Vec::with_capacity(hits.len() + fresh.len());
+    loop {
+        match (hits.peek(), fresh.peek()) {
+            (Some(&(hi, _)), Some(&(&mi, _))) => {
+                if hi < mi {
+                    slots.push(hits.next().expect("peeked").1);
+                } else {
+                    slots.push(fresh.next().expect("peeked").1);
+                }
+            }
+            (Some(_), None) => slots.push(hits.next().expect("peeked").1),
+            (None, Some(_)) => slots.push(fresh.next().expect("peeked").1),
+            (None, None) => break,
+        }
+    }
+    proto.join_slots(req, slots)
+}
+
+/// Encodes and stages one request frame per child of `p`, charging the
+/// transmissions to `p` exactly as its per-child unicasts would be.
+#[allow(clippy::too_many_arguments)]
+fn fan_out<P: WaveProtocol>(
+    tree: &FlatTree,
+    model: &EnergyModel,
+    proto: &P,
+    pool: &mut ScratchPool,
+    links: &mut Vec<LinkCharge>,
+    cols: &mut Cols<'_, P>,
+    p: usize,
+    wave: u16,
+    fwd: &P::Request,
+) {
+    let rel = p - cols.base;
+    let global = tree.global_of(p);
+    for &c in tree.children_pos(p) {
+        let mut w = pool.writer();
+        w.write_bits(KIND_REQUEST, 2);
+        w.write_bits(wave as u64, 16);
+        proto.encode_request(fwd, &mut w);
+        let frame = w.finish();
+        let bits = frame.len_bits();
+        charge_tx(&mut cols.counters[rel], model, bits);
+        links.push((global, tree.global_of(c as usize), bits));
+        cols.slots[c as usize - cols.base].frame = Some(frame);
+    }
+}
+
+/// Top-down step at a non-root position: consume the inbound request
+/// frame, admit the wave, contribute locally, stage child frames.
+#[allow(clippy::too_many_arguments)]
+fn step_down<P: WaveProtocol>(
+    tree: &FlatTree,
+    model: &EnergyModel,
+    proto: &P,
+    pool: &mut ScratchPool,
+    links: &mut Vec<LinkCharge>,
+    cols: &mut Cols<'_, P>,
+    p: usize,
+    wave: u16,
+) {
+    let rel = p - cols.base;
+    let Some(frame) = cols.slots[rel].frame.take() else {
+        // No request reached this node (an ancestor answered from
+        // cache): it sits the wave out.
+        cols.slots[rel].active = false;
+        return;
+    };
+    let bits = frame.len_bits();
+    charge_rx(&mut cols.counters[rel], model, bits);
+    let req = {
+        let mut r = BitReader::new(&frame);
+        let kind = r.read_bits(2);
+        let frame_wave = r.read_bits(16);
+        debug_assert!(matches!(kind, Ok(KIND_REQUEST)), "staged frame kind");
+        debug_assert_eq!(frame_wave.map(|w| w as u16), Ok(wave), "staged frame wave");
+        proto.decode_request(&mut r)
+    };
+    pool.recycle(frame);
+    let Ok(req) = req else {
+        cols.slots[rel].active = false;
+        return;
+    };
+    cols.slots[rel].active = true;
+    if admit(proto, &mut cols.caches[rel], &mut cols.slots[rel], req) {
+        return; // fully cached: subtree silent, reply sent bottom-up
+    }
+    let fwd = cols.slots[rel]
+        .fwd
+        .clone()
+        .expect("forwarding admission sets the forward request");
+    let local = proto.local(
+        tree.global_of(p),
+        &mut cols.items[rel],
+        &fwd,
+        &mut cols.rngs[rel],
+    );
+    cols.slots[rel].acc = Some(local);
+    fan_out(tree, model, proto, pool, links, cols, p, wave, &fwd);
+}
+
+/// Bottom-up step: merge child partials in fixed child order, populate
+/// the cache, and stage this node's partial frame for its parent.
+/// Returns the full reply at the root (`parent == None`).
+#[allow(clippy::too_many_arguments)]
+fn step_up<P: WaveProtocol>(
+    tree: &FlatTree,
+    model: &EnergyModel,
+    proto: &P,
+    pool: &mut ScratchPool,
+    links: &mut Vec<LinkCharge>,
+    cols: &mut Cols<'_, P>,
+    p: usize,
+    wave: u16,
+) -> Result<Option<P::Partial>, ProtocolError> {
+    let rel = p - cols.base;
+    if !cols.slots[rel].active {
+        return Ok(None);
+    }
+    let mut acc = cols.slots[rel]
+        .acc
+        .take()
+        .expect("active wave has an accumulator");
+    if !cols.slots[rel].cached {
+        let fwd = cols.slots[rel]
+            .fwd
+            .clone()
+            .expect("executing wave has a forward request");
+        for &c in tree.children_pos(p) {
+            let crel = c as usize - cols.base;
+            let Some(frame) = cols.slots[crel].frame.take() else {
+                return Err(ProtocolError::NoResult);
+            };
+            let bits = frame.len_bits();
+            charge_rx(&mut cols.counters[rel], model, bits);
+            let partial = {
+                let mut r = BitReader::new(&frame);
+                let kind = r.read_bits(2);
+                let frame_wave = r.read_bits(16);
+                debug_assert!(matches!(kind, Ok(KIND_PARTIAL)), "staged frame kind");
+                debug_assert_eq!(frame_wave.map(|w| w as u16), Ok(wave), "staged frame wave");
+                proto.decode_partial(&fwd, &mut r)
+            };
+            pool.recycle(frame);
+            let partial = partial.map_err(ProtocolError::from)?;
+            acc = proto.merge(&fwd, acc, partial);
+        }
+    }
+    let full = assemble(proto, &mut cols.caches[rel], &mut cols.slots[rel], acc);
+    match tree.parent_pos(p) {
+        None => Ok(Some(full)),
+        Some(parent) => {
+            let req = cols.slots[rel]
+                .req
+                .as_ref()
+                .expect("active wave has a request");
+            let mut w = pool.writer();
+            w.write_bits(KIND_PARTIAL, 2);
+            w.write_bits(wave as u64, 16);
+            proto.encode_partial(req, &full, &mut w);
+            let frame = w.finish();
+            let bits = frame.len_bits();
+            charge_tx(&mut cols.counters[rel], model, bits);
+            links.push((tree.global_of(p), tree.global_of(parent), bits));
+            cols.slots[rel].frame = Some(frame);
+            Ok(None)
+        }
+    }
+}
+
+/// Runs one complete block (a whole subtree): top-down then bottom-up.
+/// The block root's inbound frame was staged by its spine parent; its
+/// outbound partial is left in its own slot for the spine to take.
+#[allow(clippy::too_many_arguments)]
+fn eval_block<P: WaveProtocol>(
+    tree: &FlatTree,
+    model: &EnergyModel,
+    proto: &P,
+    pool: &mut ScratchPool,
+    links: &mut Vec<LinkCharge>,
+    cols: &mut Cols<'_, P>,
+    block: ShardBlock,
+    wave: u16,
+) -> Result<(), ProtocolError> {
+    let (start, end) = (block.start as usize, (block.start + block.len) as usize);
+    for p in start..end {
+        step_down(tree, model, proto, pool, links, cols, p, wave);
+    }
+    for p in (start..end).rev() {
+        let out = step_up(tree, model, proto, pool, links, cols, p, wave)?;
+        debug_assert!(out.is_none(), "blocks are strictly below the root");
+    }
+    Ok(())
+}
+
+/// One worker's share of a wave: its protocol clone (sharing the
+/// group's side-state), scratch pool, link tally, and assigned blocks
+/// with their disjoint column windows.
+struct WorkerTask<'a, P: WaveProtocol> {
+    proto: P,
+    pool: &'a mut ScratchPool,
+    links: &'a mut Vec<LinkCharge>,
+    blocks: Vec<(ShardBlock, Cols<'a, P>)>,
+}
+
+fn run_task<P: WaveProtocol>(
+    tree: &FlatTree,
+    model: &EnergyModel,
+    task: &mut WorkerTask<'_, P>,
+    wave: u16,
+) -> Result<(), ProtocolError> {
+    let mut result = Ok(());
+    for (block, cols) in &mut task.blocks {
+        let r = eval_block(
+            tree,
+            model,
+            &task.proto,
+            task.pool,
+            task.links,
+            cols,
+            *block,
+            wave,
+        );
+        // Keep the first error but finish every block, so per-block
+        // side-state is always fully accumulated before the barrier
+        // drains it (the shard discipline of `crate::shard`).
+        if result.is_ok() {
+            result = r;
+        }
+    }
+    result
+}
+
+/// Splits one column into per-block windows (blocks are disjoint and
+/// ascending by start, so this is a single left-to-right carve).
+fn split_ranges<'a, T>(mut col: &'a mut [T], blocks: &[ShardBlock]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(blocks.len());
+    let mut offset = 0usize;
+    for b in blocks {
+        let (_, rest) = col.split_at_mut(b.start as usize - offset);
+        let (window, rest) = rest.split_at_mut(b.len as usize);
+        out.push(window);
+        col = rest;
+        offset = (b.start + b.len) as usize;
+    }
+    out
+}
+
+/// Executes [`WaveProtocol`] waves over contiguous per-node columns,
+/// with nested static parallelism from a [`ShardPlan`] — see the
+/// module docs for the substrate and the bit-identity argument.
+#[derive(Debug)]
+pub struct FlatWaveRunner<P: WaveProtocol> {
+    tree: FlatTree,
+    plan: ShardPlan,
+    energy: EnergyModel,
+    /// The driver's protocol instance — owns the primary side-state
+    /// (e.g. the [`MuxLedger`](crate::wave::MuxLedger) handed out
+    /// before construction); group clones are drained into it at every
+    /// barrier.
+    proto: P,
+    // Position-indexed persistent columns.
+    items: Vec<Vec<P::Item>>,
+    rngs: Vec<Xoshiro256StarStar>,
+    caches: Vec<Option<PartialCache<P::Partial>>>,
+    /// Cumulative per-position counters, flushed wholesale into
+    /// `stats` (global-id-indexed) after every wave.
+    counters: Vec<NodeStats>,
+    slots: Vec<WaveSlot<P>>,
+    stats: NetStats,
+    /// Driver-side scratch frames (spine sweeps).
+    pool: ScratchPool,
+    worker_protos: Vec<P>,
+    worker_pools: Vec<ScratchPool>,
+    worker_links: Vec<Vec<LinkCharge>>,
+    next_wave: u16,
+    tree_height: u32,
+    tree_max_degree: usize,
+}
+
+impl<P> FlatWaveRunner<P>
+where
+    P: WaveProtocol + Send,
+    P::Request: Send,
+    P::Partial: Send,
+    P::Item: Send,
+{
+    /// Builds a flat runner over the same inputs as
+    /// [`WaveRunner::new`](crate::wave::WaveRunner::new), plus the
+    /// worker count and nesting depth for the [`ShardPlan`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::Unsupported`] unless `reliability` is
+    ///   [`Reliability::None`] and links are lossless and
+    ///   duplication-free — the same gate as [`crate::shard`], and
+    ///   additionally because the flat substrate does not model
+    ///   per-hop delivery fates at all;
+    /// * [`ProtocolError::ShapeMismatch`] for item/topology mismatches.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        topo: &Topology,
+        cfg: SimConfig,
+        tree: &SpanningTree,
+        proto: P,
+        items: Vec<Vec<P::Item>>,
+        reliability: Reliability,
+        workers: usize,
+        depth: NestDepth,
+    ) -> Result<Self, ProtocolError> {
+        if !matches!(reliability, Reliability::None) {
+            return Err(ProtocolError::Unsupported(
+                "flat execution requires Reliability::None (the columnar substrate models no per-hop delivery)",
+            ));
+        }
+        if cfg.link.loss > 0.0 || cfg.link.duplication > 0.0 {
+            return Err(ProtocolError::Unsupported(
+                "flat execution requires lossless, duplication-free links (no link-fate streams exist to replay drops)",
+            ));
+        }
+        if items.len() != topo.len() {
+            return Err(ProtocolError::ShapeMismatch("items vector vs topology"));
+        }
+        tree.validate(topo)?;
+
+        let n = topo.len();
+        let parents: Vec<Option<usize>> = (0..n).map(|v| tree.parent(v)).collect();
+        let flat = FlatTree::from_parents(tree.root(), &parents);
+        let plan = ShardPlan::new(&flat, workers, depth);
+
+        let mut items = items;
+        let flat_items: Vec<Vec<P::Item>> = (0..n)
+            .map(|p| std::mem::take(&mut items[flat.global_of(p)]))
+            .collect();
+        let rngs: Vec<Xoshiro256StarStar> = (0..n)
+            .map(|p| {
+                Xoshiro256StarStar::seed_from_u64(derive_seed(
+                    cfg.seed,
+                    flat.global_of(p) as u64,
+                    1,
+                ))
+            })
+            .collect();
+        let groups = plan.groups().len();
+        let worker_protos: Vec<P> = (0..groups).map(|_| proto.shard_clone()).collect();
+
+        Ok(FlatWaveRunner {
+            tree_height: tree.height(),
+            tree_max_degree: tree.max_degree(),
+            tree: flat,
+            plan,
+            energy: cfg.energy,
+            proto,
+            items: flat_items,
+            rngs,
+            caches: (0..n).map(|_| None).collect(),
+            counters: vec![NodeStats::default(); n],
+            slots: (0..n).map(|_| WaveSlot::blank()).collect(),
+            stats: NetStats::new(n, cfg.energy),
+            pool: ScratchPool::new(),
+            worker_protos,
+            worker_pools: (0..groups).map(|_| ScratchPool::new()).collect(),
+            worker_links: (0..groups).map(|_| Vec::new()).collect(),
+            next_wave: 0,
+        })
+    }
+
+    /// Number of parallel worker groups in the plan.
+    pub fn worker_count(&self) -> usize {
+        self.plan.groups().len()
+    }
+
+    /// Nesting depth the plan actually applied past the root cut.
+    pub fn nest_depth(&self) -> u32 {
+        self.plan.depth()
+    }
+
+    /// The shard plan driving parallel execution.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.tree.global_of(0)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the network has no nodes (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Height of the aggregation tree.
+    pub fn tree_height(&self) -> u32 {
+        self.tree_height
+    }
+
+    /// Maximum communication degree in the aggregation tree.
+    pub fn tree_max_degree(&self) -> usize {
+        self.tree_max_degree
+    }
+
+    /// Accumulated global per-node communication statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Clears accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.counters = vec![NodeStats::default(); self.tree.len()];
+        self.stats.reset();
+    }
+
+    /// Buffers taken from the scratch pools instead of allocated —
+    /// after the first wave, frames come entirely from here.
+    pub fn scratch_reused(&self) -> u64 {
+        self.pool.reused()
+            + self
+                .worker_pools
+                .iter()
+                .map(ScratchPool::reused)
+                .sum::<u64>()
+    }
+
+    /// Buffers the scratch pools had to allocate fresh.
+    pub fn scratch_fresh(&self) -> u64 {
+        self.pool.fresh()
+            + self
+                .worker_pools
+                .iter()
+                .map(ScratchPool::fresh)
+                .sum::<u64>()
+    }
+
+    /// Current items of `node` (a global id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn items(&self, node: NodeId) -> &[P::Item] {
+        &self.items[self.tree.pos_of(node)]
+    }
+
+    /// Replaces the items of `node`, **delta-maintaining** the subtree
+    /// caches of the node and every ancestor up to the root — the same
+    /// walk as [`WaveRunner::set_items`](crate::wave::WaveRunner::set_items),
+    /// as position arithmetic on the parent column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_items(&mut self, node: NodeId, items: Vec<P::Item>) {
+        let pos = self.tree.pos_of(node);
+        let old = std::mem::replace(&mut self.items[pos], items);
+        if old == self.items[pos] {
+            return; // nothing observable changed: caches stay valid as-is
+        }
+        let new = self.items[pos].clone();
+        let mut cursor = Some(pos);
+        while let Some(p) = cursor {
+            if let Some(cache) = &mut self.caches[p] {
+                let proto = &self.proto;
+                cache.delta_maintain(|key, partial| {
+                    proto.apply_item_delta(key, partial, node, &old, &new)
+                });
+            }
+            cursor = self.tree.parent_pos(p);
+        }
+    }
+
+    /// Enables subtree partial caching at every node (see
+    /// [`WaveRunner::enable_partial_cache`](crate::wave::WaveRunner::enable_partial_cache)).
+    pub fn enable_partial_cache(&mut self, capacity: usize) {
+        for c in &mut self.caches {
+            *c = Some(PartialCache::new(capacity));
+        }
+    }
+
+    /// Disables subtree partial caching, dropping all cached state.
+    pub fn disable_partial_cache(&mut self) {
+        for c in &mut self.caches {
+            *c = None;
+        }
+    }
+
+    /// Network-wide cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for cache in self.caches.iter().flatten() {
+            total.absorb(cache.stats());
+        }
+        total
+    }
+
+    /// Network-wide transport-state occupancy. The flat substrate
+    /// holds no ARQ or queue state at all, so only cache residency is
+    /// ever nonzero.
+    pub fn transport_footprint(&self) -> TransportFootprint {
+        TransportFootprint {
+            cache_entries: self
+                .caches
+                .iter()
+                .flatten()
+                .map(|c| c.stats().entries)
+                .sum(),
+            ..TransportFootprint::default()
+        }
+    }
+
+    /// Copies the cumulative per-position counters into the global-id
+    /// indexed [`NetStats`] view.
+    fn flush_stats(&mut self) {
+        let nodes = self.stats.nodes_mut();
+        for (p, c) in self.counters.iter().enumerate() {
+            nodes[self.tree.global_of(p)] = *c;
+        }
+    }
+
+    /// Runs one wave: root admission, spine top-down, parallel block
+    /// execution, barrier, spine bottom-up.
+    ///
+    /// # Errors
+    ///
+    /// As [`WaveRunner::run_wave`](crate::wave::WaveRunner::run_wave):
+    /// [`ProtocolError::NoResult`] when some subtree failed to report;
+    /// validation errors are propagated.
+    pub fn run_wave(&mut self, req: P::Request) -> Result<P::Partial, ProtocolError> {
+        self.proto
+            .validate_request(&req)
+            .map_err(ProtocolError::from)?;
+        self.next_wave = self.next_wave.wrapping_add(1);
+        let wave = self.next_wave;
+
+        // Recycle frames stranded by a previous failed wave so they
+        // can never be mistaken for this wave's traffic.
+        for s in &mut self.slots {
+            if let Some(f) = s.frame.take() {
+                self.pool.recycle(f);
+            }
+        }
+
+        // Root admission, outside any sweep: the driver stages the
+        // request directly, so there is no inbound frame and no rx
+        // charge — exactly the staged kick of the boxed runners.
+        self.slots[0].active = true;
+        if admit(&self.proto, &mut self.caches[0], &mut self.slots[0], req) {
+            // Every slot served from the root's cache: the network
+            // stays silent.
+            let acc = self.slots[0]
+                .acc
+                .take()
+                .expect("cached admission set the accumulator");
+            let full = assemble(&self.proto, &mut self.caches[0], &mut self.slots[0], acc);
+            self.flush_stats();
+            return Ok(full);
+        }
+
+        let model = self.energy;
+        let mut spine_links: Vec<LinkCharge> = Vec::new();
+
+        // Phase A — spine top-down: root contribution and fan-out,
+        // then every spine position in ascending (pre-)order, staging
+        // the inbound frames of all block roots along the way.
+        {
+            let tree = &self.tree;
+            let mut cols = Cols {
+                base: 0,
+                items: &mut self.items,
+                rngs: &mut self.rngs,
+                caches: &mut self.caches,
+                counters: &mut self.counters,
+                slots: &mut self.slots,
+            };
+            let fwd = cols.slots[0]
+                .fwd
+                .clone()
+                .expect("forwarding admission sets the forward request");
+            let local = self.proto.local(
+                tree.global_of(0),
+                &mut cols.items[0],
+                &fwd,
+                &mut cols.rngs[0],
+            );
+            cols.slots[0].acc = Some(local);
+            fan_out(
+                tree,
+                &model,
+                &self.proto,
+                &mut self.pool,
+                &mut spine_links,
+                &mut cols,
+                0,
+                wave,
+                &fwd,
+            );
+            for &p in &self.plan.spine()[1..] {
+                step_down(
+                    tree,
+                    &model,
+                    &self.proto,
+                    &mut self.pool,
+                    &mut spine_links,
+                    &mut cols,
+                    p as usize,
+                    wave,
+                );
+            }
+        }
+
+        // Phase B — parallel blocks: disjoint column windows per
+        // block, grouped per worker by the plan's static assignment.
+        let worker_error = {
+            let tree = &self.tree;
+            let blocks = self.plan.blocks();
+            let mut block_cols: Vec<Option<Cols<'_, P>>> = Vec::with_capacity(blocks.len());
+            {
+                let items = split_ranges(&mut self.items[..], blocks);
+                let rngs = split_ranges(&mut self.rngs[..], blocks);
+                let caches = split_ranges(&mut self.caches[..], blocks);
+                let counters = split_ranges(&mut self.counters[..], blocks);
+                let slots = split_ranges(&mut self.slots[..], blocks);
+                for ((((((items, rngs), caches), counters), slots), b), _) in items
+                    .into_iter()
+                    .zip(rngs)
+                    .zip(caches)
+                    .zip(counters)
+                    .zip(slots)
+                    .zip(blocks)
+                    .zip(0..)
+                {
+                    block_cols.push(Some(Cols {
+                        base: b.start as usize,
+                        items,
+                        rngs,
+                        caches,
+                        counters,
+                        slots,
+                    }));
+                }
+            }
+            let mut tasks: Vec<WorkerTask<'_, P>> = self
+                .worker_protos
+                .iter()
+                .zip(self.worker_pools.iter_mut())
+                .zip(self.worker_links.iter_mut())
+                .zip(self.plan.groups())
+                .map(|(((proto, pool), links), group)| WorkerTask {
+                    proto: proto.clone(),
+                    pool,
+                    links,
+                    blocks: group
+                        .iter()
+                        .map(|&bi| {
+                            (
+                                blocks[bi],
+                                block_cols[bi].take().expect("block assigned once"),
+                            )
+                        })
+                        .collect(),
+                })
+                .collect();
+            let results: Vec<Result<(), ProtocolError>> = if tasks.len() <= 1 {
+                tasks
+                    .iter_mut()
+                    .map(|t| run_task(tree, &model, t, wave))
+                    .collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = tasks
+                        .iter_mut()
+                        .map(|t| scope.spawn(move || run_task(tree, &model, t, wave)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("flat worker panicked"))
+                        .collect()
+                })
+            };
+            results.into_iter().find_map(Result::err)
+        };
+
+        // Barrier — drain per-group protocol side-state and link
+        // tallies in fixed group order, whether or not a block failed,
+        // so nothing leaks into the next wave.
+        for wp in &self.worker_protos {
+            self.proto.absorb_shard(wp);
+        }
+        for g in 0..self.worker_links.len() {
+            for (s, d, bits) in self.worker_links[g].drain(..) {
+                self.stats.charge_link(s, d, bits);
+            }
+        }
+        if let Some(e) = worker_error {
+            for (s, d, bits) in spine_links.drain(..) {
+                self.stats.charge_link(s, d, bits);
+            }
+            self.flush_stats();
+            return Err(e);
+        }
+
+        // Phase C — spine bottom-up: descending position order visits
+        // every spine child (spine or block root) before its parent.
+        let mut result = None;
+        {
+            let tree = &self.tree;
+            let mut cols = Cols {
+                base: 0,
+                items: &mut self.items,
+                rngs: &mut self.rngs,
+                caches: &mut self.caches,
+                counters: &mut self.counters,
+                slots: &mut self.slots,
+            };
+            for &p in self.plan.spine().iter().rev() {
+                match step_up(
+                    tree,
+                    &model,
+                    &self.proto,
+                    &mut self.pool,
+                    &mut spine_links,
+                    &mut cols,
+                    p as usize,
+                    wave,
+                ) {
+                    Ok(Some(full)) => result = Some(full),
+                    Ok(None) => {}
+                    Err(e) => {
+                        for (s, d, bits) in spine_links.drain(..) {
+                            self.stats.charge_link(s, d, bits);
+                        }
+                        self.flush_stats();
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        for (s, d, bits) in spine_links.drain(..) {
+            self.stats.charge_link(s, d, bits);
+        }
+        self.flush_stats();
+        result.ok_or(ProtocolError::NoResult)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wave::{MultiplexWave, MuxEntry, WaveRunner};
+    use saq_netsim::wire::{width_for_max, BitWriter};
+    use saq_netsim::NetsimError;
+
+    /// SUM of items below a threshold (mirrors the shard.rs test
+    /// protocol); deterministic, so cacheable.
+    #[derive(Debug, Clone)]
+    struct SumBelow {
+        value_width: u32,
+    }
+
+    impl WaveProtocol for SumBelow {
+        type Request = u64;
+        type Partial = u64;
+        type Item = u64;
+
+        fn encode_request(&self, req: &u64, w: &mut BitWriter) {
+            w.write_bits(*req, self.value_width);
+        }
+        fn decode_request(&self, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+            r.read_bits(self.value_width)
+        }
+        fn encode_partial(&self, _req: &u64, p: &u64, w: &mut BitWriter) {
+            w.write_bits(*p, 32);
+        }
+        fn decode_partial(&self, _req: &u64, r: &mut BitReader<'_>) -> Result<u64, NetsimError> {
+            r.read_bits(32)
+        }
+        fn local(
+            &self,
+            _node: NodeId,
+            items: &mut Vec<u64>,
+            req: &u64,
+            _rng: &mut Xoshiro256StarStar,
+        ) -> u64 {
+            items.iter().filter(|&&x| x < *req).sum()
+        }
+        fn merge(&self, _req: &u64, a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn cache_key(&self, req: &u64) -> Option<CacheKey> {
+            let mut w = BitWriter::new();
+            self.encode_request(req, &mut w);
+            Some(w.finish())
+        }
+    }
+
+    fn proto() -> MultiplexWave<SumBelow> {
+        MultiplexWave::new(SumBelow {
+            value_width: width_for_max(1000),
+        })
+    }
+
+    fn env(reqs: Vec<u64>) -> Vec<MuxEntry<u64>> {
+        MultiplexWave::<SumBelow>::envelope(reqs)
+    }
+
+    fn balanced_setup(n: usize, degree: usize) -> (Topology, SpanningTree, Vec<Vec<u64>>) {
+        let topo = Topology::balanced_tree(n, degree).unwrap();
+        let tree = SpanningTree::bfs(&topo, 0).unwrap();
+        let items: Vec<Vec<u64>> = (0..n).map(|i| vec![(i as u64 * 7) % 1000]).collect();
+        (topo, tree, items)
+    }
+
+    #[test]
+    fn flat_matches_single_threaded_everything() {
+        let (topo, tree, items) = balanced_setup(85, 4);
+        for workers in [1usize, 2, 4] {
+            for depth in [NestDepth::Fixed(0), NestDepth::Fixed(2), NestDepth::Auto] {
+                let mut single = WaveRunner::new(
+                    &topo,
+                    SimConfig::default(),
+                    &tree,
+                    proto(),
+                    items.clone(),
+                    Reliability::None,
+                )
+                .unwrap();
+                let mut flat = FlatWaveRunner::new(
+                    &topo,
+                    SimConfig::default(),
+                    &tree,
+                    proto(),
+                    items.clone(),
+                    Reliability::None,
+                    workers,
+                    depth,
+                )
+                .unwrap();
+                for req in [vec![1000, 500], vec![30], vec![999, 1, 500]] {
+                    let a = single.run_wave(env(req.clone())).unwrap();
+                    let b = flat.run_wave(env(req)).unwrap();
+                    assert_eq!(a, b, "answers differ at workers={workers} {depth:?}");
+                }
+                // Per-node bit statistics are identical: same messages,
+                // same encodes, different substrate. (Energy compared
+                // via bits — f64 sums can differ in ULPs across
+                // accumulation orders.)
+                for v in 0..topo.len() {
+                    let (a, b) = (single.stats().node(v), flat.stats().node(v));
+                    assert_eq!(
+                        (a.tx_bits, a.rx_bits, a.tx_packets, a.rx_packets),
+                        (b.tx_bits, b.rx_bits, b.tx_packets, b.rx_packets),
+                        "node {v} stats differ at workers={workers} {depth:?}"
+                    );
+                }
+                // Link ledgers match too: same frames on the same edges.
+                for v in 1..topo.len() {
+                    if let Some(p) = tree.parent(v) {
+                        assert_eq!(
+                            single.stats().link_bits(p, v),
+                            flat.stats().link_bits(p, v),
+                            "link {p}<->{v} differs"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_ledger_matches_single_threaded() {
+        let (topo, tree, items) = balanced_setup(40, 3);
+        let sp = proto();
+        let sl = sp.ledger();
+        let mut single = WaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            sp,
+            items.clone(),
+            Reliability::None,
+        )
+        .unwrap();
+        let fp = proto();
+        let fl = fp.ledger();
+        let mut flat = FlatWaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            fp,
+            items,
+            Reliability::None,
+            3,
+            NestDepth::Auto,
+        )
+        .unwrap();
+        sl.lock().unwrap().reset(2);
+        fl.lock().unwrap().reset(2);
+        let a = single.run_wave(env(vec![800, 30])).unwrap();
+        let b = flat.run_wave(env(vec![800, 30])).unwrap();
+        assert_eq!(a, b);
+        let sg = sl.lock().unwrap();
+        let fg = fl.lock().unwrap();
+        assert_eq!(sg.slots(), fg.slots(), "per-slot attribution differs");
+        assert_eq!(sg.envelope_bits(), fg.envelope_bits());
+    }
+
+    #[test]
+    fn flat_cache_serves_repeats_and_invalidates() {
+        let (topo, tree, items) = balanced_setup(40, 3);
+        let mut flat = FlatWaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            proto(),
+            items,
+            Reliability::None,
+            2,
+            NestDepth::Auto,
+        )
+        .unwrap();
+        flat.enable_partial_cache(16);
+        let first = flat.run_wave(env(vec![1000])).unwrap();
+        let cold_bits = flat.stats().max_node_bits();
+        assert!(cold_bits > 0);
+        // Root-cache repeat: zero additional communication.
+        let again = flat.run_wave(env(vec![1000])).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(flat.stats().max_node_bits(), cold_bits);
+        assert!(flat.cache_stats().hits >= 1);
+        // Mutating a deep node invalidates its root path; the repeat
+        // reflects the new value.
+        let leaf = topo.len() - 1;
+        flat.set_items(leaf, vec![999]);
+        let old_leaf = (leaf as u64 * 7) % 1000;
+        let expected = first[0] - old_leaf + 999;
+        assert_eq!(flat.run_wave(env(vec![1000])).unwrap(), vec![expected]);
+    }
+
+    #[test]
+    fn flat_cache_counters_match_single_threaded() {
+        let (topo, tree, items) = balanced_setup(40, 3);
+        let mut single = WaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            proto(),
+            items.clone(),
+            Reliability::None,
+        )
+        .unwrap();
+        let mut flat = FlatWaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            proto(),
+            items,
+            Reliability::None,
+            4,
+            NestDepth::Auto,
+        )
+        .unwrap();
+        single.enable_partial_cache(8);
+        flat.enable_partial_cache(8);
+        for req in [vec![100, 700], vec![100], vec![700, 100], vec![100, 700]] {
+            let a = single.run_wave(env(req.clone())).unwrap();
+            let b = flat.run_wave(env(req)).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(single.cache_stats(), flat.cache_stats());
+    }
+
+    #[test]
+    fn flat_scratch_pool_recycles_after_first_wave() {
+        let (topo, tree, items) = balanced_setup(85, 4);
+        let mut flat = FlatWaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            proto(),
+            items,
+            Reliability::None,
+            2,
+            NestDepth::Auto,
+        )
+        .unwrap();
+        flat.run_wave(env(vec![1000])).unwrap();
+        let fresh_after_first = flat.scratch_fresh();
+        assert!(fresh_after_first > 0, "first wave must allocate");
+        flat.run_wave(env(vec![500])).unwrap();
+        flat.run_wave(env(vec![250])).unwrap();
+        assert_eq!(
+            flat.scratch_fresh(),
+            fresh_after_first,
+            "steady-state waves must allocate no frame buffers"
+        );
+        assert!(flat.scratch_reused() > 0);
+    }
+
+    #[test]
+    fn flat_rejects_arq_and_lossy_links() {
+        let (topo, tree, items) = balanced_setup(13, 3);
+        let err = FlatWaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            proto(),
+            items.clone(),
+            Reliability::Ack {
+                timeout: saq_netsim::SimDuration::from_millis(10),
+            },
+            2,
+            NestDepth::Auto,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::Unsupported(_)));
+        for link in [
+            saq_netsim::link::LinkConfig::default().with_loss(0.1),
+            saq_netsim::link::LinkConfig::default().with_duplication(0.1),
+        ] {
+            let err = FlatWaveRunner::new(
+                &topo,
+                SimConfig::default().with_link(link),
+                &tree,
+                proto(),
+                items.clone(),
+                Reliability::None,
+                2,
+                NestDepth::Auto,
+            )
+            .unwrap_err();
+            assert!(matches!(err, ProtocolError::Unsupported(_)));
+        }
+    }
+
+    #[test]
+    fn flat_handles_degenerate_trees() {
+        // Path graph: the nested planner's worst case.
+        let topo = Topology::line(32).unwrap();
+        let tree = SpanningTree::bfs(&topo, 0).unwrap();
+        let items: Vec<Vec<u64>> = (0..32).map(|i| vec![i as u64]).collect();
+        let mut single = WaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            proto(),
+            items.clone(),
+            Reliability::None,
+        )
+        .unwrap();
+        let mut flat = FlatWaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            proto(),
+            items,
+            Reliability::None,
+            4,
+            NestDepth::Auto,
+        )
+        .unwrap();
+        assert_eq!(
+            single.run_wave(env(vec![1000])).unwrap(),
+            flat.run_wave(env(vec![1000])).unwrap()
+        );
+        // Singleton.
+        let topo1 = Topology::line(1).unwrap();
+        let tree1 = SpanningTree::bfs(&topo1, 0).unwrap();
+        let mut flat1 = FlatWaveRunner::new(
+            &topo1,
+            SimConfig::default(),
+            &tree1,
+            proto(),
+            vec![vec![7u64]],
+            Reliability::None,
+            4,
+            NestDepth::Auto,
+        )
+        .unwrap();
+        assert_eq!(flat1.run_wave(env(vec![1000])).unwrap(), vec![7]);
+    }
+}

@@ -27,13 +27,19 @@
 //!   partitioned across OS threads (the merge laws make subtree order
 //!   irrelevant) and re-joined at a deterministic root barrier, with
 //!   bit ledgers, statistics and caches merged to match single-threaded
-//!   execution observable-for-observable.
+//!   execution observable-for-observable;
+//! * [`flat`] — the columnar flat-tree runner: per-node state in
+//!   contiguous position-indexed columns over `saq_netsim::flat`, waves
+//!   as two array sweeps, and **nested** static sharding that re-cuts
+//!   oversized subtrees at their own roots — the million-node substrate,
+//!   bit-identical to the boxed runners.
 //!
 //! Aggregate *semantics* (what COUNT, MEDIAN, etc. mean) live in
 //! `saq-core` and `saq-baselines`; this crate only moves bits.
 
 pub mod cache;
 pub mod error;
+pub mod flat;
 pub mod gossip;
 pub mod rings;
 pub mod shard;
@@ -42,6 +48,7 @@ pub mod wave;
 
 pub use cache::{CacheKey, CacheStats, PartialCache};
 pub use error::ProtocolError;
+pub use flat::FlatWaveRunner;
 pub use shard::ShardedWaveRunner;
 pub use tree::SpanningTree;
 pub use wave::{

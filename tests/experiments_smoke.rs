@@ -9,11 +9,12 @@ use saq_bench::Scale;
 
 #[test]
 fn sharded_harness_path_reports_identical_bits() {
-    // The lossless E1-E12 sweeps now route their deployments through
-    // `deploy::builder_for`, which shards large networks across cores.
-    // Sharding must stay an execution strategy: the harness path and an
-    // explicitly single-threaded build of the same deployment must
-    // report identical per-node bits, answers and cache counters.
+    // The lossless E1-E12 sweeps route their deployments through
+    // `deploy::builder_for`, which runs large networks on the columnar
+    // flat substrate across all cores. Representation and parallelism
+    // must stay execution strategies: the harness path and an
+    // explicitly single-threaded boxed build of the same deployment
+    // must report identical per-node bits, answers and cache counters.
     use saq_bench::deploy::{builder_for, harness_shards, SHARD_THRESHOLD_NODES};
     use saq_core::engine::{QueryEngine, QuerySpec};
     use saq_core::net::AggregationNetwork;
@@ -340,5 +341,49 @@ fn e11_bounded_degree_never_worse() {
         s.bounded_never_worse,
         "bounded-degree tree should not increase max per-node bits: {:?}",
         s.degree_rows
+    );
+}
+
+#[test]
+fn e16_flat_substrate_bit_identical_and_scales() {
+    let s = e16_flat_scale::run(Scale::Quick);
+    assert!(
+        s.answers_identical,
+        "flat execution must return the boxed runner's answers exactly"
+    );
+    assert!(
+        s.bits_identical,
+        "flat execution must charge identical per-node bits"
+    );
+    assert!(!s.points.is_empty());
+    // Wall-clock speedup is hardware- and neighbor-bound, so like E13
+    // it is observed rather than asserted; the full-scale sweep in
+    // EXPERIMENTS runs record the real curve.
+    if s.cores >= 2 && s.speedup_at_max_n() <= 1.0 {
+        eprintln!(
+            "note: {:.2}x speedup at max N on {} cores (quick sweep; timing noise expected)",
+            s.speedup_at_max_n(),
+            s.cores
+        );
+    }
+}
+
+#[test]
+fn e17_cache_savings_track_repeat_rate() {
+    let s = e17_repeat_rate::run(Scale::Quick);
+    assert!(s.answers_identical, "the cache must never change an answer");
+    assert!(
+        s.zero_rate_free,
+        "an all-fresh workload paid different bits with the cache on"
+    );
+    assert!(
+        s.monotone_in_rate,
+        "savings must grow with the repeat rate: {:?}",
+        s.rows
+    );
+    assert!(
+        s.min_full_rate_saving() > 25.0,
+        "an all-repeat workload should save a large fraction of bits, saved only {:.1}%",
+        s.min_full_rate_saving()
     );
 }

@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use saq::core::aggregate::{
-    CollectAgg, CountSumAgg, CountSumOp, DistinctSetAgg, ItemRef, MinMaxAgg, MinMaxOp,
-    PartialAggregate, SketchAgg, SketchKey,
+    CollectAgg, CountSumAgg, CountSumOp, DeltaSupport, DistinctSetAgg, ItemRef, MinMaxAgg,
+    MinMaxOp, MinMaxPartial, PartialAggregate, SketchAgg, SketchKey,
 };
 use saq::core::counting::ApxCountConfig;
 use saq::core::predicate::{Domain, Predicate};
@@ -132,6 +132,63 @@ proptest! {
         );
         let p = agg.partial_over(refs(&a, 0));
         assert_eq!(agg.merge(p.clone(), p.clone()), p);
+    }
+
+    #[test]
+    fn minmax_delta_repair_is_exact(vals in proptest::collection::vec(0u64..XBAR, 1..40),
+                                    pick in 0usize..4096,
+                                    add in proptest::collection::vec(0u64..XBAR, 0..4),
+                                    maximize: bool, log_domain: bool) {
+        let agg = MinMaxAgg {
+            op: if maximize { MinMaxOp::Max } else { MinMaxOp::Min },
+            domain: if log_domain { Domain::Log } else { Domain::Raw },
+            xbar: XBAR,
+        };
+        let items = refs(&vals, 0);
+        let rm = pick % items.len();
+        let added = refs(&add, 500);
+
+        // A locally built partial tracks its runner-up exactly, so a
+        // single removal drawn from the summarized multiset — even of
+        // the extremum itself — always folds in exactly.
+        let mut p = agg.partial_over(items.iter().copied());
+        prop_assert_eq!(
+            agg.apply_delta(&mut p, &items[rm..=rm], &added),
+            DeltaSupport::Exact
+        );
+        let survivors = items
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(i, _)| i != rm)
+            .map(|(_, it)| it)
+            .chain(added.iter().copied());
+        prop_assert_eq!(agg.finalize(&p), agg.finalize(&agg.partial_over(survivors)));
+
+        // A wire-decoded partial knows no runner-up: whenever it does
+        // accept, it must agree with the fresh recompute — and it must
+        // decline extremum removals outright.
+        let full = agg.partial_over(items.iter().copied());
+        let mut cold = MinMaxPartial::of(agg.finalize(&full));
+        let support = agg.apply_delta(&mut cold, &items[rm..=rm], &added);
+        let survivors = items
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(i, _)| i != rm)
+            .map(|(_, it)| it)
+            .chain(added.iter().copied());
+        match support {
+            DeltaSupport::Exact => prop_assert_eq!(
+                agg.finalize(&cold),
+                agg.finalize(&agg.partial_over(survivors))
+            ),
+            _ => prop_assert_eq!(
+                Some(agg.finalize(&full)),
+                items[rm..=rm].iter().map(|it| agg.finalize(&agg.partial_over([*it]))).next(),
+                "only an extremum-tying removal may decline on a decoded partial"
+            ),
+        }
     }
 }
 

@@ -1,15 +1,22 @@
-//! Property test for the ISSUE-3 tentpole: sharded execution is an
-//! execution strategy, not a semantics change. For shard counts
-//! `k ∈ {1, 2, 4, 8}`, a mixed Median/Quantile/BottomK batch (plus
-//! cache-warming repeats) must produce **answers**, **per-query bit
-//! ledgers** and **cache hit/miss counters** identical to the
-//! single-threaded baseline — on randomized topologies and inputs.
+//! Property tests for the ISSUE-3/ISSUE-6 tentpoles: neither sharding
+//! nor the columnar flat substrate is a semantics change. Every cell of
+//! the representation × shard-plan matrix — boxed vs flat, worker
+//! counts `k ∈ {1, 2, 4, 8}`, nested shard depths `{0, 1, 2}` and the
+//! auto-chosen depth — must produce **answers**, **per-query
+//! `QueryBits` ledgers** (the engine-level projection of the per-wave
+//! `MuxLedger` slots), **cache hit/miss counters** and the **full
+//! per-node bit vector** identical to the single-threaded boxed
+//! baseline — on randomized topologies and inputs. Streaming and
+//! continuous sessions must round-trip on the flat runner the same
+//! way.
 
 use proptest::prelude::*;
-use saq::core::engine::{QueryEngine, QueryReport, QuerySpec};
+use saq::core::continuous::ContinuousEngine;
+use saq::core::engine::{BatchPolicy, QueryEngine, QueryReport, QuerySpec};
 use saq::core::net::AggregationNetwork;
-use saq::core::predicate::Predicate;
-use saq::core::simnet::SimNetworkBuilder;
+use saq::core::predicate::{Domain, Predicate};
+use saq::core::simnet::{SimNetwork, SimNetworkBuilder};
+use saq::core::streaming::{AdmissionPolicy, StreamingEngine};
 use saq::netsim::topology::Topology;
 use saq::protocols::CacheStats;
 
@@ -23,21 +30,44 @@ fn query_mix() -> Vec<QuerySpec> {
     ]
 }
 
-/// Runs two engine batches (the second re-hits warm caches) at the
-/// given shard count and returns everything that must be
-/// partition-independent.
+/// One execution strategy under test: the boxed runners (single- or
+/// shard-threaded) or the columnar flat runner at a worker count and a
+/// nested shard depth (`None` = auto).
+#[derive(Debug, Clone, Copy)]
+enum Repr {
+    Boxed { k: usize },
+    Flat { k: usize, depth: Option<u32> },
+}
+
+impl Repr {
+    fn build(self, topo: &Topology, items: &[u64], xbar: u64, cache: usize) -> SimNetwork {
+        let mut b = SimNetworkBuilder::new()
+            .max_children(4)
+            .partial_cache(cache);
+        match self {
+            Repr::Boxed { k } => b = b.shards(k),
+            Repr::Flat { k, depth } => {
+                b = b.flat(true).shards(k);
+                if let Some(d) = depth {
+                    b = b.flat_depth(d);
+                }
+            }
+        }
+        b.build_one_per_node(topo, items, xbar)
+            .expect("network build")
+    }
+}
+
+/// Runs two engine batches (the second re-hits warm caches) under the
+/// given representation and returns everything that must be
+/// partition-independent, including the full per-node bit vector.
 fn run_at(
     topo: &Topology,
     items: &[u64],
     xbar: u64,
-    shards: usize,
-) -> (Vec<QueryReport>, Vec<QueryReport>, CacheStats, u64) {
-    let net = SimNetworkBuilder::new()
-        .max_children(4)
-        .shards(shards)
-        .partial_cache(16)
-        .build_one_per_node(topo, items, xbar)
-        .expect("network build");
+    repr: Repr,
+) -> (Vec<QueryReport>, Vec<QueryReport>, CacheStats, Vec<u64>) {
+    let net = repr.build(topo, items, xbar, 16);
     let mut engine = QueryEngine::new(net);
     for s in query_mix() {
         engine.submit(s);
@@ -48,24 +78,57 @@ fn run_at(
     }
     let second = engine.run().expect("second batch");
     let cache = engine.network().cache_stats();
-    let bits = engine.network().net_stats().expect("stats").max_node_bits();
-    (first, second, cache, bits)
+    let stats = engine.network().net_stats().expect("stats");
+    let per_node = (0..stats.len())
+        .map(|v| stats.node(v).total_bits())
+        .collect();
+    (first, second, cache, per_node)
 }
 
-fn assert_reports_equal(a: &[QueryReport], b: &[QueryReport], k: usize, which: &str) {
+fn assert_reports_equal(a: &[QueryReport], b: &[QueryReport], repr: Repr, which: &str) {
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(b) {
         assert_eq!(
             x.outcome, y.outcome,
-            "{which}: answer differs at k={k} for {:?}",
+            "{which}: answer differs at {repr:?} for {:?}",
             x.spec
         );
         assert_eq!(
             x.bits, y.bits,
-            "{which}: per-query bit ledger differs at k={k} for {:?}",
+            "{which}: per-query bit ledger differs at {repr:?} for {:?}",
             x.spec
         );
-        assert_eq!(x.waves, y.waves, "{which}: wave count differs at k={k}");
+        assert_eq!(x.waves, y.waves, "{which}: wave count differs at {repr:?}");
+    }
+}
+
+/// The flat cells of the matrix: every worker count crossed with every
+/// pinned nesting depth, plus the auto-chosen depth at the widest k.
+fn flat_matrix() -> Vec<Repr> {
+    let mut cells = Vec::new();
+    for k in [1usize, 2, 4, 8] {
+        for depth in [Some(0), Some(1), Some(2)] {
+            cells.push(Repr::Flat { k, depth });
+        }
+    }
+    cells.push(Repr::Flat { k: 8, depth: None });
+    cells
+}
+
+fn check_matrix(topo: &Topology, items: &[u64], xbar: u64, cells: &[Repr]) {
+    let (base_first, base_second, base_cache, base_bits) =
+        run_at(topo, items, xbar, Repr::Boxed { k: 1 });
+    // The warm repeat must actually exercise the cache.
+    assert!(base_cache.hits > 0, "repeat batch never hit the cache");
+    for &repr in cells {
+        let (first, second, cache, bits) = run_at(topo, items, xbar, repr);
+        assert_reports_equal(&base_first, &first, repr, "cold batch");
+        assert_reports_equal(&base_second, &second, repr, "warm batch");
+        assert_eq!(
+            base_cache, cache,
+            "cache hit/miss counters differ at {repr:?}"
+        );
+        assert_eq!(base_bits, bits, "per-node bit vector differs at {repr:?}");
     }
 }
 
@@ -81,22 +144,152 @@ proptest! {
         let items: Vec<u64> = (0..n as u64)
             .map(|i| (i.wrapping_mul(value_seed.wrapping_mul(2).wrapping_add(13))) % xbar)
             .collect();
-        let (base_first, base_second, base_cache, base_bits) =
-            run_at(&topo, &items, xbar, 1);
-        // The warm repeat must actually exercise the cache.
-        prop_assert!(base_cache.hits > 0, "repeat batch never hit the cache");
-        for k in [2usize, 4, 8] {
-            let (first, second, cache, bits) = run_at(&topo, &items, xbar, k);
-            assert_reports_equal(&base_first, &first, k, "cold batch");
-            assert_reports_equal(&base_second, &second, k, "warm batch");
-            prop_assert_eq!(
-                base_cache, cache,
-                "cache hit/miss counters differ at k={}", k
-            );
-            prop_assert_eq!(
-                base_bits, bits,
-                "max per-node bits differ at k={}", k
-            );
-        }
+        check_matrix(
+            &topo,
+            &items,
+            xbar,
+            &[Repr::Boxed { k: 2 }, Repr::Boxed { k: 4 }, Repr::Boxed { k: 8 }],
+        );
     }
+}
+
+proptest! {
+    // The flat matrix runs 13 cells per case, so fewer cases carry the
+    // same coverage budget.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_flat_matrix_matches_single_threaded(
+        n in 16usize..48,
+        topo_seed: u64,
+        value_seed in 0u64..1000,
+    ) {
+        let topo = Topology::random_geometric(n, 0.35, topo_seed).expect("topology");
+        let xbar = 4 * n as u64;
+        let items: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(value_seed.wrapping_mul(2).wrapping_add(13))) % xbar)
+            .collect();
+        check_matrix(&topo, &items, xbar, &flat_matrix());
+    }
+}
+
+/// The streaming engine drives the same runner through mid-flight
+/// admission: a session on the flat substrate must retire every query
+/// with reports, cache counters and per-node bits identical to the
+/// boxed session.
+#[test]
+fn streaming_session_round_trips_on_flat_runner() {
+    let n = 40;
+    let topo = Topology::balanced_tree(n, 3).unwrap();
+    let items: Vec<u64> = (0..n as u64).map(|i| (i * 23) % 97).collect();
+    let groups: Vec<Vec<QuerySpec>> = vec![
+        vec![
+            QuerySpec::Count(Predicate::TRUE),
+            QuerySpec::Min(Domain::Raw),
+        ],
+        vec![
+            QuerySpec::Quantile { q: 0.5, eps: 0.15 },
+            QuerySpec::Max(Domain::Log),
+        ],
+        vec![QuerySpec::Count(Predicate::TRUE)], // warm repeat
+    ];
+    let run = |repr: Repr| {
+        let net = repr.build(&topo, &items, 128, 16);
+        let mut engine =
+            StreamingEngine::with_policy(net, BatchPolicy::Batched, AdmissionPolicy::WhenIdle);
+        let mut reports = Vec::new();
+        let mut iter = groups.iter();
+        let mut next = iter.next();
+        while engine.in_service() || next.is_some() {
+            if next.is_some() && engine.pending_queries() == 0 {
+                for s in next.take().expect("checked is_some") {
+                    engine.submit(s.clone());
+                }
+                next = iter.next();
+            }
+            reports.extend(engine.step().expect("streaming round"));
+        }
+        reports.sort_by_key(|r| r.report.id);
+        let net = engine.into_network();
+        let cache = net.cache_stats();
+        let stats = net.net_stats().expect("stats");
+        let bits: Vec<u64> = (0..stats.len())
+            .map(|v| stats.node(v).total_bits())
+            .collect();
+        (reports, cache, bits)
+    };
+    let (boxed_reports, boxed_cache, boxed_bits) = run(Repr::Boxed { k: 1 });
+    let (flat_reports, flat_cache, flat_bits) = run(Repr::Flat { k: 4, depth: None });
+    assert_eq!(boxed_reports.len(), flat_reports.len());
+    for (a, b) in boxed_reports.iter().zip(&flat_reports) {
+        assert_eq!(
+            a.report.outcome, b.report.outcome,
+            "streaming answer diverged"
+        );
+        assert_eq!(
+            a.report.bits, b.report.bits,
+            "streaming bit ledger diverged"
+        );
+        assert_eq!(a.admitted_round, b.admitted_round);
+        assert_eq!(a.retired_round, b.retired_round);
+    }
+    assert!(boxed_cache.hits > 0, "warm repeat never hit the cache");
+    assert_eq!(boxed_cache, flat_cache);
+    assert_eq!(boxed_bits, flat_bits);
+}
+
+/// Continuous standing queries refresh through delta-maintained caches
+/// and `set_items`: an update/refresh interleaving on the flat runner
+/// must report the same outcomes, cache counters (deltas included) and
+/// per-node bits as the boxed runner.
+#[test]
+fn continuous_session_round_trips_on_flat_runner() {
+    let n = 40;
+    let topo = Topology::balanced_tree(n, 3).unwrap();
+    let items: Vec<u64> = (0..n as u64).map(|i| (i * 13) % 100).collect();
+    let run = |repr: Repr| {
+        let net = repr.build(&topo, &items, 128, 16);
+        let mut engine = ContinuousEngine::new(net);
+        for spec in [
+            QuerySpec::Count(Predicate::less_than(60)),
+            QuerySpec::Sum(Predicate::TRUE),
+            QuerySpec::Min(Domain::Raw),
+        ] {
+            engine.register(spec, 1).expect("register standing");
+        }
+        let mut refreshes = Vec::new();
+        for round in 0u64..6 {
+            // Updates between refreshes: a leaf value change, a new
+            // minimum appearing, then the minimum holder retiring.
+            let node = 10 + (round as usize * 7) % (n - 10);
+            engine
+                .update_items(node, vec![(round * 31 + 2) % 100])
+                .expect("update");
+            let r = engine.step().expect("continuous round");
+            refreshes.extend(r.refreshes);
+        }
+        let net = engine.into_network();
+        let cache = net.cache_stats();
+        let stats = net.net_stats().expect("stats");
+        let bits: Vec<u64> = (0..stats.len())
+            .map(|v| stats.node(v).total_bits())
+            .collect();
+        (refreshes, cache, bits)
+    };
+    let (boxed_refreshes, boxed_cache, boxed_bits) = run(Repr::Boxed { k: 1 });
+    let (flat_refreshes, flat_cache, flat_bits) = run(Repr::Flat {
+        k: 2,
+        depth: Some(1),
+    });
+    assert_eq!(boxed_refreshes.len(), flat_refreshes.len());
+    for (a, b) in boxed_refreshes.iter().zip(&flat_refreshes) {
+        assert_eq!(a.standing, b.standing);
+        assert_eq!(a.outcome, b.outcome, "continuous refresh diverged");
+    }
+    assert!(
+        boxed_cache.delta_applied > 0,
+        "updates never exercised delta maintenance"
+    );
+    assert_eq!(boxed_cache, flat_cache);
+    assert_eq!(boxed_bits, flat_bits);
 }
