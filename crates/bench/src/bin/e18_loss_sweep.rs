@@ -1,0 +1,7 @@
+//! Experiment binary: see `saq_bench::experiments::e18_loss_sweep`.
+//! Pass `--quick` for a reduced sweep (N capped at 10⁴).
+
+fn main() {
+    let scale = saq_bench::Scale::from_args();
+    let _ = saq_bench::experiments::e18_loss_sweep::run(scale);
+}

@@ -1,19 +1,25 @@
 //! Shared deployment policy for the experiment harness: route the
-//! lossless large-N sweeps through the columnar flat substrate.
+//! large-N sweeps — lossless *and* lossy — through the columnar flat
+//! substrate.
 //!
 //! PR 3 made `SimNetworkBuilder::shards(k)` bit-identical to
-//! single-threaded execution and PR 6 did the same for the flat
-//! struct-of-arrays runner with nested sharding (answers, ledgers,
-//! caches, per-node bit statistics — see `tests/sharded_equality.rs`),
-//! so the only question per experiment is wall-clock. [`builder_for`]
-//! applies one policy everywhere: deployments big enough to amortize
-//! the per-wave thread fan-out run on flat columns across all of the
-//! machine's cores — the nested `ShardPlan` re-cuts oversized subtrees,
-//! so the old cap at 4 workers (the root partition's balance limit) no
-//! longer applies; small sweeps (and every lossy/ARQ deployment, which
-//! both parallel paths reject) stay on the boxed single-threaded
-//! runner. The `experiments_smoke` suite asserts the harness path
-//! reports the same bits either way.
+//! single-threaded execution, PR 6 did the same for the flat
+//! struct-of-arrays runner with nested sharding, and ISSUE-7's
+//! per-edge fate streams extended that bit-identity to lossy links
+//! under ARQ (answers, ledgers, caches, per-node bit statistics,
+//! retransmission bills — see `tests/sharded_equality.rs`'s
+//! representation × shard-plan × reliability matrix), so the only
+//! question per experiment is wall-clock. [`builder_for`] applies one
+//! policy everywhere: deployments big enough to amortize the per-wave
+//! thread fan-out run on flat columns across all of the machine's
+//! cores — the nested `ShardPlan` re-cuts oversized subtrees, so the
+//! old cap at 4 workers (the root partition's balance limit) no longer
+//! applies; small sweeps stay on the boxed single-threaded runner.
+//! Lossy deployments configure loss + `Reliability::Ack` on the
+//! returned builder and ride the same routing (E18's loss sweep runs
+//! at N = 10⁵ this way). The `experiments_smoke` suite asserts the
+//! harness path reports the same bits either way and that a lossy
+//! n ≥ 1024 deployment really lands on the flat runner.
 
 use saq_core::simnet::SimNetworkBuilder;
 
@@ -21,7 +27,7 @@ use saq_core::simnet::SimNetworkBuilder;
 /// it buys; quick-scale CI sweeps stay below it by design.
 pub const SHARD_THRESHOLD_NODES: usize = 1024;
 
-/// Workers the harness uses for a lossless deployment of `n` nodes:
+/// Workers the harness uses for a deployment of `n` nodes:
 /// `1` for small sweeps, else all of the machine's parallelism — the
 /// flat runner's nested shard plan keeps per-worker blocks balanced
 /// regardless of the root's subtree shapes (E16's scaling curve).
@@ -34,10 +40,11 @@ pub fn harness_shards(n: usize) -> usize {
         .unwrap_or(1)
 }
 
-/// The harness's standard builder for a lossless `n`-node deployment:
+/// The harness's standard builder for an `n`-node deployment:
 /// [`SimNetworkBuilder::new`] with the flat/worker policy applied.
-/// Configure everything else (degree bounds, sketch seeds, caches) on
-/// the result as usual.
+/// Configure everything else (degree bounds, sketch seeds, caches,
+/// link loss + ARQ reliability) on the result as usual — lossy
+/// deployments route exactly like lossless ones.
 pub fn builder_for(n: usize) -> SimNetworkBuilder {
     SimNetworkBuilder::new()
         .flat(n >= SHARD_THRESHOLD_NODES)

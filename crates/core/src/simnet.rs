@@ -127,12 +127,16 @@ impl SimNetworkBuilder {
     /// `shards(k)` produces bit-identical answers, per-slot
     /// [`MuxLedger`] attribution and cache hit/miss counters to
     /// `shards(1)` for every `k` — the convergecast merge is canonical
-    /// (fixed child order) and per-node randomness is derived from
-    /// global node ids (see `saq_protocols::shard`). Requires
-    /// [`Reliability::None`] over lossless, duplication-free links
-    /// when `k > 1` — random link fates draw from per-shard streams
-    /// and could not replay a single-threaded run's drops, so lossy
-    /// configurations are rejected at build time (jitter is fine).
+    /// (fixed child order), per-node randomness is derived from global
+    /// node ids, and link fates come from per-edge fate streams keyed
+    /// by the endpoints' global labels (see `saq_protocols::shard`), so
+    /// lossy links replay a single-threaded run's exact drop schedule.
+    /// Lossy links require per-hop ARQ
+    /// ([`Reliability::Ack`](saq_protocols::wave::Reliability::Ack))
+    /// when `k > 1`: an unrepaired drop erases a subtree's report,
+    /// which only the single-threaded runner can surface mid-wave, so
+    /// lossy fire-and-forget is rejected at build time (jitter is
+    /// fine).
     pub fn shards(mut self, k: usize) -> Self {
         self.shards = k.max(1);
         self
@@ -147,8 +151,12 @@ impl SimNetworkBuilder {
     /// [`SimNetworkBuilder::flat_depth`]). Like `shards(k)`, this is
     /// an execution strategy, not a semantics change: answers, per-slot
     /// [`MuxLedger`] attribution, cache counters and per-node bits are
-    /// identical to the boxed substrates. Requires [`Reliability::None`]
-    /// over lossless, duplication-free links.
+    /// identical to the boxed substrates — including under lossy links
+    /// with per-hop ARQ, whose stop-and-wait exchanges the flat runner
+    /// emulates from the same per-edge fate streams the event-driven
+    /// simulator draws (see `saq_protocols::flat`). Lossy links without
+    /// ARQ are rejected at build time, as with
+    /// [`SimNetworkBuilder::shards`].
     pub fn flat(mut self, flat: bool) -> Self {
         self.flat = flat;
         self
@@ -543,6 +551,19 @@ impl SimNetwork {
         self.runner.transport_footprint()
     }
 
+    /// Name of the execution substrate backing this network —
+    /// `"single"`, `"sharded"` or `"flat"`. The substrate is an
+    /// execution strategy, not a semantics change (every observable is
+    /// bit-identical across the three), so this exists only for
+    /// harness routing assertions and experiment banners.
+    pub fn runner_name(&self) -> &'static str {
+        match self.runner {
+            Runner::Single(_) => "single",
+            Runner::Sharded(_) => "sharded",
+            Runner::Flat(_) => "flat",
+        }
+    }
+
     /// The inner wave protocol (aggregate dispatch) configuration.
     pub fn core_proto(&self) -> CoreWave {
         CoreWave {
@@ -916,20 +937,86 @@ mod tests {
     }
 
     #[test]
-    fn sharded_network_rejects_arq() {
+    fn lossy_arq_network_matches_single_threaded_on_every_runner() {
+        // The fate-replay tentpole at the front door: the same lossy
+        // ARQ deployment answers identically — with identical per-node
+        // bit totals — whether it runs boxed single-threaded, boxed
+        // sharded, or on the columnar flat substrate.
+        let topo = Topology::balanced_tree(40, 3).unwrap();
+        let items: Vec<Value> = (0..40u64).map(|i| (i * 13) % 40).collect();
+        let cfg = SimConfig::default()
+            .with_link(saq_netsim::link::LinkConfig::default().with_loss(0.2))
+            .with_seed(0xFA7E);
+        let rel = saq_protocols::wave::Reliability::Ack {
+            timeout: saq_netsim::SimDuration::from_millis(40),
+        };
+        let build = |b: SimNetworkBuilder| {
+            b.sim_config(cfg.clone())
+                .reliability(rel)
+                .build_one_per_node(&topo, &items, 128)
+                .unwrap()
+        };
+        let mut single = build(SimNetworkBuilder::new());
+        let mut sharded = build(SimNetworkBuilder::new().shards(3));
+        let mut flat = build(SimNetworkBuilder::new().flat(true).shards(2));
+        for net in [&mut single, &mut sharded, &mut flat] {
+            assert_eq!(net.count(&Predicate::TRUE).unwrap(), 40);
+            assert_eq!(net.min(Domain::Raw).unwrap(), Some(0));
+        }
+        let a = single.net_stats().unwrap();
+        for (name, net) in [("sharded", &sharded), ("flat", &flat)] {
+            let b = net.net_stats().unwrap();
+            for v in 0..topo.len() {
+                assert_eq!(
+                    a.node(v).total_bits(),
+                    b.node(v).total_bits(),
+                    "{name}: node {v} bills differ under loss"
+                );
+            }
+            assert_eq!(
+                single.transport_footprint(),
+                net.transport_footprint(),
+                "{name}: between-wave footprint differs under loss"
+            );
+        }
+        // Loss actually happened: some hop retransmitted, so somebody's
+        // packet count exceeds the lossless run's.
+        let mut lossless = SimNetworkBuilder::new()
+            .reliability(rel)
+            .build_one_per_node(&topo, &items, 128)
+            .unwrap();
+        lossless.count(&Predicate::TRUE).unwrap();
+        lossless.min(Domain::Raw).unwrap();
+        let l = lossless.net_stats().unwrap();
+        let (tx, ltx): (u64, u64) = (0..topo.len())
+            .map(|v| (a.node(v).tx_packets, l.node(v).tx_packets))
+            .fold((0, 0), |(x, y), (p, q)| (x + p, y + q));
+        assert!(tx > ltx, "loss 0.2 never triggered a retransmission");
+    }
+
+    #[test]
+    fn lossy_without_arq_rejected_naming_the_alternatives() {
         let topo = Topology::balanced_tree(13, 3).unwrap();
         let items: Vec<Value> = (0..13u64).collect();
-        let err = SimNetworkBuilder::new()
-            .shards(2)
-            .reliability(saq_protocols::wave::Reliability::Ack {
-                timeout: saq_netsim::SimDuration::from_millis(10),
-            })
-            .build_one_per_node(&topo, &items, 32)
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            QueryError::Protocol(saq_protocols::ProtocolError::Unsupported(_))
-        ));
+        let lossy =
+            SimConfig::default().with_link(saq_netsim::link::LinkConfig::default().with_loss(0.1));
+        for b in [
+            SimNetworkBuilder::new().shards(2),
+            SimNetworkBuilder::new().flat(true),
+        ] {
+            let err = b
+                .sim_config(lossy.clone())
+                .build_one_per_node(&topo, &items, 32)
+                .unwrap_err();
+            let QueryError::Protocol(saq_protocols::ProtocolError::Unsupported(msg)) = err else {
+                panic!("expected Unsupported, got {err:?}");
+            };
+            assert!(
+                msg.contains("Reliability::None over lossless links")
+                    && msg.contains("Reliability::Ack over any links"),
+                "rejection must enumerate the supported combinations: {msg}"
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub enum EventKind {
         dst: usize,
         /// The serialized message.
         payload: BitString,
+        /// Whether the frame arrives corrupted: the receiver is charged
+        /// for the reception but the payload never reaches the protocol.
+        corrupt: bool,
     },
     /// A timer previously set by `node` with an opaque protocol `tag`.
     Timer {

@@ -16,13 +16,15 @@
 //! Each shard node is labeled with its **global** node id, so via
 //! [`Simulator::with_nodes_labeled`] it draws from exactly the per-node
 //! random stream it would own in an unsharded run — node randomness is
-//! independent of the partition. Link randomness (loss fates, jitter) is
-//! inherently per-transmission-order, so each shard gets its own stream
-//! derived from its shard index ([`shard_link_stream`]); a given
-//! `(seed, partition)` pair therefore always replays bit-identically,
-//! regardless of how the OS schedules the shard threads. Results are
-//! collected and merged in **fixed shard order** at the barrier, never
-//! in thread-completion order.
+//! independent of the partition. Link randomness (loss fates, jitter)
+//! comes from per-edge fate streams keyed by the global labels of an
+//! edge's endpoints plus the edge's own transmission count
+//! ([`crate::link::FateStream`]), so a shard simulating an edge replays
+//! exactly the fates an unsharded run would draw for it — the loss
+//! schedule is independent of the partition *and* of how the OS
+//! schedules the shard threads. Results are collected and merged in
+//! **fixed shard order** at the barrier, never in thread-completion
+//! order.
 
 use crate::energy::EnergyModel;
 use crate::error::NetsimError;
@@ -30,15 +32,6 @@ use crate::sim::{NodeRuntime, SimConfig, Simulator};
 use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::topology::Topology;
-
-/// The link-randomness stream label of shard `shard`.
-///
-/// Stream `0` is the unsharded simulator's link stream; shards use
-/// `1 + shard` so no shard ever shares draws with a single-threaded run
-/// of the same seed.
-pub fn shard_link_stream(shard: usize) -> u64 {
-    1 + shard as u64
-}
 
 /// Blueprint of one shard: which global nodes it contains and how they
 /// are wired, both in shard-local indices.
@@ -65,9 +58,9 @@ pub struct ShardedSim<P> {
 impl<P: NodeRuntime> ShardedSim<P> {
     /// Builds one simulator per `(spec, node states)` pair. All shards
     /// share `cfg` (seed, links, energy, event budget — the budget
-    /// applies per shard); shard `i` draws link randomness from
-    /// [`shard_link_stream`]`(i)` and each node from its global-id
-    /// stream.
+    /// applies per shard); every node draws from its global-id stream
+    /// and every edge from the fate stream its global endpoint labels
+    /// own.
     ///
     /// # Errors
     ///
@@ -85,7 +78,7 @@ impl<P: NodeRuntime> ShardedSim<P> {
     ) -> Result<Self, NetsimError> {
         let mut shards = Vec::with_capacity(parts.len());
         let mut maps = Vec::with_capacity(parts.len());
-        for (i, (spec, nodes)) in parts.into_iter().enumerate() {
+        for (spec, nodes) in parts {
             let topo = Topology::from_edges(spec.nodes.len(), spec.edges.iter().copied())?;
             let labels: Vec<u64> = spec.nodes.iter().map(|&g| g as u64).collect();
             shards.push(Simulator::with_nodes_labeled(
@@ -93,7 +86,6 @@ impl<P: NodeRuntime> ShardedSim<P> {
                 cfg.clone(),
                 nodes,
                 &labels,
-                shard_link_stream(i),
             ));
             maps.push(spec.nodes);
         }

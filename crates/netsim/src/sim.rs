@@ -20,16 +20,23 @@
 //! master seed in [`SimConfig::seed`] through per-purpose streams, so a
 //! `(topology, config, protocol)` triple always produces bit-identical
 //! statistics. A property test in `tests/` asserts this end to end.
+//!
+//! Link fates come from **per-edge fate streams** ([`FateStream`]): the
+//! fate of the n-th transmission of a frame class over a directed edge is
+//! a pure function of `(seed, src label, dst label, class, n)` — never of
+//! global event order — so shards and the columnar flat runner replay the
+//! exact loss schedule of an unsharded run.
 
 use crate::energy::EnergyModel;
 use crate::error::NetsimError;
 use crate::event::{EventKind, EventQueue};
-use crate::link::{LinkConfig, LinkFate};
+use crate::link::{FateStream, FrameClass, LinkConfig, LinkFate};
 use crate::rng::{derive_seed, Xoshiro256StarStar};
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::wire::BitString;
+use std::collections::HashMap;
 
 /// Index of a node in the network (`0..n`, with 0 the conventional root).
 pub type NodeId = usize;
@@ -76,9 +83,18 @@ impl SimConfig {
 /// Side effects a node may request while handling an event.
 #[derive(Debug)]
 enum Action {
-    Unicast { to: NodeId, payload: BitString },
-    LocalBroadcast { payload: BitString },
-    Timer { delay: SimDuration, tag: u64 },
+    Unicast {
+        to: NodeId,
+        payload: BitString,
+        class: FrameClass,
+    },
+    LocalBroadcast {
+        payload: BitString,
+    },
+    Timer {
+        delay: SimDuration,
+        tag: u64,
+    },
 }
 
 /// The environment handed to a node while it handles an event.
@@ -116,13 +132,23 @@ impl<'a> Context<'a> {
         self.rng
     }
 
-    /// Sends `payload` to the neighbour `to`.
+    /// Sends `payload` to the neighbour `to` as a [`FrameClass::Data`]
+    /// frame.
     ///
     /// The transmission is charged to this node immediately (radio energy
     /// is spent whether or not the packet survives the link). Sends to
     /// non-neighbours are rejected when the engine applies actions.
     pub fn send(&mut self, to: NodeId, payload: BitString) {
-        self.actions.push(Action::Unicast { to, payload });
+        self.send_classed(to, payload, FrameClass::Data);
+    }
+
+    /// Sends `payload` to the neighbour `to` under an explicit frame
+    /// class, selecting which per-edge fate stream the transmission draws
+    /// from. ARQ layers send their acknowledgements as
+    /// [`FrameClass::Ack`] so data and ACK fates never depend on how the
+    /// two directions interleave in time.
+    pub fn send_classed(&mut self, to: NodeId, payload: BitString, class: FrameClass) {
+        self.actions.push(Action::Unicast { to, payload, class });
     }
 
     /// Transmits `payload` once over the shared radio medium: every
@@ -177,7 +203,10 @@ pub struct Simulator<P> {
     cfg: SimConfig,
     nodes: Vec<P>,
     node_rngs: Vec<Xoshiro256StarStar>,
-    link_rng: Xoshiro256StarStar,
+    /// Global label of each local node — the key space of fate streams.
+    labels: Vec<u64>,
+    /// Lazily created per-(directed edge, frame class) fate streams.
+    fate_streams: HashMap<(NodeId, NodeId, FrameClass), FateStream>,
     queue: EventQueue,
     stats: NetStats,
     now: SimTime,
@@ -200,20 +229,19 @@ impl<P: NodeRuntime> Simulator<P> {
     /// Panics if `nodes.len()` differs from the topology size.
     pub fn with_nodes(topo: Topology, cfg: SimConfig, nodes: Vec<P>) -> Self {
         let labels: Vec<u64> = (0..topo.len() as u64).collect();
-        Self::with_nodes_labeled(topo, cfg, nodes, &labels, 0)
+        Self::with_nodes_labeled(topo, cfg, nodes, &labels)
     }
 
-    /// Creates a simulator whose per-node random streams are derived from
-    /// explicit labels instead of node indices, and whose link stream is
-    /// derived from `link_stream` instead of the default `0`.
+    /// Creates a simulator whose per-node random streams — and per-edge
+    /// link fate streams — are derived from explicit labels instead of
+    /// node indices.
     ///
     /// This is what keeps **sharded** simulations deterministic: a shard
     /// simulator indexes its nodes `0..m` locally, but by labeling each
-    /// node with its *global* id it draws from exactly the stream the
-    /// node would own in an unsharded run, so per-node randomness is
-    /// independent of the shard partition. Distinct `link_stream` values
-    /// give each shard an independent link-fate/jitter stream (seeded
-    /// deterministically per shard id by the caller).
+    /// node with its *global* id it draws from exactly the per-node
+    /// stream and, for each incident edge, exactly the per-edge
+    /// [`FateStream`] it would own in an unsharded run — so both node
+    /// randomness and the loss schedule are independent of the partition.
     ///
     /// # Panics
     ///
@@ -224,7 +252,6 @@ impl<P: NodeRuntime> Simulator<P> {
         cfg: SimConfig,
         nodes: Vec<P>,
         rng_labels: &[u64],
-        link_stream: u64,
     ) -> Self {
         assert_eq!(
             nodes.len(),
@@ -240,14 +267,15 @@ impl<P: NodeRuntime> Simulator<P> {
             .take(topo.len())
             .map(|&label| Xoshiro256StarStar::seed_from_u64(derive_seed(cfg.seed, label, 1)))
             .collect();
-        let link_rng = Xoshiro256StarStar::seed_from_u64(derive_seed(cfg.seed, link_stream, 2));
+        let labels = rng_labels[..topo.len()].to_vec();
         let stats = NetStats::new(topo.len(), cfg.energy);
         Simulator {
             topo,
             cfg,
             nodes,
             node_rngs,
-            link_rng,
+            labels,
+            fate_streams: HashMap::new(),
             queue: EventQueue::new(),
             stats,
             now: SimTime::ZERO,
@@ -370,17 +398,26 @@ impl<P: NodeRuntime> Simulator<P> {
                     self.nodes[node].on_timer(&mut ctx, tag);
                     self.apply_actions(node, actions)?;
                 }
-                EventKind::Deliver { src, dst, payload } => {
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    payload,
+                    corrupt,
+                } => {
+                    // Radio energy is spent on a corrupt frame too; only
+                    // the protocol hand-off is suppressed.
                     self.stats.charge_rx(dst, payload.len_bits());
-                    let mut ctx = Context {
-                        node: dst,
-                        now: self.now,
-                        neighbors: self.topo.neighbors(dst),
-                        rng: &mut self.node_rngs[dst],
-                        actions: &mut actions,
-                    };
-                    self.nodes[dst].on_packet(&mut ctx, src, &payload);
-                    self.apply_actions(dst, actions)?;
+                    if !corrupt {
+                        let mut ctx = Context {
+                            node: dst,
+                            now: self.now,
+                            neighbors: self.topo.neighbors(dst),
+                            rng: &mut self.node_rngs[dst],
+                            actions: &mut actions,
+                        };
+                        self.nodes[dst].on_packet(&mut ctx, src, &payload);
+                        self.apply_actions(dst, actions)?;
+                    }
                 }
             }
         }
@@ -390,15 +427,15 @@ impl<P: NodeRuntime> Simulator<P> {
     fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) -> Result<(), NetsimError> {
         for action in actions {
             match action {
-                Action::Unicast { to, payload } => {
+                Action::Unicast { to, payload, class } => {
                     if !self.topo.has_edge(node, to) {
                         return Err(NetsimError::NoSuchLink { from: node, to });
                     }
-                    self.transmit(node, &[to], payload);
+                    self.transmit(node, &[to], payload, class);
                 }
                 Action::LocalBroadcast { payload } => {
                     let neighbors: Vec<usize> = self.topo.neighbors(node).to_vec();
-                    self.transmit(node, &neighbors, payload);
+                    self.transmit(node, &neighbors, payload, FrameClass::Data);
                 }
                 Action::Timer { delay, tag } => {
                     self.queue
@@ -411,7 +448,15 @@ impl<P: NodeRuntime> Simulator<P> {
 
     /// One physical transmission reaching the given receivers; the sender
     /// is charged once, each surviving copy is scheduled for delivery.
-    fn transmit(&mut self, src: NodeId, receivers: &[usize], payload: BitString) {
+    /// The fate of each copy is drawn from the `(src, dst, class)` edge
+    /// stream at that edge's own transmission count.
+    fn transmit(
+        &mut self,
+        src: NodeId,
+        receivers: &[usize],
+        payload: BitString,
+        class: FrameClass,
+    ) {
         let bits = payload.len_bits();
         self.stats.charge_tx(src, bits);
         let base_delay = self.cfg.link.delay_for(bits);
@@ -419,7 +464,14 @@ impl<P: NodeRuntime> Simulator<P> {
             // Physical-layer link accounting (independent of loss fate):
             // used by cut measurements.
             self.stats.charge_link(src, dst, bits);
-            match self.cfg.link.draw_fate(&mut self.link_rng) {
+            let seed = self.cfg.seed;
+            let (src_label, dst_label) = (self.labels[src], self.labels[dst]);
+            let stream = self
+                .fate_streams
+                .entry((src, dst, class))
+                .or_insert_with(|| FateStream::new(seed, src_label, dst_label, class));
+            let fate = stream.next_fate(&self.cfg.link);
+            match fate {
                 LinkFate::Lost => {}
                 LinkFate::Delivered(j) => {
                     self.queue.schedule(
@@ -428,6 +480,18 @@ impl<P: NodeRuntime> Simulator<P> {
                             src,
                             dst,
                             payload: payload.clone(),
+                            corrupt: false,
+                        },
+                    );
+                }
+                LinkFate::Corrupted(j) => {
+                    self.queue.schedule(
+                        self.now + base_delay + j,
+                        EventKind::Deliver {
+                            src,
+                            dst,
+                            payload: payload.clone(),
+                            corrupt: true,
                         },
                     );
                 }
@@ -439,6 +503,7 @@ impl<P: NodeRuntime> Simulator<P> {
                                 src,
                                 dst,
                                 payload: payload.clone(),
+                                corrupt: false,
                             },
                         );
                     }

@@ -43,11 +43,37 @@
 //!   are identical; per-group protocol side-state ([`MuxLedger`]) is
 //!   drained at the barrier in fixed group order.
 //!
-//! Like the sharded runner, this requires [`Reliability::None`] over
-//! lossless, duplication-free links — the paper's model. Virtual time
-//! is not modelled at all (the canonical merge makes timing
+//! ## Lossy links: fate-replay ARQ emulation
+//!
+//! Virtual time is not modelled (the canonical merge makes timing
 //! unobservable), which is precisely what makes a 10^6-node wave a
-//! pair of array sweeps.
+//! pair of array sweeps. Loss is still reproducible without a clock,
+//! because link fates come from **per-edge fate streams**
+//! ([`saq_netsim::link::FateStream`]): the fate of the *n*-th
+//! transmission over an edge is a pure function of `(edge, frame
+//! class, n)`, not of schedule. Under [`Reliability::Ack`] the flat
+//! runner therefore *emulates* each boxed stop-and-wait exchange in
+//! closed form ([`arq_exchange`]): attempts consume the edge's
+//! `Data`-class stream in order, every delivered copy bills the
+//! receiver, every intact copy bills an ACK on the reverse edge's
+//! `Ack`-class stream, and retransmission stops at the first attempt
+//! that lands an intact copy whose ACK survives. The emulation is
+//! exact — the same fates at the same indices, hence the same
+//! per-node retransmission bills as the boxed runner bit-for-bit —
+//! **provided the retransmit timeout exceeds the worst-case round
+//! trip** (`delay(frame) + delay(ACK) + 2·jitter`), so the boxed
+//! event order within one exchange is fate-determined rather than a
+//! race between the ACK and the retransmit timer; exchanges that
+//! violate the bound are rejected loudly. Dedup residue and sequence
+//! numbers are emulated per position (`dedup_residue` column, child
+//! index arithmetic), so [`TransportFootprint`] matches too.
+//!
+//! Lossy links *without* ARQ remain rejected — an unrepaired drop
+//! would erase a subtree's report, which the unsharded runner surfaces
+//! as [`ProtocolError::NoResult`] after billing the partial traffic;
+//! single-threaded execution stays the ground truth for that
+//! combination. [`Reliability::None`] requires lossless links, as
+//! before.
 //!
 //! [`MuxLedger`]: crate::wave::MuxLedger
 //! [`WAVE_HEADER_BITS`]: crate::wave::WAVE_HEADER_BITS
@@ -55,18 +81,166 @@
 use crate::cache::{CacheKey, CacheStats, PartialCache};
 use crate::error::ProtocolError;
 use crate::tree::SpanningTree;
-use crate::wave::{Reliability, TransportFootprint, WaveProtocol, KIND_PARTIAL, KIND_REQUEST};
+use crate::wave::{
+    Reliability, TransportFootprint, WaveProtocol, ACK_BITS, KIND_PARTIAL, KIND_REQUEST, SEQ_BITS,
+};
 use saq_netsim::energy::EnergyModel;
 use saq_netsim::flat::{FlatTree, NestDepth, ShardBlock, ShardPlan};
+use saq_netsim::link::{FateStream, FrameClass, LinkConfig, LinkFate};
 use saq_netsim::rng::{derive_seed, Xoshiro256StarStar};
 use saq_netsim::sim::{NodeId, SimConfig};
 use saq_netsim::stats::{NetStats, NodeStats};
 use saq_netsim::topology::Topology;
 use saq_netsim::wire::{BitReader, BitString, ScratchPool};
+use saq_netsim::{NetsimError, SimDuration};
 
 /// Directed link charge recorded by a sweep: `(src, dst, bits)` in
 /// global ids, drained into the [`NetStats`] ledger at the barrier.
 type LinkCharge = (usize, usize, u64);
+
+/// The four per-edge fate streams of one tree edge, stored at the
+/// child's position (one tree edge per non-root node). Streams are
+/// keyed by the endpoints' **global** labels and the frame class, so
+/// they replay exactly the fates a boxed simulator would draw, at the
+/// same indices — the runner advances them only through emulated
+/// exchanges, which consume fates in the boxed per-edge order.
+#[derive(Debug)]
+struct EdgeStreams {
+    /// parent → node, `Data`: request frames.
+    down_data: FateStream,
+    /// node → parent, `Ack`: ACKs of requests.
+    up_ack: FateStream,
+    /// node → parent, `Data`: partial frames.
+    up_data: FateStream,
+    /// parent → node, `Ack`: ACKs of partials.
+    down_ack: FateStream,
+}
+
+impl EdgeStreams {
+    fn new(master: u64, parent_label: u64, node_label: u64) -> Self {
+        EdgeStreams {
+            down_data: FateStream::new(master, parent_label, node_label, FrameClass::Data),
+            up_ack: FateStream::new(master, node_label, parent_label, FrameClass::Ack),
+            up_data: FateStream::new(master, node_label, parent_label, FrameClass::Data),
+            down_ack: FateStream::new(master, parent_label, node_label, FrameClass::Ack),
+        }
+    }
+}
+
+/// Immutable per-wave environment shared by every sweep helper.
+struct Env<'a> {
+    tree: &'a FlatTree,
+    model: &'a EnergyModel,
+    link: &'a LinkConfig,
+    /// `Some(timeout)` under [`Reliability::Ack`].
+    arq_timeout: Option<SimDuration>,
+    /// Per-exchange attempt budget — the flat analogue of the
+    /// simulator's event budget, guarding against livelock when every
+    /// transmission is fated to drop.
+    attempt_budget: u64,
+}
+
+/// Two disjoint `&mut` borrows of one slice (`a < b`).
+fn two_mut<T>(slice: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    debug_assert!(a < b, "disjoint borrow requires a < b");
+    let (lo, hi) = slice.split_at_mut(b);
+    (&mut lo[a], &mut hi[0])
+}
+
+/// Emulates one boxed stop-and-wait exchange over a tree edge:
+/// `sender` transmits a `bits`-wide frame until an intact copy's ACK
+/// survives the reverse edge. Consumes `data` (sender → receiver,
+/// `Data`) one fate per attempt and `ack` (receiver → sender, `Ack`)
+/// one fate per intact delivered copy — exactly the per-edge stream
+/// indices the boxed run consumes — and bills every transmission,
+/// delivery (corrupt copies included) and ACK to the same counters.
+///
+/// Returns the number of intact copies delivered (the dedup-residue
+/// observable: a second copy re-inserts the receiver's `(from, wave,
+/// seq)` key after admission purged the first).
+///
+/// # Errors
+///
+/// * [`ProtocolError::Unsupported`] when the worst-case round trip
+///   (`delay(bits) + delay(ACK) + 2·jitter`) reaches the retransmit
+///   timeout: past that bound the boxed exchange becomes a race
+///   between the ACK and the retransmit timer, which only an event
+///   queue can order;
+/// * the event-budget error when `attempt_budget` attempts all fail
+///   (loss rate 1 — the boxed run's livelock guard).
+#[allow(clippy::too_many_arguments)]
+fn arq_exchange(
+    env: &Env<'_>,
+    timeout: SimDuration,
+    bits: u64,
+    data: &mut FateStream,
+    ack: &mut FateStream,
+    sender: &mut NodeStats,
+    receiver: &mut NodeStats,
+    links: &mut Vec<LinkCharge>,
+    sender_id: usize,
+    receiver_id: usize,
+) -> Result<u64, ProtocolError> {
+    let worst_rtt =
+        env.link.delay_for(bits) + env.link.delay_for(ACK_BITS) + env.link.jitter + env.link.jitter;
+    if worst_rtt >= timeout {
+        return Err(ProtocolError::Unsupported(
+            "flat ARQ emulation requires the retransmit timeout to exceed the worst-case round \
+             trip (frame delay + ACK delay + twice the jitter bound); raise Reliability::Ack's \
+             timeout, or use the single-threaded WaveRunner, which orders the race by event time",
+        ));
+    }
+    let mut intact_total = 0u64;
+    let mut attempts = 0u64;
+    loop {
+        attempts += 1;
+        if attempts > env.attempt_budget {
+            return Err(ProtocolError::Netsim(NetsimError::EventBudgetExhausted {
+                budget: env.attempt_budget,
+            }));
+        }
+        charge_tx(sender, env.model, bits);
+        links.push((sender_id, receiver_id, bits));
+        // Delivered copies (intact or corrupt) bill the receiver; each
+        // intact copy is ACKed per copy, before dedup, as the boxed
+        // receiver does.
+        let (delivered, intact) = match data.next_fate(env.link) {
+            LinkFate::Lost => (0u64, 0u64),
+            LinkFate::Corrupted(_) => (1, 0),
+            LinkFate::Delivered(_) => (1, 1),
+            LinkFate::DeliveredTwice(_, _) => (2, 2),
+        };
+        for _ in 0..delivered {
+            charge_rx(receiver, env.model, bits);
+        }
+        let mut acked = false;
+        for _ in 0..intact {
+            charge_tx(receiver, env.model, ACK_BITS);
+            links.push((receiver_id, sender_id, ACK_BITS));
+            match ack.next_fate(env.link) {
+                LinkFate::Lost => {}
+                // A corrupt ACK bills the sender's radio but never
+                // reaches the protocol: it does not stop retransmission.
+                LinkFate::Corrupted(_) => charge_rx(sender, env.model, ACK_BITS),
+                LinkFate::Delivered(_) => {
+                    charge_rx(sender, env.model, ACK_BITS);
+                    acked = true;
+                }
+                LinkFate::DeliveredTwice(_, _) => {
+                    charge_rx(sender, env.model, ACK_BITS);
+                    charge_rx(sender, env.model, ACK_BITS);
+                    acked = true;
+                }
+            }
+        }
+        intact_total += intact;
+        if acked {
+            // The ACK lands before this attempt's retransmit timer
+            // (the validated RTT bound), so no further attempt exists.
+            return Ok(intact_total);
+        }
+    }
+}
 
 /// Per-position wave state: the flat analogue of the wave-scoped fields
 /// of [`AggNode`](crate::wave::AggNode), reset by admission each wave.
@@ -123,6 +297,12 @@ struct Cols<'a, P: WaveProtocol> {
     caches: &'a mut [Option<PartialCache<P::Partial>>],
     counters: &'a mut [NodeStats],
     slots: &'a mut [WaveSlot<P>],
+    /// Emulated receiver-side dedup residue (`seen` cardinality) per
+    /// position; stays zero under [`Reliability::None`].
+    residue: &'a mut [u64],
+    /// Per-edge fate streams, at the child position; `None` for the
+    /// root and under [`Reliability::None`].
+    arq: &'a mut [Option<Box<EdgeStreams>>],
 }
 
 fn charge_tx(c: &mut NodeStats, model: &EnergyModel, bits: u64) {
@@ -239,10 +419,14 @@ fn assemble<P: WaveProtocol>(
 
 /// Encodes and stages one request frame per child of `p`, charging the
 /// transmissions to `p` exactly as its per-child unicasts would be.
+/// Under ARQ the *i*-th child's frame carries sequence number *i* (the
+/// boxed fan-out loop's counter), and the whole boxed exchange is
+/// emulated on the spot — both endpoints' counters live in this
+/// window, since blocks are whole subtrees and the spine sweeps the
+/// full column.
 #[allow(clippy::too_many_arguments)]
 fn fan_out<P: WaveProtocol>(
-    tree: &FlatTree,
-    model: &EnergyModel,
+    env: &Env<'_>,
     proto: &P,
     pool: &mut ScratchPool,
     links: &mut Vec<LinkCharge>,
@@ -250,82 +434,124 @@ fn fan_out<P: WaveProtocol>(
     p: usize,
     wave: u16,
     fwd: &P::Request,
-) {
+) -> Result<(), ProtocolError> {
     let rel = p - cols.base;
-    let global = tree.global_of(p);
-    for &c in tree.children_pos(p) {
+    let global = env.tree.global_of(p);
+    for (i, &c) in env.tree.children_pos(p).iter().enumerate() {
+        let crel = c as usize - cols.base;
         let mut w = pool.writer();
         w.write_bits(KIND_REQUEST, 2);
         w.write_bits(wave as u64, 16);
+        if env.arq_timeout.is_some() {
+            w.write_bits(i as u64, SEQ_BITS as u32);
+        }
         proto.encode_request(fwd, &mut w);
         let frame = w.finish();
         let bits = frame.len_bits();
-        charge_tx(&mut cols.counters[rel], model, bits);
-        links.push((global, tree.global_of(c as usize), bits));
-        cols.slots[c as usize - cols.base].frame = Some(frame);
+        match env.arq_timeout {
+            None => {
+                charge_tx(&mut cols.counters[rel], env.model, bits);
+                links.push((global, env.tree.global_of(c as usize), bits));
+            }
+            Some(timeout) => {
+                let streams = cols.arq[crel]
+                    .as_mut()
+                    .expect("non-root position has edge streams under ARQ");
+                let (sender, receiver) = two_mut(cols.counters, rel, crel);
+                let intact = arq_exchange(
+                    env,
+                    timeout,
+                    bits,
+                    &mut streams.down_data,
+                    &mut streams.up_ack,
+                    sender,
+                    receiver,
+                    links,
+                    global,
+                    env.tree.global_of(c as usize),
+                )?;
+                // The boxed receiver's first request copy enters `seen`
+                // only to be purged by its own admission; a second
+                // intact copy re-inserts the key, and it persists.
+                cols.residue[crel] = u64::from(intact >= 2);
+            }
+        }
+        cols.slots[crel].frame = Some(frame);
     }
+    Ok(())
 }
 
 /// Top-down step at a non-root position: consume the inbound request
 /// frame, admit the wave, contribute locally, stage child frames.
-#[allow(clippy::too_many_arguments)]
 fn step_down<P: WaveProtocol>(
-    tree: &FlatTree,
-    model: &EnergyModel,
+    env: &Env<'_>,
     proto: &P,
     pool: &mut ScratchPool,
     links: &mut Vec<LinkCharge>,
     cols: &mut Cols<'_, P>,
     p: usize,
     wave: u16,
-) {
+) -> Result<(), ProtocolError> {
     let rel = p - cols.base;
     let Some(frame) = cols.slots[rel].frame.take() else {
         // No request reached this node (an ancestor answered from
         // cache): it sits the wave out.
         cols.slots[rel].active = false;
-        return;
+        return Ok(());
     };
-    let bits = frame.len_bits();
-    charge_rx(&mut cols.counters[rel], model, bits);
+    // Under ARQ the reception was already billed by the parent's
+    // emulated exchange (per delivered copy); fire-and-forget bills
+    // the single delivery here.
+    if env.arq_timeout.is_none() {
+        let bits = frame.len_bits();
+        charge_rx(&mut cols.counters[rel], env.model, bits);
+    }
     let req = {
         let mut r = BitReader::new(&frame);
         let kind = r.read_bits(2);
         let frame_wave = r.read_bits(16);
         debug_assert!(matches!(kind, Ok(KIND_REQUEST)), "staged frame kind");
         debug_assert_eq!(frame_wave.map(|w| w as u16), Ok(wave), "staged frame wave");
+        if env.arq_timeout.is_some() {
+            let _seq = r.read_bits(SEQ_BITS as u32);
+        }
         proto.decode_request(&mut r)
     };
     pool.recycle(frame);
     let Ok(req) = req else {
         cols.slots[rel].active = false;
-        return;
+        return Ok(());
     };
     cols.slots[rel].active = true;
     if admit(proto, &mut cols.caches[rel], &mut cols.slots[rel], req) {
-        return; // fully cached: subtree silent, reply sent bottom-up
+        return Ok(()); // fully cached: subtree silent, reply sent bottom-up
     }
     let fwd = cols.slots[rel]
         .fwd
         .clone()
         .expect("forwarding admission sets the forward request");
     let local = proto.local(
-        tree.global_of(p),
+        env.tree.global_of(p),
         &mut cols.items[rel],
         &fwd,
         &mut cols.rngs[rel],
     );
     cols.slots[rel].acc = Some(local);
-    fan_out(tree, model, proto, pool, links, cols, p, wave, &fwd);
+    fan_out(env, proto, pool, links, cols, p, wave, &fwd)
 }
 
 /// Bottom-up step: merge child partials in fixed child order, populate
 /// the cache, and stage this node's partial frame for its parent.
 /// Returns the full reply at the root (`parent == None`).
-#[allow(clippy::too_many_arguments)]
+///
+/// Under ARQ each child's partial *exchange* is emulated here, at the
+/// parent — where both endpoints' counters are in the window — and
+/// this node's own partial frame is staged **uncharged**: its exchange
+/// runs when the parent consumes it. The partial's sequence number is
+/// the boxed sender's counter after its fan-out: the child count for a
+/// forwarding node, zero for one answered from cache.
 fn step_up<P: WaveProtocol>(
-    tree: &FlatTree,
-    model: &EnergyModel,
+    env: &Env<'_>,
     proto: &P,
     pool: &mut ScratchPool,
     links: &mut Vec<LinkCharge>,
@@ -341,24 +567,48 @@ fn step_up<P: WaveProtocol>(
         .acc
         .take()
         .expect("active wave has an accumulator");
+    let children = env.tree.children_pos(p).len();
     if !cols.slots[rel].cached {
         let fwd = cols.slots[rel]
             .fwd
             .clone()
             .expect("executing wave has a forward request");
-        for &c in tree.children_pos(p) {
+        for &c in env.tree.children_pos(p) {
             let crel = c as usize - cols.base;
             let Some(frame) = cols.slots[crel].frame.take() else {
                 return Err(ProtocolError::NoResult);
             };
             let bits = frame.len_bits();
-            charge_rx(&mut cols.counters[rel], model, bits);
+            match env.arq_timeout {
+                None => charge_rx(&mut cols.counters[rel], env.model, bits),
+                Some(timeout) => {
+                    let streams = cols.arq[crel]
+                        .as_mut()
+                        .expect("non-root position has edge streams under ARQ");
+                    let (receiver, sender) = two_mut(cols.counters, rel, crel);
+                    arq_exchange(
+                        env,
+                        timeout,
+                        bits,
+                        &mut streams.up_data,
+                        &mut streams.down_ack,
+                        sender,
+                        receiver,
+                        links,
+                        env.tree.global_of(c as usize),
+                        env.tree.global_of(p),
+                    )?;
+                }
+            }
             let partial = {
                 let mut r = BitReader::new(&frame);
                 let kind = r.read_bits(2);
                 let frame_wave = r.read_bits(16);
                 debug_assert!(matches!(kind, Ok(KIND_PARTIAL)), "staged frame kind");
                 debug_assert_eq!(frame_wave.map(|w| w as u16), Ok(wave), "staged frame wave");
+                if env.arq_timeout.is_some() {
+                    let _seq = r.read_bits(SEQ_BITS as u32);
+                }
                 proto.decode_partial(&fwd, &mut r)
             };
             pool.recycle(frame);
@@ -367,8 +617,15 @@ fn step_up<P: WaveProtocol>(
         }
     }
     let full = assemble(proto, &mut cols.caches[rel], &mut cols.slots[rel], acc);
-    match tree.parent_pos(p) {
-        None => Ok(Some(full)),
+    match env.tree.parent_pos(p) {
+        None => {
+            if env.arq_timeout.is_some() {
+                // The root's dedup residue: one `(child, wave, seq)`
+                // key per reporting child.
+                cols.residue[rel] = children as u64;
+            }
+            Ok(Some(full))
+        }
         Some(parent) => {
             let req = cols.slots[rel]
                 .req
@@ -377,11 +634,22 @@ fn step_up<P: WaveProtocol>(
             let mut w = pool.writer();
             w.write_bits(KIND_PARTIAL, 2);
             w.write_bits(wave as u64, 16);
+            if env.arq_timeout.is_some() {
+                let seq = if cols.slots[rel].cached { 0 } else { children };
+                w.write_bits(seq as u64, SEQ_BITS as u32);
+            }
             proto.encode_partial(req, &full, &mut w);
             let frame = w.finish();
-            let bits = frame.len_bits();
-            charge_tx(&mut cols.counters[rel], model, bits);
-            links.push((tree.global_of(p), tree.global_of(parent), bits));
+            if env.arq_timeout.is_none() {
+                let bits = frame.len_bits();
+                charge_tx(&mut cols.counters[rel], env.model, bits);
+                links.push((env.tree.global_of(p), env.tree.global_of(parent), bits));
+            } else if !cols.slots[rel].cached {
+                // Dedup residue of a forwarding node: one key per
+                // reporting child, plus the duplicate-request key set
+                // by the parent's fan-out exchange (already in place).
+                cols.residue[rel] += children as u64;
+            }
             cols.slots[rel].frame = Some(frame);
             Ok(None)
         }
@@ -393,8 +661,7 @@ fn step_up<P: WaveProtocol>(
 /// outbound partial is left in its own slot for the spine to take.
 #[allow(clippy::too_many_arguments)]
 fn eval_block<P: WaveProtocol>(
-    tree: &FlatTree,
-    model: &EnergyModel,
+    env: &Env<'_>,
     proto: &P,
     pool: &mut ScratchPool,
     links: &mut Vec<LinkCharge>,
@@ -404,10 +671,10 @@ fn eval_block<P: WaveProtocol>(
 ) -> Result<(), ProtocolError> {
     let (start, end) = (block.start as usize, (block.start + block.len) as usize);
     for p in start..end {
-        step_down(tree, model, proto, pool, links, cols, p, wave);
+        step_down(env, proto, pool, links, cols, p, wave)?;
     }
     for p in (start..end).rev() {
-        let out = step_up(tree, model, proto, pool, links, cols, p, wave)?;
+        let out = step_up(env, proto, pool, links, cols, p, wave)?;
         debug_assert!(out.is_none(), "blocks are strictly below the root");
     }
     Ok(())
@@ -424,23 +691,13 @@ struct WorkerTask<'a, P: WaveProtocol> {
 }
 
 fn run_task<P: WaveProtocol>(
-    tree: &FlatTree,
-    model: &EnergyModel,
+    env: &Env<'_>,
     task: &mut WorkerTask<'_, P>,
     wave: u16,
 ) -> Result<(), ProtocolError> {
     let mut result = Ok(());
     for (block, cols) in &mut task.blocks {
-        let r = eval_block(
-            tree,
-            model,
-            &task.proto,
-            task.pool,
-            task.links,
-            cols,
-            *block,
-            wave,
-        );
+        let r = eval_block(env, &task.proto, task.pool, task.links, cols, *block, wave);
         // Keep the first error but finish every block, so per-block
         // side-state is always fully accumulated before the barrier
         // drains it (the shard discipline of `crate::shard`).
@@ -487,6 +744,17 @@ pub struct FlatWaveRunner<P: WaveProtocol> {
     /// `stats` (global-id-indexed) after every wave.
     counters: Vec<NodeStats>,
     slots: Vec<WaveSlot<P>>,
+    /// Emulated `seen`-set cardinality per position (see
+    /// [`transport_footprint`](Self::transport_footprint)).
+    dedup_residue: Vec<u64>,
+    /// Per-edge fate streams at the child position; populated under
+    /// [`Reliability::Ack`], all `None` otherwise.
+    arq: Vec<Option<Box<EdgeStreams>>>,
+    link: LinkConfig,
+    reliability: Reliability,
+    /// Per-exchange retransmission attempt budget (from
+    /// [`SimConfig::max_events`]).
+    attempt_budget: u64,
     stats: NetStats,
     /// Driver-side scratch frames (spine sweeps).
     pool: ScratchPool,
@@ -511,11 +779,12 @@ where
     ///
     /// # Errors
     ///
-    /// * [`ProtocolError::Unsupported`] unless `reliability` is
-    ///   [`Reliability::None`] and links are lossless and
-    ///   duplication-free — the same gate as [`crate::shard`], and
-    ///   additionally because the flat substrate does not model
-    ///   per-hop delivery fates at all;
+    /// * [`ProtocolError::Unsupported`] for lossy links under
+    ///   [`Reliability::None`] — the flat substrate cannot surface
+    ///   unrepaired loss mid-wave. Supported combinations:
+    ///   `Reliability::None` over lossless links, or
+    ///   [`Reliability::Ack`] over any links (emulated from the
+    ///   per-edge fate streams; see the module docs);
     /// * [`ProtocolError::ShapeMismatch`] for item/topology mismatches.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
@@ -528,14 +797,11 @@ where
         workers: usize,
         depth: NestDepth,
     ) -> Result<Self, ProtocolError> {
-        if !matches!(reliability, Reliability::None) {
+        if matches!(reliability, Reliability::None) && !cfg.link.is_lossless() {
             return Err(ProtocolError::Unsupported(
-                "flat execution requires Reliability::None (the columnar substrate models no per-hop delivery)",
-            ));
-        }
-        if cfg.link.loss > 0.0 || cfg.link.duplication > 0.0 {
-            return Err(ProtocolError::Unsupported(
-                "flat execution requires lossless, duplication-free links (no link-fate streams exist to replay drops)",
+                "flat execution cannot surface unrepaired loss; supported combinations: \
+                 Reliability::None over lossless links, or Reliability::Ack over any links \
+                 (use the single-threaded WaveRunner for lossy fire-and-forget)",
             ));
         }
         if items.len() != topo.len() {
@@ -563,6 +829,19 @@ where
             .collect();
         let groups = plan.groups().len();
         let worker_protos: Vec<P> = (0..groups).map(|_| proto.shard_clone()).collect();
+        // Fate streams keyed by global endpoint labels: position p's
+        // tree edge replays exactly the per-edge stream a boxed
+        // simulator would consume for the same pair of node ids.
+        let arq: Vec<Option<Box<EdgeStreams>>> = (0..n)
+            .map(|p| match (reliability, flat.parent_pos(p)) {
+                (Reliability::Ack { .. }, Some(parent)) => Some(Box::new(EdgeStreams::new(
+                    cfg.seed,
+                    flat.global_of(parent) as u64,
+                    flat.global_of(p) as u64,
+                ))),
+                _ => None,
+            })
+            .collect();
 
         Ok(FlatWaveRunner {
             tree_height: tree.height(),
@@ -576,6 +855,11 @@ where
             caches: (0..n).map(|_| None).collect(),
             counters: vec![NodeStats::default(); n],
             slots: (0..n).map(|_| WaveSlot::blank()).collect(),
+            dedup_residue: vec![0; n],
+            arq,
+            link: cfg.link.clone(),
+            reliability,
+            attempt_budget: cfg.max_events,
             stats: NetStats::new(n, cfg.energy),
             pool: ScratchPool::new(),
             worker_protos,
@@ -717,11 +1001,16 @@ where
         total
     }
 
-    /// Network-wide transport-state occupancy. The flat substrate
-    /// holds no ARQ or queue state at all, so only cache residency is
-    /// ever nonzero.
+    /// Network-wide transport-state occupancy. Between waves the boxed
+    /// ARQ holds no pending frames or buffered partials, but each
+    /// node's dedup `seen` set retains its last wave's keys until the
+    /// next admission purges them — the flat runner tracks that
+    /// cardinality in closed form (`dedup_residue`), so footprints
+    /// compare bit-for-bit against the boxed runner. Under
+    /// [`Reliability::None`] only cache residency is ever nonzero.
     pub fn transport_footprint(&self) -> TransportFootprint {
         TransportFootprint {
+            dedup_entries: self.dedup_residue.iter().sum(),
             cache_entries: self
                 .caches
                 .iter()
@@ -770,7 +1059,9 @@ where
         self.slots[0].active = true;
         if admit(&self.proto, &mut self.caches[0], &mut self.slots[0], req) {
             // Every slot served from the root's cache: the network
-            // stays silent.
+            // stays silent. The boxed root's admission still purged
+            // its dedup set.
+            self.dedup_residue[0] = 0;
             let acc = self.slots[0]
                 .acc
                 .take()
@@ -781,13 +1072,23 @@ where
         }
 
         let model = self.energy;
+        let arq_timeout = match self.reliability {
+            Reliability::Ack { timeout } => Some(timeout),
+            Reliability::None => None,
+        };
         let mut spine_links: Vec<LinkCharge> = Vec::new();
 
         // Phase A — spine top-down: root contribution and fan-out,
         // then every spine position in ascending (pre-)order, staging
         // the inbound frames of all block roots along the way.
-        {
-            let tree = &self.tree;
+        let phase_a: Result<(), ProtocolError> = {
+            let env = Env {
+                tree: &self.tree,
+                model: &model,
+                link: &self.link,
+                arq_timeout,
+                attempt_budget: self.attempt_budget,
+            };
             let mut cols = Cols {
                 base: 0,
                 items: &mut self.items,
@@ -795,21 +1096,22 @@ where
                 caches: &mut self.caches,
                 counters: &mut self.counters,
                 slots: &mut self.slots,
+                residue: &mut self.dedup_residue,
+                arq: &mut self.arq,
             };
             let fwd = cols.slots[0]
                 .fwd
                 .clone()
                 .expect("forwarding admission sets the forward request");
             let local = self.proto.local(
-                tree.global_of(0),
+                env.tree.global_of(0),
                 &mut cols.items[0],
                 &fwd,
                 &mut cols.rngs[0],
             );
             cols.slots[0].acc = Some(local);
-            fan_out(
-                tree,
-                &model,
+            let mut r = fan_out(
+                &env,
                 &self.proto,
                 &mut self.pool,
                 &mut spine_links,
@@ -818,24 +1120,43 @@ where
                 wave,
                 &fwd,
             );
-            for &p in &self.plan.spine()[1..] {
-                step_down(
-                    tree,
-                    &model,
-                    &self.proto,
-                    &mut self.pool,
-                    &mut spine_links,
-                    &mut cols,
-                    p as usize,
-                    wave,
-                );
+            if r.is_ok() {
+                for &p in &self.plan.spine()[1..] {
+                    r = step_down(
+                        &env,
+                        &self.proto,
+                        &mut self.pool,
+                        &mut spine_links,
+                        &mut cols,
+                        p as usize,
+                        wave,
+                    );
+                    if r.is_err() {
+                        break;
+                    }
+                }
             }
+            r
+        };
+        if let Err(e) = phase_a {
+            for (s, d, bits) in spine_links.drain(..) {
+                self.stats.charge_link(s, d, bits);
+            }
+            self.flush_stats();
+            return Err(e);
         }
 
         // Phase B — parallel blocks: disjoint column windows per
         // block, grouped per worker by the plan's static assignment.
         let worker_error = {
-            let tree = &self.tree;
+            let env = Env {
+                tree: &self.tree,
+                model: &model,
+                link: &self.link,
+                arq_timeout,
+                attempt_budget: self.attempt_budget,
+            };
+            let env = &env;
             let blocks = self.plan.blocks();
             let mut block_cols: Vec<Option<Cols<'_, P>>> = Vec::with_capacity(blocks.len());
             {
@@ -844,14 +1165,19 @@ where
                 let caches = split_ranges(&mut self.caches[..], blocks);
                 let counters = split_ranges(&mut self.counters[..], blocks);
                 let slots = split_ranges(&mut self.slots[..], blocks);
-                for ((((((items, rngs), caches), counters), slots), b), _) in items
-                    .into_iter()
-                    .zip(rngs)
-                    .zip(caches)
-                    .zip(counters)
-                    .zip(slots)
-                    .zip(blocks)
-                    .zip(0..)
+                let residue = split_ranges(&mut self.dedup_residue[..], blocks);
+                let arq = split_ranges(&mut self.arq[..], blocks);
+                for ((((((((items, rngs), caches), counters), slots), residue), arq), b), _) in
+                    items
+                        .into_iter()
+                        .zip(rngs)
+                        .zip(caches)
+                        .zip(counters)
+                        .zip(slots)
+                        .zip(residue)
+                        .zip(arq)
+                        .zip(blocks)
+                        .zip(0..)
                 {
                     block_cols.push(Some(Cols {
                         base: b.start as usize,
@@ -860,6 +1186,8 @@ where
                         caches,
                         counters,
                         slots,
+                        residue,
+                        arq,
                     }));
                 }
             }
@@ -885,15 +1213,12 @@ where
                 })
                 .collect();
             let results: Vec<Result<(), ProtocolError>> = if tasks.len() <= 1 {
-                tasks
-                    .iter_mut()
-                    .map(|t| run_task(tree, &model, t, wave))
-                    .collect()
+                tasks.iter_mut().map(|t| run_task(env, t, wave)).collect()
             } else {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = tasks
                         .iter_mut()
-                        .map(|t| scope.spawn(move || run_task(tree, &model, t, wave)))
+                        .map(|t| scope.spawn(move || run_task(env, t, wave)))
                         .collect();
                     handles
                         .into_iter()
@@ -926,8 +1251,14 @@ where
         // Phase C — spine bottom-up: descending position order visits
         // every spine child (spine or block root) before its parent.
         let mut result = None;
-        {
-            let tree = &self.tree;
+        let phase_c: Result<(), ProtocolError> = {
+            let env = Env {
+                tree: &self.tree,
+                model: &model,
+                link: &self.link,
+                arq_timeout,
+                attempt_budget: self.attempt_budget,
+            };
             let mut cols = Cols {
                 base: 0,
                 items: &mut self.items,
@@ -935,11 +1266,13 @@ where
                 caches: &mut self.caches,
                 counters: &mut self.counters,
                 slots: &mut self.slots,
+                residue: &mut self.dedup_residue,
+                arq: &mut self.arq,
             };
+            let mut r = Ok(());
             for &p in self.plan.spine().iter().rev() {
                 match step_up(
-                    tree,
-                    &model,
+                    &env,
                     &self.proto,
                     &mut self.pool,
                     &mut spine_links,
@@ -950,14 +1283,19 @@ where
                     Ok(Some(full)) => result = Some(full),
                     Ok(None) => {}
                     Err(e) => {
-                        for (s, d, bits) in spine_links.drain(..) {
-                            self.stats.charge_link(s, d, bits);
-                        }
-                        self.flush_stats();
-                        return Err(e);
+                        r = Err(e);
+                        break;
                     }
                 }
             }
+            r
+        };
+        if let Err(e) = phase_c {
+            for (s, d, bits) in spine_links.drain(..) {
+                self.stats.charge_link(s, d, bits);
+            }
+            self.flush_stats();
+            return Err(e);
         }
         for (s, d, bits) in spine_links.drain(..) {
             self.stats.charge_link(s, d, bits);
@@ -1221,25 +1559,12 @@ mod tests {
     }
 
     #[test]
-    fn flat_rejects_arq_and_lossy_links() {
+    fn flat_rejects_lossy_links_without_arq() {
         let (topo, tree, items) = balanced_setup(13, 3);
-        let err = FlatWaveRunner::new(
-            &topo,
-            SimConfig::default(),
-            &tree,
-            proto(),
-            items.clone(),
-            Reliability::Ack {
-                timeout: saq_netsim::SimDuration::from_millis(10),
-            },
-            2,
-            NestDepth::Auto,
-        )
-        .unwrap_err();
-        assert!(matches!(err, ProtocolError::Unsupported(_)));
         for link in [
             saq_netsim::link::LinkConfig::default().with_loss(0.1),
             saq_netsim::link::LinkConfig::default().with_duplication(0.1),
+            saq_netsim::link::LinkConfig::default().with_corruption(0.1),
         ] {
             let err = FlatWaveRunner::new(
                 &topo,
@@ -1252,8 +1577,131 @@ mod tests {
                 NestDepth::Auto,
             )
             .unwrap_err();
-            assert!(matches!(err, ProtocolError::Unsupported(_)));
+            let ProtocolError::Unsupported(msg) = err else {
+                panic!("expected Unsupported, got {err:?}");
+            };
+            // The rejection enumerates the supported combinations.
+            assert!(
+                msg.contains("Reliability::None over lossless links"),
+                "{msg}"
+            );
+            assert!(msg.contains("Reliability::Ack over any links"), "{msg}");
         }
+    }
+
+    #[test]
+    fn flat_arq_over_lossy_links_matches_single_threaded() {
+        // Fate-replay ARQ emulation: every retransmission, duplicate
+        // delivery, corrupt copy and ACK is billed exactly as the boxed
+        // event-driven exchange bills it, because both draw the same
+        // per-edge fate streams at the same indices.
+        let (topo, tree, items) = balanced_setup(40, 3);
+        let link = saq_netsim::link::LinkConfig::default()
+            .with_loss(0.2)
+            .with_corruption(0.05)
+            .with_duplication(0.05);
+        let cfg = SimConfig::default().with_link(link);
+        let rel = Reliability::Ack {
+            timeout: saq_netsim::SimDuration::from_millis(40),
+        };
+        for workers in [1usize, 2, 4] {
+            let mut single =
+                WaveRunner::new(&topo, cfg.clone(), &tree, proto(), items.clone(), rel).unwrap();
+            let mut flat = FlatWaveRunner::new(
+                &topo,
+                cfg.clone(),
+                &tree,
+                proto(),
+                items.clone(),
+                rel,
+                workers,
+                NestDepth::Auto,
+            )
+            .unwrap();
+            // Two waves: the second consumes each edge's streams from
+            // wherever the first left them, so index continuity is
+            // covered too.
+            for req in [vec![1000u64, 500], vec![30]] {
+                let a = single.run_wave(env(req.clone())).unwrap();
+                let b = flat.run_wave(env(req)).unwrap();
+                assert_eq!(a, b, "answers differ at workers={workers}");
+                assert_eq!(
+                    single.transport_footprint(),
+                    flat.transport_footprint(),
+                    "between-wave footprint differs at workers={workers}"
+                );
+            }
+            for v in 0..topo.len() {
+                let (a, b) = (single.stats().node(v), flat.stats().node(v));
+                assert_eq!(
+                    (a.tx_bits, a.rx_bits, a.tx_packets, a.rx_packets),
+                    (b.tx_bits, b.rx_bits, b.tx_packets, b.rx_packets),
+                    "node {v} stats differ at workers={workers}"
+                );
+            }
+            for v in 1..topo.len() {
+                if let Some(p) = tree.parent(v) {
+                    assert_eq!(
+                        single.stats().link_bits(p, v),
+                        flat.stats().link_bits(p, v),
+                        "link {p}<->{v} differs at workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_arq_footprint_tracks_cached_waves() {
+        // A root-cached wave silences the network; the boxed root's
+        // admission still purges its dedup set, and everyone else keeps
+        // last wave's keys — the residue column must mirror both.
+        let (topo, tree, items) = balanced_setup(40, 3);
+        let link = saq_netsim::link::LinkConfig::default().with_loss(0.1);
+        let cfg = SimConfig::default().with_link(link);
+        let rel = Reliability::Ack {
+            timeout: saq_netsim::SimDuration::from_millis(40),
+        };
+        let mut single =
+            WaveRunner::new(&topo, cfg.clone(), &tree, proto(), items.clone(), rel).unwrap();
+        let mut flat =
+            FlatWaveRunner::new(&topo, cfg, &tree, proto(), items, rel, 2, NestDepth::Auto)
+                .unwrap();
+        single.enable_partial_cache(8);
+        flat.enable_partial_cache(8);
+        for req in [vec![700u64], vec![700], vec![100, 700]] {
+            let a = single.run_wave(env(req.clone())).unwrap();
+            let b = flat.run_wave(env(req)).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(single.transport_footprint(), flat.transport_footprint());
+        }
+        assert_eq!(single.cache_stats(), flat.cache_stats());
+    }
+
+    #[test]
+    fn flat_arq_rejects_timeout_inside_round_trip() {
+        // A retransmit timer shorter than the worst-case round trip
+        // turns the exchange into an ACK-vs-timer race only an event
+        // queue can order: the emulation refuses rather than guesses.
+        let (topo, tree, items) = balanced_setup(13, 3);
+        let mut flat = FlatWaveRunner::new(
+            &topo,
+            SimConfig::default(),
+            &tree,
+            proto(),
+            items,
+            Reliability::Ack {
+                timeout: saq_netsim::SimDuration::from_micros(100),
+            },
+            2,
+            NestDepth::Auto,
+        )
+        .unwrap();
+        let err = flat.run_wave(env(vec![1000])).unwrap_err();
+        let ProtocolError::Unsupported(msg) = err else {
+            panic!("expected Unsupported, got {err:?}");
+        };
+        assert!(msg.contains("round"), "{msg}");
     }
 
     #[test]

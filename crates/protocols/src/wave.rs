@@ -24,6 +24,7 @@
 use crate::cache::{CacheKey, CacheStats, PartialCache};
 use crate::error::ProtocolError;
 use crate::tree::SpanningTree;
+use saq_netsim::link::FrameClass;
 use saq_netsim::rng::Xoshiro256StarStar;
 use saq_netsim::sim::{Context, NodeId, NodeRuntime, SimConfig, Simulator};
 use saq_netsim::stats::NetStats;
@@ -218,11 +219,13 @@ pub trait WaveProtocol: Clone {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransportFootprint {
     /// Entries across all receiver-side ARQ dedup sets (`(from, wave,
-    /// seq)` keys). Purged at each node's wave completion; frames that
-    /// straggle in *after* a node finished (late retransmissions under
-    /// loss) re-enter until the next wave admits, so between waves this
-    /// is bounded by one wave's residual traffic — never by wave count.
-    /// Zero under [`Reliability::None`].
+    /// seq)` keys). Purged when a node **admits** its next wave, so
+    /// between waves each node holds at most one wave's worth of
+    /// entries — one per reporting child plus at most one duplicate
+    /// request key — never a total that grows with wave count. (The
+    /// purge is at admission rather than completion so the residue is a
+    /// pure function of link fates, reproducible by every runner
+    /// representation.) Zero under [`Reliability::None`].
     pub dedup_entries: u64,
     /// Un-ACKed frames held for retransmission; zero between waves and
     /// under [`Reliability::None`].
@@ -268,19 +271,33 @@ pub enum Reliability {
 /// Exported so bit-accounting layers never hardcode the frame layout.
 pub const WAVE_HEADER_BITS: u64 = 2 + 16;
 
+/// Bits of one ACK frame under [`Reliability::Ack`]: the 2-bit kind,
+/// the 16-bit wave id and the 16-bit acknowledged sequence number (an
+/// ACK carries no sequence number of its own). Exported so
+/// bit-accounting layers and ARQ-emulating runners never hardcode the
+/// frame layout.
+pub const ACK_BITS: u64 = 2 + 16 + 16;
+
+/// Bits of the per-message ARQ sequence number appended to the wave
+/// header of every non-ACK frame under [`Reliability::Ack`].
+pub const SEQ_BITS: u64 = 16;
+
 pub(crate) const KIND_REQUEST: u64 = 0;
 pub(crate) const KIND_PARTIAL: u64 = 1;
-const KIND_ACK: u64 = 2;
+pub(crate) const KIND_ACK: u64 = 2;
 
 /// Timer tag namespace: retransmissions are tagged
 /// `RETX_BASE + (wave << 16) + seq`. Including the wave id keeps a stale
 /// timer from a finished wave from ever matching a live entry of the
 /// current wave, whose per-wave sequence numbers restart at zero.
-const RETX_BASE: u64 = 1 << 34;
+/// Crate-visible: the sharded driver's root stub (`crate::shard`) runs
+/// the root's retransmission loop inside a shard simulator and must use
+/// the identical tag algebra.
+pub(crate) const RETX_BASE: u64 = 1 << 34;
 /// Tag used by [`WaveRunner`] to start a wave at the root.
 const TAG_START: u64 = 1;
 
-const fn retx_tag(wave: u16, seq: u16) -> u64 {
+pub(crate) const fn retx_tag(wave: u16, seq: u16) -> u64 {
     RETX_BASE + ((wave as u64) << 16) + seq as u64
 }
 
@@ -366,9 +383,13 @@ pub struct AggNode<P: WaveProtocol> {
     next_seq: u16,
     pending: Vec<PendingMsg>,
     /// Receiver-side ARQ dedup set, keyed `(from, wave, seq)`. Scoped to
-    /// a wave: cleared when a wave begins *and* purged when it
-    /// completes, so the set never outgrows one wave's traffic — the
-    /// bound a long-running engine needs.
+    /// a wave: cleared when the node **admits** a wave, so the set never
+    /// outgrows one wave's traffic — the bound a long-running engine
+    /// needs. Purging at admission (not completion) makes the residue
+    /// left between waves a pure function of link fates — at most one
+    /// entry per reporting child plus one for a duplicate request
+    /// delivery — which is what lets the sharded and flat runners
+    /// reproduce [`TransportFootprint`] bit-for-bit.
     seen: HashSet<(NodeId, u16, u16)>,
 }
 
@@ -445,7 +466,13 @@ impl<P: WaveProtocol> AggNode<P> {
         }
     }
 
-    fn encode_msg(
+    /// Frames one outgoing message: kind, wave id, an ARQ sequence
+    /// number when reliable (consuming `next_seq`), then the
+    /// protocol-encoded body. Crate-visible so the sharded driver frames
+    /// the root's per-child requests with the root's own sequence
+    /// counter — child *i* in fixed child order draws sequence *i*,
+    /// exactly as the unsharded root's fan-out loop would.
+    pub(crate) fn encode_msg(
         &mut self,
         kind: u64,
         wave: u16,
@@ -498,7 +525,11 @@ impl<P: WaveProtocol> AggNode<P> {
         w.write_bits(KIND_ACK, 2);
         w.write_bits(wave as u64, 16);
         w.write_bits(seq as u64, 16);
-        ctx.send(to, w.finish());
+        // ACKs ride their own per-edge fate stream (`FrameClass::Ack`):
+        // data and ACK frames interleave on the shared edge in
+        // timing-dependent order, and separate streams keep that
+        // interleaving unobservable to the fate schedule.
+        ctx.send_classed(to, w.finish(), FrameClass::Ack);
     }
 
     /// Outcome of [`AggNode::admit_wave`]: either the whole reply came
@@ -637,12 +668,12 @@ impl<P: WaveProtocol> AggNode<P> {
     /// partial aligned with the request this node *received*, and hands
     /// it to the parent (or records it as the root result).
     fn finish_wave(&mut self, ctx: &mut Context<'_>) {
-        // The wave is complete at this node: purge the ARQ dedup scope
-        // so memory stays bounded across a long-running engine's life.
-        // Late retransmissions are still re-acked, and re-processing
-        // them is harmless (duplicate requests and partials are rejected
-        // by the wave/waiting checks below seen-dedup).
-        self.seen.clear();
+        // The ARQ dedup scope (`seen`) is NOT purged here: the next
+        // `admit_wave` clears it, which bounds memory just as well (one
+        // wave's traffic) while leaving a between-wave residue that is a
+        // pure function of link fates — completion time is
+        // schedule-dependent, admission order is not, and the sharded
+        // and flat runners must reproduce the footprint exactly.
         let acc = self.acc.clone().expect("wave has an accumulator");
         let full = self.assemble_partial(acc);
         match self.parent {
@@ -954,12 +985,13 @@ impl<P: WaveProtocol> WaveRunner<P> {
     }
 
     /// Network-wide transport-state occupancy (see
-    /// [`TransportFootprint`]). Between waves of a quiesced lossless run
-    /// the dedup and retransmit components are zero (under ARQ with
-    /// loss, the dedup component is bounded by one wave's residual late
-    /// frames); an unbounded round stream must observe this staying
-    /// flat — the memory-bound contract behind the long-running
-    /// streaming engine.
+    /// [`TransportFootprint`]). Between waves of a quiesced run the
+    /// retransmit and merge-buffer components are zero; the dedup
+    /// component (zero under [`Reliability::None`]) is bounded by one
+    /// wave's traffic — at most one entry per tree edge plus one per
+    /// duplicate request delivery, purged at the next admission — so an
+    /// unbounded round stream observes it staying flat: the memory-bound
+    /// contract behind the long-running streaming engine.
     pub fn transport_footprint(&self) -> TransportFootprint {
         let mut fp = TransportFootprint::default();
         for v in 0..self.sim.len() {
@@ -2154,6 +2186,83 @@ mod tests {
             // child order — for every jitter seed.
             assert_eq!(r.run_wave(()).unwrap(), vec![0, 10, 20, 30, 40]);
         }
+    }
+
+    #[test]
+    fn arq_with_zero_loss_matches_none_with_pinned_ack_bill() {
+        // Reliability edge case: ARQ over a lossless link answers
+        // identically to fire-and-forget, and its overhead is exactly
+        // the deterministic ACK bill — one 16-bit sequence number per
+        // data frame plus one 34-bit ACK per delivered copy. Pinned so
+        // the frame layout can never drift silently.
+        let topo = Topology::line(4).unwrap();
+        let items: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
+        let mut plain = runner_on(
+            topo.clone(),
+            items.clone(),
+            SimConfig::default(),
+            Reliability::None,
+        );
+        let mut arq = runner_on(
+            topo,
+            items,
+            SimConfig::default(),
+            Reliability::Ack {
+                timeout: SimDuration::from_millis(50),
+            },
+        );
+        assert_eq!(plain.run_wave(1000).unwrap(), arq.run_wave(1000).unwrap());
+        // Per node: every data frame it sends or receives grows by
+        // SEQ_BITS, and every data frame it receives is answered by an
+        // ACK_BITS frame (billed tx at the receiver, rx at the sender).
+        for v in 0..4 {
+            let p = plain.stats().node(v);
+            let a = arq.stats().node(v);
+            let data_tx = p.tx_packets; // lossless: every frame is data, sent once
+            let data_rx = p.rx_packets;
+            assert_eq!(
+                a.tx_bits,
+                p.tx_bits + data_tx * SEQ_BITS + data_rx * ACK_BITS
+            );
+            assert_eq!(
+                a.rx_bits,
+                p.rx_bits + data_rx * SEQ_BITS + data_tx * ACK_BITS
+            );
+            assert_eq!(a.tx_packets, data_tx + data_rx);
+            assert_eq!(a.rx_packets, data_rx + data_tx);
+        }
+        // The absolute pin for the root on a line of 4 (one 28-bit
+        // request down, one 50-bit partial up under None).
+        assert_eq!(arq.stats().node(0).tx_bits, 28 + 16 + ACK_BITS);
+        assert_eq!(arq.stats().node(0).rx_bits, 50 + 16 + ACK_BITS);
+    }
+
+    #[test]
+    fn corrupt_fates_are_redrawn_per_retransmission() {
+        // Each retransmission is a new transmission index on the edge's
+        // fate stream, so a corrupt fate is re-drawn, never replayed. If
+        // fates were keyed per logical message instead, corruption 0.9
+        // would pin some hop's every retransmission corrupt and the wave
+        // could never complete.
+        let topo = Topology::grid(4, 4).unwrap();
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let cfg = SimConfig::default()
+            .with_link(LinkConfig::default().with_corruption(0.9))
+            .with_seed(17);
+        let mut r = runner_on(
+            topo,
+            items,
+            cfg,
+            Reliability::Ack {
+                timeout: SimDuration::from_millis(50),
+            },
+        );
+        assert_eq!(r.run_wave(1000).unwrap(), (0..16).sum::<u64>());
+        // Corrupt copies were billed to receivers without ever reaching
+        // the protocol: strictly more receptions than the lossless wave
+        // would perform, yet the answer is exact.
+        let rx_packets: u64 = (0..16).map(|v| r.stats().node(v).rx_packets).sum();
+        assert!(rx_packets > 30, "corruption never exercised: {rx_packets}");
     }
 
     #[test]

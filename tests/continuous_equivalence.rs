@@ -12,7 +12,11 @@ use saq::core::engine::{QueryEngine, QueryOutcome, QuerySpec};
 use saq::core::net::AggregationNetwork;
 use saq::core::predicate::{Domain, Predicate};
 use saq::core::simnet::{SimNetwork, SimNetworkBuilder};
+use saq::netsim::link::LinkConfig;
+use saq::netsim::sim::SimConfig;
+use saq::netsim::time::SimDuration;
 use saq::netsim::topology::Topology;
+use saq::protocols::wave::Reliability;
 
 const N: usize = 40;
 const XBAR: u64 = 100;
@@ -30,9 +34,34 @@ fn topology() -> Topology {
 }
 
 fn build_net(items_per_node: Vec<Vec<u64>>, cache: usize, shards: usize) -> SimNetwork {
+    build_net_rel(items_per_node, cache, shards, None)
+}
+
+/// Like [`build_net`], but with `Some(p)` every link drops frames with
+/// probability `p` from its per-edge fate streams and the refresh waves
+/// run stop-and-wait ARQ (ISSUE-7). ARQ repairs every drop, so the
+/// lossless [`fresh_convergecast`] oracle still states the exact
+/// expected answers.
+fn build_net_rel(
+    items_per_node: Vec<Vec<u64>>,
+    cache: usize,
+    shards: usize,
+    loss: Option<f64>,
+) -> SimNetwork {
     let mut builder = SimNetworkBuilder::new().shards(shards);
     if cache > 0 {
         builder = builder.partial_cache(cache);
+    }
+    if let Some(p) = loss {
+        builder = builder
+            .sim_config(
+                SimConfig::default()
+                    .with_link(LinkConfig::default().with_loss(p))
+                    .with_seed(0xC0_47),
+            )
+            .reliability(Reliability::Ack {
+                timeout: SimDuration::from_millis(400),
+            });
     }
     builder.build(&topology(), items_per_node, XBAR).unwrap()
 }
@@ -266,5 +295,46 @@ proptest! {
         // Sharded execution is an execution strategy, not a semantics
         // change: identical per-refresh bit bills.
         prop_assert_eq!(&bills[0], &bills[1], "sharded bills diverged");
+    }
+
+    // Lossy row (ISSUE-7): the same interleavings over links that drop
+    // 15% of frames, repaired by ARQ. Answers still match the lossless
+    // fresh-convergecast oracle (ARQ repairs every drop), and the
+    // per-refresh bills — now including retransmissions and ACKs — are
+    // still identical between single-threaded and sharded execution,
+    // because every (edge, transmission-count) pair draws its fate from
+    // the same per-edge stream regardless of which shard runs it.
+    #[test]
+    fn prop_standing_answers_survive_lossy_links_with_arq(
+        seed in 0u64..500,
+        updates in proptest::collection::vec((0usize..N, 0u64..XBAR), 1..8),
+        cycles_between in proptest::collection::vec(1u64..3, 1..3),
+    ) {
+        let items: Vec<u64> = (0..N as u64).map(|i| (i.wrapping_mul(seed + 11)) % XBAR).collect();
+        let mut bills: Vec<Vec<u64>> = Vec::new();
+        for shards in [1usize, 4] {
+            let net = build_net_rel(singletons(&items), 64, shards, Some(0.15));
+            let mut engine = ContinuousEngine::new(net);
+            for spec in standing_mix() {
+                engine.register(spec, 2).unwrap();
+            }
+            let warm = engine.run_rounds(2).unwrap();
+            assert_cycle_equivalent(&warm.refreshes, &singletons(&items), "lossy warm");
+            let mut current = items.clone();
+            let mut bill = Vec::new();
+            let mut update_stream = updates.iter().cycle();
+            for &gap in &cycles_between {
+                let &(node, val) = update_stream.next().unwrap();
+                current[node] = val;
+                engine.update_items(node, vec![val]).unwrap();
+                for _ in 0..gap {
+                    let out = engine.run_rounds(2).unwrap();
+                    assert_cycle_equivalent(&out.refreshes, &singletons(&current), "lossy interleaved");
+                    bill.extend(out.refreshes.iter().map(|r| r.bits.total()));
+                }
+            }
+            bills.push(bill);
+        }
+        prop_assert_eq!(&bills[0], &bills[1], "sharded lossy bills diverged");
     }
 }

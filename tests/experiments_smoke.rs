@@ -369,6 +369,68 @@ fn e16_flat_substrate_bit_identical_and_scales() {
 }
 
 #[test]
+fn e18_loss_sweep_survives_and_routes_flat() {
+    let s = e18_loss_sweep::run(Scale::Quick);
+    assert!(
+        s.answers_survive_loss,
+        "ARQ must repair every drop: lossy answers diverged from lossless"
+    );
+    assert!(
+        s.overhead_monotone,
+        "tx bits must be non-decreasing in the loss rate: {:?}",
+        s.points
+    );
+    assert!(
+        s.lossy_routed_flat,
+        "a lossy n >= 1024 deployment did not land on the flat runner"
+    );
+    // Stop-and-wait under Bernoulli loss retransmits a ~1/(1-p) factor;
+    // the measured overhead at p = 0.2 must be material but bounded.
+    let overhead = s.max_overhead();
+    assert!(
+        (1.1..3.0).contains(&overhead),
+        "overhead at p=0.2 out of range: {overhead}"
+    );
+}
+
+#[test]
+fn builder_for_routes_lossy_deployments_through_flat() {
+    // The CI-pinned routing assertion (ISSUE-7): a lossy + ARQ
+    // deployment at n >= SHARD_THRESHOLD_NODES takes the same flat
+    // path as a lossless one — the restriction that once bounced every
+    // lossy experiment to the boxed single-threaded runner is gone.
+    use saq_bench::deploy::{builder_for, SHARD_THRESHOLD_NODES};
+    use saq_core::engine::{QueryEngine, QuerySpec};
+    use saq_core::predicate::Predicate;
+    use saq_netsim::link::LinkConfig;
+    use saq_netsim::sim::SimConfig;
+    use saq_netsim::time::SimDuration;
+    use saq_netsim::topology::Topology;
+    use saq_protocols::wave::Reliability;
+
+    let n = SHARD_THRESHOLD_NODES;
+    let topo = Topology::balanced_tree(n, 8).unwrap();
+    let items: Vec<u64> = (0..n as u64).map(|i| i % 997).collect();
+    let net = builder_for(n)
+        .max_children(8)
+        .sim_config(
+            SimConfig::default()
+                .with_link(LinkConfig::default().with_loss(0.1))
+                .with_seed(0xFA7E),
+        )
+        .reliability(Reliability::Ack {
+            timeout: SimDuration::from_millis(200),
+        })
+        .build_one_per_node(&topo, &items, 1024)
+        .unwrap();
+    assert_eq!(net.runner_name(), "flat", "lossy routing fell off flat");
+    let mut engine = QueryEngine::new(net);
+    engine.submit(QuerySpec::Count(Predicate::TRUE));
+    let reports = engine.run().unwrap();
+    assert!(reports[0].outcome.is_ok(), "lossy flat wave failed");
+}
+
+#[test]
 fn e17_cache_savings_track_repeat_rate() {
     let s = e17_repeat_rate::run(Scale::Quick);
     assert!(s.answers_identical, "the cache must never change an answer");

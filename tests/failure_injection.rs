@@ -156,3 +156,151 @@ fn jitter_does_not_change_results_only_timing() {
     };
     assert_eq!(with_jitter(0), with_jitter(5_000));
 }
+
+#[test]
+fn scripted_first_transmission_drops_cost_exactly_one_retransmission_per_hop() {
+    // Adversarial fate schedule (ISSUE-7): on the root-path edge
+    // 1 <-> 4 of tree(13,3), the FIRST data transmission in each
+    // direction is forced lost — the crafted stream every runner must
+    // replay. ARQ repairs each drop with exactly one retransmission,
+    // billed to the transmitting endpoint of that hop and nowhere
+    // else, and the answer is unchanged. Receive counts are unchanged
+    // everywhere: the dropped copy never arrives, so the repaired run
+    // delivers exactly the frames the clean run delivered.
+    use saq::netsim::link::{FrameClass, ScriptedDrop};
+
+    let topo = Topology::balanced_tree(13, 3).expect("tree");
+    let items: Vec<u64> = (0..13).collect();
+    let build = |scripted: bool, shards: usize, flat: bool| {
+        let mut link = LinkConfig::default();
+        if scripted {
+            link = link
+                .with_scripted_drop(ScriptedDrop {
+                    src: 1,
+                    dst: 4,
+                    class: FrameClass::Data,
+                    index: 0,
+                })
+                .with_scripted_drop(ScriptedDrop {
+                    src: 4,
+                    dst: 1,
+                    class: FrameClass::Data,
+                    index: 0,
+                });
+        }
+        SimNetworkBuilder::new()
+            .flat(flat)
+            .shards(shards)
+            .sim_config(SimConfig::default().with_link(link).with_seed(7))
+            .reliability(Reliability::Ack {
+                timeout: SimDuration::from_millis(40),
+            })
+            .build_one_per_node(&topo, &items, 16)
+            .expect("net")
+    };
+    let run = |mut net: saq::core::simnet::SimNetwork| {
+        let count = net.count(&Predicate::TRUE).expect("count");
+        let stats = net.net_stats().expect("stats");
+        let per_node: Vec<(u64, u64, u64, u64)> = (0..13)
+            .map(|v| {
+                let s = stats.node(v);
+                (s.tx_packets, s.rx_packets, s.tx_bits, s.rx_bits)
+            })
+            .collect();
+        (count, per_node)
+    };
+    let (clean_count, clean) = run(build(false, 1, false));
+    let (count, injected) = run(build(true, 1, false));
+    assert_eq!(count, clean_count, "scripted loss changed the answer");
+    for v in 0..13 {
+        let (ctx, crx, ctxb, _) = clean[v];
+        let (itx, irx, itxb, _) = injected[v];
+        if v == 1 || v == 4 {
+            assert_eq!(itx, ctx + 1, "node {v}: exactly one retransmission");
+            assert!(itxb > ctxb, "node {v}: the retransmission must be billed");
+        } else {
+            assert_eq!(itx, ctx, "node {v} must not retransmit");
+            assert_eq!(itxb, ctxb, "node {v}'s tx bill must be unchanged");
+        }
+        assert_eq!(irx, crx, "node {v}'s receive count must be unchanged");
+    }
+    // Fate replay: the crafted schedule keys on (edge, class, index),
+    // not on the executing thread — the sharded and flat runners must
+    // reproduce the injected run's per-node bills bit-for-bit.
+    for (label, net) in [
+        ("sharded", build(true, 3, false)),
+        ("flat", build(true, 2, true)),
+    ] {
+        let (c, p) = run(net);
+        assert_eq!(c, clean_count, "{label}: answer diverged");
+        assert_eq!(p, injected, "{label}: scripted schedule replay diverged");
+    }
+}
+
+#[test]
+fn transport_footprint_stays_bounded_under_sustained_loss() {
+    // The PR-4 bounded-memory claim, extended to lossy mode (ISSUE-7):
+    // 200 streaming rounds over links dropping 20% of frames. ARQ
+    // repairs every round, and between waves the transport state the
+    // repairs left behind stays flat — no un-ACKed frames, no buffered
+    // partials, and a dedup residue bounded by ONE wave's worth of
+    // entries (the admission-time purge), never a total that grows
+    // with the round count.
+    use saq::core::engine::{BatchPolicy, QuerySpec};
+    use saq::core::predicate::Domain;
+    use saq::core::streaming::{AdmissionPolicy, StreamingEngine};
+
+    const N: usize = 40;
+    const ROUNDS: usize = 200;
+    let topo = Topology::balanced_tree(N, 3).expect("tree");
+    let items: Vec<u64> = (0..N as u64).map(|i| (i * 17) % 64).collect();
+    let net = SimNetworkBuilder::new()
+        .partial_cache(8)
+        .sim_config(lossy(0.2, 0x200))
+        .reliability(Reliability::Ack {
+            timeout: SimDuration::from_millis(40),
+        })
+        .build_one_per_node(&topo, &items, 64)
+        .expect("net");
+    let mut engine =
+        StreamingEngine::with_policy(net, BatchPolicy::Batched, AdmissionPolicy::EveryRound);
+    // One wave's worth of dedup entries: at most one request key per
+    // node plus one partial key per tree edge.
+    let dedup_bound = (2 * N - 1) as u64;
+    let cache_bound = (8 * N) as u64;
+    let mut retired = 0usize;
+    for round in 0..ROUNDS {
+        let spec = match round % 4 {
+            0 => QuerySpec::Count(Predicate::TRUE),
+            1 => QuerySpec::Sum(Predicate::less_than(32)),
+            2 => QuerySpec::Min(Domain::Raw),
+            _ => QuerySpec::Max(Domain::Raw),
+        };
+        engine.submit(spec);
+        while engine.in_service() {
+            retired += engine.step().expect("lossy streaming round").len();
+        }
+        let fp = engine.network().transport_footprint();
+        assert_eq!(
+            fp.pending_frames, 0,
+            "round {round}: un-ACKed frames leaked"
+        );
+        assert_eq!(
+            fp.buffered_partials, 0,
+            "round {round}: buffered partials leaked"
+        );
+        assert!(
+            fp.dedup_entries <= dedup_bound,
+            "round {round}: dedup residue {} exceeds one wave's worth {}",
+            fp.dedup_entries,
+            dedup_bound
+        );
+        assert!(
+            fp.cache_entries <= cache_bound,
+            "round {round}: cache {} over capacity {}",
+            fp.cache_entries,
+            cache_bound
+        );
+    }
+    assert_eq!(retired, ROUNDS, "every lossy round must retire its query");
+}

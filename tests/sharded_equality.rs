@@ -1,14 +1,20 @@
-//! Property tests for the ISSUE-3/ISSUE-6 tentpoles: neither sharding
-//! nor the columnar flat substrate is a semantics change. Every cell of
-//! the representation × shard-plan matrix — boxed vs flat, worker
-//! counts `k ∈ {1, 2, 4, 8}`, nested shard depths `{0, 1, 2}` and the
-//! auto-chosen depth — must produce **answers**, **per-query
-//! `QueryBits` ledgers** (the engine-level projection of the per-wave
-//! `MuxLedger` slots), **cache hit/miss counters** and the **full
-//! per-node bit vector** identical to the single-threaded boxed
-//! baseline — on randomized topologies and inputs. Streaming and
-//! continuous sessions must round-trip on the flat runner the same
-//! way.
+//! Property tests for the ISSUE-3/ISSUE-6/ISSUE-7 tentpoles: neither
+//! sharding, nor the columnar flat substrate, nor lossy links under
+//! per-hop ARQ is a semantics change. Every cell of the representation
+//! × shard-plan × **reliability** matrix — boxed vs flat, worker counts
+//! `k ∈ {1, 2, 4, 8}`, nested shard depths `{0, 1, 2}` and the
+//! auto-chosen depth, crossed with `{lossless, loss p ∈ {0.05, 0.2}
+//! with ARQ}` — must produce **answers**, **per-query `QueryBits`
+//! ledgers** (the engine-level projection of the per-wave `MuxLedger`
+//! slots), **cache hit/miss counters**, the **full per-node bit
+//! vector** and the **between-wave `TransportFootprint`** identical to
+//! the single-threaded boxed baseline *under the same link fates* — on
+//! randomized topologies and inputs. The per-edge fate streams
+//! (`saq_netsim::link::FateStream`) are what make the lossy rows
+//! well-posed: the n-th transmission over an edge draws the same fate
+//! no matter which thread, shard or representation executes it.
+//! Streaming and continuous sessions must round-trip on the flat
+//! runner the same way.
 
 use proptest::prelude::*;
 use saq::core::continuous::ContinuousEngine;
@@ -17,8 +23,12 @@ use saq::core::net::AggregationNetwork;
 use saq::core::predicate::{Domain, Predicate};
 use saq::core::simnet::{SimNetwork, SimNetworkBuilder};
 use saq::core::streaming::{AdmissionPolicy, StreamingEngine};
+use saq::netsim::link::LinkConfig;
+use saq::netsim::sim::SimConfig;
+use saq::netsim::time::SimDuration;
 use saq::netsim::topology::Topology;
-use saq::protocols::CacheStats;
+use saq::protocols::wave::Reliability;
+use saq::protocols::{CacheStats, TransportFootprint};
 
 fn query_mix() -> Vec<QuerySpec> {
     vec![
@@ -39,11 +49,52 @@ enum Repr {
     Flat { k: usize, depth: Option<u32> },
 }
 
+/// The reliability row of the matrix: the paper's lossless model, or
+/// independent per-transmission loss repaired by per-hop ARQ. The fate
+/// seed picks which loss schedule the per-edge streams replay; every
+/// representation in a row shares it, so "bit-identical" compares runs
+/// under the *same* drops.
+#[derive(Debug, Clone, Copy)]
+enum Rel {
+    Lossless,
+    LossyArq { p: f64, fate_seed: u64 },
+}
+
+impl Rel {
+    fn apply(self, b: SimNetworkBuilder) -> SimNetworkBuilder {
+        match self {
+            Rel::Lossless => b,
+            Rel::LossyArq { p, fate_seed } => b
+                .sim_config(
+                    SimConfig::default()
+                        .with_link(LinkConfig::default().with_loss(p))
+                        .with_seed(fate_seed),
+                )
+                // Comfortably above the worst-case round trip of the
+                // widest multiplexed envelope, so the flat runner's
+                // closed-form ARQ emulation is exact (see
+                // `saq_protocols::flat`).
+                .reliability(Reliability::Ack {
+                    timeout: SimDuration::from_millis(200),
+                }),
+        }
+    }
+}
+
 impl Repr {
-    fn build(self, topo: &Topology, items: &[u64], xbar: u64, cache: usize) -> SimNetwork {
-        let mut b = SimNetworkBuilder::new()
-            .max_children(4)
-            .partial_cache(cache);
+    fn build(
+        self,
+        topo: &Topology,
+        items: &[u64],
+        xbar: u64,
+        cache: usize,
+        rel: Rel,
+    ) -> SimNetwork {
+        let mut b = rel.apply(
+            SimNetworkBuilder::new()
+                .max_children(4)
+                .partial_cache(cache),
+        );
         match self {
             Repr::Boxed { k } => b = b.shards(k),
             Repr::Flat { k, depth } => {
@@ -66,8 +117,15 @@ fn run_at(
     items: &[u64],
     xbar: u64,
     repr: Repr,
-) -> (Vec<QueryReport>, Vec<QueryReport>, CacheStats, Vec<u64>) {
-    let net = repr.build(topo, items, xbar, 16);
+    rel: Rel,
+) -> (
+    Vec<QueryReport>,
+    Vec<QueryReport>,
+    CacheStats,
+    Vec<u64>,
+    TransportFootprint,
+) {
+    let net = repr.build(topo, items, xbar, 16, rel);
     let mut engine = QueryEngine::new(net);
     for s in query_mix() {
         engine.submit(s);
@@ -78,11 +136,12 @@ fn run_at(
     }
     let second = engine.run().expect("second batch");
     let cache = engine.network().cache_stats();
+    let footprint = engine.network().transport_footprint();
     let stats = engine.network().net_stats().expect("stats");
     let per_node = (0..stats.len())
         .map(|v| stats.node(v).total_bits())
         .collect();
-    (first, second, cache, per_node)
+    (first, second, cache, per_node, footprint)
 }
 
 fn assert_reports_equal(a: &[QueryReport], b: &[QueryReport], repr: Repr, which: &str) {
@@ -115,20 +174,27 @@ fn flat_matrix() -> Vec<Repr> {
     cells
 }
 
-fn check_matrix(topo: &Topology, items: &[u64], xbar: u64, cells: &[Repr]) {
-    let (base_first, base_second, base_cache, base_bits) =
-        run_at(topo, items, xbar, Repr::Boxed { k: 1 });
+fn check_matrix(topo: &Topology, items: &[u64], xbar: u64, cells: &[Repr], rel: Rel) {
+    let (base_first, base_second, base_cache, base_bits, base_fp) =
+        run_at(topo, items, xbar, Repr::Boxed { k: 1 }, rel);
     // The warm repeat must actually exercise the cache.
     assert!(base_cache.hits > 0, "repeat batch never hit the cache");
     for &repr in cells {
-        let (first, second, cache, bits) = run_at(topo, items, xbar, repr);
+        let (first, second, cache, bits, fp) = run_at(topo, items, xbar, repr, rel);
         assert_reports_equal(&base_first, &first, repr, "cold batch");
         assert_reports_equal(&base_second, &second, repr, "warm batch");
         assert_eq!(
             base_cache, cache,
-            "cache hit/miss counters differ at {repr:?}"
+            "cache hit/miss counters differ at {repr:?} under {rel:?}"
         );
-        assert_eq!(base_bits, bits, "per-node bit vector differs at {repr:?}");
+        assert_eq!(
+            base_bits, bits,
+            "per-node bit vector differs at {repr:?} under {rel:?}"
+        );
+        assert_eq!(
+            base_fp, fp,
+            "between-wave transport footprint differs at {repr:?} under {rel:?}"
+        );
     }
 }
 
@@ -149,6 +215,7 @@ proptest! {
             &items,
             xbar,
             &[Repr::Boxed { k: 2 }, Repr::Boxed { k: 4 }, Repr::Boxed { k: 8 }],
+            Rel::Lossless,
         );
     }
 }
@@ -169,7 +236,57 @@ proptest! {
         let items: Vec<u64> = (0..n as u64)
             .map(|i| (i.wrapping_mul(value_seed.wrapping_mul(2).wrapping_add(13))) % xbar)
             .collect();
-        check_matrix(&topo, &items, xbar, &flat_matrix());
+        check_matrix(&topo, &items, xbar, &flat_matrix(), Rel::Lossless);
+    }
+}
+
+/// The lossy rows of the matrix: boxed `k ∈ {2, 4, 8}` and flat `k ∈
+/// {1, 2, 4, 8}` (auto depth — the depth dimension is covered
+/// losslessly above, and the plan is fate-independent) under loss `p ∈
+/// {0.05, 0.2}` with per-hop ARQ, against the boxed single-threaded
+/// baseline *running the same fates*. This is the ISSUE-7 acceptance
+/// matrix: retransmissions, ACK bills, dedup residue and repaired
+/// answers all replay identically from the per-edge fate streams.
+fn lossy_matrix() -> Vec<Repr> {
+    let mut cells = vec![
+        Repr::Boxed { k: 2 },
+        Repr::Boxed { k: 4 },
+        Repr::Boxed { k: 8 },
+    ];
+    for k in [1usize, 2, 4, 8] {
+        cells.push(Repr::Flat { k, depth: None });
+    }
+    // One pinned nested depth so the lossy ARQ emulation is exercised
+    // across a re-cut spine too.
+    cells.push(Repr::Flat {
+        k: 4,
+        depth: Some(1),
+    });
+    cells
+}
+
+proptest! {
+    // 9 cells × 2 loss rates per case.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn prop_lossy_arq_matrix_matches_single_threaded(
+        n in 16usize..44,
+        topo_seed: u64,
+        value_seed in 0u64..1000,
+    ) {
+        let topo = Topology::random_geometric(n, 0.35, topo_seed).expect("topology");
+        let xbar = 4 * n as u64;
+        let items: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(value_seed.wrapping_mul(2).wrapping_add(13))) % xbar)
+            .collect();
+        for p in [0.05, 0.2] {
+            let rel = Rel::LossyArq {
+                p,
+                fate_seed: topo_seed.wrapping_mul(31).wrapping_add(value_seed),
+            };
+            check_matrix(&topo, &items, xbar, &lossy_matrix(), rel);
+        }
     }
 }
 
@@ -193,8 +310,8 @@ fn streaming_session_round_trips_on_flat_runner() {
         ],
         vec![QuerySpec::Count(Predicate::TRUE)], // warm repeat
     ];
-    let run = |repr: Repr| {
-        let net = repr.build(&topo, &items, 128, 16);
+    let run = |repr: Repr, rel: Rel| {
+        let net = repr.build(&topo, &items, 128, 16, rel);
         let mut engine =
             StreamingEngine::with_policy(net, BatchPolicy::Batched, AdmissionPolicy::WhenIdle);
         let mut reports = Vec::new();
@@ -218,24 +335,32 @@ fn streaming_session_round_trips_on_flat_runner() {
             .collect();
         (reports, cache, bits)
     };
-    let (boxed_reports, boxed_cache, boxed_bits) = run(Repr::Boxed { k: 1 });
-    let (flat_reports, flat_cache, flat_bits) = run(Repr::Flat { k: 4, depth: None });
-    assert_eq!(boxed_reports.len(), flat_reports.len());
-    for (a, b) in boxed_reports.iter().zip(&flat_reports) {
-        assert_eq!(
-            a.report.outcome, b.report.outcome,
-            "streaming answer diverged"
-        );
-        assert_eq!(
-            a.report.bits, b.report.bits,
-            "streaming bit ledger diverged"
-        );
-        assert_eq!(a.admitted_round, b.admitted_round);
-        assert_eq!(a.retired_round, b.retired_round);
+    for rel in [
+        Rel::Lossless,
+        Rel::LossyArq {
+            p: 0.15,
+            fate_seed: 0x57_EAB,
+        },
+    ] {
+        let (boxed_reports, boxed_cache, boxed_bits) = run(Repr::Boxed { k: 1 }, rel);
+        let (flat_reports, flat_cache, flat_bits) = run(Repr::Flat { k: 4, depth: None }, rel);
+        assert_eq!(boxed_reports.len(), flat_reports.len());
+        for (a, b) in boxed_reports.iter().zip(&flat_reports) {
+            assert_eq!(
+                a.report.outcome, b.report.outcome,
+                "streaming answer diverged under {rel:?}"
+            );
+            assert_eq!(
+                a.report.bits, b.report.bits,
+                "streaming bit ledger diverged under {rel:?}"
+            );
+            assert_eq!(a.admitted_round, b.admitted_round);
+            assert_eq!(a.retired_round, b.retired_round);
+        }
+        assert!(boxed_cache.hits > 0, "warm repeat never hit the cache");
+        assert_eq!(boxed_cache, flat_cache, "cache counters under {rel:?}");
+        assert_eq!(boxed_bits, flat_bits, "per-node bits under {rel:?}");
     }
-    assert!(boxed_cache.hits > 0, "warm repeat never hit the cache");
-    assert_eq!(boxed_cache, flat_cache);
-    assert_eq!(boxed_bits, flat_bits);
 }
 
 /// Continuous standing queries refresh through delta-maintained caches
@@ -247,8 +372,8 @@ fn continuous_session_round_trips_on_flat_runner() {
     let n = 40;
     let topo = Topology::balanced_tree(n, 3).unwrap();
     let items: Vec<u64> = (0..n as u64).map(|i| (i * 13) % 100).collect();
-    let run = |repr: Repr| {
-        let net = repr.build(&topo, &items, 128, 16);
+    let run = |repr: Repr, rel: Rel| {
+        let net = repr.build(&topo, &items, 128, 16, rel);
         let mut engine = ContinuousEngine::new(net);
         for spec in [
             QuerySpec::Count(Predicate::less_than(60)),
@@ -276,20 +401,34 @@ fn continuous_session_round_trips_on_flat_runner() {
             .collect();
         (refreshes, cache, bits)
     };
-    let (boxed_refreshes, boxed_cache, boxed_bits) = run(Repr::Boxed { k: 1 });
-    let (flat_refreshes, flat_cache, flat_bits) = run(Repr::Flat {
-        k: 2,
-        depth: Some(1),
-    });
-    assert_eq!(boxed_refreshes.len(), flat_refreshes.len());
-    for (a, b) in boxed_refreshes.iter().zip(&flat_refreshes) {
-        assert_eq!(a.standing, b.standing);
-        assert_eq!(a.outcome, b.outcome, "continuous refresh diverged");
+    for rel in [
+        Rel::Lossless,
+        Rel::LossyArq {
+            p: 0.15,
+            fate_seed: 0xC0_47,
+        },
+    ] {
+        let (boxed_refreshes, boxed_cache, boxed_bits) = run(Repr::Boxed { k: 1 }, rel);
+        let (flat_refreshes, flat_cache, flat_bits) = run(
+            Repr::Flat {
+                k: 2,
+                depth: Some(1),
+            },
+            rel,
+        );
+        assert_eq!(boxed_refreshes.len(), flat_refreshes.len());
+        for (a, b) in boxed_refreshes.iter().zip(&flat_refreshes) {
+            assert_eq!(a.standing, b.standing);
+            assert_eq!(
+                a.outcome, b.outcome,
+                "continuous refresh diverged under {rel:?}"
+            );
+        }
+        assert!(
+            boxed_cache.delta_applied > 0,
+            "updates never exercised delta maintenance"
+        );
+        assert_eq!(boxed_cache, flat_cache, "cache counters under {rel:?}");
+        assert_eq!(boxed_bits, flat_bits, "per-node bits under {rel:?}");
     }
-    assert!(
-        boxed_cache.delta_applied > 0,
-        "updates never exercised delta maintenance"
-    );
-    assert_eq!(boxed_cache, flat_cache);
-    assert_eq!(boxed_bits, flat_bits);
 }

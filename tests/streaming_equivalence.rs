@@ -14,11 +14,24 @@ use saq::core::predicate::{Domain, Predicate};
 use saq::core::simnet::{SimNetwork, SimNetworkBuilder};
 use saq::core::streaming::{AdmissionPolicy, StreamingEngine, StreamingReport};
 use saq::core::ApxCountConfig;
+use saq::netsim::link::LinkConfig;
+use saq::netsim::sim::SimConfig;
+use saq::netsim::time::SimDuration;
 use saq::netsim::topology::Topology;
+use saq::protocols::wave::Reliability;
 
 /// Random deployment: topology family, size and item skew drawn from
 /// the seeds; optional subtree caching.
 fn deployment(topo_seed: u64, cache: usize) -> SimNetwork {
+    deployment_rel(topo_seed, cache, None)
+}
+
+/// Like [`deployment`], but with `Some(p)` the links drop frames with
+/// probability `p` (per-edge fate streams seeded from `topo_seed`) and
+/// the wave protocol runs stop-and-wait ARQ. The timeout comfortably
+/// exceeds the widest multiplexed envelope's round trip, so the flat
+/// runner's closed-form ARQ emulation accepts it too.
+fn deployment_rel(topo_seed: u64, cache: usize, loss: Option<f64>) -> SimNetwork {
     let n = 9 + (topo_seed % 21) as usize; // 9..=29 nodes
     let topo = match topo_seed % 3 {
         0 => Topology::grid(3, n.div_ceil(3)).unwrap(),
@@ -27,11 +40,21 @@ fn deployment(topo_seed: u64, cache: usize) -> SimNetwork {
     };
     let len = topo.len();
     let items: Vec<u64> = (0..len as u64).map(|i| (i * 23 + topo_seed) % 64).collect();
-    SimNetworkBuilder::new()
+    let mut builder = SimNetworkBuilder::new()
         .apx_config(ApxCountConfig::default().with_seed(0x5EED + topo_seed))
-        .partial_cache(cache)
-        .build_one_per_node(&topo, &items, 64)
-        .unwrap()
+        .partial_cache(cache);
+    if let Some(p) = loss {
+        builder = builder
+            .sim_config(
+                SimConfig::default()
+                    .with_link(LinkConfig::default().with_loss(p))
+                    .with_seed(0xFA7E ^ topo_seed),
+            )
+            .reliability(Reliability::Ack {
+                timeout: SimDuration::from_millis(400),
+            });
+    }
+    builder.build_one_per_node(&topo, &items, 64).unwrap()
 }
 
 /// A shareable query drawn from a code: deterministic aggregates,
@@ -174,6 +197,61 @@ proptest! {
                 "per-node bits diverged at node {}", v
             );
         }
+    }
+
+    // Lossy row (ISSUE-7): the same bit-identity holds over links that
+    // drop frames, because both executions drive the same wave sequence
+    // and every (edge, transmission-count) pair draws its fate from the
+    // same per-edge stream — loss and retransmissions are part of the
+    // reproducible bill, not noise around it.
+    #[test]
+    fn prop_aligned_streaming_matches_closed_batches_under_loss(
+        topo_seed in 0u64..1000,
+        codes in proptest::collection::vec(0u64..1000, 1..7),
+        cuts in proptest::collection::vec(0u64..64, 0..3),
+        heavy_loss in proptest::prelude::any::<bool>(),
+    ) {
+        let specs: Vec<QuerySpec> = codes.iter().map(|&c| spec_from(c)).collect();
+        let groups = partition(&specs, &cuts);
+        let p = if heavy_loss { 0.2 } else { 0.05 };
+
+        let (sreports, streaming) =
+            run_streaming(deployment_rel(topo_seed, 16, Some(p)), &groups);
+        let (breports, batch) = run_batches(deployment_rel(topo_seed, 16, Some(p)), &groups);
+
+        prop_assert_eq!(sreports.len(), breports.len());
+        for (s, b) in sreports.iter().zip(&breports) {
+            prop_assert_eq!(&s.report.outcome, &b.outcome, "answer of {:?}", b.spec);
+            prop_assert_eq!(s.report.bits, b.bits, "bit bill of {:?}", b.spec);
+            prop_assert_eq!(s.report.waves, b.waves, "wave count of {:?}", b.spec);
+        }
+        prop_assert_eq!(
+            streaming.network().cache_stats(),
+            batch.network().cache_stats(),
+            "cache hit/miss counters diverged under loss"
+        );
+        let (ss, bs) = (
+            streaming.network().net_stats().unwrap(),
+            batch.network().net_stats().unwrap(),
+        );
+        for v in 0..ss.len() {
+            prop_assert_eq!(
+                ss.node(v).total_bits(),
+                bs.node(v).total_bits(),
+                "per-node bits diverged at node {} under loss p={}", v, p
+            );
+        }
+        // Loss was actually exercised: some node retransmitted, so the
+        // lossy run's transmit bill strictly exceeds a lossless run's.
+        let (_, lossless) = run_batches(deployment(topo_seed, 16), &groups);
+        let ls = lossless.network().net_stats().unwrap();
+        let lossy_tx: u64 = (0..bs.len()).map(|v| bs.node(v).tx_bits).sum();
+        let lossless_tx: u64 = (0..ls.len()).map(|v| ls.node(v).tx_bits).sum();
+        prop_assert!(
+            lossy_tx >= lossless_tx,
+            "lossy ARQ run billed fewer tx bits ({}) than lossless ({})",
+            lossy_tx, lossless_tx
+        );
     }
 
     // Monotonicity: coarsening the admission partition (wider windows)
