@@ -1,8 +1,15 @@
 //! Micro-benchmarks of the bit codec: every simulated message passes
 //! through these paths, so their throughput bounds simulation speed.
+//!
+//! The compact-codec rows follow a **verify-then-time** discipline:
+//! before a primitive is timed, its roundtrip is asserted bit-exact
+//! (`decode(encode(x)) == x` with every bit consumed) on the very data
+//! the timing loop uses. A ns/op number for a codec that corrupts data
+//! is worse than no number, and CI runs this bench in `--quick` mode
+//! precisely to execute the verification.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use saq_netsim::wire::{BitReader, BitWriter};
+use saq_netsim::wire::{sorted_deltas_len, varint_len, BitReader, BitWriter};
 use std::hint::black_box;
 
 fn bench_fixed_width(c: &mut Criterion) {
@@ -67,5 +74,108 @@ fn bench_delta(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fixed_width, bench_gamma, bench_delta);
+fn bench_varint(c: &mut Criterion) {
+    // The mixed-magnitude stream every compact length header and wave
+    // ordinal rides: mostly small values, a tail of wide ones.
+    let vals: Vec<u64> = (0..1000u64)
+        .map(|i| (i * 2654435761) >> (i % 7 * 8))
+        .collect();
+    // Verify before timing: bit-exact roundtrip, exact bit consumption.
+    {
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            w.write_varint(v);
+        }
+        let expect: u64 = vals.iter().map(|&v| varint_len(v)).sum();
+        let s = w.finish();
+        assert_eq!(s.len_bits(), expect, "varint_len must match the encoding");
+        let mut r = BitReader::new(&s);
+        for &v in &vals {
+            assert_eq!(r.read_varint().expect("in bounds"), v, "varint roundtrip");
+        }
+        assert_eq!(r.remaining(), 0, "varint decode must consume every bit");
+    }
+    c.bench_function("wire/varint_write_1k_mixed", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for &v in &vals {
+                w.write_varint(black_box(v));
+            }
+            black_box(w.finish())
+        });
+    });
+    let mut w = BitWriter::new();
+    for &v in &vals {
+        w.write_varint(v);
+    }
+    let s = w.finish();
+    c.bench_function("wire/varint_read_1k_mixed", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&s);
+            let mut acc = 0u64;
+            for _ in 0..vals.len() {
+                acc = acc.wrapping_add(r.read_varint().expect("in bounds"));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_sorted_deltas(c: &mut Criterion) {
+    // The three regimes the 2-bit arm selector separates: dense gaps
+    // (gamma), uniform sorted draws (delta), and sparse/wide (fixed).
+    let cases: [(&str, Vec<u64>); 3] = [
+        ("dense", (0..1000u64).map(|i| i * 2 + (i % 3)).collect()),
+        ("uniform", {
+            let mut v: Vec<u64> = (0..1000u64).map(|i| (i * 2654435761) % (1 << 20)).collect();
+            v.sort_unstable();
+            v
+        }),
+        ("sparse", (0..64u64).map(|i| i * (1 << 40)).collect()),
+    ];
+    for (name, vals) in &cases {
+        // Verify before timing: roundtrip, exact length accounting.
+        {
+            let mut w = BitWriter::new();
+            w.write_sorted_deltas(vals);
+            let s = w.finish();
+            assert_eq!(
+                s.len_bits(),
+                sorted_deltas_len(vals),
+                "sorted_deltas_len must match the encoding ({name})"
+            );
+            let mut r = BitReader::new(&s);
+            let got = r
+                .read_sorted_deltas(vals.len() as u64 + 1)
+                .expect("in bounds");
+            assert_eq!(&got, vals, "sorted-deltas roundtrip ({name})");
+            assert_eq!(r.remaining(), 0, "decode must consume every bit ({name})");
+        }
+        c.bench_function(&format!("wire/sorted_deltas_roundtrip_{name}"), |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    let mut w = BitWriter::new();
+                    w.write_sorted_deltas(black_box(vals));
+                    let s = w.finish();
+                    let mut r = BitReader::new(&s);
+                    black_box(
+                        r.read_sorted_deltas(vals.len() as u64 + 1)
+                            .expect("in bounds"),
+                    )
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_fixed_width,
+    bench_gamma,
+    bench_delta,
+    bench_varint,
+    bench_sorted_deltas
+);
 criterion_main!(benches);

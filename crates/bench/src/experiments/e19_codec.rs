@@ -1,0 +1,138 @@
+//! E19 — compact wire codec: varint envelope framing vs the fixed-width
+//! baseline.
+//!
+//! The tentpole codec work moved every encode/decode pair off fixed
+//! 16/24-bit length headers onto varints and gamma/delta-packed columns,
+//! and made the per-message wave header itself profile-switchable
+//! ([`WireProfile`]): `V0Fixed` frames the wave ordinal in 16 bits (the
+//! legacy layout), `V1Varint` in an LEB varint (8 bits while waves stay
+//! below 128). The profile changes *only* framing widths — answers,
+//! merge order, cache keys and per-slot [`MuxLedger`] attribution are
+//! identical by construction — so the honest comparison is bits/wave on
+//! the same deployment, same seed, same queries.
+//!
+//! This experiment runs the E1 primitive mix (MIN, MAX, COUNT, SUM) on
+//! grid deployments of N ∈ {10², …, 10⁵} under both profiles, asserts
+//! the answers are identical, and reports total network bits per wave
+//! plus the varint profile's saving. The headline row (N = 10⁴) must
+//! show ≥ 20% fewer bits/wave.
+//!
+//! [`MuxLedger`]: saq_protocols::MuxLedger
+//! [`WireProfile`]: saq_protocols::WireProfile
+
+use crate::deploy::builder_for;
+use crate::table::{banner, f3, Table};
+use crate::Scale;
+use saq_core::net::AggregationNetwork;
+use saq_core::predicate::{Domain, Predicate};
+use saq_core::SimNetwork;
+use saq_netsim::topology::Topology;
+use saq_protocols::WireProfile;
+
+/// One network size's measurement.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Node count.
+    pub n: usize,
+    /// Total network tx bits across the four-primitive mix, V0Fixed.
+    pub v0_bits: u64,
+    /// Same four waves under V1Varint.
+    pub v1_bits: u64,
+    /// Fractional saving, `1 - v1/v0`.
+    pub reduction: f64,
+}
+
+/// Machine-checkable summary for tests.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// One row per network size, ascending N.
+    pub points: Vec<Point>,
+    /// Whether every primitive answered identically under both profiles.
+    pub answers_match: bool,
+}
+
+/// The E1 primitive mix under one profile: runs MIN, MAX, COUNT and SUM
+/// as four separate waves and returns (answers, total tx bits).
+fn primitive_mix(net: &mut SimNetwork) -> (Vec<u64>, u64) {
+    net.reset_stats();
+    let answers = vec![
+        net.min(Domain::Raw).expect("min").unwrap_or(0),
+        net.max(Domain::Raw).expect("max").unwrap_or(0),
+        net.count(&Predicate::TRUE).expect("count"),
+        net.sum(&Predicate::TRUE).expect("sum"),
+    ];
+    let stats = net.net_stats().expect("sim stats");
+    (answers, stats.total_tx_bits())
+}
+
+/// Runs E19 and prints its table.
+pub fn run(scale: Scale) -> Summary {
+    banner(
+        "E19",
+        "varint envelope framing vs the fixed-width baseline",
+        "same answers, >= 20% fewer bits/wave on the E1 mix at N = 10^4",
+    );
+    let sides: &[usize] = match scale {
+        Scale::Quick => &[10, 32],
+        Scale::Full => &[10, 32, 100, 316],
+    };
+
+    let mut table = Table::new(&[
+        "N",
+        "waves",
+        "v0_bits",
+        "v1_bits",
+        "v0 bits/wave",
+        "v1 bits/wave",
+        "saving",
+    ]);
+    let mut points = Vec::new();
+    let mut answers_match = true;
+
+    for &side in sides {
+        let n = side * side;
+        let topo = Topology::grid(side, side).expect("grid");
+        let items: Vec<u64> = (0..n as u64)
+            .map(|i| (i * 2654435761) % (n as u64 * 4))
+            .collect();
+        let xbar = n as u64 * 4;
+        let run_profile = |profile: WireProfile| {
+            let mut net = builder_for(n)
+                .wire_profile(profile)
+                .build_one_per_node(&topo, &items, xbar)
+                .expect("network build");
+            primitive_mix(&mut net)
+        };
+        let (v0_answers, v0_bits) = run_profile(WireProfile::V0Fixed);
+        let (v1_answers, v1_bits) = run_profile(WireProfile::V1Varint);
+        answers_match &= v0_answers == v1_answers;
+        let reduction = 1.0 - v1_bits as f64 / v0_bits as f64;
+        let waves = 4u64;
+        table.row(&[
+            n.to_string(),
+            waves.to_string(),
+            v0_bits.to_string(),
+            v1_bits.to_string(),
+            f3(v0_bits as f64 / waves as f64),
+            f3(v1_bits as f64 / waves as f64),
+            format!("{:.1}%", reduction * 100.0),
+        ]);
+        points.push(Point {
+            n,
+            v0_bits,
+            v1_bits,
+            reduction,
+        });
+    }
+    table.print();
+
+    println!(
+        "\nanswers identical under both profiles: {answers_match}; \
+         saving at largest N: {:.1}%",
+        points.last().map_or(0.0, |p| p.reduction * 100.0)
+    );
+    Summary {
+        points,
+        answers_match,
+    }
+}

@@ -86,8 +86,6 @@ pub enum DeltaSupport {
 ///   aggregate's declared equivalence — with `identity()` neutral, so
 ///   tree shape and child order cannot change the root's answer. Every
 ///   aggregate here is commutative under `PartialEq` except
-///   [`CollectAgg`], whose concatenated partial is commutative only as
-///   a **multiset** (its `finalize` answer is order-insensitive), and
 ///   [`QuantileAgg`], whose pruned summaries are equivalent only up to
 ///   their certified rank-error bound;
 /// * `decode(encode(p)) == p` **bit-exactly**, consuming exactly the bits
@@ -615,7 +613,7 @@ impl PartialAggregate for SketchAgg {
     }
 
     fn encode(&self, p: &Vec<LogLog>, w: &mut BitWriter) {
-        w.write_bits(p.len() as u64, 16);
+        w.write_varint(p.len() as u64);
         let rw = self.reg_width();
         for sk in p {
             for &r in sk.registers() {
@@ -625,7 +623,7 @@ impl PartialAggregate for SketchAgg {
     }
 
     fn decode(&self, r: &mut BitReader<'_>) -> Result<Vec<LogLog>, NetsimError> {
-        let n = r.read_bits(16)? as usize;
+        let n = r.read_varint()? as usize;
         if n != self.reps() as usize {
             return Err(NetsimError::WireDecode("sketch instance count mismatch"));
         }
@@ -721,27 +719,17 @@ impl PartialAggregate for DistinctSetAgg {
     }
 
     fn encode(&self, p: &Vec<Value>, w: &mut BitWriter) {
-        assert!(
-            p.len() < (1 << 24),
-            "partial of {} values overflows the 24-bit length field",
-            p.len()
-        );
-        w.write_bits(p.len() as u64, 24);
-        let vw = width_for_max(self.xbar);
-        for v in p {
-            w.write_bits(*v, vw);
-        }
+        // The partial is sorted by invariant, so it travels as a
+        // delta-packed run: gamma-coded gaps for clustered value sets,
+        // the fixed-width fallback arm otherwise.
+        w.write_sorted_deltas(p);
     }
 
     fn decode(&self, r: &mut BitReader<'_>) -> Result<Vec<Value>, NetsimError> {
-        let n = r.read_bits(24)? as usize;
-        let vw = width_for_max(self.xbar);
-        let mut vals = Vec::with_capacity(n.min(1 << 24));
-        for _ in 0..n {
-            vals.push(r.read_bits(vw)?);
-        }
+        let vals = r.read_sorted_deltas(1 << 24)?;
         // The sorted-dedup invariant is what the linear merge relies on;
-        // a frame violating it is malformed, not merely unsorted data.
+        // the packed run only guarantees non-decreasing, so a frame with
+        // duplicates is malformed, not merely unsorted data.
         if !vals.windows(2).all(|w| w[0] < w[1]) {
             return Err(NetsimError::WireDecode("distinct set not strictly sorted"));
         }
@@ -753,10 +741,12 @@ impl PartialAggregate for DistinctSetAgg {
     }
 }
 
-/// Every active value concatenated to the root — the naive linear
-/// baseline (TAG's "holistic" class). `merge` is commutative only at
-/// multiset level: element order reflects merge order, so compare
-/// collected values after sorting (as `reference_median` does).
+/// Every active value shipped to the root — the naive linear baseline
+/// (TAG's "holistic" class). The partial is kept as a **sorted**
+/// multiset: the answer is order-insensitive anyway (consumers such as
+/// `reference_median` sort), and the canonical order both makes `merge`
+/// genuinely commutative and lets the codec delta-pack the value run
+/// instead of spending a fixed width per value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CollectAgg {
     /// Declared maximum item value (fixes the wire width).
@@ -772,35 +762,51 @@ impl PartialAggregate for CollectAgg {
     }
 
     fn contribute(&self, p: &mut Vec<Value>, item: ItemRef) {
-        p.push(item.value);
+        let pos = p.partition_point(|&v| v <= item.value);
+        p.insert(pos, item.value);
     }
 
-    fn merge(&self, mut a: Vec<Value>, b: Vec<Value>) -> Vec<Value> {
-        a.extend(b);
-        a
+    /// Bulk fold: collect then sort once — `O(m log m)` for a node's
+    /// whole multiset where per-item sorted inserts would be `O(m²)`.
+    fn partial_over<I: IntoIterator<Item = ItemRef>>(&self, items: I) -> Vec<Value> {
+        let mut vals: Vec<Value> = items.into_iter().map(|it| it.value).collect();
+        vals.sort_unstable();
+        vals
+    }
+
+    fn merge(&self, a: Vec<Value>, b: Vec<Value>) -> Vec<Value> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x <= y => {
+                    out.push(x);
+                    i += 1;
+                }
+                (Some(_), Some(&y)) => {
+                    out.push(y);
+                    j += 1;
+                }
+                (Some(&x), None) => {
+                    out.push(x);
+                    i += 1;
+                }
+                (None, Some(&y)) => {
+                    out.push(y);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        out
     }
 
     fn encode(&self, p: &Vec<Value>, w: &mut BitWriter) {
-        assert!(
-            p.len() < (1 << 24),
-            "partial of {} values overflows the 24-bit length field",
-            p.len()
-        );
-        w.write_bits(p.len() as u64, 24);
-        let vw = width_for_max(self.xbar);
-        for v in p {
-            w.write_bits(*v, vw);
-        }
+        w.write_sorted_deltas(p);
     }
 
     fn decode(&self, r: &mut BitReader<'_>) -> Result<Vec<Value>, NetsimError> {
-        let n = r.read_bits(24)? as usize;
-        let vw = width_for_max(self.xbar);
-        let mut vals = Vec::with_capacity(n.min(1 << 24));
-        for _ in 0..n {
-            vals.push(r.read_bits(vw)?);
-        }
-        Ok(vals)
+        r.read_sorted_deltas(1 << 24)
     }
 
     fn finalize(&self, p: &Vec<Value>) -> Vec<Value> {
@@ -871,32 +877,34 @@ impl PartialAggregate for QuantileAgg {
     }
 
     fn encode(&self, p: &QuantileSummary, w: &mut BitWriter) {
+        // Column layout: gamma-coded item count, then three delta-packed
+        // sorted runs (values, rmins, rmaxs) — every column is
+        // non-decreasing by the summary invariant, so each gamma-codes
+        // its gaps instead of spending a fixed width per entry.
         w.write_gamma(p.count() + 1);
-        w.write_gamma(p.len() as u64 + 1);
-        let vw = width_for_max(self.xbar);
-        let rank_w = width_for_max(p.count().max(1));
-        for e in p.entries() {
-            w.write_bits(e.value, vw);
-            w.write_bits(e.rmin, rank_w);
-            w.write_bits(e.rmax, rank_w);
-        }
+        let mut col: Vec<u64> = p.entries().iter().map(|e| e.value).collect();
+        w.write_sorted_deltas(&col);
+        col.clear();
+        col.extend(p.entries().iter().map(|e| e.rmin));
+        w.write_sorted_deltas(&col);
+        col.clear();
+        col.extend(p.entries().iter().map(|e| e.rmax));
+        w.write_sorted_deltas(&col);
     }
 
     fn decode(&self, r: &mut BitReader<'_>) -> Result<QuantileSummary, NetsimError> {
         let count = r.read_gamma()? - 1;
-        let len = r.read_gamma()? - 1;
-        if len > count.min(1 << 20) {
+        let values = r.read_sorted_deltas(count.min(1 << 20))?;
+        let rmins = r.read_sorted_deltas(values.len() as u64)?;
+        let rmaxs = r.read_sorted_deltas(values.len() as u64)?;
+        if rmins.len() != values.len() || rmaxs.len() != values.len() {
             return Err(NetsimError::WireDecode("quantile summary length invalid"));
         }
-        let vw = width_for_max(self.xbar);
-        let rank_w = width_for_max(count.max(1));
-        let mut entries = Vec::with_capacity(len as usize);
-        for _ in 0..len {
-            let value = r.read_bits(vw)?;
-            let rmin = r.read_bits(rank_w)?;
-            let rmax = r.read_bits(rank_w)?;
-            entries.push(saq_sketches::quantile::QEntry { value, rmin, rmax });
-        }
+        let entries: Vec<saq_sketches::quantile::QEntry> = values
+            .into_iter()
+            .zip(rmins.into_iter().zip(rmaxs))
+            .map(|(value, (rmin, rmax))| saq_sketches::quantile::QEntry { value, rmin, rmax })
+            .collect();
         QuantileSummary::from_parts(entries, count)
             .map_err(|_| NetsimError::WireDecode("quantile summary inconsistent"))
     }
@@ -1018,24 +1026,24 @@ impl PartialAggregate for BottomKAgg {
 
     fn encode(&self, p: &BottomK, w: &mut BitWriter) {
         // k and the value width are request context known to both
-        // endpoints; only the retained pairs travel.
-        w.write_gamma(p.len() as u64 + 1);
+        // endpoints; only the retained pairs travel: the key column as
+        // one delta-packed sorted run (its own length header included),
+        // then the values in key order. Uniform hash keys are
+        // incompressible, so the key run usually takes its fixed-width
+        // fallback arm — the win here is the shrunken headers.
+        let keys: Vec<u64> = p.entries().iter().map(|e| e.0).collect();
+        w.write_sorted_deltas(&keys);
         let vw = self.value_width();
-        for &(key, value) in p.entries() {
-            w.write_bits(key, 64);
+        for &(_, value) in p.entries() {
             w.write_bits(value, vw);
         }
     }
 
     fn decode(&self, r: &mut BitReader<'_>) -> Result<BottomK, NetsimError> {
-        let len = r.read_gamma()? - 1;
-        if len > self.k as u64 {
-            return Err(NetsimError::WireDecode("bottom-k sample exceeds k"));
-        }
+        let keys = r.read_sorted_deltas(self.k as u64)?;
         let vw = self.value_width();
         let mut p = self.identity();
-        for _ in 0..len {
-            let key = r.read_bits(64)?;
+        for key in keys {
             let value = r.read_bits(vw)?;
             p.insert(key, value);
         }
@@ -1570,12 +1578,13 @@ mod tests {
     }
 
     #[test]
-    fn collect_concatenates() {
+    fn collect_merges_sorted_multisets() {
         let agg = CollectAgg { xbar: 100 };
         let a = agg.partial_over([item(9), item(2)]);
-        let b = agg.partial_over([item(7)]);
-        let m = agg.merge(a, b);
-        assert_eq!(agg.finalize(&m), vec![9, 2, 7]);
+        let b = agg.partial_over([item(7), item(9)]);
+        let m = agg.merge(a.clone(), b.clone());
+        assert_eq!(agg.finalize(&m), vec![2, 7, 9, 9]);
+        assert_eq!(agg.merge(b, a), m, "canonical order is merge-order-free");
         roundtrip(&agg, &m);
     }
 }

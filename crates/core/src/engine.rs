@@ -43,7 +43,6 @@ use crate::plan::{
 use crate::predicate::{Domain, Predicate};
 use crate::simnet::SimNetwork;
 use crate::wave_proto::CoreRequest;
-use saq_protocols::WAVE_HEADER_BITS;
 
 /// A user query submitted to the engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -630,12 +629,12 @@ pub(crate) fn issue_shared_wave<S: AsMut<QuerySlot>>(
     let out = net.run_batch(reqs)?;
     debug_assert_eq!(out.partials.len(), round.len());
     // Unattributable framing: one wave header per message *actually
-    // transmitted*. Under lossless links without caching that is one
+    // transmitted*, at the width the deployment's wire profile framed
+    // this wave with. Under lossless links without caching that is one
     // request and one partial per spanning-tree edge; with subtree
     // partial caching, silenced subtrees (down to a fully cached,
     // zero-message wave) shrink the bill accordingly.
-    let header_bits = WAVE_HEADER_BITS * out.messages;
-    let share = (header_bits + out.envelope_bits) / round.len() as u64;
+    let share = (out.header_bits + out.envelope_bits) / round.len() as u64;
     for ((qi, req), (partial, bits)) in round
         .iter()
         .zip(out.partials.into_iter().zip(out.slot_bits))

@@ -24,7 +24,7 @@ use saq_netsim::topology::Topology;
 use saq_protocols::wave::Reliability;
 use saq_protocols::{
     FlatWaveRunner, MultiplexWave, MuxLedger, MuxSlotBits, ShardedWaveRunner, SpanningTree,
-    WaveProtocol, WaveRunner,
+    WaveProtocol, WaveRunner, WireProfile,
 };
 use std::sync::{Arc, Mutex};
 
@@ -57,6 +57,7 @@ pub struct SimNetworkBuilder {
     shards: usize,
     flat: bool,
     flat_depth: Option<u32>,
+    wire_profile: WireProfile,
 }
 
 impl Default for SimNetworkBuilder {
@@ -70,6 +71,7 @@ impl Default for SimNetworkBuilder {
             shards: 1,
             flat: false,
             flat_depth: None,
+            wire_profile: WireProfile::default(),
         }
     }
 }
@@ -132,8 +134,7 @@ impl SimNetworkBuilder {
     /// by the endpoints' global labels (see `saq_protocols::shard`), so
     /// lossy links replay a single-threaded run's exact drop schedule.
     /// Lossy links require per-hop ARQ
-    /// ([`Reliability::Ack`](saq_protocols::wave::Reliability::Ack))
-    /// when `k > 1`: an unrepaired drop erases a subtree's report,
+    /// ([`Reliability::Ack`]) when `k > 1`: an unrepaired drop erases a subtree's report,
     /// which only the single-threaded runner can surface mid-wave, so
     /// lossy fire-and-forget is rejected at build time (jitter is
     /// fine).
@@ -168,6 +169,17 @@ impl SimNetworkBuilder {
     /// [`SimNetworkBuilder::flat`].
     pub fn flat_depth(mut self, depth: u32) -> Self {
         self.flat_depth = Some(depth);
+        self
+    }
+
+    /// Selects the envelope framing profile every node deploys with
+    /// (default [`WireProfile::V1Varint`], the compact varint framing).
+    /// The profile changes only per-message header widths — answers,
+    /// merge order, cache keys and [`MuxLedger`] attribution are
+    /// identical across profiles; [`WireProfile::V0Fixed`] exists as
+    /// the fixed-width baseline for codec experiments.
+    pub fn wire_profile(mut self, profile: WireProfile) -> Self {
+        self.wire_profile = profile;
         self
     }
 
@@ -242,6 +254,7 @@ impl SimNetworkBuilder {
                     .map_err(QueryError::from)?,
             ))
         };
+        runner.set_wire_profile(self.wire_profile);
         if self.cache_entries > 0 {
             runner.enable_partial_cache(self.cache_entries);
         }
@@ -292,6 +305,11 @@ pub struct BatchOutcome {
     /// lossless wave, fewer when subtree caches silenced subtrees, zero
     /// when the root answered every slot itself.
     pub messages: u64,
+    /// Total envelope header bits of the wave: per-message header width
+    /// (kind + wave ordinal, which varies by wave under the varint
+    /// [`WireProfile`]) times `messages` — what exact shared-overhead
+    /// billing must add to `envelope_bits`.
+    pub header_bits: u64,
 }
 
 /// The execution substrate behind a [`SimNetwork`]: one event loop, or
@@ -396,6 +414,24 @@ impl Runner {
             Runner::Flat(r) => r.transport_footprint(),
         }
     }
+
+    fn set_wire_profile(&mut self, profile: WireProfile) {
+        match self {
+            Runner::Single(r) => r.set_wire_profile(profile),
+            Runner::Sharded(r) => r.set_wire_profile(profile),
+            Runner::Flat(r) => r.set_wire_profile(profile),
+        }
+    }
+
+    /// Per-message envelope header bits of the most recently run wave
+    /// (wave-ordinal width varies under the varint profile).
+    fn last_header_bits(&self) -> u64 {
+        match self {
+            Runner::Single(r) => r.last_header_bits(),
+            Runner::Sharded(r) => r.last_header_bits(),
+            Runner::Flat(r) => r.last_header_bits(),
+        }
+    }
 }
 
 /// An [`AggregationNetwork`] whose primitives execute as simulated
@@ -478,12 +514,14 @@ impl SimNetwork {
             .run_wave(MultiplexWave::<CoreWave>::envelope(reqs))
             .map_err(QueryError::from)?;
         let messages = self.total_tx_packets() - tx_before;
+        let header_bits = self.runner.last_header_bits() * messages;
         let ledger = self.ledger.lock().expect("mux ledger poisoned");
         Ok(BatchOutcome {
             partials,
             slot_bits: ledger.slots().to_vec(),
             envelope_bits: ledger.envelope_bits(),
             messages,
+            header_bits,
         })
     }
 

@@ -215,6 +215,14 @@ fn decode_domain(r: &mut BitReader<'_>) -> Result<Domain, NetsimError> {
     })
 }
 
+/// Reads a varint-coded sketch repetition count, rejecting values that
+/// cannot be a validated `reps` (the engine bounds them to `u32`).
+fn decode_reps(r: &mut BitReader<'_>) -> Result<u32, NetsimError> {
+    r.read_varint()?
+        .try_into()
+        .map_err(|_| NetsimError::WireDecode("sketch repetition count out of range"))
+}
+
 /// Items of a node as [`ItemRef`]s with `(node, slot)` identity, skipping
 /// passive items.
 fn active_refs(node: NodeId, items: &[SimItem]) -> impl Iterator<Item = ItemRef> + '_ {
@@ -253,7 +261,7 @@ impl WaveProtocol for CoreWave {
             CoreRequest::ApxCount { pred, reps, nonce } => {
                 w.write_bits(OP_APX, 4);
                 pred.encode(self.xbar, w);
-                w.write_bits(*reps as u64, 16);
+                w.write_varint(*reps as u64);
                 w.write_bits(*nonce as u64, 32);
             }
             CoreRequest::Zoom { mu_hat } => {
@@ -264,7 +272,7 @@ impl WaveProtocol for CoreWave {
             CoreRequest::DistinctExact => w.write_bits(OP_DISTINCT, 4),
             CoreRequest::DistinctApx { reps, nonce } => {
                 w.write_bits(OP_DISTINCT_APX, 4);
-                w.write_bits(*reps as u64, 16);
+                w.write_varint(*reps as u64);
                 w.write_bits(*nonce as u64, 32);
             }
             CoreRequest::Quantile { budget } => {
@@ -287,7 +295,7 @@ impl WaveProtocol for CoreWave {
             OP_SUM => CoreRequest::Sum(Predicate::decode(self.xbar, r)?),
             OP_APX => CoreRequest::ApxCount {
                 pred: Predicate::decode(self.xbar, r)?,
-                reps: r.read_bits(16)? as u32,
+                reps: decode_reps(r)?,
                 nonce: r.read_bits(32)? as u32,
             },
             OP_ZOOM => CoreRequest::Zoom {
@@ -296,7 +304,7 @@ impl WaveProtocol for CoreWave {
             OP_COLLECT => CoreRequest::Collect,
             OP_DISTINCT => CoreRequest::DistinctExact,
             OP_DISTINCT_APX => CoreRequest::DistinctApx {
-                reps: r.read_bits(16)? as u32,
+                reps: decode_reps(r)?,
                 nonce: r.read_bits(32)? as u32,
             },
             OP_QUANTILE => CoreRequest::Quantile {

@@ -33,7 +33,8 @@
 //!
 //! * every node encodes exactly the frames it would encode boxed — one
 //!   request per child edge, one partial per participating node, with
-//!   the same `2 + 16`-bit header ([`WAVE_HEADER_BITS`]);
+//!   the same envelope header under the deployment's [`WireProfile`]
+//!   (kind + wave ordinal, fixed or varint-framed);
 //! * partials are merged in fixed child order (ascending global id =
 //!   ascending position), so answers are pure functions of tree +
 //!   items + request, independent of the plan and of thread timing;
@@ -53,7 +54,8 @@
 //! transmission over an edge is a pure function of `(edge, frame
 //! class, n)`, not of schedule. Under [`Reliability::Ack`] the flat
 //! runner therefore *emulates* each boxed stop-and-wait exchange in
-//! closed form ([`arq_exchange`]): attempts consume the edge's
+//! closed form (the private `arq_exchange` helper): attempts consume
+//! the edge's
 //! `Data`-class stream in order, every delivered copy bills the
 //! receiver, every intact copy bills an ACK on the reverse edge's
 //! `Ack`-class stream, and retransmission stops at the first attempt
@@ -76,13 +78,14 @@
 //! before.
 //!
 //! [`MuxLedger`]: crate::wave::MuxLedger
-//! [`WAVE_HEADER_BITS`]: crate::wave::WAVE_HEADER_BITS
+//! [`WireProfile`]: crate::wave::WireProfile
 
 use crate::cache::{CacheKey, CacheStats, PartialCache};
 use crate::error::ProtocolError;
 use crate::tree::SpanningTree;
 use crate::wave::{
-    Reliability, TransportFootprint, WaveProtocol, ACK_BITS, KIND_PARTIAL, KIND_REQUEST, SEQ_BITS,
+    Reliability, TransportFootprint, WaveProtocol, WireProfile, KIND_PARTIAL, KIND_REQUEST,
+    SEQ_BITS,
 };
 use saq_netsim::energy::EnergyModel;
 use saq_netsim::flat::{FlatTree, NestDepth, ShardBlock, ShardPlan};
@@ -132,6 +135,12 @@ struct Env<'a> {
     tree: &'a FlatTree,
     model: &'a EnergyModel,
     link: &'a LinkConfig,
+    /// Envelope framing profile — must match the boxed deployment's.
+    profile: WireProfile,
+    /// Bits of one ACK frame of *this* wave (under the varint profile
+    /// the wave-ordinal width varies per wave, so this is per-wave
+    /// state, not a constant).
+    ack_bits: u64,
     /// `Some(timeout)` under [`Reliability::Ack`].
     arq_timeout: Option<SimDuration>,
     /// Per-exchange attempt budget — the flat analogue of the
@@ -181,8 +190,10 @@ fn arq_exchange(
     sender_id: usize,
     receiver_id: usize,
 ) -> Result<u64, ProtocolError> {
-    let worst_rtt =
-        env.link.delay_for(bits) + env.link.delay_for(ACK_BITS) + env.link.jitter + env.link.jitter;
+    let worst_rtt = env.link.delay_for(bits)
+        + env.link.delay_for(env.ack_bits)
+        + env.link.jitter
+        + env.link.jitter;
     if worst_rtt >= timeout {
         return Err(ProtocolError::Unsupported(
             "flat ARQ emulation requires the retransmit timeout to exceed the worst-case round \
@@ -215,20 +226,20 @@ fn arq_exchange(
         }
         let mut acked = false;
         for _ in 0..intact {
-            charge_tx(receiver, env.model, ACK_BITS);
-            links.push((receiver_id, sender_id, ACK_BITS));
+            charge_tx(receiver, env.model, env.ack_bits);
+            links.push((receiver_id, sender_id, env.ack_bits));
             match ack.next_fate(env.link) {
                 LinkFate::Lost => {}
                 // A corrupt ACK bills the sender's radio but never
                 // reaches the protocol: it does not stop retransmission.
-                LinkFate::Corrupted(_) => charge_rx(sender, env.model, ACK_BITS),
+                LinkFate::Corrupted(_) => charge_rx(sender, env.model, env.ack_bits),
                 LinkFate::Delivered(_) => {
-                    charge_rx(sender, env.model, ACK_BITS);
+                    charge_rx(sender, env.model, env.ack_bits);
                     acked = true;
                 }
                 LinkFate::DeliveredTwice(_, _) => {
-                    charge_rx(sender, env.model, ACK_BITS);
-                    charge_rx(sender, env.model, ACK_BITS);
+                    charge_rx(sender, env.model, env.ack_bits);
+                    charge_rx(sender, env.model, env.ack_bits);
                     acked = true;
                 }
             }
@@ -441,7 +452,7 @@ fn fan_out<P: WaveProtocol>(
         let crel = c as usize - cols.base;
         let mut w = pool.writer();
         w.write_bits(KIND_REQUEST, 2);
-        w.write_bits(wave as u64, 16);
+        env.profile.write_wave(&mut w, wave);
         if env.arq_timeout.is_some() {
             w.write_bits(i as u64, SEQ_BITS as u32);
         }
@@ -509,9 +520,9 @@ fn step_down<P: WaveProtocol>(
     let req = {
         let mut r = BitReader::new(&frame);
         let kind = r.read_bits(2);
-        let frame_wave = r.read_bits(16);
+        let frame_wave = env.profile.read_wave(&mut r);
         debug_assert!(matches!(kind, Ok(KIND_REQUEST)), "staged frame kind");
-        debug_assert_eq!(frame_wave.map(|w| w as u16), Ok(wave), "staged frame wave");
+        debug_assert_eq!(frame_wave.ok(), Some(wave), "staged frame wave");
         if env.arq_timeout.is_some() {
             let _seq = r.read_bits(SEQ_BITS as u32);
         }
@@ -603,9 +614,9 @@ fn step_up<P: WaveProtocol>(
             let partial = {
                 let mut r = BitReader::new(&frame);
                 let kind = r.read_bits(2);
-                let frame_wave = r.read_bits(16);
+                let frame_wave = env.profile.read_wave(&mut r);
                 debug_assert!(matches!(kind, Ok(KIND_PARTIAL)), "staged frame kind");
-                debug_assert_eq!(frame_wave.map(|w| w as u16), Ok(wave), "staged frame wave");
+                debug_assert_eq!(frame_wave.ok(), Some(wave), "staged frame wave");
                 if env.arq_timeout.is_some() {
                     let _seq = r.read_bits(SEQ_BITS as u32);
                 }
@@ -633,7 +644,7 @@ fn step_up<P: WaveProtocol>(
                 .expect("active wave has a request");
             let mut w = pool.writer();
             w.write_bits(KIND_PARTIAL, 2);
-            w.write_bits(wave as u64, 16);
+            env.profile.write_wave(&mut w, wave);
             if env.arq_timeout.is_some() {
                 let seq = if cols.slots[rel].cached { 0 } else { children };
                 w.write_bits(seq as u64, SEQ_BITS as u32);
@@ -761,6 +772,8 @@ pub struct FlatWaveRunner<P: WaveProtocol> {
     worker_protos: Vec<P>,
     worker_pools: Vec<ScratchPool>,
     worker_links: Vec<Vec<LinkCharge>>,
+    /// Deployment-wide envelope framing profile.
+    profile: WireProfile,
     next_wave: u16,
     tree_height: u32,
     tree_max_degree: usize,
@@ -865,6 +878,7 @@ where
             worker_protos,
             worker_pools: (0..groups).map(|_| ScratchPool::new()).collect(),
             worker_links: (0..groups).map(|_| Vec::new()).collect(),
+            profile: WireProfile::default(),
             next_wave: 0,
         })
     }
@@ -872,6 +886,24 @@ where
     /// Number of parallel worker groups in the plan.
     pub fn worker_count(&self) -> usize {
         self.plan.groups().len()
+    }
+
+    /// Switches the envelope framing profile. Call between waves only,
+    /// and with the same profile as the deployment this runner must
+    /// reproduce — the profile is part of the wire format.
+    pub fn set_wire_profile(&mut self, profile: WireProfile) {
+        self.profile = profile;
+    }
+
+    /// The envelope framing profile in force.
+    pub fn wire_profile(&self) -> WireProfile {
+        self.profile
+    }
+
+    /// Bits of the per-message envelope header (kind + wave ordinal)
+    /// of the most recently run wave.
+    pub fn last_header_bits(&self) -> u64 {
+        self.profile.header_bits(self.next_wave)
     }
 
     /// Nesting depth the plan actually applied past the root cut.
@@ -1086,6 +1118,8 @@ where
                 tree: &self.tree,
                 model: &model,
                 link: &self.link,
+                profile: self.profile,
+                ack_bits: self.profile.ack_bits(wave),
                 arq_timeout,
                 attempt_budget: self.attempt_budget,
             };
@@ -1153,6 +1187,8 @@ where
                 tree: &self.tree,
                 model: &model,
                 link: &self.link,
+                profile: self.profile,
+                ack_bits: self.profile.ack_bits(wave),
                 arq_timeout,
                 attempt_budget: self.attempt_budget,
             };
@@ -1256,6 +1292,8 @@ where
                 tree: &self.tree,
                 model: &model,
                 link: &self.link,
+                profile: self.profile,
+                ack_bits: self.profile.ack_bits(wave),
                 arq_timeout,
                 attempt_budget: self.attempt_budget,
             };

@@ -53,5 +53,5 @@ pub use shard::ShardedWaveRunner;
 pub use tree::SpanningTree;
 pub use wave::{
     MultiplexWave, MuxEntry, MuxLedger, MuxSlotBits, TransportFootprint, WaveProtocol, WaveRunner,
-    MUX_MAX_SLOTS, WAVE_HEADER_BITS,
+    WireProfile, MUX_MAX_SLOTS, WAVE_HEADER_BITS,
 };

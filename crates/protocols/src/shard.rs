@@ -82,8 +82,8 @@ use crate::cache::{CacheStats, PartialCache};
 use crate::error::ProtocolError;
 use crate::tree::SpanningTree;
 use crate::wave::{
-    retx_tag, AggNode, Reliability, WaveAdmit, WaveProtocol, KIND_ACK, KIND_PARTIAL, KIND_REQUEST,
-    RETX_BASE,
+    retx_tag, AggNode, Reliability, WaveAdmit, WaveProtocol, WireProfile, KIND_ACK, KIND_PARTIAL,
+    KIND_REQUEST, RETX_BASE,
 };
 use saq_netsim::link::FrameClass;
 use saq_netsim::rng::{derive_seed, Xoshiro256StarStar};
@@ -132,6 +132,7 @@ struct StubPending {
 #[derive(Debug)]
 pub(crate) struct RootStub {
     reliability: Reliability,
+    profile: WireProfile,
     staged: Vec<StagedFrame>,
     /// Deduplicated non-ACK frames in arrival order: `(local sender,
     /// frame)`.
@@ -147,6 +148,7 @@ impl RootStub {
     fn new(reliability: Reliability) -> Self {
         RootStub {
             reliability,
+            profile: WireProfile::default(),
             staged: Vec::new(),
             inbox: Vec::new(),
             pending: Vec::new(),
@@ -214,24 +216,28 @@ impl RootStub {
         let mut r = BitReader::new(payload);
         let Ok(kind) = r.read_bits(2) else { return };
         if kind == KIND_ACK {
-            let Ok(wave) = r.read_bits(16) else { return };
+            let Ok(wave) = self.profile.read_wave(&mut r) else {
+                return;
+            };
             let Ok(seq) = r.read_bits(16) else { return };
             self.pending
-                .retain(|m| !(m.seq == seq as u16 && m.wave == wave as u16 && m.to == from));
+                .retain(|m| !(m.seq == seq as u16 && m.wave == wave && m.to == from));
             return;
         }
-        let Ok(wave) = r.read_bits(16) else { return };
+        let Ok(wave) = self.profile.read_wave(&mut r) else {
+            return;
+        };
         if let Reliability::Ack { .. } = self.reliability {
             // ACK every received copy before dedup, exactly as the
             // unsharded root does; the ACK rides the edge's `Ack`-class
             // fate stream.
             let Ok(seq) = r.read_bits(16) else { return };
-            let mut w = BitWriter::new();
+            let mut w = ctx.writer();
             w.write_bits(KIND_ACK, 2);
-            w.write_bits(wave, 16);
+            self.profile.write_wave(&mut w, wave);
             w.write_bits(seq, 16);
             ctx.send_classed(from, w.finish(), FrameClass::Ack);
-            if !self.seen.insert((from, wave as u16, seq as u16)) {
+            if !self.seen.insert((from, wave, seq as u16)) {
                 return; // duplicate delivery or retransmission
             }
         }
@@ -324,6 +330,9 @@ pub struct ShardedWaveRunner<P: WaveProtocol> {
     shard_children: Vec<Vec<NodeId>>,
     /// Cached merged global statistics (refreshed after every wave).
     merged_stats: NetStats,
+    /// Deployment-wide envelope framing (root, stubs and every shard
+    /// node must agree on it).
+    profile: WireProfile,
     next_wave: u16,
     tree_height: u32,
     tree_max_degree: usize,
@@ -503,6 +512,7 @@ where
             reliability,
             shard_children,
             merged_stats,
+            profile: WireProfile::default(),
             next_wave: 0,
             tree_height: tree.height(),
             tree_max_degree: tree.max_degree(),
@@ -512,6 +522,34 @@ where
     /// Number of shards actually running (≤ the requested `k`).
     pub fn shard_count(&self) -> usize {
         self.sharded.shard_count()
+    }
+
+    /// Switches every node (root, stubs and shard-resident tree nodes)
+    /// to `profile`. Call between waves only: frames in flight were
+    /// framed under the old profile and would be dropped as garbage.
+    pub fn set_wire_profile(&mut self, profile: WireProfile) {
+        self.profile = profile;
+        self.root_node.profile = profile;
+        for s in 0..self.sharded.shard_count() {
+            let sim = self.sharded.shard_mut(s);
+            for l in 0..sim.len() {
+                match sim.node_mut(l) {
+                    ShardNode::Agg(n) => n.profile = profile,
+                    ShardNode::Stub(st) => st.profile = profile,
+                }
+            }
+        }
+    }
+
+    /// The envelope framing profile in force.
+    pub fn wire_profile(&self) -> WireProfile {
+        self.profile
+    }
+
+    /// Bits of the per-message envelope header (kind + wave ordinal)
+    /// of the most recently run wave.
+    pub fn last_header_bits(&self) -> u64 {
+        self.profile.header_bits(self.next_wave)
     }
 
     /// The root node id.
@@ -747,9 +785,11 @@ where
         for &child in &children {
             let proto = self.root_node.proto.clone();
             let r = fwd.clone();
-            let framed = self.root_node.encode_msg(KIND_REQUEST, wave, move |w| {
-                proto.encode_request(&r, w);
-            });
+            let framed =
+                self.root_node
+                    .encode_msg(BitWriter::new(), KIND_REQUEST, wave, move |w| {
+                        proto.encode_request(&r, w);
+                    });
             frames[child] = Some(framed);
         }
         for (s, group) in self.shard_children.iter().enumerate() {
@@ -793,10 +833,10 @@ where
                 let global_src = self.sharded.to_global(s, local_src);
                 let mut r = BitReader::new(&frame);
                 let Ok(kind) = r.read_bits(2) else { continue };
-                let Ok(frame_wave) = r.read_bits(16) else {
+                let Ok(frame_wave) = self.profile.read_wave(&mut r) else {
                     continue;
                 };
-                if kind != KIND_PARTIAL || frame_wave as u16 != wave {
+                if kind != KIND_PARTIAL || frame_wave != wave {
                     continue; // stale or foreign frame
                 }
                 // Reliable frames carry a sequence number between the

@@ -30,7 +30,7 @@ use saq_netsim::sim::{Context, NodeId, NodeRuntime, SimConfig, Simulator};
 use saq_netsim::stats::NetStats;
 use saq_netsim::time::SimDuration;
 use saq_netsim::topology::Topology;
-use saq_netsim::wire::{BitReader, BitString, BitWriter};
+use saq_netsim::wire::{gamma_len, varint_len, BitReader, BitString, BitWriter};
 use saq_netsim::NetsimError;
 use std::collections::HashSet;
 use std::fmt::Debug;
@@ -53,6 +53,15 @@ pub trait WaveProtocol: Clone {
 
     /// Serializes a request.
     fn encode_request(&self, req: &Self::Request, w: &mut BitWriter);
+
+    /// Accounts for `copies` additional verbatim transmissions of an
+    /// already-encoded request frame. The event runner encodes a
+    /// fan-out frame once and sends pool-backed copies to its children;
+    /// a protocol that attributes bits at encode time (the mux
+    /// envelope's [`MuxLedger`]) must bill each transmitted copy as if
+    /// it had been encoded, or its ledger stops matching the network
+    /// tally. Protocols without encode-time side effects ignore this.
+    fn note_request_copies(&self, _req: &Self::Request, _copies: u64) {}
 
     /// Deserializes a request.
     ///
@@ -265,22 +274,101 @@ pub enum Reliability {
     },
 }
 
-/// Bits of node-layer framing per wave message under
-/// [`Reliability::None`]: the 2-bit message kind plus the 16-bit wave
-/// id written by `encode_msg` (ARQ adds a 16-bit sequence number).
-/// Exported so bit-accounting layers never hardcode the frame layout.
+/// Bits of node-layer framing per wave message under the **legacy**
+/// fixed-width profile ([`WireProfile::V0Fixed`]): the 2-bit message
+/// kind plus a 16-bit wave id (ARQ adds a 16-bit sequence number).
+/// Under the default [`WireProfile::V1Varint`] the wave id is a varint
+/// and the header width depends on the wave ordinal — use
+/// [`WireProfile::header_bits`] instead of this constant.
 pub const WAVE_HEADER_BITS: u64 = 2 + 16;
 
-/// Bits of one ACK frame under [`Reliability::Ack`]: the 2-bit kind,
-/// the 16-bit wave id and the 16-bit acknowledged sequence number (an
-/// ACK carries no sequence number of its own). Exported so
-/// bit-accounting layers and ARQ-emulating runners never hardcode the
-/// frame layout.
+/// Bits of one ACK frame under [`Reliability::Ack`] with the legacy
+/// [`WireProfile::V0Fixed`]: the 2-bit kind, the 16-bit wave id and the
+/// 16-bit acknowledged sequence number (an ACK carries no sequence
+/// number of its own). Profile-aware accounting uses
+/// [`WireProfile::ack_bits`].
 pub const ACK_BITS: u64 = 2 + 16 + 16;
 
 /// Bits of the per-message ARQ sequence number appended to the wave
-/// header of every non-ACK frame under [`Reliability::Ack`].
+/// header of every non-ACK frame under [`Reliability::Ack`] — fixed
+/// width under every profile (sequence numbers are uniform in `0..2^16`
+/// within a wave, so a varint would only pay).
 pub const SEQ_BITS: u64 = 16;
+
+/// Wire discipline for the node-layer framing around every wave
+/// message: how the wave ordinal is coded in data, request and ACK
+/// frames. The profile is deployment-wide configuration (every node of
+/// a network runs the same one, like the protocol config itself), so no
+/// schema bits ride in any frame.
+///
+/// The profile changes **framing width only** — never protocol
+/// payloads, merge order, cache keys (which hash encoded *inner*
+/// sub-requests, profile-independent) or [`MuxLedger`] attribution
+/// (headers are node-layer bits, never attributed to slots). Answers
+/// are bit-identical across profiles; per-node bit *totals* differ by
+/// exactly the header delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireProfile {
+    /// Legacy fixed-width framing: every frame spends 16 bits on the
+    /// wave ordinal regardless of its magnitude. Kept as the measurable
+    /// baseline (experiment E19 runs it against V1).
+    V0Fixed,
+    /// Compact framing: the wave ordinal rides as a LEB-style varint —
+    /// 8 bits while `wave < 128`, 16 bits up to 16383, and only beyond
+    /// wave 16384 (2^14) does it exceed the fixed 16-bit field.
+    #[default]
+    V1Varint,
+}
+
+impl WireProfile {
+    /// Bits the wave ordinal `wave` occupies in a frame header.
+    pub fn wave_bits(self, wave: u16) -> u64 {
+        match self {
+            WireProfile::V0Fixed => 16,
+            WireProfile::V1Varint => varint_len(wave as u64),
+        }
+    }
+
+    /// Bits of node-layer framing per non-ACK message of wave `wave`
+    /// under [`Reliability::None`]: kind plus wave ordinal (ARQ appends
+    /// [`SEQ_BITS`]).
+    pub fn header_bits(self, wave: u16) -> u64 {
+        2 + self.wave_bits(wave)
+    }
+
+    /// Bits of one ACK frame of wave `wave`: kind, wave ordinal and the
+    /// acknowledged sequence number.
+    pub fn ack_bits(self, wave: u16) -> u64 {
+        2 + self.wave_bits(wave) + SEQ_BITS
+    }
+
+    /// Writes the wave ordinal under this profile.
+    pub fn write_wave(self, w: &mut BitWriter, wave: u16) {
+        match self {
+            WireProfile::V0Fixed => w.write_bits(wave as u64, 16),
+            WireProfile::V1Varint => w.write_varint(wave as u64),
+        }
+    }
+
+    /// Reads a wave ordinal written by [`WireProfile::write_wave`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetsimError::WireDecode`] on truncation or a varint
+    /// outside the 16-bit wave space.
+    pub fn read_wave(self, r: &mut BitReader<'_>) -> Result<u16, NetsimError> {
+        match self {
+            WireProfile::V0Fixed => Ok(r.read_bits(16)? as u16),
+            WireProfile::V1Varint => {
+                let v = r.read_varint()?;
+                if v > u16::MAX as u64 {
+                    return Err(NetsimError::WireDecode("wave ordinal out of range"));
+                }
+                Ok(v as u16)
+            }
+        }
+    }
+}
 
 pub(crate) const KIND_REQUEST: u64 = 0;
 pub(crate) const KIND_PARTIAL: u64 = 1;
@@ -340,6 +428,8 @@ pub struct AggNode<P: WaveProtocol> {
     pub(crate) parent: Option<NodeId>,
     pub(crate) children: Vec<NodeId>,
     reliability: Reliability,
+    /// Frame-header discipline (deployment-wide; see [`WireProfile`]).
+    pub(crate) profile: WireProfile,
 
     /// Wave id of the wave this node last participated in.
     pub(crate) wave: u16,
@@ -409,6 +499,7 @@ impl<P: WaveProtocol> AggNode<P> {
             parent,
             children,
             reliability,
+            profile: WireProfile::default(),
             wave: 0,
             req: None,
             waiting: Vec::new(),
@@ -466,21 +557,23 @@ impl<P: WaveProtocol> AggNode<P> {
         }
     }
 
-    /// Frames one outgoing message: kind, wave id, an ARQ sequence
-    /// number when reliable (consuming `next_seq`), then the
-    /// protocol-encoded body. Crate-visible so the sharded driver frames
-    /// the root's per-child requests with the root's own sequence
-    /// counter — child *i* in fixed child order draws sequence *i*,
-    /// exactly as the unsharded root's fan-out loop would.
+    /// Frames one outgoing message into `w` (an empty writer — pooled
+    /// when the caller has one): kind, wave id under the deployment's
+    /// [`WireProfile`], an ARQ sequence number when reliable (consuming
+    /// `next_seq`), then the protocol-encoded body. Crate-visible so the
+    /// sharded driver frames the root's per-child requests with the
+    /// root's own sequence counter — child *i* in fixed child order
+    /// draws sequence *i*, exactly as the unsharded root's fan-out loop
+    /// would.
     pub(crate) fn encode_msg(
         &mut self,
+        mut w: BitWriter,
         kind: u64,
         wave: u16,
         body: impl FnOnce(&mut BitWriter),
     ) -> (Option<u16>, BitString) {
-        let mut w = BitWriter::new();
         w.write_bits(kind, 2);
-        w.write_bits(wave as u64, 16);
+        self.profile.write_wave(&mut w, wave);
         let seq = match (kind, self.reliability) {
             (KIND_ACK, _) | (_, Reliability::None) => None,
             (_, Reliability::Ack { .. }) => {
@@ -502,7 +595,7 @@ impl<P: WaveProtocol> AggNode<P> {
         wave: u16,
         body: impl FnOnce(&mut BitWriter),
     ) {
-        let (seq, payload) = self.encode_msg(kind, wave, body);
+        let (seq, payload) = self.encode_msg(ctx.writer(), kind, wave, body);
         if let (Some(seq), Reliability::Ack { timeout }) = (seq, self.reliability) {
             self.pending.push(PendingMsg {
                 seq,
@@ -521,9 +614,9 @@ impl<P: WaveProtocol> AggNode<P> {
     /// retransmission entry of the current wave that happens to reuse
     /// the sequence number.
     fn send_ack(&mut self, ctx: &mut Context<'_>, to: NodeId, wave: u16, seq: u16) {
-        let mut w = BitWriter::new();
+        let mut w = ctx.writer();
         w.write_bits(KIND_ACK, 2);
-        w.write_bits(wave as u64, 16);
+        self.profile.write_wave(&mut w, wave);
         w.write_bits(seq as u64, 16);
         // ACKs ride their own per-edge fate stream (`FrameClass::Ack`):
         // data and ACK frames interleave on the shared edge in
@@ -551,6 +644,25 @@ impl<P: WaveProtocol> AggNode<P> {
                 self.acc = Some(local);
                 if self.waiting.is_empty() {
                     self.finish_wave(ctx);
+                } else if matches!(self.reliability, Reliability::None) {
+                    // Without per-message sequence numbers the request
+                    // frame is bit-identical for every child: encode it
+                    // once and fan out pool-backed copies instead of
+                    // cloning the request and re-encoding per child.
+                    let proto = self.proto.clone();
+                    let (_, frame) = self.encode_msg(ctx.writer(), KIND_REQUEST, wave, |w| {
+                        proto.encode_request(&fwd, w);
+                    });
+                    let last = self.children.len() - 1;
+                    // The single encode billed one transmission; the
+                    // verbatim copies must be billed too or encode-time
+                    // ledgers (mux) stop matching the network tally.
+                    proto.note_request_copies(&fwd, last as u64);
+                    for i in 0..last {
+                        let copy = ctx.duplicate(&frame);
+                        ctx.send(self.children[i], copy);
+                    }
+                    ctx.send(self.children[last], frame);
                 } else {
                     let children = self.children.clone();
                     for child in children {
@@ -577,7 +689,9 @@ impl<P: WaveProtocol> AggNode<P> {
     /// request to the children (`self.fwd_req` is set to it).
     pub(crate) fn admit_wave(&mut self, wave: u16, req: P::Request) -> WaveAdmit<P> {
         self.wave = wave;
-        self.waiting = self.children.clone();
+        // `clone_from` reuses the buffer's capacity: after the first
+        // wave this list refills without touching the allocator.
+        self.waiting.clone_from(&self.children);
         self.child_partials.clear();
         // Per-wave ARQ scope: sequence numbers restart, retransmission
         // state of any superseded wave is dropped (its partials would be
@@ -765,14 +879,17 @@ impl<P: WaveProtocol> NodeRuntime for AggNode<P> {
         let mut r = BitReader::new(payload);
         let Ok(kind) = r.read_bits(2) else { return };
         if kind == KIND_ACK {
-            let Ok(wave) = r.read_bits(16) else { return };
+            let Ok(wave) = self.profile.read_wave(&mut r) else {
+                return;
+            };
             let Ok(seq) = r.read_bits(16) else { return };
             self.pending
-                .retain(|m| !(m.seq == seq as u16 && m.wave == wave as u16 && m.to == from));
+                .retain(|m| !(m.seq == seq as u16 && m.wave == wave && m.to == from));
             return;
         }
-        let Ok(wave) = r.read_bits(16) else { return };
-        let wave = wave as u16;
+        let Ok(wave) = self.profile.read_wave(&mut r) else {
+            return;
+        };
         // Reliable mode: ack and dedup before processing. The dedup key
         // includes the wave id: per-wave sequence numbers restart at
         // zero, so a late retransmission from a finished wave must not
@@ -835,6 +952,7 @@ pub struct WaveRunner<P: WaveProtocol> {
     next_wave: u16,
     tree_height: u32,
     tree_max_degree: usize,
+    profile: WireProfile,
 }
 
 impl<P: WaveProtocol> WaveRunner<P> {
@@ -876,7 +994,33 @@ impl<P: WaveProtocol> WaveRunner<P> {
             next_wave: 0,
             tree_height: tree.height(),
             tree_max_degree: tree.max_degree(),
+            profile: WireProfile::default(),
         })
+    }
+
+    /// Selects the frame-header discipline (see [`WireProfile`];
+    /// default [`WireProfile::V1Varint`]). Deployment-wide
+    /// configuration: call before any wave runs, never between waves —
+    /// in-flight or cached framing is not re-negotiated.
+    pub fn set_wire_profile(&mut self, profile: WireProfile) {
+        self.profile = profile;
+        for v in 0..self.sim.len() {
+            self.sim.node_mut(v).profile = profile;
+        }
+    }
+
+    /// The active frame-header discipline.
+    pub fn wire_profile(&self) -> WireProfile {
+        self.profile
+    }
+
+    /// Node-layer framing bits (kind + wave ordinal) each non-ACK
+    /// message of the **most recent** wave carried — what exact header
+    /// accounting must bill per message (under the varint profile the
+    /// width follows the wave ordinal, so it is a property of the run,
+    /// not a constant).
+    pub fn last_header_bits(&self) -> u64 {
+        self.profile.header_bits(self.next_wave)
     }
 
     /// The root node id.
@@ -1118,14 +1262,45 @@ impl MuxLedger {
 /// slot explicitly (and on the wire, where a single "dense" flag bit
 /// covers the common un-subset case — see
 /// [`MultiplexWave::encode_request`] for the frame layout).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct MuxEntry<R> {
     /// The ledger slot (position in the original batch) this
     /// sub-request's bits are attributed to.
     pub slot: u32,
     /// The inner protocol's sub-request.
     pub req: R,
+    /// The sub-request's exact wire bits, captured at decode — the
+    /// **zero-copy forwarding** path: an interior node re-emits a
+    /// pass-through slot as a raw word-level bit copy instead of
+    /// re-encoding it. `None` on root-issued envelopes (nothing decoded
+    /// yet), `Some` on every envelope that arrived over a link. Equal to
+    /// the deterministic re-encoding by construction, so ledger billing
+    /// and cache keys are unchanged; excluded from equality.
+    raw: Option<BitString>,
 }
+
+impl<R> MuxEntry<R> {
+    /// An entry billing `slot`, to be encoded from `req` (no captured
+    /// raw bits — the form root-issued envelopes start in).
+    pub fn new(slot: u32, req: R) -> Self {
+        MuxEntry {
+            slot,
+            req,
+            raw: None,
+        }
+    }
+}
+
+impl<R: PartialEq> PartialEq for MuxEntry<R> {
+    /// Captured raw bits are a forwarding optimization, not identity:
+    /// two entries are equal when they bill the same slot with the same
+    /// sub-request.
+    fn eq(&self, other: &Self) -> bool {
+        self.slot == other.slot && self.req == other.req
+    }
+}
+
+impl<R: Eq> Eq for MuxEntry<R> {}
 
 /// The multiplexed frame format: one request/partial envelope carrying `N`
 /// independent sub-aggregates of an inner [`WaveProtocol`].
@@ -1191,10 +1366,7 @@ impl<P: WaveProtocol> MultiplexWave<P> {
     pub fn envelope(reqs: Vec<P::Request>) -> Vec<MuxEntry<P::Request>> {
         reqs.into_iter()
             .enumerate()
-            .map(|(i, req)| MuxEntry {
-                slot: i as u32,
-                req,
-            })
+            .map(|(i, req)| MuxEntry::new(i as u32, req))
             .collect()
     }
 }
@@ -1230,12 +1402,60 @@ impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
                 ledger.envelope_bits += w.len_bits() - before;
             }
             let before = w.len_bits();
-            self.inner.encode_request(&entry.req, w);
+            match &entry.raw {
+                // Pass-through slot: re-emit the captured wire bits as a
+                // raw word-level copy (zero-copy forwarding). The ledger
+                // bills identical bits either way because the capture
+                // equals the deterministic re-encoding.
+                Some(raw) => {
+                    w.write_bitstring(raw);
+                    #[cfg(debug_assertions)]
+                    {
+                        let mut chk = BitWriter::new();
+                        self.inner.encode_request(&entry.req, &mut chk);
+                        debug_assert_eq!(
+                            &chk.finish(),
+                            raw,
+                            "captured slot bits must equal the re-encoding"
+                        );
+                    }
+                }
+                None => self.inner.encode_request(&entry.req, w),
+            }
             ledger.slot_mut(entry.slot as usize).request_bits += w.len_bits() - before;
             // Out-of-range slots are rejected by `validate_request` at
             // the root before any encoding happens; this is a backstop.
             debug_assert!((entry.slot as u64) < MUX_MAX_SLOTS, "mux slot out of range");
         }
+    }
+
+    /// Re-bills the widths [`encode_request`](Self::encode_request)
+    /// attributed, `copies` more times, without encoding: the envelope
+    /// overhead is arithmetic (gamma widths), and each slot's width is
+    /// its captured raw range — or one measurement encoding for
+    /// root-originated entries that were never on the wire.
+    fn note_request_copies(&self, req: &Self::Request, copies: u64) {
+        if copies == 0 {
+            return;
+        }
+        let dense = req.iter().enumerate().all(|(i, e)| e.slot as usize == i);
+        let mut envelope = gamma_len(req.len() as u64 + 1) + 1;
+        let mut ledger = self.ledger_mut();
+        for entry in req {
+            if !dense {
+                envelope += gamma_len(entry.slot as u64 + 1);
+            }
+            let bits = match &entry.raw {
+                Some(raw) => raw.len_bits(),
+                None => {
+                    let mut w = BitWriter::new();
+                    self.inner.encode_request(&entry.req, &mut w);
+                    w.len_bits()
+                }
+            };
+            ledger.slot_mut(entry.slot as usize).request_bits += bits * copies;
+        }
+        ledger.envelope_bits += envelope * copies;
     }
 
     fn decode_request(&self, r: &mut BitReader<'_>) -> Result<Self::Request, NetsimError> {
@@ -1250,9 +1470,18 @@ impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
                 if slot >= MUX_MAX_SLOTS {
                     return Err(NetsimError::WireDecode("mux slot tag out of range"));
                 }
+                // Decode the sub-request, then re-capture the exact bit
+                // range it occupied: if this node forwards the slot, the
+                // range is re-emitted verbatim instead of re-encoded.
+                let before = r.remaining();
+                let req = self.inner.decode_request(r)?;
+                let used = before - r.remaining();
+                r.rewind(used)?;
+                let raw = r.read_bitstring(used)?;
                 Ok(MuxEntry {
                     slot: slot as u32,
-                    req: self.inner.decode_request(r)?,
+                    req,
+                    raw: Some(raw),
                 })
             })
             .collect()
@@ -1483,10 +1712,11 @@ mod tests {
         let items: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
         let mut r = runner_on(topo, items, SimConfig::default(), Reliability::None);
         r.run_wave(1000).unwrap();
-        // Line 0-1-2-3: request goes down 3 hops (10+16+2 = 28 bits each),
-        // partials up 3 hops (32+16+2 = 50 bits each).
-        let req_bits = 2 + 16 + width_for_max(1000) as u64;
-        let part_bits = 2 + 16 + 32;
+        // Line 0-1-2-3 under the default varint profile (wave 1 rides
+        // in 8 bits): request goes down 3 hops (2+8+10 = 20 bits each),
+        // partials up 3 hops (2+8+32 = 42 bits each).
+        let req_bits = 2 + 8 + width_for_max(1000) as u64;
+        let part_bits = 2 + 8 + 32;
         // Node 0: tx request, rx partial.
         assert_eq!(r.stats().node(0).tx_bits, req_bits);
         assert_eq!(r.stats().node(0).rx_bits, part_bits);
@@ -1495,6 +1725,49 @@ mod tests {
         assert_eq!(r.stats().node(3).rx_bits, req_bits);
         // Middle nodes do all four.
         assert_eq!(r.stats().node(1).total_bits(), 2 * (req_bits + part_bits));
+    }
+
+    #[test]
+    fn v0_profile_restores_fixed_width_framing() {
+        let topo = Topology::line(4).unwrap();
+        let items: Vec<Vec<u64>> = (0..4).map(|i| vec![i as u64]).collect();
+        let mut r = runner_on(topo, items, SimConfig::default(), Reliability::None);
+        r.set_wire_profile(WireProfile::V0Fixed);
+        assert_eq!(r.wire_profile(), WireProfile::V0Fixed);
+        assert_eq!(r.run_wave(1000).unwrap(), 6);
+        // The legacy fixed-width layout: 2+16+10 = 28-bit requests,
+        // 2+16+32 = 50-bit partials.
+        let req_bits = 2 + 16 + width_for_max(1000) as u64;
+        let part_bits = 2 + 16 + 32;
+        assert_eq!(r.stats().node(0).tx_bits, req_bits);
+        assert_eq!(r.stats().node(0).rx_bits, part_bits);
+        assert_eq!(r.last_header_bits(), WAVE_HEADER_BITS);
+    }
+
+    #[test]
+    fn wire_profiles_agree_on_answers_and_varint_saves_bits() {
+        let topo = Topology::grid(4, 4).unwrap();
+        let items: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let mut v0 = runner_on(
+            topo.clone(),
+            items.clone(),
+            SimConfig::default(),
+            Reliability::None,
+        );
+        v0.set_wire_profile(WireProfile::V0Fixed);
+        let mut v1 = runner_on(topo, items, SimConfig::default(), Reliability::None);
+        assert_eq!(v1.wire_profile(), WireProfile::V1Varint);
+        // The framing profile never changes answers, only frame widths:
+        // waves 1..=200 cross the 8→16-bit varint boundary at wave 128.
+        let mut v0_bits_prev = 0u64;
+        for _ in 0..200 {
+            assert_eq!(v0.run_wave(1000).unwrap(), v1.run_wave(1000).unwrap());
+            let v0_bits = v0.stats().total_tx_bits() - v0_bits_prev;
+            v0_bits_prev = v0.stats().total_tx_bits();
+            assert!(v0_bits > 0);
+        }
+        // Varint framing is a strict improvement while waves < 16384.
+        assert!(v1.stats().total_tx_bits() < v0.stats().total_tx_bits());
     }
 
     #[test]
@@ -1763,14 +2036,17 @@ mod tests {
         ledger.lock().unwrap().reset(2);
         r2.run_wave(env(vec![1000, 8])).unwrap();
         let led = ledger.lock().unwrap();
-        // Wave headers (kind + wave id = 18 bits per message) are charged
-        // by the node layer, not the protocol encoding: ledger totals must
-        // equal tx bits minus per-message headers. Line of 4 nodes: 3
-        // request transmissions + 3 partial transmissions.
+        // Wave headers (kind + varint wave id) are charged by the node
+        // layer, not the protocol encoding: ledger totals must equal tx
+        // bits minus per-message headers. Line of 4 nodes: 3 request
+        // transmissions + 3 partial transmissions, all in wave 1.
         let attributed: u64 =
             led.slots().iter().map(|s| s.total()).sum::<u64>() + led.envelope_bits();
         let tx_total: u64 = (0..4).map(|v| r2.stats().node(v).tx_bits).sum();
-        assert_eq!(attributed + 6 * WAVE_HEADER_BITS, tx_total);
+        assert_eq!(
+            attributed + 6 * WireProfile::default().header_bits(1),
+            tx_total
+        );
         assert!(led.slots()[0].request_bits > 0);
         assert!(led.slots()[1].partial_bits > 0);
         drop(led);
@@ -1787,13 +2063,7 @@ mod tests {
         ledger.lock().unwrap().reset(5);
         // A subset envelope as an interior node would forward it: entries
         // billing original slots 1 and 4.
-        let req = vec![
-            MuxEntry { slot: 1, req: 8u64 },
-            MuxEntry {
-                slot: 4,
-                req: 300u64,
-            },
-        ];
+        let req = vec![MuxEntry::new(1, 8u64), MuxEntry::new(4, 300u64)];
         let mut w = BitWriter::new();
         proto.encode_request(&req, &mut w);
         let bits = w.finish();
@@ -2051,10 +2321,7 @@ mod tests {
         let topo = Topology::line(2).unwrap();
         let items: Vec<Vec<u64>> = vec![vec![1], vec![2]];
         let mut r = mux_runner_on(topo, items);
-        let bad = vec![MuxEntry {
-            slot: MUX_MAX_SLOTS as u32,
-            req: 10u64,
-        }];
+        let bad = vec![MuxEntry::new(MUX_MAX_SLOTS as u32, 10u64)];
         let err = r.run_wave(bad).unwrap_err();
         assert!(matches!(
             err,
@@ -2214,27 +2481,24 @@ mod tests {
         assert_eq!(plain.run_wave(1000).unwrap(), arq.run_wave(1000).unwrap());
         // Per node: every data frame it sends or receives grows by
         // SEQ_BITS, and every data frame it receives is answered by an
-        // ACK_BITS frame (billed tx at the receiver, rx at the sender).
+        // ACK frame (billed tx at the receiver, rx at the sender). All
+        // traffic is in wave 1, so the ACK width is the profile's
+        // ack_bits(1).
+        let ack = WireProfile::default().ack_bits(1);
         for v in 0..4 {
             let p = plain.stats().node(v);
             let a = arq.stats().node(v);
             let data_tx = p.tx_packets; // lossless: every frame is data, sent once
             let data_rx = p.rx_packets;
-            assert_eq!(
-                a.tx_bits,
-                p.tx_bits + data_tx * SEQ_BITS + data_rx * ACK_BITS
-            );
-            assert_eq!(
-                a.rx_bits,
-                p.rx_bits + data_rx * SEQ_BITS + data_tx * ACK_BITS
-            );
+            assert_eq!(a.tx_bits, p.tx_bits + data_tx * SEQ_BITS + data_rx * ack);
+            assert_eq!(a.rx_bits, p.rx_bits + data_rx * SEQ_BITS + data_tx * ack);
             assert_eq!(a.tx_packets, data_tx + data_rx);
             assert_eq!(a.rx_packets, data_rx + data_tx);
         }
-        // The absolute pin for the root on a line of 4 (one 28-bit
-        // request down, one 50-bit partial up under None).
-        assert_eq!(arq.stats().node(0).tx_bits, 28 + 16 + ACK_BITS);
-        assert_eq!(arq.stats().node(0).rx_bits, 50 + 16 + ACK_BITS);
+        // The absolute pin for the root on a line of 4 (one 20-bit
+        // request down, one 42-bit partial up under None).
+        assert_eq!(arq.stats().node(0).tx_bits, 20 + 16 + ack);
+        assert_eq!(arq.stats().node(0).rx_bits, 42 + 16 + ack);
     }
 
     #[test]

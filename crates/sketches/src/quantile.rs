@@ -320,41 +320,45 @@ impl QuantileSummary {
         }
         *self = QuantileSummary::merged(self, &QuantileSummary::from_sorted(values));
     }
-
-    /// Wire size in bits with values encoded in `value_width` bits and
-    /// ranks in `⌈log₂(count+1)⌉` bits.
-    pub fn wire_bits(&self, value_width: u32) -> u64 {
-        let rank_w = saq_netsim::wire::width_for_max(self.count.max(1)) as u64;
-        // count header + entry count + entries (value, rmin, rmax)
-        40 + 20 + self.entries.len() as u64 * (value_width as u64 + 2 * rank_w)
-    }
 }
 
+/// Hard cap on decoded entry counts — far above any summary a pruned
+/// tree aggregation produces, but low enough that a malformed length
+/// header cannot drive a huge allocation.
+const MAX_WIRE_ENTRIES: u64 = 1 << 20;
+
 impl WireEncode for QuantileSummary {
+    /// Column layout: a varint item count, then three delta-packed
+    /// sorted runs (values, `rmin`s, `rmax`s). All three columns are
+    /// non-decreasing by the summary invariant, so each gamma-codes its
+    /// gaps instead of spending a fixed width per entry.
     fn encode(&self, w: &mut BitWriter) {
-        w.write_bits(self.count, 40);
-        w.write_bits(self.entries.len() as u64, 20);
-        let rank_w = saq_netsim::wire::width_for_max(self.count.max(1));
-        for e in &self.entries {
-            w.write_bits(e.value, 64);
-            w.write_bits(e.rmin, rank_w);
-            w.write_bits(e.rmax, rank_w);
-        }
+        w.write_varint(self.count);
+        let mut col: Vec<u64> = self.entries.iter().map(|e| e.value).collect();
+        w.write_sorted_deltas(&col);
+        col.clear();
+        col.extend(self.entries.iter().map(|e| e.rmin));
+        w.write_sorted_deltas(&col);
+        col.clear();
+        col.extend(self.entries.iter().map(|e| e.rmax));
+        w.write_sorted_deltas(&col);
     }
 
     fn decode(r: &mut BitReader<'_>) -> Result<Self, NetsimError> {
-        let count = r.read_bits(40)?;
-        let len = r.read_bits(20)? as usize;
-        let rank_w = saq_netsim::wire::width_for_max(count.max(1));
-        let mut entries = Vec::with_capacity(len.min(4096));
-        for _ in 0..len {
-            let value = r.read_bits(64)?;
-            let rmin = r.read_bits(rank_w)?;
-            let rmax = r.read_bits(rank_w)?;
-            if rmin > rmax || rmax > count {
-                return Err(NetsimError::WireDecode("quantile entry ranks invalid"));
-            }
-            entries.push(QEntry { value, rmin, rmax });
+        let count = r.read_varint()?;
+        let values = r.read_sorted_deltas(MAX_WIRE_ENTRIES)?;
+        let rmins = r.read_sorted_deltas(values.len() as u64)?;
+        let rmaxs = r.read_sorted_deltas(values.len() as u64)?;
+        if rmins.len() != values.len() || rmaxs.len() != values.len() {
+            return Err(NetsimError::WireDecode("quantile column lengths differ"));
+        }
+        let entries: Vec<QEntry> = values
+            .into_iter()
+            .zip(rmins.into_iter().zip(rmaxs))
+            .map(|(value, (rmin, rmax))| QEntry { value, rmin, rmax })
+            .collect();
+        if entries.iter().any(|e| e.rmin > e.rmax || e.rmax > count) {
+            return Err(NetsimError::WireDecode("quantile entry ranks invalid"));
         }
         Ok(QuantileSummary { entries, count })
     }

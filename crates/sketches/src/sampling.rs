@@ -140,6 +140,23 @@ impl BottomK {
         self.entries.is_empty()
     }
 
+    /// Appends a pair whose key must strictly exceed every retained
+    /// key — the wire decoder's fast path for key-sorted frames.
+    /// Returns `false` (leaving the synopsis untouched) when the key
+    /// does not extend the sorted run or the synopsis is full.
+    fn insert_unique_sorted(&mut self, key: u64, value: u64) -> bool {
+        if self.entries.len() >= self.k {
+            return false;
+        }
+        if let Some(&(last, _)) = self.entries.last() {
+            if key <= last {
+                return false;
+            }
+        }
+        self.entries.push((key, value));
+        true
+    }
+
     /// Estimates the `phi`-quantile (`0 < phi ≤ 1`) of the sampled
     /// population from the retained values; `None` when empty.
     pub fn quantile(&self, phi: f64) -> Option<u64> {
@@ -210,31 +227,38 @@ impl DistinctSketch for BottomK {
 }
 
 impl WireEncode for BottomK {
+    /// Layout: varint `k`, 6-bit `value_width − 1`, then the key column
+    /// as a delta-packed sorted run (the entries are key-sorted with
+    /// unique keys) followed by the values in key order at the fixed
+    /// configured width. Uniform hash keys are incompressible, so the
+    /// key run's fixed-width fallback arm usually carries them — the
+    /// point of the packed form is that the *headers* shrink and
+    /// clustered key sets (e.g. tests) pack tight.
     fn encode(&self, w: &mut BitWriter) {
-        w.write_bits(self.k as u64, 20);
-        w.write_bits(self.value_width as u64, 7);
-        w.write_bits(self.entries.len() as u64, 20);
-        for &(key, value) in &self.entries {
-            w.write_bits(key, 64);
+        w.write_varint(self.k as u64);
+        w.write_bits(self.value_width as u64 - 1, 6);
+        let keys: Vec<u64> = self.entries.iter().map(|e| e.0).collect();
+        w.write_sorted_deltas(&keys);
+        for &(_, value) in &self.entries {
             w.write_bits(value, self.value_width);
         }
     }
 
     fn decode(r: &mut BitReader<'_>) -> Result<Self, NetsimError> {
-        let k = r.read_bits(20)? as usize;
-        let value_width = r.read_bits(7)? as u32;
-        if k == 0 || !(1..=64).contains(&value_width) {
+        let k = r.read_varint()? as usize;
+        let value_width = r.read_bits(6)? as u32 + 1;
+        if k == 0 {
             return Err(NetsimError::WireDecode("bottomk header invalid"));
         }
-        let len = r.read_bits(20)? as usize;
-        if len > k {
-            return Err(NetsimError::WireDecode("bottomk length exceeds k"));
-        }
+        let keys = r.read_sorted_deltas(k as u64)?;
         let mut s = BottomK::new(k, value_width);
-        for _ in 0..len {
-            let key = r.read_bits(64)?;
+        for key in keys {
             let value = r.read_bits(value_width)?;
-            s.insert(key, value);
+            // Duplicate keys collapse under insert; a frame carrying
+            // them would not round-trip, so reject it outright.
+            if !s.insert_unique_sorted(key, value) {
+                return Err(NetsimError::WireDecode("bottomk keys not strictly sorted"));
+            }
         }
         Ok(s)
     }

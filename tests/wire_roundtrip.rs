@@ -1,0 +1,171 @@
+//! Wire round-trip property suite: for **every** [`PartialAggregate`]
+//! implementation and random partials `p`, the compact codec must
+//! satisfy three laws the multiplexed envelopes rely on:
+//!
+//! 1. `decode(encode(p)) == p` under the partial type's own equality
+//!    (for [`MinMaxPartial`] that equality is the wire-carried extremum;
+//!    runner-up repair metadata deliberately never travels);
+//! 2. the reader consumes **exactly** the bits the writer produced —
+//!    checked both against a frame-aligned buffer and against a buffer
+//!    with a junk tail, because mux envelopes pack sub-frames
+//!    back-to-back and a codec that peeks past its own frame corrupts
+//!    its neighbour;
+//! 3. re-encoding the decoded partial reproduces the identical bit
+//!    string — the wire-normal-form stability that zero-copy slot
+//!    forwarding (captured ranges re-emitted verbatim) depends on.
+//!
+//! These invariants were previously spot-checked inside `aggregate.rs`
+//! unit tests and the merge-law suite; this file pins them per impl,
+//! including the two-step aggregates those suites skip
+//! ([`QuantileAgg`], [`BottomKAgg`]).
+
+use proptest::prelude::*;
+use saq::core::aggregate::{
+    BottomKAgg, CollectAgg, CountSumAgg, CountSumOp, DistinctSetAgg, ItemRef, MinMaxAgg, MinMaxOp,
+    PartialAggregate, QuantileAgg, SketchAgg, SketchKey,
+};
+use saq::core::counting::ApxCountConfig;
+use saq::core::predicate::{Domain, Predicate};
+use saq::netsim::wire::{BitReader, BitWriter};
+
+const XBAR: u64 = 10_000;
+/// Junk bits appended after the frame in the tail-safety check.
+const TAIL_BITS: u32 = 7;
+
+fn refs(values: &[u64], node_base: u64) -> Vec<ItemRef> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &value)| ItemRef {
+            node: node_base + i as u64 / 4,
+            slot: i as u64 % 4,
+            value: value % (XBAR + 1),
+        })
+        .collect()
+}
+
+/// Asserts the three codec laws for one partial.
+fn check_roundtrip<A: PartialAggregate>(agg: &A, p: &A::Partial)
+where
+    A::Partial: PartialEq + std::fmt::Debug,
+{
+    // Law 1 + 2 (frame-aligned): round-trip, every bit consumed.
+    let mut w = BitWriter::new();
+    agg.encode(p, &mut w);
+    let frame = w.finish();
+    let mut r = BitReader::new(&frame);
+    let q = agg.decode(&mut r).expect("well-formed frame must decode");
+    assert_eq!(&q, p, "decode(encode(p)) == p");
+    assert_eq!(r.remaining(), 0, "decode must consume exactly encode");
+
+    // Law 2 (junk tail): exact consumption must not be an artifact of
+    // hitting end-of-buffer — the next sub-frame's bits follow in a
+    // packed envelope.
+    let mut w = BitWriter::new();
+    w.write_bitstring(&frame);
+    w.write_bits(0x55 & ((1 << TAIL_BITS) - 1), TAIL_BITS);
+    let padded = w.finish();
+    let mut r = BitReader::new(&padded);
+    let q2 = agg.decode(&mut r).expect("frame with tail must decode");
+    assert_eq!(&q2, p, "tail bits must not leak into the decode");
+    assert_eq!(
+        r.remaining(),
+        TAIL_BITS as u64,
+        "decode consumed past its own frame"
+    );
+
+    // Law 3: the decoded partial is in wire-normal form — re-encoding
+    // it reproduces the captured bits verbatim.
+    let mut w = BitWriter::new();
+    agg.encode(&q, &mut w);
+    assert_eq!(
+        w.finish(),
+        frame,
+        "re-encoding the decoded partial must be bit-identical"
+    );
+}
+
+/// Runs the laws over the identity, two leaf partials and their merge —
+/// the shapes a convergecast actually ships.
+fn check_shapes<A: PartialAggregate>(agg: &A, a: &[ItemRef], b: &[ItemRef])
+where
+    A::Partial: PartialEq + std::fmt::Debug,
+{
+    let pa = agg.partial_over(a.iter().copied());
+    let pb = agg.partial_over(b.iter().copied());
+    check_roundtrip(agg, &agg.identity());
+    check_roundtrip(agg, &pa);
+    check_roundtrip(agg, &pb);
+    check_roundtrip(agg, &agg.merge(pa, pb));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn minmax_roundtrip(a in proptest::collection::vec(0u64..XBAR, 0..40),
+                        b in proptest::collection::vec(0u64..XBAR, 0..40),
+                        maximize: bool, log_domain: bool) {
+        let agg = MinMaxAgg {
+            op: if maximize { MinMaxOp::Max } else { MinMaxOp::Min },
+            domain: if log_domain { Domain::Log } else { Domain::Raw },
+            xbar: XBAR,
+        };
+        check_shapes(&agg, &refs(&a, 0), &refs(&b, 100));
+    }
+
+    #[test]
+    fn countsum_roundtrip(a in proptest::collection::vec(0u64..XBAR, 0..40),
+                          b in proptest::collection::vec(0u64..XBAR, 0..40),
+                          summing: bool, y in 0u64..2 * XBAR) {
+        let agg = CountSumAgg {
+            op: if summing { CountSumOp::Sum } else { CountSumOp::Count },
+            pred: Predicate::less_than2(y),
+        };
+        check_shapes(&agg, &refs(&a, 0), &refs(&b, 100));
+    }
+
+    #[test]
+    fn sketch_roundtrip(a in proptest::collection::vec(0u64..XBAR, 0..40),
+                        b in proptest::collection::vec(0u64..XBAR, 0..40),
+                        by_value: bool, nonce in 0u64..1000) {
+        let agg = SketchAgg::new(
+            Predicate::TRUE,
+            if by_value { SketchKey::ByValue } else { SketchKey::ByItem },
+            ApxCountConfig::default(),
+            3,
+            nonce,
+        );
+        check_shapes(&agg, &refs(&a, 0), &refs(&b, 100));
+    }
+
+    #[test]
+    fn distinct_set_roundtrip(a in proptest::collection::vec(0u64..200, 0..40),
+                              b in proptest::collection::vec(0u64..200, 0..40)) {
+        let agg = DistinctSetAgg { xbar: XBAR };
+        check_shapes(&agg, &refs(&a, 0), &refs(&b, 100));
+    }
+
+    #[test]
+    fn collect_roundtrip(a in proptest::collection::vec(0u64..XBAR, 0..40),
+                         b in proptest::collection::vec(0u64..XBAR, 0..40)) {
+        let agg = CollectAgg { xbar: XBAR };
+        check_shapes(&agg, &refs(&a, 0), &refs(&b, 100));
+    }
+
+    #[test]
+    fn quantile_roundtrip(a in proptest::collection::vec(0u64..XBAR, 0..60),
+                          b in proptest::collection::vec(0u64..XBAR, 0..60),
+                          budget in 1u32..16) {
+        let agg = QuantileAgg { budget, xbar: XBAR };
+        check_shapes(&agg, &refs(&a, 0), &refs(&b, 100));
+    }
+
+    #[test]
+    fn bottomk_roundtrip(a in proptest::collection::vec(0u64..XBAR, 0..40),
+                         b in proptest::collection::vec(0u64..XBAR, 0..40),
+                         k in 1u32..12, nonce in 0u64..1000) {
+        let agg = BottomKAgg::new(k, XBAR, 0xC0DE, nonce);
+        check_shapes(&agg, &refs(&a, 0), &refs(&b, 100));
+    }
+}
