@@ -1,0 +1,6 @@
+//! Runs experiment E20 (standing-query fleet: shared-slot dedup).
+
+fn main() {
+    let scale = saq_bench::Scale::from_args();
+    let _ = saq_bench::experiments::e20_fleet::run(scale);
+}

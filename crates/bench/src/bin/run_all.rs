@@ -1,4 +1,4 @@
-//! Runs every experiment (E1-E19) in sequence. Pass `--quick` for the
+//! Runs every experiment (E1-E20) in sequence. Pass `--quick` for the
 //! reduced sweeps used in CI; the full configuration is the one recorded
 //! in EXPERIMENTS.md.
 
@@ -27,5 +27,6 @@ fn main() {
     let _ = e17_repeat_rate::run(scale);
     let _ = e18_loss_sweep::run(scale);
     let _ = e19_codec::run(scale);
+    let _ = e20_fleet::run(scale);
     println!("\nall experiments complete.");
 }

@@ -1,0 +1,204 @@
+//! E20 — standing-query fleet: bits/query vs registration count.
+//!
+//! The fleet layer ([`FleetService`]) serves many subscribers of one
+//! `(spec, period)` from a single shared refresh slot: the network
+//! maintains one summary per **distinct** query, and the fan-out to
+//! readers happens at the service edge. This experiment sweeps the
+//! registration count 10² → 10⁵ over a fixed four-spec mix on a
+//! 2048-node flat deployment ([`crate::deploy::builder_for`]) and
+//! reports queries-served/round and **bits per query served**.
+//!
+//! Claims checked:
+//!
+//! * **answers are bit-identical to the undeduped baseline** — every
+//!   slot refresh at every sweep point reports exactly what the
+//!   single-registration run reports for that `(slot, seq)`;
+//! * **network work does not grow with fan-out** — total slot refresh
+//!   bits at 10⁵ registrations stay within 1.1× the single-registration
+//!   cost per distinct spec (they are in fact identical: the network
+//!   cannot see the subscriber count);
+//! * **bits/query falls ~1/fan-out** — monotone non-increasing in the
+//!   registration count, the dedup economy the ROADMAP's
+//!   millions-of-users target rests on.
+
+use crate::deploy::builder_for;
+use crate::table::{banner, f3, Table};
+use crate::Scale;
+use saq_core::engine::{QueryOutcome, QuerySpec};
+use saq_core::predicate::{Domain, Predicate};
+use saq_core::service::FleetService;
+use saq_core::simnet::SimNetwork;
+use saq_netsim::topology::Topology;
+
+const N: usize = 2048;
+const XBAR: u64 = 128;
+const PERIOD: u64 = 8;
+const CACHE: usize = 256;
+
+/// The fixed distinct-query mix every sweep point registers round-robin
+/// (single-wave specs, so each staggered phase is one wave).
+fn spec_mix() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::Count(Predicate::less_than(60)),
+        QuerySpec::Sum(Predicate::TRUE),
+        QuerySpec::Min(Domain::Raw),
+        QuerySpec::BottomK { k: 8 },
+    ]
+}
+
+fn deployment() -> SimNetwork {
+    let topo = Topology::balanced_tree(N, 4).expect("tree");
+    let items: Vec<u64> = (0..N as u64).map(|i| (i * 37) % XBAR).collect();
+    builder_for(N)
+        .partial_cache(CACHE)
+        .build_one_per_node(&topo, &items, XBAR)
+        .expect("net")
+}
+
+/// One sweep point's measurements.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Fleet registrations at this point.
+    pub registrations: u64,
+    /// Distinct shared slots they deduplicated into.
+    pub distinct_slots: u64,
+    /// Queries served per slot refresh (≈ registrations / slots).
+    pub fan_out: f64,
+    /// Subscriber queries served per service round.
+    pub queries_per_round: f64,
+    /// Network bits per query served — the headline economy.
+    pub bits_per_query: f64,
+    /// Total bits billed to shared-slot refreshes (attributed once per
+    /// refresh, never multiplied by fan-out).
+    pub slot_bits_total: u64,
+}
+
+/// Machine-checkable summary for tests.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Every measured sweep point, in ascending registration order.
+    pub rows: Vec<Row>,
+    /// Total slot refresh bits of the single-registration baseline (one
+    /// subscriber per distinct spec, same rounds).
+    pub baseline_slot_bits: u64,
+    /// Whether every sweep point's refresh answers matched the baseline
+    /// per `(slot, seq)`, bit for bit.
+    pub answers_identical: bool,
+    /// Whether bits/query was monotone non-increasing in the
+    /// registration count.
+    pub bits_per_query_monotone: bool,
+    /// Whether every sweep point's network work stayed within 1.1× the
+    /// baseline — both in total slot bits and in bits/query.
+    pub amortized_within_1_1: bool,
+}
+
+struct Point {
+    row: Row,
+    /// One record per slot refresh: `(slot, seq, outcome)`.
+    outcomes: Vec<(usize, u64, QueryOutcome)>,
+}
+
+fn run_point(registrations: usize, cycles: u64) -> Point {
+    let specs = spec_mix();
+    let mut fleet = FleetService::new(deployment());
+    for i in 0..registrations {
+        fleet
+            .register(specs[i % specs.len()].clone(), PERIOD)
+            .expect("register");
+    }
+    let mut outcomes = Vec::new();
+    for _ in 0..cycles {
+        let out = fleet.run_rounds(PERIOD).expect("refresh cycle");
+        // Subscribers 0..specs.len() are the first member of each slot:
+        // keeping their copies keeps exactly one record per refresh.
+        for r in out.refreshes {
+            if r.subscriber < specs.len() {
+                outcomes.push((r.slot, r.seq, r.outcome.expect("refresh succeeds")));
+            }
+        }
+    }
+    let stats = fleet.fleet_stats();
+    assert_eq!(stats.distinct_slots, specs.len() as u64);
+    Point {
+        row: Row {
+            registrations: registrations as u64,
+            distinct_slots: stats.distinct_slots,
+            fan_out: stats.fan_out_ratio(),
+            queries_per_round: stats.queries_served as f64 / stats.rounds as f64,
+            bits_per_query: stats.bits_per_query(),
+            slot_bits_total: stats.slot_refresh_bits,
+        },
+        outcomes,
+    }
+}
+
+/// Runs E20 and prints its table.
+pub fn run(scale: Scale) -> Summary {
+    banner(
+        "E20",
+        "standing-query fleet",
+        "shared-slot dedup serves every subscriber from one maintained summary: bits/query falls ~1/fan-out while answers stay bit-identical",
+    );
+    let (cycles, sweep): (u64, &[usize]) = match scale {
+        Scale::Quick => (2, &[100, 10_000, 100_000]),
+        Scale::Full => (4, &[100, 1_000, 10_000, 100_000]),
+    };
+    let specs = spec_mix().len();
+    let baseline = run_point(specs, cycles);
+    println!(
+        "N = {N}, {specs} distinct specs, period {PERIOD}, {cycles} cycles/point; \
+         single-registration baseline = {} slot bits ({} bits/query)\n",
+        baseline.row.slot_bits_total,
+        f3(baseline.row.bits_per_query),
+    );
+
+    let mut table = Table::new(&[
+        "registrations",
+        "slots",
+        "fan-out",
+        "queries/round",
+        "bits/query",
+        "slot bits",
+        "vs baseline",
+    ]);
+    let mut rows = Vec::new();
+    let mut answers_identical = true;
+    let mut bits_per_query_monotone = true;
+    let mut amortized_within_1_1 = true;
+    let mut prev_bits_per_query = f64::INFINITY;
+
+    for &regs in sweep {
+        let point = run_point(regs, cycles);
+        answers_identical &= point.outcomes == baseline.outcomes;
+        bits_per_query_monotone &= point.row.bits_per_query <= prev_bits_per_query + 1e-9;
+        prev_bits_per_query = point.row.bits_per_query;
+        let vs_baseline =
+            point.row.slot_bits_total as f64 / baseline.row.slot_bits_total.max(1) as f64;
+        amortized_within_1_1 &=
+            vs_baseline <= 1.1 && point.row.bits_per_query <= 1.1 * baseline.row.bits_per_query;
+        table.row(&[
+            point.row.registrations.to_string(),
+            point.row.distinct_slots.to_string(),
+            f3(point.row.fan_out),
+            f3(point.row.queries_per_round),
+            f3(point.row.bits_per_query),
+            point.row.slot_bits_total.to_string(),
+            format!("{:.2}x", vs_baseline),
+        ]);
+        rows.push(point.row);
+    }
+    table.print();
+    println!(
+        "\nanswers identical to undeduped baseline: {answers_identical}; bits/query monotone \
+         non-increasing in fan-out: {bits_per_query_monotone}; network work within 1.1x the \
+         single-registration cost: {amortized_within_1_1}"
+    );
+
+    Summary {
+        rows,
+        baseline_slot_bits: baseline.row.slot_bits_total,
+        answers_identical,
+        bits_per_query_monotone,
+        amortized_within_1_1,
+    }
+}

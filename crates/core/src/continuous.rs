@@ -198,6 +198,26 @@ impl ContinuousEngine {
         self.inner.register_standing(spec, every_k_rounds)
     }
 
+    /// Registers a standing query with an explicit **phase anchor**:
+    /// refreshes fire at rounds `≡ anchor (mod every_k_rounds)` instead
+    /// of being phased to the registration round (see
+    /// [`StreamingEngine::register_standing_at`]). This is the hook the
+    /// fleet layer's staggered scheduler uses to spread same-period
+    /// standing queries across the rounds of their period.
+    ///
+    /// # Errors
+    ///
+    /// As [`ContinuousEngine::register`].
+    pub fn register_at(
+        &mut self,
+        spec: QuerySpec,
+        every_k_rounds: u64,
+        anchor: u64,
+    ) -> Result<StandingId, QueryError> {
+        self.inner
+            .register_standing_at(spec, every_k_rounds, anchor)
+    }
+
     /// Deregisters a standing query; an in-flight refresh still
     /// completes. Returns `false` for unknown/already-deregistered ids.
     pub fn deregister(&mut self, id: StandingId) -> bool {

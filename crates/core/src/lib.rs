@@ -51,6 +51,7 @@ pub mod model;
 pub mod net;
 pub mod plan;
 pub mod predicate;
+pub mod service;
 pub mod simnet;
 pub mod streaming;
 pub mod wave_proto;
@@ -71,5 +72,8 @@ pub use model::Value;
 pub use net::AggregationNetwork;
 pub use plan::{PlanOp, QuantileOutcome, QuantilePlan, QueryPlan};
 pub use predicate::{Domain, Predicate};
+pub use service::{
+    FleetRefresh, FleetRound, FleetService, FleetSlotId, FleetStats, RefreshStagger, SubscriberId,
+};
 pub use simnet::{BatchOutcome, SimNetwork, SimNetworkBuilder};
 pub use streaming::{AdmissionPolicy, ServiceStats, StreamingEngine, StreamingReport};

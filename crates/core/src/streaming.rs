@@ -86,6 +86,7 @@ use crate::error::QueryError;
 use crate::net::AggregationNetwork;
 use crate::simnet::SimNetwork;
 use crate::wave_proto::CoreRequest;
+use saq_protocols::wave::mux_framing_bits;
 use std::collections::VecDeque;
 
 /// The reserved nonce ordinal standing-refresh slots are built with.
@@ -253,6 +254,12 @@ pub struct StreamingEngine {
     rounds: u64,
     waves: u64,
     wave_log: Option<Vec<Vec<QueryId>>>,
+    /// Largest per-node request envelope (bits) any single wave of the
+    /// most recent round carried — the round's peak per-node request
+    /// load, the quantity phase-staggered refresh scheduling smooths.
+    round_envelope_bits: u64,
+    /// Slot count of that largest wave.
+    round_envelope_slots: u64,
 }
 
 /// One registered standing query (see
@@ -261,8 +268,11 @@ struct StandingEntry {
     spec: QuerySpec,
     /// Refresh period in rounds (`>= 1`).
     every: u64,
-    /// Round of registration — the first refresh fires here, later ones
-    /// every `every` rounds after it.
+    /// Phase anchor — refreshes fire at rounds `≡ registered_round (mod
+    /// every)`. Equals the registration round for
+    /// [`StreamingEngine::register_standing`] (the first refresh fires
+    /// immediately); [`StreamingEngine::register_standing_at`] sets it
+    /// to an assigned phase offset instead.
     registered_round: u64,
     /// Next refresh ordinal (counts fired refreshes).
     seq: u64,
@@ -296,6 +306,8 @@ impl StreamingEngine {
             rounds: 0,
             waves: 0,
             wave_log: None,
+            round_envelope_bits: 0,
+            round_envelope_slots: 0,
         }
     }
 
@@ -322,6 +334,25 @@ impl StreamingEngine {
     /// Waves issued so far.
     pub fn waves_issued(&self) -> u64 {
         self.waves
+    }
+
+    /// Peak per-node **request envelope** of the most recent round, in
+    /// bits: the largest multiplexed broadcast any single wave of that
+    /// round carried (sub-request bits plus
+    /// [`mux_framing_bits`] framing), `0` for a
+    /// waveless round. Under [`BatchPolicy::Batched`] a round has at
+    /// most one shared wave, so this *is* the round's request load —
+    /// the per-round spike the fleet layer's phase-staggered refresh
+    /// scheduling smooths and its envelope counters aggregate.
+    pub fn last_round_envelope_bits(&self) -> u64 {
+        self.round_envelope_bits
+    }
+
+    /// Slot count of the most recent round's largest wave (see
+    /// [`StreamingEngine::last_round_envelope_bits`]); `0` for a
+    /// waveless round.
+    pub fn last_round_envelope_slots(&self) -> u64 {
+        self.round_envelope_slots
     }
 
     /// Queries admitted and executing.
@@ -443,6 +474,29 @@ impl StreamingEngine {
         spec: QuerySpec,
         every: u64,
     ) -> Result<StandingId, QueryError> {
+        let anchor = self.rounds;
+        self.register_standing_at(spec, every, anchor)
+    }
+
+    /// Like [`StreamingEngine::register_standing`], but with an explicit
+    /// **phase anchor**: refreshes fire at every round `r ≥ max(anchor,
+    /// now)` with `r ≡ anchor (mod every)`, instead of being phased to
+    /// the registration round. The fleet layer's staggered scheduler
+    /// uses this to spread same-period standing queries across the
+    /// rounds of their period (anchor = assigned phase offset), so the
+    /// per-round request envelope is smoothed instead of spiking when a
+    /// cohort shares a period. An anchor in the past is a pure phase —
+    /// no catch-up refreshes fire for rounds already executed.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamingEngine::register_standing`].
+    pub fn register_standing_at(
+        &mut self,
+        spec: QuerySpec,
+        every: u64,
+        anchor: u64,
+    ) -> Result<StandingId, QueryError> {
         if every == 0 {
             return Err(QueryError::InvalidParameter(
                 "standing refresh period must be at least one round",
@@ -464,7 +518,7 @@ impl StreamingEngine {
         self.standing.push(StandingEntry {
             spec,
             every,
-            registered_round: self.rounds,
+            registered_round: anchor,
             seq: 0,
             in_flight: false,
             active: true,
@@ -512,6 +566,8 @@ impl StreamingEngine {
     pub fn step(&mut self) -> Result<Vec<StreamingReport>, QueryError> {
         let round = self.rounds;
         self.rounds += 1;
+        self.round_envelope_bits = 0;
+        self.round_envelope_slots = 0;
 
         // 0. Standing refreshes due this round enter the active set
         // directly — registered once, never queued — with their first op
@@ -558,7 +614,7 @@ impl StreamingEngine {
                     // never be admitted under this budget: reject it
                     // loudly (it retires this round with the error)
                     // instead of starving it silently forever.
-                    let solo = self.net.request_wire_bits(req) + gamma_bits(2) + 1;
+                    let solo = self.net.request_wire_bits(req) + mux_framing_bits(1);
                     if solo > budget {
                         s.staged = None;
                         s.slot.state = SlotState::Done(Err(QueryError::InvalidParameter(
@@ -736,8 +792,10 @@ impl StreamingEngine {
         if slots == 0 {
             return 0;
         }
-        // Mux framing: gamma-coded slot count plus the dense flag bit.
-        bits + gamma_bits(slots + 1) + 1
+        // Mux framing: gamma-coded slot count plus the dense flag bit —
+        // the protocols layer's own formula, so the projection can never
+        // drift from what the MuxLedger later bills.
+        bits + mux_framing_bits(slots)
     }
 
     /// Steps the service until no query is pending or active, returning
@@ -760,6 +818,18 @@ impl StreamingEngine {
 
     fn issue_wave(&mut self, round_ops: &[(usize, CoreRequest)]) -> Result<(), QueryError> {
         self.waves += 1;
+        // Track the round's peak per-node request envelope (the
+        // observable the fleet layer's stagger test pins): sub-request
+        // bits plus the dense mux framing this wave's broadcast carries.
+        let envelope = round_ops
+            .iter()
+            .map(|(_, req)| self.net.request_wire_bits(req))
+            .sum::<u64>()
+            + mux_framing_bits(round_ops.len() as u64);
+        if envelope > self.round_envelope_bits {
+            self.round_envelope_bits = envelope;
+            self.round_envelope_slots = round_ops.len() as u64;
+        }
         issue_shared_wave(
             &mut self.net,
             &mut self.active,
@@ -781,13 +851,6 @@ impl StreamingEngine {
             }
         }
     }
-}
-
-/// Bits of the Elias-gamma code for `v >= 1` (mirrors
-/// `BitWriter::write_gamma`'s cost — used to project envelope framing
-/// without encoding anything).
-fn gamma_bits(v: u64) -> u64 {
-    2 * (63 - v.leading_zeros() as u64) + 1
 }
 
 /// Aggregate latency/bit statistics over a set of retired reports —

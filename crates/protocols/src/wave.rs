@@ -1378,6 +1378,20 @@ impl<P: WaveProtocol> MultiplexWave<P> {
 /// side at the API boundary — in release builds too.
 pub const MUX_MAX_SLOTS: u64 = 1 << 16;
 
+/// Framing overhead, in bits, of a **dense** multiplexed request
+/// envelope carrying `slots` sub-requests: the gamma-coded slot count
+/// plus the dense flag bit — exactly what
+/// [`MultiplexWave::encode_request`] attributes to
+/// [`MuxLedger::envelope_bits`] for a root-issued (dense, un-subset)
+/// envelope. This is the single source of truth schedulers use to
+/// *project* an envelope's size before any bit flies (the streaming
+/// engine's bit-budget admission and the fleet layer's staggered
+/// refresh envelopes both price their rounds with it), so projections
+/// can never drift from what the ledger later bills.
+pub fn mux_framing_bits(slots: u64) -> u64 {
+    gamma_len(slots + 1) + 1
+}
+
 impl<P: WaveProtocol> WaveProtocol for MultiplexWave<P> {
     type Request = Vec<MuxEntry<P::Request>>;
     type Partial = Vec<P::Partial>;

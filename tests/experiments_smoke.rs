@@ -460,6 +460,39 @@ fn e19_varint_framing_saves_bits_without_changing_answers() {
 }
 
 #[test]
+fn e20_fleet_dedup_amortizes_bits_per_query() {
+    let s = e20_fleet::run(Scale::Quick);
+    assert!(
+        s.answers_identical,
+        "a deduped fleet served an answer the undeduped baseline would not"
+    );
+    assert!(
+        s.bits_per_query_monotone,
+        "bits/query must fall (or hold) as fan-out grows: {:?}",
+        s.rows
+    );
+    assert!(
+        s.amortized_within_1_1,
+        "network work exceeded 1.1x the single-registration cost: {:?}",
+        s.rows
+    );
+    // The 10^5-registration row really ran with the same network work
+    // as the single-registration baseline, and bits/query scaled as
+    // exactly 1/fan-out: registrations × bits/query is constant across
+    // the sweep.
+    let top = s.rows.last().expect("non-empty sweep");
+    let first = s.rows.first().expect("non-empty sweep");
+    assert_eq!(top.registrations, 100_000);
+    assert_eq!(top.slot_bits_total, s.baseline_slot_bits);
+    let spread = (top.registrations as f64 * top.bits_per_query)
+        / (first.registrations as f64 * first.bits_per_query);
+    assert!(
+        (0.99..=1.01).contains(&spread),
+        "bits/query did not scale ~1/fan-out across the sweep: {spread:.3}"
+    );
+}
+
+#[test]
 fn e17_cache_savings_track_repeat_rate() {
     let s = e17_repeat_rate::run(Scale::Quick);
     assert!(s.answers_identical, "the cache must never change an answer");
