@@ -1,0 +1,7 @@
+//! Experiment binary: see `saq_bench::experiments::e21_telemetry`.
+//! Pass `--quick` for a reduced sweep (N capped at ~10³).
+
+fn main() {
+    let scale = saq_bench::Scale::from_args();
+    let _ = saq_bench::experiments::e21_telemetry::run(scale);
+}

@@ -1,4 +1,4 @@
-//! The E1–E20 experiment implementations (see DESIGN.md §4 for the
+//! The E1–E21 experiment implementations (see DESIGN.md §4 for the
 //! experiment-to-claim index). Each `run(scale)` prints its tables to
 //! stdout and returns a machine-checkable summary used by integration
 //! tests and the `run_all` binary.
@@ -15,6 +15,7 @@ pub mod e18_loss_sweep;
 pub mod e19_codec;
 pub mod e1_primitives;
 pub mod e20_fleet;
+pub mod e21_telemetry;
 pub mod e2_loglog;
 pub mod e3_median_det;
 pub mod e4_apx_median;

@@ -295,6 +295,22 @@ impl ContinuousEngine {
         self.inner.network_mut()
     }
 
+    /// Attaches a telemetry recorder to the underlying network (see
+    /// [`SimNetwork::attach_recorder`]); subsequent rounds emit the full
+    /// structured event stream, standing-refresh machinery included.
+    pub fn attach_recorder(
+        &mut self,
+        recorder: Box<dyn saq_obs::Recorder>,
+    ) -> Option<Box<dyn saq_obs::Recorder>> {
+        self.inner.network_mut().attach_recorder(recorder)
+    }
+
+    /// One-call operational summary of the underlying deployment (see
+    /// [`SimNetwork::observability_snapshot`]).
+    pub fn observability_snapshot(&self) -> crate::simnet::ObservabilitySnapshot {
+        self.inner.network().observability_snapshot()
+    }
+
     /// The underlying service loop (e.g. to set a bit budget or inspect
     /// wave logs).
     pub fn service(&mut self) -> &mut StreamingEngine {

@@ -586,7 +586,16 @@ impl QueryEngine {
             self.net.restore_items();
         }
 
-        Ok(self.slots.drain(..).map(QuerySlot::into_report).collect())
+        let reports: Vec<QueryReport> = self.slots.drain(..).map(QuerySlot::into_report).collect();
+        if self.net.telemetry_enabled() {
+            for r in &reports {
+                self.net.emit_event(&saq_obs::Event::SlotRetired {
+                    query: r.id as u64,
+                    bits: r.bits.total(),
+                });
+            }
+        }
+        Ok(reports)
     }
 
     /// Issues one shared wave for `round` and distributes results and
@@ -624,6 +633,15 @@ pub(crate) fn issue_shared_wave<S: AsMut<QuerySlot>>(
 ) -> Result<(), QueryError> {
     if let Some(log) = wave_log {
         log.push(round.iter().map(|(qi, _)| slots[*qi].as_mut().id).collect());
+    }
+    if net.telemetry_enabled() {
+        for (pos, (qi, _)) in round.iter().enumerate() {
+            let query = slots[*qi].as_mut().id as u64;
+            net.emit_event(&saq_obs::Event::SlotAdmitted {
+                query,
+                slot: pos as u64,
+            });
+        }
     }
     let reqs: Vec<CoreRequest> = round.iter().map(|(_, r)| r.clone()).collect();
     let out = net.run_batch(reqs)?;

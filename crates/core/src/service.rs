@@ -475,10 +475,18 @@ impl FleetService {
                 .expect("every standing refresh belongs to a fleet slot");
             self.stats.slot_refreshes += 1;
             self.stats.slot_refresh_bits += r.bits.total();
-            let slot = &self.slots[slot_id];
-            let fan_out = slot.subscribers.len() as u32;
+            let fan_out = self.slots[slot_id].subscribers.len() as u32;
             self.stats.queries_served += u64::from(fan_out);
-            for &sub in &slot.subscribers {
+            if self.inner.network().telemetry_enabled() {
+                self.inner
+                    .network_mut()
+                    .emit_event(&saq_obs::Event::RefreshFanout {
+                        slot: slot_id as u64,
+                        subscribers: u64::from(fan_out),
+                        round: r.finished_round,
+                    });
+            }
+            for &sub in &self.slots[slot_id].subscribers {
                 refreshes.push(FleetRefresh {
                     subscriber: sub,
                     slot: slot_id,

@@ -21,12 +21,14 @@ use saq_netsim::flat::NestDepth;
 use saq_netsim::sim::SimConfig;
 use saq_netsim::stats::NetStats;
 use saq_netsim::topology::Topology;
+use saq_obs::{Event, FrameKind, MetricsRegistry, MetricsSnapshot, Recorder, Telemetry};
 use saq_protocols::wave::Reliability;
 use saq_protocols::{
-    FlatWaveRunner, MultiplexWave, MuxLedger, MuxSlotBits, ShardedWaveRunner, SpanningTree,
-    WaveProtocol, WaveRunner, WireProfile,
+    FateReplay, FlatWaveRunner, MultiplexWave, MuxLedger, MuxSlotBits, NodeTraceEntry, ReplayEvent,
+    ShardedWaveRunner, SpanningTree, WaveProtocol, WaveRunner, WireProfile,
 };
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Builder for [`SimNetwork`].
 ///
@@ -208,6 +210,10 @@ impl SimNetworkBuilder {
         }
         let tree =
             SpanningTree::bfs_bounded(topo, 0, self.max_children).map_err(QueryError::from)?;
+        let parents: Vec<Option<usize>> = (0..topo.len()).map(|v| tree.parent(v)).collect();
+        let replay = FateReplay::new(self.sim_cfg.seed, self.sim_cfg.link.clone());
+        let arq = matches!(self.reliability, Reliability::Ack { .. });
+        let attempt_budget = self.sim_cfg.max_events;
         let proto = MultiplexWave::new(CoreWave {
             xbar,
             apx: self.apx,
@@ -265,6 +271,16 @@ impl SimNetworkBuilder {
             apx: self.apx,
             ops: OpCounts::default(),
             nonce: 0,
+            telemetry: Telemetry::disabled(),
+            parents,
+            replay,
+            arq,
+            attempt_budget,
+            profile: self.wire_profile,
+            waves_run: 0,
+            trace_poisoned: false,
+            peak_wave_slots: 0,
+            peak_wave_envelope_bits: 0,
         })
     }
 
@@ -310,6 +326,36 @@ pub struct BatchOutcome {
     /// [`WireProfile`]) times `messages` — what exact shared-overhead
     /// billing must add to `envelope_bits`.
     pub header_bits: u64,
+}
+
+/// One-call operational summary of a [`SimNetwork`] deployment: cache
+/// effectiveness, transport-state occupancy, bit-accounting extremes
+/// and the deterministic telemetry counters (see
+/// [`SimNetwork::observability_snapshot`]).
+#[derive(Debug, Clone)]
+pub struct ObservabilitySnapshot {
+    /// Network-wide subtree-cache counters.
+    pub cache: saq_protocols::CacheStats,
+    /// Transport-state occupancy: ARQ dedup entries, pending frames,
+    /// merge buffers and resident cache entries.
+    pub transport: saq_protocols::TransportFootprint,
+    /// The paper's objective — the busiest node's cumulative bits.
+    pub max_node_bits: u64,
+    /// Network-wide cumulative bits (tx + rx across all nodes).
+    pub total_bits: u64,
+    /// Packets transmitted across all nodes since the last stats reset.
+    pub total_tx_packets: u64,
+    /// Node count of the deployment.
+    pub nodes: usize,
+    /// Largest envelope (slot count) any wave carried.
+    pub peak_wave_slots: u64,
+    /// Largest per-wave unattributable envelope framing bill.
+    pub peak_wave_envelope_bits: u64,
+    /// Waves run since deployment (never reset).
+    pub waves_run: u64,
+    /// Deterministic telemetry counters (all zero while no recorder has
+    /// ever been attached).
+    pub metrics: MetricsSnapshot,
 }
 
 /// The execution substrate behind a [`SimNetwork`]: one event loop, or
@@ -423,6 +469,22 @@ impl Runner {
         }
     }
 
+    fn set_tracing(&mut self, on: bool) {
+        match self {
+            Runner::Single(r) => r.set_tracing(on),
+            Runner::Sharded(r) => r.set_tracing(on),
+            Runner::Flat(r) => r.set_tracing(on),
+        }
+    }
+
+    fn take_trace(&mut self) -> Vec<(usize, NodeTraceEntry)> {
+        match self {
+            Runner::Single(r) => r.take_trace(),
+            Runner::Sharded(r) => r.take_trace(),
+            Runner::Flat(r) => r.take_trace(),
+        }
+    }
+
     /// Per-message envelope header bits of the most recently run wave
     /// (wave-ordinal width varies under the varint profile).
     fn last_header_bits(&self) -> u64 {
@@ -451,6 +513,33 @@ pub struct SimNetwork {
     apx: ApxCountConfig,
     ops: OpCounts,
     nonce: u32,
+    /// The telemetry lane (see [`saq_obs`]): disabled until
+    /// [`SimNetwork::attach_recorder`], at which point the runners start
+    /// buffering per-node traces the driver drains into [`Event`]s.
+    telemetry: Telemetry,
+    /// Global parent of each node on the spanning tree — what turns
+    /// peer-free [`NodeTraceEntry`]s into edge-attributed frame events.
+    parents: Vec<Option<usize>>,
+    /// Replays the simulator's per-edge fate streams to expand logical
+    /// frames into attempt-level ARQ detail without touching the
+    /// simulator's own streams.
+    replay: FateReplay,
+    /// Whether the deployment runs per-hop ARQ (fate replay meaningful).
+    arq: bool,
+    /// The runners' ARQ attempt budget (`SimConfig::max_events`).
+    attempt_budget: u64,
+    /// Wire profile mirror, for ack frame widths in replay expansion.
+    profile: WireProfile,
+    /// Waves run on this network (mirrors the runners' wave ordinal).
+    waves_run: u64,
+    /// Set when a failed wave desynchronized the fate replay; frame
+    /// events from later waves are then emitted without ARQ expansion.
+    trace_poisoned: bool,
+    /// Largest envelope (slot count) any wave carried — tracked
+    /// unconditionally, it is two integer compares per wave.
+    peak_wave_slots: u64,
+    /// Largest per-wave envelope framing bill any wave paid.
+    peak_wave_envelope_bits: u64,
 }
 
 impl SimNetwork {
@@ -467,6 +556,55 @@ impl SimNetwork {
     /// Clears the per-node bit counters (e.g. after a setup phase).
     pub fn reset_stats(&mut self) {
         self.runner.reset_stats();
+    }
+
+    /// Attaches a telemetry recorder: the runners start buffering
+    /// per-node traces and every subsequent wave emits its structured
+    /// [`Event`] stream — bit-identical across the boxed, sharded and
+    /// flat substrates (ARCHITECTURE §15). Replaces (and returns) any
+    /// previously attached recorder; the metrics registry keeps
+    /// accumulating across swaps.
+    pub fn attach_recorder(&mut self, recorder: Box<dyn Recorder>) -> Option<Box<dyn Recorder>> {
+        self.runner.set_tracing(true);
+        self.telemetry.attach(recorder)
+    }
+
+    /// Detaches the recorder and switches runner tracing off, returning
+    /// the telemetry lane to its zero-overhead disabled state.
+    pub fn detach_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.runner.set_tracing(false);
+        self.telemetry.detach()
+    }
+
+    /// Whether a telemetry recorder is attached (events flow, metrics
+    /// update).
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.enabled()
+    }
+
+    /// Emits one driver-level event into the telemetry lane (no-op when
+    /// no recorder is attached). The engine and service layers use this
+    /// for slot admission/retire and refresh fan-out events.
+    pub fn emit_event(&mut self, event: &Event) {
+        self.telemetry.emit(event);
+    }
+
+    /// Snapshot of the deterministic telemetry counters (all zero while
+    /// no recorder has ever been attached).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry.metrics().snapshot()
+    }
+
+    /// The full metrics registry: deterministic lane plus the separated
+    /// non-deterministic wall-clock lane.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.telemetry.metrics()
+    }
+
+    /// Records a query-latency observation (in engine rounds) into the
+    /// registry's deterministic histogram lane.
+    pub fn record_latency_rounds(&mut self, rounds: u64) {
+        self.telemetry.metrics_mut().record_latency_rounds(rounds);
     }
 
     fn run(&mut self, req: CoreRequest) -> Result<CorePartial, QueryError> {
@@ -504,25 +642,199 @@ impl SimNetwork {
         if reqs.is_empty() {
             return Err(QueryError::InvalidParameter("empty wave batch"));
         }
+        let slots = reqs.len() as u64;
+        self.waves_run += 1;
+        let wave = self.waves_run;
+        let traced = self.telemetry.enabled();
+        if traced {
+            self.telemetry.emit(&Event::WaveStarted { wave, slots });
+        }
         self.ledger
             .lock()
             .expect("mux ledger poisoned")
             .reset(reqs.len());
         let tx_before = self.total_tx_packets();
-        let partials = self
+        let wave_start = traced.then(Instant::now);
+        let run = self
             .runner
-            .run_wave(MultiplexWave::<CoreWave>::envelope(reqs))
-            .map_err(QueryError::from)?;
+            .run_wave(MultiplexWave::<CoreWave>::envelope(reqs));
+        if let Some(t0) = wave_start {
+            self.telemetry
+                .metrics_mut()
+                .record_wall_nanos("wave", t0.elapsed().as_nanos());
+        }
+        let partials = match run {
+            Ok(p) => p,
+            Err(e) => {
+                // A wave that died mid-flight leaves the trace buffers
+                // covering an unknown prefix of the exchanges, so the
+                // fate replay can no longer stay aligned with the
+                // simulator's streams: discard the traces and emit all
+                // later frame events without attempt-level expansion.
+                let _ = self.runner.take_trace();
+                self.trace_poisoned = true;
+                return Err(QueryError::from(e));
+            }
+        };
         let messages = self.total_tx_packets() - tx_before;
         let header_bits = self.runner.last_header_bits() * messages;
-        let ledger = self.ledger.lock().expect("mux ledger poisoned");
+        let (slot_bits, envelope_bits) = {
+            let ledger = self.ledger.lock().expect("mux ledger poisoned");
+            (ledger.slots().to_vec(), ledger.envelope_bits())
+        };
+        self.peak_wave_slots = self.peak_wave_slots.max(slots);
+        self.peak_wave_envelope_bits = self.peak_wave_envelope_bits.max(envelope_bits);
+        if traced {
+            let drain_start = Instant::now();
+            self.drain_wave_events();
+            let request_bits: u64 = slot_bits.iter().map(|s| s.request_bits).sum();
+            let partial_bits: u64 = slot_bits.iter().map(|s| s.partial_bits).sum();
+            self.telemetry.emit(&Event::WaveCompleted {
+                wave,
+                messages,
+                header_bits,
+                envelope_bits,
+                request_bits,
+                partial_bits,
+            });
+            self.telemetry
+                .metrics_mut()
+                .record_wall_nanos("drain", drain_start.elapsed().as_nanos());
+        }
         Ok(BatchOutcome {
             partials,
-            slot_bits: ledger.slots().to_vec(),
-            envelope_bits: ledger.envelope_bits(),
+            slot_bits,
+            envelope_bits,
             messages,
             header_bits,
         })
+    }
+
+    /// Drains the runner's per-node trace buffers into edge-attributed
+    /// telemetry events. The buffers come back in canonical order
+    /// (ascending global node id; within a node: request, cache events,
+    /// partial), which is what makes the emitted stream bit-identical
+    /// across the three substrates regardless of their internal
+    /// scheduling.
+    fn drain_wave_events(&mut self) {
+        for (node, entry) in self.runner.take_trace() {
+            match entry {
+                NodeTraceEntry::RequestRecv { bits } => {
+                    let Some(parent) = self.parents[node] else {
+                        continue; // the root has no inbound request edge
+                    };
+                    self.frame_event(parent as u64, node as u64, bits, FrameKind::Request);
+                }
+                NodeTraceEntry::CacheHit { slot } => self.telemetry.emit(&Event::CacheHit {
+                    node: node as u64,
+                    slot: slot as u64,
+                }),
+                NodeTraceEntry::CacheMiss { slot } => self.telemetry.emit(&Event::CacheMiss {
+                    node: node as u64,
+                    slot: slot as u64,
+                }),
+                NodeTraceEntry::PartialSent { bits } => {
+                    let Some(parent) = self.parents[node] else {
+                        continue; // the root reports to nobody
+                    };
+                    self.frame_event(node as u64, parent as u64, bits, FrameKind::Partial);
+                }
+            }
+        }
+    }
+
+    /// Emits the event(s) for one logical frame exchange. Lossless
+    /// deployments (and poisoned traces after a failed wave) emit a
+    /// single [`Event::FrameSent`]; under per-hop ARQ the exchange is
+    /// expanded into its attempt-level history — first send,
+    /// retransmissions, drops and acks — by replaying the same per-edge
+    /// fate streams the simulator drew, so the expansion bills exactly
+    /// the frames the transport charged.
+    fn frame_event(&mut self, from: u64, to: u64, bits: u64, kind: FrameKind) {
+        if !self.arq || self.trace_poisoned {
+            self.telemetry.emit(&Event::FrameSent {
+                from,
+                to,
+                bits,
+                kind,
+            });
+            return;
+        }
+        let ack_bits = self.profile.ack_bits(self.waves_run as u16);
+        let SimNetwork {
+            replay,
+            telemetry,
+            attempt_budget,
+            ..
+        } = self;
+        replay.replay_exchange(from, to, *attempt_budget, |ev| match ev {
+            ReplayEvent::DataDelivered { attempt, .. } => {
+                if attempt == 1 {
+                    telemetry.emit(&Event::FrameSent {
+                        from,
+                        to,
+                        bits,
+                        kind,
+                    });
+                } else {
+                    telemetry.emit(&Event::Retransmit {
+                        from,
+                        to,
+                        bits,
+                        kind,
+                        attempt,
+                    });
+                }
+            }
+            ReplayEvent::DataLost { attempt, corrupt } => {
+                if attempt == 1 {
+                    telemetry.emit(&Event::FrameSent {
+                        from,
+                        to,
+                        bits,
+                        kind,
+                    });
+                } else {
+                    telemetry.emit(&Event::Retransmit {
+                        from,
+                        to,
+                        bits,
+                        kind,
+                        attempt,
+                    });
+                }
+                telemetry.emit(&Event::FrameDropped {
+                    from,
+                    to,
+                    bits,
+                    kind,
+                    corrupt,
+                });
+            }
+            ReplayEvent::AckDelivered { .. } => {
+                telemetry.emit(&Event::FrameSent {
+                    from: to,
+                    to: from,
+                    bits: ack_bits,
+                    kind: FrameKind::Ack,
+                });
+            }
+            ReplayEvent::AckLost { corrupt, .. } => {
+                telemetry.emit(&Event::FrameSent {
+                    from: to,
+                    to: from,
+                    bits: ack_bits,
+                    kind: FrameKind::Ack,
+                });
+                telemetry.emit(&Event::FrameDropped {
+                    from: to,
+                    to: from,
+                    bits: ack_bits,
+                    kind: FrameKind::Ack,
+                    corrupt,
+                });
+            }
+        });
     }
 
     fn total_tx_packets(&self) -> u64 {
@@ -564,8 +876,28 @@ impl SimNetwork {
                 });
             }
         }
-        self.runner
-            .set_items(node, values.into_iter().map(SimItem::new).collect());
+        let items: Vec<SimItem> = values.into_iter().map(SimItem::new).collect();
+        if self.telemetry.enabled() {
+            let before = self.runner.cache_stats();
+            self.runner.set_items(node, items);
+            let after = self.runner.cache_stats();
+            let applied = after.delta_applied - before.delta_applied;
+            let invalidated = after.delta_invalidated - before.delta_invalidated;
+            if applied > 0 {
+                self.telemetry.emit(&Event::DeltaApplied {
+                    node: node as u64,
+                    count: applied,
+                });
+            }
+            if invalidated > 0 {
+                self.telemetry.emit(&Event::DeltaInvalidated {
+                    node: node as u64,
+                    count: invalidated,
+                });
+            }
+        } else {
+            self.runner.set_items(node, items);
+        }
         Ok(())
     }
 
@@ -587,6 +919,27 @@ impl SimNetwork {
     /// by experiment E14.
     pub fn transport_footprint(&self) -> saq_protocols::TransportFootprint {
         self.runner.transport_footprint()
+    }
+
+    /// Bundles every driver-observable health signal in one call:
+    /// cache effectiveness, transport-state occupancy, bit-accounting
+    /// extremes and the deterministic telemetry counters. The
+    /// `network_health` example renders this directly; experiment
+    /// banners use individual fields.
+    pub fn observability_snapshot(&self) -> ObservabilitySnapshot {
+        let stats = self.runner.stats();
+        ObservabilitySnapshot {
+            cache: self.runner.cache_stats(),
+            transport: self.runner.transport_footprint(),
+            max_node_bits: stats.max_node_bits(),
+            total_bits: (0..stats.len()).map(|v| stats.node(v).total_bits()).sum(),
+            total_tx_packets: self.total_tx_packets(),
+            nodes: self.runner.len(),
+            peak_wave_slots: self.peak_wave_slots,
+            peak_wave_envelope_bits: self.peak_wave_envelope_bits,
+            waves_run: self.waves_run,
+            metrics: self.telemetry.metrics().snapshot(),
+        }
     }
 
     /// Name of the execution substrate backing this network —

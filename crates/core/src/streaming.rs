@@ -260,7 +260,17 @@ pub struct StreamingEngine {
     round_envelope_bits: u64,
     /// Slot count of that largest wave.
     round_envelope_slots: u64,
+    /// Bounded flight-recorder history of `(envelope_bits,
+    /// envelope_slots)` per executed round, most recent last — at most
+    /// [`ENVELOPE_HISTORY_CAP`] entries, so an unbounded round stream
+    /// never grows it (the same bounded-memory contract as the
+    /// transport state).
+    envelope_history: VecDeque<(u64, u64)>,
 }
+
+/// Rounds of per-round envelope history the streaming engine retains
+/// (see [`StreamingEngine::round_envelope_history`]).
+pub const ENVELOPE_HISTORY_CAP: usize = 256;
 
 /// One registered standing query (see
 /// [`crate::continuous::ContinuousEngine`]).
@@ -308,6 +318,7 @@ impl StreamingEngine {
             wave_log: None,
             round_envelope_bits: 0,
             round_envelope_slots: 0,
+            envelope_history: VecDeque::new(),
         }
     }
 
@@ -353,6 +364,15 @@ impl StreamingEngine {
     /// waveless round.
     pub fn last_round_envelope_slots(&self) -> u64 {
         self.round_envelope_slots
+    }
+
+    /// Per-round `(envelope_bits, envelope_slots)` history, oldest
+    /// first, bounded at [`ENVELOPE_HISTORY_CAP`] rounds (older rounds
+    /// are evicted) — the flight-recorder view behind
+    /// [`StreamingEngine::last_round_envelope_bits`], for load
+    /// dashboards that want the recent shape rather than one sample.
+    pub fn round_envelope_history(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.envelope_history.iter().copied()
     }
 
     /// Queries admitted and executing.
@@ -702,6 +722,7 @@ impl StreamingEngine {
 
         // 4. Retirement. Standing refreshes retire into the refresh
         // stream; everything else returns to the caller.
+        let traced = self.net.telemetry_enabled();
         let mut retired = Vec::new();
         let mut i = 0;
         while i < self.active.len() {
@@ -710,6 +731,14 @@ impl StreamingEngine {
                 if let Some((standing, seq)) = s.standing {
                     self.standing[standing].in_flight = false;
                     let report = s.slot.into_report();
+                    if traced {
+                        self.net.emit_event(&saq_obs::Event::SlotRetired {
+                            query: report.id as u64,
+                            bits: report.bits.total(),
+                        });
+                        self.net
+                            .record_latency_rounds(round - s.submitted_round + 1);
+                    }
                     self.refreshes.push(RefreshReport {
                         standing,
                         seq,
@@ -720,16 +749,30 @@ impl StreamingEngine {
                         finished_round: round,
                     });
                 } else {
+                    let report = s.slot.into_report();
+                    if traced {
+                        self.net.emit_event(&saq_obs::Event::SlotRetired {
+                            query: report.id as u64,
+                            bits: report.bits.total(),
+                        });
+                        self.net
+                            .record_latency_rounds(round - s.submitted_round + 1);
+                    }
                     retired.push(StreamingReport {
                         submitted_round: s.submitted_round,
                         admitted_round: s.admitted_round,
                         retired_round: round,
-                        report: s.slot.into_report(),
+                        report,
                     });
                 }
             } else {
                 i += 1;
             }
+        }
+        self.envelope_history
+            .push_back((self.round_envelope_bits, self.round_envelope_slots));
+        if self.envelope_history.len() > ENVELOPE_HISTORY_CAP {
+            self.envelope_history.pop_front();
         }
         Ok(retired)
     }
@@ -753,6 +796,13 @@ impl StreamingEngine {
             let seq = e.seq;
             e.seq += 1;
             e.in_flight = true;
+            if self.net.telemetry_enabled() {
+                self.net.emit_event(&saq_obs::Event::RefreshScheduled {
+                    standing: id as u64,
+                    seq,
+                    round,
+                });
+            }
             let mut s = StreamSlot {
                 // Ids in the standing range keep refresh waves
                 // distinguishable in wave logs without consuming the

@@ -1,0 +1,50 @@
+//! `saq-trace` — summarize a recorded JSONL telemetry trace into a
+//! per-query bit-provenance report.
+//!
+//! Usage: `saq-trace <trace.jsonl>` (or `-` to read stdin).
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use saq_obs::trace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] => p.clone(),
+        _ => {
+            eprintln!("usage: saq-trace <trace.jsonl | ->");
+            return ExitCode::from(2);
+        }
+    };
+
+    let input = if path == "-" {
+        let mut buf = String::new();
+        match std::io::stdin().read_to_string(&mut buf) {
+            Ok(_) => buf,
+            Err(e) => {
+                eprintln!("saq-trace: stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("saq-trace: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let events = match trace::parse_jsonl(&input) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("saq-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", trace::render(&trace::summarize(&events)));
+    ExitCode::SUCCESS
+}

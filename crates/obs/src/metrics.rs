@@ -1,0 +1,417 @@
+//! The metrics registry: deterministic counters and log₂-bucketed
+//! histograms fed from the event stream, plus a separated wall-clock
+//! lane that never enters equivalence checks.
+
+use crate::event::{Event, FrameKind};
+
+/// A log₂-bucketed histogram of `u64` observations.
+///
+/// Bucket `b` holds values whose bit length is `b` (i.e. `v == 0` in
+/// bucket 0, `2^(b-1) <= v < 2^b` in bucket `b`). Exact totals are
+/// kept alongside, so coarse bucketing never loses the sums the
+/// reconciliation suite checks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let b = (64 - value.leading_zeros()) as usize;
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.total += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(bit_length, count)` pairs, ascending.
+    pub fn buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b as u32, c))
+            .collect()
+    }
+
+    /// A value snapshot (for [`MetricsSnapshot`]).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets(),
+            count: self.count,
+            total: self.total,
+            max: self.max,
+        }
+    }
+}
+
+/// A frozen [`Histogram`] inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Non-empty `(bit_length, count)` buckets, ascending.
+    pub buckets: Vec<(u32, u64)>,
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact sum of all observations.
+    pub total: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+/// One wall-clock phase accumulator of the non-deterministic lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallPhase {
+    /// Phase label (e.g. `"wave"`, `"drain"`, `"spine"`, `"blocks"`,
+    /// `"barrier"`, `"encode"`).
+    pub phase: &'static str,
+    /// Timer samples recorded.
+    pub samples: u64,
+    /// Total elapsed nanoseconds across the samples.
+    pub nanos: u128,
+}
+
+/// Deterministic counters and histograms derived from the event
+/// stream, snapshotable mid-run, plus a **wall-clock lane** of phase
+/// timers that is deliberately excluded from [`MetricsRegistry::snapshot`]
+/// (and hence from every equivalence check).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    det: MetricsSnapshot,
+    /// Frame bits accumulated since the last `WaveStarted`, flushed
+    /// into the bits-per-wave histogram at `WaveCompleted`.
+    wave_frame_bits: u64,
+    wall: Vec<WallPhase>,
+}
+
+/// The deterministic lane: every counter and histogram the registry
+/// maintains, frozen. Two runs of the same workload on different
+/// execution substrates produce **equal** snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Waves completed.
+    pub waves: u64,
+    /// Logical messages transmitted across all completed waves.
+    pub messages: u64,
+    /// Envelope header bits across all completed waves.
+    pub header_bits: u64,
+    /// Unattributable envelope framing bits across all completed waves.
+    pub envelope_bits: u64,
+    /// Per-slot request payload bits across all completed waves.
+    pub slot_request_bits: u64,
+    /// Per-slot partial payload bits across all completed waves.
+    pub slot_partial_bits: u64,
+    /// Data frames transmitted (first attempts; excludes retransmits).
+    pub data_frames: u64,
+    /// Bits of those first-attempt data frames.
+    pub data_frame_bits: u64,
+    /// ARQ retransmissions of data frames.
+    pub retransmits: u64,
+    /// Bits of those retransmissions.
+    pub retransmit_bits: u64,
+    /// ARQ acknowledgement frames transmitted.
+    pub ack_frames: u64,
+    /// Bits of those acknowledgement frames.
+    pub ack_frame_bits: u64,
+    /// Frames lost outright (nothing delivered).
+    pub frames_lost: u64,
+    /// Frames delivered corrupted (receiver charged for garbage).
+    pub frames_corrupted: u64,
+    /// Subtree-cache hits.
+    pub cache_hits: u64,
+    /// Subtree-cache misses (cacheable sub-requests that travelled).
+    pub cache_misses: u64,
+    /// Cache entries that absorbed sensor updates in place.
+    pub delta_applied: u64,
+    /// Cache entries invalidated by sensor updates.
+    pub delta_invalidated: u64,
+    /// Envelope slots admitted into waves.
+    pub slots_admitted: u64,
+    /// Queries retired.
+    pub slots_retired: u64,
+    /// Total bits billed to retired queries.
+    pub retired_bits: u64,
+    /// Standing-query refreshes scheduled.
+    pub refreshes_scheduled: u64,
+    /// Fan-out copies delivered at the service edge.
+    pub refresh_fanout_copies: u64,
+    /// Frame bits per wave (first attempts + retransmits + acks).
+    pub bits_per_wave: HistogramSnapshot,
+    /// Envelope slot count per wave.
+    pub envelope_slots: HistogramSnapshot,
+    /// Attempt ordinals of retransmissions (2 = first re-send).
+    pub retransmit_attempts: HistogramSnapshot,
+    /// Query latencies in service rounds (streaming retirements).
+    pub latency_rounds: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Total frame bits transmitted: first-attempt data frames plus
+    /// retransmissions plus acknowledgements. With tracing on, this
+    /// reconciles exactly with `Σ NodeStats::tx_bits`.
+    pub fn frame_bits_total(&self) -> u64 {
+        self.data_frame_bits + self.retransmit_bits + self.ack_frame_bits
+    }
+
+    /// Total billed wave bits: headers + envelope framing + per-slot
+    /// payloads — the driver-side decomposition of the same traffic.
+    pub fn billed_bits_total(&self) -> u64 {
+        self.header_bits + self.envelope_bits + self.slot_request_bits + self.slot_partial_bits
+    }
+
+    /// Cache hit ratio over hits + misses (0.0 when no lookups).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Internal mirror of [`MetricsSnapshot`] holding live histograms.
+///
+/// (The registry keeps counters directly in a snapshot-shaped struct
+/// so `snapshot()` is a clone plus histogram freezing — no field can
+/// be forgotten in one place but not the other.)
+impl MetricsRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Folds one event into the deterministic lane.
+    pub fn update(&mut self, event: &Event) {
+        let d = &mut self.det;
+        match *event {
+            Event::WaveStarted { slots, .. } => {
+                self.wave_frame_bits = 0;
+                observe(&mut d.envelope_slots, slots);
+            }
+            Event::WaveCompleted {
+                messages,
+                header_bits,
+                envelope_bits,
+                request_bits,
+                partial_bits,
+                ..
+            } => {
+                d.waves += 1;
+                d.messages += messages;
+                d.header_bits += header_bits;
+                d.envelope_bits += envelope_bits;
+                d.slot_request_bits += request_bits;
+                d.slot_partial_bits += partial_bits;
+                observe(&mut d.bits_per_wave, self.wave_frame_bits);
+            }
+            Event::SlotAdmitted { .. } => d.slots_admitted += 1,
+            Event::SlotRetired { bits, .. } => {
+                d.slots_retired += 1;
+                d.retired_bits += bits;
+            }
+            Event::CacheHit { .. } => d.cache_hits += 1,
+            Event::CacheMiss { .. } => d.cache_misses += 1,
+            Event::DeltaApplied { count, .. } => d.delta_applied += count,
+            Event::DeltaInvalidated { count, .. } => d.delta_invalidated += count,
+            Event::FrameSent { bits, kind, .. } => {
+                if kind == FrameKind::Ack {
+                    d.ack_frames += 1;
+                    d.ack_frame_bits += bits;
+                } else {
+                    d.data_frames += 1;
+                    d.data_frame_bits += bits;
+                }
+                self.wave_frame_bits += bits;
+            }
+            Event::Retransmit { bits, attempt, .. } => {
+                d.retransmits += 1;
+                d.retransmit_bits += bits;
+                observe(&mut d.retransmit_attempts, attempt);
+                self.wave_frame_bits += bits;
+            }
+            Event::FrameDropped { corrupt, .. } => {
+                if corrupt {
+                    d.frames_corrupted += 1;
+                } else {
+                    d.frames_lost += 1;
+                }
+            }
+            Event::RefreshScheduled { .. } => d.refreshes_scheduled += 1,
+            Event::RefreshFanout { subscribers, .. } => {
+                d.refresh_fanout_copies += subscribers;
+            }
+        }
+    }
+
+    /// Records a query latency in service rounds (the streaming
+    /// engine's retirement path calls this directly — latency is a
+    /// scheduling observable, not a wire event).
+    pub fn record_latency_rounds(&mut self, rounds: u64) {
+        observe(&mut self.det.latency_rounds, rounds);
+    }
+
+    /// Records an elapsed wall-clock phase sample into the
+    /// **non-deterministic lane**. Never enters [`MetricsRegistry::snapshot`].
+    pub fn record_wall_nanos(&mut self, phase: &'static str, nanos: u128) {
+        match self.wall.iter_mut().find(|p| p.phase == phase) {
+            Some(p) => {
+                p.samples += 1;
+                p.nanos += nanos;
+            }
+            None => self.wall.push(WallPhase {
+                phase,
+                samples: 1,
+                nanos,
+            }),
+        }
+    }
+
+    /// The wall-clock lane, in first-recorded phase order.
+    pub fn wall_phases(&self) -> &[WallPhase] {
+        &self.wall
+    }
+
+    /// Freezes the **deterministic lane only** — the value compared by
+    /// the cross-runner equivalence suite. Wall-clock phases are
+    /// excluded by construction.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.det.clone()
+    }
+}
+
+/// `HistogramSnapshot` doubles as the live histogram inside the
+/// registry (buckets stay exact); this keeps the deterministic lane a
+/// single struct. Observation goes through this helper.
+fn observe(h: &mut HistogramSnapshot, value: u64) {
+    let b = 64 - value.leading_zeros();
+    match h.buckets.binary_search_by_key(&b, |&(bl, _)| bl) {
+        Ok(i) => h.buckets[i].1 += 1,
+        Err(i) => h.buckets.insert(i, (b, 1)),
+    }
+    h.count += 1;
+    h.total += value;
+    h.max = h.max.max(value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1023, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.total(), 2057);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(
+            h.buckets(),
+            vec![(0, 1), (1, 1), (2, 2), (3, 1), (10, 1), (11, 1)]
+        );
+        assert_eq!(h.snapshot().buckets, h.buckets());
+    }
+
+    #[test]
+    fn registry_counts_frames_and_waves() {
+        let mut m = MetricsRegistry::new();
+        m.update(&Event::WaveStarted { wave: 1, slots: 2 });
+        m.update(&Event::FrameSent {
+            from: 0,
+            to: 1,
+            bits: 50,
+            kind: FrameKind::Request,
+        });
+        m.update(&Event::Retransmit {
+            from: 0,
+            to: 1,
+            bits: 50,
+            kind: FrameKind::Request,
+            attempt: 2,
+        });
+        m.update(&Event::FrameSent {
+            from: 1,
+            to: 0,
+            bits: 34,
+            kind: FrameKind::Ack,
+        });
+        m.update(&Event::WaveCompleted {
+            wave: 1,
+            messages: 2,
+            header_bits: 36,
+            envelope_bits: 4,
+            request_bits: 30,
+            partial_bits: 14,
+        });
+        m.record_latency_rounds(1);
+        let s = m.snapshot();
+        assert_eq!(s.waves, 1);
+        assert_eq!(s.data_frames, 1);
+        assert_eq!(s.retransmits, 1);
+        assert_eq!(s.ack_frames, 1);
+        assert_eq!(s.frame_bits_total(), 134);
+        assert_eq!(s.billed_bits_total(), 84);
+        assert_eq!(s.bits_per_wave.total, 134);
+        assert_eq!(s.envelope_slots.max, 2);
+        assert_eq!(s.latency_rounds.count, 1);
+        assert_eq!(s.retransmit_attempts.max, 2);
+    }
+
+    #[test]
+    fn wall_lane_never_enters_the_snapshot() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        for m in [&mut a, &mut b] {
+            m.update(&Event::CacheHit { node: 1, slot: 0 });
+        }
+        a.record_wall_nanos("wave", 123_456);
+        a.record_wall_nanos("wave", 1);
+        b.record_wall_nanos("wave", 999);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.wall_phases()[0].samples, 2);
+        assert_eq!(a.wall_phases()[0].nanos, 123_457);
+    }
+
+    #[test]
+    fn cache_hit_ratio() {
+        let mut m = MetricsRegistry::new();
+        for _ in 0..3 {
+            m.update(&Event::CacheHit { node: 0, slot: 0 });
+        }
+        m.update(&Event::CacheMiss { node: 0, slot: 1 });
+        assert!((m.snapshot().cache_hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(MetricsSnapshot::default().cache_hit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,584 @@
+//! Trace summarization: turn a recorded JSONL event stream into
+//! per-query **bit-provenance reports** — where every bit went
+//! (header vs payload vs retransmission), at which tree depth, and
+//! what the subtree cache saved. This module backs the `saq-trace`
+//! binary and the `experiments_smoke` fixture check.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, FrameKind};
+
+/// A malformed line encountered while parsing a JSONL trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// The offending line's text.
+    pub text: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace line {}: unparseable event: {}",
+            self.line, self.text
+        )
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a canonical JSONL trace (one event per line; blank lines
+/// ignored) into events. Fails on the first malformed line.
+pub fn parse_jsonl(input: &str) -> Result<Vec<Event>, TraceError> {
+    let mut events = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match Event::from_json(line) {
+            Some(ev) => events.push(ev),
+            None => {
+                return Err(TraceError {
+                    line: i + 1,
+                    text: line.to_string(),
+                })
+            }
+        }
+    }
+    Ok(events)
+}
+
+/// Bits a single query accounted for across its lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryProvenance {
+    /// Query id (standing refreshes appear offset by the standing base).
+    pub query: u64,
+    /// Envelope slots the query occupied (one per wave it rode).
+    pub slots: u64,
+    /// Waves the query was admitted into.
+    pub waves: u64,
+    /// Total bits billed at retirement (0 if the trace ends before it).
+    pub bits: u64,
+    /// Whether a `SlotRetired` event was seen for it.
+    pub retired: bool,
+}
+
+/// Frame bits attributed to one tree depth (edge depth = the deeper
+/// endpoint's depth, derived from request-edge parentage).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepthBits {
+    /// Tree depth (the root's children sit at depth 1).
+    pub depth: u64,
+    /// First-attempt request frame bits.
+    pub request_bits: u64,
+    /// First-attempt partial frame bits.
+    pub partial_bits: u64,
+    /// Acknowledgement frame bits.
+    pub ack_bits: u64,
+    /// Retransmission bits (any frame kind).
+    pub retransmit_bits: u64,
+}
+
+/// Everything the summarizer extracts from one trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Events in the trace.
+    pub events: u64,
+    /// Completed waves.
+    pub waves: u64,
+    /// Logical messages across completed waves.
+    pub messages: u64,
+    /// Envelope header bits.
+    pub header_bits: u64,
+    /// Unattributable envelope framing bits.
+    pub envelope_bits: u64,
+    /// Per-slot request payload bits.
+    pub request_bits: u64,
+    /// Per-slot partial payload bits.
+    pub partial_bits: u64,
+    /// First-attempt data frame bits.
+    pub data_frame_bits: u64,
+    /// Acknowledgement frame bits.
+    pub ack_frame_bits: u64,
+    /// Retransmission bits.
+    pub retransmit_bits: u64,
+    /// Frames lost outright.
+    pub frames_lost: u64,
+    /// Frames delivered corrupted.
+    pub frames_corrupted: u64,
+    /// Subtree-cache hits.
+    pub cache_hits: u64,
+    /// Subtree-cache misses.
+    pub cache_misses: u64,
+    /// Estimated bits the cache saved (see [`summarize`] for how).
+    pub cache_saved_bits_estimate: u64,
+    /// Per-query provenance, ascending query id.
+    pub queries: Vec<QueryProvenance>,
+    /// Per-depth frame bits, ascending depth.
+    pub depths: Vec<DepthBits>,
+}
+
+impl TraceSummary {
+    /// Total frame bits on the wire (first attempts + retransmits + acks).
+    pub fn frame_bits_total(&self) -> u64 {
+        self.data_frame_bits + self.retransmit_bits + self.ack_frame_bits
+    }
+}
+
+/// Depth of `node` under `parent` edges, memoized in `cache`. Nodes
+/// with no parent entry sit at depth 0.
+fn depth_of(node: u64, parent: &BTreeMap<u64, u64>, cache: &mut BTreeMap<u64, u64>) -> u64 {
+    if let Some(&d) = cache.get(&node) {
+        return d;
+    }
+    let mut chain = Vec::new();
+    let mut cur = node;
+    let base = loop {
+        if let Some(&d) = cache.get(&cur) {
+            break d;
+        }
+        match parent.get(&cur) {
+            Some(&p) if chain.len() <= parent.len() => {
+                chain.push(cur);
+                cur = p;
+            }
+            _ => {
+                cache.insert(cur, 0);
+                break 0;
+            }
+        }
+    };
+    let mut d = base;
+    for n in chain.into_iter().rev() {
+        d += 1;
+        cache.insert(n, d);
+    }
+    cache.get(&node).copied().unwrap_or(d)
+}
+
+/// One frame observation buffered until parentage is fully known.
+struct FrameObs {
+    from: u64,
+    to: u64,
+    bits: u64,
+    kind: FrameKind,
+    retransmit: bool,
+}
+
+/// Summarizes an event stream into a [`TraceSummary`].
+///
+/// Tree depths are reconstructed from request-frame edges (a request
+/// from `u` to `v` makes `u` the parent of `v`; nodes with no parent
+/// sit at depth 0). The cache-saved figure is an **estimate**: for
+/// each wave that scored cache hits, the baseline is the earliest
+/// completed wave with the same slot count and zero hits, and the
+/// saving is the frame-bit gap to that baseline — exact when waves of
+/// equal width carry comparably-sized payloads, which holds for the
+/// repeated-query workloads the cache targets.
+pub fn summarize(events: &[Event]) -> TraceSummary {
+    let mut s = TraceSummary {
+        events: events.len() as u64,
+        ..TraceSummary::default()
+    };
+
+    let mut parent: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut frames: Vec<FrameObs> = Vec::new();
+    let mut queries: BTreeMap<u64, QueryProvenance> = BTreeMap::new();
+
+    // Per-wave state for the cache-saved estimate.
+    let mut wave_slots: u64 = 0;
+    let mut wave_bits: u64 = 0;
+    let mut wave_hits: u64 = 0;
+    let mut baseline: BTreeMap<u64, u64> = BTreeMap::new(); // slots -> zero-hit frame bits
+    let mut hit_waves: Vec<(u64, u64)> = Vec::new(); // (slots, frame bits)
+
+    // Admissions seen since the last wave boundary are assigned to the
+    // next `WaveStarted`.
+    let mut pending_admits: Vec<u64> = Vec::new();
+
+    for ev in events {
+        match *ev {
+            Event::WaveStarted { slots, .. } => {
+                wave_slots = slots;
+                wave_bits = 0;
+                wave_hits = 0;
+                for q in pending_admits.drain(..) {
+                    let entry = queries.entry(q).or_insert_with(|| QueryProvenance {
+                        query: q,
+                        ..QueryProvenance::default()
+                    });
+                    entry.slots += 1;
+                    entry.waves += 1;
+                }
+            }
+            Event::WaveCompleted {
+                messages,
+                header_bits,
+                envelope_bits,
+                request_bits,
+                partial_bits,
+                ..
+            } => {
+                s.waves += 1;
+                s.messages += messages;
+                s.header_bits += header_bits;
+                s.envelope_bits += envelope_bits;
+                s.request_bits += request_bits;
+                s.partial_bits += partial_bits;
+                if wave_hits == 0 {
+                    baseline.entry(wave_slots).or_insert(wave_bits);
+                } else {
+                    hit_waves.push((wave_slots, wave_bits));
+                }
+            }
+            Event::SlotAdmitted { query, .. } => pending_admits.push(query),
+            Event::SlotRetired { query, bits } => {
+                let entry = queries.entry(query).or_insert_with(|| QueryProvenance {
+                    query,
+                    ..QueryProvenance::default()
+                });
+                entry.bits += bits;
+                entry.retired = true;
+            }
+            Event::CacheHit { .. } => {
+                s.cache_hits += 1;
+                wave_hits += 1;
+            }
+            Event::CacheMiss { .. } => s.cache_misses += 1,
+            Event::DeltaApplied { .. } | Event::DeltaInvalidated { .. } => {}
+            Event::FrameSent {
+                from,
+                to,
+                bits,
+                kind,
+            } => {
+                if kind == FrameKind::Ack {
+                    s.ack_frame_bits += bits;
+                } else {
+                    s.data_frame_bits += bits;
+                    if kind == FrameKind::Request {
+                        parent.insert(to, from);
+                    }
+                }
+                wave_bits += bits;
+                frames.push(FrameObs {
+                    from,
+                    to,
+                    bits,
+                    kind,
+                    retransmit: false,
+                });
+            }
+            Event::Retransmit {
+                from,
+                to,
+                bits,
+                kind,
+                ..
+            } => {
+                s.retransmit_bits += bits;
+                wave_bits += bits;
+                frames.push(FrameObs {
+                    from,
+                    to,
+                    bits,
+                    kind,
+                    retransmit: true,
+                });
+            }
+            Event::FrameDropped { corrupt, .. } => {
+                if corrupt {
+                    s.frames_corrupted += 1;
+                } else {
+                    s.frames_lost += 1;
+                }
+            }
+            Event::RefreshScheduled { .. } | Event::RefreshFanout { .. } => {}
+        }
+    }
+
+    // Cache-saved estimate from the zero-hit baselines.
+    for (slots, bits) in hit_waves {
+        if let Some(&base) = baseline.get(&slots) {
+            s.cache_saved_bits_estimate += base.saturating_sub(bits);
+        }
+    }
+
+    // Depth attribution: resolve each node's depth from the parent map
+    // (cycle-safe: a chain longer than the map is treated as rooted),
+    // then fold frames.
+    let mut depth_cache: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut depths: BTreeMap<u64, DepthBits> = BTreeMap::new();
+    for f in &frames {
+        let d = depth_of(f.from, &parent, &mut depth_cache).max(depth_of(
+            f.to,
+            &parent,
+            &mut depth_cache,
+        ));
+        let row = depths.entry(d).or_insert_with(|| DepthBits {
+            depth: d,
+            ..DepthBits::default()
+        });
+        if f.retransmit {
+            row.retransmit_bits += f.bits;
+        } else {
+            match f.kind {
+                FrameKind::Request => row.request_bits += f.bits,
+                FrameKind::Partial => row.partial_bits += f.bits,
+                FrameKind::Ack => row.ack_bits += f.bits,
+            }
+        }
+    }
+
+    s.queries = queries.into_values().collect();
+    s.depths = depths.into_values().collect();
+    s
+}
+
+/// Renders a summary as the human-readable provenance report printed
+/// by `saq-trace` and `examples/bit_provenance.rs`.
+pub fn render(s: &TraceSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} events, {} waves, {} messages",
+        s.events, s.waves, s.messages
+    );
+    let _ = writeln!(
+        out,
+        "billed bits: header={} envelope={} request={} partial={} (total {})",
+        s.header_bits,
+        s.envelope_bits,
+        s.request_bits,
+        s.partial_bits,
+        s.header_bits + s.envelope_bits + s.request_bits + s.partial_bits,
+    );
+    let _ = writeln!(
+        out,
+        "frame bits:  data={} ack={} retransmit={} (total {})",
+        s.data_frame_bits,
+        s.ack_frame_bits,
+        s.retransmit_bits,
+        s.frame_bits_total(),
+    );
+    let _ = writeln!(
+        out,
+        "losses: {} lost, {} corrupted | cache: {} hits, {} misses, ~{} bits saved",
+        s.frames_lost,
+        s.frames_corrupted,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_saved_bits_estimate,
+    );
+    if !s.depths.is_empty() {
+        let _ = writeln!(out, "\nper-depth bits (edge = deeper endpoint):");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} {:>12} {:>12} {:>12}",
+            "depth", "request", "partial", "ack", "retransmit"
+        );
+        for d in &s.depths {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>12} {:>12} {:>12} {:>12}",
+                d.depth, d.request_bits, d.partial_bits, d.ack_bits, d.retransmit_bits,
+            );
+        }
+    }
+    if !s.queries.is_empty() {
+        let _ = writeln!(out, "\nper-query provenance:");
+        let _ = writeln!(
+            out,
+            "{:>10} {:>7} {:>7} {:>12} {:>8}",
+            "query", "slots", "waves", "bits", "retired"
+        );
+        for q in &s.queries {
+            let _ = writeln!(
+                out,
+                "{:>10} {:>7} {:>7} {:>12} {:>8}",
+                q.query,
+                q.slots,
+                q.waves,
+                q.bits,
+                if q.retired { "yes" } else { "no" },
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::SlotAdmitted { query: 7, slot: 0 },
+            Event::SlotAdmitted { query: 9, slot: 1 },
+            Event::WaveStarted { wave: 0, slots: 2 },
+            Event::FrameSent {
+                from: 0,
+                to: 1,
+                bits: 40,
+                kind: FrameKind::Request,
+            },
+            Event::FrameSent {
+                from: 1,
+                to: 2,
+                bits: 40,
+                kind: FrameKind::Request,
+            },
+            Event::CacheMiss { node: 1, slot: 0 },
+            Event::FrameSent {
+                from: 2,
+                to: 1,
+                bits: 30,
+                kind: FrameKind::Partial,
+            },
+            Event::Retransmit {
+                from: 2,
+                to: 1,
+                bits: 30,
+                kind: FrameKind::Partial,
+                attempt: 2,
+            },
+            Event::FrameSent {
+                from: 1,
+                to: 2,
+                bits: 20,
+                kind: FrameKind::Ack,
+            },
+            Event::FrameSent {
+                from: 1,
+                to: 0,
+                bits: 30,
+                kind: FrameKind::Partial,
+            },
+            Event::WaveCompleted {
+                wave: 0,
+                messages: 3,
+                header_bits: 12,
+                envelope_bits: 4,
+                request_bits: 50,
+                partial_bits: 44,
+            },
+            Event::SlotAdmitted { query: 7, slot: 0 },
+            Event::WaveStarted { wave: 1, slots: 2 },
+            Event::CacheHit { node: 1, slot: 0 },
+            Event::FrameSent {
+                from: 0,
+                to: 1,
+                bits: 40,
+                kind: FrameKind::Request,
+            },
+            Event::FrameSent {
+                from: 1,
+                to: 0,
+                bits: 30,
+                kind: FrameKind::Partial,
+            },
+            Event::WaveCompleted {
+                wave: 1,
+                messages: 2,
+                header_bits: 12,
+                envelope_bits: 4,
+                request_bits: 25,
+                partial_bits: 22,
+            },
+            Event::SlotRetired {
+                query: 7,
+                bits: 120,
+            },
+            Event::SlotRetired { query: 9, bits: 80 },
+        ]
+    }
+
+    #[test]
+    fn summarize_attributes_bits_by_depth_and_query() {
+        let s = summarize(&sample());
+        assert_eq!(s.waves, 2);
+        assert_eq!(s.messages, 5);
+        assert_eq!(s.header_bits, 24);
+        assert_eq!(s.data_frame_bits, 40 + 40 + 30 + 30 + 40 + 30);
+        assert_eq!(s.ack_frame_bits, 20);
+        assert_eq!(s.retransmit_bits, 30);
+        assert_eq!(s.frame_bits_total(), 260);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+
+        // parent: 1 <- 0, 2 <- 1; depth(1) = 1, depth(2) = 2.
+        assert_eq!(s.depths.len(), 2);
+        let d1 = &s.depths[0];
+        assert_eq!(
+            (d1.depth, d1.request_bits, d1.partial_bits, d1.ack_bits),
+            (1, 80, 60, 0)
+        );
+        let d2 = &s.depths[1];
+        assert_eq!(
+            (
+                d2.depth,
+                d2.request_bits,
+                d2.partial_bits,
+                d2.ack_bits,
+                d2.retransmit_bits
+            ),
+            (2, 40, 30, 20, 30)
+        );
+
+        assert_eq!(s.queries.len(), 2);
+        assert_eq!(
+            s.queries[0],
+            QueryProvenance {
+                query: 7,
+                slots: 2,
+                waves: 2,
+                bits: 120,
+                retired: true
+            }
+        );
+        assert_eq!(
+            s.queries[1],
+            QueryProvenance {
+                query: 9,
+                slots: 1,
+                waves: 1,
+                bits: 80,
+                retired: true
+            }
+        );
+
+        // wave 0 (2 slots, no hits) is the baseline at 190 bits; wave 1
+        // scored a hit at 70 bits -> estimated saving 120.
+        assert_eq!(s.cache_saved_bits_estimate, 120);
+    }
+
+    #[test]
+    fn parse_jsonl_roundtrip_and_errors() {
+        let events = sample();
+        let mut text = String::new();
+        for ev in &events {
+            ev.write_json(&mut text);
+            text.push('\n');
+        }
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+
+        let err = parse_jsonl("{\"type\":\"WaveStarted\",\"wave\":1,\"slots\":1}\nnot json\n")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("not json"));
+    }
+
+    #[test]
+    fn render_mentions_the_load_bearing_numbers() {
+        let s = summarize(&sample());
+        let text = render(&s);
+        assert!(text.contains("2 waves"));
+        assert!(text.contains("per-query provenance"));
+        assert!(text.contains("per-depth bits"));
+        assert!(text.contains("bits saved"));
+    }
+}

@@ -82,6 +82,7 @@
 
 use crate::cache::{CacheKey, CacheStats, PartialCache};
 use crate::error::ProtocolError;
+use crate::obs::NodeTraceEntry;
 use crate::tree::SpanningTree;
 use crate::wave::{
     Reliability, TransportFootprint, WaveProtocol, WireProfile, KIND_PARTIAL, KIND_REQUEST,
@@ -147,6 +148,8 @@ struct Env<'a> {
     /// simulator's event budget, guarding against livelock when every
     /// transmission is fated to drop.
     attempt_budget: u64,
+    /// Whether per-node telemetry tracing is on (see [`crate::obs`]).
+    trace_on: bool,
 }
 
 /// Two disjoint `&mut` borrows of one slice (`a < b`).
@@ -314,6 +317,9 @@ struct Cols<'a, P: WaveProtocol> {
     /// Per-edge fate streams, at the child position; `None` for the
     /// root and under [`Reliability::None`].
     arq: &'a mut [Option<Box<EdgeStreams>>],
+    /// Per-position telemetry buffers (all empty when tracing is off);
+    /// drained by the driver in ascending global id order.
+    trace: &'a mut [Vec<NodeTraceEntry>],
 }
 
 fn charge_tx(c: &mut NodeStats, model: &EnergyModel, bits: u64) {
@@ -338,6 +344,7 @@ fn admit<P: WaveProtocol>(
     cache: &mut Option<PartialCache<P::Partial>>,
     slot: &mut WaveSlot<P>,
     req: P::Request,
+    mut trace: Option<&mut Vec<NodeTraceEntry>>,
 ) -> bool {
     slot.hits.clear();
     slot.miss.clear();
@@ -353,8 +360,16 @@ fn admit<P: WaveProtocol>(
         for (i, key) in proto.slot_cache_keys(&req).into_iter().enumerate() {
             match key {
                 Some(key) => match cache.get(&key) {
-                    Some(p) => slot.hits.push((i, p)),
+                    Some(p) => {
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.push(NodeTraceEntry::CacheHit { slot: i as u32 });
+                        }
+                        slot.hits.push((i, p));
+                    }
                     None => {
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.push(NodeTraceEntry::CacheMiss { slot: i as u32 });
+                        }
                         slot.store.push((slot.miss.len(), key));
                         slot.miss.push(i);
                     }
@@ -513,9 +528,9 @@ fn step_down<P: WaveProtocol>(
     // Under ARQ the reception was already billed by the parent's
     // emulated exchange (per delivered copy); fire-and-forget bills
     // the single delivery here.
+    let frame_bits = frame.len_bits();
     if env.arq_timeout.is_none() {
-        let bits = frame.len_bits();
-        charge_rx(&mut cols.counters[rel], env.model, bits);
+        charge_rx(&mut cols.counters[rel], env.model, frame_bits);
     }
     let req = {
         let mut r = BitReader::new(&frame);
@@ -533,8 +548,22 @@ fn step_down<P: WaveProtocol>(
         cols.slots[rel].active = false;
         return Ok(());
     };
+    if env.trace_on {
+        cols.trace[rel].push(NodeTraceEntry::RequestRecv { bits: frame_bits });
+    }
     cols.slots[rel].active = true;
-    if admit(proto, &mut cols.caches[rel], &mut cols.slots[rel], req) {
+    let trace = if env.trace_on {
+        Some(&mut cols.trace[rel])
+    } else {
+        None
+    };
+    if admit(
+        proto,
+        &mut cols.caches[rel],
+        &mut cols.slots[rel],
+        req,
+        trace,
+    ) {
         return Ok(()); // fully cached: subtree silent, reply sent bottom-up
     }
     let fwd = cols.slots[rel]
@@ -651,6 +680,11 @@ fn step_up<P: WaveProtocol>(
             }
             proto.encode_partial(req, &full, &mut w);
             let frame = w.finish();
+            if env.trace_on {
+                cols.trace[rel].push(NodeTraceEntry::PartialSent {
+                    bits: frame.len_bits(),
+                });
+            }
             if env.arq_timeout.is_none() {
                 let bits = frame.len_bits();
                 charge_tx(&mut cols.counters[rel], env.model, bits);
@@ -758,6 +792,11 @@ pub struct FlatWaveRunner<P: WaveProtocol> {
     /// Emulated `seen`-set cardinality per position (see
     /// [`transport_footprint`](Self::transport_footprint)).
     dedup_residue: Vec<u64>,
+    /// Whether per-node telemetry tracing is on.
+    trace_on: bool,
+    /// Position-indexed telemetry buffers (all empty when tracing is
+    /// off); drained via [`take_trace`](Self::take_trace).
+    trace: Vec<Vec<NodeTraceEntry>>,
     /// Per-edge fate streams at the child position; populated under
     /// [`Reliability::Ack`], all `None` otherwise.
     arq: Vec<Option<Box<EdgeStreams>>>,
@@ -869,6 +908,8 @@ where
             counters: vec![NodeStats::default(); n],
             slots: (0..n).map(|_| WaveSlot::blank()).collect(),
             dedup_residue: vec![0; n],
+            trace_on: false,
+            trace: (0..n).map(|_| Vec::new()).collect(),
             arq,
             link: cfg.link.clone(),
             reliability,
@@ -1009,6 +1050,29 @@ where
         }
     }
 
+    /// Switches per-node telemetry tracing on or off, discarding any
+    /// buffered entries (see
+    /// [`WaveRunner::set_tracing`](crate::wave::WaveRunner::set_tracing)).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace_on = on;
+        for t in &mut self.trace {
+            t.clear();
+        }
+    }
+
+    /// Drains every position's buffered trace entries, tagged with the
+    /// position's **global** node id, in ascending global id order —
+    /// the same canonical drain as the boxed and sharded runners.
+    pub fn take_trace(&mut self) -> Vec<(usize, NodeTraceEntry)> {
+        let mut out = Vec::new();
+        for p in 0..self.trace.len() {
+            let gid = self.tree.global_of(p);
+            out.extend(self.trace[p].drain(..).map(|e| (gid, e)));
+        }
+        out.sort_by_key(|&(gid, _)| gid);
+        out
+    }
+
     /// Enables subtree partial caching at every node (see
     /// [`WaveRunner::enable_partial_cache`](crate::wave::WaveRunner::enable_partial_cache)).
     pub fn enable_partial_cache(&mut self, capacity: usize) {
@@ -1089,7 +1153,18 @@ where
         // request directly, so there is no inbound frame and no rx
         // charge — exactly the staged kick of the boxed runners.
         self.slots[0].active = true;
-        if admit(&self.proto, &mut self.caches[0], &mut self.slots[0], req) {
+        let root_trace = if self.trace_on {
+            Some(&mut self.trace[0])
+        } else {
+            None
+        };
+        if admit(
+            &self.proto,
+            &mut self.caches[0],
+            &mut self.slots[0],
+            req,
+            root_trace,
+        ) {
             // Every slot served from the root's cache: the network
             // stays silent. The boxed root's admission still purged
             // its dedup set.
@@ -1122,6 +1197,7 @@ where
                 ack_bits: self.profile.ack_bits(wave),
                 arq_timeout,
                 attempt_budget: self.attempt_budget,
+                trace_on: self.trace_on,
             };
             let mut cols = Cols {
                 base: 0,
@@ -1132,6 +1208,7 @@ where
                 slots: &mut self.slots,
                 residue: &mut self.dedup_residue,
                 arq: &mut self.arq,
+                trace: &mut self.trace,
             };
             let fwd = cols.slots[0]
                 .fwd
@@ -1191,6 +1268,7 @@ where
                 ack_bits: self.profile.ack_bits(wave),
                 arq_timeout,
                 attempt_budget: self.attempt_budget,
+                trace_on: self.trace_on,
             };
             let env = &env;
             let blocks = self.plan.blocks();
@@ -1203,17 +1281,21 @@ where
                 let slots = split_ranges(&mut self.slots[..], blocks);
                 let residue = split_ranges(&mut self.dedup_residue[..], blocks);
                 let arq = split_ranges(&mut self.arq[..], blocks);
-                for ((((((((items, rngs), caches), counters), slots), residue), arq), b), _) in
-                    items
-                        .into_iter()
-                        .zip(rngs)
-                        .zip(caches)
-                        .zip(counters)
-                        .zip(slots)
-                        .zip(residue)
-                        .zip(arq)
-                        .zip(blocks)
-                        .zip(0..)
+                let trace = split_ranges(&mut self.trace[..], blocks);
+                for (
+                    ((((((((items, rngs), caches), counters), slots), residue), arq), trace), b),
+                    _,
+                ) in items
+                    .into_iter()
+                    .zip(rngs)
+                    .zip(caches)
+                    .zip(counters)
+                    .zip(slots)
+                    .zip(residue)
+                    .zip(arq)
+                    .zip(trace)
+                    .zip(blocks)
+                    .zip(0..)
                 {
                     block_cols.push(Some(Cols {
                         base: b.start as usize,
@@ -1224,6 +1306,7 @@ where
                         slots,
                         residue,
                         arq,
+                        trace,
                     }));
                 }
             }
@@ -1296,6 +1379,7 @@ where
                 ack_bits: self.profile.ack_bits(wave),
                 arq_timeout,
                 attempt_budget: self.attempt_budget,
+                trace_on: self.trace_on,
             };
             let mut cols = Cols {
                 base: 0,
@@ -1306,6 +1390,7 @@ where
                 slots: &mut self.slots,
                 residue: &mut self.dedup_residue,
                 arq: &mut self.arq,
+                trace: &mut self.trace,
             };
             let mut r = Ok(());
             for &p in self.plan.spine().iter().rev() {

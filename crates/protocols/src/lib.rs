@@ -41,6 +41,7 @@ pub mod cache;
 pub mod error;
 pub mod flat;
 pub mod gossip;
+pub mod obs;
 pub mod rings;
 pub mod shard;
 pub mod tree;
@@ -49,6 +50,7 @@ pub mod wave;
 pub use cache::{CacheKey, CacheStats, PartialCache};
 pub use error::ProtocolError;
 pub use flat::FlatWaveRunner;
+pub use obs::{FateReplay, NodeTraceEntry, ReplayEvent};
 pub use shard::ShardedWaveRunner;
 pub use tree::SpanningTree;
 pub use wave::{

@@ -80,6 +80,7 @@
 
 use crate::cache::{CacheStats, PartialCache};
 use crate::error::ProtocolError;
+use crate::obs::NodeTraceEntry;
 use crate::tree::SpanningTree;
 use crate::wave::{
     retx_tag, AggNode, Reliability, WaveAdmit, WaveProtocol, WireProfile, KIND_ACK, KIND_PARTIAL,
@@ -544,6 +545,32 @@ where
     /// The envelope framing profile in force.
     pub fn wire_profile(&self) -> WireProfile {
         self.profile
+    }
+
+    /// Switches per-node telemetry tracing on or off (root and every
+    /// shard-resident tree node), discarding buffered entries. See
+    /// [`WaveRunner::set_tracing`](crate::wave::WaveRunner::set_tracing).
+    pub fn set_tracing(&mut self, on: bool) {
+        for v in 0..self.locate.len() {
+            let n = self.node_mut(v);
+            n.trace_on = on;
+            n.trace.clear();
+        }
+    }
+
+    /// Drains every node's buffered trace entries in ascending
+    /// **global** node id order — the same canonical drain as the
+    /// boxed and flat runners, which is what makes the merged event
+    /// stream partition-independent.
+    pub fn take_trace(&mut self) -> Vec<(usize, NodeTraceEntry)> {
+        let mut out = Vec::new();
+        for v in 0..self.locate.len() {
+            let n = self.node_mut(v);
+            let gid = n.global_id;
+            out.extend(n.trace.drain(..).map(|e| (gid, e)));
+        }
+        out.sort_by_key(|&(gid, _)| gid);
+        out
     }
 
     /// Bits of the per-message envelope header (kind + wave ordinal)

@@ -23,6 +23,7 @@
 
 use crate::cache::{CacheKey, CacheStats, PartialCache};
 use crate::error::ProtocolError;
+use crate::obs::NodeTraceEntry;
 use crate::tree::SpanningTree;
 use saq_netsim::link::FrameClass;
 use saq_netsim::rng::Xoshiro256StarStar;
@@ -481,6 +482,12 @@ pub struct AggNode<P: WaveProtocol> {
     /// delivery — which is what lets the sharded and flat runners
     /// reproduce [`TransportFootprint`] bit-for-bit.
     seen: HashSet<(NodeId, u16, u16)>,
+
+    /// Telemetry switch: when set, the node buffers canonically-ordered
+    /// [`NodeTraceEntry`]s for the driver to drain after the wave.
+    pub(crate) trace_on: bool,
+    /// Buffered trace entries (peer-free — see [`crate::obs`]).
+    pub(crate) trace: Vec<NodeTraceEntry>,
 }
 
 impl<P: WaveProtocol> AggNode<P> {
@@ -515,6 +522,17 @@ impl<P: WaveProtocol> AggNode<P> {
             next_seq: 0,
             pending: Vec::new(),
             seen: HashSet::new(),
+            trace_on: false,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Buffers a telemetry entry when tracing is on (no-op otherwise —
+    /// one branch on a resident bool, the zero-overhead contract).
+    #[inline]
+    pub(crate) fn trace_push(&mut self, entry: NodeTraceEntry) {
+        if self.trace_on {
+            self.trace.push(entry);
         }
     }
 
@@ -587,6 +605,8 @@ impl<P: WaveProtocol> AggNode<P> {
         (seq, w.finish())
     }
 
+    /// Returns the framed message's size in bits (telemetry needs the
+    /// full on-wire frame size; most call sites ignore it).
     fn send_msg(
         &mut self,
         ctx: &mut Context<'_>,
@@ -594,8 +614,9 @@ impl<P: WaveProtocol> AggNode<P> {
         kind: u64,
         wave: u16,
         body: impl FnOnce(&mut BitWriter),
-    ) {
+    ) -> u64 {
         let (seq, payload) = self.encode_msg(ctx.writer(), kind, wave, body);
+        let bits = payload.len_bits();
         if let (Some(seq), Reliability::Ack { timeout }) = (seq, self.reliability) {
             self.pending.push(PendingMsg {
                 seq,
@@ -606,6 +627,7 @@ impl<P: WaveProtocol> AggNode<P> {
             ctx.set_timer(timeout, retx_tag(wave, seq));
         }
         ctx.send(to, payload);
+        bits
     }
 
     /// ACK frames carry the acknowledged message's wave id as well as
@@ -716,11 +738,20 @@ impl<P: WaveProtocol> AggNode<P> {
             }
         }
         if let (Some(cache), false) = (&mut self.cache, invalidates) {
+            let mut cache_trace: Vec<NodeTraceEntry> = Vec::new();
             for (i, key) in self.proto.slot_cache_keys(&req).into_iter().enumerate() {
                 match key {
                     Some(key) => match cache.get(&key) {
-                        Some(p) => self.wave_hits.push((i, p)),
+                        Some(p) => {
+                            if self.trace_on {
+                                cache_trace.push(NodeTraceEntry::CacheHit { slot: i as u32 });
+                            }
+                            self.wave_hits.push((i, p));
+                        }
                         None => {
+                            if self.trace_on {
+                                cache_trace.push(NodeTraceEntry::CacheMiss { slot: i as u32 });
+                            }
                             self.wave_store.push((self.wave_miss.len(), key));
                             self.wave_miss.push(i);
                         }
@@ -728,6 +759,7 @@ impl<P: WaveProtocol> AggNode<P> {
                     None => self.wave_miss.push(i),
                 }
             }
+            self.trace.append(&mut cache_trace);
         }
 
         if !self.wave_hits.is_empty() && self.wave_miss.is_empty() {
@@ -796,9 +828,10 @@ impl<P: WaveProtocol> AggNode<P> {
                 let proto = self.proto.clone();
                 let req = self.req.clone().expect("active wave has a request");
                 let wave = self.wave;
-                self.send_msg(ctx, parent, KIND_PARTIAL, wave, move |w| {
+                let bits = self.send_msg(ctx, parent, KIND_PARTIAL, wave, move |w| {
                     proto.encode_partial(&req, &full, w);
                 });
+                self.trace_push(NodeTraceEntry::PartialSent { bits });
             }
         }
     }
@@ -910,6 +943,9 @@ impl<P: WaveProtocol> NodeRuntime for AggNode<P> {
                 let Ok(req) = self.proto.decode_request(&mut r) else {
                     return;
                 };
+                self.trace_push(NodeTraceEntry::RequestRecv {
+                    bits: payload.len_bits(),
+                });
                 // A new wave resets per-wave reliable state: partials from
                 // older waves must not be confused with this one's.
                 self.begin_wave(ctx, wave, req);
@@ -1012,6 +1048,32 @@ impl<P: WaveProtocol> WaveRunner<P> {
     /// The active frame-header discipline.
     pub fn wire_profile(&self) -> WireProfile {
         self.profile
+    }
+
+    /// Switches per-node telemetry tracing on or off, discarding any
+    /// buffered entries. With tracing off (the default) the per-node
+    /// cost is one resident bool test per would-be entry.
+    pub fn set_tracing(&mut self, on: bool) {
+        for v in 0..self.sim.len() {
+            let n = self.sim.node_mut(v);
+            n.trace_on = on;
+            n.trace.clear();
+        }
+    }
+
+    /// Drains every node's buffered trace entries, tagged with the
+    /// node's **global** id, in ascending global id order — the
+    /// canonical drain order shared by all runners (see
+    /// [`crate::obs`]).
+    pub fn take_trace(&mut self) -> Vec<(usize, NodeTraceEntry)> {
+        let mut out = Vec::new();
+        for v in 0..self.sim.len() {
+            let n = self.sim.node_mut(v);
+            let gid = n.global_id;
+            out.extend(n.trace.drain(..).map(|e| (gid, e)));
+        }
+        out.sort_by_key(|&(gid, _)| gid);
+        out
     }
 
     /// Node-layer framing bits (kind + wave ordinal) each non-ACK

@@ -14,7 +14,6 @@
 //! 2. the duplication hazard: a duplicate-sensitive COUNT inflates on the
 //!    multipath rings overlay, the ODI sketch count does not.
 
-use saq::core::net::AggregationNetwork;
 use saq::core::simnet::SimNetworkBuilder;
 use saq::core::CountDistinct;
 use saq::netsim::link::LinkConfig;
@@ -124,10 +123,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Part 1: firmware inventory over the reliable tree.
     let mut net = SimNetworkBuilder::new().build_one_per_node(&topo, &firmware, 15)?;
     let exact = CountDistinct::new().exact(&mut net)?;
-    let exact_bits = net.net_stats().expect("stats").max_node_bits();
+    // The one-call health bundle: bit extremes, transport occupancy and
+    // cache counters together (see `SimNetwork::observability_snapshot`).
+    let exact_bits = net.observability_snapshot().max_node_bits;
     net.reset_stats();
     let approx = CountDistinct::new().approximate(&mut net, 8)?;
-    let approx_bits = net.net_stats().expect("stats").max_node_bits();
+    let health = net.observability_snapshot();
+    let approx_bits = health.max_node_bits;
     println!("firmware versions deployed (truth {}):", truth.len());
     println!(
         "  exact COUNT_DISTINCT : {} ({exact_bits} bits/node)",
@@ -136,6 +138,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  sketch estimate      : {:.1} ({approx_bits} bits/node, sigma {:.2})",
         approx.estimate, approx.sigma
+    );
+    println!("\ndeployment health after the sketch query:");
+    println!("  nodes                : {}", health.nodes);
+    println!("  waves run            : {}", health.waves_run);
+    println!(
+        "  busiest node         : {} bits (network total {})",
+        health.max_node_bits, health.total_bits
+    );
+    println!(
+        "  packets transmitted  : {} (peak envelope {} slots / {} framing bits)",
+        health.total_tx_packets, health.peak_wave_slots, health.peak_wave_envelope_bits
+    );
+    println!(
+        "  transport residue    : {} entries between waves (bounded)",
+        health.transport.total()
     );
 
     // --- Part 2: alive count over duplicating multipath.

@@ -25,6 +25,8 @@
 //!   quantile summaries, bottom-k sampling;
 //! * [`core`] — the paper's algorithms (`MEDIAN`, `APX_MEDIAN`,
 //!   `APX_MEDIAN2`, `COUNT_DISTINCT`, primitives);
+//! * [`obs`] — the telemetry spine: deterministic event tracing,
+//!   metrics registry, bit-provenance reports (`saq-trace`);
 //! * [`baselines`] — comparison protocols (naive collection, GK-tree,
 //!   sampling, gossip median);
 //! * [`lowerbound`] — the Theorem 5.1 Set-Disjointness reduction.
@@ -59,5 +61,6 @@ pub use saq_baselines as baselines;
 pub use saq_core as core;
 pub use saq_lowerbound as lowerbound;
 pub use saq_netsim as netsim;
+pub use saq_obs as obs;
 pub use saq_protocols as protocols;
 pub use saq_sketches as sketches;

@@ -493,6 +493,124 @@ fn e20_fleet_dedup_amortizes_bits_per_query() {
 }
 
 #[test]
+fn e21_telemetry_is_free_on_the_wire() {
+    let s = e21_telemetry::run(Scale::Quick);
+    assert!(
+        s.per_node_bits_identical,
+        "attaching a recorder changed per-node network bits"
+    );
+    assert!(
+        s.answers_identical,
+        "attaching a recorder changed an answer or a bill"
+    );
+    assert!(
+        s.frame_lane_reconciles,
+        "the metrics frame lane diverged from the simulator's tx bits"
+    );
+    for p in &s.points {
+        assert_eq!(p.bits_off, p.bits_on, "bits diverged at N={}", p.n);
+        assert!(p.events > 0, "the recorder captured nothing at N={}", p.n);
+    }
+    // Wall-clock is observed with a generous bound (10x + 250 ms slack);
+    // the full-scale N = 10^4 row is asserted by the EXPERIMENTS runs.
+    assert!(
+        s.wall_bounded,
+        "recorder-on wall-clock blew the generous bound: {:?}",
+        s.points
+    );
+}
+
+/// The deterministic deployment behind
+/// `tests/fixtures/provenance_small.jsonl`: a 12-node lossy tree with
+/// per-hop ARQ and a subtree cache, running a three-query mix twice
+/// (cold + warm) with a recorder attached. Regenerate the committed
+/// fixture with
+/// `cargo test --release regenerate_trace_fixture -- --ignored`.
+fn provenance_fixture_jsonl() -> String {
+    use saq_core::engine::{QueryEngine, QuerySpec};
+    use saq_core::simnet::SimNetworkBuilder;
+    use saq_netsim::link::LinkConfig;
+    use saq_netsim::sim::SimConfig;
+    use saq_netsim::time::SimDuration;
+    use saq_netsim::topology::Topology;
+    use saq_obs::VecRecorder;
+    use saq_protocols::wave::Reliability;
+
+    let n = 12usize;
+    let topo = Topology::balanced_tree(n, 3).unwrap();
+    let items: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 100).collect();
+    let mut net = SimNetworkBuilder::new()
+        .partial_cache(8)
+        .sim_config(
+            SimConfig::default()
+                .with_link(LinkConfig::default().with_loss(0.1))
+                .with_seed(0xF1C5),
+        )
+        .reliability(Reliability::Ack {
+            timeout: SimDuration::from_millis(200),
+        })
+        .build_one_per_node(&topo, &items, 128)
+        .unwrap();
+    let (recorder, log) = VecRecorder::shared();
+    net.attach_recorder(Box::new(recorder));
+    let mut engine = QueryEngine::new(net);
+    for _ in 0..2 {
+        engine.submit(QuerySpec::Median);
+        engine.submit(QuerySpec::Count(saq_core::predicate::Predicate::less_than(
+            50,
+        )));
+        engine.submit(QuerySpec::BottomK { k: 4 });
+        engine.run().unwrap();
+    }
+    log.to_jsonl()
+}
+
+#[test]
+fn trace_fixture_is_canonical_and_summarizes() {
+    // The committed fixture pins the canonical JSONL wire format: if
+    // the event schema or the fate-replay expansion drifts, this fails
+    // and the fixture must be regenerated (see the helper's doc).
+    let fixture = include_str!("fixtures/provenance_small.jsonl");
+    assert_eq!(
+        provenance_fixture_jsonl(),
+        fixture,
+        "recorded JSONL drifted from the committed fixture; regenerate \
+         with `cargo test --release regenerate_trace_fixture -- --ignored`"
+    );
+    // The same file is what `saq-trace` consumes offline: parse it,
+    // summarize, and check the provenance report holds together.
+    let events = saq_obs::trace::parse_jsonl(fixture).expect("fixture parses");
+    let summary = saq_obs::trace::summarize(&events);
+    assert_eq!(summary.events, events.len() as u64);
+    // The engine reuses slot ids across batches, so the warm repeat
+    // folds into the same three per-query rows.
+    assert_eq!(summary.queries.len(), 3);
+    assert!(summary.queries.iter().all(|q| q.retired));
+    assert!(summary.waves > 0);
+    assert!(summary.frame_bits_total() > 0);
+    assert!(
+        summary.retransmit_bits > 0,
+        "loss 0.1 + ARQ must retransmit"
+    );
+    assert!(summary.ack_frame_bits > 0);
+    assert!(summary.cache_hits > 0, "the warm batch must hit the cache");
+    assert!(!summary.depths.is_empty());
+    let rendered = saq_obs::trace::render(&summary);
+    assert!(rendered.contains("per-query provenance"));
+    assert!(rendered.contains("per-depth bits"));
+}
+
+#[test]
+#[ignore = "writes tests/fixtures/provenance_small.jsonl; run after intentional schema changes"]
+fn regenerate_trace_fixture() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/provenance_small.jsonl"
+    );
+    std::fs::write(path, provenance_fixture_jsonl()).expect("write fixture");
+}
+
+#[test]
 fn e17_cache_savings_track_repeat_rate() {
     let s = e17_repeat_rate::run(Scale::Quick);
     assert!(s.answers_identical, "the cache must never change an answer");

@@ -27,6 +27,7 @@ use saq::netsim::link::LinkConfig;
 use saq::netsim::sim::SimConfig;
 use saq::netsim::time::SimDuration;
 use saq::netsim::topology::Topology;
+use saq::obs::{MetricsSnapshot, VecRecorder};
 use saq::protocols::wave::Reliability;
 use saq::protocols::{CacheStats, TransportFootprint};
 
@@ -430,5 +431,143 @@ fn continuous_session_round_trips_on_flat_runner() {
         );
         assert_eq!(boxed_cache, flat_cache, "cache counters under {rel:?}");
         assert_eq!(boxed_bits, flat_bits, "per-node bits under {rel:?}");
+    }
+}
+
+/// ISSUE-10 tentpole row: with a telemetry recorder attached, the
+/// **merged event stream** a session emits — serialized to the
+/// canonical JSONL form, so byte-equality is sequence equality — is
+/// identical across the boxed, sharded and flat runners, lossless and
+/// under loss `p = 0.1` with per-hop ARQ. The stream includes
+/// frame-level detail (first sends, retransmissions, drops, acks
+/// expanded from the shared per-edge fate streams), cache hit/miss
+/// events from the warm repeat batch, per-wave bit accounting and slot
+/// admission/retirement, so this is a far stricter equivalence than
+/// the aggregate-counter rows above.
+#[test]
+fn event_streams_are_bit_identical_across_runners() {
+    let n = 36;
+    let topo = Topology::balanced_tree(n, 3).unwrap();
+    let items: Vec<u64> = (0..n as u64).map(|i| (i * 17) % 91).collect();
+    let run = |repr: Repr, rel: Rel| -> (String, MetricsSnapshot) {
+        let mut net = repr.build(&topo, &items, 128, 16, rel);
+        let (rec, log) = VecRecorder::shared();
+        net.attach_recorder(Box::new(rec));
+        let mut engine = QueryEngine::new(net);
+        for s in query_mix() {
+            engine.submit(s);
+        }
+        engine.run().expect("cold batch");
+        for s in query_mix() {
+            engine.submit(s);
+        }
+        engine.run().expect("warm batch");
+        (log.to_jsonl(), engine.network().metrics_snapshot())
+    };
+    for rel in [
+        Rel::Lossless,
+        Rel::LossyArq {
+            p: 0.1,
+            fate_seed: 0x00E2_10B5,
+        },
+    ] {
+        let (base, base_metrics) = run(Repr::Boxed { k: 1 }, rel);
+        assert!(
+            base.contains("\"type\":\"CacheHit\""),
+            "warm batch never produced cache hit events under {rel:?}"
+        );
+        assert!(base.contains("\"type\":\"WaveCompleted\""));
+        if matches!(rel, Rel::LossyArq { .. }) {
+            assert!(
+                base.contains("\"type\":\"FrameDropped\""),
+                "loss p=0.1 produced no drop events"
+            );
+            assert!(base.contains("\"kind\":\"ack\""));
+        }
+        for repr in [
+            Repr::Boxed { k: 3 },
+            Repr::Flat { k: 2, depth: None },
+            Repr::Flat {
+                k: 4,
+                depth: Some(1),
+            },
+        ] {
+            let (stream, metrics) = run(repr, rel);
+            assert_eq!(
+                base, stream,
+                "merged event stream diverged at {repr:?} under {rel:?}"
+            );
+            assert_eq!(
+                base_metrics, metrics,
+                "deterministic metrics lane diverged at {repr:?} under {rel:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // ISSUE-10 reconciliation row: the `saq::obs::MetricsRegistry`
+    // totals a recorded run accumulates must agree exactly with the
+    // transport's own bills — the frame lane with the per-node
+    // `NetStats` transmit bits, the slot lanes with the per-query
+    // `QueryBits` ledgers (the engine-level projection of the
+    // `MuxLedger`), and the cache counters with `CacheStats`.
+    #[test]
+    fn prop_metrics_reconcile_with_transport_bills(
+        n in 16usize..40,
+        topo_seed: u64,
+        value_seed in 0u64..1000,
+        lossy: bool,
+    ) {
+        let topo = Topology::random_geometric(n, 0.35, topo_seed).expect("topology");
+        let xbar = 4 * n as u64;
+        let items: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(value_seed.wrapping_mul(2).wrapping_add(13))) % xbar)
+            .collect();
+        let rel = if lossy {
+            Rel::LossyArq { p: 0.1, fate_seed: topo_seed ^ value_seed }
+        } else {
+            Rel::Lossless
+        };
+        let mut net = Repr::Boxed { k: 1 }.build(&topo, &items, xbar, 16, rel);
+        let (rec, _log) = VecRecorder::shared();
+        net.attach_recorder(Box::new(rec));
+        let mut engine = QueryEngine::new(net);
+        for s in query_mix() {
+            engine.submit(s);
+        }
+        let cold = engine.run().expect("cold batch");
+        for s in query_mix() {
+            engine.submit(s);
+        }
+        let warm = engine.run().expect("warm batch");
+
+        let m = engine.network().metrics_snapshot();
+        let stats = engine.network().net_stats().expect("stats");
+        let tx_bits: u64 = (0..stats.len()).map(|v| stats.node(v).tx_bits).sum();
+        // Frame lane vs the transport's transmit-side bills: every tx
+        // charge is exactly one FrameSent/Retransmit event.
+        prop_assert_eq!(m.frame_bits_total(), tx_bits);
+        // Slot lanes vs the per-query ledgers.
+        let reports: Vec<&QueryReport> = cold.iter().chain(warm.iter()).collect();
+        let request: u64 = reports.iter().map(|r| r.bits.request_bits).sum();
+        let partial: u64 = reports.iter().map(|r| r.bits.partial_bits).sum();
+        prop_assert_eq!(m.slot_request_bits, request);
+        prop_assert_eq!(m.slot_partial_bits, partial);
+        // Retired-slot accounting covers every query exactly once.
+        prop_assert_eq!(m.slots_retired, reports.len() as u64);
+        let total: u64 = reports.iter().map(|r| r.bits.total()).sum();
+        prop_assert_eq!(m.retired_bits, total);
+        // Cache counters vs the protocol layer's own.
+        let cache = engine.network().cache_stats();
+        prop_assert_eq!(m.cache_hits, cache.hits);
+        prop_assert_eq!(m.cache_misses, cache.misses);
+        // Losslessly, the billed lane (headers + envelope + payloads)
+        // is the whole transmit side — no retransmissions, no acks.
+        if !lossy {
+            prop_assert_eq!(m.billed_bits_total(), tx_bits);
+        }
     }
 }
